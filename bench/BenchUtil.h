@@ -1,0 +1,173 @@
+//===- BenchUtil.h - Shared benchmark harness utilities ---------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle-accurate timing (rdtsc), the paper's measurement protocol
+/// (repetitions with the median taken, warm cache; Section VII), input
+/// generation (random width-1-ulp intervals), and operation counts for the
+/// iops/flops-per-cycle metrics of Fig. 8/9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_BENCH_BENCHUTIL_H
+#define IGEN_BENCH_BENCHUTIL_H
+
+#include "interval/DdSimd.h"
+#include "interval/Interval.h"
+#include "interval/Ulp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <vector>
+#include <x86intrin.h>
+
+namespace igen::bench {
+
+/// Serialized cycle counter read.
+inline uint64_t readCycles() {
+  unsigned Aux;
+  _mm_lfence();
+  uint64_t T = __rdtscp(&Aux);
+  _mm_lfence();
+  return T;
+}
+
+/// Runs \p Fn `Reps` times (after one warm-up run) and returns the median
+/// cycle count, following the paper's protocol (median of repetitions,
+/// warm cache).
+inline uint64_t medianCycles(const std::function<void()> &Fn,
+                             int Reps = 5) {
+  Fn(); // warm-up
+  std::vector<uint64_t> Times;
+  Times.reserve(Reps);
+  for (int R = 0; R < Reps; ++R) {
+    uint64_t T0 = readCycles();
+    Fn();
+    Times.push_back(readCycles() - T0);
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// Deterministic RNG shared by the benches.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : Gen(Seed) {}
+  double uniform(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Gen);
+  }
+  /// A random double and the width-1-ulp interval around it (the paper's
+  /// input distribution: "each input interval has a length of 1 ulp").
+  double point(double Lo = -1.0, double Hi = 1.0) {
+    return uniform(Lo, Hi);
+  }
+
+private:
+  std::mt19937_64 Gen;
+};
+
+/// Fills interval array \p Out (any type constructible via
+/// fromEndpoints(lo,hi)) with width-1-ulp intervals around random points.
+template <typename I>
+void fillUlpIntervals(I *Out, int N, Rng &R, double Lo = -1.0,
+                      double Hi = 1.0) {
+  for (int K = 0; K < N; ++K) {
+    double C = R.uniform(Lo, Hi);
+    Out[K] = I::fromEndpoints(C, nextUp(C));
+  }
+}
+
+/// Width-1-ulp-of-the-low-word double-double input interval (the paper's
+/// input protocol for double-double runs, Section VII).
+inline DdIntervalAvx ddUlpInput(double V) {
+  Dd X(V, V * 0x1.3p-55);
+  Dd Hi = X;
+  Hi.L = nextUp(Hi.L);
+  return DdIntervalAvx::fromScalar(DdInterval::fromEndpoints(X, Hi));
+}
+
+/// Generates a well-conditioned SPD matrix for potrf: A = B*B^T + n*I.
+inline std::vector<double> spdMatrix(int N, Rng &R) {
+  std::vector<double> B(N * N), A(N * N, 0.0);
+  for (double &V : B)
+    V = R.uniform(-1.0, 1.0);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J <= I; ++J) {
+      double S = 0;
+      for (int K = 0; K < N; ++K)
+        S += B[I * N + K] * B[J * N + K];
+      A[I * N + J] = A[J * N + I] = S;
+    }
+  for (int I = 0; I < N; ++I)
+    A[I * N + I] += N;
+  return A;
+}
+
+/// Precomputes FFT twiddles (per-stage contiguous) and the bit-reversal
+/// table for size N (power of two).
+struct FftSetup {
+  std::vector<double> Wre, Wim;
+  std::vector<int> Rev;
+
+  explicit FftSetup(int N) {
+    Rev.resize(N);
+    int LogN = 0;
+    while ((1 << LogN) < N)
+      ++LogN;
+    for (int I = 0; I < N; ++I) {
+      int R = 0;
+      for (int B = 0; B < LogN; ++B)
+        if (I & (1 << B))
+          R |= 1 << (LogN - 1 - B);
+      Rev[I] = R;
+    }
+    for (int Len = 2; Len <= N; Len <<= 1) {
+      int Half = Len / 2;
+      for (int J = 0; J < Half; ++J) {
+        long double Ang = -2.0L * 3.14159265358979323846L * J / Len;
+        Wre.push_back(static_cast<double>(cosl(Ang)));
+        Wim.push_back(static_cast<double>(sinl(Ang)));
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Operation counts (interval ops / flops) for the per-cycle metrics
+//===----------------------------------------------------------------------===//
+
+/// Interval operations of each kernel (an interval add and an interval
+/// multiply count as one operation each, Section VII-A).
+inline double fftIops(int N) {
+  double LogN = std::log2(static_cast<double>(N));
+  return 10.0 * (N / 2.0) * LogN; // 10 real ops per butterfly
+}
+inline double gemmIops(int N) {
+  return 2.0 * N * static_cast<double>(N) * N;
+}
+inline double potrfIops(int N) {
+  return N * static_cast<double>(N) * N / 3.0;
+}
+inline double ffnnIops(int N, int Layers) {
+  return 2.0 * Layers * static_cast<double>(N) * N;
+}
+inline double mvmIops(int M, int N) {
+  return 2.0 * M * static_cast<double>(N);
+}
+
+/// Prints one CSV row ("label,size,value").
+inline void printRow(const char *Table, const char *Config, int Size,
+                     double Value) {
+  std::printf("%s,%s,%d,%.4f\n", Table, Config, Size, Value);
+}
+
+} // namespace igen::bench
+
+#endif // IGEN_BENCH_BENCHUTIL_H

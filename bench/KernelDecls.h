@@ -1,0 +1,110 @@
+//===- KernelDecls.h - Declarations of generated kernel variants -*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prototypes of the benchmark kernels in every compiled configuration.
+/// The definitions are produced at build time: the sources in
+/// bench/kernels/ are prefix-renamed per configuration and either compiled
+/// natively (base_/basev_) or translated by the igen driver
+/// (sv_/ss_/vv_/svdd_/vvdd_/svred_/svddred_); see bench/CMakeLists.txt.
+///
+/// Interval types by configuration (Table II):
+///   sv_, vv_      f64i == igen::IntervalSse, ddi == igen::DdIntervalAvx
+///   ss_           f64i == igen::Interval (scalar pairs)
+///   svdd_, vvdd_  ddi  == igen::DdIntervalAvx
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_BENCH_KERNELDECLS_H
+#define IGEN_BENCH_KERNELDECLS_H
+
+#include "interval/DdSimd.h"
+#include "interval/Interval.h"
+#include "interval/IntervalSimd.h"
+
+using igen::DdInterval;
+using igen::DdIntervalAvx;
+using igen::Interval;
+using igen::IntervalSse;
+
+// --------------------------------------------------------------------------
+// Non-interval baselines (the paper's "original unsound program").
+// --------------------------------------------------------------------------
+void base_fft(double *re, double *im, const double *wre,
+              const double *wim, int *rev, int n);
+void basev_fft(double *re, double *im, const double *wre,
+               const double *wim, int *rev, int n);
+void base_gemm(double *C, const double *A, const double *B, int n);
+void basev_gemm(double *C, const double *A, const double *B, int n);
+void base_potrf(double *A, int n);
+void basev_potrf(double *A, int n);
+void base_ffnn(const double *W, const double *b, double *buf0,
+               double *buf1, int n, int layers);
+void basev_ffnn(const double *W, const double *b, double *buf0,
+                double *buf1, int n, int layers);
+void base_mvm(const double *A, const double *x, double *y, int m, int n);
+double base_henon(double x, double y, int iterations);
+
+// --------------------------------------------------------------------------
+// IGen-sv: scalar input -> SSE-backed double intervals.
+// --------------------------------------------------------------------------
+void sv_fft(IntervalSse *re, IntervalSse *im, IntervalSse *wre,
+            IntervalSse *wim, int *rev, int n);
+void sv_gemm(IntervalSse *C, IntervalSse *A, IntervalSse *B, int n);
+void sv_potrf(IntervalSse *A, int n);
+void sv_ffnn(IntervalSse *W, IntervalSse *b, IntervalSse *buf0,
+             IntervalSse *buf1, int n, int layers);
+void sv_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m, int n);
+void svred_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m,
+               int n);
+IntervalSse sv_henon(IntervalSse x, IntervalSse y, int iterations);
+
+// --------------------------------------------------------------------------
+// IGen-ss: scalar input -> scalar double intervals.
+// --------------------------------------------------------------------------
+void ss_fft(Interval *re, Interval *im, Interval *wre, Interval *wim,
+            int *rev, int n);
+void ss_gemm(Interval *C, Interval *A, Interval *B, int n);
+void ss_potrf(Interval *A, int n);
+void ss_ffnn(Interval *W, Interval *b, Interval *buf0, Interval *buf1,
+             int n, int layers);
+Interval ss_henon(Interval x, Interval y, int iterations);
+
+// --------------------------------------------------------------------------
+// IGen-vv: AVX input -> AVX vector-of-interval code.
+// --------------------------------------------------------------------------
+void vv_fft(IntervalSse *re, IntervalSse *im, IntervalSse *wre,
+            IntervalSse *wim, int *rev, int n);
+void vv_gemm(IntervalSse *C, IntervalSse *A, IntervalSse *B, int n);
+void vv_potrf(IntervalSse *A, int n);
+void vv_ffnn(IntervalSse *W, IntervalSse *b, IntervalSse *buf0,
+             IntervalSse *buf1, int n, int layers);
+
+// --------------------------------------------------------------------------
+// IGen-sv-dd / IGen-vv-dd: double-double intervals.
+// --------------------------------------------------------------------------
+void svdd_fft(DdIntervalAvx *re, DdIntervalAvx *im, DdIntervalAvx *wre,
+              DdIntervalAvx *wim, int *rev, int n);
+void svdd_gemm(DdIntervalAvx *C, DdIntervalAvx *A, DdIntervalAvx *B,
+               int n);
+void svdd_potrf(DdIntervalAvx *A, int n);
+void svdd_ffnn(DdIntervalAvx *W, DdIntervalAvx *b, DdIntervalAvx *buf0,
+               DdIntervalAvx *buf1, int n, int layers);
+void svdd_mvm(DdIntervalAvx *A, DdIntervalAvx *x, DdIntervalAvx *y, int m,
+              int n);
+void svddred_mvm(DdIntervalAvx *A, DdIntervalAvx *x, DdIntervalAvx *y,
+                 int m, int n);
+DdIntervalAvx svdd_henon(DdIntervalAvx x, DdIntervalAvx y, int iterations);
+
+void vvdd_fft(DdIntervalAvx *re, DdIntervalAvx *im, DdIntervalAvx *wre,
+              DdIntervalAvx *wim, int *rev, int n);
+void vvdd_gemm(DdIntervalAvx *C, DdIntervalAvx *A, DdIntervalAvx *B,
+               int n);
+void vvdd_potrf(DdIntervalAvx *A, int n);
+void vvdd_ffnn(DdIntervalAvx *W, DdIntervalAvx *b, DdIntervalAvx *buf0,
+               DdIntervalAvx *buf1, int n, int layers);
+
+#endif // IGEN_BENCH_KERNELDECLS_H

@@ -1,0 +1,111 @@
+//===- KernelsT.h - Library-baseline kernels --------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark kernels written the way one uses an interval *library*:
+/// manually, via overloaded operators on the library's interval type
+/// (Section VII: "Only the scalar code of the benchmarks is manually
+/// implemented with the libraries"). Instantiated with BoostLikeInterval,
+/// FilibLikeInterval and GaolLikeInterval for Fig. 8, and with AffineForm
+/// for the Table VI comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_BENCH_KERNELST_H
+#define IGEN_BENCH_KERNELST_H
+
+namespace igen::bench {
+
+template <typename I>
+void fftT(I *Re, I *Im, const I *Wre, const I *Wim, const int *Rev,
+          int N) {
+  for (int K = 0; K < N; ++K) {
+    int J = Rev[K];
+    if (J > K) {
+      I T = Re[K];
+      Re[K] = Re[J];
+      Re[J] = T;
+      T = Im[K];
+      Im[K] = Im[J];
+      Im[J] = T;
+    }
+  }
+  int TBase = 0;
+  for (int Len = 2; Len <= N; Len *= 2) {
+    int Half = Len / 2;
+    for (int K = 0; K < N; K += Len) {
+      for (int J = 0; J < Half; ++J) {
+        I Wr = Wre[TBase + J];
+        I Wi = Wim[TBase + J];
+        I Xr = Re[K + J + Half];
+        I Xi = Im[K + J + Half];
+        I Vr = Xr * Wr - Xi * Wi;
+        I Vi = Xr * Wi + Xi * Wr;
+        I Ur = Re[K + J];
+        I Ui = Im[K + J];
+        Re[K + J] = Ur + Vr;
+        Im[K + J] = Ui + Vi;
+        Re[K + J + Half] = Ur - Vr;
+        Im[K + J + Half] = Ui - Vi;
+      }
+    }
+    TBase += Half;
+  }
+}
+
+template <typename I>
+void gemmT(I *C, const I *A, const I *B, int N) {
+  for (int Row = 0; Row < N; ++Row)
+    for (int K = 0; K < N; ++K) {
+      I AV = A[Row * N + K];
+      for (int Col = 0; Col < N; ++Col)
+        C[Row * N + Col] = C[Row * N + Col] + AV * B[K * N + Col];
+    }
+}
+
+template <typename I> void potrfT(I *A, int N) {
+  for (int J = 0; J < N; ++J) {
+    I S = A[J * N + J];
+    for (int K = 0; K < J; ++K)
+      S = S - A[J * N + K] * A[J * N + K];
+    I D = I::sqrtI(S);
+    A[J * N + J] = D;
+    for (int Row = J + 1; Row < N; ++Row) {
+      I T = A[Row * N + J];
+      for (int K = 0; K < J; ++K)
+        T = T - A[Row * N + K] * A[J * N + K];
+      A[Row * N + J] = T / D;
+    }
+  }
+}
+
+template <typename I>
+void ffnnT(const I *W, const I *B, I *Buf0, I *Buf1, int N, int Layers) {
+  for (int L = 0; L < Layers; ++L) {
+    for (int O = 0; O < N; ++O) {
+      I S = B[L * N + O];
+      for (int K = 0; K < N; ++K)
+        S = S + W[(L * N + O) * N + K] * Buf0[K];
+      Buf1[O] = I::maxI(S, I::fromPoint(0.0));
+    }
+    for (int O = 0; O < N; ++O)
+      Buf0[O] = Buf1[O];
+  }
+}
+
+/// The Henon map over any arithmetic type with +,-,* (Fig. 11).
+template <typename I> I henonT(I X, I Y, int Iterations, I A, I B, I One) {
+  for (int K = 0; K < Iterations; ++K) {
+    I XI = X;
+    X = One - A * XI * XI + Y;
+    Y = B * XI;
+  }
+  return X;
+}
+
+} // namespace igen::bench
+
+#endif // IGEN_BENCH_KERNELST_H

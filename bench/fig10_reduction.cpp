@@ -1,0 +1,160 @@
+//===- fig10_reduction.cpp - Fig. 10: reduction accuracy improvement -----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 10: average accuracy of y = A*x + y (m = 10, n = 10^s) in double
+// and double-double precision, with and without the reduction
+// transformation, for inputs with 10% and 45% negative values. Also
+// reports the runtime ratios quoted in Section VII-B. Expected shape:
+// without the transformation accuracy degrades with n; with it accuracy
+// stays roughly constant (gains of ~3-13 bits).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "KernelDecls.h"
+
+#include "interval/Accuracy.h"
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+using namespace igen;
+using igen::Dd;
+using namespace igen::bench;
+
+namespace {
+
+Rng R(424242);
+
+/// Magnitudes drawn like the paper: random doubles, a fraction negative.
+std::vector<double> inputs(int N, int PercentNeg) {
+  std::vector<double> V(N);
+  for (int K = 0; K < N; ++K) {
+    double Mag = R.uniform(0.0, 1.0);
+    bool Neg = R.uniform(0.0, 100.0) < PercentNeg;
+    V[K] = Neg ? -Mag : Mag;
+  }
+  return V;
+}
+
+/// Width-1-ulp input interval at the type's own precision: for double
+/// intervals ulp of the value; for double-double intervals ulp of the low
+/// word of a random double-double (the paper's protocol, Section VII).
+template <typename T> T ulpInput(double V) {
+  if constexpr (std::is_same_v<T, DdIntervalAvx>) {
+    Dd X(V, V * 0x1.3p-55); // dd value with a nonzero low word
+    Dd Hi = X;
+    Hi.L = nextUp(Hi.L);
+    return DdIntervalAvx::fromScalar(
+        igen::DdInterval::fromEndpoints(X, Hi));
+  } else {
+    return T::fromEndpoints(V, nextUp(V));
+  }
+}
+
+template <typename T, typename Fn>
+double avgAccuracy(Fn Kernel, const std::vector<double> &A,
+                   const std::vector<double> &X,
+                   const std::vector<double> &Y, int M, int N,
+                   double (*Bits)(const T &)) {
+  std::vector<T> IA(M * N), IX(N), IY(M);
+  for (int K = 0; K < M * N; ++K)
+    IA[K] = ulpInput<T>(A[K]);
+  for (int K = 0; K < N; ++K)
+    IX[K] = ulpInput<T>(X[K]);
+  for (int K = 0; K < M; ++K)
+    IY[K] = ulpInput<T>(Y[K]);
+  Kernel(IA.data(), IX.data(), IY.data(), M, N);
+  double Sum = 0;
+  for (int K = 0; K < M; ++K)
+    Sum += Bits(IY[K]);
+  return Sum / M;
+}
+
+double bitsSse(const IntervalSse &I) {
+  return accuracyBits(I.toInterval());
+}
+double bitsDd(const DdIntervalAvx &I) {
+  return accuracyBits(I.toScalar());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  RoundUpwardScope Up;
+  const int M = 10;
+  std::printf("table,test,config,avg_bits\n");
+
+  std::vector<int> Exps = Full ? std::vector<int>{2, 3, 4, 5}
+                               : std::vector<int>{2, 3, 4};
+  for (int PercentNeg : {10, 45}) {
+    for (int E : Exps) {
+      int N = 1;
+      for (int K = 0; K < E; ++K)
+        N *= 10;
+      std::vector<double> A = inputs(M * N, PercentNeg);
+      std::vector<double> X = inputs(N, PercentNeg);
+      std::vector<double> Y = inputs(M, PercentNeg);
+      char Test[64];
+      std::snprintf(Test, sizeof(Test), "(%d;%d)", E, PercentNeg);
+      std::printf("fig10,%s,double-plain,%.1f\n", Test,
+                  avgAccuracy<IntervalSse>(sv_mvm, A, X, Y, M, N,
+                                           bitsSse));
+      std::printf("fig10,%s,double-reduce,%.1f\n", Test,
+                  avgAccuracy<IntervalSse>(svred_mvm, A, X, Y, M, N,
+                                           bitsSse));
+      std::printf("fig10,%s,dd-plain,%.1f\n", Test,
+                  avgAccuracy<DdIntervalAvx>(svdd_mvm, A, X, Y, M, N,
+                                             bitsDd));
+      std::printf("fig10,%s,dd-reduce,%.1f\n", Test,
+                  avgAccuracy<DdIntervalAvx>(svddred_mvm, A, X, Y, M, N,
+                                             bitsDd));
+    }
+  }
+
+  // Runtime ratios (Section VII-B text): interval vs non-interval, with
+  // and without the transformation.
+  {
+    const int N = 10000;
+    std::vector<double> A = inputs(M * N, 10), X = inputs(N, 10),
+                        Y0 = inputs(M, 10), Y = Y0;
+    uint64_t Base;
+    {
+      RoundNearestScope RN;
+      Base = medianCycles([&] {
+        std::memcpy(Y.data(), Y0.data(), M * sizeof(double));
+        base_mvm(A.data(), X.data(), Y.data(), M, N);
+      });
+    }
+    auto TimeIt = [&](auto Kernel, auto Tag) -> uint64_t {
+      using T = std::remove_pointer_t<decltype(Tag)>;
+      std::vector<T> IA(M * N), IX(N), IY(M), IY0(M);
+      for (int K = 0; K < M * N; ++K)
+        IA[K] = T::fromEndpoints(A[K], nextUp(A[K]));
+      for (int K = 0; K < N; ++K)
+        IX[K] = T::fromEndpoints(X[K], nextUp(X[K]));
+      for (int K = 0; K < M; ++K)
+        IY0[K] = T::fromEndpoints(Y0[K], nextUp(Y0[K]));
+      return medianCycles([&] {
+        std::memcpy(IY.data(), IY0.data(), M * sizeof(T));
+        Kernel(IA.data(), IX.data(), IY.data(), M, N);
+      });
+    };
+    std::printf("fig10-runtime,slowdown,double-plain,%.1f\n",
+                (double)TimeIt(sv_mvm, (IntervalSse *)nullptr) / Base);
+    std::printf("fig10-runtime,slowdown,double-reduce,%.1f\n",
+                (double)TimeIt(svred_mvm, (IntervalSse *)nullptr) / Base);
+    std::printf("fig10-runtime,slowdown,dd-plain,%.1f\n",
+                (double)TimeIt(svdd_mvm, (DdIntervalAvx *)nullptr) / Base);
+    std::printf(
+        "fig10-runtime,slowdown,dd-reduce,%.1f\n",
+        (double)TimeIt(svddred_mvm, (DdIntervalAvx *)nullptr) / Base);
+  }
+  return 0;
+}

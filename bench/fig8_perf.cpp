@@ -1,0 +1,170 @@
+//===- fig8_perf.cpp - Fig. 8: interval ops per cycle vs size -----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Fig. 8: interval operations per cycle over the problem size
+// for fft/gemm/potrf/ffnn in the configurations
+//
+//   IGen-vv, IGen-sv, IGen-ss, IGen-sv-dd   (this compiler)
+//   boost, filib, gaol                      (library design points)
+//
+// Sizes are scaled down from the paper's largest points so the whole
+// suite runs in seconds; pass --full for the paper's ranges. Expected
+// shape: IGen-vv > IGen-sv > IGen-ss >~ libraries, dd far below.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "KernelDecls.h"
+#include "KernelsT.h"
+
+#include "baselines/BaselineIntervals.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace igen;
+using namespace igen::bench;
+
+namespace {
+
+Rng R(2021);
+
+/// Runs one configuration of the fft benchmark and prints its row.
+template <typename I, typename Fn>
+void runFft(const char *Config, int N, const FftSetup &S, Fn Kernel) {
+  std::vector<I> Re(N), Im(N), Wre(S.Wre.size()), Wim(S.Wim.size());
+  fillUlpIntervals(Re.data(), N, R);
+  fillUlpIntervals(Im.data(), N, R);
+  for (size_t K = 0; K < S.Wre.size(); ++K) {
+    Wre[K] = I::fromPoint(S.Wre[K]);
+    Wim[K] = I::fromPoint(S.Wim[K]);
+  }
+  std::vector<I> Re0 = Re, Im0 = Im;
+  std::vector<int> Rev = S.Rev;
+  uint64_t Cycles = medianCycles([&] {
+    std::memcpy(Re.data(), Re0.data(), N * sizeof(I));
+    std::memcpy(Im.data(), Im0.data(), N * sizeof(I));
+    Kernel(Re.data(), Im.data(), Wre.data(), Wim.data(), Rev.data(), N);
+  });
+  printRow("fig8-fft", Config, N, fftIops(N) / Cycles);
+}
+
+template <typename I, typename Fn>
+void runGemm(const char *Config, int N, Fn Kernel) {
+  std::vector<I> A(N * N), B(N * N), C(N * N), C0(N * N);
+  fillUlpIntervals(A.data(), N * N, R);
+  fillUlpIntervals(B.data(), N * N, R);
+  fillUlpIntervals(C0.data(), N * N, R);
+  uint64_t Cycles = medianCycles([&] {
+    std::memcpy(C.data(), C0.data(), N * N * sizeof(I));
+    Kernel(C.data(), A.data(), B.data(), N);
+  });
+  printRow("fig8-gemm", Config, N, gemmIops(N) / Cycles);
+}
+
+template <typename I, typename Fn>
+void runPotrf(const char *Config, int N, const std::vector<double> &Spd,
+              Fn Kernel) {
+  std::vector<I> A0(N * N), A(N * N);
+  for (int K = 0; K < N * N; ++K)
+    A0[K] = I::fromEndpoints(Spd[K], nextUp(Spd[K]));
+  uint64_t Cycles = medianCycles([&] {
+    std::memcpy(A.data(), A0.data(), N * N * sizeof(I));
+    Kernel(A.data(), N);
+  });
+  printRow("fig8-potrf", Config, N, potrfIops(N) / Cycles);
+}
+
+template <typename I, typename Fn>
+void runFfnn(const char *Config, int N, int Layers, Fn Kernel) {
+  std::vector<I> W(Layers * N * N), B(Layers * N), Buf0(N), Buf1(N),
+      In(N);
+  // Xavier-like weight scale keeps activations bounded.
+  double Scale = 1.0 / std::sqrt(static_cast<double>(N));
+  for (int K = 0; K < Layers * N * N; ++K) {
+    double V = R.uniform(-Scale, Scale);
+    W[K] = I::fromEndpoints(V, nextUp(V));
+  }
+  fillUlpIntervals(B.data(), Layers * N, R, -0.1, 0.1);
+  fillUlpIntervals(In.data(), N, R, 0.0, 1.0);
+  uint64_t Cycles = medianCycles([&] {
+    std::memcpy(Buf0.data(), In.data(), N * sizeof(I));
+    Kernel(W.data(), B.data(), Buf0.data(), Buf1.data(), N, Layers);
+  });
+  printRow("fig8-ffnn", Config, N, ffnnIops(N, Layers) / Cycles);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  RoundUpwardScope Up;
+
+  std::vector<int> FftSizes = Full ? std::vector<int>{16, 32, 64, 128, 256}
+                                   : std::vector<int>{16, 64, 256};
+  std::vector<int> GemmSizes = Full
+                                   ? std::vector<int>{56, 168, 280, 616}
+                                   : std::vector<int>{56, 120};
+  std::vector<int> PotrfSizes = Full ? std::vector<int>{4, 28, 52, 76, 124}
+                                     : std::vector<int>{28, 76, 124};
+  std::vector<int> FfnnSizes = Full ? std::vector<int>{40, 80, 120, 200}
+                                    : std::vector<int>{40, 104};
+  const int Layers = 9; // the paper's network depth
+
+  std::printf("table,config,size,iops_per_cycle\n");
+
+  for (int N : FftSizes) {
+    FftSetup S(N);
+    runFft<IntervalSse>("igen-vv", N, S, vv_fft);
+    runFft<IntervalSse>("igen-sv", N, S, sv_fft);
+    runFft<Interval>("igen-ss", N, S, ss_fft);
+    runFft<DdIntervalAvx>("igen-sv-dd", N, S, svdd_fft);
+    runFft<BoostLikeInterval>("boost", N, S,
+                              fftT<BoostLikeInterval>);
+    runFft<FilibLikeInterval>("filib", N, S,
+                              fftT<FilibLikeInterval>);
+    runFft<GaolLikeInterval>("gaol", N, S, fftT<GaolLikeInterval>);
+  }
+
+  for (int N : GemmSizes) {
+    runGemm<IntervalSse>("igen-vv", N, vv_gemm);
+    runGemm<IntervalSse>("igen-sv", N, sv_gemm);
+    runGemm<Interval>("igen-ss", N, ss_gemm);
+    runGemm<DdIntervalAvx>("igen-sv-dd", N, svdd_gemm);
+    runGemm<BoostLikeInterval>("boost", N, gemmT<BoostLikeInterval>);
+    runGemm<FilibLikeInterval>("filib", N, gemmT<FilibLikeInterval>);
+    runGemm<GaolLikeInterval>("gaol", N, gemmT<GaolLikeInterval>);
+  }
+
+  for (int N : PotrfSizes) {
+    std::vector<double> Spd = spdMatrix(N, R);
+    runPotrf<IntervalSse>("igen-vv", N, Spd, vv_potrf);
+    runPotrf<IntervalSse>("igen-sv", N, Spd, sv_potrf);
+    runPotrf<Interval>("igen-ss", N, Spd, ss_potrf);
+    runPotrf<DdIntervalAvx>("igen-sv-dd", N, Spd, svdd_potrf);
+    runPotrf<BoostLikeInterval>("boost", N, Spd,
+                                potrfT<BoostLikeInterval>);
+    runPotrf<FilibLikeInterval>("filib", N, Spd,
+                                potrfT<FilibLikeInterval>);
+    runPotrf<GaolLikeInterval>("gaol", N, Spd,
+                               potrfT<GaolLikeInterval>);
+  }
+
+  for (int N : FfnnSizes) {
+    runFfnn<IntervalSse>("igen-vv", N, Layers, vv_ffnn);
+    runFfnn<IntervalSse>("igen-sv", N, Layers, sv_ffnn);
+    runFfnn<Interval>("igen-ss", N, Layers, ss_ffnn);
+    runFfnn<DdIntervalAvx>("igen-sv-dd", N, Layers, svdd_ffnn);
+    runFfnn<BoostLikeInterval>("boost", N, Layers,
+                               ffnnT<BoostLikeInterval>);
+    runFfnn<FilibLikeInterval>("filib", N, Layers,
+                               ffnnT<FilibLikeInterval>);
+    runFfnn<GaolLikeInterval>("gaol", N, Layers,
+                              ffnnT<GaolLikeInterval>);
+  }
+  return 0;
+}

@@ -1,0 +1,253 @@
+//===- fig9_perf_accuracy.cpp - Fig. 9: flops/cycle and certified bits ---------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 9a: real floating-point performance (flops/cycle) of IGen-vv and
+// of the non-interval AVX baseline, per benchmark at its largest size.
+// Interval flops are counted from the operation mix (add = 2 flops, mul =
+// 8 flops + 6 comparisons -> we report the paper's iops-derived flop
+// count: interval code performs ~5x the flops of the baseline for
+// add/mul-balanced kernels).
+//
+// Fig. 9b: certified accuracy in bits for double and double-double
+// interval results on width-1-ulp inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "KernelDecls.h"
+
+#include "interval/Accuracy.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace igen;
+using igen::Dd;
+using namespace igen::bench;
+
+namespace {
+
+Rng R(909);
+
+/// Flops actually executed per interval operation in our implementation
+/// (the add/mul mix of these kernels is roughly 1:1): interval add = 2
+/// flops, interval mul = 8 flops (+6 comparisons, not counted as flops).
+constexpr double FlopsPerIop = 5.0;
+
+template <typename Vec> double minAccuracySse(const Vec &V) {
+  double Min = 53.0;
+  for (const IntervalSse &I : V)
+    Min = std::min(Min, accuracyBits(I.toInterval()));
+  return Min;
+}
+
+template <typename Vec> double minAccuracyDd(const Vec &V) {
+  double Min = 106.0;
+  for (const DdIntervalAvx &I : V)
+    Min = std::min(Min, accuracyBits(I.toScalar()));
+  return Min;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  RoundUpwardScope Up;
+  std::printf("table,benchmark,metric,value\n");
+
+  const int FftN = Full ? 256 : 64;
+  const int GemmN = Full ? 616 : 120;
+  const int PotrfN = 124;
+  const int FfnnN = Full ? 200 : 104;
+  const int Layers = 9;
+
+  // ---------------- fft ----------------
+  {
+    FftSetup S(FftN);
+    int N = FftN;
+    std::vector<double> Re(N), Im(N);
+    for (int K = 0; K < N; ++K) {
+      Re[K] = R.uniform(-1, 1);
+      Im[K] = R.uniform(-1, 1);
+    }
+    std::vector<double> Re0 = Re, Im0 = Im, Wre = S.Wre, Wim = S.Wim;
+    std::vector<int> Rev = S.Rev;
+    uint64_t BaseCyc;
+    {
+      RoundNearestScope RN;
+      BaseCyc = medianCycles([&] {
+        std::memcpy(Re.data(), Re0.data(), N * sizeof(double));
+        std::memcpy(Im.data(), Im0.data(), N * sizeof(double));
+        basev_fft(Re.data(), Im.data(), Wre.data(), Wim.data(), Rev.data(),
+                  N);
+      });
+    }
+    std::vector<IntervalSse> IRe(N), IIm(N), IWre(Wre.size()),
+        IWim(Wim.size());
+    for (int K = 0; K < N; ++K) {
+      IRe[K] = IntervalSse::fromEndpoints(Re0[K], nextUp(Re0[K]));
+      IIm[K] = IntervalSse::fromEndpoints(Im0[K], nextUp(Im0[K]));
+    }
+    for (size_t K = 0; K < Wre.size(); ++K) {
+      IWre[K] = IntervalSse::fromPoint(Wre[K]);
+      IWim[K] = IntervalSse::fromPoint(Wim[K]);
+    }
+    std::vector<IntervalSse> IRe0 = IRe, IIm0 = IIm;
+    uint64_t VvCyc = medianCycles([&] {
+      std::memcpy(IRe.data(), IRe0.data(), N * sizeof(IntervalSse));
+      std::memcpy(IIm.data(), IIm0.data(), N * sizeof(IntervalSse));
+      vv_fft(IRe.data(), IIm.data(), IWre.data(), IWim.data(), Rev.data(),
+             N);
+    });
+    printRow("fig9a-flops-per-cycle", "fft-baseline", N,
+             fftIops(N) / BaseCyc);
+    printRow("fig9a-flops-per-cycle", "fft-igen-vv", N,
+             fftIops(N) * FlopsPerIop / VvCyc);
+    printRow("fig9b-accuracy-bits", "fft-double", N, minAccuracySse(IRe));
+
+    std::vector<DdIntervalAvx> DRe(N), DIm(N), DWre(Wre.size()),
+        DWim(Wim.size());
+    for (int K = 0; K < N; ++K) {
+      DRe[K] = ddUlpInput(Re0[K]);
+      DIm[K] = ddUlpInput(Im0[K]);
+    }
+    for (size_t K = 0; K < Wre.size(); ++K) {
+      DWre[K] = DdIntervalAvx::fromPoint(Wre[K]);
+      DWim[K] = DdIntervalAvx::fromPoint(Wim[K]);
+    }
+    svdd_fft(DRe.data(), DIm.data(), DWre.data(), DWim.data(), Rev.data(),
+             N);
+    printRow("fig9b-accuracy-bits", "fft-dd", N, minAccuracyDd(DRe));
+  }
+
+  // ---------------- gemm ----------------
+  {
+    int N = GemmN;
+    std::vector<double> A(N * N), B(N * N), C0(N * N), C(N * N);
+    for (int K = 0; K < N * N; ++K) {
+      A[K] = R.uniform(-1, 1);
+      B[K] = R.uniform(-1, 1);
+      C0[K] = R.uniform(-1, 1);
+    }
+    uint64_t BaseCyc;
+    {
+      RoundNearestScope RN;
+      BaseCyc = medianCycles([&] {
+        std::memcpy(C.data(), C0.data(), N * N * sizeof(double));
+        basev_gemm(C.data(), A.data(), B.data(), N);
+      }, 3);
+    }
+    std::vector<IntervalSse> IA(N * N), IB(N * N), IC(N * N), IC0(N * N);
+    for (int K = 0; K < N * N; ++K) {
+      IA[K] = IntervalSse::fromEndpoints(A[K], nextUp(A[K]));
+      IB[K] = IntervalSse::fromEndpoints(B[K], nextUp(B[K]));
+      IC0[K] = IntervalSse::fromEndpoints(C0[K], nextUp(C0[K]));
+    }
+    uint64_t VvCyc = medianCycles([&] {
+      std::memcpy(IC.data(), IC0.data(), N * N * sizeof(IntervalSse));
+      vv_gemm(IC.data(), IA.data(), IB.data(), N);
+    }, 3);
+    printRow("fig9a-flops-per-cycle", "gemm-baseline", N,
+             gemmIops(N) / BaseCyc);
+    printRow("fig9a-flops-per-cycle", "gemm-igen-vv", N,
+             gemmIops(N) * FlopsPerIop / VvCyc);
+    printRow("fig9b-accuracy-bits", "gemm-double", N, minAccuracySse(IC));
+
+    std::vector<DdIntervalAvx> DA(N * N), DB(N * N), DC(N * N);
+    for (int K = 0; K < N * N; ++K) {
+      DA[K] = ddUlpInput(A[K]);
+      DB[K] = ddUlpInput(B[K]);
+      DC[K] = ddUlpInput(C0[K]);
+    }
+    svdd_gemm(DC.data(), DA.data(), DB.data(), N);
+    printRow("fig9b-accuracy-bits", "gemm-dd", N, minAccuracyDd(DC));
+  }
+
+  // ---------------- potrf ----------------
+  {
+    int N = PotrfN;
+    std::vector<double> Spd = spdMatrix(N, R), A = Spd;
+    uint64_t BaseCyc;
+    {
+      RoundNearestScope RN;
+      BaseCyc = medianCycles([&] {
+        std::memcpy(A.data(), Spd.data(), N * N * sizeof(double));
+        basev_potrf(A.data(), N);
+      });
+    }
+    std::vector<IntervalSse> IA0(N * N), IA(N * N);
+    for (int K = 0; K < N * N; ++K)
+      IA0[K] = IntervalSse::fromEndpoints(Spd[K], nextUp(Spd[K]));
+    uint64_t VvCyc = medianCycles([&] {
+      std::memcpy(IA.data(), IA0.data(), N * N * sizeof(IntervalSse));
+      vv_potrf(IA.data(), N);
+    });
+    printRow("fig9a-flops-per-cycle", "potrf-baseline", N,
+             potrfIops(N) / BaseCyc);
+    printRow("fig9a-flops-per-cycle", "potrf-igen-vv", N,
+             potrfIops(N) * FlopsPerIop / VvCyc);
+    printRow("fig9b-accuracy-bits", "potrf-double", N,
+             minAccuracySse(IA));
+
+    std::vector<DdIntervalAvx> DA(N * N);
+    for (int K = 0; K < N * N; ++K)
+      DA[K] = ddUlpInput(Spd[K]);
+    svdd_potrf(DA.data(), N);
+    printRow("fig9b-accuracy-bits", "potrf-dd", N, minAccuracyDd(DA));
+  }
+
+  // ---------------- ffnn ----------------
+  {
+    int N = FfnnN;
+    std::vector<double> W(Layers * N * N), B(Layers * N), In(N), B0(N),
+        B1(N);
+    double Scale = 1.0 / std::sqrt(static_cast<double>(N));
+    for (double &V : W)
+      V = R.uniform(-Scale, Scale);
+    for (double &V : B)
+      V = R.uniform(-0.1, 0.1);
+    for (double &V : In)
+      V = R.uniform(0.0, 1.0);
+    uint64_t BaseCyc;
+    {
+      RoundNearestScope RN;
+      BaseCyc = medianCycles([&] {
+        std::memcpy(B0.data(), In.data(), N * sizeof(double));
+        basev_ffnn(W.data(), B.data(), B0.data(), B1.data(), N, Layers);
+      });
+    }
+    std::vector<IntervalSse> IW(Layers * N * N), IB(Layers * N), I0(N),
+        I1(N), IIn(N);
+    for (size_t K = 0; K < W.size(); ++K)
+      IW[K] = IntervalSse::fromEndpoints(W[K], nextUp(W[K]));
+    for (size_t K = 0; K < B.size(); ++K)
+      IB[K] = IntervalSse::fromEndpoints(B[K], nextUp(B[K]));
+    for (int K = 0; K < N; ++K)
+      IIn[K] = IntervalSse::fromEndpoints(In[K], nextUp(In[K]));
+    uint64_t VvCyc = medianCycles([&] {
+      std::memcpy(I0.data(), IIn.data(), N * sizeof(IntervalSse));
+      vv_ffnn(IW.data(), IB.data(), I0.data(), I1.data(), N, Layers);
+    });
+    printRow("fig9a-flops-per-cycle", "ffnn-baseline", N,
+             ffnnIops(N, Layers) / BaseCyc);
+    printRow("fig9a-flops-per-cycle", "ffnn-igen-vv", N,
+             ffnnIops(N, Layers) * FlopsPerIop / VvCyc);
+    printRow("fig9b-accuracy-bits", "ffnn-double", N, minAccuracySse(I0));
+
+    std::vector<DdIntervalAvx> DW(Layers * N * N), DB(Layers * N), D0(N),
+        D1(N);
+    for (size_t K = 0; K < W.size(); ++K)
+      DW[K] = ddUlpInput(W[K]);
+    for (size_t K = 0; K < B.size(); ++K)
+      DB[K] = ddUlpInput(B[K]);
+    for (int K = 0; K < N; ++K)
+      D0[K] = ddUlpInput(In[K]);
+    svdd_ffnn(DW.data(), DB.data(), D0.data(), D1.data(), N, Layers);
+    printRow("fig9b-accuracy-bits", "ffnn-dd", N, minAccuracyDd(D0));
+  }
+  return 0;
+}

@@ -1,0 +1,200 @@
+//===- table5_slowdown.cpp - Table V: interval vs non-interval slowdown --------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table V: slowdown of the IGen-generated interval code relative to the
+// non-interval input program, for {sv, vv} x {double, double-double} on
+// the four benchmarks. Expected shape: double 2.3x-13x; double-double
+// one to two orders of magnitude, and noticeably worse for vv-dd (the
+// automatic intrinsic path).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "KernelDecls.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace igen;
+using namespace igen::bench;
+
+namespace {
+
+Rng R(555);
+
+template <typename Fn> uint64_t timeNearest(Fn F, int Reps = 5) {
+  RoundNearestScope RN;
+  return medianCycles(F, Reps);
+}
+
+void row(const char *Bench, int Size, const char *Config, uint64_t Cyc,
+         uint64_t BaseCyc) {
+  std::printf("table5,%s-%d,%s,%.1f\n", Bench, Size, Config,
+              static_cast<double>(Cyc) / BaseCyc);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  RoundUpwardScope Up;
+  std::printf("table,benchmark,config,slowdown\n");
+
+  // ---- fft-64 ----
+  {
+    const int N = 64;
+    FftSetup S(N);
+    std::vector<double> Re0(N), Im0(N);
+    for (int K = 0; K < N; ++K) {
+      Re0[K] = R.uniform(-1, 1);
+      Im0[K] = R.uniform(-1, 1);
+    }
+    std::vector<double> Re = Re0, Im = Im0, Wre = S.Wre, Wim = S.Wim;
+    std::vector<int> Rev = S.Rev;
+    uint64_t Base = timeNearest([&] {
+      std::memcpy(Re.data(), Re0.data(), N * sizeof(double));
+      std::memcpy(Im.data(), Im0.data(), N * sizeof(double));
+      base_fft(Re.data(), Im.data(), Wre.data(), Wim.data(), Rev.data(),
+               N);
+    });
+    auto TimeIt = [&](auto *Kernel, auto Tag) -> uint64_t {
+      using T = std::remove_pointer_t<decltype(Tag)>;
+      std::vector<T> IRe(N), IIm(N), IWre(Wre.size()), IWim(Wim.size());
+      for (int K = 0; K < N; ++K) {
+        IRe[K] = T::fromEndpoints(Re0[K], nextUp(Re0[K]));
+        IIm[K] = T::fromEndpoints(Im0[K], nextUp(Im0[K]));
+      }
+      for (size_t K = 0; K < Wre.size(); ++K) {
+        IWre[K] = T::fromPoint(Wre[K]);
+        IWim[K] = T::fromPoint(Wim[K]);
+      }
+      std::vector<T> IRe0 = IRe, IIm0 = IIm;
+      return medianCycles([&] {
+        std::memcpy(IRe.data(), IRe0.data(), N * sizeof(T));
+        std::memcpy(IIm.data(), IIm0.data(), N * sizeof(T));
+        Kernel(IRe.data(), IIm.data(), IWre.data(), IWim.data(),
+               Rev.data(), N);
+      });
+    };
+    row("fft", N, "sv-dbl", TimeIt(sv_fft, (IntervalSse *)nullptr), Base);
+    row("fft", N, "vv-dbl", TimeIt(vv_fft, (IntervalSse *)nullptr), Base);
+    row("fft", N, "sv-dd", TimeIt(svdd_fft, (DdIntervalAvx *)nullptr),
+        Base);
+    row("fft", N, "vv-dd", TimeIt(vvdd_fft, (DdIntervalAvx *)nullptr),
+        Base);
+  }
+
+  // ---- potrf-124 ----
+  {
+    const int N = 124;
+    std::vector<double> Spd = spdMatrix(N, R), A = Spd;
+    uint64_t Base = timeNearest([&] {
+      std::memcpy(A.data(), Spd.data(), N * N * sizeof(double));
+      base_potrf(A.data(), N);
+    });
+    auto TimeIt = [&](auto *Kernel, auto Tag) -> uint64_t {
+      using T = std::remove_pointer_t<decltype(Tag)>;
+      std::vector<T> IA0(N * N), IA(N * N);
+      for (int K = 0; K < N * N; ++K)
+        IA0[K] = T::fromEndpoints(Spd[K], nextUp(Spd[K]));
+      return medianCycles([&] {
+        std::memcpy(IA.data(), IA0.data(), N * N * sizeof(T));
+        Kernel(IA.data(), N);
+      });
+    };
+    row("potrf", N, "sv-dbl", TimeIt(sv_potrf, (IntervalSse *)nullptr),
+        Base);
+    row("potrf", N, "vv-dbl", TimeIt(vv_potrf, (IntervalSse *)nullptr),
+        Base);
+    row("potrf", N, "sv-dd", TimeIt(svdd_potrf, (DdIntervalAvx *)nullptr),
+        Base);
+    row("potrf", N, "vv-dd", TimeIt(vvdd_potrf, (DdIntervalAvx *)nullptr),
+        Base);
+  }
+
+  // ---- ffnn ----
+  {
+    const int N = Full ? 200 : 104;
+    const int Layers = 9;
+    std::vector<double> W(Layers * N * N), B(Layers * N), In(N), B0(N),
+        B1(N);
+    double Scale = 1.0 / std::sqrt(static_cast<double>(N));
+    for (double &V : W)
+      V = R.uniform(-Scale, Scale);
+    for (double &V : B)
+      V = R.uniform(-0.1, 0.1);
+    for (double &V : In)
+      V = R.uniform(0.0, 1.0);
+    uint64_t Base = timeNearest([&] {
+      std::memcpy(B0.data(), In.data(), N * sizeof(double));
+      base_ffnn(W.data(), B.data(), B0.data(), B1.data(), N, Layers);
+    });
+    auto TimeIt = [&](auto *Kernel, auto Tag) -> uint64_t {
+      using T = std::remove_pointer_t<decltype(Tag)>;
+      std::vector<T> IW(W.size()), IB(B.size()), I0(N), I1(N), IIn(N);
+      for (size_t K = 0; K < W.size(); ++K)
+        IW[K] = T::fromEndpoints(W[K], nextUp(W[K]));
+      for (size_t K = 0; K < B.size(); ++K)
+        IB[K] = T::fromEndpoints(B[K], nextUp(B[K]));
+      for (int K = 0; K < N; ++K)
+        IIn[K] = T::fromEndpoints(In[K], nextUp(In[K]));
+      return medianCycles([&] {
+        std::memcpy(I0.data(), IIn.data(), N * sizeof(T));
+        Kernel(IW.data(), IB.data(), I0.data(), I1.data(), N, Layers);
+      });
+    };
+    row("ffnn", N, "sv-dbl", TimeIt(sv_ffnn, (IntervalSse *)nullptr),
+        Base);
+    row("ffnn", N, "vv-dbl", TimeIt(vv_ffnn, (IntervalSse *)nullptr),
+        Base);
+    row("ffnn", N, "sv-dd", TimeIt(svdd_ffnn, (DdIntervalAvx *)nullptr),
+        Base);
+    row("ffnn", N, "vv-dd", TimeIt(vvdd_ffnn, (DdIntervalAvx *)nullptr),
+        Base);
+  }
+
+  // ---- gemm ----
+  {
+    const int N = Full ? 616 : 120;
+    std::vector<double> A(N * N), B(N * N), C0(N * N), C(N * N);
+    for (int K = 0; K < N * N; ++K) {
+      A[K] = R.uniform(-1, 1);
+      B[K] = R.uniform(-1, 1);
+      C0[K] = R.uniform(-1, 1);
+    }
+    uint64_t Base = timeNearest(
+        [&] {
+          std::memcpy(C.data(), C0.data(), N * N * sizeof(double));
+          base_gemm(C.data(), A.data(), B.data(), N);
+        },
+        3);
+    auto TimeIt = [&](auto *Kernel, auto Tag, int Reps) -> uint64_t {
+      using T = std::remove_pointer_t<decltype(Tag)>;
+      std::vector<T> IA(N * N), IB(N * N), IC(N * N), IC0(N * N);
+      for (int K = 0; K < N * N; ++K) {
+        IA[K] = T::fromEndpoints(A[K], nextUp(A[K]));
+        IB[K] = T::fromEndpoints(B[K], nextUp(B[K]));
+        IC0[K] = T::fromEndpoints(C0[K], nextUp(C0[K]));
+      }
+      return medianCycles(
+          [&] {
+            std::memcpy(IC.data(), IC0.data(), N * N * sizeof(T));
+            Kernel(IC.data(), IA.data(), IB.data(), N);
+          },
+          Reps);
+    };
+    row("gemm", N, "sv-dbl", TimeIt(sv_gemm, (IntervalSse *)nullptr, 3),
+        Base);
+    row("gemm", N, "vv-dbl", TimeIt(vv_gemm, (IntervalSse *)nullptr, 3),
+        Base);
+    row("gemm", N, "sv-dd", TimeIt(svdd_gemm, (DdIntervalAvx *)nullptr, 1),
+        Base);
+    row("gemm", N, "vv-dd", TimeIt(vvdd_gemm, (DdIntervalAvx *)nullptr, 1),
+        Base);
+  }
+  return 0;
+}

@@ -1,0 +1,213 @@
+//===- table6_affine.cpp - Table VI: intervals vs affine arithmetic ------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table VI: certified accuracy (bits) and slowdown vs the non-interval
+// program for the Henon map and the FFT, comparing IGen double intervals
+// (f64i), IGen double-double intervals (ddi) and affine arithmetic
+// (Section VII-C). Expected shape: on Henon, f64i accuracy collapses with
+// the iteration count, ddi later, affine stays ~constant; affine is 2-3
+// orders of magnitude slower than ddi.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "KernelDecls.h"
+#include "KernelsT.h"
+
+#include "affine/AffineForm.h"
+#include "interval/Accuracy.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace igen;
+using namespace igen::bench;
+
+namespace {
+
+Rng R(31337);
+
+/// Accuracy protocol of the paper: average of the minimum certified bits
+/// across runs (inputs are the exact initial condition x0 = y0 = 0, so a
+/// single run is deterministic here).
+
+void henonRows(int Iters) {
+  double X0 = 0.0, Y0 = 0.0;
+  // Accuracy.
+  double BitsF64 =
+      accuracyBits(sv_henon(IntervalSse::fromPoint(X0),
+                            IntervalSse::fromPoint(Y0), Iters)
+                       .toInterval());
+  double BitsDd = accuracyBits(
+      svdd_henon(DdIntervalAvx::fromPoint(X0),
+                 DdIntervalAvx::fromPoint(Y0), Iters)
+          .toScalar());
+  AffineForm AffRes = henonT(
+      AffineForm::fromPoint(X0), AffineForm::fromPoint(Y0), Iters,
+      AffineForm::fromPoint(1.05), AffineForm::fromPoint(0.3),
+      AffineForm::fromPoint(1.0));
+  double BitsAff = accuracyBits(AffRes.toInterval());
+
+  // Slowdowns.
+  uint64_t Base;
+  {
+    RoundNearestScope RN;
+    Base = medianCycles([&] {
+      volatile double Sink = base_henon(X0, Y0, Iters);
+      (void)Sink;
+    });
+  }
+  uint64_t F64 = medianCycles([&] {
+    volatile double Sink =
+        sv_henon(IntervalSse::fromPoint(X0), IntervalSse::fromPoint(Y0),
+                 Iters)
+            .hi();
+    (void)Sink;
+  });
+  uint64_t Ddc = medianCycles([&] {
+    volatile double Sink = svdd_henon(DdIntervalAvx::fromPoint(X0),
+                                      DdIntervalAvx::fromPoint(Y0), Iters)
+                               .toScalar()
+                               .Hi.H;
+    (void)Sink;
+  });
+  uint64_t Aff = medianCycles(
+      [&] {
+        AffineForm Res = henonT(
+            AffineForm::fromPoint(X0), AffineForm::fromPoint(Y0), Iters,
+            AffineForm::fromPoint(1.05), AffineForm::fromPoint(0.3),
+            AffineForm::fromPoint(1.0));
+        volatile double Sink = Res.center();
+        (void)Sink;
+      },
+      3);
+  std::printf("table6-henon,%d,accuracy,%.0f,%.0f,%.0f\n", Iters, BitsF64,
+              BitsDd, BitsAff);
+  std::printf("table6-henon,%d,slowdown,%.1f,%.1f,%.0f\n", Iters,
+              (double)F64 / Base, (double)Ddc / Base, (double)Aff / Base);
+}
+
+template <typename T, typename Fn>
+double fftMinBits(Fn Kernel, int N, const FftSetup &S,
+                  const std::vector<double> &Re0,
+                  const std::vector<double> &Im0,
+                  double (*Bits)(const T &)) {
+  std::vector<T> Re(N), Im(N), Wre(S.Wre.size()), Wim(S.Wim.size());
+  for (int K = 0; K < N; ++K) {
+    Re[K] = T::fromEndpoints(Re0[K], nextUp(Re0[K]));
+    Im[K] = T::fromEndpoints(Im0[K], nextUp(Im0[K]));
+  }
+  for (size_t K = 0; K < S.Wre.size(); ++K) {
+    Wre[K] = T::fromPoint(S.Wre[K]);
+    Wim[K] = T::fromPoint(S.Wim[K]);
+  }
+  std::vector<int> Rev = S.Rev;
+  Kernel(Re.data(), Im.data(), Wre.data(), Wim.data(), Rev.data(), N);
+  double Min = 1e9;
+  for (int K = 0; K < N; ++K)
+    Min = std::min(Min, Bits(Re[K]));
+  return Min;
+}
+
+double bitsSse(const IntervalSse &I) {
+  return accuracyBits(I.toInterval());
+}
+double bitsDd(const DdIntervalAvx &I) {
+  return accuracyBits(I.toScalar());
+}
+
+void fftRows(int N) {
+  FftSetup S(N);
+  std::vector<double> Re0(N), Im0(N);
+  for (int K = 0; K < N; ++K) {
+    Re0[K] = R.uniform(-1, 1);
+    Im0[K] = R.uniform(-1, 1);
+  }
+  double BitsF64 = fftMinBits<IntervalSse>(sv_fft, N, S, Re0, Im0,
+                                           bitsSse);
+  double BitsDd = fftMinBits<DdIntervalAvx>(svdd_fft, N, S, Re0, Im0,
+                                            bitsDd);
+  // Affine FFT via the templated library kernel.
+  std::vector<AffineForm> ARe(N), AIm(N), AWre(S.Wre.size()),
+      AWim(S.Wim.size());
+  for (int K = 0; K < N; ++K) {
+    ARe[K] = AffineForm::fromInterval(Re0[K], nextUp(Re0[K]));
+    AIm[K] = AffineForm::fromInterval(Im0[K], nextUp(Im0[K]));
+  }
+  for (size_t K = 0; K < S.Wre.size(); ++K) {
+    AWre[K] = AffineForm::fromPoint(S.Wre[K]);
+    AWim[K] = AffineForm::fromPoint(S.Wim[K]);
+  }
+  std::vector<AffineForm> ARe0 = ARe, AIm0 = AIm;
+  fftT<AffineForm>(ARe.data(), AIm.data(), AWre.data(), AWim.data(),
+                   S.Rev.data(), N);
+  double BitsAff = 1e9;
+  for (int K = 0; K < N; ++K)
+    BitsAff = std::min(BitsAff, accuracyBits(ARe[K].toInterval()));
+
+  // Slowdowns.
+  std::vector<double> Re = Re0, Im = Im0, Wre = S.Wre, Wim = S.Wim;
+  std::vector<int> Rev = S.Rev;
+  uint64_t Base;
+  {
+    RoundNearestScope RN;
+    Base = medianCycles([&] {
+      std::memcpy(Re.data(), Re0.data(), N * sizeof(double));
+      std::memcpy(Im.data(), Im0.data(), N * sizeof(double));
+      base_fft(Re.data(), Im.data(), Wre.data(), Wim.data(), Rev.data(),
+               N);
+    });
+  }
+  auto TimeI = [&](auto Kernel, auto Tag) -> uint64_t {
+    using T = std::remove_pointer_t<decltype(Tag)>;
+    std::vector<T> IRe(N), IIm(N), IWre(S.Wre.size()), IWim(S.Wim.size());
+    for (int K = 0; K < N; ++K) {
+      IRe[K] = T::fromEndpoints(Re0[K], nextUp(Re0[K]));
+      IIm[K] = T::fromEndpoints(Im0[K], nextUp(Im0[K]));
+    }
+    for (size_t K = 0; K < S.Wre.size(); ++K) {
+      IWre[K] = T::fromPoint(S.Wre[K]);
+      IWim[K] = T::fromPoint(S.Wim[K]);
+    }
+    std::vector<T> IRe0 = IRe, IIm0 = IIm;
+    return medianCycles([&] {
+      std::memcpy(IRe.data(), IRe0.data(), N * sizeof(T));
+      std::memcpy(IIm.data(), IIm0.data(), N * sizeof(T));
+      Kernel(IRe.data(), IIm.data(), IWre.data(), IWim.data(), Rev.data(),
+             N);
+    });
+  };
+  uint64_t F64 = TimeI(sv_fft, (IntervalSse *)nullptr);
+  uint64_t Ddc = TimeI(svdd_fft, (DdIntervalAvx *)nullptr);
+  uint64_t Aff = medianCycles(
+      [&] {
+        ARe = ARe0;
+        AIm = AIm0;
+        fftT<AffineForm>(ARe.data(), AIm.data(), AWre.data(), AWim.data(),
+                         S.Rev.data(), N);
+      },
+      1);
+  std::printf("table6-fft,%d,accuracy,%.0f,%.0f,%.0f\n", N, BitsF64,
+              BitsDd, BitsAff);
+  std::printf("table6-fft,%d,slowdown,%.1f,%.1f,%.0f\n", N,
+              (double)F64 / Base, (double)Ddc / Base, (double)Aff / Base);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  RoundUpwardScope Up;
+  std::printf("table,size,metric,f64i,ddi,affine\n");
+  for (int Iters : Full ? std::vector<int>{10, 50, 90, 130, 170}
+                        : std::vector<int>{10, 50, 90, 170})
+    henonRows(Iters);
+  for (int N : Full ? std::vector<int>{16, 32, 64, 128, 256}
+                    : std::vector<int>{16, 64})
+    fftRows(N);
+  return 0;
+}

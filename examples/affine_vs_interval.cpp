@@ -1,0 +1,66 @@
+//===- affine_vs_interval.cpp - The dependency problem live --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section VII-C in miniature: iterate the Henon map with (a) plain double
+// intervals, (b) double-double intervals, (c) affine arithmetic, printing
+// the certified bits as the iteration count grows. Intervals suffer the
+// dependency problem; affine forms keep the linear correlations and stay
+// accurate (at much higher cost).
+//
+// Build & run:  ./build/examples/affine_vs_interval
+//
+//===----------------------------------------------------------------------===//
+
+#include "affine/AffineForm.h"
+#include "interval/Accuracy.h"
+#include "interval/igen_lib.h"
+
+#include <cstdio>
+
+int main() {
+  igen::RoundUpwardScope Up;
+  using namespace igen;
+
+  std::printf("Henon map (a=1.05, b=0.3, x0=y0=0): certified bits\n");
+  std::printf("%6s  %10s  %10s  %10s\n", "iters", "f64i", "ddi",
+              "affine");
+
+  Interval IX = Interval::fromPoint(0.0), IY = IX;
+  DdInterval DX = DdInterval::fromPoint(0.0), DY = DX;
+  AffineForm AX = AffineForm::fromPoint(0.0), AY = AX;
+
+  const Interval A64 = Interval::fromPoint(1.05);
+  const Interval B64 = Interval::fromPoint(0.3);
+  const Interval One64 = Interval::fromPoint(1.0);
+  const DdInterval ADd = DdInterval::fromPoint(1.05);
+  const DdInterval BDd = DdInterval::fromPoint(0.3);
+  const DdInterval OneDd = DdInterval::fromPoint(1.0);
+  const AffineForm AAf = AffineForm::fromPoint(1.05);
+  const AffineForm BAf = AffineForm::fromPoint(0.3);
+  const AffineForm OneAf = AffineForm::fromPoint(1.0);
+
+  for (int Iter = 1; Iter <= 120; ++Iter) {
+    Interval XI = IX;
+    IX = iAdd(iSub(One64, iMul(A64, iMul(XI, XI))), IY);
+    IY = iMul(B64, XI);
+    DdInterval XD = DX;
+    DX = ddiAdd(ddiSub(OneDd, ddiMul(ADd, ddiMul(XD, XD))), DY);
+    DY = ddiMul(BDd, XD);
+    AffineForm XA = AX;
+    AX = OneAf - AAf * XA * XA + AY;
+    AY = BAf * XA;
+    if (Iter % 20 == 0 || Iter == 1)
+      std::printf("%6d  %10.1f  %10.1f  %10.1f\n", Iter,
+                  accuracyBits(IX), accuracyBits(DX),
+                  accuracyBits(AX.toInterval()));
+  }
+
+  std::printf("\nplain intervals forget that x and y are correlated; the\n"
+              "affine form carries ~%zu shared noise symbols instead and\n"
+              "its enclosure stays tight (Table VI of the paper).\n",
+              AX.numTerms());
+  return 0;
+}

@@ -1,0 +1,262 @@
+//===- AffineForm.cpp - Sound affine arithmetic -------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "affine/AffineForm.h"
+
+#include "interval/Rounding.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+using namespace igen;
+
+namespace {
+
+std::atomic<uint32_t> NextSymbol{1};
+
+uint32_t freshSymbol() {
+  return NextSymbol.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Upward-rounded |X|.
+double absUp(double X) { return std::fabs(X); }
+
+/// a+b rounded up and the width of its rounding enclosure: the caller
+/// keeps the up value and absorbs the gap.
+struct DirSum {
+  double Up;
+  double Gap; ///< RU(a+b) - RD(a+b) >= |rounding error|
+};
+
+DirSum addDir(double A, double B) {
+  assertRoundUpward();
+  double Up = A + B;
+  double Down = -((-A) - B);
+  return {Up, Up - Down};
+}
+
+DirSum mulDir(double A, double B) {
+  assertRoundUpward();
+  double Up = A * B;
+  double Down = -((-A) * B);
+  return {Up, Up - Down};
+}
+
+} // namespace
+
+void AffineForm::absorb(double Err) {
+  assertRoundUpward();
+  // New error terms become a *fresh noise symbol* rather than symbol-free
+  // slack: a fresh symbol's coefficient propagates linearly (signed)
+  // through later operations, so contracting dynamics (e.g. a stable
+  // Henon orbit) can actually shrink it; symbol-free slack would be
+  // amplified through absolute values only.
+  if (Err > 0.0)
+    Terms.push_back({freshSymbol(), absUp(Err)});
+}
+
+AffineForm AffineForm::fromPoint(double X) {
+  AffineForm F;
+  F.Center = X;
+  return F;
+}
+
+AffineForm AffineForm::fromInterval(double Lo, double Hi) {
+  assertRoundUpward();
+  AffineForm F;
+  double Mid = 0.5 * Lo + 0.5 * Hi; // RU; covered by radius below
+  double RadHi = Hi - Mid;          // RU(hi - mid) >= hi - mid
+  double RadLo = Mid - Lo;          // RU(mid - lo) >= mid - lo
+  double Rad = RadHi > RadLo ? RadHi : RadLo;
+  F.Center = Mid;
+  if (Rad > 0.0)
+    F.Terms.push_back({freshSymbol(), Rad});
+  return F;
+}
+
+double AffineForm::radius() const {
+  assertRoundUpward();
+  double R = Extra;
+  for (const auto &[_, C] : Terms)
+    R = R + absUp(C);
+  return R;
+}
+
+Interval AffineForm::toInterval() const {
+  assertRoundUpward();
+  double R = radius();
+  if (std::isnan(Center) || std::isnan(R))
+    return Interval::nan();
+  // lo = RD(center - rad) = -RU(rad - center); hi = RU(center + rad).
+  return Interval(R - Center, Center + R);
+}
+
+AffineForm AffineForm::operator-() const {
+  AffineForm F = *this;
+  F.Center = -F.Center;
+  for (auto &[_, C] : F.Terms)
+    C = -C;
+  return F;
+}
+
+AffineForm AffineForm::operator+(const AffineForm &O) const {
+  assertRoundUpward();
+  AffineForm F;
+  DirSum C0 = addDir(Center, O.Center);
+  F.Center = C0.Up;
+  F.Extra = Extra + O.Extra;
+  double NewErr = C0.Gap;
+  F.Terms.reserve(Terms.size() + O.Terms.size() + 1);
+  size_t I = 0, J = 0;
+  while (I < Terms.size() || J < O.Terms.size()) {
+    if (J >= O.Terms.size() ||
+        (I < Terms.size() && Terms[I].first < O.Terms[J].first)) {
+      F.Terms.push_back(Terms[I++]);
+    } else if (I >= Terms.size() || O.Terms[J].first < Terms[I].first) {
+      F.Terms.push_back(O.Terms[J++]);
+    } else {
+      DirSum C = addDir(Terms[I].second, O.Terms[J].second);
+      if (C.Up != 0.0)
+        F.Terms.push_back({Terms[I].first, C.Up});
+      NewErr = NewErr + C.Gap;
+      ++I;
+      ++J;
+    }
+  }
+  F.absorb(NewErr);
+  F.condense(AutoCondenseLimit);
+  return F;
+}
+
+AffineForm AffineForm::operator-(const AffineForm &O) const {
+  return *this + (-O);
+}
+
+AffineForm AffineForm::operator*(const AffineForm &O) const {
+  assertRoundUpward();
+  AffineForm F;
+  DirSum C0 = mulDir(Center, O.Center);
+  F.Center = C0.Up;
+  double NewErr = C0.Gap;
+  // Linear terms: x0*yi + y0*xi.
+  size_t I = 0, J = 0;
+  while (I < Terms.size() || J < O.Terms.size()) {
+    uint32_t Sym;
+    double XC = 0.0, YC = 0.0;
+    if (J >= O.Terms.size() ||
+        (I < Terms.size() && Terms[I].first < O.Terms[J].first)) {
+      Sym = Terms[I].first;
+      XC = Terms[I++].second;
+    } else if (I >= Terms.size() || O.Terms[J].first < Terms[I].first) {
+      Sym = O.Terms[J].first;
+      YC = O.Terms[J++].second;
+    } else {
+      Sym = Terms[I].first;
+      XC = Terms[I++].second;
+      YC = O.Terms[J++].second;
+    }
+    DirSum P1 = mulDir(Center, YC);
+    DirSum P2 = mulDir(O.Center, XC);
+    DirSum S = addDir(P1.Up, P2.Up);
+    if (S.Up != 0.0)
+      F.Terms.push_back({Sym, S.Up});
+    NewErr = NewErr + P1.Gap + P2.Gap + S.Gap;
+  }
+  // Nonlinear remainder: rad(x)*rad(y) (the classical conservative
+  // bound), computed upward. Radii exclude the centers.
+  double RX = Extra, RY = O.Extra;
+  for (const auto &[_, C] : Terms)
+    RX = RX + absUp(C);
+  for (const auto &[_, C] : O.Terms)
+    RY = RY + absUp(C);
+  NewErr = NewErr + RX * RY;
+  // The input Extras (uncorrelated slack) scale with the opposite center.
+  NewErr = NewErr + absUp(Center) * O.Extra + absUp(O.Center) * Extra;
+  F.absorb(NewErr);
+  F.condense(AutoCondenseLimit);
+  return F;
+}
+
+AffineForm AffineForm::reciprocal() const {
+  assertRoundUpward();
+  Interval X = toInterval();
+  double Lo = X.lo(), Hi = X.hi();
+  AffineForm F;
+  if (!(Lo > 0.0) && !(Hi < 0.0)) {
+    // 0 inside: unbounded result.
+    F.Center = 0.0;
+    F.Extra = std::numeric_limits<double>::infinity();
+    return F;
+  }
+  // Chebyshev linear approximation of 1/t over [Lo, Hi]:
+  //   alpha = -1/(Lo*Hi); remainder bounded rigorously below with
+  //   interval arithmetic over the candidate extrema.
+  Interval ILo = Interval::fromPoint(Lo), IHi = Interval::fromPoint(Hi);
+  Interval Alpha = iNeg(iDiv(Interval::fromPoint(1.0), iMul(ILo, IHi)));
+  double AlphaMid = Alpha.hi(); // any representative; error bounded below
+  // phi(t) = 1/t - alpha*t at the endpoints and at t* = +-sqrt(Lo*Hi).
+  auto Phi = [&](const Interval &T) {
+    return iSub(iDiv(Interval::fromPoint(1.0), T),
+                iMul(Interval::fromPoint(AlphaMid), T));
+  };
+  Interval PhiLo = Phi(ILo);
+  Interval PhiHi = Phi(IHi);
+  Interval TStar = iSqrt(iMul(iAbs(ILo), iAbs(IHi)));
+  if (Hi < 0.0)
+    TStar = iNeg(TStar);
+  Interval PhiStar = Phi(TStar);
+  Interval PhiRange = iHull(iHull(PhiLo, PhiHi), PhiStar);
+  // beta = midpoint of the phi range; delta covers both sides (computed
+  // upward, so it over-approximates).
+  double Beta = 0.5 * PhiRange.hi() + 0.5 * PhiRange.lo();
+  double DeltaHi = PhiRange.hi() - Beta;
+  double DeltaLo = Beta - PhiRange.lo();
+  double Delta = DeltaHi > DeltaLo ? DeltaHi : DeltaLo;
+  // Result: alpha*x + beta +- delta.
+  DirSum C0 = mulDir(AlphaMid, Center);
+  DirSum C0b = addDir(C0.Up, Beta);
+  F.Center = C0b.Up;
+  double NewErr = Extra * absUp(AlphaMid) + Delta + C0.Gap + C0b.Gap;
+  F.Terms.reserve(Terms.size() + 1);
+  for (const auto &[Sym, C] : Terms) {
+    DirSum P = mulDir(AlphaMid, C);
+    F.Terms.push_back({Sym, P.Up});
+    NewErr = NewErr + P.Gap;
+  }
+  F.absorb(NewErr);
+  return F;
+}
+
+AffineForm AffineForm::operator/(const AffineForm &O) const {
+  return *this * O.reciprocal();
+}
+
+void AffineForm::condense(size_t MaxTerms) {
+  assertRoundUpward();
+  if (Terms.size() <= MaxTerms)
+    return;
+  // Fold the smallest-magnitude coefficients into Extra.
+  std::vector<std::pair<uint32_t, double>> Sorted = Terms;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) {
+              return std::fabs(A.second) < std::fabs(B.second);
+            });
+  size_t ToFold = Terms.size() - MaxTerms / 2;
+  std::vector<uint32_t> FoldIds;
+  FoldIds.reserve(ToFold);
+  for (size_t I = 0; I < ToFold; ++I) {
+    Extra = Extra + absUp(Sorted[I].second);
+    FoldIds.push_back(Sorted[I].first);
+  }
+  std::sort(FoldIds.begin(), FoldIds.end());
+  std::vector<std::pair<uint32_t, double>> Kept;
+  Kept.reserve(Terms.size() - ToFold);
+  for (const auto &T : Terms)
+    if (!std::binary_search(FoldIds.begin(), FoldIds.end(), T.first))
+      Kept.push_back(T);
+  Terms = std::move(Kept);
+}

@@ -1,0 +1,94 @@
+//===- AffineForm.h - Sound affine arithmetic -------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine arithmetic (de Figueiredo-Stolfi) with sound floating-point
+/// error accounting -- the YalAA substitute for the comparison in
+/// Section VII-C. A value is represented as
+///
+///   x = x0 + sum_i xi * eps_i  (+/- Extra),   eps_i in [-1, 1]
+///
+/// where the eps_i are shared noise symbols (preserving linear
+/// correlations between variables, which plain intervals lose) and Extra
+/// is a symbol-free error radius absorbing rounding errors, nonlinear
+/// remainders and condensed terms.
+///
+/// Soundness: every coefficient is computed with upward rounding and the
+/// gap to the downward-rounded value is added to Extra, so the concretized
+/// interval always contains the exact real result. Verified against the
+/// interval core and long-double references in AffineTest.
+///
+/// Operations must run inside a RoundUpwardScope (like the interval core).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_AFFINE_AFFINEFORM_H
+#define IGEN_AFFINE_AFFINEFORM_H
+
+#include "interval/Interval.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace igen {
+
+class AffineForm {
+public:
+  AffineForm() = default;
+
+  /// The exact point \p X (no noise symbols).
+  static AffineForm fromPoint(double X);
+
+  /// A fresh independent value ranging over [Lo, Hi] (one new symbol).
+  static AffineForm fromInterval(double Lo, double Hi);
+
+  /// A fresh value covering the interval \p I.
+  static AffineForm fromInterval(const Interval &I) {
+    return fromInterval(I.lo(), I.hi());
+  }
+
+  /// Concretization: the interval [x0 - rad, x0 + rad], outward rounded.
+  Interval toInterval() const;
+
+  /// Total deviation radius (sum of |coefficients| plus Extra), an upper
+  /// bound.
+  double radius() const;
+
+  double center() const { return Center; }
+  size_t numTerms() const { return Terms.size(); }
+
+  AffineForm operator-() const;
+  AffineForm operator+(const AffineForm &O) const;
+  AffineForm operator-(const AffineForm &O) const;
+  AffineForm operator*(const AffineForm &O) const;
+  AffineForm operator/(const AffineForm &O) const;
+
+  /// 1/x via a Chebyshev linear approximation with a rigorously bounded
+  /// remainder; requires 0 outside the concretization (otherwise the
+  /// result is the unbounded form).
+  AffineForm reciprocal() const;
+
+  /// Folds the smallest-magnitude terms into Extra until at most
+  /// \p MaxTerms noise symbols remain (Kashiwagi-style reduction).
+  void condense(size_t MaxTerms);
+
+  /// Maximum number of noise symbols before ops condense automatically.
+  static constexpr size_t AutoCondenseLimit = 96;
+
+private:
+  /// Adds |Err| (an upper bound of an absolute error) to Extra.
+  void absorb(double Err);
+
+  double Center = 0.0;
+  double Extra = 0.0; ///< symbol-free radius, >= 0
+  /// (symbol id, coefficient), ascending by id.
+  std::vector<std::pair<uint32_t, double>> Terms;
+};
+
+} // namespace igen
+
+#endif // IGEN_AFFINE_AFFINEFORM_H

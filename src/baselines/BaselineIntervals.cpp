@@ -1,0 +1,58 @@
+//===- BaselineIntervals.cpp - Precompiled Gaol-style operations -------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Gaol-like interval's operations live here, out of line and noipa:
+// the compiler cannot inline them into kernels, exactly like linking a
+// prebuilt interval library (the paper's explanation for Gaol's lower
+// performance in Fig. 8).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BaselineIntervals.h"
+
+#include "interval/IntervalSimd.h"
+
+using namespace igen;
+
+#define IGEN_PRECOMPILED __attribute__((noipa))
+
+IGEN_PRECOMPILED GaolLikeInterval igen::operator+(const GaolLikeInterval &A,
+                                                  const GaolLikeInterval &B) {
+  return GaolLikeInterval(_mm_add_pd(A.V, B.V));
+}
+
+IGEN_PRECOMPILED GaolLikeInterval igen::operator-(const GaolLikeInterval &A,
+                                                  const GaolLikeInterval &B) {
+  return GaolLikeInterval(
+      _mm_add_pd(A.V, _mm_shuffle_pd(B.V, B.V, 1)));
+}
+
+IGEN_PRECOMPILED GaolLikeInterval igen::operator*(const GaolLikeInterval &A,
+                                                  const GaolLikeInterval &B) {
+  IntervalSse R = iMul(IntervalSse(A.V), IntervalSse(B.V));
+  return GaolLikeInterval(R.V);
+}
+
+IGEN_PRECOMPILED GaolLikeInterval igen::operator/(const GaolLikeInterval &A,
+                                                  const GaolLikeInterval &B) {
+  IntervalSse R = iDiv(IntervalSse(A.V), IntervalSse(B.V));
+  return GaolLikeInterval(R.V);
+}
+
+IGEN_PRECOMPILED GaolLikeInterval
+GaolLikeInterval::sqrtI(const GaolLikeInterval &A) {
+  IntervalSse R = iSqrt(IntervalSse(A.V));
+  return GaolLikeInterval(R.V);
+}
+
+IGEN_PRECOMPILED GaolLikeInterval
+GaolLikeInterval::maxI(const GaolLikeInterval &A, const GaolLikeInterval &B) {
+  // max over the represented sets: lo' = max(lo) (== min of the negated
+  // lane), hi' = max(hi). Lane-wise min/max + recombine.
+  __m128d Mn = _mm_min_pd(A.V, B.V);
+  __m128d Mx = _mm_max_pd(A.V, B.V);
+  return GaolLikeInterval(_mm_shuffle_pd(Mn, Mx, 2));
+}

@@ -1,0 +1,299 @@
+//===- BaselineIntervals.h - Library-style interval baselines ---*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementations of the *design points* of the interval libraries the
+/// paper compares against (Section VII, Fig. 8). What the evaluation
+/// contrasts is not those libraries' exact code but their architectural
+/// choices; each type below embodies one of them (see DESIGN.md
+/// substitution 5):
+///
+///  * BoostLikeInterval -- header-only scalar (lo, hi) pairs, upward
+///    rounding with the negation trick, multiplication via the classical
+///    9-case sign specialization (branchy).
+///  * FilibLikeInterval -- scalar pairs with a different sign-dispatch
+///    structure (nested tests per operand, as in FILIB++'s macro
+///    expansion); also branchy but tighter case bodies.
+///  * GaolLikeInterval -- intervals in SSE registers like IGen-sv, but all
+///    operations are *precompiled* out-of-line functions (no inlining
+///    across the library boundary), which is how Gaol ships.
+///
+/// All three are sound (verified against the igen interval core in
+/// BaselineTest) and use upward rounding only, i.e. each library's
+/// "fastest sound configuration" as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_BASELINES_BASELINEINTERVALS_H
+#define IGEN_BASELINES_BASELINEINTERVALS_H
+
+#include "interval/Rounding.h"
+#include "interval/Ulp.h"
+
+#include <cmath>
+#include <immintrin.h>
+#include <limits>
+
+namespace igen {
+
+//===----------------------------------------------------------------------===//
+// BoostLikeInterval
+//===----------------------------------------------------------------------===//
+
+/// Scalar (lo, hi) interval with sign-case multiplication, header-only.
+struct BoostLikeInterval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+
+  BoostLikeInterval() = default;
+  BoostLikeInterval(double Lo, double Hi) : Lo(Lo), Hi(Hi) {}
+  static BoostLikeInterval fromPoint(double X) {
+    return BoostLikeInterval(X, X);
+  }
+  static BoostLikeInterval fromEndpoints(double Lo, double Hi) {
+    return BoostLikeInterval(Lo, Hi);
+  }
+
+  bool contains(double X) const { return Lo <= X && X <= Hi; }
+
+  /// RU is active; RD via the negation identity.
+  friend BoostLikeInterval operator+(const BoostLikeInterval &A,
+                                     const BoostLikeInterval &B) {
+    return BoostLikeInterval(-((-A.Lo) - B.Lo), A.Hi + B.Hi);
+  }
+  friend BoostLikeInterval operator-(const BoostLikeInterval &A,
+                                     const BoostLikeInterval &B) {
+    return BoostLikeInterval(-(B.Hi - A.Lo), A.Hi - B.Lo);
+  }
+
+  /// Classical 9-case multiplication (P*P, P*M, P*N, M*P, ...).
+  friend BoostLikeInterval operator*(const BoostLikeInterval &A,
+                                     const BoostLikeInterval &B) {
+    const double AL = A.Lo, AH = A.Hi, BL = B.Lo, BH = B.Hi;
+    auto MulDown = [](double X, double Y) { return -((-X) * Y); };
+    if (AL >= 0) {
+      if (BL >= 0) // P * P
+        return BoostLikeInterval(MulDown(AL, BL), AH * BH);
+      if (BH <= 0) // P * N
+        return BoostLikeInterval(MulDown(AH, BL), AL * BH);
+      // P * M
+      return BoostLikeInterval(MulDown(AH, BL), AH * BH);
+    }
+    if (AH <= 0) {
+      if (BL >= 0) // N * P
+        return BoostLikeInterval(MulDown(AL, BH), AH * BL);
+      if (BH <= 0) // N * N
+        return BoostLikeInterval(MulDown(AH, BH), AL * BL);
+      // N * M
+      return BoostLikeInterval(MulDown(AL, BH), AL * BL);
+    }
+    if (BL >= 0) // M * P
+      return BoostLikeInterval(MulDown(AL, BH), AH * BH);
+    if (BH <= 0) // M * N
+      return BoostLikeInterval(MulDown(AH, BL), AL * BL);
+    // M * M: two candidates per endpoint.
+    double L1 = MulDown(AL, BH), L2 = MulDown(AH, BL);
+    double H1 = AL * BL, H2 = AH * BH;
+    return BoostLikeInterval(L1 < L2 ? L1 : L2, H1 > H2 ? H1 : H2);
+  }
+
+  friend BoostLikeInterval operator/(const BoostLikeInterval &A,
+                                     const BoostLikeInterval &B) {
+    if (B.Lo <= 0 && B.Hi >= 0) {
+      double Inf = std::numeric_limits<double>::infinity();
+      return BoostLikeInterval(-Inf, Inf);
+    }
+    auto DivDown = [](double X, double Y) { return -((-X) / Y); };
+    const double AL = A.Lo, AH = A.Hi, BL = B.Lo, BH = B.Hi;
+    if (BL > 0) {
+      if (AL >= 0)
+        return BoostLikeInterval(DivDown(AL, BH), AH / BL);
+      if (AH <= 0)
+        return BoostLikeInterval(DivDown(AL, BL), AH / BH);
+      return BoostLikeInterval(DivDown(AL, BL), AH / BL);
+    }
+    if (AL >= 0)
+      return BoostLikeInterval(DivDown(AH, BH), AL / BL);
+    if (AH <= 0)
+      return BoostLikeInterval(DivDown(AH, BL), AL / BH);
+    return BoostLikeInterval(DivDown(AH, BH), AL / BH);
+  }
+
+  static BoostLikeInterval sqrtI(const BoostLikeInterval &A) {
+    double Lo = A.Lo <= 0 ? 0.0 : nextDown(std::sqrt(A.Lo));
+    // sqrt under RU rounds up; nextDown gives a (possibly 1-ulp sloppy)
+    // sound lower bound, matching library practice.
+    return BoostLikeInterval(Lo, std::sqrt(A.Hi));
+  }
+
+  static BoostLikeInterval maxI(const BoostLikeInterval &A,
+                                const BoostLikeInterval &B) {
+    return BoostLikeInterval(A.Lo > B.Lo ? A.Lo : B.Lo,
+                             A.Hi > B.Hi ? A.Hi : B.Hi);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// FilibLikeInterval
+//===----------------------------------------------------------------------===//
+
+/// Scalar pairs with FILIB-style nested sign dispatch.
+struct FilibLikeInterval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+
+  FilibLikeInterval() = default;
+  FilibLikeInterval(double Lo, double Hi) : Lo(Lo), Hi(Hi) {}
+  static FilibLikeInterval fromPoint(double X) {
+    return FilibLikeInterval(X, X);
+  }
+  static FilibLikeInterval fromEndpoints(double Lo, double Hi) {
+    return FilibLikeInterval(Lo, Hi);
+  }
+
+  bool contains(double X) const { return Lo <= X && X <= Hi; }
+
+  friend FilibLikeInterval operator+(const FilibLikeInterval &A,
+                                     const FilibLikeInterval &B) {
+    return FilibLikeInterval(-((-A.Lo) - B.Lo), A.Hi + B.Hi);
+  }
+  friend FilibLikeInterval operator-(const FilibLikeInterval &A,
+                                     const FilibLikeInterval &B) {
+    return FilibLikeInterval(-(B.Hi - A.Lo), A.Hi - B.Lo);
+  }
+
+  /// FILIB dispatches per operand: first on A's sign class, then B's.
+  friend FilibLikeInterval operator*(const FilibLikeInterval &A,
+                                     const FilibLikeInterval &B) {
+    auto MD = [](double X, double Y) { return -((-X) * Y); };
+    double L, H;
+    if (A.Hi <= 0) {
+      if (B.Hi <= 0) {
+        L = MD(A.Hi, B.Hi);
+        H = A.Lo * B.Lo;
+      } else if (B.Lo >= 0) {
+        L = MD(A.Lo, B.Hi);
+        H = A.Hi * B.Lo;
+      } else {
+        L = MD(A.Lo, B.Hi);
+        H = A.Lo * B.Lo;
+      }
+    } else if (A.Lo >= 0) {
+      if (B.Hi <= 0) {
+        L = MD(A.Hi, B.Lo);
+        H = A.Lo * B.Hi;
+      } else if (B.Lo >= 0) {
+        L = MD(A.Lo, B.Lo);
+        H = A.Hi * B.Hi;
+      } else {
+        L = MD(A.Hi, B.Lo);
+        H = A.Hi * B.Hi;
+      }
+    } else {
+      if (B.Hi <= 0) {
+        L = MD(A.Hi, B.Lo);
+        H = A.Lo * B.Lo;
+      } else if (B.Lo >= 0) {
+        L = MD(A.Lo, B.Hi);
+        H = A.Hi * B.Hi;
+      } else {
+        double L1 = MD(A.Lo, B.Hi), L2 = MD(A.Hi, B.Lo);
+        double H1 = A.Lo * B.Lo, H2 = A.Hi * B.Hi;
+        L = L1 < L2 ? L1 : L2;
+        H = H1 > H2 ? H1 : H2;
+      }
+    }
+    return FilibLikeInterval(L, H);
+  }
+
+  friend FilibLikeInterval operator/(const FilibLikeInterval &A,
+                                     const FilibLikeInterval &B) {
+    if (B.Lo <= 0 && B.Hi >= 0) {
+      double Inf = std::numeric_limits<double>::infinity();
+      return FilibLikeInterval(-Inf, Inf);
+    }
+    FilibLikeInterval Inv(-((-1.0) / B.Lo), 1.0 / B.Lo);
+    // Tight endpoint-wise division via the sign classes.
+    auto DD = [](double X, double Y) { return -((-X) / Y); };
+    double L, H;
+    if (B.Lo > 0) {
+      L = A.Lo >= 0 ? DD(A.Lo, B.Hi) : DD(A.Lo, B.Lo);
+      H = A.Hi >= 0 ? A.Hi / B.Lo : A.Hi / B.Hi;
+    } else {
+      L = A.Hi >= 0 ? DD(A.Hi, B.Hi) : DD(A.Hi, B.Lo);
+      H = A.Lo >= 0 ? A.Lo / B.Lo : A.Lo / B.Hi;
+    }
+    (void)Inv;
+    return FilibLikeInterval(L, H);
+  }
+
+  static FilibLikeInterval sqrtI(const FilibLikeInterval &A) {
+    double Lo = A.Lo <= 0 ? 0.0 : nextDown(std::sqrt(A.Lo));
+    return FilibLikeInterval(Lo, std::sqrt(A.Hi));
+  }
+
+  static FilibLikeInterval maxI(const FilibLikeInterval &A,
+                                const FilibLikeInterval &B) {
+    return FilibLikeInterval(A.Lo > B.Lo ? A.Lo : B.Lo,
+                             A.Hi > B.Hi ? A.Hi : B.Hi);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// GaolLikeInterval
+//===----------------------------------------------------------------------===//
+
+/// Interval in an SSE register like IGen-sv, but every operation is a
+/// precompiled out-of-line call (defined in BaselineIntervals.cpp with
+/// noinline): models linking against a prebuilt library.
+struct GaolLikeInterval {
+  __m128d V; ///< [ -lo | hi ]
+
+  GaolLikeInterval() : V(_mm_setzero_pd()) {}
+  explicit GaolLikeInterval(__m128d V) : V(V) {}
+  GaolLikeInterval(double Lo, double Hi) : V(_mm_set_pd(Hi, -Lo)) {}
+  static GaolLikeInterval fromPoint(double X) {
+    return GaolLikeInterval(X, X);
+  }
+  static GaolLikeInterval fromEndpoints(double Lo, double Hi) {
+    return GaolLikeInterval(Lo, Hi);
+  }
+
+  double lo() const { return -_mm_cvtsd_f64(V); }
+  double hi() const { return _mm_cvtsd_f64(_mm_unpackhi_pd(V, V)); }
+  bool contains(double X) const { return lo() <= X && X <= Hi_(); }
+
+  friend GaolLikeInterval operator+(const GaolLikeInterval &A,
+                                    const GaolLikeInterval &B);
+  friend GaolLikeInterval operator-(const GaolLikeInterval &A,
+                                    const GaolLikeInterval &B);
+  friend GaolLikeInterval operator*(const GaolLikeInterval &A,
+                                    const GaolLikeInterval &B);
+  friend GaolLikeInterval operator/(const GaolLikeInterval &A,
+                                    const GaolLikeInterval &B);
+  static GaolLikeInterval sqrtI(const GaolLikeInterval &A);
+  static GaolLikeInterval maxI(const GaolLikeInterval &A,
+                               const GaolLikeInterval &B);
+
+private:
+  double Hi_() const { return hi(); }
+};
+
+/// Out-of-line (precompiled) Gaol-style operators; the friend
+/// declarations inside the class do not introduce namespace-scope names,
+/// so declare them here for the definitions in BaselineIntervals.cpp.
+GaolLikeInterval operator+(const GaolLikeInterval &A,
+                           const GaolLikeInterval &B);
+GaolLikeInterval operator-(const GaolLikeInterval &A,
+                           const GaolLikeInterval &B);
+GaolLikeInterval operator*(const GaolLikeInterval &A,
+                           const GaolLikeInterval &B);
+GaolLikeInterval operator/(const GaolLikeInterval &A,
+                           const GaolLikeInterval &B);
+
+} // namespace igen
+
+#endif // IGEN_BASELINES_BASELINEINTERVALS_H

@@ -1,0 +1,187 @@
+//===- main.cpp - The igen command-line driver --------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: igen [options] input.c -o igen_input.c
+//
+// Translates a C function using floating-point (possibly with Intel SIMD
+// intrinsics) into an equivalent sound C function using interval
+// arithmetic (Fig. 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTDumper.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "support/StringExtras.h"
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace igen;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: igen [options] <input.c>\n"
+      "\n"
+      "Translates floating-point C code into sound interval C code.\n"
+      "\n"
+      "options:\n"
+      "  -o <file>             output file (default: igen_<input>)\n"
+      "  --precision=<p>       interval endpoint precision: 'double'\n"
+      "                        (default) or 'dd' (double-double,\n"
+      "                        Section VI-A)\n"
+      "  --target=<t>          'sv' (default): intervals in SIMD\n"
+      "                        registers; 'ss': scalar intervals\n"
+      "  --reductions          enable the reduction accuracy\n"
+      "                        transformation (Section VI-B)\n"
+      "  --branch=<policy>     'exception' (default): unknown branch\n"
+      "                        conditions signal; 'join': compute both\n"
+      "                        branches and join when safe\n"
+      "  --runtime-header=<h>  header providing the ia_* runtime\n"
+      "                        (default: interval/igen_lib.h)\n"
+      "  --dump-ast            print the type-checked AST instead of\n"
+      "                        translating\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string InputPath;
+  std::string OutputPath;
+  TransformOptions Opts;
+  bool DumpAst = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "-o") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "igen: error: -o requires an argument\n");
+        return 1;
+      }
+      OutputPath = Argv[I];
+      continue;
+    }
+    if (startsWith(Arg, "--precision=")) {
+      std::string Value = Arg.substr(12);
+      if (Value == "double")
+        Opts.Prec = TransformOptions::Precision::Double;
+      else if (Value == "dd" || Value == "double-double")
+        Opts.Prec = TransformOptions::Precision::DoubleDouble;
+      else {
+        std::fprintf(stderr, "igen: error: unknown precision '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (startsWith(Arg, "--target=")) {
+      std::string Value = Arg.substr(9);
+      if (Value == "ss")
+        Opts.ScalarLibrary = true;
+      else if (Value == "sv" || Value == "vv")
+        Opts.ScalarLibrary = false;
+      else {
+        std::fprintf(stderr, "igen: error: unknown target '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--reductions") {
+      Opts.EnableReductions = true;
+      continue;
+    }
+    if (Arg == "--dump-ast") {
+      DumpAst = true;
+      continue;
+    }
+    if (startsWith(Arg, "--branch=")) {
+      std::string Value = Arg.substr(9);
+      if (Value == "exception")
+        Opts.Branches = TransformOptions::BranchPolicy::Exception;
+      else if (Value == "join")
+        Opts.Branches = TransformOptions::BranchPolicy::Join;
+      else {
+        std::fprintf(stderr, "igen: error: unknown branch policy '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (startsWith(Arg, "--runtime-header=")) {
+      Opts.RuntimeHeader = Arg.substr(17);
+      continue;
+    }
+    if (startsWith(Arg, "-")) {
+      std::fprintf(stderr, "igen: error: unknown option '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return 1;
+    }
+    if (!InputPath.empty()) {
+      std::fprintf(stderr, "igen: error: multiple input files\n");
+      return 1;
+    }
+    InputPath = Arg;
+  }
+
+  if (InputPath.empty()) {
+    printUsage();
+    return 1;
+  }
+  if (OutputPath.empty()) {
+    size_t Slash = InputPath.find_last_of('/');
+    std::string Dir =
+        Slash == std::string::npos ? "" : InputPath.substr(0, Slash + 1);
+    std::string Base =
+        Slash == std::string::npos ? InputPath : InputPath.substr(Slash + 1);
+    OutputPath = Dir + "igen_" + Base;
+  }
+
+  std::string Source;
+  if (!readFile(InputPath, Source)) {
+    std::fprintf(stderr, "igen: error: cannot read '%s'\n",
+                 InputPath.c_str());
+    return 1;
+  }
+
+  DiagnosticsEngine Diags;
+  if (DumpAst) {
+    ASTContext Ctx;
+    Parser P(Source, Ctx, Diags);
+    bool Parsed = P.parseTranslationUnit();
+    if (Parsed) {
+      Sema S(Ctx, Diags);
+      S.run(); // annotate types; dump even with sema errors
+    }
+    std::fputs(Diags.render(InputPath).c_str(), stderr);
+    if (!Parsed)
+      return 1;
+    std::fputs(dumpAST(Ctx.TU).c_str(), stdout);
+    return Diags.hasErrors() ? 1 : 0;
+  }
+  std::optional<std::string> Output =
+      compileToIntervals(Source, Opts, Diags);
+  std::fputs(Diags.render(InputPath).c_str(), stderr);
+  if (!Output)
+    return 1;
+
+  if (!writeFile(OutputPath, *Output)) {
+    std::fprintf(stderr, "igen: error: cannot write '%s'\n",
+                 OutputPath.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,270 @@
+//===- ASTDumper.cpp - Human-readable AST dumps ------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTDumper.h"
+
+#include "support/StringExtras.h"
+
+using namespace igen;
+
+namespace {
+
+std::string pad(int Indent) { return std::string(Indent * 2, ' '); }
+
+std::string typeSuffix(const Expr *E) {
+  if (!E->type())
+    return "";
+  return " '" + E->type()->cName() + "'";
+}
+
+const char *unaryOpName(UnaryExpr::Op O) {
+  switch (O) {
+  case UnaryExpr::Op::Neg:
+    return "-";
+  case UnaryExpr::Op::Plus:
+    return "+";
+  case UnaryExpr::Op::LogicalNot:
+    return "!";
+  case UnaryExpr::Op::BitNot:
+    return "~";
+  case UnaryExpr::Op::PreInc:
+    return "pre++";
+  case UnaryExpr::Op::PreDec:
+    return "pre--";
+  case UnaryExpr::Op::PostInc:
+    return "post++";
+  case UnaryExpr::Op::PostDec:
+    return "post--";
+  case UnaryExpr::Op::Deref:
+    return "*";
+  case UnaryExpr::Op::AddrOf:
+    return "&";
+  }
+  return "?";
+}
+
+const char *binaryOpName(BinaryExpr::Op O) {
+  switch (O) {
+  case BinaryExpr::Op::Add:
+    return "+";
+  case BinaryExpr::Op::Sub:
+    return "-";
+  case BinaryExpr::Op::Mul:
+    return "*";
+  case BinaryExpr::Op::Div:
+    return "/";
+  case BinaryExpr::Op::Rem:
+    return "%";
+  case BinaryExpr::Op::Shl:
+    return "<<";
+  case BinaryExpr::Op::Shr:
+    return ">>";
+  case BinaryExpr::Op::BitAnd:
+    return "&";
+  case BinaryExpr::Op::BitOr:
+    return "|";
+  case BinaryExpr::Op::BitXor:
+    return "^";
+  case BinaryExpr::Op::LT:
+    return "<";
+  case BinaryExpr::Op::GT:
+    return ">";
+  case BinaryExpr::Op::LE:
+    return "<=";
+  case BinaryExpr::Op::GE:
+    return ">=";
+  case BinaryExpr::Op::EQ:
+    return "==";
+  case BinaryExpr::Op::NE:
+    return "!=";
+  case BinaryExpr::Op::LAnd:
+    return "&&";
+  case BinaryExpr::Op::LOr:
+    return "||";
+  case BinaryExpr::Op::Assign:
+    return "=";
+  case BinaryExpr::Op::AddAssign:
+    return "+=";
+  case BinaryExpr::Op::SubAssign:
+    return "-=";
+  case BinaryExpr::Op::MulAssign:
+    return "*=";
+  case BinaryExpr::Op::DivAssign:
+    return "/=";
+  }
+  return "?";
+}
+
+std::string dumpVarDecl(const VarDecl *D, int Indent) {
+  std::string Out = pad(Indent) + (D->IsParam ? "ParamDecl " : "VarDecl ") +
+                    D->Name + " '" + D->Ty->cName() + "'";
+  if (D->HasTolerance)
+    Out += formatString(" tolerance=%g", D->Tolerance);
+  Out += "\n";
+  if (D->Init)
+    Out += dumpExpr(D->Init, Indent + 1);
+  return Out;
+}
+
+} // namespace
+
+std::string igen::dumpExpr(const Expr *E, int Indent) {
+  std::string Out = pad(Indent);
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    Out += formatString("IntLiteral %lld",
+                        cast<IntLiteralExpr>(E)->Value) +
+           typeSuffix(E) + "\n";
+    return Out;
+  case Expr::Kind::FloatLiteral: {
+    const auto *F = cast<FloatLiteralExpr>(E);
+    Out += "FloatLiteral " + F->Spelling;
+    if (F->IsTolerance)
+      Out += " (tolerance)";
+    Out += typeSuffix(E) + "\n";
+    return Out;
+  }
+  case Expr::Kind::DeclRef:
+    Out += "DeclRefExpr " + cast<DeclRefExpr>(E)->Name + typeSuffix(E) +
+           "\n";
+    return Out;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Out += std::string("UnaryExpr '") + unaryOpName(U->O) + "'" +
+           typeSuffix(E) + "\n";
+    return Out + dumpExpr(U->Sub, Indent + 1);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Out += std::string("BinaryExpr '") + binaryOpName(B->O) + "'" +
+           typeSuffix(E) + "\n";
+    return Out + dumpExpr(B->LHS, Indent + 1) +
+           dumpExpr(B->RHS, Indent + 1);
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    Out += "ConditionalExpr" + typeSuffix(E) + "\n";
+    return Out + dumpExpr(C->Cond, Indent + 1) +
+           dumpExpr(C->Then, Indent + 1) + dumpExpr(C->Else, Indent + 1);
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Out += "CallExpr " + C->Callee + typeSuffix(E) + "\n";
+    for (const Expr *Arg : C->Args)
+      Out += dumpExpr(Arg, Indent + 1);
+    return Out;
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    Out += "IndexExpr" + typeSuffix(E) + "\n";
+    return Out + dumpExpr(I->Base, Indent + 1) +
+           dumpExpr(I->Idx, Indent + 1);
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    Out += "CastExpr to '" + C->To->cName() + "'" + typeSuffix(E) + "\n";
+    return Out + dumpExpr(C->Sub, Indent + 1);
+  }
+  case Expr::Kind::Paren:
+    Out += "ParenExpr" + typeSuffix(E) + "\n";
+    return Out + dumpExpr(cast<ParenExpr>(E)->Sub, Indent + 1);
+  }
+  return Out + "?\n";
+}
+
+std::string igen::dumpStmt(const Stmt *S, int Indent) {
+  std::string Out = pad(Indent);
+  switch (S->kind()) {
+  case Stmt::Kind::Compound: {
+    Out += "CompoundStmt\n";
+    for (const Stmt *Child : cast<CompoundStmt>(S)->Body)
+      Out += dumpStmt(Child, Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::DeclStmt: {
+    Out += "DeclStmt\n";
+    for (const VarDecl *D : cast<DeclStmt>(S)->Decls)
+      Out += dumpVarDecl(D, Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::ExprStmt:
+    Out += "ExprStmt\n";
+    return Out + dumpExpr(cast<ExprStmt>(S)->E, Indent + 1);
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    Out += "IfStmt\n";
+    Out += dumpExpr(If->Cond, Indent + 1);
+    Out += dumpStmt(If->Then, Indent + 1);
+    if (If->Else)
+      Out += dumpStmt(If->Else, Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::For: {
+    const auto *For = cast<ForStmt>(S);
+    Out += "ForStmt";
+    if (!For->ReduceVars.empty()) {
+      Out += " reduce(";
+      for (size_t I = 0; I < For->ReduceVars.size(); ++I)
+        Out += (I ? " " : "") + For->ReduceVars[I];
+      Out += ")";
+    }
+    Out += "\n";
+    if (For->Init)
+      Out += dumpStmt(For->Init, Indent + 1);
+    if (For->Cond)
+      Out += dumpExpr(For->Cond, Indent + 1);
+    if (For->Inc)
+      Out += dumpExpr(For->Inc, Indent + 1);
+    return Out + dumpStmt(For->Body, Indent + 1);
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    Out += "WhileStmt\n";
+    return Out + dumpExpr(W->Cond, Indent + 1) +
+           dumpStmt(W->Body, Indent + 1);
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    Out += "DoStmt\n";
+    return Out + dumpStmt(D->Body, Indent + 1) +
+           dumpExpr(D->Cond, Indent + 1);
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    Out += "ReturnStmt\n";
+    if (R->Value)
+      Out += dumpExpr(R->Value, Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::Break:
+    return Out + "BreakStmt\n";
+  case Stmt::Kind::Continue:
+    return Out + "ContinueStmt\n";
+  case Stmt::Kind::Null:
+    return Out + "NullStmt\n";
+  }
+  return Out + "?\n";
+}
+
+std::string igen::dumpAST(const TranslationUnit &TU) {
+  std::string Out;
+  for (const TopLevelItem &Item : TU.Items) {
+    if (!Item.Function) {
+      Out += "Directive " + Item.Directive + "\n";
+      continue;
+    }
+    const FunctionDecl *F = Item.Function;
+    Out += "FunctionDecl " + F->Name + " ret='" + F->RetTy->cName() + "'";
+    if (!F->Body)
+      Out += " (prototype)";
+    Out += "\n";
+    for (const VarDecl *P : F->Params)
+      Out += dumpVarDecl(P, 1);
+    if (F->Body)
+      Out += dumpStmt(F->Body, 1);
+  }
+  return Out;
+}

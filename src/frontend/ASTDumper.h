@@ -1,0 +1,34 @@
+//===- ASTDumper.h - Human-readable AST dumps -------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Produces an indented textual dump of the AST (in the spirit of
+/// `clang -ast-dump`), used by `igen --dump-ast` and by tests that assert
+/// on tree structure rather than emitted C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_FRONTEND_ASTDUMPER_H
+#define IGEN_FRONTEND_ASTDUMPER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace igen {
+
+/// Dumps the whole translation unit. Types are printed when Sema has run.
+std::string dumpAST(const TranslationUnit &TU);
+
+/// Dumps a single expression subtree (one line per node).
+std::string dumpExpr(const Expr *E, int Indent = 0);
+
+/// Dumps a statement subtree.
+std::string dumpStmt(const Stmt *S, int Indent = 0);
+
+} // namespace igen
+
+#endif // IGEN_FRONTEND_ASTDUMPER_H

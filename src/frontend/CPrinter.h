@@ -1,0 +1,57 @@
+//===- CPrinter.h - AST-to-C pretty printer ---------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints the AST back to compilable C. Used by frontend tests (parse /
+/// print round trips) and as the statement-structure backbone of the
+/// interval transformer, which overrides expression and declaration
+/// emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_FRONTEND_CPRINTER_H
+#define IGEN_FRONTEND_CPRINTER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace igen {
+
+class CPrinter {
+public:
+  virtual ~CPrinter() = default;
+
+  /// Prints the whole translation unit.
+  std::string print(const TranslationUnit &TU);
+
+  /// Prints a single function definition or prototype.
+  void printFunction(const FunctionDecl *F);
+
+  /// Prints one statement at the current indentation.
+  void printStmt(const Stmt *S);
+
+  /// Returns the printed expression.
+  virtual std::string exprToString(const Expr *E);
+
+protected:
+  /// Emission hooks the transformer overrides.
+  virtual std::string declToString(const VarDecl *D);
+  virtual std::string functionHeader(const FunctionDecl *F);
+  /// Emits a raw line at the current indentation.
+  void line(const std::string &Text);
+  void append(const std::string &Text) { Out += Text; }
+  std::string indentStr() const { return std::string(Indent * 2, ' '); }
+
+  std::string typeAndName(const Type *Ty, const std::string &Name) const;
+
+  std::string Out;
+  int Indent = 0;
+};
+
+} // namespace igen
+
+#endif // IGEN_FRONTEND_CPRINTER_H

@@ -1,0 +1,448 @@
+//===- Lexer.cpp - Lexer for the C subset -----------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace igen;
+
+const char *igen::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntegerLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "floating-point literal";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwShort:
+    return "'short'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwSigned:
+    return "'signed'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Exclaim:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::ExclaimEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Period:
+    return "'.'";
+  case TokenKind::PragmaIgen:
+    return "'#pragma igen'";
+  case TokenKind::PassthroughDirective:
+    return "preprocessor directive";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticsEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+SourceLoc Lexer::currentLoc() const {
+  return SourceLoc{static_cast<uint32_t>(Pos), Line, Col};
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+    AtLineStart = true;
+  } else {
+    ++Col;
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      AtLineStart = false;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Source.size()) {
+        advance();
+        advance();
+      } else {
+        Diags.error(currentLoc(), "unterminated block comment");
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexDirective(SourceLoc Loc) {
+  // Consume to end of line (no continuation lines in the subset).
+  size_t Begin = Pos - 1; // at '#'
+  while (Pos < Source.size() && peek() != '\n')
+    advance();
+  std::string_view Text = Source.substr(Begin, Pos - Begin);
+  Token T;
+  T.Loc = Loc;
+  std::string_view Trimmed = trim(Text);
+  if (startsWith(Trimmed, "#pragma")) {
+    std::string_view Rest = trim(Trimmed.substr(7));
+    if (startsWith(Rest, "igen")) {
+      T.Kind = TokenKind::PragmaIgen;
+      T.Text = std::string(trim(Rest.substr(4)));
+      return T;
+    }
+  }
+  T.Kind = TokenKind::PassthroughDirective;
+  T.Text = std::string(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Begin = Pos;
+  bool IsFloat = false;
+  auto isDigit = [&](char C) {
+    return std::isdigit(static_cast<unsigned char>(C));
+  };
+  // Hex integers.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T;
+    T.Kind = TokenKind::IntegerLiteral;
+    T.Loc = Loc;
+    T.Text = std::string(Source.substr(Begin, Pos - Begin));
+    T.IntValue = std::strtoll(T.Text.c_str(), nullptr, 16);
+    return T;
+  }
+  while (isDigit(peek()))
+    advance();
+  // A '.' after digits always starts a fraction ("1.", "1.5", "1.f"); the
+  // member-access ambiguity only exists after identifiers.
+  if (peek() == '.') {
+    IsFloat = true;
+    advance();
+    while (isDigit(peek()))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (isDigit(peek())) {
+      IsFloat = true;
+      while (isDigit(peek()))
+        advance();
+    } else {
+      Pos = Save; // not an exponent
+    }
+  }
+  Token T;
+  T.Loc = Loc;
+  T.Text = std::string(Source.substr(Begin, Pos - Begin));
+  bool FloatSuffix = false, TolSuffix = false;
+  if (peek() == 'f' || peek() == 'F') {
+    advance();
+    FloatSuffix = true;
+    IsFloat = true;
+  } else if (peek() == 't') { // IGen tolerance extension: 0.25t
+    advance();
+    TolSuffix = true;
+    IsFloat = true;
+  }
+  if (IsFloat) {
+    T.Kind = TokenKind::FloatLiteral;
+    T.FloatValue = std::strtod(T.Text.c_str(), nullptr);
+    T.IsFloatSuffix = FloatSuffix;
+    T.IsTolerance = TolSuffix;
+  } else {
+    T.Kind = TokenKind::IntegerLiteral;
+    T.IntValue = std::strtoll(T.Text.c_str(), nullptr, 10);
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Loc) {
+  size_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Source.substr(Begin, Pos - Begin));
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"void", TokenKind::KwVoid},       {"char", TokenKind::KwChar},
+      {"int", TokenKind::KwInt},         {"long", TokenKind::KwLong},
+      {"short", TokenKind::KwShort},     {"unsigned", TokenKind::KwUnsigned},
+      {"signed", TokenKind::KwSigned},   {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},   {"const", TokenKind::KwConst},
+      {"static", TokenKind::KwStatic},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},     {"do", TokenKind::KwDo},
+      {"return", TokenKind::KwReturn},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"sizeof", TokenKind::KwSizeof},
+  };
+  Token T;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  auto It = Keywords.find(T.Text);
+  T.Kind = It != Keywords.end() ? It->second : TokenKind::Identifier;
+  return T;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  SourceLoc Loc = currentLoc();
+  if (Pos >= Source.size()) {
+    Token T;
+    T.Kind = TokenKind::EndOfFile;
+    T.Loc = Loc;
+    return T;
+  }
+  char C = peek();
+  if (C == '#' && AtLineStart) {
+    advance();
+    return lexDirective(Loc);
+  }
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+
+  advance();
+  auto Simple = [&](TokenKind K) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    T.Text = std::string(1, C);
+    return T;
+  };
+  switch (C) {
+  case '(':
+    return Simple(TokenKind::LParen);
+  case ')':
+    return Simple(TokenKind::RParen);
+  case '{':
+    return Simple(TokenKind::LBrace);
+  case '}':
+    return Simple(TokenKind::RBrace);
+  case '[':
+    return Simple(TokenKind::LBracket);
+  case ']':
+    return Simple(TokenKind::RBracket);
+  case ';':
+    return Simple(TokenKind::Semi);
+  case ',':
+    return Simple(TokenKind::Comma);
+  case ':':
+    return Simple(TokenKind::Colon);
+  case '?':
+    return Simple(TokenKind::Question);
+  case '~':
+    return Simple(TokenKind::Tilde);
+  case '.':
+    return Simple(TokenKind::Period);
+  case '+':
+    if (match('+'))
+      return Simple(TokenKind::PlusPlus);
+    if (match('='))
+      return Simple(TokenKind::PlusEqual);
+    return Simple(TokenKind::Plus);
+  case '-':
+    if (match('-'))
+      return Simple(TokenKind::MinusMinus);
+    if (match('='))
+      return Simple(TokenKind::MinusEqual);
+    if (match('>'))
+      return Simple(TokenKind::Arrow);
+    return Simple(TokenKind::Minus);
+  case '*':
+    if (match('='))
+      return Simple(TokenKind::StarEqual);
+    return Simple(TokenKind::Star);
+  case '/':
+    if (match('='))
+      return Simple(TokenKind::SlashEqual);
+    return Simple(TokenKind::Slash);
+  case '%':
+    return Simple(TokenKind::Percent);
+  case '&':
+    if (match('&'))
+      return Simple(TokenKind::AmpAmp);
+    return Simple(TokenKind::Amp);
+  case '|':
+    if (match('|'))
+      return Simple(TokenKind::PipePipe);
+    return Simple(TokenKind::Pipe);
+  case '^':
+    return Simple(TokenKind::Caret);
+  case '!':
+    if (match('='))
+      return Simple(TokenKind::ExclaimEqual);
+    return Simple(TokenKind::Exclaim);
+  case '<':
+    if (match('='))
+      return Simple(TokenKind::LessEqual);
+    if (match('<'))
+      return Simple(TokenKind::LessLess);
+    return Simple(TokenKind::Less);
+  case '>':
+    if (match('='))
+      return Simple(TokenKind::GreaterEqual);
+    if (match('>'))
+      return Simple(TokenKind::GreaterGreater);
+    return Simple(TokenKind::Greater);
+  case '=':
+    if (match('='))
+      return Simple(TokenKind::EqualEqual);
+    return Simple(TokenKind::Equal);
+  default:
+    Diags.error(Loc, formatString("unexpected character '%c'", C));
+    return lex();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(lex());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

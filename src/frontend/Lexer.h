@@ -1,0 +1,58 @@
+//===- Lexer.h - Lexer for the C subset -------------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the C subset IGen compiles. Comments are
+/// skipped; `#pragma igen` becomes a token; other preprocessor directives
+/// become passthrough tokens so the transformer can reproduce them
+/// verbatim (e.g. #include <immintrin.h>).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_FRONTEND_LEXER_H
+#define IGEN_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace igen {
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticsEngine &Diags);
+
+  /// Lexes the next token.
+  Token lex();
+
+  /// Lexes the entire input (convenience for the parser and tests).
+  std::vector<Token> lexAll();
+
+private:
+  SourceLoc currentLoc() const;
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, size_t Begin, SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifier(SourceLoc Loc);
+  Token lexDirective(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  bool AtLineStart = true;
+};
+
+} // namespace igen
+
+#endif // IGEN_FRONTEND_LEXER_H

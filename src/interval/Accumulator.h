@@ -1,0 +1,176 @@
+//===- Accumulator.h - Accurate reduction accumulators ----------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accumulators behind IGen's reduction transformation (Section VI-B).
+///
+/// * SumAccumulatorF64 -- used when the target is double-precision
+///   intervals: each endpoint is accumulated in double-double, which makes
+///   the accumulated rounding error of the reduction itself negligible.
+///
+/// * ExactAccumulator / SumAccumulatorDd -- used when the target is
+///   double-double intervals: an exponent-indexed array of n = 4096 slots
+///   (index = 2*biasedExponent + lsb, two slots per exponent) in the style
+///   of Malcolm and Demmel-Hida. Two doubles with the same exponent and
+///   the same least-significant bit add *exactly* (their sum is an even
+///   multiple of the common ulp and fits the significand), so insertion is
+///   error-free in any rounding mode; rounding happens only in the final
+///   double-double reduction over the occupied slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_ACCUMULATOR_H
+#define IGEN_INTERVAL_ACCUMULATOR_H
+
+#include "interval/DdInterval.h"
+#include "interval/Interval.h"
+#include "interval/IntervalSimd.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace igen {
+
+//===----------------------------------------------------------------------===//
+// Double-double accumulator for f64i reductions
+//===----------------------------------------------------------------------===//
+
+/// The paper's acc_f64: both (negated-low and high) endpoint sums kept in
+/// double-double. All operations require upward rounding.
+class SumAccumulatorF64 {
+public:
+  /// Initializes the accumulator with the first element (the paper's
+  /// isum_init_f64).
+  void init(const Interval &First) {
+    NegLo = Dd(First.NegLo);
+    Hi = Dd(First.Hi);
+  }
+  void init(const IntervalSse &First) { init(First.toInterval()); }
+
+  /// Adds one interval term (isum_accumulate_f64).
+  void accumulate(const Interval &T) {
+    NegLo = ddAddUp(NegLo, Dd(T.NegLo));
+    Hi = ddAddUp(Hi, Dd(T.Hi));
+  }
+  void accumulate(const IntervalSse &T) { accumulate(T.toInterval()); }
+
+  /// Rounds the double-double endpoint sums outward to a double interval
+  /// (isum_reduce_f64).
+  Interval reduce() const {
+    return Interval(ddToDoubleUp(NegLo), ddToDoubleUp(Hi));
+  }
+
+private:
+  Dd NegLo;
+  Dd Hi;
+};
+
+//===----------------------------------------------------------------------===//
+// Exponent-indexed exact accumulator
+//===----------------------------------------------------------------------===//
+
+/// Error-free accumulation of doubles into 4096 exponent/lsb-indexed
+/// slots; see the file comment. NaN or infinite inputs set a sticky
+/// special value that the reduction returns.
+class ExactAccumulator {
+public:
+  static constexpr int NumSlots = 4096;
+
+  ExactAccumulator() { clear(); }
+
+  void clear() {
+    std::memset(Slots, 0, sizeof(Slots));
+    Special = 0.0;
+    HasSpecial = false;
+  }
+
+  /// Inserts \p X exactly (any rounding mode).
+  void add(double X) {
+    while (X != 0.0) {
+      uint64_t Bits = std::bit_cast<uint64_t>(X);
+      unsigned Exp = static_cast<unsigned>((Bits >> 52) & 0x7FF);
+      if (Exp == 0x7FF) { // inf or NaN: track separately.
+        noteSpecial(X);
+        return;
+      }
+      unsigned Idx = 2 * Exp + static_cast<unsigned>(Bits & 1);
+      double Old = Slots[Idx];
+      if (Old == 0.0) {
+        Slots[Idx] = X;
+        return;
+      }
+      Slots[Idx] = 0.0;
+      // Same exponent, same lsb: exact in any rounding mode. The sum may
+      // carry into the next exponent class (or cancel to zero).
+      X = X + Old;
+    }
+  }
+
+  /// Adds both words of a double-double value exactly.
+  void add(const Dd &X) {
+    add(X.H);
+    add(X.L);
+  }
+
+  /// Upper bound of the accumulated sum as a double-double: sums the
+  /// occupied slots from the smallest magnitude class upward with directed
+  /// double-double addition. Requires upward rounding.
+  Dd reduceUp() const {
+    assertRoundUpward();
+    if (HasSpecial)
+      return Dd(Special);
+    Dd Sum(0.0);
+    for (int I = 0; I < NumSlots; ++I)
+      if (Slots[I] != 0.0)
+        Sum = ddAddUp(Sum, Dd(Slots[I]));
+    return Sum;
+  }
+
+  bool hasSpecial() const { return HasSpecial; }
+
+private:
+  void noteSpecial(double X) {
+    if (!HasSpecial) {
+      Special = X;
+      HasSpecial = true;
+      return;
+    }
+    double S = Special + X; // inf + -inf -> NaN, NaN sticky.
+    Special = S;
+  }
+
+  double Slots[NumSlots];
+  double Special;
+  bool HasSpecial;
+};
+
+/// The paper's acc_dd: one exact accumulator per endpoint.
+class SumAccumulatorDd {
+public:
+  void init(const DdInterval &First) {
+    NegLo.clear();
+    Hi.clear();
+    accumulate(First);
+  }
+
+  void accumulate(const DdInterval &T) {
+    NegLo.add(T.NegLo);
+    Hi.add(T.Hi);
+  }
+
+  DdInterval reduce() const {
+    return DdInterval(NegLo.reduceUp(), Hi.reduceUp());
+  }
+
+private:
+  ExactAccumulator NegLo;
+  ExactAccumulator Hi;
+};
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_ACCUMULATOR_H

@@ -1,0 +1,45 @@
+//===- DecimalFp.h - Sound decimal-literal enclosures -----------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts decimal floating-point literals to guaranteed interval
+/// enclosures of the *real* value they denote.
+///
+/// IGen lifts every constant to an interval (Section IV-B); when compiling
+/// to double-double precision the enclosure must be tight at ~2^-100
+/// relative width or the constants would dominate the error budget. The
+/// conversion parses the digit string exactly (chunks of <= 15 digits,
+/// each an exact double) and evaluates sum(chunk_i * 10^e_i) in
+/// double-double *interval* arithmetic, with the powers of ten themselves
+/// sound interval enclosures -- so the result is correct by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_DECIMALFP_H
+#define IGEN_INTERVAL_DECIMALFP_H
+
+#include "interval/DdInterval.h"
+#include "interval/Interval.h"
+
+#include <string_view>
+
+namespace igen {
+
+/// Sound double-double interval enclosure of the decimal literal \p Text
+/// ("3.25", "1e-3", "-0.1", "12.5e+7"). Requires upward rounding. Returns
+/// a NaN interval for malformed input.
+DdInterval ddIntervalFromDecimal(std::string_view Text);
+
+/// Sound double-precision enclosure (outer hull of the above). Requires
+/// upward rounding.
+Interval intervalFromDecimal(std::string_view Text);
+
+/// Sound dd interval enclosure of 10^N. Requires upward rounding.
+DdInterval pow10Interval(int N);
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_DECIMALFP_H

@@ -1,0 +1,16 @@
+//===- DoubleDouble.cpp - Counting-policy storage --------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/DoubleDouble.h"
+
+namespace igen {
+
+thread_local uint64_t CountingOps::Adds = 0;
+thread_local uint64_t CountingOps::Muls = 0;
+thread_local uint64_t CountingOps::Divs = 0;
+thread_local uint64_t CountingOps::Fmas = 0;
+
+} // namespace igen

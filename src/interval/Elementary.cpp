@@ -1,0 +1,233 @@
+//===- Elementary.cpp - Interval elementary functions ---------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Elementary.h"
+
+#include "interval/Rounding.h"
+#include "interval/Ulp.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace igen;
+
+namespace {
+
+/// Calls F(X) in round-to-nearest and widens the result by LibmUlpBound
+/// ulps in direction \p Dir (+1 up, -1 down), yielding a directed bound.
+template <typename Fn> double libmDirected(Fn F, double X, int Dir) {
+  double V;
+  {
+    RoundNearestScope RN;
+    V = F(X);
+  }
+  return addUlps(V, Dir > 0 ? LibmUlpBound : -LibmUlpBound);
+}
+
+constexpr double SectionArgLimit = 0x1p45;
+
+/// High and low words of 2/pi, accurate as a pair to ~2^-110. Computed
+/// once from a quad-precision reconstruction of pi (three-double pi).
+struct TwoOverPiConst {
+  double H;
+  double L;
+  TwoOverPiConst() {
+    __float128 Pi = (__float128)3.141592653589793116e+00 +
+                    1.224646799147353207e-16 +
+                    (-2.994769809718339666e-33);
+    __float128 T = (__float128)2.0 / Pi;
+    H = (double)T;
+    L = (double)(T - (__float128)H);
+  }
+};
+
+const TwoOverPiConst &twoOverPi() {
+  static const TwoOverPiConst C;
+  return C;
+}
+
+} // namespace
+
+void igen::detail::sectionRange(double X, long long &KMin, long long &KMax) {
+  // t = X * 2/pi in double-double, evaluated in round-to-nearest; absolute
+  // error <= ~|t| * 2^-104 + a few ulps of the tail term, far below the
+  // 2^-40 ambiguity threshold for |X| <= 2^45.
+  RoundNearestScope RN;
+  const TwoOverPiConst &C = twoOverPi();
+  X = opaque(X); // pin below the mode switch
+  double P = X * C.H;
+  double E = __builtin_fma(X, C.H, -P); // exact residue
+  double E2 = E + X * C.L;
+  double S = P + E2;
+  double K = std::floor(S);
+  double D = (P - K) + E2; // fractional part, nearly exact
+  const double Eps = 0x1p-40;
+  KMin = static_cast<long long>(K) - (D < Eps ? 1 : 0);
+  KMax = static_cast<long long>(K) + (D > 1.0 - Eps ? 1 : 0);
+}
+
+Interval igen::iExp(const Interval &X) {
+  assertRoundUpward();
+  if (X.hasNaN())
+    return Interval::nan();
+  double HiE = libmDirected([](double V) { return std::exp(V); }, X.Hi, +1);
+  double LoE =
+      libmDirected([](double V) { return std::exp(V); }, -X.NegLo, -1);
+  if (LoE < 0.0)
+    LoE = 0.0; // exp > 0; the widening may have crossed below zero.
+  return Interval::fromEndpoints(LoE, HiE);
+}
+
+Interval igen::iLog(const Interval &X) {
+  assertRoundUpward();
+  if (X.hasNaN())
+    return Interval::nan();
+  if (X.Hi <= 0.0)
+    return Interval::nan(); // log of a nonpositive interval: invalid.
+  double HiL = libmDirected([](double V) { return std::log(V); }, X.Hi, +1);
+  double Lo = -X.NegLo;
+  if (Lo < 0.0)
+    return Interval(std::numeric_limits<double>::quiet_NaN(), HiL);
+  if (Lo == 0.0)
+    return Interval(std::numeric_limits<double>::infinity(), HiL);
+  double LoL = libmDirected([](double V) { return std::log(V); }, Lo, -1);
+  return Interval::fromEndpoints(LoL, HiL);
+}
+
+namespace {
+
+Interval unitClamp(double Lo, double Hi) {
+  return Interval::fromEndpoints(std::max(Lo, -1.0), std::min(Hi, 1.0));
+}
+
+/// Shared sin/cos evaluation. \p PeakMod4 is the residue (mod 4) of the
+/// section boundary index m at which the function attains +1; the trough
+/// is at PeakMod4 + 2 (mod 4). sin peaks at m == 1 (x == pi/2 + 2pi n),
+/// cos peaks at m == 0 (x == 2pi n).
+template <typename Fn>
+Interval sinCosImpl(const Interval &X, Fn F, long long PeakMod4) {
+  assertRoundUpward();
+  if (X.hasNaN())
+    return Interval::nan();
+  double Lo = -X.NegLo, Hi = X.Hi;
+  if (std::isinf(Lo) || std::isinf(Hi) ||
+      std::fabs(Lo) > SectionArgLimit || std::fabs(Hi) > SectionArgLimit)
+    return Interval::fromEndpoints(-1.0, 1.0);
+  long long KLoMin, KLoMax, KHiMin, KHiMax;
+  igen::detail::sectionRange(Lo, KLoMin, KLoMax);
+  igen::detail::sectionRange(Hi, KHiMin, KHiMax);
+  // Boundaries possibly interior to [Lo, Hi]: m in (KLoMin, KHiMax].
+  if (KHiMax - KLoMin >= 5) // conservatively spans a peak and a trough
+    return Interval::fromEndpoints(-1.0, 1.0);
+  double LoF = libmDirected(F, Lo, -1);
+  double HiF = libmDirected(F, Hi, +1);
+  double RLo = std::min(LoF, libmDirected(F, Hi, -1));
+  double RHi = std::max(HiF, libmDirected(F, Lo, +1));
+  long long TroughMod4 = (PeakMod4 + 2) & 3;
+  for (long long M = KLoMin + 1; M <= KHiMax; ++M) {
+    long long Mod = ((M % 4) + 4) & 3;
+    if (Mod == PeakMod4)
+      RHi = 1.0;
+    else if (Mod == TroughMod4)
+      RLo = -1.0;
+  }
+  return unitClamp(RLo, RHi);
+}
+
+} // namespace
+
+Interval igen::iSin(const Interval &X) {
+  return sinCosImpl(X, [](double V) { return std::sin(V); }, /*PeakMod4=*/1);
+}
+
+Interval igen::iCos(const Interval &X) {
+  return sinCosImpl(X, [](double V) { return std::cos(V); }, /*PeakMod4=*/0);
+}
+
+Interval igen::iAtan(const Interval &X) {
+  assertRoundUpward();
+  if (X.hasNaN())
+    return Interval::nan();
+  double HiA =
+      libmDirected([](double V) { return std::atan(V); }, X.Hi, +1);
+  double LoA =
+      libmDirected([](double V) { return std::atan(V); }, -X.NegLo, -1);
+  // Clamp to the function's range (+-pi/2, which is itself irrational:
+  // use the next double beyond pi/2).
+  const double HalfPiUp = 1.5707963267948968; // > pi/2
+  if (HiA > HalfPiUp)
+    HiA = HalfPiUp;
+  if (LoA < -HalfPiUp)
+    LoA = -HalfPiUp;
+  return Interval::fromEndpoints(LoA, HiA);
+}
+
+namespace {
+
+/// Shared asin/acos: monotone on [-1, 1]; F must be evaluated at clamped
+/// endpoints. Increasing selects asin-like orientation.
+template <typename Fn>
+Interval arcImpl(const Interval &X, Fn F, bool Increasing, double RangeLo,
+                 double RangeHi) {
+  assertRoundUpward();
+  if (X.hasNaN())
+    return Interval::nan();
+  double Lo = -X.NegLo, Hi = X.Hi;
+  if (Hi < -1.0 || Lo > 1.0)
+    return Interval::nan(); // entirely outside the domain: invalid
+  bool LoOutside = Lo < -1.0, HiOutside = Hi > 1.0;
+  double CLo = LoOutside ? -1.0 : Lo;
+  double CHi = HiOutside ? 1.0 : Hi;
+  double FLo = libmDirected(F, Increasing ? CLo : CHi, -1);
+  double FHi = libmDirected(F, Increasing ? CHi : CLo, +1);
+  if (FLo < RangeLo)
+    FLo = RangeLo;
+  if (FHi > RangeHi)
+    FHi = RangeHi;
+  Interval R = Interval::fromEndpoints(FLo, FHi);
+  // An endpoint outside [-1, 1] means the value may be invalid, like
+  // sqrt of a partially negative interval (Section IV-A).
+  if (LoOutside)
+    R.NegLo = std::numeric_limits<double>::quiet_NaN();
+  if (HiOutside)
+    R.Hi = std::numeric_limits<double>::quiet_NaN();
+  return R;
+}
+
+} // namespace
+
+Interval igen::iAsin(const Interval &X) {
+  const double HalfPiUp = 1.5707963267948968;
+  return arcImpl(X, [](double V) { return std::asin(V); },
+                 /*Increasing=*/true, -HalfPiUp, HalfPiUp);
+}
+
+Interval igen::iAcos(const Interval &X) {
+  const double PiUp = 3.1415926535897936; // > pi
+  return arcImpl(X, [](double V) { return std::acos(V); },
+                 /*Increasing=*/false, 0.0, PiUp);
+}
+
+Interval igen::iTan(const Interval &X) {
+  assertRoundUpward();
+  if (X.hasNaN())
+    return Interval::nan();
+  double Lo = -X.NegLo, Hi = X.Hi;
+  if (std::isinf(Lo) || std::isinf(Hi) ||
+      std::fabs(Lo) > SectionArgLimit || std::fabs(Hi) > SectionArgLimit)
+    return Interval::entire();
+  long long KLoMin, KLoMax, KHiMin, KHiMax;
+  igen::detail::sectionRange(Lo, KLoMin, KLoMax);
+  igen::detail::sectionRange(Hi, KHiMin, KHiMax);
+  // tan has a pole at every odd section boundary m*pi/2.
+  for (long long M = KLoMin + 1; M <= KHiMax; ++M)
+    if (((M % 2) + 2) % 2 == 1)
+      return Interval::entire();
+  // Within a pole-free range tan is increasing.
+  double LoT = libmDirected([](double V) { return std::tan(V); }, Lo, -1);
+  double HiT = libmDirected([](double V) { return std::tan(V); }, Hi, +1);
+  return Interval::fromEndpoints(LoT, HiT);
+}

@@ -1,0 +1,70 @@
+//===- Elementary.h - Interval elementary functions -------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval versions of the elementary functions of Table I (exp, log,
+/// sin, cos, tan; sqrt/abs/floor/ceil live in Interval.h since they need
+/// no libm).
+///
+/// The paper builds on CRlibm, whose results are correctly rounded (<=1
+/// ulp loss). We substitute libm evaluated in round-to-nearest and widen
+/// each endpoint by LibmUlpBound ulps before directing the rounding -- a
+/// strictly more conservative enclosure with the same soundness guarantee
+/// (DESIGN.md substitution 3). Monotonic functions apply the widened libm
+/// to each endpoint; sin/cos first locate the endpoints' pi/2-sections
+/// with a conservative double-double argument "reduction" and inject +-1
+/// when a peak or trough may lie inside (Section IV-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_ELEMENTARY_H
+#define IGEN_INTERVAL_ELEMENTARY_H
+
+#include "interval/Interval.h"
+
+namespace igen {
+
+/// Assumed worst-case error of libm's exp/log/sin/cos/tan in ulps.
+/// glibc is typically <= 1 ulp for these; 4 is a documented safety margin.
+inline constexpr int64_t LibmUlpBound = 4;
+
+/// Interval exponential. Monotone; exact range [0, +inf].
+Interval iExp(const Interval &X);
+
+/// Interval natural logarithm. Domain x > 0: a negative lower endpoint
+/// yields a NaN lower endpoint (like sqrt); an entirely nonpositive input
+/// is invalid.
+Interval iLog(const Interval &X);
+
+/// Interval sine/cosine. Result is clamped to [-1, 1]; arguments with
+/// magnitude above 2^45 (or spanning whole periods) return [-1, 1].
+Interval iSin(const Interval &X);
+Interval iCos(const Interval &X);
+
+/// Interval tangent. Returns the entire line if the interval may contain
+/// a pole (odd multiple of pi/2).
+Interval iTan(const Interval &X);
+
+/// Interval arctangent (monotone; range (-pi/2, pi/2)).
+Interval iAtan(const Interval &X);
+
+/// Interval arcsine/arccosine. Domain [-1, 1]: endpoints outside the
+/// domain behave like sqrt's (NaN endpoint / invalid interval).
+Interval iAsin(const Interval &X);
+Interval iAcos(const Interval &X);
+
+namespace detail {
+
+/// Conservative bounds [KMin, KMax] on floor(x / (pi/2)). Requires
+/// |x| <= 2^45 and finite x. KMax - KMin is 0 except within 2^-40 of a
+/// section boundary, where it is 1.
+void sectionRange(double X, long long &KMin, long long &KMax);
+
+} // namespace detail
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_ELEMENTARY_H

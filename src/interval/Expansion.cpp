@@ -1,0 +1,38 @@
+//===- Expansion.cpp - Exact floating-point expansions ---------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Expansion.h"
+
+using namespace igen;
+
+void Expansion::add(double B) {
+  assert(std::fegetround() == FE_TONEAREST &&
+         "expansions require round-to-nearest");
+  if (B == 0.0)
+    return;
+  std::vector<double> Out;
+  Out.reserve(Components.size() + 1);
+  double Q = B;
+  for (double E : Components) {
+    double S, Err;
+    twoSum(Q, E, S, Err);
+    if (Err != 0.0)
+      Out.push_back(Err);
+    Q = S;
+  }
+  if (Q != 0.0)
+    Out.push_back(Q);
+  Components = std::move(Out);
+}
+
+void Expansion::addProduct(double A, double B) {
+  assert(std::fegetround() == FE_TONEAREST &&
+         "expansions require round-to-nearest");
+  double P, E;
+  twoProd(A, B, P, E);
+  add(E);
+  add(P);
+}

@@ -1,0 +1,23 @@
+//===- IntervalIO.cpp - Textual formatting of intervals ----------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/IntervalIO.h"
+
+#include "support/StringExtras.h"
+
+using namespace igen;
+
+std::string igen::toString(const Interval &X) {
+  return formatString("[%.17g, %.17g]", -X.NegLo, X.Hi);
+}
+
+std::string igen::toString(const Dd &X) {
+  return formatString("(%.17g + %.9g)", X.H, X.L);
+}
+
+std::string igen::toString(const DdInterval &X) {
+  return "[" + toString(ddNeg(X.NegLo)) + ", " + toString(X.Hi) + "]";
+}

@@ -1,0 +1,35 @@
+//===- IntervalIO.h - Textual formatting of intervals -----------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable formatting of interval values ("[0.09999999999999999,
+/// 0.10000000000000001]"), for logging, debugging and the examples. The
+/// printed endpoints round-trip (%.17g).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_INTERVALIO_H
+#define IGEN_INTERVAL_INTERVALIO_H
+
+#include "interval/DdInterval.h"
+#include "interval/Interval.h"
+
+#include <string>
+
+namespace igen {
+
+/// "[lo, hi]"; NaN endpoints print as "nan".
+std::string toString(const Interval &X);
+
+/// "[loH + loL, hiH + hiL]".
+std::string toString(const DdInterval &X);
+
+/// "(H + L)" for a double-double value.
+std::string toString(const Dd &X);
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_INTERVALIO_H

@@ -1,0 +1,221 @@
+//===- IntervalSimd.h - SSE-vectorized double intervals ---------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vectorized double-precision interval of Section IV-A: a full
+/// interval (-lo, hi) fits exactly in one __m128d, so interval addition is
+/// a single SIMD instruction and multiplication is four packed products,
+/// three maxima and a few sign flips (after Goualard's SIMD interval
+/// algorithms). This is the interval type behind the IGen-sv configuration
+/// and the per-128-bit-lane building block of the m256di_k vector types.
+///
+/// Layout: lane 0 holds the negated lower endpoint, lane 1 the upper
+/// endpoint. All operations require upward rounding (MXCSR), which
+/// fesetround(FE_UPWARD) establishes on x86-64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_INTERVALSIMD_H
+#define IGEN_INTERVAL_INTERVALSIMD_H
+
+#include "interval/Interval.h"
+
+#include <immintrin.h>
+
+namespace igen {
+
+/// A double interval in one SSE register: [ -lo | hi ].
+struct IntervalSse {
+  __m128d V;
+
+  IntervalSse() : V(_mm_setzero_pd()) {}
+  explicit IntervalSse(__m128d V) : V(V) {}
+  IntervalSse(double NegLo, double Hi) : V(_mm_set_pd(Hi, NegLo)) {}
+
+  static IntervalSse fromEndpoints(double Lo, double Hi) {
+    return IntervalSse(-Lo, Hi);
+  }
+  static IntervalSse fromPoint(double X) { return IntervalSse(-X, X); }
+  static IntervalSse fromInterval(const Interval &I) {
+    return IntervalSse(I.NegLo, I.Hi);
+  }
+
+  Interval toInterval() const {
+    return Interval(_mm_cvtsd_f64(V),
+                    _mm_cvtsd_f64(_mm_unpackhi_pd(V, V)));
+  }
+
+  double negLo() const { return _mm_cvtsd_f64(V); }
+  double hi() const { return _mm_cvtsd_f64(_mm_unpackhi_pd(V, V)); }
+  double lo() const { return -negLo(); }
+
+  static IntervalSse entire() {
+    return fromInterval(Interval::entire());
+  }
+  static IntervalSse nan() { return fromInterval(Interval::nan()); }
+};
+
+namespace detail {
+
+/// [-0.0, 0.0]: XOR negates lane 0 (the neg-lo lane).
+inline __m128d signLoMask() { return _mm_set_pd(0.0, -0.0); }
+/// [0.0, -0.0]: XOR negates lane 1 (the hi lane).
+inline __m128d signHiMask() { return _mm_set_pd(-0.0, 0.0); }
+
+inline __m128d broadcastLo(__m128d X) {
+  return _mm_shuffle_pd(X, X, 0); // [x0, x0]
+}
+inline __m128d broadcastHi(__m128d X) {
+  return _mm_shuffle_pd(X, X, 3); // [x1, x1]
+}
+inline __m128d swapLanes(__m128d X) {
+  return _mm_shuffle_pd(X, X, 1); // [x1, x0]
+}
+
+/// True if any lane of \p X is NaN.
+inline bool anyNaN(__m128d X) {
+  return _mm_movemask_pd(_mm_cmpunord_pd(X, X)) != 0;
+}
+
+} // namespace detail
+
+/// X + Y: one SIMD addition.
+inline IntervalSse iAdd(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  return IntervalSse(_mm_add_pd(X.V, Y.V));
+}
+
+/// -X: swap the two lanes.
+inline IntervalSse iNeg(const IntervalSse &X) {
+  return IntervalSse(detail::swapLanes(X.V));
+}
+
+/// X - Y == X + swap(Y).
+inline IntervalSse iSub(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  return IntervalSse(_mm_add_pd(X.V, detail::swapLanes(Y.V)));
+}
+
+/// X * Y: the scalar candidate scheme evaluated two-per-vector:
+///   R = max(xn*[-yn,yn], xh*[yn,-yn], yh*[xn,-xn], yh*[-xh,xh])
+/// where lane 0 accumulates the negated-low candidates and lane 1 the
+/// high candidates. A NaN anywhere (0*inf, NaN endpoints) falls back to
+/// the careful scalar path, because _mm_max_pd does not propagate NaNs.
+inline IntervalSse iMul(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  __m128d Xn = detail::broadcastLo(X.V); // [xn, xn]
+  __m128d Xh = detail::broadcastHi(X.V); // [xh, xh]
+  __m128d Yn = detail::broadcastLo(Y.V);
+  __m128d Yh = detail::broadcastHi(Y.V);
+  __m128d YnNegLo = _mm_xor_pd(Yn, detail::signLoMask()); // [-yn, yn]
+  __m128d YnNegHi = detail::swapLanes(YnNegLo);           // [yn, -yn]
+  __m128d XnNegHi = _mm_xor_pd(Xn, detail::signHiMask()); // [xn, -xn]
+  __m128d XhNegLo = _mm_xor_pd(Xh, detail::signLoMask()); // [-xh, xh]
+  __m128d V1 = _mm_mul_pd(Xn, YnNegLo);
+  __m128d V2 = _mm_mul_pd(Xh, YnNegHi);
+  __m128d V3 = _mm_mul_pd(Yh, XnNegHi);
+  __m128d V4 = _mm_mul_pd(Yh, XhNegLo);
+  __m128d Check =
+      _mm_add_pd(_mm_add_pd(V1, V2), _mm_add_pd(V3, V4));
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return IntervalSse::fromInterval(
+        iMul(X.toInterval(), Y.toInterval()));
+  return IntervalSse(
+      _mm_max_pd(_mm_max_pd(V1, V2), _mm_max_pd(V3, V4)));
+}
+
+/// X / Y: four packed quotients when 0 is outside Y; otherwise the scalar
+/// case analysis.
+inline IntervalSse iDiv(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  // 0 in Y <=> NegLo(Y) >= 0 && Hi(Y) >= 0 <=> no lane negative.
+  int NegMask = _mm_movemask_pd(
+      _mm_cmplt_pd(Y.V, _mm_setzero_pd()));
+  if (__builtin_expect(NegMask == 0 || detail::anyNaN(Y.V), 0))
+    return IntervalSse::fromInterval(
+        iDiv(X.toInterval(), Y.toInterval()));
+  __m128d Xn = detail::broadcastLo(X.V);
+  __m128d Xh = detail::broadcastHi(X.V);
+  __m128d Yn = detail::broadcastLo(Y.V);
+  __m128d Yh = detail::broadcastHi(Y.V);
+  // Candidates (cf. iDiv scalar):
+  //  lane0 (neg-lo): (-xn)/yn, xn/yh, xh/yn, (-xh)/yh
+  //  lane1 (hi):       xn/yn, (-xn)/yh, xh/(-yn), xh/yh
+  __m128d XnNegLo = _mm_xor_pd(Xn, detail::signLoMask()); // [-xn, xn]
+  __m128d XnNegHi = detail::swapLanes(XnNegLo);           // [xn, -xn]
+  __m128d XhNegLo = _mm_xor_pd(Xh, detail::signLoMask()); // [-xh, xh]
+  __m128d YnNegHi = _mm_xor_pd(Yn, detail::signHiMask()); // [yn, -yn]
+  __m128d V1 = _mm_div_pd(XnNegLo, Yn);
+  __m128d V2 = _mm_div_pd(XnNegHi, Yh);
+  __m128d V3 = _mm_div_pd(Xh, YnNegHi);
+  __m128d V4 = _mm_div_pd(XhNegLo, Yh);
+  __m128d Check =
+      _mm_add_pd(_mm_add_pd(V1, V2), _mm_add_pd(V3, V4));
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return IntervalSse::fromInterval(
+        iDiv(X.toInterval(), Y.toInterval()));
+  return IntervalSse(
+      _mm_max_pd(_mm_max_pd(V1, V2), _mm_max_pd(V3, V4)));
+}
+
+/// Remaining operations route through the scalar implementation (they are
+/// rare in inner loops; sqrt dominates only in potrf where it is O(n) of
+/// an O(n^3) computation).
+inline IntervalSse iSqrt(const IntervalSse &X) {
+  return IntervalSse::fromInterval(iSqrt(X.toInterval()));
+}
+inline IntervalSse iAbs(const IntervalSse &X) {
+  return IntervalSse::fromInterval(iAbs(X.toInterval()));
+}
+inline IntervalSse iFloor(const IntervalSse &X) {
+  return IntervalSse::fromInterval(iFloor(X.toInterval()));
+}
+inline IntervalSse iCeil(const IntervalSse &X) {
+  return IntervalSse::fromInterval(iCeil(X.toInterval()));
+}
+
+inline TBool iCmpLT(const IntervalSse &X, const IntervalSse &Y) {
+  return iCmpLT(X.toInterval(), Y.toInterval());
+}
+inline TBool iCmpLE(const IntervalSse &X, const IntervalSse &Y) {
+  return iCmpLE(X.toInterval(), Y.toInterval());
+}
+inline TBool iCmpGT(const IntervalSse &X, const IntervalSse &Y) {
+  return iCmpGT(X.toInterval(), Y.toInterval());
+}
+inline TBool iCmpGE(const IntervalSse &X, const IntervalSse &Y) {
+  return iCmpGE(X.toInterval(), Y.toInterval());
+}
+inline TBool iCmpEQ(const IntervalSse &X, const IntervalSse &Y) {
+  return iCmpEQ(X.toInterval(), Y.toInterval());
+}
+inline TBool iCmpNE(const IntervalSse &X, const IntervalSse &Y) {
+  return iCmpNE(X.toInterval(), Y.toInterval());
+}
+
+inline IntervalSse iHull(const IntervalSse &X, const IntervalSse &Y) {
+  if (detail::anyNaN(X.V) || detail::anyNaN(Y.V))
+    return IntervalSse::nan();
+  return IntervalSse(_mm_max_pd(X.V, Y.V));
+}
+
+inline IntervalSse operator+(const IntervalSse &X, const IntervalSse &Y) {
+  return iAdd(X, Y);
+}
+inline IntervalSse operator-(const IntervalSse &X, const IntervalSse &Y) {
+  return iSub(X, Y);
+}
+inline IntervalSse operator*(const IntervalSse &X, const IntervalSse &Y) {
+  return iMul(X, Y);
+}
+inline IntervalSse operator/(const IntervalSse &X, const IntervalSse &Y) {
+  return iDiv(X, Y);
+}
+inline IntervalSse operator-(const IntervalSse &X) { return iNeg(X); }
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_INTERVALSIMD_H

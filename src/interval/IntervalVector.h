@@ -1,0 +1,255 @@
+//===- IntervalVector.h - AVX vectors of double intervals -------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The m256di_k vector-of-intervals types of Table II: an AVX register
+/// holds two double-precision intervals ([ -lo0 | hi0 | -lo1 | hi1 ]) and
+/// a SIMD input type of 2k doubles maps to k such registers:
+///
+///   __m128d          -> m256di_1   (2 intervals, 1 register)
+///   __m256d, __m128  -> m256di_2   (4 intervals, 2 registers)
+///   __m256           -> m256di_4   (8 intervals, 4 registers)
+///
+/// All interval algorithms are 128-bit-lane-local, so the IntervalSse
+/// candidate schemes lift directly to AVX with in-lane permutes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_INTERVALVECTOR_H
+#define IGEN_INTERVAL_INTERVALVECTOR_H
+
+#include "interval/Interval.h"
+#include "interval/IntervalSimd.h"
+
+#include <immintrin.h>
+
+namespace igen {
+
+/// Two double intervals in one AVX register.
+struct IntervalX2 {
+  __m256d V;
+
+  IntervalX2() : V(_mm256_setzero_pd()) {}
+  explicit IntervalX2(__m256d V) : V(V) {}
+
+  static IntervalX2 fromIntervals(const Interval &I0, const Interval &I1) {
+    return IntervalX2(_mm256_set_pd(I1.Hi, I1.NegLo, I0.Hi, I0.NegLo));
+  }
+  static IntervalX2 broadcast(const Interval &I) {
+    return fromIntervals(I, I);
+  }
+  /// Lifts two exact doubles to point intervals.
+  static IntervalX2 fromPoints(double X0, double X1) {
+    return fromIntervals(Interval::fromPoint(X0), Interval::fromPoint(X1));
+  }
+
+  Interval interval(int I) const {
+    alignas(32) double Lanes[4];
+    _mm256_store_pd(Lanes, V);
+    return Interval(Lanes[2 * I], Lanes[2 * I + 1]);
+  }
+
+  IntervalSse half(int I) const {
+    return IntervalSse(I == 0 ? _mm256_castpd256_pd128(V)
+                              : _mm256_extractf128_pd(V, 1));
+  }
+
+  static IntervalX2 fromHalves(const IntervalSse &L, const IntervalSse &H) {
+    return IntervalX2(
+        _mm256_insertf128_pd(_mm256_castpd128_pd256(L.V), H.V, 1));
+  }
+};
+
+namespace detail {
+
+inline __m256d broadcastLo256(__m256d X) {
+  return _mm256_permute_pd(X, 0b0000); // [x0,x0,x2,x2]
+}
+inline __m256d broadcastHi256(__m256d X) {
+  return _mm256_permute_pd(X, 0b1111); // [x1,x1,x3,x3]
+}
+inline __m256d swapLanes256(__m256d X) {
+  return _mm256_permute_pd(X, 0b0101); // [x1,x0,x3,x2]
+}
+inline __m256d signLoMask256() {
+  return _mm256_set_pd(0.0, -0.0, 0.0, -0.0);
+}
+inline __m256d signHiMask256() {
+  return _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+}
+inline bool anyNaN256(__m256d X) {
+  return _mm256_movemask_pd(_mm256_cmp_pd(X, X, _CMP_UNORD_Q)) != 0;
+}
+
+} // namespace detail
+
+inline IntervalX2 iAdd(const IntervalX2 &X, const IntervalX2 &Y) {
+  assertRoundUpward();
+  return IntervalX2(_mm256_add_pd(X.V, Y.V));
+}
+
+inline IntervalX2 iNeg(const IntervalX2 &X) {
+  return IntervalX2(detail::swapLanes256(X.V));
+}
+
+inline IntervalX2 iSub(const IntervalX2 &X, const IntervalX2 &Y) {
+  assertRoundUpward();
+  return IntervalX2(_mm256_add_pd(X.V, detail::swapLanes256(Y.V)));
+}
+
+/// Lane-local lift of the SSE interval multiplication.
+inline IntervalX2 iMul(const IntervalX2 &X, const IntervalX2 &Y) {
+  assertRoundUpward();
+  __m256d Xn = detail::broadcastLo256(X.V);
+  __m256d Xh = detail::broadcastHi256(X.V);
+  __m256d Yn = detail::broadcastLo256(Y.V);
+  __m256d Yh = detail::broadcastHi256(Y.V);
+  __m256d YnNegLo = _mm256_xor_pd(Yn, detail::signLoMask256());
+  __m256d YnNegHi = detail::swapLanes256(YnNegLo);
+  __m256d XnNegHi = _mm256_xor_pd(Xn, detail::signHiMask256());
+  __m256d XhNegLo = _mm256_xor_pd(Xh, detail::signLoMask256());
+  __m256d V1 = _mm256_mul_pd(Xn, YnNegLo);
+  __m256d V2 = _mm256_mul_pd(Xh, YnNegHi);
+  __m256d V3 = _mm256_mul_pd(Yh, XnNegHi);
+  __m256d V4 = _mm256_mul_pd(Yh, XhNegLo);
+  __m256d Check = _mm256_add_pd(_mm256_add_pd(V1, V2),
+                                _mm256_add_pd(V3, V4));
+  if (__builtin_expect(detail::anyNaN256(Check), 0))
+    return IntervalX2::fromIntervals(
+        iMul(X.interval(0), Y.interval(0)),
+        iMul(X.interval(1), Y.interval(1)));
+  return IntervalX2(
+      _mm256_max_pd(_mm256_max_pd(V1, V2), _mm256_max_pd(V3, V4)));
+}
+
+/// Lane-local lift of the SSE interval division; any packed divisor that
+/// contains zero (or NaN) sends the whole vector to the scalar case
+/// analysis, element by element.
+inline IntervalX2 iDiv(const IntervalX2 &X, const IntervalX2 &Y) {
+  assertRoundUpward();
+  int NegMask =
+      _mm256_movemask_pd(_mm256_cmp_pd(Y.V, _mm256_setzero_pd(),
+                                       _CMP_LT_OQ));
+  bool Fast0 = (NegMask & 0b0011) != 0;
+  bool Fast1 = (NegMask & 0b1100) != 0;
+  if (__builtin_expect(!(Fast0 && Fast1) || detail::anyNaN256(Y.V), 0))
+    return IntervalX2::fromIntervals(
+        iDiv(X.interval(0), Y.interval(0)),
+        iDiv(X.interval(1), Y.interval(1)));
+  __m256d Xn = detail::broadcastLo256(X.V);
+  __m256d Xh = detail::broadcastHi256(X.V);
+  __m256d Yn = detail::broadcastLo256(Y.V);
+  __m256d Yh = detail::broadcastHi256(Y.V);
+  __m256d XnNegLo = _mm256_xor_pd(Xn, detail::signLoMask256());
+  __m256d XnNegHi = detail::swapLanes256(XnNegLo);
+  __m256d XhNegLo = _mm256_xor_pd(Xh, detail::signLoMask256());
+  __m256d YnNegHi = _mm256_xor_pd(Yn, detail::signHiMask256());
+  __m256d V1 = _mm256_div_pd(XnNegLo, Yn);
+  __m256d V2 = _mm256_div_pd(XnNegHi, Yh);
+  __m256d V3 = _mm256_div_pd(Xh, YnNegHi);
+  __m256d V4 = _mm256_div_pd(XhNegLo, Yh);
+  __m256d Check = _mm256_add_pd(_mm256_add_pd(V1, V2),
+                                _mm256_add_pd(V3, V4));
+  if (__builtin_expect(detail::anyNaN256(Check), 0))
+    return IntervalX2::fromIntervals(
+        iDiv(X.interval(0), Y.interval(0)),
+        iDiv(X.interval(1), Y.interval(1)));
+  return IntervalX2(
+      _mm256_max_pd(_mm256_max_pd(V1, V2), _mm256_max_pd(V3, V4)));
+}
+
+inline IntervalX2 iSqrt(const IntervalX2 &X) {
+  return IntervalX2::fromIntervals(iSqrt(X.interval(0)),
+                                   iSqrt(X.interval(1)));
+}
+
+inline IntervalX2 iHull(const IntervalX2 &X, const IntervalX2 &Y) {
+  if (detail::anyNaN256(X.V) || detail::anyNaN256(Y.V))
+    return IntervalX2::broadcast(Interval::nan());
+  return IntervalX2(_mm256_max_pd(X.V, Y.V));
+}
+
+//===----------------------------------------------------------------------===//
+// k-register packs: m256di_1 / m256di_2 / m256di_4
+//===----------------------------------------------------------------------===//
+
+/// K AVX registers holding 2*K double intervals.
+template <int K> struct IntervalVec {
+  static_assert(K >= 1 && K <= 4, "supported packs: 1, 2, 4 registers");
+  IntervalX2 Part[K];
+
+  static constexpr int numIntervals() { return 2 * K; }
+
+  Interval interval(int I) const { return Part[I / 2].interval(I % 2); }
+
+  void setInterval(int I, const Interval &Val) {
+    Interval Other = Part[I / 2].interval(1 - (I % 2));
+    Part[I / 2] = (I % 2) == 0
+                      ? IntervalX2::fromIntervals(Val, Other)
+                      : IntervalX2::fromIntervals(Other, Val);
+  }
+
+  static IntervalVec broadcast(const Interval &I) {
+    IntervalVec R;
+    for (int P = 0; P < K; ++P)
+      R.Part[P] = IntervalX2::broadcast(I);
+    return R;
+  }
+};
+
+using M256di1 = IntervalVec<1>;
+using M256di2 = IntervalVec<2>;
+using M256di4 = IntervalVec<4>;
+
+template <int K>
+inline IntervalVec<K> iAdd(const IntervalVec<K> &X, const IntervalVec<K> &Y) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iAdd(X.Part[P], Y.Part[P]);
+  return R;
+}
+
+template <int K>
+inline IntervalVec<K> iSub(const IntervalVec<K> &X, const IntervalVec<K> &Y) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iSub(X.Part[P], Y.Part[P]);
+  return R;
+}
+
+template <int K>
+inline IntervalVec<K> iMul(const IntervalVec<K> &X, const IntervalVec<K> &Y) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iMul(X.Part[P], Y.Part[P]);
+  return R;
+}
+
+template <int K>
+inline IntervalVec<K> iDiv(const IntervalVec<K> &X, const IntervalVec<K> &Y) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iDiv(X.Part[P], Y.Part[P]);
+  return R;
+}
+
+template <int K> inline IntervalVec<K> iNeg(const IntervalVec<K> &X) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iNeg(X.Part[P]);
+  return R;
+}
+
+template <int K> inline IntervalVec<K> iSqrt(const IntervalVec<K> &X) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iSqrt(X.Part[P]);
+  return R;
+}
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_INTERVALVECTOR_H

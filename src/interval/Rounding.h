@@ -1,0 +1,90 @@
+//===- Rounding.h - FPU rounding-mode control -------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control of the IEEE-754 rounding mode.
+///
+/// The entire interval runtime follows the classical design (Section II of
+/// the paper): intervals [a, b] are stored as the pair (-a, b) and all
+/// operations are performed with the FPU rounding *upward*, using the
+/// identity RD(x) = -RU(-x). Only one rounding-mode switch is needed per
+/// computation region instead of one per operation.
+///
+/// On x86-64, fesetround() sets both the x87 control word and MXCSR, so a
+/// single switch covers scalar, SSE and AVX code.
+///
+/// The project is compiled with -frounding-math -ffp-contract=off so the
+/// compiler performs no constant folding or FMA contraction that would be
+/// invalid under a non-default rounding mode; RoundingTest verifies this at
+/// runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_ROUNDING_H
+#define IGEN_INTERVAL_ROUNDING_H
+
+#include <cassert>
+#include <cfenv>
+
+namespace igen {
+
+/// Returns true if the FPU currently rounds upward.
+inline bool isRoundUpward() { return std::fegetround() == FE_UPWARD; }
+
+/// RAII scope that switches the FPU to upward rounding and restores the
+/// previous mode on destruction. All interval operations must execute
+/// inside such a scope (asserted in debug builds by the hot operations).
+class RoundUpwardScope {
+public:
+  RoundUpwardScope() : Saved(std::fegetround()) {
+    std::fesetround(FE_UPWARD);
+  }
+  ~RoundUpwardScope() { std::fesetround(Saved); }
+
+  RoundUpwardScope(const RoundUpwardScope &) = delete;
+  RoundUpwardScope &operator=(const RoundUpwardScope &) = delete;
+
+private:
+  int Saved;
+};
+
+/// RAII scope that switches to round-to-nearest (used around libm calls in
+/// the elementary functions and around error-free transformations in the
+/// expansion oracle, which are only exact in round-to-nearest).
+class RoundNearestScope {
+public:
+  RoundNearestScope() : Saved(std::fegetround()) {
+    std::fesetround(FE_TONEAREST);
+  }
+  ~RoundNearestScope() { std::fesetround(Saved); }
+
+  RoundNearestScope(const RoundNearestScope &) = delete;
+  RoundNearestScope &operator=(const RoundNearestScope &) = delete;
+
+private:
+  int Saved;
+};
+
+/// Asserted by interval operations; compiled out of release builds. Kept as
+/// a macro-free inline so hot code reads naturally.
+inline void assertRoundUpward() {
+  assert(isRoundUpward() && "interval op outside a RoundUpwardScope");
+}
+
+/// Optimization barrier pinning a floating-point value at this program
+/// point. GCC's -frounding-math does not treat fesetround() as a
+/// scheduling barrier, so code that computes under a *locally switched*
+/// mode must route its inputs through this to prevent hoisting above the
+/// mode switch. (Code running under the caller-established upward mode
+/// needs no barriers.)
+inline double opaque(double X) {
+  asm volatile("" : "+x"(X) : : "memory");
+  return X;
+}
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_ROUNDING_H

@@ -1,0 +1,46 @@
+//===- TBool.cpp - Three-valued booleans ----------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/TBool.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace igen;
+
+static std::atomic<uint64_t> UnknownBranches{0};
+
+static void defaultUnknownBranchHandler(const char *Where) {
+  std::fprintf(stderr,
+               "igen: unknown interval branch condition at %s; the interval "
+               "result would be unsound, aborting\n",
+               Where);
+  std::abort();
+}
+
+static std::atomic<UnknownBranchHandler> Handler{defaultUnknownBranchHandler};
+
+UnknownBranchHandler igen::setUnknownBranchHandler(UnknownBranchHandler H) {
+  return Handler.exchange(H ? H : defaultUnknownBranchHandler);
+}
+
+uint64_t igen::unknownBranchCount() { return UnknownBranches.load(); }
+
+void igen::resetUnknownBranchCount() { UnknownBranches.store(0); }
+
+void igen::countingUnknownBranchHandler(const char *) {
+  // The count is maintained by cvt2Bool; nothing else to do.
+}
+
+bool igen::cvt2Bool(TBool B, const char *Where) {
+  if (B == TBool::Unknown) {
+    UnknownBranches.fetch_add(1, std::memory_order_relaxed);
+    Handler.load()(Where);
+    return true;
+  }
+  return B == TBool::True;
+}

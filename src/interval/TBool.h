@@ -1,0 +1,78 @@
+//===- TBool.h - Three-valued booleans --------------------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tbool type of Section IV-B: the result of comparing intervals is
+/// true, false, or unknown (the intervals overlap so the comparison of the
+/// represented reals cannot be decided). Kleene three-valued logic is
+/// provided for composing conditions, and cvt2Bool() implements IGen's
+/// default branch policy: an unknown condition signals an exception through
+/// a replaceable handler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_TBOOL_H
+#define IGEN_INTERVAL_TBOOL_H
+
+#include <cstdint>
+
+namespace igen {
+
+enum class TBool : uint8_t { False = 0, True = 1, Unknown = 2 };
+
+inline TBool tboolFromBool(bool B) { return B ? TBool::True : TBool::False; }
+
+/// Kleene AND: unknown AND false == false.
+inline TBool tboolAnd(TBool A, TBool B) {
+  if (A == TBool::False || B == TBool::False)
+    return TBool::False;
+  if (A == TBool::True && B == TBool::True)
+    return TBool::True;
+  return TBool::Unknown;
+}
+
+/// Kleene OR: unknown OR true == true.
+inline TBool tboolOr(TBool A, TBool B) {
+  if (A == TBool::True || B == TBool::True)
+    return TBool::True;
+  if (A == TBool::False && B == TBool::False)
+    return TBool::False;
+  return TBool::Unknown;
+}
+
+inline TBool tboolNot(TBool A) {
+  if (A == TBool::Unknown)
+    return TBool::Unknown;
+  return A == TBool::True ? TBool::False : TBool::True;
+}
+
+/// Handler invoked when a branch condition evaluates to Unknown under the
+/// default (exception-signalling) policy. Must not return normally if the
+/// program cannot tolerate an arbitrary branch decision.
+using UnknownBranchHandler = void (*)(const char *Where);
+
+/// Installs a new handler and returns the previous one. The default handler
+/// prints a message to stderr and aborts.
+UnknownBranchHandler setUnknownBranchHandler(UnknownBranchHandler H);
+
+/// Number of unknown-branch events since program start (for tests and for
+/// the tolerant handler used by benchmarks).
+uint64_t unknownBranchCount();
+void resetUnknownBranchCount();
+
+/// A handler that only counts the event and lets the branch take the
+/// 'true' side; usable when the surrounding algorithm is branch-insensitive.
+void countingUnknownBranchHandler(const char *Where);
+
+/// Converts a tbool to bool for use in an `if`. Unknown invokes the
+/// installed handler; if the handler returns, the branch condition is taken
+/// as true (both sides contain the real behaviour only if the handler's
+/// policy says so -- the default handler aborts instead).
+bool cvt2Bool(TBool B, const char *Where = "branch");
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_TBOOL_H

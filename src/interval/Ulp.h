@@ -1,0 +1,94 @@
+//===- Ulp.h - Unit-in-the-last-place utilities -----------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-level utilities on IEEE-754 doubles and floats: neighbouring values,
+/// ulp-distance, and conservative widening. Used for lifting constants to
+/// intervals, for the accuracy metric, and for the libm error margins in
+/// the elementary functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_ULP_H
+#define IGEN_INTERVAL_ULP_H
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace igen {
+
+/// Maps a double onto a signed integer such that the ordering of finite
+/// doubles matches the ordering of the integers and adjacent doubles map to
+/// adjacent integers ("Bruce Dawson" ordering). NaNs are not valid inputs.
+inline int64_t toOrdered(double X) {
+  int64_t Bits = std::bit_cast<int64_t>(X);
+  return Bits < 0 ? static_cast<int64_t>(0x8000000000000000ULL) - Bits : Bits;
+}
+
+/// Inverse of toOrdered().
+inline double fromOrdered(int64_t N) {
+  int64_t Bits =
+      N < 0 ? static_cast<int64_t>(0x8000000000000000ULL) - N : N;
+  return std::bit_cast<double>(Bits);
+}
+
+/// Next double strictly above \p X (next below for nextDown). Saturates at
+/// +-infinity; NaN maps to NaN.
+inline double nextUp(double X) {
+  if (std::isnan(X) || X == std::numeric_limits<double>::infinity())
+    return X;
+  if (X == 0.0)
+    return std::numeric_limits<double>::denorm_min();
+  return fromOrdered(toOrdered(X) + 1);
+}
+
+inline double nextDown(double X) {
+  if (std::isnan(X) || X == -std::numeric_limits<double>::infinity())
+    return X;
+  if (X == 0.0)
+    return -std::numeric_limits<double>::denorm_min();
+  return fromOrdered(toOrdered(X) - 1);
+}
+
+/// Moves \p X by \p N ulps upward (N may make it cross zero). Saturates at
+/// +-infinity.
+inline double addUlps(double X, int64_t N) {
+  if (std::isnan(X))
+    return X;
+  if (std::isinf(X))
+    return X;
+  int64_t Ordered = toOrdered(X) + N;
+  // Saturate at the infinities.
+  const int64_t PosInf = toOrdered(std::numeric_limits<double>::infinity());
+  const int64_t NegInf = toOrdered(-std::numeric_limits<double>::infinity());
+  if (Ordered >= PosInf)
+    return std::numeric_limits<double>::infinity();
+  if (Ordered <= NegInf)
+    return -std::numeric_limits<double>::infinity();
+  return fromOrdered(Ordered);
+}
+
+/// Number of double-precision values strictly between \p Lo and \p Hi plus
+/// one, i.e. the ulp-distance. Requires Lo <= Hi and both finite.
+inline uint64_t ulpDistance(double Lo, double Hi) {
+  return static_cast<uint64_t>(toOrdered(Hi) - toOrdered(Lo));
+}
+
+/// The unit in the last place of \p X: the gap between the two finite
+/// doubles enclosing it (for a representable X, the distance to the next
+/// double away from zero).
+inline double ulpOf(double X) {
+  if (std::isnan(X) || std::isinf(X))
+    return std::numeric_limits<double>::quiet_NaN();
+  double A = std::fabs(X);
+  return nextUp(A) - A;
+}
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_ULP_H

@@ -1,0 +1,607 @@
+//===- igen_lib.h - Runtime API for IGen-generated code ---------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interval runtime interface that IGen-generated code compiles
+/// against (the `#include "igen_lib.h"` of Fig. 2). It exposes C-style
+/// type names and functions (f64i, ddi, tbool, ia_add_f64, ...) backed by
+/// the C++ interval library; generated sources are compiled as C++.
+///
+/// Configuration macros (define before including):
+///   IGEN_F64I_SCALAR  -- f64i is the scalar two-double struct and ddi the
+///                        scalar double-double struct (the IGen-ss
+///                        configuration). Default: SIMD-backed types
+///                        (f64i in one SSE register, ddi in one AVX
+///                        register; IGen-sv / IGen-vv / *-dd).
+///
+/// The caller must run generated functions inside igen::RoundUpwardScope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_IGEN_LIB_H
+#define IGEN_INTERVAL_IGEN_LIB_H
+
+#include "interval/Accumulator.h"
+#include "interval/DdInterval.h"
+#include "interval/DdSimd.h"
+#include "interval/Elementary.h"
+#include "interval/Interval.h"
+#include "interval/Interval32.h"
+#include "interval/IntervalSimd.h"
+#include "interval/IntervalVector.h"
+#include "interval/TBool.h"
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+// The whole API lives in a configuration-specific namespace pulled in by a
+// using-directive: a binary may then link translation units built with
+// *different* configurations (e.g. an IGen-ss kernel next to an IGen-sv
+// kernel in one benchmark) without ODR violations between same-named
+// inline functions whose definitions differ.
+#if defined(IGEN_F64I_SCALAR)
+namespace igen_cfg_scalar {
+#else
+namespace igen_cfg_simd {
+#endif
+
+#if defined(IGEN_F64I_SCALAR)
+typedef igen::Interval f64i;
+typedef igen::DdInterval ddi;
+#else
+typedef igen::IntervalSse f64i;
+typedef igen::DdIntervalAvx ddi;
+#endif
+
+typedef igen::TBool tbool;
+typedef igen::SumAccumulatorF64 acc_f64;
+
+/// Vector-of-interval types (Table II): 2k double intervals in k AVX
+/// registers.
+typedef igen::M256di1 m256di_1;
+typedef igen::M256di2 m256di_2;
+typedef igen::M256di4 m256di_4;
+
+/// Double-double vectors: SIMD inputs compiled to double-double use k
+/// element-wise ddi values (the automatic path of Section V).
+struct ddi_2 {
+  ddi v[2];
+};
+struct ddi_4 {
+  ddi v[4];
+};
+struct ddi_8 {
+  ddi v[8];
+};
+
+//===----------------------------------------------------------------------===//
+// f64i operations
+//===----------------------------------------------------------------------===//
+
+inline f64i ia_set_f64(double Lo, double Hi) {
+  return f64i::fromEndpoints(Lo, Hi);
+}
+inline f64i ia_cst_f64(double X) { return f64i::fromPoint(X); }
+inline f64i ia_set_tol_f64(double X, double Tol) {
+#if defined(IGEN_F64I_SCALAR)
+  return igen::iSetTol(X, Tol);
+#else
+  return f64i::fromInterval(igen::iSetTol(X, Tol));
+#endif
+}
+
+inline double ia_inf_f64(f64i X) {
+#if defined(IGEN_F64I_SCALAR)
+  return -X.NegLo;
+#else
+  return X.lo();
+#endif
+}
+inline double ia_sup_f64(f64i X) {
+#if defined(IGEN_F64I_SCALAR)
+  return X.Hi;
+#else
+  return X.hi();
+#endif
+}
+
+inline f64i ia_add_f64(f64i A, f64i B) { return igen::iAdd(A, B); }
+inline f64i ia_sub_f64(f64i A, f64i B) { return igen::iSub(A, B); }
+inline f64i ia_mul_f64(f64i A, f64i B) { return igen::iMul(A, B); }
+inline f64i ia_div_f64(f64i A, f64i B) { return igen::iDiv(A, B); }
+inline f64i ia_neg_f64(f64i A) { return igen::iNeg(A); }
+inline f64i ia_sqrt_f64(f64i A) { return igen::iSqrt(A); }
+inline f64i ia_abs_f64(f64i A) { return igen::iAbs(A); }
+inline f64i ia_floor_f64(f64i A) { return igen::iFloor(A); }
+inline f64i ia_ceil_f64(f64i A) { return igen::iCeil(A); }
+inline f64i ia_join_f64(f64i A, f64i B) { return igen::iHull(A, B); }
+inline f64i ia_min_f64(f64i A, f64i B) {
+#if defined(IGEN_F64I_SCALAR)
+  return igen::iMin(A, B);
+#else
+  return f64i::fromInterval(igen::iMin(A.toInterval(), B.toInterval()));
+#endif
+}
+inline f64i ia_max_f64(f64i A, f64i B) {
+#if defined(IGEN_F64I_SCALAR)
+  return igen::iMax(A, B);
+#else
+  return f64i::fromInterval(igen::iMax(A.toInterval(), B.toInterval()));
+#endif
+}
+/// Rounds the interval outward to the single-precision grid: sound
+/// replacement for a (float) cast in the source (values are promoted to
+/// double intervals, Table II).
+inline f64i ia_f32cast_f64(f64i A) {
+#if defined(IGEN_F64I_SCALAR)
+  return igen::Interval32::fromInterval(A).widen();
+#else
+  return f64i::fromInterval(
+      igen::Interval32::fromInterval(A.toInterval()).widen());
+#endif
+}
+
+#if defined(IGEN_F64I_SCALAR)
+inline f64i ia_exp_f64(f64i A) { return igen::iExp(A); }
+inline f64i ia_log_f64(f64i A) { return igen::iLog(A); }
+inline f64i ia_sin_f64(f64i A) { return igen::iSin(A); }
+inline f64i ia_cos_f64(f64i A) { return igen::iCos(A); }
+inline f64i ia_tan_f64(f64i A) { return igen::iTan(A); }
+inline f64i ia_atan_f64(f64i A) { return igen::iAtan(A); }
+inline f64i ia_asin_f64(f64i A) { return igen::iAsin(A); }
+inline f64i ia_acos_f64(f64i A) { return igen::iAcos(A); }
+#else
+inline f64i ia_exp_f64(f64i A) {
+  return f64i::fromInterval(igen::iExp(A.toInterval()));
+}
+inline f64i ia_log_f64(f64i A) {
+  return f64i::fromInterval(igen::iLog(A.toInterval()));
+}
+inline f64i ia_sin_f64(f64i A) {
+  return f64i::fromInterval(igen::iSin(A.toInterval()));
+}
+inline f64i ia_cos_f64(f64i A) {
+  return f64i::fromInterval(igen::iCos(A.toInterval()));
+}
+inline f64i ia_tan_f64(f64i A) {
+  return f64i::fromInterval(igen::iTan(A.toInterval()));
+}
+inline f64i ia_atan_f64(f64i A) {
+  return f64i::fromInterval(igen::iAtan(A.toInterval()));
+}
+inline f64i ia_asin_f64(f64i A) {
+  return f64i::fromInterval(igen::iAsin(A.toInterval()));
+}
+inline f64i ia_acos_f64(f64i A) {
+  return f64i::fromInterval(igen::iAcos(A.toInterval()));
+}
+#endif
+
+inline tbool ia_cmplt_f64(f64i A, f64i B) { return igen::iCmpLT(A, B); }
+inline tbool ia_cmple_f64(f64i A, f64i B) { return igen::iCmpLE(A, B); }
+inline tbool ia_cmpgt_f64(f64i A, f64i B) { return igen::iCmpGT(A, B); }
+inline tbool ia_cmpge_f64(f64i A, f64i B) { return igen::iCmpGE(A, B); }
+inline tbool ia_cmpeq_f64(f64i A, f64i B) { return igen::iCmpEQ(A, B); }
+inline tbool ia_cmpne_f64(f64i A, f64i B) { return igen::iCmpNE(A, B); }
+
+//===----------------------------------------------------------------------===//
+// tbool operations
+//===----------------------------------------------------------------------===//
+
+inline bool ia_cvt2bool_tb(tbool B) { return igen::cvt2Bool(B); }
+inline tbool ia_and_tb(tbool A, tbool B) { return igen::tboolAnd(A, B); }
+inline tbool ia_or_tb(tbool A, tbool B) { return igen::tboolOr(A, B); }
+inline tbool ia_not_tb(tbool A) { return igen::tboolNot(A); }
+inline tbool ia_bool2tb(int B) { return igen::tboolFromBool(B != 0); }
+inline bool ia_istrue_tb(tbool B) { return B == igen::TBool::True; }
+inline bool ia_isfalse_tb(tbool B) { return B == igen::TBool::False; }
+
+//===----------------------------------------------------------------------===//
+// f64i reduction accumulator (Section VI-B)
+//===----------------------------------------------------------------------===//
+
+inline void isum_init_f64(acc_f64 *Acc, f64i First) { Acc->init(First); }
+inline void isum_accumulate_f64(acc_f64 *Acc, f64i T) {
+  Acc->accumulate(T);
+}
+inline f64i isum_reduce_f64(const acc_f64 *Acc) {
+#if defined(IGEN_F64I_SCALAR)
+  return Acc->reduce();
+#else
+  return f64i::fromInterval(Acc->reduce());
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// ddi operations
+//===----------------------------------------------------------------------===//
+
+namespace igen_detail {
+#if defined(IGEN_F64I_SCALAR)
+inline ddi ddiFromScalar(const igen::DdInterval &I) { return I; }
+inline igen::DdInterval ddiToScalar(const ddi &I) { return I; }
+#else
+inline ddi ddiFromScalar(const igen::DdInterval &I) {
+  return ddi::fromScalar(I);
+}
+inline igen::DdInterval ddiToScalar(const ddi &I) { return I.toScalar(); }
+#endif
+} // namespace igen_detail
+
+inline ddi ia_set_dd(double Lo, double Hi) {
+  return igen_detail::ddiFromScalar(
+      igen::DdInterval(igen::Dd(-Lo), igen::Dd(Hi)));
+}
+/// Full double-double endpoints: [LoH + LoL, HiH + HiL].
+inline ddi ia_set_ddc(double LoH, double LoL, double HiH, double HiL) {
+  return igen_detail::ddiFromScalar(igen::DdInterval(
+      igen::Dd(-LoH, -LoL), igen::Dd(HiH, HiL)));
+}
+inline ddi ia_cst_dd(double X) {
+  return igen_detail::ddiFromScalar(igen::DdInterval::fromPoint(X));
+}
+inline ddi ia_set_tol_dd(double X, double Tol) {
+  return igen_detail::ddiFromScalar(
+      igen::DdInterval::fromInterval(igen::iSetTol(X, Tol)));
+}
+
+inline ddi ia_add_dd(ddi A, ddi B) { return igen::ddiAdd(A, B); }
+inline ddi ia_sub_dd(ddi A, ddi B) { return igen::ddiSub(A, B); }
+inline ddi ia_mul_dd(ddi A, ddi B) { return igen::ddiMul(A, B); }
+inline ddi ia_div_dd(ddi A, ddi B) { return igen::ddiDiv(A, B); }
+inline ddi ia_neg_dd(ddi A) { return igen::ddiNeg(A); }
+
+/// Double-double sqrt/abs are computed on the scalar representation.
+inline ddi ia_abs_dd(ddi A) {
+  igen::DdInterval S = igen_detail::ddiToScalar(A);
+  if (S.hasNaN())
+    return igen_detail::ddiFromScalar(igen::DdInterval::nan());
+  if (S.NegLo.sign() <= 0)
+    return A;
+  if (S.Hi.sign() <= 0)
+    return ia_neg_dd(A);
+  return igen_detail::ddiFromScalar(igen::DdInterval(
+      igen::Dd(0.0), igen::ddMax(S.NegLo, S.Hi)));
+}
+
+/// sqrt on ddi endpoints at full double-double accuracy: Heron-step
+/// directed bounds (ddSqrtUp/ddSqrtDown). Negative lower endpoints yield
+/// a NaN lower endpoint, as in the double-precision sqrt (Section IV-A).
+inline ddi ia_sqrt_dd(ddi A) {
+  igen::DdInterval S = igen_detail::ddiToScalar(A);
+  if (S.hasNaN() || S.Hi.sign() < 0)
+    return igen_detail::ddiFromScalar(igen::DdInterval::nan());
+  igen::Dd Hi = igen::ddSqrtUp(S.Hi);
+  igen::Dd Lo = igen::ddNeg(S.NegLo);
+  if (Lo.sign() < 0)
+    return igen_detail::ddiFromScalar(igen::DdInterval(
+        igen::Dd(std::numeric_limits<double>::quiet_NaN(), 0.0), Hi));
+  return igen_detail::ddiFromScalar(
+      igen::DdInterval::fromEndpoints(igen::ddSqrtDown(Lo), Hi));
+}
+
+inline ddi ia_min_dd(ddi A, ddi B) {
+  return igen_detail::ddiFromScalar(igen::ddiMin(
+      igen_detail::ddiToScalar(A), igen_detail::ddiToScalar(B)));
+}
+inline ddi ia_max_dd(ddi A, ddi B) {
+  return igen_detail::ddiFromScalar(igen::ddiMax(
+      igen_detail::ddiToScalar(A), igen_detail::ddiToScalar(B)));
+}
+inline ddi ia_f32cast_dd(ddi A) {
+  igen::Interval Hull = igen_detail::ddiToScalar(A).outerHull();
+  return igen_detail::ddiFromScalar(igen::DdInterval::fromInterval(
+      igen::Interval32::fromInterval(Hull).widen()));
+}
+
+inline tbool ia_cmplt_dd(ddi A, ddi B) { return igen::ddiCmpLT(A, B); }
+inline tbool ia_cmple_dd(ddi A, ddi B) { return igen::ddiCmpLE(A, B); }
+inline tbool ia_cmpgt_dd(ddi A, ddi B) { return igen::ddiCmpGT(A, B); }
+inline tbool ia_cmpge_dd(ddi A, ddi B) { return igen::ddiCmpGE(A, B); }
+
+inline ddi ia_join_dd(ddi A, ddi B) {
+  return igen_detail::ddiFromScalar(igen::ddiHull(
+      igen_detail::ddiToScalar(A), igen_detail::ddiToScalar(B)));
+}
+
+/// Double-double reduction accumulator (exponent-indexed exact array).
+typedef igen::SumAccumulatorDd acc_dd;
+
+inline void isum_init_dd(acc_dd *Acc, ddi First) {
+  Acc->init(igen_detail::ddiToScalar(First));
+}
+inline void isum_accumulate_dd(acc_dd *Acc, ddi T) {
+  Acc->accumulate(igen_detail::ddiToScalar(T));
+}
+inline ddi isum_reduce_dd(const acc_dd *Acc) {
+  return igen_detail::ddiFromScalar(Acc->reduce());
+}
+
+//===----------------------------------------------------------------------===//
+// Vector-of-interval operations (IGen-vv)
+//===----------------------------------------------------------------------===//
+
+inline m256di_1 ia_add_m256di_1(m256di_1 A, m256di_1 B) {
+  return igen::iAdd(A, B);
+}
+inline m256di_1 ia_sub_m256di_1(m256di_1 A, m256di_1 B) {
+  return igen::iSub(A, B);
+}
+inline m256di_1 ia_mul_m256di_1(m256di_1 A, m256di_1 B) {
+  return igen::iMul(A, B);
+}
+inline m256di_1 ia_div_m256di_1(m256di_1 A, m256di_1 B) {
+  return igen::iDiv(A, B);
+}
+
+inline m256di_2 ia_add_m256di_2(m256di_2 A, m256di_2 B) {
+  return igen::iAdd(A, B);
+}
+inline m256di_2 ia_sub_m256di_2(m256di_2 A, m256di_2 B) {
+  return igen::iSub(A, B);
+}
+inline m256di_2 ia_mul_m256di_2(m256di_2 A, m256di_2 B) {
+  return igen::iMul(A, B);
+}
+inline m256di_2 ia_div_m256di_2(m256di_2 A, m256di_2 B) {
+  return igen::iDiv(A, B);
+}
+inline m256di_2 ia_sqrt_m256di_2(m256di_2 A) { return igen::iSqrt(A); }
+
+inline m256di_4 ia_add_m256di_4(m256di_4 A, m256di_4 B) {
+  return igen::iAdd(A, B);
+}
+inline m256di_4 ia_sub_m256di_4(m256di_4 A, m256di_4 B) {
+  return igen::iSub(A, B);
+}
+inline m256di_4 ia_mul_m256di_4(m256di_4 A, m256di_4 B) {
+  return igen::iMul(A, B);
+}
+inline m256di_4 ia_div_m256di_4(m256di_4 A, m256di_4 B) {
+  return igen::iDiv(A, B);
+}
+
+/// Loads/stores: an array of f64i has the layout [-lo0|hi0|-lo1|hi1|...],
+/// exactly the m256di layout, so a __m256d load of 4 doubles becomes two
+/// AVX loads of 4 interval halves.
+inline m256di_2 ia_loadu_m256di_2(const f64i *P) {
+  const double *D = reinterpret_cast<const double *>(P);
+  m256di_2 R;
+  R.Part[0] = igen::IntervalX2(_mm256_loadu_pd(D));
+  R.Part[1] = igen::IntervalX2(_mm256_loadu_pd(D + 4));
+  return R;
+}
+inline void ia_storeu_m256di_2(f64i *P, m256di_2 V) {
+  double *D = reinterpret_cast<double *>(P);
+  _mm256_storeu_pd(D, V.Part[0].V);
+  _mm256_storeu_pd(D + 4, V.Part[1].V);
+}
+inline m256di_4 ia_loadu_m256di_4(const f64i *P) {
+  const double *D = reinterpret_cast<const double *>(P);
+  m256di_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.Part[I] = igen::IntervalX2(_mm256_loadu_pd(D + 4 * I));
+  return R;
+}
+inline void ia_storeu_m256di_4(f64i *P, m256di_4 V) {
+  double *D = reinterpret_cast<double *>(P);
+  for (int I = 0; I < 4; ++I)
+    _mm256_storeu_pd(D + 4 * I, V.Part[I].V);
+}
+inline m256di_1 ia_loadu_m256di_1(const f64i *P) {
+  m256di_1 R;
+  R.Part[0] =
+      igen::IntervalX2(_mm256_loadu_pd(reinterpret_cast<const double *>(P)));
+  return R;
+}
+inline void ia_storeu_m256di_1(f64i *P, m256di_1 V) {
+  _mm256_storeu_pd(reinterpret_cast<double *>(P), V.Part[0].V);
+}
+inline m256di_2 ia_set1_m256di_2(f64i X) {
+#if defined(IGEN_F64I_SCALAR)
+  igen::Interval I = X;
+#else
+  igen::Interval I = X.toInterval();
+#endif
+  m256di_2 R;
+  R.Part[0] = igen::IntervalX2::broadcast(I);
+  R.Part[1] = igen::IntervalX2::broadcast(I);
+  return R;
+}
+inline m256di_1 ia_setzero_m256di_1() { return m256di_1(); }
+inline m256di_2 ia_setzero_m256di_2() { return m256di_2(); }
+inline m256di_4 ia_setzero_m256di_4() { return m256di_4(); }
+inline m256di_1 ia_set1_m256di_1(f64i X) {
+#if defined(IGEN_F64I_SCALAR)
+  igen::Interval I = X;
+#else
+  igen::Interval I = X.toInterval();
+#endif
+  m256di_1 R;
+  R.Part[0] = igen::IntervalX2::broadcast(I);
+  return R;
+}
+/// Mirrors _mm256_set_pd(e3, e2, e1, e0): element i of the result is Ei.
+inline m256di_2 ia_set_m256di_2(f64i E3, f64i E2, f64i E1, f64i E0) {
+#if defined(IGEN_F64I_SCALAR)
+  igen::Interval I0 = E0, I1 = E1, I2 = E2, I3 = E3;
+#else
+  igen::Interval I0 = E0.toInterval(), I1 = E1.toInterval(),
+                 I2 = E2.toInterval(), I3 = E3.toInterval();
+#endif
+  m256di_2 R;
+  R.Part[0] = igen::IntervalX2::fromIntervals(I0, I1);
+  R.Part[1] = igen::IntervalX2::fromIntervals(I2, I3);
+  return R;
+}
+/// Extracts interval lane \p I.
+inline f64i ia_extract_m256di_1(m256di_1 V, int I) {
+#if defined(IGEN_F64I_SCALAR)
+  return V.Part[0].interval(I);
+#else
+  return f64i::fromInterval(V.Part[0].interval(I));
+#endif
+}
+inline f64i ia_extract_m256di_2(m256di_2 V, int I) {
+#if defined(IGEN_F64I_SCALAR)
+  return V.interval(I);
+#else
+  return f64i::fromInterval(V.interval(I));
+#endif
+}
+/// _mm_cvtsd_f64 equivalent: the low interval of the vector.
+inline f64i ia_extract0_m256di_1(m256di_1 V) {
+  return ia_extract_m256di_1(V, 0);
+}
+
+/// _mm256_extractf128_pd equivalent: intervals {2*Imm, 2*Imm+1}.
+inline m256di_1 ia_extractf128_m256di_2(m256di_2 V, int Imm) {
+  m256di_1 R;
+  R.Part[0] = V.Part[Imm & 1];
+  return R;
+}
+/// _mm256_castpd256_pd128 equivalent: the low two intervals.
+inline m256di_1 ia_castlow_m256di_2(m256di_2 V) {
+  m256di_1 R;
+  R.Part[0] = V.Part[0];
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Element-wise double-double vectors (IGen-vv-dd)
+//===----------------------------------------------------------------------===//
+
+inline ddi_2 ia_add_ddi_2(ddi_2 A, ddi_2 B) {
+  ddi_2 R;
+  for (int I = 0; I < 2; ++I)
+    R.v[I] = ia_add_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_2 ia_sub_ddi_2(ddi_2 A, ddi_2 B) {
+  ddi_2 R;
+  for (int I = 0; I < 2; ++I)
+    R.v[I] = ia_sub_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_2 ia_mul_ddi_2(ddi_2 A, ddi_2 B) {
+  ddi_2 R;
+  for (int I = 0; I < 2; ++I)
+    R.v[I] = ia_mul_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_4 ia_add_ddi_4(ddi_4 A, ddi_4 B) {
+  ddi_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.v[I] = ia_add_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_4 ia_sub_ddi_4(ddi_4 A, ddi_4 B) {
+  ddi_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.v[I] = ia_sub_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_4 ia_mul_ddi_4(ddi_4 A, ddi_4 B) {
+  ddi_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.v[I] = ia_mul_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_4 ia_mul_ddi_4(ddi_4 A, ddi_4 B);
+inline ddi_2 ia_loadu_ddi_2(const ddi *P) {
+  ddi_2 R;
+  R.v[0] = P[0];
+  R.v[1] = P[1];
+  return R;
+}
+inline void ia_storeu_ddi_2(ddi *P, ddi_2 V) {
+  P[0] = V.v[0];
+  P[1] = V.v[1];
+}
+inline ddi_2 ia_set1_ddi_2(ddi X) {
+  ddi_2 R;
+  R.v[0] = X;
+  R.v[1] = X;
+  return R;
+}
+inline ddi_4 ia_loadu_ddi_4(const ddi *P) {
+  ddi_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.v[I] = P[I];
+  return R;
+}
+inline void ia_storeu_ddi_4(ddi *P, ddi_4 V) {
+  for (int I = 0; I < 4; ++I)
+    P[I] = V.v[I];
+}
+inline ddi_4 ia_set1_ddi_4(ddi X) {
+  ddi_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.v[I] = X;
+  return R;
+}
+inline ddi_4 ia_set_ddi_4(ddi E3, ddi E2, ddi E1, ddi E0) {
+  ddi_4 R;
+  R.v[0] = E0;
+  R.v[1] = E1;
+  R.v[2] = E2;
+  R.v[3] = E3;
+  return R;
+}
+inline ddi_2 ia_setzero_ddi_2() {
+  return ia_set1_ddi_2(ia_cst_dd(0.0));
+}
+inline ddi_4 ia_setzero_ddi_4() {
+  return ia_set1_ddi_4(ia_cst_dd(0.0));
+}
+inline ddi_8 ia_loadu_ddi_8(const ddi *P) {
+  ddi_8 R;
+  for (int I = 0; I < 8; ++I)
+    R.v[I] = P[I];
+  return R;
+}
+inline void ia_storeu_ddi_8(ddi *P, ddi_8 V) {
+  for (int I = 0; I < 8; ++I)
+    P[I] = V.v[I];
+}
+inline ddi_2 ia_extractf128_ddi_4(ddi_4 V, int Imm) {
+  ddi_2 R;
+  R.v[0] = V.v[2 * (Imm & 1)];
+  R.v[1] = V.v[2 * (Imm & 1) + 1];
+  return R;
+}
+inline ddi_2 ia_castlow_ddi_4(ddi_4 V) {
+  ddi_2 R;
+  R.v[0] = V.v[0];
+  R.v[1] = V.v[1];
+  return R;
+}
+inline ddi ia_extract0_ddi_2(ddi_2 V) { return V.v[0]; }
+inline ddi ia_extract_ddi_2(ddi_2 V, int I) { return V.v[I]; }
+inline ddi ia_extract_ddi_4(ddi_4 V, int I) { return V.v[I]; }
+inline ddi_4 ia_div_ddi_4(ddi_4 A, ddi_4 B) {
+  ddi_4 R;
+  for (int I = 0; I < 4; ++I)
+    R.v[I] = ia_div_dd(A.v[I], B.v[I]);
+  return R;
+}
+inline ddi_2 ia_div_ddi_2(ddi_2 A, ddi_2 B) {
+  ddi_2 R;
+  for (int I = 0; I < 2; ++I)
+    R.v[I] = ia_div_dd(A.v[I], B.v[I]);
+  return R;
+}
+
+#if defined(IGEN_F64I_SCALAR)
+} // namespace igen_cfg_scalar
+using namespace igen_cfg_scalar;
+#else
+} // namespace igen_cfg_simd
+using namespace igen_cfg_simd;
+#endif
+
+#endif // IGEN_INTERVAL_IGEN_LIB_H

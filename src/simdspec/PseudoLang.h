@@ -1,0 +1,124 @@
+//===- PseudoLang.h - Intel operation pseudo-language -----------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer, parser and AST for the C-like pseudo-language in which the
+/// Intel Intrinsics Guide specifies each intrinsic's <operation>
+/// (Section V, Fig. 4/5):
+///
+///   FOR j := 0 to 3
+///     i := j*64
+///     dst[i+63:i] := a[i+63:i] + b[i+63:i]
+///   ENDFOR
+///   dst[MAX:256] := 0
+///
+/// Statements are newline-separated; v[hi:lo] denotes a bit range of a
+/// vector; helper functions (SQRT, MIN, ABS, Convert_FP32_To_FP64, ...)
+/// appear as calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SIMDSPEC_PSEUDOLANG_H
+#define IGEN_SIMDSPEC_PSEUDOLANG_H
+
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace igen {
+namespace pseudo {
+
+//===----------------------------------------------------------------------===//
+// AST
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    Number,   ///< integer literal
+    Var,      ///< identifier (scalar or whole vector)
+    BitRange, ///< v[hi:lo] or v[bit]
+    Binary,   ///< arithmetic/comparison/logical operator
+    Unary,    ///< -x, NOT x
+    Call,     ///< HELPER(args)
+  };
+
+  Kind K;
+  // Number
+  long long Num = 0;
+  // Var / BitRange / Call
+  std::string Name;
+  // BitRange: Hi/Lo bit expressions (Lo null for single-bit access).
+  ExprPtr Hi, Lo;
+  // Binary/Unary
+  std::string Op;
+  ExprPtr LHS, RHS;
+  // Call
+  std::vector<ExprPtr> Args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    Assign, ///< lvalue := expr
+    For,    ///< FOR v := lo to hi ... ENDFOR
+    If,     ///< IF cond ... [ELSE ...] FI
+  };
+
+  Kind K;
+  // Assign
+  ExprPtr Target; ///< Var or BitRange
+  ExprPtr Value;
+  // For
+  std::string LoopVar;
+  ExprPtr From, To;
+  std::vector<StmtPtr> Body;
+  // If
+  ExprPtr Cond;
+  std::vector<StmtPtr> Then, Else;
+};
+
+/// A parsed <operation> body.
+struct Operation {
+  std::vector<StmtPtr> Stmts;
+};
+
+/// Parses the operation text; returns nullopt on error (diagnosed).
+std::optional<Operation> parseOperation(std::string_view Text,
+                                        DiagnosticsEngine &Diags);
+
+//===----------------------------------------------------------------------===//
+// Affine analysis (symbolic bit-range widths, Section V)
+//===----------------------------------------------------------------------===//
+
+/// An affine form: Constant + sum Coeffs[v]*v. Used to prove that a bit
+/// range like [i+63 : i] has the constant width 64.
+struct Affine {
+  long long Constant = 0;
+  std::map<std::string, long long> Coeffs;
+
+  bool isConstant() const { return Coeffs.empty(); }
+};
+
+/// Evaluates \p E as an affine form over its variables; nullopt if the
+/// expression is not affine (e.g. contains j*k).
+std::optional<Affine> tryAffine(const Expr &E);
+
+/// Width in bits of the range [Hi:Lo] if provably constant.
+std::optional<long long> rangeWidth(const Expr &Range);
+
+} // namespace pseudo
+} // namespace igen
+
+#endif // IGEN_SIMDSPEC_PSEUDOLANG_H

@@ -1,0 +1,486 @@
+//===- SimdGen.cpp - SIMD intrinsic implementation generator -----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simdspec/SimdGen.h"
+
+#include "simdspec/XmlParser.h"
+#include "support/StringExtras.h"
+
+#include <map>
+#include <set>
+
+using namespace igen;
+using namespace igen::pseudo;
+
+VecTypeInfo igen::vecTypeInfo(const std::string &TypeName) {
+  if (TypeName == "__m128d")
+    return {2, 64};
+  if (TypeName == "__m256d")
+    return {4, 64};
+  if (TypeName == "__m128")
+    return {4, 32};
+  if (TypeName == "__m256")
+    return {8, 32};
+  return {};
+}
+
+std::vector<IntrinsicSpec>
+igen::parseIntrinsicsXml(std::string_view Xml, DiagnosticsEngine &Diags) {
+  std::vector<IntrinsicSpec> Specs;
+  std::unique_ptr<XmlNode> Root = parseXml(Xml, Diags);
+  if (!Root)
+    return Specs;
+  for (const XmlNode *Node : Root->children("intrinsic")) {
+    IntrinsicSpec Spec;
+    Spec.Name = Node->attr("name");
+    Spec.RetType = Node->attr("rettype");
+    if (const XmlNode *Cat = Node->child("category"))
+      Spec.Category = std::string(trim(Cat->Text));
+    if (const XmlNode *Cpu = Node->child("CPUID"))
+      Spec.CpuId = std::string(trim(Cpu->Text));
+    for (const XmlNode *P : Node->children("parameter"))
+      Spec.Params.push_back(
+          IntrinsicParam{P->attr("type"), P->attr("varname")});
+    const XmlNode *OpNode = Node->child("operation");
+    if (!OpNode) {
+      Diags.warning(SourceLoc(), "intrinsic " + Spec.Name +
+                                     " has no <operation>; skipped");
+      continue;
+    }
+    std::optional<Operation> Op = parseOperation(OpNode->Text, Diags);
+    if (!Op) {
+      Diags.warning(SourceLoc(), "intrinsic " + Spec.Name +
+                                     ": unparsable operation; skipped");
+      continue;
+    }
+    Spec.Op = std::move(*Op);
+    Specs.push_back(std::move(Spec));
+  }
+  return Specs;
+}
+
+namespace {
+
+/// How a named entity is accessed during emission.
+struct VarInfo {
+  enum class Kind { Vector, IntParam, LocalInt, LoopVar } K;
+  VecTypeInfo Vec;   ///< for Kind::Vector
+  bool IsUnion = false;
+};
+
+/// Shared C emission for both the union and the array flavours.
+class BodyEmitter {
+public:
+  BodyEmitter(const IntrinsicSpec &Spec, bool UnionMode,
+              DiagnosticsEngine &Diags)
+      : Spec(Spec), UnionMode(UnionMode), Diags(Diags) {
+    VecTypeInfo Ret = vecTypeInfo(Spec.RetType);
+    if (Ret.isVector())
+      Vars["dst"] = VarInfo{VarInfo::Kind::Vector, Ret, UnionMode};
+    for (const IntrinsicParam &P : Spec.Params) {
+      VecTypeInfo VI = vecTypeInfo(P.Type);
+      if (VI.isVector())
+        Vars[P.Name] = VarInfo{VarInfo::Kind::Vector, VI, UnionMode};
+      else
+        Vars[P.Name] = VarInfo{VarInfo::Kind::IntParam, {}, false};
+    }
+  }
+
+  /// Emits the statements; returns false if an unsupported construct was
+  /// found (the caller then skips this intrinsic).
+  bool emit(std::string &Out, int Indent) {
+    // Pre-pass: find scalar locals (assigned plain identifiers).
+    collectLocals(Spec.Op.Stmts);
+    for (const std::string &L : LocalOrder)
+      Out += std::string(Indent, ' ') + "int " + L + ";\n";
+    return emitStmts(Spec.Op.Stmts, Out, Indent);
+  }
+
+  bool HadUnsupported = false;
+
+private:
+  void note(const std::string &Msg) {
+    if (!HadUnsupported)
+      Diags.warning(SourceLoc(),
+                    "intrinsic " + Spec.Name + ": " + Msg + "; skipped");
+    HadUnsupported = true;
+  }
+
+  void collectLocals(const std::vector<StmtPtr> &Stmts) {
+    for (const StmtPtr &S : Stmts) {
+      switch (S->K) {
+      case Stmt::Kind::Assign:
+        if (S->Target->K == Expr::Kind::Var &&
+            !Vars.count(S->Target->Name)) {
+          Vars[S->Target->Name] = VarInfo{VarInfo::Kind::LocalInt, {},
+                                          false};
+          LocalOrder.push_back(S->Target->Name);
+        }
+        break;
+      case Stmt::Kind::For:
+        if (!Vars.count(S->LoopVar)) {
+          Vars[S->LoopVar] = VarInfo{VarInfo::Kind::LoopVar, {}, false};
+          LocalOrder.push_back(S->LoopVar); // declared at function top
+        }
+        collectLocals(S->Body);
+        break;
+      case Stmt::Kind::If:
+        collectLocals(S->Then);
+        collectLocals(S->Else);
+        break;
+      }
+    }
+  }
+
+  /// Emits a bit-range access over \p V; width must match the element
+  /// size for vectors or be <= 32 for integer operands.
+  std::string emitBitRange(const Expr &E) {
+    auto It = Vars.find(E.Name);
+    if (It == Vars.end()) {
+      note("unknown operand '" + E.Name + "'");
+      return "0";
+    }
+    const VarInfo &VI = It->second;
+    std::optional<long long> Width = rangeWidth(E);
+    if (!Width) {
+      note("non-constant bit-range width on '" + E.Name + "'");
+      return "0";
+    }
+    std::string Lo = emitExpr(E.Lo ? *E.Lo : *E.Hi);
+    if (VI.K == VarInfo::Kind::Vector) {
+      if (*Width != VI.Vec.ElemBits) {
+        note(formatString("bit range of width %lld does not match the "
+                          "%d-bit elements of '%s'",
+                          *Width, VI.Vec.ElemBits, E.Name.c_str()));
+        return "0";
+      }
+      std::string Index =
+          "(" + Lo + ") / " + std::to_string(VI.Vec.ElemBits);
+      if (UnionMode)
+        return E.Name + (VI.Vec.ElemBits == 64 ? ".f[" : ".f32[") + Index +
+               "]";
+      return E.Name + "[" + Index + "]";
+    }
+    // Integer operand: bit extraction (used for imm8 control bits).
+    if (*Width > 32) {
+      note("wide bit range on integer operand");
+      return "0";
+    }
+    long long Mask = (1LL << *Width) - 1;
+    return "((" + E.Name + " >> (" + Lo + ")) & " + std::to_string(Mask) +
+           ")";
+  }
+
+  std::string emitCall(const Expr &E) {
+    auto Arg = [&](size_t I) { return emitExpr(*E.Args[I]); };
+    if (E.Name == "SQRT")
+      return "sqrt(" + Arg(0) + ")";
+    if (E.Name == "ABS")
+      return "fabs(" + Arg(0) + ")";
+    if (E.Name == "MIN")
+      return "fmin(" + Arg(0) + ", " + Arg(1) + ")";
+    if (E.Name == "MAX")
+      return "fmax(" + Arg(0) + ", " + Arg(1) + ")";
+    if (E.Name == "FLOOR")
+      return "floor(" + Arg(0) + ")";
+    if (E.Name == "CEIL")
+      return "ceil(" + Arg(0) + ")";
+    if (E.Name == "Convert_FP32_To_FP64")
+      return "(double)(" + Arg(0) + ")";
+    if (E.Name == "Convert_FP64_To_FP32")
+      return "(float)(" + Arg(0) + ")";
+    if (E.Name == "SELECT")
+      return "((" + Arg(0) + ") ? " + Arg(1) + " : " + Arg(2) + ")";
+    note("unknown helper function '" + E.Name + "'");
+    return "0";
+  }
+
+  std::string emitExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Number:
+      return std::to_string(E.Num);
+    case Expr::Kind::Var: {
+      auto It = Vars.find(E.Name);
+      if (It == Vars.end() || It->second.K == VarInfo::Kind::Vector) {
+        if (E.Name == "MAX") // dst[MAX:..] handled at the stmt level
+          return "MAX";
+        note("whole-vector operand '" + E.Name + "' in expression");
+        return "0";
+      }
+      return E.Name;
+    }
+    case Expr::Kind::BitRange:
+      return emitBitRange(E);
+    case Expr::Kind::Binary:
+      return "(" + emitExpr(*E.LHS) + " " + E.Op + " " + emitExpr(*E.RHS) +
+             ")";
+    case Expr::Kind::Unary:
+      return E.Op + "(" + emitExpr(*E.LHS) + ")";
+    case Expr::Kind::Call:
+      return emitCall(E);
+    }
+    return "0";
+  }
+
+  static bool isMaxRange(const Expr &E) {
+    return E.K == Expr::Kind::BitRange && E.Hi &&
+           E.Hi->K == Expr::Kind::Var && E.Hi->Name == "MAX";
+  }
+
+  bool emitStmts(const std::vector<StmtPtr> &Stmts, std::string &Out,
+                 int Indent) {
+    std::string Pad(Indent, ' ');
+    for (const StmtPtr &S : Stmts) {
+      switch (S->K) {
+      case Stmt::Kind::Assign: {
+        // dst[MAX:256] := 0 zeroes bits beyond the result width: a no-op
+        // for same-width results.
+        if (isMaxRange(*S->Target)) {
+          Out += Pad + "/* dst[MAX:...] := 0 (upper bits, no-op) */\n";
+          break;
+        }
+        std::string Target = S->Target->K == Expr::Kind::BitRange
+                                 ? emitBitRange(*S->Target)
+                                 : S->Target->Name;
+        Out += Pad + Target + " = " + emitExpr(*S->Value) + ";\n";
+        break;
+      }
+      case Stmt::Kind::For: {
+        Out += Pad + "for (" + S->LoopVar + " = " + emitExpr(*S->From) +
+               "; " + S->LoopVar + " <= " + emitExpr(*S->To) + "; " +
+               S->LoopVar + " = " + S->LoopVar + " + 1) {\n";
+        if (!emitStmts(S->Body, Out, Indent + 2))
+          return false;
+        Out += Pad + "}\n";
+        break;
+      }
+      case Stmt::Kind::If: {
+        Out += Pad + "if (" + emitExpr(*S->Cond) + ") {\n";
+        if (!emitStmts(S->Then, Out, Indent + 2))
+          return false;
+        if (!S->Else.empty()) {
+          Out += Pad + "} else {\n";
+          if (!emitStmts(S->Else, Out, Indent + 2))
+            return false;
+        }
+        Out += Pad + "}\n";
+        break;
+      }
+      }
+      if (HadUnsupported)
+        return false;
+    }
+    return !HadUnsupported;
+  }
+
+  const IntrinsicSpec &Spec;
+  bool UnionMode;
+  DiagnosticsEngine &Diags;
+  std::map<std::string, VarInfo> Vars;
+  std::vector<std::string> LocalOrder;
+};
+
+const char *unionTypeFor(const std::string &VecType) {
+  if (VecType == "__m128d")
+    return "vec128d";
+  if (VecType == "__m256d")
+    return "vec256d";
+  if (VecType == "__m128")
+    return "vec128";
+  if (VecType == "__m256")
+    return "vec256";
+  return nullptr;
+}
+
+} // namespace
+
+std::string igen::emitUnionC(const std::vector<IntrinsicSpec> &Specs,
+                             DiagnosticsEngine &Diags) {
+  std::string Out;
+  Out += "// Generated by igen-simdgen (SIMD2C, Fig. 5). Do not edit.\n";
+  Out += "#ifndef IGEN_SIMD_C_IMPL_H\n#define IGEN_SIMD_C_IMPL_H\n";
+  Out += "#include <immintrin.h>\n#include <math.h>\n";
+  Out += "#include <stdint.h>\n\n";
+  Out += "typedef union {\n  __m128d v;\n  uint64_t i[2];\n"
+         "  double f[2];\n} vec128d;\n";
+  Out += "typedef union {\n  __m256d v;\n  uint64_t i[4];\n"
+         "  double f[4];\n} vec256d;\n";
+  Out += "typedef union {\n  __m128 v;\n  uint32_t i[4];\n"
+         "  float f32[4];\n} vec128;\n";
+  Out += "typedef union {\n  __m256 v;\n  uint32_t i[8];\n"
+         "  float f32[8];\n} vec256;\n\n";
+
+  for (const IntrinsicSpec &Spec : Specs) {
+    const char *RetUnion = unionTypeFor(Spec.RetType);
+    if (!RetUnion) {
+      Diags.warning(SourceLoc(), "intrinsic " + Spec.Name +
+                                     ": non-vector return; skipped in "
+                                     "union mode");
+      continue;
+    }
+    std::string Body;
+    BodyEmitter Emitter(Spec, /*UnionMode=*/true, Diags);
+    std::string Inner;
+    if (!Emitter.emit(Inner, 2))
+      continue;
+
+    Body += "static inline " + Spec.RetType + " _c" + Spec.Name + "(";
+    for (size_t I = 0; I < Spec.Params.size(); ++I) {
+      if (I)
+        Body += ", ";
+      const IntrinsicParam &P = Spec.Params[I];
+      Body += P.Type + " " + (unionTypeFor(P.Type) ? "_" : "") + P.Name;
+    }
+    Body += ") {\n";
+    Body += "  " + std::string(RetUnion) + " dst";
+    for (const IntrinsicParam &P : Spec.Params)
+      if (const char *U = unionTypeFor(P.Type)) {
+        Body += ";\n  " + std::string(U) + " " + P.Name + " = {.v = _" +
+                P.Name + "}";
+      }
+    Body += ";\n";
+    Body += Inner;
+    Body += "  return dst.v;\n}\n\n";
+    Out += Body;
+  }
+  Out += "#endif // IGEN_SIMD_C_IMPL_H\n";
+  return Out;
+}
+
+std::string igen::emitScalarC(const std::vector<IntrinsicSpec> &Specs,
+                              const std::string &Prefix,
+                              DiagnosticsEngine &Diags) {
+  std::string Out;
+  Out += "/* Generated by igen-simdgen: element-array implementations in\n"
+         "   the IGen C subset, to be compiled by igen (Fig. 4). */\n\n";
+  for (const IntrinsicSpec &Spec : Specs) {
+    VecTypeInfo Ret = vecTypeInfo(Spec.RetType);
+    if (!Ret.isVector()) {
+      Diags.warning(SourceLoc(), "intrinsic " + Spec.Name +
+                                     ": non-vector return; skipped in "
+                                     "scalar mode");
+      continue;
+    }
+    std::string Inner;
+    BodyEmitter Emitter(Spec, /*UnionMode=*/false, Diags);
+    if (!Emitter.emit(Inner, 2))
+      continue;
+    std::string Sig = "void " + Prefix + Spec.Name + "(" +
+                      std::string(Ret.ElemBits == 64 ? "double" : "float") +
+                      " *dst";
+    for (const IntrinsicParam &P : Spec.Params) {
+      VecTypeInfo VI = vecTypeInfo(P.Type);
+      if (VI.isVector())
+        Sig += std::string(", ") +
+               (VI.ElemBits == 64 ? "double" : "float") + " *" + P.Name;
+      else
+        Sig += ", " + P.Type + " " + P.Name;
+    }
+    Sig += ")";
+    Out += Sig + " {\n" + Inner + "}\n\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// Interval vector type for a SIMD type (Table II).
+std::string intervalVecType(const std::string &VecType, bool Dd) {
+  VecTypeInfo VI = vecTypeInfo(VecType);
+  if (Dd) {
+    if (VI.Lanes == 2)
+      return "ddi_2";
+    if (VI.Lanes == 4)
+      return "ddi_4";
+    return "ddi_8";
+  }
+  if (VI.Lanes == 2)
+    return "m256di_1";
+  if (VI.Lanes == 4)
+    return "m256di_2";
+  return "m256di_4";
+}
+
+void emitWrapperSet(const std::vector<IntrinsicSpec> &Specs, bool Dd,
+                    const std::string &ScalarPrefix,
+                    const std::string &WrapPrefix, std::string &Out,
+                    DiagnosticsEngine &Diags) {
+  std::string Elem = Dd ? "ddi" : "f64i";
+  for (const IntrinsicSpec &Spec : Specs) {
+    VecTypeInfo Ret = vecTypeInfo(Spec.RetType);
+    if (!Ret.isVector())
+      continue;
+    // Check emittability once more (mirrors emitScalarC's filter).
+    {
+      DiagnosticsEngine Scratch;
+      std::string Tmp;
+      BodyEmitter Probe(Spec, false, Scratch);
+      if (!Probe.emit(Tmp, 0))
+        continue;
+    }
+    (void)Diags;
+    // Declaration of the IGen-compiled array implementation.
+    std::string Decl = "void " + ScalarPrefix + Spec.Name + "(" + Elem +
+                       " *dst";
+    for (const IntrinsicParam &P : Spec.Params) {
+      VecTypeInfo VI = vecTypeInfo(P.Type);
+      Decl += VI.isVector() ? (", " + Elem + " *" + P.Name)
+                            : (", " + P.Type + " " + P.Name);
+    }
+    Decl += ");\n";
+    Out += Decl;
+
+    std::string RetVt = intervalVecType(Spec.RetType, Dd);
+    std::string Sig = "static inline " + RetVt + " " + WrapPrefix +
+                      Spec.Name + "(";
+    for (size_t I = 0; I < Spec.Params.size(); ++I) {
+      if (I)
+        Sig += ", ";
+      const IntrinsicParam &P = Spec.Params[I];
+      VecTypeInfo VI = vecTypeInfo(P.Type);
+      Sig += VI.isVector() ? (intervalVecType(P.Type, Dd) + " " + P.Name)
+                           : (P.Type + " " + P.Name);
+    }
+    Sig += ")";
+    Out += Sig + " {\n";
+    Out += "  " + Elem + " _dst[" + std::to_string(Ret.Lanes) + "];\n";
+    std::string Args = "_dst";
+    for (const IntrinsicParam &P : Spec.Params) {
+      VecTypeInfo VI = vecTypeInfo(P.Type);
+      if (!VI.isVector()) {
+        Args += ", " + P.Name;
+        continue;
+      }
+      std::string Vt = intervalVecType(P.Type, Dd);
+      Out += "  " + Elem + " _" + P.Name + "[" +
+             std::to_string(VI.Lanes) + "];\n";
+      Out += "  ia_storeu_" + Vt + "(_" + P.Name + ", " + P.Name + ");\n";
+      Args += ", _" + P.Name;
+    }
+    Out += "  " + ScalarPrefix + Spec.Name + "(" + Args + ");\n";
+    Out += "  return ia_loadu_" + RetVt + "(_dst);\n";
+    Out += "}\n\n";
+  }
+}
+
+} // namespace
+
+std::string igen::emitWrappers(const std::vector<IntrinsicSpec> &Specs,
+                               const std::string &Prefix64,
+                               const std::string &PrefixDd,
+                               DiagnosticsEngine &Diags) {
+  std::string Out;
+  Out += "// Generated by igen-simdgen: interval wrappers over the\n"
+         "// IGen-compiled array implementations. Do not edit.\n";
+  Out += "#ifndef IGEN_SIMD_H\n#define IGEN_SIMD_H\n";
+  Out += "#include \"interval/igen_lib.h\"\n\n";
+  Out += "// ---- double-precision interval intrinsics (_ci_*) ----\n";
+  emitWrapperSet(Specs, /*Dd=*/false, Prefix64, "_ci", Out, Diags);
+  Out += "// ---- double-double interval intrinsics (_ci_dd_*) ----\n";
+  emitWrapperSet(Specs, /*Dd=*/true, PrefixDd, "_ci_dd", Out, Diags);
+  Out += "#endif // IGEN_SIMD_H\n";
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- SimdGen.h - SIMD intrinsic implementation generator ------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIMD2C generator of Section V (Fig. 4): reads the vendor XML
+/// specification of SIMD intrinsics and emits
+///
+///  1. emitUnionC():  plain C implementations over union-wrapped vectors
+///     (exactly Fig. 5's output), used to validate the generator against
+///     the hardware intrinsics;
+///  2. emitScalarC(): equivalent implementations over element arrays in
+///     the IGen-supported C subset -- these are fed through IGen itself to
+///     obtain sound interval implementations ("igen_simd.c" of Fig. 4);
+///  3. emitWrappers(): thin marshalling wrappers (_ci_<name> and
+///     _ci_dd_<name>) exposing the IGen-compiled array implementations on
+///     the m256di_k / ddi_k vector-of-interval types the transformer emits
+///     for unrecognized intrinsics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SIMDSPEC_SIMDGEN_H
+#define IGEN_SIMDSPEC_SIMDGEN_H
+
+#include "simdspec/PseudoLang.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace igen {
+
+/// One parameter of an intrinsic.
+struct IntrinsicParam {
+  std::string Type; ///< "__m256d", "int", ...
+  std::string Name;
+};
+
+/// A parsed intrinsic specification.
+struct IntrinsicSpec {
+  std::string Name; ///< "_mm256_add_pd"
+  std::string RetType;
+  std::string Category;
+  std::string CpuId;
+  std::vector<IntrinsicParam> Params;
+  pseudo::Operation Op;
+};
+
+/// Lane/element info for the SIMD types handled by the generator.
+struct VecTypeInfo {
+  int Lanes = 0;
+  int ElemBits = 0; ///< 32 or 64
+  bool isVector() const { return Lanes > 0; }
+};
+VecTypeInfo vecTypeInfo(const std::string &TypeName);
+
+/// Parses the intrinsics data file. Intrinsics whose operation cannot be
+/// handled are skipped with a warning (the paper's generator also covers
+/// only a large subset).
+std::vector<IntrinsicSpec> parseIntrinsicsXml(std::string_view Xml,
+                                              DiagnosticsEngine &Diags);
+
+/// Fig. 5-style C implementations over vec unions; function names are
+/// prefixed "_c" (e.g. _c_mm256_add_pd).
+std::string emitUnionC(const std::vector<IntrinsicSpec> &Specs,
+                       DiagnosticsEngine &Diags);
+
+/// Element-array implementations in the IGen C subset; function names get
+/// \p Prefix (e.g. "_s64" -> _s64_mm256_add_pd(double *dst, ...)).
+std::string emitScalarC(const std::vector<IntrinsicSpec> &Specs,
+                        const std::string &Prefix,
+                        DiagnosticsEngine &Diags);
+
+/// Wrapper header exposing _ci_*/_ci_dd_* over the interval vector types;
+/// declares the IGen-compiled array implementations with prefixes
+/// \p Prefix64 and \p PrefixDd.
+std::string emitWrappers(const std::vector<IntrinsicSpec> &Specs,
+                         const std::string &Prefix64,
+                         const std::string &PrefixDd,
+                         DiagnosticsEngine &Diags);
+
+} // namespace igen
+
+#endif // IGEN_SIMDSPEC_SIMDGEN_H

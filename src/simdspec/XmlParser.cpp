@@ -1,0 +1,214 @@
+//===- XmlParser.cpp - Minimal XML parser -------------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simdspec/XmlParser.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+
+using namespace igen;
+
+namespace {
+
+class XmlParserImpl {
+public:
+  XmlParserImpl(std::string_view Input, DiagnosticsEngine &Diags)
+      : Input(Input), Diags(Diags) {}
+
+  std::unique_ptr<XmlNode> parseDocument() {
+    skipProlog();
+    std::unique_ptr<XmlNode> Root = parseElement();
+    if (!Root)
+      error("expected a root element");
+    return Root;
+  }
+
+private:
+  SourceLoc loc() const {
+    return SourceLoc{static_cast<uint32_t>(Pos), Line, Col};
+  }
+  void error(const std::string &Msg) { Diags.error(loc(), Msg); }
+
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Input.size() ? Input[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Input[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool startsWithHere(std::string_view S) const {
+    return Input.substr(Pos, S.size()) == S;
+  }
+  void skip(size_t N) {
+    for (size_t I = 0; I < N && Pos < Input.size(); ++I)
+      advance();
+  }
+  void skipWs() {
+    while (Pos < Input.size() &&
+           std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+  }
+
+  void skipProlog() {
+    while (true) {
+      skipWs();
+      if (startsWithHere("<?")) {
+        while (Pos < Input.size() && !startsWithHere("?>"))
+          advance();
+        skip(2);
+        continue;
+      }
+      if (startsWithHere("<!--")) {
+        skipComment();
+        continue;
+      }
+      if (startsWithHere("<!")) { // DOCTYPE etc.
+        while (Pos < Input.size() && peek() != '>')
+          advance();
+        skip(1);
+        continue;
+      }
+      return;
+    }
+  }
+
+  void skipComment() {
+    skip(4); // "<!--"
+    while (Pos < Input.size() && !startsWithHere("-->"))
+      advance();
+    skip(3);
+  }
+
+  std::string parseName() {
+    std::string Name;
+    while (Pos < Input.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_' || peek() == '-' || peek() == '.' ||
+            peek() == ':'))
+      Name.push_back(advance());
+    return Name;
+  }
+
+  std::string decodeEntities(std::string S) {
+    S = replaceAll(std::move(S), "&lt;", "<");
+    S = replaceAll(std::move(S), "&gt;", ">");
+    S = replaceAll(std::move(S), "&quot;", "\"");
+    S = replaceAll(std::move(S), "&apos;", "'");
+    S = replaceAll(std::move(S), "&amp;", "&");
+    return S;
+  }
+
+  std::string parseAttrValue() {
+    char Quote = peek();
+    if (Quote != '"' && Quote != '\'') {
+      error("expected quoted attribute value");
+      return {};
+    }
+    advance();
+    std::string Value;
+    while (Pos < Input.size() && peek() != Quote)
+      Value.push_back(advance());
+    if (Pos >= Input.size()) {
+      error("unterminated attribute value");
+      return Value;
+    }
+    advance();
+    return decodeEntities(Value);
+  }
+
+  std::unique_ptr<XmlNode> parseElement() {
+    if (peek() != '<')
+      return nullptr;
+    advance();
+    auto Node = std::make_unique<XmlNode>();
+    Node->Name = parseName();
+    if (Node->Name.empty()) {
+      error("expected element name after '<'");
+      return nullptr;
+    }
+    // Attributes.
+    while (true) {
+      skipWs();
+      if (startsWithHere("/>")) {
+        skip(2);
+        return Node;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      std::string Key = parseName();
+      if (Key.empty()) {
+        error("malformed attribute in <" + Node->Name + ">");
+        return Node;
+      }
+      skipWs();
+      if (peek() == '=') {
+        advance();
+        skipWs();
+        Node->Attributes[Key] = parseAttrValue();
+      } else {
+        Node->Attributes[Key] = "";
+      }
+    }
+    // Content.
+    while (Pos < Input.size()) {
+      if (startsWithHere("<!--")) {
+        skipComment();
+        continue;
+      }
+      if (startsWithHere("</")) {
+        skip(2);
+        std::string Closing = parseName();
+        skipWs();
+        if (peek() == '>')
+          advance();
+        if (Closing != Node->Name)
+          error("mismatched closing tag </" + Closing + "> for <" +
+                Node->Name + ">");
+        return Node;
+      }
+      if (peek() == '<') {
+        std::unique_ptr<XmlNode> Child = parseElement();
+        if (!Child)
+          return Node;
+        Node->Children.push_back(std::move(Child));
+        continue;
+      }
+      std::string Text;
+      while (Pos < Input.size() && peek() != '<')
+        Text.push_back(advance());
+      Node->Text += decodeEntities(Text);
+    }
+    error("unterminated element <" + Node->Name + ">");
+    return Node;
+  }
+
+  std::string_view Input;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace
+
+std::unique_ptr<XmlNode> igen::parseXml(std::string_view Input,
+                                        DiagnosticsEngine &Diags) {
+  XmlParserImpl P(Input, Diags);
+  unsigned Before = Diags.errorCount();
+  std::unique_ptr<XmlNode> Root = P.parseDocument();
+  if (Diags.errorCount() != Before)
+    return nullptr;
+  return Root;
+}

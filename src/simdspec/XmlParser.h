@@ -1,0 +1,67 @@
+//===- XmlParser.h - Minimal XML parser for intrinsic specs -----*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small XML parser sufficient for the Intel Intrinsics Guide data file
+/// format (Fig. 5): nested elements, single- or double-quoted attributes,
+/// text content, comments, and entity references. No namespaces, CDATA or
+/// DTDs (the data file uses none).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SIMDSPEC_XMLPARSER_H
+#define IGEN_SIMDSPEC_XMLPARSER_H
+
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace igen {
+
+/// One XML element: name, attributes, child elements and text content
+/// (concatenation of all text nodes directly below this element).
+struct XmlNode {
+  std::string Name;
+  std::map<std::string, std::string> Attributes;
+  std::vector<std::unique_ptr<XmlNode>> Children;
+  std::string Text;
+
+  /// Attribute value or "" when absent.
+  const std::string &attr(const std::string &Key) const {
+    static const std::string Empty;
+    auto It = Attributes.find(Key);
+    return It == Attributes.end() ? Empty : It->second;
+  }
+
+  /// First child with the given element name, or null.
+  const XmlNode *child(const std::string &ChildName) const {
+    for (const auto &C : Children)
+      if (C->Name == ChildName)
+        return C.get();
+    return nullptr;
+  }
+
+  /// All children with the given element name.
+  std::vector<const XmlNode *> children(const std::string &ChildName) const {
+    std::vector<const XmlNode *> Out;
+    for (const auto &C : Children)
+      if (C->Name == ChildName)
+        Out.push_back(C.get());
+    return Out;
+  }
+};
+
+/// Parses an XML document; returns the root element or null on error
+/// (diagnostics report the position).
+std::unique_ptr<XmlNode> parseXml(std::string_view Input,
+                                  DiagnosticsEngine &Diags);
+
+} // namespace igen
+
+#endif // IGEN_SIMDSPEC_XMLPARSER_H

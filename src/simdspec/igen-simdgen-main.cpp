@@ -1,0 +1,80 @@
+//===- igen-simdgen-main.cpp - SIMD generator CLI -----------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: igen-simdgen <spec.xml> --mode=<c|scalar|wrap> [options] -o <out>
+//
+//   --mode=c        union-based C implementations (_c_*), Fig. 5
+//   --mode=scalar   element-array C subset implementations (--prefix=)
+//   --mode=wrap     interval wrappers (_ci_*/_ci_dd_*) declaring the
+//                   IGen-compiled implementations (--prefix64=/--prefixdd=)
+//
+//===----------------------------------------------------------------------===//
+
+#include "simdspec/SimdGen.h"
+#include "support/StringExtras.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace igen;
+
+int main(int Argc, char **Argv) {
+  std::string Input, Output, Mode = "c";
+  std::string Prefix = "_s64", Prefix64 = "_s64", PrefixDd = "_sdd";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-o" && I + 1 < Argc) {
+      Output = Argv[++I];
+    } else if (startsWith(Arg, "--mode=")) {
+      Mode = Arg.substr(7);
+    } else if (startsWith(Arg, "--prefix=")) {
+      Prefix = Arg.substr(9);
+    } else if (startsWith(Arg, "--prefix64=")) {
+      Prefix64 = Arg.substr(11);
+    } else if (startsWith(Arg, "--prefixdd=")) {
+      PrefixDd = Arg.substr(11);
+    } else if (!startsWith(Arg, "-")) {
+      Input = Arg;
+    } else {
+      std::fprintf(stderr, "igen-simdgen: unknown option '%s'\n",
+                   Arg.c_str());
+      return 1;
+    }
+  }
+  if (Input.empty() || Output.empty()) {
+    std::fprintf(stderr,
+                 "usage: igen-simdgen <spec.xml> --mode=<c|scalar|wrap> "
+                 "-o <out>\n");
+    return 1;
+  }
+  std::string Xml;
+  if (!readFile(Input, Xml)) {
+    std::fprintf(stderr, "igen-simdgen: cannot read '%s'\n", Input.c_str());
+    return 1;
+  }
+  DiagnosticsEngine Diags;
+  std::vector<IntrinsicSpec> Specs = parseIntrinsicsXml(Xml, Diags);
+  std::string Out;
+  if (Mode == "c")
+    Out = emitUnionC(Specs, Diags);
+  else if (Mode == "scalar")
+    Out = emitScalarC(Specs, Prefix, Diags);
+  else if (Mode == "wrap")
+    Out = emitWrappers(Specs, Prefix64, PrefixDd, Diags);
+  else {
+    std::fprintf(stderr, "igen-simdgen: unknown mode '%s'\n", Mode.c_str());
+    return 1;
+  }
+  std::fputs(Diags.render(Input).c_str(), stderr);
+  if (Diags.hasErrors())
+    return 1;
+  if (!writeFile(Output, Out)) {
+    std::fprintf(stderr, "igen-simdgen: cannot write '%s'\n",
+                 Output.c_str());
+    return 1;
+  }
+  return 0;
+}

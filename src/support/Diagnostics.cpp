@@ -1,0 +1,47 @@
+//===- Diagnostics.cpp - Error and warning reporting ----------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace igen;
+
+void DiagnosticsEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                               std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticsEngine::render(const std::string &FileName) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += FileName;
+    if (D.Loc.isValid()) {
+      Out += ':';
+      Out += std::to_string(D.Loc.Line);
+      Out += ':';
+      Out += std::to_string(D.Loc.Col);
+    }
+    Out += ": ";
+    Out += severityName(D.Severity);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- Diagnostics.h - Error and warning reporting --------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine in the style of Clang's: diagnostics carry a
+/// severity, a source location, and a message. The engine collects them so
+/// tools can print them and tests can assert on them. Library code never
+/// aborts on user errors; it reports and lets the driver decide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SUPPORT_DIAGNOSTICS_H
+#define IGEN_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace igen {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced during a compilation.
+class DiagnosticsEngine {
+public:
+  /// Reports a diagnostic with severity \p Severity at \p Loc.
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "file:line:col: severity: message" lines.
+  /// \p FileName is used as the file component for valid locations.
+  std::string render(const std::string &FileName) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace igen
+
+#endif // IGEN_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,41 @@
+//===- SourceLoc.h - Source locations and ranges ----------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations used by the frontend and diagnostics.
+/// A SourceLoc is a byte offset into a SourceBuffer plus the 1-based
+/// line/column pair computed when the token was lexed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SUPPORT_SOURCELOC_H
+#define IGEN_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace igen {
+
+/// A position in a source buffer. Line and column are 1-based; a value of
+/// zero for Line means "invalid/unknown location".
+struct SourceLoc {
+  uint32_t Offset = 0;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  static SourceLoc invalid() { return SourceLoc(); }
+};
+
+/// A half-open range [Begin, End) of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+};
+
+} // namespace igen
+
+#endif // IGEN_SUPPORT_SOURCELOC_H

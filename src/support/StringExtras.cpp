@@ -1,0 +1,75 @@
+//===- StringExtras.cpp - Small string helpers ----------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace igen;
+
+std::vector<std::string_view> igen::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string igen::replaceAll(std::string S, std::string_view From,
+                             std::string_view To) {
+  if (From.empty())
+    return S;
+  size_t Pos = 0;
+  while ((Pos = S.find(From, Pos)) != std::string::npos) {
+    S.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return S;
+}
+
+std::string igen::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+bool igen::readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool igen::writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream OutFile(Path, std::ios::binary | std::ios::trunc);
+  if (!OutFile)
+    return false;
+  OutFile << Contents;
+  return static_cast<bool>(OutFile);
+}

@@ -1,0 +1,1172 @@
+//===- IntervalTransform.cpp - AST-to-interval-C transformer ----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/IntervalTransform.h"
+
+#include "frontend/Sema.h"
+#include "interval/DdInterval.h"
+#include "interval/DecimalFp.h"
+#include "interval/Interval.h"
+#include "interval/Rounding.h"
+#include "interval/Ulp.h"
+#include "support/StringExtras.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace igen;
+
+namespace {
+
+/// Category of a transformed expression.
+enum class Cat {
+  Plain,    ///< ordinary C value (integers, pointers, plain conditions)
+  Interval, ///< an interval (f64i/ddi or a vector of intervals)
+  TBool,    ///< three-valued boolean from an interval comparison
+};
+
+/// Result of transforming one expression.
+struct TR {
+  std::string Code;
+  Cat C = Cat::Plain;
+  const Type *OrigTy = nullptr;
+
+  // Compile-time interval constant (Section IV-B, "Interval constants").
+  bool IsConst = false;
+  Interval CF64;  ///< enclosure used when targeting double
+  DdInterval CDd; ///< enclosure used when targeting double-double
+};
+
+/// Formats a double as a C expression reconstructing it exactly.
+std::string fmtDouble(double V) {
+  if (std::isnan(V))
+    return "__builtin_nan(\"\")";
+  if (std::isinf(V))
+    return V > 0 ? "__builtin_inf()" : "-__builtin_inf()";
+  return formatString("%.17g", V); // always round-trips IEEE doubles
+}
+
+/// Parenthesizes plain compound expressions when embedded.
+std::string maybeParen(const TR &V) {
+  if (V.C != Cat::Plain)
+    return V.Code;
+  if (V.Code.find(' ') != std::string::npos)
+    return "(" + V.Code + ")";
+  return V.Code;
+}
+
+class Transformer {
+public:
+  Transformer(ASTContext &Ctx, DiagnosticsEngine &Diags,
+              const TransformOptions &Opts)
+      : Ctx(Ctx), Diags(Diags), Opts(Opts) {}
+
+  std::string run();
+
+private:
+  bool isDd() const {
+    return Opts.Prec == TransformOptions::Precision::DoubleDouble;
+  }
+  std::string sfx() const { return isDd() ? "dd" : "f64"; }
+  std::string scalarIntervalType() const { return isDd() ? "ddi" : "f64i"; }
+
+  /// Promoted spelling of a SIMD vector type (Table II).
+  std::string vecTypeName(const Type *T) const {
+    switch (T->kind()) {
+    case Type::Kind::M128D:
+      return isDd() ? "ddi_2" : "m256di_1";
+    case Type::Kind::M128:
+    case Type::Kind::M256D:
+      return isDd() ? "ddi_4" : "m256di_2";
+    case Type::Kind::M256:
+      return isDd() ? "ddi_8" : "m256di_4";
+    default:
+      return scalarIntervalType();
+    }
+  }
+
+  static bool needsPromotion(const Type *T) {
+    if (!T)
+      return false;
+    if (T->isFloatingOrVector())
+      return true;
+    if (T->isPointer() || T->isArray())
+      return needsPromotion(T->element());
+    return false;
+  }
+
+  std::string promoteTypeSpelling(const Type *T) const {
+    if (T->isFloating())
+      return scalarIntervalType();
+    if (T->isSimdVector())
+      return vecTypeName(T);
+    if (T->isPointer())
+      return promoteTypeSpelling(T->element()) + " *";
+    return T->cName();
+  }
+
+  std::string promoteTypeAndName(const Type *T, const std::string &Name) {
+    std::string Dims;
+    const Type *Base = T;
+    while (Base->isArray()) {
+      Dims +=
+          formatString("[%lld]", static_cast<long long>(Base->arraySize()));
+      Base = Base->element();
+    }
+    std::string TypeName = promoteTypeSpelling(Base);
+    return TypeName + (endsWith(TypeName, "*") ? "" : " ") + Name + Dims;
+  }
+
+  // Expressions.
+  TR transformExpr(const Expr *E);
+  TR transformBinary(const BinaryExpr *B);
+  TR transformUnary(const UnaryExpr *U);
+  TR transformCall(const CallExpr *C);
+  TR transformCast(const CastExpr *C);
+  TR makeConstant(const Interval &F64, const DdInterval &Dd,
+                  const Type *OrigTy);
+  std::string materializeConst(const TR &V) const;
+  std::string asInterval(const TR &V);
+  std::string asTBool(const TR &V);
+  std::string lvalueOf(const Expr *E);
+
+  // Statements.
+  void emitStmt(const Stmt *S);
+  void emitCompound(const CompoundStmt *S);
+  /// Emits a statement as a brace-wrapped body (flattens compounds).
+  void emitBody(const Stmt *S);
+  void emitIf(const IfStmt *S);
+  void emitFor(const ForStmt *S);
+  void emitWhileCond(std::string Keyword, const Expr *Cond);
+  void emitDecl(const VarDecl *D);
+  void emitExprStmt(const ExprStmt *S);
+  std::string forHeader(const ForStmt *S);
+  void emitFunction(FunctionDecl *F);
+
+  // Join-mode branch support: collects scalar interval variables assigned
+  // within \p S; returns false if the branch does anything the join
+  // transformation cannot handle (Section IV-B).
+  bool collectJoinTargets(const Stmt *S, std::set<VarDecl *> &Targets);
+  bool collectAssignTargetsInExpr(const Expr *E,
+                                  std::set<VarDecl *> &Targets);
+
+  void line(const std::string &Text) {
+    Body += std::string(Indent * 2, ' ');
+    Body += Text;
+    Body += '\n';
+  }
+  std::string freshTemp() { return formatString("_t%d", ++TempCounter); }
+
+  ASTContext &Ctx;
+  DiagnosticsEngine &Diags;
+  TransformOptions Opts;
+  std::string Body;
+  int Indent = 0;
+  int TempCounter = 0;
+  int AccCounter = 0;
+  bool UsedGeneratedIntrinsics = false;
+  std::map<const VarDecl *, std::string> Renames;
+  ReductionAnalysisResult Reductions;
+  std::map<const Stmt *, std::pair<const ReductionSite *, std::string>>
+      UpdateToAcc;
+};
+
+//===----------------------------------------------------------------------===//
+// Constants
+//===----------------------------------------------------------------------===//
+
+TR Transformer::makeConstant(const Interval &F64, const DdInterval &Dd,
+                             const Type *OrigTy) {
+  TR R;
+  R.C = Cat::Interval;
+  R.OrigTy = OrigTy;
+  R.IsConst = true;
+  R.CF64 = F64;
+  R.CDd = Dd;
+  R.Code = materializeConst(R);
+  return R;
+}
+
+std::string Transformer::materializeConst(const TR &V) const {
+  if (!isDd()) {
+    const Interval &I = V.CF64;
+    if (I.isPoint())
+      return "ia_cst_f64(" + fmtDouble(I.hi()) + ")";
+    return "ia_set_f64(" + fmtDouble(I.lo()) + ", " + fmtDouble(I.hi()) +
+           ")";
+  }
+  const DdInterval &I = V.CDd;
+  bool Point = I.NegLo.H == -I.Hi.H && I.NegLo.L == -I.Hi.L;
+  if (Point && I.Hi.L == 0.0)
+    return "ia_cst_dd(" + fmtDouble(I.Hi.H) + ")";
+  return "ia_set_ddc(" + fmtDouble(-I.NegLo.H) + ", " +
+         fmtDouble(-I.NegLo.L) + ", " + fmtDouble(I.Hi.H) + ", " +
+         fmtDouble(I.Hi.L) + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Category conversions
+//===----------------------------------------------------------------------===//
+
+std::string Transformer::asInterval(const TR &V) {
+  if (V.C == Cat::Interval)
+    return V.Code;
+  if (V.C == Cat::TBool) {
+    Diags.error(SourceLoc(), "cannot use a comparison result as a value");
+    return V.Code;
+  }
+  if (V.OrigTy && V.OrigTy->isInteger())
+    return "ia_cst_" + sfx() + "((double)(" + V.Code + "))";
+  return "ia_cst_" + sfx() + "(" + V.Code + ")";
+}
+
+std::string Transformer::asTBool(const TR &V) {
+  if (V.C == Cat::TBool)
+    return V.Code;
+  return "ia_bool2tb(" + V.Code + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TR Transformer::transformExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral: {
+    const auto *I = cast<IntLiteralExpr>(E);
+    TR R;
+    R.Code = I->Spelling;
+    R.OrigTy = E->type();
+    return R;
+  }
+  case Expr::Kind::FloatLiteral: {
+    const auto *F = cast<FloatLiteralExpr>(E);
+    RoundUpwardScope Up;
+    if (F->IsTolerance) {
+      // 0.25t denotes the interval [-t, t] around zero (Section IV-C).
+      DdInterval Enc = ddIntervalFromDecimal(F->Spelling);
+      DdInterval DdI(Enc.Hi, Enc.Hi); // stored (-lo, hi) = (hi, hi)
+      Interval Hull = Enc.outerHull();
+      Interval F64I(Hull.Hi, Hull.Hi);
+      return makeConstant(F64I, DdI, E->type());
+    }
+    // Double target follows the paper: integer-valued constants are
+    // exact, others become [prev(v), next(v)]. The double-double target
+    // uses the tight decimal enclosure.
+    double V = F->Value;
+    Interval F64I;
+    if (V == std::trunc(V) && std::fabs(V) < 0x1p53)
+      F64I = Interval::fromPoint(V);
+    else
+      F64I = Interval::fromEndpoints(nextDown(V), nextUp(V));
+    DdInterval DdI = ddIntervalFromDecimal(F->Spelling);
+    if (DdI.hasNaN())
+      DdI = DdInterval::fromPoint(V);
+    return makeConstant(F64I, DdI, E->type());
+  }
+  case Expr::Kind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    TR R;
+    auto It = Renames.find(Ref->Decl);
+    R.Code = It != Renames.end() ? It->second : Ref->Name;
+    R.OrigTy = E->type();
+    if (It != Renames.end() ||
+        (E->type() && E->type()->isFloatingOrVector()))
+      R.C = Cat::Interval;
+    return R;
+  }
+  case Expr::Kind::Paren: {
+    TR R = transformExpr(cast<ParenExpr>(E)->Sub);
+    if (R.C == Cat::Plain && !R.IsConst)
+      R.Code = "(" + R.Code + ")";
+    return R;
+  }
+  case Expr::Kind::Unary:
+    return transformUnary(cast<UnaryExpr>(E));
+  case Expr::Kind::Binary:
+    return transformBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    TR Cond = transformExpr(C->Cond);
+    TR Then = transformExpr(C->Then);
+    TR Else = transformExpr(C->Else);
+    if (Cond.C == Cat::TBool)
+      Diags.error(E->loc(),
+                  "interval-dependent '?:' conditions are not supported; "
+                  "rewrite as an if statement");
+    TR R;
+    R.OrigTy = E->type();
+    if (E->type() && E->type()->isFloatingOrVector()) {
+      R.C = Cat::Interval;
+      R.Code = "(" + Cond.Code + " ? " + asInterval(Then) + " : " +
+               asInterval(Else) + ")";
+    } else {
+      R.Code =
+          "(" + Cond.Code + " ? " + Then.Code + " : " + Else.Code + ")";
+    }
+    return R;
+  }
+  case Expr::Kind::Call:
+    return transformCall(cast<CallExpr>(E));
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    TR Base = transformExpr(I->Base);
+    TR Idx = transformExpr(I->Idx);
+    TR R;
+    R.Code = Base.Code + "[" + Idx.Code + "]";
+    R.OrigTy = E->type();
+    if (E->type() && E->type()->isFloatingOrVector())
+      R.C = Cat::Interval;
+    return R;
+  }
+  case Expr::Kind::Cast:
+    return transformCast(cast<CastExpr>(E));
+  }
+  return TR();
+}
+
+TR Transformer::transformUnary(const UnaryExpr *U) {
+  TR Sub = transformExpr(U->Sub);
+  TR R;
+  R.OrigTy = U->type();
+  switch (U->O) {
+  case UnaryExpr::Op::Neg:
+    if (Sub.IsConst) {
+      RoundUpwardScope Up;
+      return makeConstant(iNeg(Sub.CF64), ddiNeg(Sub.CDd), U->type());
+    }
+    if (Sub.C == Cat::Interval) {
+      R.C = Cat::Interval;
+      std::string OpSfx = (Sub.OrigTy && Sub.OrigTy->isSimdVector())
+                              ? vecTypeName(Sub.OrigTy)
+                              : sfx();
+      R.Code = "ia_neg_" + OpSfx + "(" + Sub.Code + ")";
+      return R;
+    }
+    R.Code = Sub.Code[0] == '-' ? "-(" + Sub.Code + ")"
+                                : "-" + maybeParen(Sub);
+    return R;
+  case UnaryExpr::Op::Plus:
+    return Sub;
+  case UnaryExpr::Op::LogicalNot:
+    if (Sub.C == Cat::TBool) {
+      R.C = Cat::TBool;
+      R.Code = "ia_not_tb(" + Sub.Code + ")";
+      return R;
+    }
+    R.Code = "!" + maybeParen(Sub);
+    return R;
+  case UnaryExpr::Op::BitNot:
+    R.Code = "~" + maybeParen(Sub);
+    return R;
+  case UnaryExpr::Op::PreInc:
+  case UnaryExpr::Op::PreDec:
+  case UnaryExpr::Op::PostInc:
+  case UnaryExpr::Op::PostDec: {
+    if (Sub.C == Cat::Interval) {
+      Diags.error(U->loc(), "++/-- on floating-point values is not "
+                            "supported in the IGen C subset");
+      return Sub;
+    }
+    bool Pre =
+        U->O == UnaryExpr::Op::PreInc || U->O == UnaryExpr::Op::PreDec;
+    bool Inc =
+        U->O == UnaryExpr::Op::PreInc || U->O == UnaryExpr::Op::PostInc;
+    R.Code = Pre ? (std::string(Inc ? "++" : "--") + Sub.Code)
+                 : (Sub.Code + (Inc ? "++" : "--"));
+    return R;
+  }
+  case UnaryExpr::Op::Deref:
+    R.Code = "*" + maybeParen(Sub);
+    if (U->type() && U->type()->isFloatingOrVector())
+      R.C = Cat::Interval;
+    return R;
+  case UnaryExpr::Op::AddrOf:
+    R.Code = "&" + maybeParen(Sub);
+    return R;
+  }
+  return R;
+}
+
+TR Transformer::transformBinary(const BinaryExpr *B) {
+  if (B->isAssignment()) {
+    std::string LHS = lvalueOf(B->LHS);
+    TR RHS = transformExpr(B->RHS);
+    bool IntervalTarget =
+        B->LHS->type() && B->LHS->type()->isFloatingOrVector();
+    TR R;
+    R.OrigTy = B->type();
+    if (!IntervalTarget) {
+      const char *OpStr = B->O == BinaryExpr::Op::Assign      ? " = "
+                          : B->O == BinaryExpr::Op::AddAssign ? " += "
+                          : B->O == BinaryExpr::Op::SubAssign ? " -= "
+                          : B->O == BinaryExpr::Op::MulAssign ? " *= "
+                                                              : " /= ";
+      R.Code = LHS + OpStr + RHS.Code;
+      return R;
+    }
+    R.C = Cat::Interval;
+    std::string OpSfx = B->LHS->type()->isSimdVector()
+                            ? vecTypeName(B->LHS->type())
+                            : sfx();
+    std::string Value = asInterval(RHS);
+    switch (B->O) {
+    case BinaryExpr::Op::AddAssign:
+      Value = "ia_add_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      break;
+    case BinaryExpr::Op::SubAssign:
+      Value = "ia_sub_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      break;
+    case BinaryExpr::Op::MulAssign:
+      Value = "ia_mul_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      break;
+    case BinaryExpr::Op::DivAssign:
+      Value = "ia_div_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      break;
+    default:
+      break;
+    }
+    R.Code = LHS + " = " + Value;
+    return R;
+  }
+
+  TR L = transformExpr(B->LHS);
+  TR R = transformExpr(B->RHS);
+  bool FloatOp =
+      (B->LHS->type() && B->LHS->type()->isFloatingOrVector()) ||
+      (B->RHS->type() && B->RHS->type()->isFloatingOrVector());
+
+  switch (B->O) {
+  case BinaryExpr::Op::Add:
+  case BinaryExpr::Op::Sub:
+  case BinaryExpr::Op::Mul:
+  case BinaryExpr::Op::Div: {
+    TR Out;
+    Out.OrigTy = B->type();
+    if (!FloatOp) {
+      const char *Op = B->O == BinaryExpr::Op::Add   ? " + "
+                       : B->O == BinaryExpr::Op::Sub ? " - "
+                       : B->O == BinaryExpr::Op::Mul ? " * "
+                                                     : " / ";
+      Out.Code = maybeParen(L) + Op + maybeParen(R);
+      return Out;
+    }
+    // Constant folding on intervals (Section IV-B). Integer literals
+    // fold too: lift them first.
+    auto liftConst = [&](TR &V, const Expr *Orig) {
+      if (V.IsConst)
+        return true;
+      const auto *IL = dynCast<IntLiteralExpr>(ignoreParens(Orig));
+      if (!IL)
+        return false;
+      double D = static_cast<double>(IL->Value);
+      V.IsConst = true;
+      V.CF64 = Interval::fromPoint(D);
+      V.CDd = DdInterval::fromPoint(D);
+      return true;
+    };
+    if (liftConst(L, B->LHS) && liftConst(R, B->RHS)) {
+      RoundUpwardScope Up;
+      Interval F64;
+      DdInterval Dd;
+      switch (B->O) {
+      case BinaryExpr::Op::Add:
+        F64 = iAdd(L.CF64, R.CF64);
+        Dd = ddiAdd(L.CDd, R.CDd);
+        break;
+      case BinaryExpr::Op::Sub:
+        F64 = iSub(L.CF64, R.CF64);
+        Dd = ddiSub(L.CDd, R.CDd);
+        break;
+      case BinaryExpr::Op::Mul:
+        F64 = iMul(L.CF64, R.CF64);
+        Dd = ddiMul(L.CDd, R.CDd);
+        break;
+      default:
+        F64 = iDiv(L.CF64, R.CF64);
+        Dd = ddiDiv(L.CDd, R.CDd);
+        break;
+      }
+      return makeConstant(F64, Dd, B->type());
+    }
+    Out.C = Cat::Interval;
+    bool Vector = B->type() && B->type()->isSimdVector();
+    std::string OpSfx = Vector ? vecTypeName(B->type()) : sfx();
+    const char *Name = B->O == BinaryExpr::Op::Add   ? "add"
+                       : B->O == BinaryExpr::Op::Sub ? "sub"
+                       : B->O == BinaryExpr::Op::Mul ? "mul"
+                                                     : "div";
+    Out.Code = std::string("ia_") + Name + "_" + OpSfx + "(" +
+               asInterval(L) + ", " + asInterval(R) + ")";
+    return Out;
+  }
+  case BinaryExpr::Op::LT:
+  case BinaryExpr::Op::GT:
+  case BinaryExpr::Op::LE:
+  case BinaryExpr::Op::GE:
+  case BinaryExpr::Op::EQ:
+  case BinaryExpr::Op::NE: {
+    TR Out;
+    Out.OrigTy = B->type();
+    if (!FloatOp) {
+      const char *Op = B->O == BinaryExpr::Op::LT   ? " < "
+                       : B->O == BinaryExpr::Op::GT ? " > "
+                       : B->O == BinaryExpr::Op::LE ? " <= "
+                       : B->O == BinaryExpr::Op::GE ? " >= "
+                       : B->O == BinaryExpr::Op::EQ ? " == "
+                                                    : " != ";
+      Out.Code = maybeParen(L) + Op + maybeParen(R);
+      return Out;
+    }
+    if ((B->LHS->type() && B->LHS->type()->isSimdVector()) ||
+        (B->RHS->type() && B->RHS->type()->isSimdVector()))
+      Diags.error(B->loc(),
+                  "comparisons of SIMD vectors are not supported");
+    if (isDd() &&
+        (B->O == BinaryExpr::Op::EQ || B->O == BinaryExpr::Op::NE))
+      Diags.error(B->loc(),
+                  "==/!= on double-double intervals is not supported");
+    const char *Name = B->O == BinaryExpr::Op::LT   ? "cmplt"
+                       : B->O == BinaryExpr::Op::GT ? "cmpgt"
+                       : B->O == BinaryExpr::Op::LE ? "cmple"
+                       : B->O == BinaryExpr::Op::GE ? "cmpge"
+                       : B->O == BinaryExpr::Op::EQ ? "cmpeq"
+                                                    : "cmpne";
+    Out.C = Cat::TBool;
+    Out.Code = std::string("ia_") + Name + "_" + sfx() + "(" +
+               asInterval(L) + ", " + asInterval(R) + ")";
+    return Out;
+  }
+  case BinaryExpr::Op::LAnd:
+  case BinaryExpr::Op::LOr: {
+    TR Out;
+    Out.OrigTy = B->type();
+    if (L.C == Cat::TBool || R.C == Cat::TBool) {
+      Out.C = Cat::TBool;
+      Out.Code = std::string(B->O == BinaryExpr::Op::LAnd ? "ia_and_tb"
+                                                          : "ia_or_tb") +
+                 "(" + asTBool(L) + ", " + asTBool(R) + ")";
+      return Out;
+    }
+    Out.Code = maybeParen(L) +
+               (B->O == BinaryExpr::Op::LAnd ? " && " : " || ") +
+               maybeParen(R);
+    return Out;
+  }
+  default: {
+    TR Out;
+    Out.OrigTy = B->type();
+    const char *Op = B->O == BinaryExpr::Op::Rem      ? " % "
+                     : B->O == BinaryExpr::Op::Shl    ? " << "
+                     : B->O == BinaryExpr::Op::Shr    ? " >> "
+                     : B->O == BinaryExpr::Op::BitAnd ? " & "
+                     : B->O == BinaryExpr::Op::BitOr  ? " | "
+                                                      : " ^ ";
+    Out.Code = maybeParen(L) + Op + maybeParen(R);
+    return Out;
+  }
+  }
+}
+
+std::string Transformer::lvalueOf(const Expr *E) {
+  const Expr *Stripped = ignoreParens(E);
+  switch (Stripped->kind()) {
+  case Expr::Kind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(Stripped);
+    auto It = Renames.find(Ref->Decl);
+    return It != Renames.end() ? It->second : Ref->Name;
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(Stripped);
+    TR Idx = transformExpr(I->Idx);
+    return lvalueOf(I->Base) + "[" + Idx.Code + "]";
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(Stripped);
+    if (U->O == UnaryExpr::Op::Deref)
+      return "*" + lvalueOf(U->Sub);
+    break;
+  }
+  default:
+    break;
+  }
+  Diags.error(Stripped->loc(), "unsupported assignment target");
+  return transformExpr(Stripped).Code;
+}
+
+TR Transformer::transformCast(const CastExpr *C) {
+  TR Sub = transformExpr(C->Sub);
+  TR R;
+  R.OrigTy = C->type();
+  const Type *From = C->Sub->type();
+  if (C->To->isPointer()) {
+    R.Code = "(" + promoteTypeSpelling(C->To) + ")(" + Sub.Code + ")";
+    return R;
+  }
+  if (C->To->isFloating()) {
+    if (Sub.IsConst)
+      return makeConstant(Sub.CF64, Sub.CDd, C->type());
+    if (Sub.C == Cat::Interval) {
+      if (C->To->kind() == Type::Kind::Float && From &&
+          From->kind() == Type::Kind::Double) {
+        R.C = Cat::Interval;
+        R.Code = "ia_f32cast_" + sfx() + "(" + Sub.Code + ")";
+        return R;
+      }
+      return Sub; // float<->double widening: intervals already double
+    }
+    R.C = Cat::Interval;
+    R.Code = "ia_cst_" + sfx() + "((double)(" + Sub.Code + "))";
+    return R;
+  }
+  R.Code = "(" + C->To->cName() + ")(" + Sub.Code + ")";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls: math functions, SIMD intrinsics, user functions (Section V)
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// Hand-optimized interval implementations of common intrinsics
+/// (Section V, "Optimized implementations"), double-precision target.
+const std::map<std::string, std::string> &handOptimizedF64() {
+  static const std::map<std::string, std::string> Map = {
+      {"_mm256_add_pd", "ia_add_m256di_2"},
+      {"_mm256_sub_pd", "ia_sub_m256di_2"},
+      {"_mm256_mul_pd", "ia_mul_m256di_2"},
+      {"_mm256_div_pd", "ia_div_m256di_2"},
+      {"_mm256_sqrt_pd", "ia_sqrt_m256di_2"},
+      {"_mm256_loadu_pd", "ia_loadu_m256di_2"},
+      {"_mm256_load_pd", "ia_loadu_m256di_2"},
+      {"_mm256_storeu_pd", "ia_storeu_m256di_2"},
+      {"_mm256_store_pd", "ia_storeu_m256di_2"},
+      {"_mm256_set1_pd", "ia_set1_m256di_2"},
+      {"_mm256_set_pd", "ia_set_m256di_2"},
+      {"_mm256_setzero_pd", "ia_setzero_m256di_2"},
+      {"_mm_add_pd", "ia_add_m256di_1"},
+      {"_mm_sub_pd", "ia_sub_m256di_1"},
+      {"_mm_mul_pd", "ia_mul_m256di_1"},
+      {"_mm_div_pd", "ia_div_m256di_1"},
+      {"_mm_loadu_pd", "ia_loadu_m256di_1"},
+      {"_mm_load_pd", "ia_loadu_m256di_1"},
+      {"_mm_storeu_pd", "ia_storeu_m256di_1"},
+      {"_mm_store_pd", "ia_storeu_m256di_1"},
+      {"_mm_set1_pd", "ia_set1_m256di_1"},
+      {"_mm_setzero_pd", "ia_setzero_m256di_1"},
+      {"_mm_cvtsd_f64", "ia_extract0_m256di_1"},
+      {"_mm256_extractf128_pd", "ia_extractf128_m256di_2"},
+      {"_mm256_castpd256_pd128", "ia_castlow_m256di_2"},
+  };
+  return Map;
+}
+
+/// Memory/shuffle-free intrinsics that stay hand-written even for the
+/// double-double target (arithmetic goes through the generated automatic
+/// path, which is what makes IGen-vv-dd slow in the paper).
+const std::map<std::string, std::string> &handOptimizedDd() {
+  static const std::map<std::string, std::string> Map = {
+      {"_mm256_loadu_pd", "ia_loadu_ddi_4"},
+      {"_mm256_load_pd", "ia_loadu_ddi_4"},
+      {"_mm256_storeu_pd", "ia_storeu_ddi_4"},
+      {"_mm256_store_pd", "ia_storeu_ddi_4"},
+      {"_mm256_set1_pd", "ia_set1_ddi_4"},
+      {"_mm256_set_pd", "ia_set_ddi_4"},
+      {"_mm256_setzero_pd", "ia_setzero_ddi_4"},
+      {"_mm256_add_pd", "ia_add_ddi_4"},
+      {"_mm256_sub_pd", "ia_sub_ddi_4"},
+      {"_mm256_mul_pd", "ia_mul_ddi_4"},
+      {"_mm256_div_pd", "ia_div_ddi_4"},
+      {"_mm_loadu_pd", "ia_loadu_ddi_2"},
+      {"_mm_load_pd", "ia_loadu_ddi_2"},
+      {"_mm_storeu_pd", "ia_storeu_ddi_2"},
+      {"_mm_store_pd", "ia_storeu_ddi_2"},
+      {"_mm_set1_pd", "ia_set1_ddi_2"},
+      {"_mm_setzero_pd", "ia_setzero_ddi_2"},
+      {"_mm_add_pd", "ia_add_ddi_2"},
+      {"_mm_sub_pd", "ia_sub_ddi_2"},
+      {"_mm_mul_pd", "ia_mul_ddi_2"},
+      {"_mm_div_pd", "ia_div_ddi_2"},
+      {"_mm_cvtsd_f64", "ia_extract0_ddi_2"},
+      {"_mm256_extractf128_pd", "ia_extractf128_ddi_4"},
+      {"_mm256_castpd256_pd128", "ia_castlow_ddi_4"},
+  };
+  return Map;
+}
+
+} // namespace detail
+
+TR Transformer::transformCall(const CallExpr *C) {
+  TR R;
+  R.OrigTy = C->type();
+  CalleeKind CK = classifyCallee(C->Callee);
+
+  if (CK == CalleeKind::MathFunction) {
+    // sinf/cosf/... promote to the double interval versions.
+    std::string Base = C->Callee;
+    if (endsWith(Base, "f") && Base != "fabsf")
+      Base.pop_back();
+    if (Base == "fabsf" || Base == "fabs")
+      Base = "abs";
+    if (Base == "fmin")
+      Base = "min";
+    if (Base == "fmax")
+      Base = "max";
+    static const std::set<std::string> DdSupported = {"abs", "sqrt", "min",
+                                                      "max"};
+    if (isDd() && !DdSupported.count(Base))
+      Diags.error(C->loc(), "elementary function '" + C->Callee +
+                                "' is not supported with double-double "
+                                "intervals (Section VI-A)");
+    if (C->Args.empty() || ((Base == "min" || Base == "max") &&
+                            C->Args.size() < 2)) {
+      Diags.error(C->loc(), "wrong number of arguments to '" + C->Callee +
+                                "'");
+      R.C = Cat::Interval;
+      R.Code = "ia_cst_" + sfx() + "(0.0)";
+      return R;
+    }
+    TR Arg = transformExpr(C->Args[0]);
+    R.C = Cat::Interval;
+    if (Base == "min" || Base == "max") {
+      TR Arg2 = transformExpr(C->Args[1]);
+      R.Code = "ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) + ", " +
+               asInterval(Arg2) + ")";
+      return R;
+    }
+    R.Code = "ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) + ")";
+    return R;
+  }
+
+  if (CK == CalleeKind::Intrinsic) {
+    const auto &Hand =
+        isDd() ? detail::handOptimizedDd() : detail::handOptimizedF64();
+    auto It = Hand.find(C->Callee);
+    std::string Name;
+    if (It != Hand.end()) {
+      Name = It->second;
+    } else {
+      // Automatic path: implementation produced by the SIMD generator
+      // and compiled through IGen itself (Fig. 4).
+      Name = (isDd() ? "_ci_dd" : "_ci") + C->Callee;
+      UsedGeneratedIntrinsics = true;
+    }
+    std::string Args;
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      if (I)
+        Args += ", ";
+      TR Arg = transformExpr(C->Args[I]);
+      const Type *ArgTy = C->Args[I]->type();
+      bool WantInterval = ArgTy && ArgTy->isFloatingOrVector();
+      Args += WantInterval ? asInterval(Arg) : Arg.Code;
+    }
+    R.Code = Name + "(" + Args + ")";
+    if (C->type() && C->type()->isFloatingOrVector())
+      R.C = Cat::Interval;
+    return R;
+  }
+
+  if (CK == CalleeKind::Allocation) {
+    std::string Args;
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      if (I)
+        Args += ", ";
+      Args += transformExpr(C->Args[I]).Code;
+    }
+    R.Code = C->Callee + "(" + Args + ")";
+    return R;
+  }
+
+  // User function: arguments promote exactly like parameters do.
+  std::string Args;
+  for (size_t I = 0; I < C->Args.size(); ++I) {
+    if (I)
+      Args += ", ";
+    TR Arg = transformExpr(C->Args[I]);
+    const Type *ArgTy = C->Args[I]->type();
+    bool WantInterval = ArgTy && ArgTy->isFloatingOrVector();
+    Args += WantInterval ? asInterval(Arg) : Arg.Code;
+  }
+  R.Code = C->Callee + "(" + Args + ")";
+  if (C->type() && C->type()->isFloatingOrVector())
+    R.C = Cat::Interval;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Transformer::emitDecl(const VarDecl *D) {
+  std::string S = promoteTypeAndName(D->Ty, D->Name);
+  if (D->Init) {
+    TR Init = transformExpr(D->Init);
+    bool WantInterval = D->Ty->isFloatingOrVector();
+    S += " = " + (WantInterval ? asInterval(Init) : Init.Code);
+  }
+  line(S + ";");
+}
+
+void Transformer::emitExprStmt(const ExprStmt *S) {
+  // Reduction update statements become accumulator feeds (Fig. 7).
+  auto It = UpdateToAcc.find(S);
+  if (It != UpdateToAcc.end()) {
+    const ReductionSite *Site = It->second.first;
+    const std::string &Acc = It->second.second;
+    for (const ReductionTerm &T : Site->Terms) {
+      TR Term = transformExpr(T.Term);
+      std::string Code = asInterval(Term);
+      if (T.Negated)
+        Code = "ia_neg_" + sfx() + "(" + Code + ")";
+      line("isum_accumulate_" + sfx() + "(&" + Acc + ", " + Code + ");");
+    }
+    return;
+  }
+  line(transformExpr(S->E).Code + ";");
+}
+
+bool Transformer::collectAssignTargetsInExpr(const Expr *E,
+                                             std::set<VarDecl *> &Targets) {
+  const auto *B = dynCast<BinaryExpr>(ignoreParens(E));
+  if (!B)
+    return !dynCast<CallExpr>(ignoreParens(E)); // calls may have effects
+  if (!B->isAssignment())
+    return true;
+  const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(B->LHS));
+  if (!Ref || !Ref->Decl)
+    return false; // array/pointer stores: join unsupported (paper)
+  const Type *Ty = Ref->Decl->Ty;
+  if (!Ty->isFloating())
+    return false; // integer or vector variables: unsupported
+  Targets.insert(Ref->Decl);
+  return collectAssignTargetsInExpr(B->RHS, Targets);
+}
+
+bool Transformer::collectJoinTargets(const Stmt *S,
+                                     std::set<VarDecl *> &Targets) {
+  switch (S->kind()) {
+  case Stmt::Kind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->Body)
+      if (!collectJoinTargets(Child, Targets))
+        return false;
+    return true;
+  case Stmt::Kind::ExprStmt:
+    return collectAssignTargetsInExpr(cast<ExprStmt>(S)->E, Targets);
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    return collectJoinTargets(If->Then, Targets) &&
+           (!If->Else || collectJoinTargets(If->Else, Targets));
+  }
+  case Stmt::Kind::Null:
+    return true;
+  default:
+    return false; // loops, returns, declarations: bail out
+  }
+}
+
+void Transformer::emitIf(const IfStmt *S) {
+  TR Cond = transformExpr(S->Cond);
+  if (Cond.C != Cat::TBool) {
+    line("if (" + Cond.Code + ")");
+    emitBody(S->Then);
+    if (S->Else) {
+      line("else");
+      emitBody(S->Else);
+    }
+    return;
+  }
+
+  std::string Tmp = freshTemp();
+  line("tbool " + Tmp + " = " + Cond.Code + ";");
+
+  std::set<VarDecl *> Targets;
+  bool JoinSafe = Opts.Branches == TransformOptions::BranchPolicy::Join &&
+                  collectJoinTargets(S->Then, Targets) &&
+                  (!S->Else || collectJoinTargets(S->Else, Targets));
+  if (!JoinSafe) {
+    if (Opts.Branches == TransformOptions::BranchPolicy::Join)
+      Diags.warning(S->loc(),
+                    "cannot join this branch (arrays, integers or control "
+                    "flow are modified); unknown conditions will signal");
+    // Default policy: ia_cvt2bool_tb signals on unknown (Fig. 2).
+    line("if (ia_cvt2bool_tb(" + Tmp + ")) /*may signal*/");
+    emitBody(S->Then);
+    if (S->Else) {
+      line("else");
+      emitBody(S->Else);
+    }
+    return;
+  }
+
+  // Join mode: run both branches on the unknown state and hull the
+  // results (Section IV-B, "Unknown-state in if-else statements").
+  line("if (ia_istrue_tb(" + Tmp + "))");
+  emitBody(S->Then);
+  line("else if (ia_isfalse_tb(" + Tmp + "))");
+  if (S->Else)
+    emitBody(S->Else);
+  else
+    line("{ ; }");
+  line("else");
+  line("{");
+  ++Indent;
+  std::string Ty = scalarIntervalType();
+  for (VarDecl *V : Targets)
+    line(Ty + " _sav_" + V->Name + " = " + V->Name + ";");
+  emitBody(S->Then);
+  for (VarDecl *V : Targets) {
+    line(Ty + " _res_" + V->Name + " = " + V->Name + ";");
+    line(V->Name + " = _sav_" + V->Name + ";");
+  }
+  if (S->Else)
+    emitBody(S->Else);
+  else
+    line("{ ; }");
+  for (VarDecl *V : Targets)
+    line(V->Name + " = ia_join_" + sfx() + "(" + V->Name + ", _res_" +
+         V->Name + ");");
+  --Indent;
+  line("}");
+}
+
+std::string Transformer::forHeader(const ForStmt *S) {
+  std::string Init;
+  if (S->Init && S->Init->kind() == Stmt::Kind::DeclStmt) {
+    const auto *DS = cast<DeclStmt>(S->Init);
+    for (size_t I = 0; I < DS->Decls.size(); ++I) {
+      const VarDecl *D = DS->Decls[I];
+      std::string Piece = promoteTypeAndName(D->Ty, D->Name);
+      if (D->Init) {
+        TR InitTR = transformExpr(D->Init);
+        Piece += " = " + (D->Ty->isFloatingOrVector() ? asInterval(InitTR)
+                                                      : InitTR.Code);
+      }
+      Init += (I ? ", " : "") + Piece;
+    }
+  } else if (S->Init && S->Init->kind() == Stmt::Kind::ExprStmt) {
+    Init = transformExpr(cast<ExprStmt>(S->Init)->E).Code;
+  }
+  std::string Cond;
+  if (S->Cond) {
+    TR CondTR = transformExpr(S->Cond);
+    Cond = CondTR.C == Cat::TBool
+               ? "ia_cvt2bool_tb(" + CondTR.Code + ")"
+               : CondTR.Code;
+  }
+  std::string Inc = S->Inc ? transformExpr(S->Inc).Code : "";
+  return "for (" + Init + "; " + Cond + "; " + Inc + ")";
+}
+
+void Transformer::emitFor(const ForStmt *S) {
+  std::vector<const ReductionSite *> Sites;
+  if (Opts.EnableReductions)
+    Sites = Reductions.sitesForLoop(S);
+
+  std::vector<std::pair<const ReductionSite *, std::string>> Accs;
+  for (const ReductionSite *Site : Sites) {
+    std::string Acc = formatString("_acc%d", ++AccCounter);
+    Accs.push_back({Site, Acc});
+    UpdateToAcc[Site->Update] = {Site, Acc};
+    line("acc_" + sfx() + " " + Acc + ";");
+    TR Target = transformExpr(Site->Target);
+    line("isum_init_" + sfx() + "(&" + Acc + ", " + asInterval(Target) +
+         ");");
+  }
+
+  line(forHeader(S));
+  emitBody(S->Body);
+
+  for (auto &[Site, Acc] : Accs) {
+    line(lvalueOf(Site->Target) + " = isum_reduce_" + sfx() + "(&" + Acc +
+         ");");
+    UpdateToAcc.erase(Site->Update);
+  }
+}
+
+void Transformer::emitWhileCond(std::string Keyword, const Expr *Cond) {
+  TR CondTR = transformExpr(Cond);
+  std::string Code = CondTR.C == Cat::TBool
+                         ? "ia_cvt2bool_tb(" + CondTR.Code + ")"
+                         : CondTR.Code;
+  line(Keyword + " (" + Code + ")");
+}
+
+void Transformer::emitCompound(const CompoundStmt *S) {
+  for (const Stmt *Child : S->Body)
+    emitStmt(Child);
+}
+
+void Transformer::emitBody(const Stmt *S) {
+  line("{");
+  ++Indent;
+  if (const auto *C = dynCast<CompoundStmt>(S))
+    emitCompound(C);
+  else
+    emitStmt(S);
+  --Indent;
+  line("}");
+}
+
+void Transformer::emitStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Compound:
+    line("{");
+    ++Indent;
+    emitCompound(cast<CompoundStmt>(S));
+    --Indent;
+    line("}");
+    return;
+  case Stmt::Kind::DeclStmt:
+    for (const VarDecl *D : cast<DeclStmt>(S)->Decls)
+      emitDecl(D);
+    return;
+  case Stmt::Kind::ExprStmt:
+    emitExprStmt(cast<ExprStmt>(S));
+    return;
+  case Stmt::Kind::If:
+    emitIf(cast<IfStmt>(S));
+    return;
+  case Stmt::Kind::For:
+    emitFor(cast<ForStmt>(S));
+    return;
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    emitWhileCond("while", W->Cond);
+    emitBody(W->Body);
+    return;
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    line("do");
+    emitBody(D->Body);
+    TR CondTR = transformExpr(D->Cond);
+    std::string Code = CondTR.C == Cat::TBool
+                           ? "ia_cvt2bool_tb(" + CondTR.Code + ")"
+                           : CondTR.Code;
+    line("while (" + Code + ");");
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (!R->Value) {
+      line("return;");
+      return;
+    }
+    TR V = transformExpr(R->Value);
+    // Wrap per the function's (promoted) return type.
+    bool WantInterval = R->Value->type() &&
+                        R->Value->type()->isFloatingOrVector();
+    line("return " + (WantInterval ? asInterval(V) : V.Code) + ";");
+    return;
+  }
+  case Stmt::Kind::Break:
+    line("break;");
+    return;
+  case Stmt::Kind::Continue:
+    line("continue;");
+    return;
+  case Stmt::Kind::Null:
+    line(";");
+    return;
+  }
+}
+
+void Transformer::emitFunction(FunctionDecl *F) {
+  if (Opts.EnableReductions)
+    Reductions = analyzeReductions(F, Diags);
+  else
+    Reductions = ReductionAnalysisResult();
+  UpdateToAcc.clear();
+  Renames.clear();
+
+  // Header (Fig. 2/3): floating types promote; tolerance parameters keep
+  // their scalar type and gain an interval shadow in the body.
+  std::string Header;
+  if (F->IsStatic)
+    Header += "static ";
+  std::string Ret =
+      F->RetTy->isFloatingOrVector() || needsPromotion(F->RetTy)
+          ? promoteTypeSpelling(F->RetTy)
+          : F->RetTy->cName();
+  Header += Ret + (endsWith(Ret, "*") ? "" : " ") + F->Name + "(";
+  for (size_t I = 0; I < F->Params.size(); ++I) {
+    VarDecl *P = F->Params[I];
+    if (I)
+      Header += ", ";
+    std::string TypeName = P->HasTolerance ? P->Ty->cName()
+                                           : promoteTypeSpelling(P->Ty);
+    Header += TypeName + (endsWith(TypeName, "*") ? "" : " ") + P->Name;
+  }
+  if (F->Params.empty())
+    Header += "void";
+  Header += ")";
+
+  if (!F->Body) {
+    line(Header + ";");
+    return;
+  }
+  line(Header);
+  line("{");
+  ++Indent;
+  for (VarDecl *P : F->Params) {
+    if (!P->HasTolerance)
+      continue;
+    std::string Shadow = "_" + P->Name;
+    // _a = a +- tol (Fig. 3). The tolerance literal is widened upward.
+    RoundUpwardScope Up;
+    DdInterval TolEnc = ddIntervalFromDecimal(P->ToleranceSpelling);
+    double TolUp = TolEnc.hasNaN() ? P->Tolerance
+                                   : ddToDoubleUp(TolEnc.Hi);
+    line(scalarIntervalType() + " " + Shadow + " = ia_set_tol_" + sfx() +
+         "(" + P->Name + ", " + fmtDouble(TolUp) + "); // " + P->Name +
+         " +- " + P->ToleranceSpelling);
+    Renames[P] = Shadow;
+  }
+  emitCompound(F->Body);
+  --Indent;
+  line("}");
+}
+
+//===----------------------------------------------------------------------===//
+// Whole translation unit
+//===----------------------------------------------------------------------===//
+
+std::string Transformer::run() {
+  Body.clear();
+  for (const TopLevelItem &Item : Ctx.TU.Items) {
+    if (!Item.Function) {
+      line(Item.Directive);
+      continue;
+    }
+    emitFunction(Item.Function);
+    Body += '\n';
+  }
+
+  std::string Out;
+  Out += "// Generated by igen (IGen reproduction). Do not edit.\n";
+  Out += formatString("// target precision: %s, library: %s\n",
+                      isDd() ? "double-double" : "double",
+                      Opts.ScalarLibrary ? "scalar" : "SIMD");
+  if (Opts.ScalarLibrary)
+    Out += "#define IGEN_F64I_SCALAR 1\n";
+  Out += "#include \"" + Opts.RuntimeHeader + "\"\n";
+  if (UsedGeneratedIntrinsics)
+    Out += "#include \"" + Opts.GeneratedIntrinsicsHeader + "\"\n";
+  Out += "\n";
+  Out += Body;
+  return Out;
+}
+
+} // namespace
+
+std::string igen::transformToIntervals(ASTContext &Ctx,
+                                       DiagnosticsEngine &Diags,
+                                       const TransformOptions &Options) {
+  Transformer T(Ctx, Diags, Options);
+  return T.run();
+}

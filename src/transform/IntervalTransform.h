@@ -1,0 +1,70 @@
+//===- IntervalTransform.h - AST-to-interval-C transformer ------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IGen transformation proper (Section IV): walks the type-checked AST
+/// and emits an equivalent *sound* C function over interval types.
+///
+///  * Types are promoted per Table II (float/double -> f64i or ddi; SIMD
+///    vectors -> m256di_k or ddi_k).
+///  * Expressions become calls into the interval runtime (ia_add_f64 ...),
+///    with constants lifted to sound enclosures and folded when possible.
+///  * Floating-point comparisons yield tbool; branches either signal on
+///    unknown (default) or compute both sides and join (Section IV-B).
+///  * Parameters annotated with tolerances and `t`-suffixed constants
+///    (Section IV-C) become the corresponding widened intervals.
+///  * With reductions enabled, detected reduction statements are rewritten
+///    onto accurate accumulators (Section VI-B).
+///  * SIMD intrinsics map to hand-optimized vector interval operations
+///    when available, otherwise to the implementations produced by the
+///    simdspec generator (Section V).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_TRANSFORM_INTERVALTRANSFORM_H
+#define IGEN_TRANSFORM_INTERVALTRANSFORM_H
+
+#include "analysis/ReductionAnalysis.h"
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace igen {
+
+struct TransformOptions {
+  enum class Precision { Double, DoubleDouble };
+  Precision Prec = Precision::Double;
+
+  /// IGen-ss: back f64i/ddi with the scalar structs instead of SIMD
+  /// registers (emits #define IGEN_F64I_SCALAR).
+  bool ScalarLibrary = false;
+
+  /// Enable the reduction accuracy transformation (Section VI-B).
+  bool EnableReductions = false;
+
+  enum class BranchPolicy {
+    Exception, ///< unknown branch conditions signal (default)
+    Join,      ///< compute both branches and join results when safe
+  };
+  BranchPolicy Branches = BranchPolicy::Exception;
+
+  /// Header providing the ia_* runtime (paper: "igen_lib.h").
+  std::string RuntimeHeader = "interval/igen_lib.h";
+
+  /// Header with generated interval intrinsics (_ci_*); included when the
+  /// input uses intrinsics beyond the hand-optimized set.
+  std::string GeneratedIntrinsicsHeader = "igen_simd.h";
+};
+
+/// Transforms the (parsed and type-checked) translation unit into interval
+/// C code. Reports unsupported constructs through \p Diags.
+std::string transformToIntervals(ASTContext &Ctx, DiagnosticsEngine &Diags,
+                                 const TransformOptions &Options);
+
+} // namespace igen
+
+#endif // IGEN_TRANSFORM_INTERVALTRANSFORM_H

@@ -1,0 +1,29 @@
+//===- Pipeline.cpp - Full IGen compilation pipeline -------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+using namespace igen;
+
+std::optional<std::string>
+igen::compileToIntervals(std::string_view Source,
+                         const TransformOptions &Opts,
+                         DiagnosticsEngine &Diags) {
+  ASTContext Ctx;
+  Parser P(Source, Ctx, Diags);
+  if (!P.parseTranslationUnit())
+    return std::nullopt;
+  Sema S(Ctx, Diags);
+  if (!S.run())
+    return std::nullopt;
+  std::string Out = transformToIntervals(Ctx, Diags, Opts);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Out;
+}

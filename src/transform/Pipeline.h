@@ -1,0 +1,34 @@
+//===- Pipeline.h - Full IGen compilation pipeline --------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point chaining the whole pipeline of Fig. 1:
+/// parse -> type check -> (reduction analysis) -> interval transformation.
+/// Used by the igen CLI driver, the build-time kernel generation, and the
+/// integration tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_TRANSFORM_PIPELINE_H
+#define IGEN_TRANSFORM_PIPELINE_H
+
+#include "support/Diagnostics.h"
+#include "transform/IntervalTransform.h"
+
+#include <optional>
+#include <string>
+
+namespace igen {
+
+/// Compiles C source text to interval C. Returns std::nullopt (with
+/// diagnostics in \p Diags) on any error.
+std::optional<std::string> compileToIntervals(std::string_view Source,
+                                              const TransformOptions &Opts,
+                                              DiagnosticsEngine &Diags);
+
+} // namespace igen
+
+#endif // IGEN_TRANSFORM_PIPELINE_H

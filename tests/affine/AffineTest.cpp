@@ -1,0 +1,183 @@
+//===- AffineTest.cpp - Affine arithmetic tests --------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "affine/AffineForm.h"
+
+#include "interval/Accuracy.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+class AffineTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  std::mt19937_64 Gen{7};
+  double uniform(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Gen);
+  }
+};
+
+} // namespace
+
+TEST_F(AffineTest, PointAndIntervalConstruction) {
+  AffineForm P = AffineForm::fromPoint(1.5);
+  EXPECT_EQ(P.center(), 1.5);
+  EXPECT_EQ(P.radius(), 0.0);
+  EXPECT_TRUE(P.toInterval().contains(1.5));
+
+  AffineForm I = AffineForm::fromInterval(1.0, 3.0);
+  Interval Conc = I.toInterval();
+  EXPECT_LE(Conc.lo(), 1.0);
+  EXPECT_GE(Conc.hi(), 3.0);
+  EXPECT_EQ(I.numTerms(), 1u);
+}
+
+TEST_F(AffineTest, AddSubSound) {
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    double A = uniform(-10, 10), B = uniform(-10, 10);
+    AffineForm X = AffineForm::fromPoint(A);
+    AffineForm Y = AffineForm::fromPoint(B);
+    EXPECT_TRUE((X + Y).toInterval().contains(
+        static_cast<double>(A + B))); // exact here
+    long double Ref = static_cast<long double>(A) - B;
+    Interval D = (X - Y).toInterval();
+    EXPECT_LE(static_cast<long double>(D.lo()), Ref);
+    EXPECT_GE(static_cast<long double>(D.hi()), Ref);
+  }
+}
+
+TEST_F(AffineTest, CancellationIsExactUnlikeIntervals) {
+  // x - x == 0 in affine arithmetic (correlation tracked); with plain
+  // intervals the width doubles instead.
+  AffineForm X = AffineForm::fromInterval(1.0, 2.0);
+  Interval D = (X - X).toInterval();
+  EXPECT_LE(std::fabs(D.lo()), 1e-15);
+  EXPECT_LE(std::fabs(D.hi()), 1e-15);
+
+  Interval IX = Interval::fromEndpoints(1.0, 2.0);
+  Interval ID = iSub(IX, IX);
+  EXPECT_EQ(ID.lo(), -1.0);
+  EXPECT_EQ(ID.hi(), 1.0);
+}
+
+TEST_F(AffineTest, MulSound) {
+  for (int Trial = 0; Trial < 1000; ++Trial) {
+    double A = uniform(-4, 4), B = uniform(-4, 4);
+    double WA = uniform(0, 0.1), WB = uniform(0, 0.1);
+    AffineForm X = AffineForm::fromInterval(A - WA, A + WA);
+    AffineForm Y = AffineForm::fromInterval(B - WB, B + WB);
+    AffineForm P = X * Y;
+    // Sample the concrete set.
+    for (int S = -1; S <= 1; ++S) {
+      long double PX = A + S * WA, PY = B + S * WB;
+      Interval Conc = P.toInterval();
+      EXPECT_LE(static_cast<long double>(Conc.lo()), PX * PY);
+      EXPECT_GE(static_cast<long double>(Conc.hi()), PX * PY);
+    }
+  }
+}
+
+TEST_F(AffineTest, ReciprocalSound) {
+  for (int Trial = 0; Trial < 1000; ++Trial) {
+    double A = uniform(0.5, 10.0);
+    double W = uniform(0.0, 0.3);
+    if (Trial % 2)
+      A = -A; // negative intervals too
+    AffineForm X = AffineForm::fromInterval(A - W, A + W);
+    AffineForm R = X.reciprocal();
+    for (double T : {A - W, A, A + W}) {
+      long double Ref = 1.0L / T;
+      Interval Conc = R.toInterval();
+      EXPECT_LE(static_cast<long double>(Conc.lo()), Ref) << A << " " << W;
+      EXPECT_GE(static_cast<long double>(Conc.hi()), Ref) << A << " " << W;
+    }
+  }
+}
+
+TEST_F(AffineTest, ReciprocalThroughZeroIsUnbounded) {
+  AffineForm X = AffineForm::fromInterval(-1.0, 1.0);
+  Interval R = X.reciprocal().toInterval();
+  EXPECT_TRUE(std::isinf(R.hi()) || R.hasNaN());
+}
+
+TEST_F(AffineTest, DivisionSound) {
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    double A = uniform(-5, 5), B = uniform(1.0, 6.0);
+    AffineForm X = AffineForm::fromInterval(A - 0.01, A + 0.01);
+    AffineForm Y = AffineForm::fromInterval(B - 0.01, B + 0.01);
+    Interval Q = (X / Y).toInterval();
+    long double Ref = static_cast<long double>(A) / B;
+    EXPECT_LE(static_cast<long double>(Q.lo()), Ref);
+    EXPECT_GE(static_cast<long double>(Q.hi()), Ref);
+  }
+}
+
+TEST_F(AffineTest, HenonStaysBoundedWhereIntervalsBlowUp) {
+  // The paper's headline qualitative result (Table VI): on the Henon map
+  // the affine accuracy stays roughly constant while interval accuracy
+  // collapses.
+  const int Iters = 60;
+  AffineForm AX = AffineForm::fromInterval(
+      Interval::fromEndpoints(0.0, nextUp(0.0)));
+  AffineForm AY = AX;
+  Interval IX = Interval::fromEndpoints(0.0, nextUp(0.0));
+  Interval IY = IX;
+  AffineForm CA = AffineForm::fromPoint(1.05);
+  AffineForm CB = AffineForm::fromPoint(0.3);
+  Interval CAI = Interval::fromPoint(1.05);
+  Interval CBI = Interval::fromPoint(0.3);
+  AffineForm One = AffineForm::fromPoint(1.0);
+  Interval OneI = Interval::fromPoint(1.0);
+  for (int I = 0; I < Iters; ++I) {
+    AffineForm XI = AX;
+    AX = One - CA * XI * XI + AY;
+    AY = CB * XI;
+    Interval XII = IX;
+    IX = iAdd(iSub(OneI, iMul(CAI, iMul(XII, XII))), IY);
+    IY = iMul(CBI, XII);
+  }
+  double AffBits = accuracyBits(AX.toInterval());
+  double IntBits = accuracyBits(IX);
+  EXPECT_GT(AffBits, 35.0);
+  EXPECT_GT(AffBits, IntBits + 10.0);
+}
+
+TEST_F(AffineTest, CondenseKeepsSoundness) {
+  AffineForm X = AffineForm::fromInterval(0.9, 1.1);
+  // Build up many noise symbols.
+  for (int I = 0; I < 300; ++I)
+    X = X + AffineForm::fromInterval(-1e-6, 1e-6);
+  EXPECT_LE(X.numTerms(), AffineForm::AutoCondenseLimit);
+  Interval Conc = X.toInterval();
+  EXPECT_LE(Conc.lo(), 0.9);
+  EXPECT_GE(Conc.hi(), 1.1);
+  EXPECT_LE(Conc.lo() + 2e-3, Conc.hi()); // still reasonably tight
+  EXPECT_GE(Conc.lo(), 0.89);
+  EXPECT_LE(Conc.hi(), 1.11);
+}
+
+TEST_F(AffineTest, RandomExpressionSoundVsLongDouble) {
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    double A = uniform(-2, 2), B = uniform(-2, 2), C = uniform(0.5, 2);
+    AffineForm X = AffineForm::fromPoint(A);
+    AffineForm Y = AffineForm::fromPoint(B);
+    AffineForm Z = AffineForm::fromPoint(C);
+    AffineForm R = (X * Y + Z) * (X - Y) + Z * Z;
+    long double LR = (static_cast<long double>(A) * B + C) *
+                         (static_cast<long double>(A) - B) +
+                     static_cast<long double>(C) * C;
+    Interval Conc = R.toInterval();
+    EXPECT_LE(static_cast<long double>(Conc.lo()), LR);
+    EXPECT_GE(static_cast<long double>(Conc.hi()), LR);
+    EXPECT_GT(accuracyBits(Conc), 40.0);
+  }
+}

@@ -1,0 +1,118 @@
+//===- BaselineTest.cpp - Baseline interval library tests ----------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The baselines only matter if they are *sound* (otherwise the Fig. 8
+// performance comparison would be meaningless): each is checked against
+// the igen interval core over randomized inputs for all operations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BaselineIntervals.h"
+
+#include "interval/Interval.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+template <typename I> class BaselineTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  std::mt19937_64 Gen{17};
+  double uniform(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Gen);
+  }
+  I make(double Lo, double Hi) { return I(Lo, Hi); }
+};
+
+using Libs =
+    ::testing::Types<BoostLikeInterval, FilibLikeInterval, GaolLikeInterval>;
+
+template <typename I> double loOf(const I &V) { return V.Lo; }
+template <typename I> double hiOf(const I &V) { return V.Hi; }
+template <> double loOf(const GaolLikeInterval &V) { return V.lo(); }
+template <> double hiOf(const GaolLikeInterval &V) { return V.hi(); }
+
+TYPED_TEST_SUITE(BaselineTest, Libs);
+
+} // namespace
+
+TYPED_TEST(BaselineTest, AgreesWithCoreOnArithmetic) {
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    double AL = this->uniform(-10, 10), AW = this->uniform(0, 1);
+    double BL = this->uniform(-10, 10), BW = this->uniform(0, 1);
+    TypeParam A = this->make(AL, AL + AW), B = this->make(BL, BL + BW);
+    Interval IA = Interval::fromEndpoints(AL, AL + AW);
+    Interval IB = Interval::fromEndpoints(BL, BL + BW);
+
+    TypeParam Sum = A + B;
+    Interval ISum = iAdd(IA, IB);
+    EXPECT_EQ(loOf(Sum), ISum.lo());
+    EXPECT_EQ(hiOf(Sum), ISum.hi());
+
+    TypeParam Dif = A - B;
+    Interval IDif = iSub(IA, IB);
+    EXPECT_EQ(loOf(Dif), IDif.lo());
+    EXPECT_EQ(hiOf(Dif), IDif.hi());
+
+    TypeParam Prod = A * B;
+    Interval IProd = iMul(IA, IB);
+    EXPECT_EQ(loOf(Prod), IProd.lo()) << AL << " " << BL;
+    EXPECT_EQ(hiOf(Prod), IProd.hi()) << AL << " " << BL;
+
+    if (BL > 0.1 || BL + BW < -0.1) {
+      TypeParam Quot = A / B;
+      Interval IQuot = iDiv(IA, IB);
+      EXPECT_EQ(loOf(Quot), IQuot.lo()) << AL << " " << BL;
+      EXPECT_EQ(hiOf(Quot), IQuot.hi()) << AL << " " << BL;
+    }
+  }
+}
+
+TYPED_TEST(BaselineTest, DivisionByZeroContainingIsEntire) {
+  TypeParam A = this->make(1.0, 2.0);
+  TypeParam B = this->make(-1.0, 1.0);
+  TypeParam Q = A / B;
+  EXPECT_EQ(loOf(Q), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hiOf(Q), std::numeric_limits<double>::infinity());
+}
+
+TYPED_TEST(BaselineTest, SqrtSound) {
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    double Lo = this->uniform(0.0, 50.0);
+    double Hi = Lo + this->uniform(0.0, 5.0);
+    TypeParam S = TypeParam::sqrtI(this->make(Lo, Hi));
+    long double RefLo = sqrtl(static_cast<long double>(Lo));
+    long double RefHi = sqrtl(static_cast<long double>(Hi));
+    EXPECT_LE(static_cast<long double>(loOf(S)), RefLo);
+    EXPECT_GE(static_cast<long double>(hiOf(S)), RefHi);
+  }
+}
+
+TYPED_TEST(BaselineTest, MaxSound) {
+  TypeParam A = this->make(-1.0, 2.0);
+  TypeParam B = this->make(0.5, 1.0);
+  TypeParam M = TypeParam::maxI(A, B);
+  EXPECT_EQ(loOf(M), 0.5);
+  EXPECT_EQ(hiOf(M), 2.0);
+}
+
+TYPED_TEST(BaselineTest, PointProducts) {
+  // All nine sign cases at exact points.
+  double Vals[] = {-3.0, 0.0, 2.0};
+  for (double A : Vals)
+    for (double B : Vals) {
+      TypeParam X = TypeParam::fromPoint(A);
+      TypeParam Y = TypeParam::fromPoint(B);
+      TypeParam P = X * Y;
+      EXPECT_LE(loOf(P), A * B);
+      EXPECT_GE(hiOf(P), A * B);
+    }
+}

@@ -1,0 +1,135 @@
+//===- LexerTest.cpp - Lexer unit tests --------------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) {
+  DiagnosticsEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> T = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render("test");
+  return T;
+}
+
+} // namespace
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto T = lexAll("double foo int _bar __m256d while");
+  ASSERT_EQ(T.size(), 7u);
+  EXPECT_EQ(T[0].Kind, TokenKind::KwDouble);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Text, "foo");
+  EXPECT_EQ(T[2].Kind, TokenKind::KwInt);
+  EXPECT_EQ(T[3].Text, "_bar");
+  EXPECT_EQ(T[4].Text, "__m256d");
+  EXPECT_EQ(T[5].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(T[6].Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto T = lexAll("0 42 0x1F");
+  EXPECT_EQ(T[0].IntValue, 0);
+  EXPECT_EQ(T[1].IntValue, 42);
+  EXPECT_EQ(T[2].IntValue, 31);
+  EXPECT_EQ(T[2].Kind, TokenKind::IntegerLiteral);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto T = lexAll("1.5 0.1 2e3 1.5e-2 3.f 2.5f");
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(T[I].Kind, TokenKind::FloatLiteral) << I;
+  EXPECT_EQ(T[0].FloatValue, 1.5);
+  EXPECT_EQ(T[1].FloatValue, 0.1);
+  EXPECT_EQ(T[2].FloatValue, 2000.0);
+  EXPECT_EQ(T[3].FloatValue, 0.015);
+  EXPECT_TRUE(T[4].IsFloatSuffix);
+  EXPECT_TRUE(T[5].IsFloatSuffix);
+  EXPECT_EQ(T[5].FloatValue, 2.5);
+}
+
+TEST(Lexer, ToleranceSuffixExtension) {
+  auto T = lexAll("0.25t 5.0 + 0.25t");
+  EXPECT_EQ(T[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_TRUE(T[0].IsTolerance);
+  EXPECT_EQ(T[0].FloatValue, 0.25);
+  EXPECT_FALSE(T[1].IsTolerance);
+  EXPECT_EQ(T[2].Kind, TokenKind::Plus);
+  EXPECT_TRUE(T[3].IsTolerance);
+}
+
+TEST(Lexer, Operators) {
+  auto T = lexAll("+ - * / % == != <= >= < > && || ++ -- += -= *= /= = -> .");
+  TokenKind Expected[] = {
+      TokenKind::Plus,       TokenKind::Minus,
+      TokenKind::Star,       TokenKind::Slash,
+      TokenKind::Percent,    TokenKind::EqualEqual,
+      TokenKind::ExclaimEqual, TokenKind::LessEqual,
+      TokenKind::GreaterEqual, TokenKind::Less,
+      TokenKind::Greater,    TokenKind::AmpAmp,
+      TokenKind::PipePipe,   TokenKind::PlusPlus,
+      TokenKind::MinusMinus, TokenKind::PlusEqual,
+      TokenKind::MinusEqual, TokenKind::StarEqual,
+      TokenKind::SlashEqual, TokenKind::Equal,
+      TokenKind::Arrow,      TokenKind::Period,
+  };
+  for (size_t I = 0; I < sizeof(Expected) / sizeof(Expected[0]); ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << I;
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto T = lexAll("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(Lexer, PragmaIgen) {
+  auto T = lexAll("#pragma igen reduce y\nfor");
+  EXPECT_EQ(T[0].Kind, TokenKind::PragmaIgen);
+  EXPECT_EQ(T[0].Text, "reduce y");
+  EXPECT_EQ(T[1].Kind, TokenKind::KwFor);
+}
+
+TEST(Lexer, PassthroughDirectives) {
+  auto T = lexAll("#include <immintrin.h>\n#define N 100\nint");
+  EXPECT_EQ(T[0].Kind, TokenKind::PassthroughDirective);
+  EXPECT_EQ(T[0].Text, "#include <immintrin.h>");
+  EXPECT_EQ(T[1].Kind, TokenKind::PassthroughDirective);
+  EXPECT_EQ(T[2].Kind, TokenKind::KwInt);
+}
+
+TEST(Lexer, HashMidLineIsNotDirective) {
+  DiagnosticsEngine Diags;
+  Lexer L("a # b", Diags);
+  (void)L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors()); // '#' only starts a directive at BOL
+}
+
+TEST(Lexer, SourceLocations) {
+  auto T = lexAll("a\n  bb\n   c");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+  EXPECT_EQ(T[2].Loc.Line, 3u);
+  EXPECT_EQ(T[2].Loc.Col, 4u);
+}
+
+TEST(Lexer, MemberAccessVsFloat) {
+  // "s.f" must lex as identifier, period, identifier -- not a float.
+  auto T = lexAll("s.f 1.f");
+  EXPECT_EQ(T[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Kind, TokenKind::Period);
+  EXPECT_EQ(T[2].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[3].Kind, TokenKind::FloatLiteral);
+}

@@ -1,0 +1,203 @@
+//===- SemaTest.cpp - Semantic analysis tests --------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+struct SemaResult {
+  std::unique_ptr<ASTContext> Ctx;
+  DiagnosticsEngine Diags;
+  bool OK = false;
+};
+
+SemaResult analyze(std::string_view Src) {
+  SemaResult R;
+  R.Ctx = std::make_unique<ASTContext>();
+  Parser P(Src, *R.Ctx, R.Diags);
+  bool Parsed = P.parseTranslationUnit();
+  EXPECT_TRUE(Parsed) << R.Diags.render("test");
+  Sema S(*R.Ctx, R.Diags);
+  R.OK = S.run();
+  return R;
+}
+
+const Expr *firstReturnValue(const SemaResult &R, const char *Fn) {
+  const FunctionDecl *F = R.Ctx->TU.findFunction(Fn);
+  for (const Stmt *S : F->Body->Body)
+    if (const auto *Ret = dynCast<ReturnStmt>(S))
+      return Ret->Value;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Sema, ResolvesDeclsAndTypes) {
+  SemaResult R = analyze("double f(double a, int n) {\n"
+                         "  double c = a * 2.0;\n"
+                         "  return c + n;\n"
+                         "}\n");
+  ASSERT_TRUE(R.OK) << R.Diags.render("test");
+  const Expr *Ret = firstReturnValue(R, "f");
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->type()->kind(), Type::Kind::Double);
+  const auto *Add = dynCast<BinaryExpr>(Ret);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->RHS->type()->kind(), Type::Kind::Int);
+  const auto *Ref = dynCast<DeclRefExpr>(Add->LHS);
+  ASSERT_NE(Ref, nullptr);
+  ASSERT_NE(Ref->Decl, nullptr);
+  EXPECT_EQ(Ref->Decl->Name, "c");
+}
+
+TEST(Sema, UndeclaredIdentifier) {
+  SemaResult R = analyze("double f(void) { return x; }");
+  EXPECT_FALSE(R.OK);
+}
+
+TEST(Sema, ScopesNestAndShadow) {
+  SemaResult R = analyze("double f(double x) {\n"
+                         "  { double y = x; x = y; }\n"
+                         "  for (int i = 0; i < 3; i++) { double y; y = i; }\n"
+                         "  return x;\n"
+                         "}\n");
+  EXPECT_TRUE(R.OK) << R.Diags.render("test");
+}
+
+TEST(Sema, RedefinitionInSameScope) {
+  SemaResult R = analyze("void f(void) { int a; double a; }");
+  EXPECT_FALSE(R.OK);
+}
+
+TEST(Sema, UseOutOfScopeFails) {
+  SemaResult R = analyze("double f(void) { { double y = 1.0; } return y; }");
+  EXPECT_FALSE(R.OK);
+}
+
+TEST(Sema, IndexingAndPointers) {
+  SemaResult R = analyze("double f(double *p, double a[10]) {\n"
+                         "  return p[1] + a[2] + *p;\n"
+                         "}\n");
+  ASSERT_TRUE(R.OK) << R.Diags.render("test");
+  EXPECT_EQ(firstReturnValue(R, "f")->type()->kind(), Type::Kind::Double);
+}
+
+TEST(Sema, MathCallsTyped) {
+  SemaResult R = analyze("double f(double x) { return sin(x) + sqrt(x); }");
+  ASSERT_TRUE(R.OK) << R.Diags.render("test");
+  EXPECT_EQ(firstReturnValue(R, "f")->type()->kind(), Type::Kind::Double);
+}
+
+TEST(Sema, IntrinsicReturnTypes) {
+  SemaResult R = analyze(
+      "#include <immintrin.h>\n"
+      "double f(double *p) {\n"
+      "  __m256d v = _mm256_loadu_pd(p);\n"
+      "  __m256d w = _mm256_mul_pd(v, v);\n"
+      "  __m128d lo = _mm256_extractf128_pd(w, 0);\n"
+      "  return _mm_cvtsd_f64(lo);\n"
+      "}\n");
+  EXPECT_TRUE(R.OK) << R.Diags.render("test");
+}
+
+TEST(Sema, UnknownIntrinsicRejected) {
+  SemaResult R = analyze("void f(__m256d v) { _mm256_bogus_xyz(v); }");
+  EXPECT_FALSE(R.OK);
+}
+
+TEST(Sema, UserFunctionCalls) {
+  SemaResult R = analyze("double g(double x) { return x; }\n"
+                         "double f(double x) { return g(x) + g(2.0); }\n");
+  EXPECT_TRUE(R.OK) << R.Diags.render("test");
+  SemaResult Bad = analyze("double g(double x) { return x; }\n"
+                           "double f(double x) { return g(x, x); }\n");
+  EXPECT_FALSE(Bad.OK);
+}
+
+TEST(Sema, BitOpsOnFloatRejected) {
+  EXPECT_FALSE(analyze("double f(double a) { return a & 1.0; }").OK);
+  EXPECT_FALSE(analyze("double f(double a) { return a << 2; }").OK);
+  EXPECT_TRUE(analyze("int f(int a) { return a & 1; }").OK);
+}
+
+TEST(Sema, FloatToIntCastRejected) {
+  EXPECT_FALSE(analyze("int f(double a) { return (int)a; }").OK);
+  EXPECT_TRUE(analyze("double f(int a) { return (double)a; }").OK);
+  EXPECT_TRUE(analyze("double f(float a) { return (double)a; }").OK);
+}
+
+TEST(Sema, MallocWarns) {
+  SemaResult R = analyze("void f(void) { double *p = (double *)malloc(8); "
+                         "free(p); }");
+  EXPECT_TRUE(R.OK); // warning, not an error
+  bool SawWarning = false;
+  for (const Diagnostic &D : R.Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Warning)
+      SawWarning = true;
+  EXPECT_TRUE(SawWarning);
+}
+
+TEST(Sema, ReductionVarMustBeInScope) {
+  SemaResult R = analyze("void f(double *y) {\n"
+                         "  #pragma igen reduce z\n"
+                         "  for (int i = 0; i < 4; i++) y[i] = y[i] + 1.0;\n"
+                         "}\n");
+  EXPECT_FALSE(R.OK);
+}
+
+TEST(Sema, ComparisonsAreInt) {
+  SemaResult R = analyze("int f(double a, double b) { return a < b; }");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(firstReturnValue(R, "f")->type()->kind(), Type::Kind::Int);
+}
+
+TEST(Sema, VoidReturnChecked) {
+  EXPECT_FALSE(analyze("double f(void) { return; }").OK);
+  EXPECT_TRUE(analyze("void f(void) { return; }").OK);
+}
+
+#include "frontend/ASTDumper.h"
+
+TEST(ASTDumper, StructureAndTypes) {
+  SemaResult R = analyze("double f(double:0.5 a, int n) {\n"
+                         "  double s = 0.0;\n"
+                         "  #pragma igen reduce s\n"
+                         "  for (int i = 0; i < n; i++)\n"
+                         "    s = s + a * (double)i;\n"
+                         "  return s;\n"
+                         "}\n");
+  ASSERT_TRUE(R.OK) << R.Diags.render("test");
+  std::string Dump = dumpAST(R.Ctx->TU);
+  EXPECT_NE(Dump.find("FunctionDecl f ret='double'"), std::string::npos);
+  EXPECT_NE(Dump.find("ParamDecl a 'double' tolerance=0.5"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("ForStmt reduce(s)"), std::string::npos);
+  EXPECT_NE(Dump.find("BinaryExpr '+' 'double'"), std::string::npos);
+  EXPECT_NE(Dump.find("CastExpr to 'double'"), std::string::npos);
+  EXPECT_NE(Dump.find("ReturnStmt"), std::string::npos);
+}
+
+TEST(ASTDumper, AllStatementKinds) {
+  SemaResult R = analyze(
+      "int g(int n) {\n"
+      "  int s = 0;\n"
+      "  while (n > 0) { s += n; n--; }\n"
+      "  do { s++; } while (s < 3);\n"
+      "  for (;;) { break; }\n"
+      "  if (s > 5) return s; else return -s;\n"
+      "}\n");
+  ASSERT_TRUE(R.OK);
+  std::string Dump = dumpAST(R.Ctx->TU);
+  for (const char *Node :
+       {"WhileStmt", "DoStmt", "ForStmt", "IfStmt", "BreakStmt",
+        "UnaryExpr 'post--'", "UnaryExpr 'post++'"})
+    EXPECT_NE(Dump.find(Node), std::string::npos) << Node;
+}

@@ -1,0 +1,171 @@
+//===- AccumulatorTest.cpp - Reduction accumulator tests --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Accumulator.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+using igen::test::containsQuad;
+
+namespace {
+
+class AccTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{71};
+};
+
+} // namespace
+
+TEST_F(AccTest, F64AccumulatorContainsExactSum) {
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    SumAccumulatorF64 Acc;
+    __float128 Exact = 0;
+    int N = R.intIn(1, 2000);
+    for (int I = 0; I < N; ++I) {
+      double X = R.moderateDouble();
+      Interval T = Interval::fromPoint(X);
+      if (I == 0)
+        Acc.init(T);
+      else
+        Acc.accumulate(T);
+      Exact += X;
+    }
+    Interval S = Acc.reduce();
+    EXPECT_TRUE(containsQuad(S, Exact));
+    // Double-double accumulation: the final interval is a handful of ulps.
+    if (std::fabs((double)Exact) > 1e-10) {
+      EXPECT_LE(ulpDistance(S.lo(), S.hi()), 4u);
+    }
+  }
+}
+
+TEST_F(AccTest, F64AccumulatorBeatsNaiveOnCancellation) {
+  // Sum n large alternating terms plus a tiny one: naive interval
+  // summation loses the tiny term, the dd accumulator keeps it.
+  SumAccumulatorF64 Acc;
+  Acc.init(Interval::fromPoint(1e16));
+  Acc.accumulate(Interval::fromPoint(1.0));
+  Acc.accumulate(Interval::fromPoint(-1e16));
+  Interval S = Acc.reduce();
+  EXPECT_TRUE(S.contains(1.0));
+  EXPECT_LE(ulpDistance(S.lo(), S.hi()), 2u);
+}
+
+TEST_F(AccTest, F64AccumulatorIntervalWidths) {
+  // Accumulating genuine intervals must track both endpoint sums.
+  SumAccumulatorF64 Acc;
+  Acc.init(Interval::fromEndpoints(0.0, 1.0));
+  for (int I = 0; I < 10; ++I)
+    Acc.accumulate(Interval::fromEndpoints(-1.0, 1.0));
+  Interval S = Acc.reduce();
+  EXPECT_EQ(S.lo(), -10.0);
+  EXPECT_EQ(S.hi(), 11.0);
+}
+
+TEST_F(AccTest, ExactAccumulatorIsExact) {
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    ExactAccumulator Acc;
+    Expansion Exact;
+    int N = R.intIn(1, 3000);
+    {
+      // Build the exact reference alongside; Expansion requires RN.
+      for (int I = 0; I < N; ++I) {
+        double X = R.moderateDouble();
+        Acc.add(X);
+        RoundNearestScope RN;
+        Exact.add(X);
+      }
+    }
+    Dd S = Acc.reduceUp();
+    // reduceUp is an upper bound of the exact sum...
+    EXPECT_TRUE(igen::test::ddGeExact(S, Exact));
+    // ...and within ~2^-95 relative of it.
+    double Est = Exact.estimate();
+    double Err = (S.H - Est) + S.L;
+    double Scale = std::fabs(Est) + 1e-280;
+    EXPECT_LE(Err / Scale, 0x1p-95);
+  }
+}
+
+TEST_F(AccTest, ExactAccumulatorCancellation) {
+  ExactAccumulator Acc;
+  Acc.add(1e300);
+  Acc.add(0x1p-1000);
+  Acc.add(-1e300);
+  Dd S = Acc.reduceUp();
+  EXPECT_EQ(S.H, 0x1p-1000);
+  EXPECT_EQ(S.L, 0.0);
+}
+
+TEST_F(AccTest, ExactAccumulatorCarryChain) {
+  // Repeatedly adding the same value forces carry propagation through the
+  // exponent-indexed slots.
+  ExactAccumulator Acc;
+  for (int I = 0; I < 1024; ++I)
+    Acc.add(1.0);
+  Dd S = Acc.reduceUp();
+  EXPECT_EQ(S.H, 1024.0);
+  EXPECT_EQ(S.L, 0.0);
+}
+
+TEST_F(AccTest, ExactAccumulatorDenormals) {
+  ExactAccumulator Acc;
+  double D = std::numeric_limits<double>::denorm_min();
+  for (int I = 0; I < 100; ++I)
+    Acc.add(D);
+  Dd S = Acc.reduceUp();
+  EXPECT_EQ(S.H, 100 * D); // exact: fixed-point denormal arithmetic
+}
+
+TEST_F(AccTest, ExactAccumulatorSpecials) {
+  ExactAccumulator Acc;
+  Acc.add(1.0);
+  Acc.add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Acc.hasSpecial());
+  Dd S = Acc.reduceUp();
+  EXPECT_TRUE(S.isInf());
+  // inf + -inf -> NaN.
+  ExactAccumulator Acc2;
+  Acc2.add(std::numeric_limits<double>::infinity());
+  Acc2.add(-std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Acc2.reduceUp().hasNaN());
+}
+
+TEST_F(AccTest, DdAccumulatorContainsExactSum) {
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    SumAccumulatorDd Acc;
+    Expansion Exact;
+    int N = R.intIn(1, 500);
+    for (int I = 0; I < N; ++I) {
+      Dd X = R.dd();
+      DdInterval T = DdInterval::fromPoint(X);
+      if (I == 0)
+        Acc.init(T);
+      else
+        Acc.accumulate(T);
+      RoundNearestScope RN;
+      Exact.add(X.H);
+      Exact.add(X.L);
+    }
+    DdInterval S = Acc.reduce();
+    EXPECT_TRUE(igen::test::containsExact(S, Exact));
+  }
+}
+
+TEST_F(AccTest, DdAccumulatorKeepsEndpointsSeparate) {
+  SumAccumulatorDd Acc;
+  Acc.init(DdInterval::fromEndpoints(Dd(0.0), Dd(1.0)));
+  for (int I = 0; I < 5; ++I)
+    Acc.accumulate(DdInterval::fromEndpoints(Dd(-2.0), Dd(3.0)));
+  DdInterval S = Acc.reduce();
+  EXPECT_EQ(S.lo().H, -10.0);
+  EXPECT_EQ(S.hi().H, 16.0);
+}

@@ -1,0 +1,61 @@
+//===- AccuracyTest.cpp - Accuracy metric tests -----------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Accuracy.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+TEST(Accuracy, PointIntervalsAreFullPrecision) {
+  EXPECT_EQ(accuracyBits(Interval::fromPoint(1.5)), 53.0);
+  EXPECT_EQ(accuracyBits(DdInterval::fromPoint(1.5)), 106.0);
+}
+
+TEST(Accuracy, OneUlpIntervalLosesOneBit) {
+  Interval I = Interval::fromEndpoints(1.0, nextUp(1.0));
+  double Bits = accuracyBits(I);
+  EXPECT_NEAR(Bits, 52.0, 0.01);
+}
+
+TEST(Accuracy, WideIntervalsDegrade) {
+  Interval I = Interval::fromEndpoints(1.0, 2.0);
+  // [1, 2] contains 2^52 + 1 doubles: ~1 bit left.
+  EXPECT_NEAR(accuracyBits(I), 1.0, 0.1);
+  // [1, 1+2^-26] contains 2^26+1 doubles: loss 26, 27 bits left.
+  Interval J = Interval::fromEndpoints(1.0, 1.0 + 0x1p-26);
+  EXPECT_NEAR(accuracyBits(J), 27.0, 0.1);
+}
+
+TEST(Accuracy, SpecialsAreZero) {
+  EXPECT_EQ(accuracyBits(Interval::nan()), 0.0);
+  EXPECT_EQ(accuracyBits(Interval::entire()), 0.0);
+  EXPECT_EQ(accuracyBits(DdInterval::nan()), 0.0);
+  EXPECT_EQ(accuracyBits(DdInterval::entire()), 0.0);
+}
+
+TEST(Accuracy, DdRelativeWidth) {
+  // Width 2^-100 around 1.0: ~105 bits correct.
+  DdInterval I = DdInterval::fromEndpoints(Dd(1.0, 0.0), Dd(1.0, 0x1p-100));
+  double Bits = accuracyBits(I);
+  EXPECT_GT(Bits, 97.0);
+  EXPECT_LT(Bits, 106.0);
+  // Width 2^-53 around 1.0: ~2^52 dd values inside, ~54 bits left.
+  DdInterval J = DdInterval::fromEndpoints(Dd(1.0, 0.0), Dd(1.0, 0x1p-53));
+  EXPECT_NEAR(accuracyBits(J), 54.0, 1.5);
+}
+
+TEST(Accuracy, MonotoneInWidth) {
+  RoundUpwardScope Up;
+  // Shrinking the interval must never lose bits.
+  double Prev = 0.0;
+  for (int W = 0; W < 50; ++W) {
+    Interval I = Interval::fromEndpoints(1.0, 1.0 + std::ldexp(1.0, -W));
+    double Bits = accuracyBits(I);
+    EXPECT_GE(Bits, Prev);
+    Prev = Bits;
+  }
+}

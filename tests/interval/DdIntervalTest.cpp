@@ -1,0 +1,171 @@
+//===- DdIntervalTest.cpp - Scalar double-double interval tests ------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/DdInterval.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+using igen::test::containsQuad;
+using igen::test::toQuad;
+
+namespace {
+
+class DdiTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{21};
+
+  /// A random dd interval [c - d, c + u] with tiny dd-scale slack.
+  DdInterval randInterval() {
+    Dd C = R.dd();
+    Dd Lo = C, Hi = C;
+    Lo.L = addUlps(Lo.L, -R.intIn(0, 8));
+    Hi.L = addUlps(Hi.L, R.intIn(0, 8));
+    if (ddLess(Hi, Lo))
+      std::swap(Lo, Hi);
+    return DdInterval::fromEndpoints(Lo, Hi);
+  }
+};
+
+} // namespace
+
+TEST_F(DdiTest, ConstructionAndContains) {
+  DdInterval I = DdInterval::fromPoint(1.5);
+  EXPECT_TRUE(I.contains(1.5));
+  EXPECT_FALSE(I.contains(nextUp(1.5)));
+  EXPECT_FALSE(I.contains(nextDown(1.5)));
+  DdInterval W = DdInterval::fromEndpoints(Dd(1.0), Dd(2.0));
+  EXPECT_TRUE(W.contains(1.9999999999));
+  EXPECT_FALSE(W.contains(2.0000000001));
+}
+
+TEST_F(DdiTest, AddContainsExact) {
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval S = ddiAdd(A, B);
+    EXPECT_TRUE(test::containsExact(
+        S, test::exactDdSum(ddNeg(A.NegLo), ddNeg(B.NegLo))));
+    EXPECT_TRUE(test::containsExact(S, test::exactDdSum(A.Hi, B.Hi)));
+  }
+}
+
+TEST_F(DdiTest, MulContainsExactProducts) {
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval P = ddiMul(A, B);
+    // Products of all endpoint combinations must be inside.
+    __float128 Cands[4] = {
+        -toQuad(A.NegLo) * -toQuad(B.NegLo),
+        -toQuad(A.NegLo) * toQuad(B.Hi),
+        toQuad(A.Hi) * -toQuad(B.NegLo),
+        toQuad(A.Hi) * toQuad(B.Hi),
+    };
+    for (__float128 C : Cands)
+      EXPECT_TRUE(containsQuad(P, C));
+  }
+}
+
+TEST_F(DdiTest, MulSignCases) {
+  auto Mk = [](double Lo, double Hi) {
+    return DdInterval::fromEndpoints(Dd(Lo), Dd(Hi));
+  };
+  DdInterval R1 = ddiMul(Mk(2, 3), Mk(4, 5));
+  EXPECT_EQ(R1.lo().H, 8.0);
+  EXPECT_EQ(R1.hi().H, 15.0);
+  DdInterval R2 = ddiMul(Mk(-3, -2), Mk(4, 5));
+  EXPECT_EQ(R2.lo().H, -15.0);
+  EXPECT_EQ(R2.hi().H, -8.0);
+  DdInterval R3 = ddiMul(Mk(-2, 3), Mk(-4, 5));
+  EXPECT_EQ(R3.lo().H, -12.0);
+  EXPECT_EQ(R3.hi().H, 15.0);
+}
+
+TEST_F(DdiTest, DivContainsExactQuotients) {
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    // Skip divisors containing zero (degenerate analysis tested below).
+    if (ddNeg(B.NegLo).sign() <= 0 && B.Hi.sign() >= 0)
+      continue;
+    DdInterval Q = ddiDiv(A, B);
+    __float128 Cands[4] = {
+        -toQuad(A.NegLo) / -toQuad(B.NegLo),
+        -toQuad(A.NegLo) / toQuad(B.Hi),
+        toQuad(A.Hi) / -toQuad(B.NegLo),
+        toQuad(A.Hi) / toQuad(B.Hi),
+    };
+    for (__float128 C : Cands)
+      EXPECT_TRUE(containsQuad(Q, C));
+  }
+}
+
+TEST_F(DdiTest, DivByZeroContaining) {
+  auto Mk = [](double Lo, double Hi) {
+    return DdInterval::fromEndpoints(Dd(Lo), Dd(Hi));
+  };
+  DdInterval Q = ddiDiv(Mk(1, 2), Mk(-1, 1));
+  Interval H = Q.outerHull();
+  EXPECT_EQ(H.lo(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(H.hi(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(ddiDiv(Mk(-1, 1), Mk(-1, 1)).hasNaN());
+}
+
+TEST_F(DdiTest, DivNegativeDivisorMirrors) {
+  auto Mk = [](double Lo, double Hi) {
+    return DdInterval::fromEndpoints(Dd(Lo), Dd(Hi));
+  };
+  DdInterval Q = ddiDiv(Mk(1, 2), Mk(-4, -2));
+  EXPECT_TRUE(Q.contains(-0.5));
+  EXPECT_TRUE(Q.contains(-0.25));
+  EXPECT_FALSE(Q.contains(-1.01));
+  EXPECT_FALSE(Q.contains(-0.24));
+}
+
+TEST_F(DdiTest, SubAndNeg) {
+  for (int I = 0; I < 5000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval D = ddiSub(A, B);
+    // hi(A) - lo(B) == A.Hi + B.NegLo, exactly representable as expansion.
+    EXPECT_TRUE(test::containsExact(D, test::exactDdSum(A.Hi, B.NegLo)));
+    DdInterval N = ddiNeg(A);
+    EXPECT_TRUE(
+        test::containsExact(N, test::exactDdSum(ddNeg(A.Hi), Dd(0.0))));
+  }
+}
+
+TEST_F(DdiTest, Comparisons) {
+  auto Mk = [](double Lo, double Hi) {
+    return DdInterval::fromEndpoints(Dd(Lo), Dd(Hi));
+  };
+  EXPECT_EQ(ddiCmpLT(Mk(0, 1), Mk(2, 3)), TBool::True);
+  EXPECT_EQ(ddiCmpLT(Mk(2, 3), Mk(0, 1)), TBool::False);
+  EXPECT_EQ(ddiCmpLT(Mk(0, 2), Mk(1, 3)), TBool::Unknown);
+  EXPECT_EQ(ddiCmpGT(Mk(2, 3), Mk(0, 1)), TBool::True);
+  // Distinguishes differences below double precision.
+  DdInterval A = DdInterval::fromPoint(Dd(1.0, 0.0));
+  DdInterval B = DdInterval::fromPoint(Dd(1.0, 1e-25));
+  EXPECT_EQ(ddiCmpLT(A, B), TBool::True);
+}
+
+TEST_F(DdiTest, NanPropagation) {
+  DdInterval N = DdInterval::nan();
+  DdInterval A = DdInterval::fromPoint(1.0);
+  EXPECT_TRUE(ddiAdd(N, A).hasNaN());
+  EXPECT_TRUE(ddiMul(N, A).hasNaN());
+  EXPECT_TRUE(ddiDiv(N, A).hasNaN());
+  EXPECT_EQ(ddiCmpLT(N, A), TBool::Unknown);
+}
+
+TEST_F(DdiTest, OuterHull) {
+  DdInterval X = DdInterval::fromEndpoints(Dd(1.0, 1e-20), Dd(2.0, -1e-20));
+  Interval H = X.outerHull();
+  EXPECT_LE(H.lo(), 1.0 + 1e-20);
+  EXPECT_GE(H.hi(), 2.0 - 1e-20);
+  EXPECT_LE(ulpDistance(H.lo(), 1.0), 1u);
+}

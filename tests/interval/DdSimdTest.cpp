@@ -1,0 +1,154 @@
+//===- DdSimdTest.cpp - AVX double-double interval tests --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/DdSimd.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+using igen::test::containsQuad;
+using igen::test::toQuad;
+
+namespace {
+
+class DdAvxTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{51};
+
+  DdInterval randInterval() {
+    Dd C = R.dd();
+    Dd Lo = C, Hi = C;
+    Lo.L = addUlps(Lo.L, -R.intIn(0, 8));
+    Hi.L = addUlps(Hi.L, R.intIn(0, 8));
+    if (ddLess(Hi, Lo))
+      std::swap(Lo, Hi);
+    return DdInterval::fromEndpoints(Lo, Hi);
+  }
+
+  static bool sameDd(const Dd &A, const Dd &B) {
+    return A.H == B.H && A.L == B.L;
+  }
+  static bool sameInterval(const DdInterval &A, const DdInterval &B) {
+    return sameDd(A.NegLo, B.NegLo) && sameDd(A.Hi, B.Hi);
+  }
+};
+
+} // namespace
+
+TEST_F(DdAvxTest, RoundTripLayout) {
+  DdInterval I = DdInterval::fromEndpoints(Dd(1.0, 1e-17), Dd(2.0, -2e-17));
+  DdIntervalAvx V = DdIntervalAvx::fromScalar(I);
+  EXPECT_TRUE(sameInterval(V.toScalar(), I));
+}
+
+TEST_F(DdAvxTest, AddMatchesScalarBitwise) {
+  // The vectorized DD_Add performs the identical operation sequence to the
+  // scalar Fig. 6 algorithm, so results must agree bit for bit.
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval Ref = ddiAdd(A, B);
+    DdInterval Got =
+        ddiAdd(DdIntervalAvx::fromScalar(A), DdIntervalAvx::fromScalar(B))
+            .toScalar();
+    EXPECT_TRUE(sameInterval(Got, Ref));
+  }
+}
+
+TEST_F(DdAvxTest, AddSoundAgainstQuad) {
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval S =
+        ddiAdd(DdIntervalAvx::fromScalar(A), DdIntervalAvx::fromScalar(B))
+            .toScalar();
+    EXPECT_TRUE(containsQuad(S, toQuad(A.Hi) + toQuad(B.Hi)));
+    EXPECT_TRUE(
+        containsQuad(S, -toQuad(A.NegLo) + -toQuad(B.NegLo)));
+  }
+}
+
+TEST_F(DdAvxTest, MulSoundAgainstQuad) {
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval P =
+        ddiMul(DdIntervalAvx::fromScalar(A), DdIntervalAvx::fromScalar(B))
+            .toScalar();
+    __float128 Cands[4] = {
+        -toQuad(A.NegLo) * -toQuad(B.NegLo),
+        -toQuad(A.NegLo) * toQuad(B.Hi),
+        toQuad(A.Hi) * -toQuad(B.NegLo),
+        toQuad(A.Hi) * toQuad(B.Hi),
+    };
+    for (__float128 C : Cands)
+      EXPECT_TRUE(containsQuad(P, C));
+  }
+}
+
+TEST_F(DdAvxTest, MulMatchesScalar) {
+  // Same candidate scheme and same dd product algorithm: bitwise equal.
+  for (int I = 0; I < 10000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval Ref = ddiMul(A, B);
+    DdInterval Got =
+        ddiMul(DdIntervalAvx::fromScalar(A), DdIntervalAvx::fromScalar(B))
+            .toScalar();
+    EXPECT_TRUE(sameInterval(Got, Ref))
+        << A.Hi.H << " " << B.Hi.H;
+  }
+}
+
+TEST_F(DdAvxTest, MulTightness) {
+  for (int I = 0; I < 3000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    DdInterval P =
+        ddiMul(DdIntervalAvx::fromScalar(A), DdIntervalAvx::fromScalar(B))
+            .toScalar();
+    if (P.hasNaN())
+      continue;
+    // Relative width must stay near the input widths (no blow-up).
+    double W = (P.Hi.H + P.NegLo.H) + (P.Hi.L + P.NegLo.L);
+    double Mid = std::fabs(P.Hi.H) + 1e-300;
+    EXPECT_LE(W / Mid, 1e-25);
+  }
+}
+
+TEST_F(DdAvxTest, SpecialValuesFallBack) {
+  DdInterval N = DdInterval::nan();
+  DdIntervalAvx V = DdIntervalAvx::fromScalar(N);
+  EXPECT_TRUE(V.hasSpecial());
+  DdIntervalAvx A = DdIntervalAvx::fromPoint(1.0);
+  EXPECT_FALSE(A.hasSpecial());
+  EXPECT_TRUE(ddiMul(V, A).toScalar().hasNaN());
+  DdIntervalAvx E = DdIntervalAvx::fromScalar(DdInterval::entire());
+  EXPECT_TRUE(E.hasSpecial());
+  DdInterval R = ddiMul(E, A).toScalar();
+  EXPECT_TRUE(R.NegLo.isInf() && R.Hi.isInf());
+}
+
+TEST_F(DdAvxTest, DivMatchesScalarPath) {
+  for (int I = 0; I < 5000; ++I) {
+    DdInterval A = randInterval(), B = randInterval();
+    if (ddNeg(B.NegLo).sign() <= 0 && B.Hi.sign() >= 0)
+      continue;
+    DdInterval Ref = ddiDiv(A, B);
+    DdInterval Got =
+        ddiDiv(DdIntervalAvx::fromScalar(A), DdIntervalAvx::fromScalar(B))
+            .toScalar();
+    EXPECT_TRUE(sameInterval(Got, Ref));
+  }
+}
+
+TEST_F(DdAvxTest, NegAndSub) {
+  DdInterval A = randInterval();
+  DdIntervalAvx V = DdIntervalAvx::fromScalar(A);
+  EXPECT_TRUE(sameInterval(ddiNeg(V).toScalar(), ddiNeg(A)));
+  DdInterval B = randInterval();
+  EXPECT_TRUE(sameInterval(
+      ddiSub(V, DdIntervalAvx::fromScalar(B)).toScalar(), ddiSub(A, B)));
+}

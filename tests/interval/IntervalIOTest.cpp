@@ -1,0 +1,35 @@
+//===- IntervalIOTest.cpp - Interval formatting tests ------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/IntervalIO.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+TEST(IntervalIO, RoundTripsEndpoints) {
+  Interval I = Interval::fromEndpoints(0.1, 0.30000000000000004);
+  std::string S = toString(I);
+  // Parse back the two endpoints.
+  double Lo = std::strtod(S.c_str() + 1, nullptr);
+  size_t Comma = S.find(',');
+  double Hi = std::strtod(S.c_str() + Comma + 1, nullptr);
+  EXPECT_EQ(Lo, 0.1);
+  EXPECT_EQ(Hi, 0.30000000000000004);
+}
+
+TEST(IntervalIO, SpecialValues) {
+  EXPECT_NE(toString(Interval::nan()).find("nan"), std::string::npos);
+  EXPECT_NE(toString(Interval::entire()).find("inf"), std::string::npos);
+}
+
+TEST(IntervalIO, DoubleDoubleForm) {
+  DdInterval X = DdInterval::fromEndpoints(Dd(1.0, 1e-20), Dd(2.0, -1e-20));
+  std::string S = toString(X);
+  EXPECT_NE(S.find("(1 + 1e-20)"), std::string::npos);
+  EXPECT_NE(S.find("(2 + -1e-20)"), std::string::npos);
+}

@@ -1,0 +1,136 @@
+//===- IntervalSimdTest.cpp - SSE interval tests ---------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/IntervalSimd.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+
+namespace {
+
+class SseTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{31};
+};
+
+/// Two intervals are identical as sets (treating any-NaN as equal).
+bool sameSet(const Interval &A, const Interval &B) {
+  if (A.hasNaN() || B.hasNaN())
+    return A.hasNaN() == B.hasNaN();
+  return A.NegLo == B.NegLo && A.Hi == B.Hi;
+}
+
+} // namespace
+
+TEST_F(SseTest, RoundTripConversion) {
+  Interval I = Interval::fromEndpoints(-1.25, 3.5);
+  IntervalSse S = IntervalSse::fromInterval(I);
+  EXPECT_EQ(S.lo(), -1.25);
+  EXPECT_EQ(S.hi(), 3.5);
+  EXPECT_TRUE(sameSet(S.toInterval(), I));
+}
+
+TEST_F(SseTest, AddMatchesScalar) {
+  for (int I = 0; I < 10000; ++I) {
+    Interval A = R.interval(), B = R.interval();
+    Interval Ref = iAdd(A, B);
+    Interval Got = iAdd(IntervalSse::fromInterval(A),
+                        IntervalSse::fromInterval(B))
+                       .toInterval();
+    EXPECT_TRUE(sameSet(Got, Ref)) << A.lo() << " " << B.lo();
+  }
+}
+
+TEST_F(SseTest, SubNegMatchScalar) {
+  for (int I = 0; I < 10000; ++I) {
+    Interval A = R.interval(), B = R.interval();
+    EXPECT_TRUE(sameSet(iSub(IntervalSse::fromInterval(A),
+                             IntervalSse::fromInterval(B))
+                            .toInterval(),
+                        iSub(A, B)));
+    EXPECT_TRUE(sameSet(iNeg(IntervalSse::fromInterval(A)).toInterval(),
+                        iNeg(A)));
+  }
+}
+
+TEST_F(SseTest, MulMatchesScalarOnFinite) {
+  for (int I = 0; I < 20000; ++I) {
+    Interval A = R.moderateInterval(), B = R.moderateInterval();
+    Interval Ref = iMul(A, B);
+    Interval Got = iMul(IntervalSse::fromInterval(A),
+                        IntervalSse::fromInterval(B))
+                       .toInterval();
+    EXPECT_TRUE(sameSet(Got, Ref))
+        << "[" << A.lo() << "," << A.hi() << "] * [" << B.lo() << ","
+        << B.hi() << "]";
+  }
+}
+
+TEST_F(SseTest, MulSpecialValuesSound) {
+  int N;
+  const double *Vals = igen::test::specialValues(N);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      double L = std::min(Vals[I], Vals[J]);
+      double H = std::max(Vals[I], Vals[J]);
+      if (std::isnan(L) || std::isnan(H))
+        L = H = Vals[I];
+      Interval A = std::isnan(L) ? Interval::nan()
+                                 : Interval::fromEndpoints(L, H);
+      Interval B = Interval::fromEndpoints(-1.0, 2.0);
+      Interval Ref = iMul(A, B);
+      Interval Got = iMul(IntervalSse::fromInterval(A),
+                          IntervalSse::fromInterval(B))
+                         .toInterval();
+      // The SIMD path may only be equal or wider, never narrower.
+      EXPECT_TRUE(Got.containsInterval(Ref))
+          << L << " " << H;
+    }
+}
+
+TEST_F(SseTest, DivMatchesScalar) {
+  for (int I = 0; I < 20000; ++I) {
+    Interval A = R.moderateInterval(), B = R.moderateInterval();
+    Interval Ref = iDiv(A, B);
+    Interval Got = iDiv(IntervalSse::fromInterval(A),
+                        IntervalSse::fromInterval(B))
+                       .toInterval();
+    EXPECT_TRUE(sameSet(Got, Ref));
+  }
+}
+
+TEST_F(SseTest, DivZeroContainingFallsBack) {
+  IntervalSse A = IntervalSse::fromEndpoints(1.0, 2.0);
+  IntervalSse B = IntervalSse::fromEndpoints(0.0, 4.0);
+  Interval Q = iDiv(A, B).toInterval();
+  EXPECT_EQ(Q.lo(), 0.25);
+  EXPECT_EQ(Q.hi(), std::numeric_limits<double>::infinity());
+}
+
+TEST_F(SseTest, SqrtAndCmp) {
+  IntervalSse A = IntervalSse::fromEndpoints(4.0, 9.0);
+  Interval S = iSqrt(A).toInterval();
+  EXPECT_EQ(S.lo(), 2.0);
+  EXPECT_EQ(S.hi(), 3.0);
+  EXPECT_EQ(iCmpLT(IntervalSse::fromEndpoints(0, 1),
+                   IntervalSse::fromEndpoints(2, 3)),
+            TBool::True);
+}
+
+TEST_F(SseTest, HullMatchesScalar) {
+  for (int I = 0; I < 5000; ++I) {
+    Interval A = R.interval(), B = R.interval();
+    EXPECT_TRUE(sameSet(iHull(IntervalSse::fromInterval(A),
+                              IntervalSse::fromInterval(B))
+                            .toInterval(),
+                        iHull(A, B)));
+  }
+}

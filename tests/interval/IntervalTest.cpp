@@ -1,0 +1,236 @@
+//===- IntervalTest.cpp - Scalar f64 interval unit tests -------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Interval.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+
+namespace {
+
+class IntervalTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+};
+
+Interval mk(double Lo, double Hi) { return Interval::fromEndpoints(Lo, Hi); }
+
+} // namespace
+
+TEST_F(IntervalTest, ConstructionAndAccessors) {
+  Interval I = mk(-1.5, 2.5);
+  EXPECT_EQ(I.lo(), -1.5);
+  EXPECT_EQ(I.hi(), 2.5);
+  EXPECT_EQ(I.NegLo, 1.5);
+  EXPECT_TRUE(I.contains(0.0));
+  EXPECT_TRUE(I.contains(-1.5));
+  EXPECT_TRUE(I.contains(2.5));
+  EXPECT_FALSE(I.contains(2.5000001));
+  EXPECT_FALSE(I.isPoint());
+  EXPECT_TRUE(Interval::fromPoint(3.0).isPoint());
+}
+
+TEST_F(IntervalTest, AddIsOutwardRounded) {
+  Interval A = mk(0.1, 0.1);
+  Interval B = mk(0.2, 0.2);
+  Interval S = iAdd(A, B);
+  // 0.1 + 0.2 is inexact: the result must be a width-1-ulp enclosure.
+  EXPECT_LT(S.lo(), S.hi());
+  EXPECT_EQ(nextUp(S.lo()), S.hi());
+  EXPECT_TRUE(test::containsQuad(
+      S, static_cast<__float128>(0.1) + static_cast<__float128>(0.2)));
+}
+
+TEST_F(IntervalTest, SubNegAlgebra) {
+  Interval A = mk(1.0, 2.0);
+  Interval B = mk(0.5, 0.75);
+  Interval D = iSub(A, B);
+  EXPECT_EQ(D.lo(), 0.25);
+  EXPECT_EQ(D.hi(), 1.5);
+  Interval N = iNeg(A);
+  EXPECT_EQ(N.lo(), -2.0);
+  EXPECT_EQ(N.hi(), -1.0);
+}
+
+TEST_F(IntervalTest, MulSignCases) {
+  // All nine sign combinations of the classical case analysis.
+  struct Case {
+    double ALo, AHi, BLo, BHi, RLo, RHi;
+  } Cases[] = {
+      {2, 3, 4, 5, 8, 15},        // + * +
+      {-3, -2, 4, 5, -15, -8},    // - * +
+      {2, 3, -5, -4, -15, -8},    // + * -
+      {-3, -2, -5, -4, 8, 15},    // - * -
+      {-2, 3, 4, 5, -10, 15},     // mixed * +
+      {-2, 3, -5, -4, -15, 10},   // mixed * -
+      {2, 3, -4, 5, -12, 15},     // + * mixed
+      {-3, -2, -4, 5, -15, 12},   // - * mixed
+      {-2, 3, -4, 5, -12, 15},    // mixed * mixed
+  };
+  for (const Case &C : Cases) {
+    Interval R = iMul(mk(C.ALo, C.AHi), mk(C.BLo, C.BHi));
+    EXPECT_EQ(R.lo(), C.RLo) << C.ALo << " " << C.BLo;
+    EXPECT_EQ(R.hi(), C.RHi) << C.ALo << " " << C.BLo;
+  }
+}
+
+TEST_F(IntervalTest, MulZeroTimesInfinity) {
+  // [0,0] * [inf,inf]: the infinite endpoint still bounds a *real*, and
+  // an exact zero times any real is zero.
+  Interval R = iMul(mk(0.0, 0.0), Interval(
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(R.contains(0.0));
+  EXPECT_FALSE(R.hasNaN());
+  EXPECT_EQ(R.lo(), 0.0);
+  EXPECT_EQ(R.hi(), 0.0);
+}
+
+TEST_F(IntervalTest, MulStraddleTimesEntire) {
+  Interval R = iMul(mk(-1.0, 1.0), Interval::entire());
+  EXPECT_EQ(R.lo(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(R.hi(), std::numeric_limits<double>::infinity());
+}
+
+TEST_F(IntervalTest, MulNaNPropagates) {
+  Interval R = iMul(Interval::nan(), mk(1.0, 2.0));
+  EXPECT_TRUE(R.hasNaN());
+}
+
+TEST_F(IntervalTest, DivBasic) {
+  Interval R = iDiv(mk(1.0, 2.0), mk(4.0, 8.0));
+  EXPECT_EQ(R.lo(), 0.125);
+  EXPECT_EQ(R.hi(), 0.5);
+  R = iDiv(mk(-2.0, -1.0), mk(4.0, 8.0));
+  EXPECT_EQ(R.lo(), -0.5);
+  EXPECT_EQ(R.hi(), -0.125);
+  R = iDiv(mk(1.0, 2.0), mk(-8.0, -4.0));
+  EXPECT_EQ(R.lo(), -0.5);
+  EXPECT_EQ(R.hi(), -0.125);
+}
+
+TEST_F(IntervalTest, DivRoundsOutward) {
+  Interval R = iDiv(mk(1.0, 1.0), mk(3.0, 3.0));
+  EXPECT_LT(R.lo(), R.hi());
+  EXPECT_EQ(nextUp(R.lo()), R.hi());
+  EXPECT_TRUE(test::containsQuad(R, static_cast<__float128>(1) / 3));
+}
+
+TEST_F(IntervalTest, DivByZeroContainingGivesHalfLines) {
+  double Inf = std::numeric_limits<double>::infinity();
+  // [1,2] / [0,4] = [1/4, +inf).
+  Interval R = iDiv(mk(1.0, 2.0), mk(0.0, 4.0));
+  EXPECT_EQ(R.lo(), 0.25);
+  EXPECT_EQ(R.hi(), Inf);
+  // [1,2] / [-4,0] = (-inf, -1/4].
+  R = iDiv(mk(1.0, 2.0), mk(-4.0, 0.0));
+  EXPECT_EQ(R.lo(), -Inf);
+  EXPECT_EQ(R.hi(), -0.25);
+  // [-2,-1] / [0,4] = (-inf, -1/4].
+  R = iDiv(mk(-2.0, -1.0), mk(0.0, 4.0));
+  EXPECT_EQ(R.lo(), -Inf);
+  EXPECT_EQ(R.hi(), -0.25);
+  // [1,2] / [-4,4]: zero interior, both signs -> entire.
+  R = iDiv(mk(1.0, 2.0), mk(-4.0, 4.0));
+  EXPECT_EQ(R.lo(), -Inf);
+  EXPECT_EQ(R.hi(), Inf);
+}
+
+TEST_F(IntervalTest, DivZeroOverZeroIsInvalid) {
+  EXPECT_TRUE(iDiv(mk(-1.0, 1.0), mk(-1.0, 1.0)).hasNaN());
+  EXPECT_TRUE(iDiv(mk(0.0, 0.0), mk(0.0, 0.0)).hasNaN());
+  EXPECT_TRUE(iDiv(mk(1.0, 2.0), mk(0.0, 0.0)).hasNaN());
+}
+
+TEST_F(IntervalTest, SqrtCases) {
+  Interval R = iSqrt(mk(4.0, 9.0));
+  EXPECT_EQ(R.lo(), 2.0);
+  EXPECT_EQ(R.hi(), 3.0);
+  // Paper example: sqrt([-1, 1]) == [NaN, 1].
+  R = iSqrt(mk(-1.0, 1.0));
+  EXPECT_TRUE(std::isnan(R.NegLo));
+  EXPECT_EQ(R.Hi, 1.0);
+  EXPECT_TRUE(iSqrt(mk(-2.0, -1.0)).hasNaN());
+}
+
+TEST_F(IntervalTest, SqrtIsTight) {
+  Interval R = iSqrt(mk(2.0, 2.0));
+  EXPECT_EQ(nextUp(R.lo()), R.hi());
+  // Quad-accurate sqrt(2) via one Newton step from the double value.
+  __float128 S0 = std::sqrt(2.0);
+  __float128 S = S0 - (S0 * S0 - 2) / (2 * S0);
+  EXPECT_TRUE(test::containsQuad(R, S));
+}
+
+TEST_F(IntervalTest, AbsFloorCeil) {
+  EXPECT_EQ(iAbs(mk(-3.0, -1.0)).lo(), 1.0);
+  EXPECT_EQ(iAbs(mk(-3.0, 2.0)).lo(), 0.0);
+  EXPECT_EQ(iAbs(mk(-3.0, 2.0)).hi(), 3.0);
+  EXPECT_EQ(iAbs(mk(1.0, 2.0)).lo(), 1.0);
+  Interval F = iFloor(mk(-1.5, 2.5));
+  EXPECT_EQ(F.lo(), -2.0);
+  EXPECT_EQ(F.hi(), 2.0);
+  Interval C = iCeil(mk(-1.5, 2.5));
+  EXPECT_EQ(C.lo(), -1.0);
+  EXPECT_EQ(C.hi(), 3.0);
+}
+
+TEST_F(IntervalTest, Comparisons) {
+  EXPECT_EQ(iCmpLT(mk(0.0, 1.0), mk(2.0, 3.0)), TBool::True);
+  EXPECT_EQ(iCmpLT(mk(2.0, 3.0), mk(0.0, 1.0)), TBool::False);
+  EXPECT_EQ(iCmpLT(mk(0.0, 2.0), mk(1.0, 3.0)), TBool::Unknown);
+  EXPECT_EQ(iCmpLE(mk(0.0, 1.0), mk(1.0, 3.0)), TBool::True);
+  EXPECT_EQ(iCmpGT(mk(2.0, 3.0), mk(0.0, 1.0)), TBool::True);
+  EXPECT_EQ(iCmpEQ(mk(1.0, 1.0), mk(1.0, 1.0)), TBool::True);
+  EXPECT_EQ(iCmpEQ(mk(1.0, 1.0), mk(2.0, 2.0)), TBool::False);
+  EXPECT_EQ(iCmpEQ(mk(0.0, 2.0), mk(1.0, 3.0)), TBool::Unknown);
+  EXPECT_EQ(iCmpNE(mk(1.0, 1.0), mk(2.0, 2.0)), TBool::True);
+  EXPECT_EQ(iCmpLT(Interval::nan(), mk(0.0, 1.0)), TBool::Unknown);
+}
+
+TEST_F(IntervalTest, HullAndSetTol) {
+  Interval H = iHull(mk(0.0, 1.0), mk(3.0, 4.0));
+  EXPECT_EQ(H.lo(), 0.0);
+  EXPECT_EQ(H.hi(), 4.0);
+  Interval T = iSetTol(5.0, 0.25);
+  EXPECT_EQ(T.lo(), 4.75);
+  EXPECT_EQ(T.hi(), 5.25);
+}
+
+TEST_F(IntervalTest, ContainmentMonotonicityRandom) {
+  Rng R(42);
+  for (int I = 0; I < 2000; ++I) {
+    Interval A = R.moderateInterval();
+    Interval B = R.moderateInterval();
+    // Widen A and B; results must contain the original results.
+    Interval AW = Interval(addUlps(A.NegLo, 3), addUlps(A.Hi, 3));
+    Interval BW = Interval(addUlps(B.NegLo, 3), addUlps(B.Hi, 3));
+    EXPECT_TRUE(iAdd(AW, BW).containsInterval(iAdd(A, B)));
+    EXPECT_TRUE(iSub(AW, BW).containsInterval(iSub(A, B)));
+    EXPECT_TRUE(iMul(AW, BW).containsInterval(iMul(A, B)));
+    Interval Q = iDiv(A, B), QW = iDiv(AW, BW);
+    EXPECT_TRUE(QW.containsInterval(Q) || QW.hasNaN());
+  }
+}
+
+TEST_F(IntervalTest, PointOpsContainQuadResult) {
+  Rng R(7);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.moderateDouble(), Y = R.moderateDouble();
+    __float128 QX = X, QY = Y;
+    Interval IX = Interval::fromPoint(X), IY = Interval::fromPoint(Y);
+    EXPECT_TRUE(test::containsQuad(iAdd(IX, IY), QX + QY));
+    EXPECT_TRUE(test::containsQuad(iSub(IX, IY), QX - QY));
+    EXPECT_TRUE(test::containsQuad(iMul(IX, IY), QX * QY));
+    if (Y != 0.0) {
+      EXPECT_TRUE(test::containsQuad(iDiv(IX, IY), QX / QY));
+    }
+  }
+}

@@ -1,0 +1,107 @@
+//===- IntervalVectorTest.cpp - AVX interval-vector tests ------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/IntervalVector.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+
+namespace {
+
+class VecTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{41};
+
+  bool sameSet(const Interval &A, const Interval &B) {
+    if (A.hasNaN() || B.hasNaN())
+      return A.hasNaN() == B.hasNaN();
+    return A.NegLo == B.NegLo && A.Hi == B.Hi;
+  }
+};
+
+} // namespace
+
+TEST_F(VecTest, X2LanesIndependent) {
+  for (int I = 0; I < 10000; ++I) {
+    Interval A0 = R.moderateInterval(), A1 = R.moderateInterval();
+    Interval B0 = R.moderateInterval(), B1 = R.moderateInterval();
+    IntervalX2 A = IntervalX2::fromIntervals(A0, A1);
+    IntervalX2 B = IntervalX2::fromIntervals(B0, B1);
+    IntervalX2 S = iAdd(A, B);
+    EXPECT_TRUE(sameSet(S.interval(0), iAdd(A0, B0)));
+    EXPECT_TRUE(sameSet(S.interval(1), iAdd(A1, B1)));
+    IntervalX2 M = iMul(A, B);
+    EXPECT_TRUE(sameSet(M.interval(0), iMul(A0, B0)));
+    EXPECT_TRUE(sameSet(M.interval(1), iMul(A1, B1)));
+    IntervalX2 D = iDiv(A, B);
+    EXPECT_TRUE(sameSet(D.interval(0), iDiv(A0, B0)));
+    EXPECT_TRUE(sameSet(D.interval(1), iDiv(A1, B1)));
+    IntervalX2 Sub = iSub(A, B);
+    EXPECT_TRUE(sameSet(Sub.interval(0), iSub(A0, B0)));
+    EXPECT_TRUE(sameSet(Sub.interval(1), iSub(A1, B1)));
+  }
+}
+
+TEST_F(VecTest, X2DivOneLaneZeroContaining) {
+  IntervalX2 A = IntervalX2::fromIntervals(
+      Interval::fromEndpoints(1, 2), Interval::fromEndpoints(1, 2));
+  IntervalX2 B = IntervalX2::fromIntervals(
+      Interval::fromEndpoints(-1, 1), Interval::fromEndpoints(4, 8));
+  IntervalX2 Q = iDiv(A, B);
+  EXPECT_EQ(Q.interval(0).hi(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Q.interval(1).lo(), 0.125);
+  EXPECT_EQ(Q.interval(1).hi(), 0.5);
+}
+
+TEST_F(VecTest, HalvesRoundTrip) {
+  Interval A0 = Interval::fromEndpoints(1, 2);
+  Interval A1 = Interval::fromEndpoints(3, 4);
+  IntervalX2 A = IntervalX2::fromIntervals(A0, A1);
+  EXPECT_TRUE(sameSet(A.half(0).toInterval(), A0));
+  EXPECT_TRUE(sameSet(A.half(1).toInterval(), A1));
+  IntervalX2 B = IntervalX2::fromHalves(A.half(0), A.half(1));
+  EXPECT_TRUE(sameSet(B.interval(0), A0));
+  EXPECT_TRUE(sameSet(B.interval(1), A1));
+}
+
+TEST_F(VecTest, PackElementwise) {
+  M256di2 A = M256di2::broadcast(Interval::fromEndpoints(1, 2));
+  M256di2 B = M256di2::broadcast(Interval::fromEndpoints(10, 20));
+  M256di2 S = iAdd(A, B);
+  for (int I = 0; I < M256di2::numIntervals(); ++I) {
+    EXPECT_EQ(S.interval(I).lo(), 11.0);
+    EXPECT_EQ(S.interval(I).hi(), 22.0);
+  }
+  M256di4 C = M256di4::broadcast(Interval::fromEndpoints(-1, 1));
+  M256di4 P = iMul(C, C);
+  for (int I = 0; I < M256di4::numIntervals(); ++I) {
+    EXPECT_EQ(P.interval(I).lo(), -1.0);
+    EXPECT_EQ(P.interval(I).hi(), 1.0);
+  }
+}
+
+TEST_F(VecTest, SetInterval) {
+  M256di2 A = M256di2::broadcast(Interval::fromPoint(0.0));
+  A.setInterval(2, Interval::fromEndpoints(5, 6));
+  EXPECT_EQ(A.interval(2).lo(), 5.0);
+  EXPECT_EQ(A.interval(2).hi(), 6.0);
+  EXPECT_EQ(A.interval(3).lo(), 0.0);
+  EXPECT_EQ(A.interval(0).hi(), 0.0);
+}
+
+TEST_F(VecTest, SqrtElementwise) {
+  M256di2 A = M256di2::broadcast(Interval::fromEndpoints(4, 9));
+  M256di2 S = iSqrt(A);
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_EQ(S.interval(I).lo(), 2.0);
+    EXPECT_EQ(S.interval(I).hi(), 3.0);
+  }
+}

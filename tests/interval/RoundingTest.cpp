@@ -1,0 +1,132 @@
+//===- RoundingTest.cpp - Rounding-mode machinery tests --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// These tests also act as a build-sanity tripwire: if the compiler folded
+// floating-point operations at translation time (i.e. -frounding-math were
+// dropped), the directed-rounding identities below would fail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Rounding.h"
+
+#include <cfenv>
+#include <cmath>
+#include <immintrin.h>
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+TEST(Rounding, ScopeSetsAndRestores) {
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  {
+    RoundUpwardScope Up;
+    EXPECT_TRUE(isRoundUpward());
+    {
+      RoundNearestScope Near;
+      EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+    }
+    EXPECT_TRUE(isRoundUpward());
+  }
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}
+
+TEST(Rounding, ScalarAdditionRoundsUp) {
+  RoundUpwardScope Up;
+  double One = 1.0;
+  double Tiny = 0x1p-60;
+  EXPECT_GT(One + Tiny, 1.0) << "upward rounding not in effect (or the "
+                                "compiler constant-folded the addition)";
+  EXPECT_EQ((-One) + Tiny, -1.0 + 0x1p-53)
+      << "RU((-1) + tiny) must be the next double above -1";
+}
+
+TEST(Rounding, ScalarMultiplicationRoundsUp) {
+  RoundUpwardScope Up;
+  double A = 1.0 + 0x1p-52;
+  double P = A * A; // (1+2^-52)^2 = 1 + 2^-51 + 2^-104, rounds up.
+  EXPECT_GT(P, 1.0 + 0x1p-51);
+}
+
+TEST(Rounding, NegationIdentityGivesDownward) {
+  RoundUpwardScope Up;
+  // RD(x + y) == -RU((-x) - y).
+  double X = 0.1, Y = 0.2;
+  double Down = -((-X) - Y);
+  double UpSum = X + Y;
+  EXPECT_LT(Down, UpSum);
+  EXPECT_EQ(std::nextafter(Down, 1e300), UpSum)
+      << "RU and RD of an inexact sum must be adjacent doubles";
+}
+
+TEST(Rounding, SseHonoursMxcsr) {
+  RoundUpwardScope Up;
+  __m128d One = _mm_set1_pd(1.0);
+  __m128d Tiny = _mm_set1_pd(0x1p-60);
+  __m128d Sum = _mm_add_pd(One, Tiny);
+  EXPECT_GT(_mm_cvtsd_f64(Sum), 1.0)
+      << "fesetround must set MXCSR on x86-64";
+}
+
+TEST(Rounding, AvxHonoursMxcsr) {
+  RoundUpwardScope Up;
+  __m256d One = _mm256_set1_pd(1.0);
+  __m256d Tiny = _mm256_set1_pd(0x1p-60);
+  __m256d Sum = _mm256_add_pd(One, Tiny);
+  alignas(32) double Lanes[4];
+  _mm256_store_pd(Lanes, Sum);
+  for (double L : Lanes)
+    EXPECT_GT(L, 1.0);
+}
+
+TEST(Rounding, SqrtHonoursRoundingMode) {
+  // volatile: GCC may CSE identical FP expressions across fesetround().
+  volatile double Two = 2.0;
+  double Up, Down;
+  {
+    RoundUpwardScope S;
+    Up = std::sqrt(Two);
+  }
+  {
+    std::fesetround(FE_DOWNWARD);
+    Down = std::sqrt(Two);
+    std::fesetround(FE_TONEAREST);
+  }
+  EXPECT_GT(Up, Down);
+  EXPECT_EQ(std::nextafter(Down, 2.0), Up);
+}
+
+/// noipa: calls are ordered with the fesetround() calls (and IPA cannot prove the call pure and CSE it), while inline
+/// FP operations may be scheduled across them (GCC's -frounding-math does
+/// not model fesetround as a barrier).
+__attribute__((noipa)) static double divideHere(double A, double B) {
+  return A / B;
+}
+
+TEST(Rounding, DivisionRoundsUp) {
+  RoundUpwardScope S;
+  double Q = divideHere(1.0, 3.0);
+  EXPECT_GT(Q, 0.3333333333333333) << "1/3 must round above the RN value";
+  double QN;
+  {
+    RoundNearestScope RN;
+    QN = divideHere(1.0, 3.0);
+  }
+  EXPECT_EQ(std::nextafter(QN, 1.0), Q);
+}
+
+TEST(Rounding, FmaContractionDisabled) {
+  // With -ffp-contract=off, a*b+c must round the product first. Choose
+  // values where fused and unfused differ.
+  RoundNearestScope RN;
+  double A = 1.0 + 0x1p-27;
+  volatile double B = 1.0 + 0x1p-27; // volatile blocks any folding
+  double Unfused = A * B - (1.0 + 0x1p-26);
+  double Fused = std::fma(A, B, -(1.0 + 0x1p-26));
+  EXPECT_EQ(Fused, 0x1p-54);
+  EXPECT_EQ(Unfused, 0.0)
+      << "compiler contracted a*b-c into an FMA; TwoSum/TwoProd would break";
+}

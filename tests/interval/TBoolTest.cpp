@@ -1,0 +1,46 @@
+//===- TBoolTest.cpp - Three-valued boolean tests ---------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/TBool.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+TEST(TBool, KleeneAnd) {
+  EXPECT_EQ(tboolAnd(TBool::True, TBool::True), TBool::True);
+  EXPECT_EQ(tboolAnd(TBool::True, TBool::False), TBool::False);
+  EXPECT_EQ(tboolAnd(TBool::False, TBool::Unknown), TBool::False);
+  EXPECT_EQ(tboolAnd(TBool::Unknown, TBool::True), TBool::Unknown);
+  EXPECT_EQ(tboolAnd(TBool::Unknown, TBool::Unknown), TBool::Unknown);
+}
+
+TEST(TBool, KleeneOr) {
+  EXPECT_EQ(tboolOr(TBool::False, TBool::False), TBool::False);
+  EXPECT_EQ(tboolOr(TBool::True, TBool::Unknown), TBool::True);
+  EXPECT_EQ(tboolOr(TBool::Unknown, TBool::False), TBool::Unknown);
+}
+
+TEST(TBool, Not) {
+  EXPECT_EQ(tboolNot(TBool::True), TBool::False);
+  EXPECT_EQ(tboolNot(TBool::False), TBool::True);
+  EXPECT_EQ(tboolNot(TBool::Unknown), TBool::Unknown);
+}
+
+TEST(TBool, CvtCertain) {
+  EXPECT_TRUE(cvt2Bool(TBool::True));
+  EXPECT_FALSE(cvt2Bool(TBool::False));
+}
+
+TEST(TBool, CvtUnknownInvokesHandlerAndCounts) {
+  UnknownBranchHandler Old =
+      setUnknownBranchHandler(countingUnknownBranchHandler);
+  resetUnknownBranchCount();
+  EXPECT_TRUE(cvt2Bool(TBool::Unknown, "test-site"));
+  EXPECT_TRUE(cvt2Bool(TBool::Unknown, "test-site"));
+  EXPECT_EQ(unknownBranchCount(), 2u);
+  setUnknownBranchHandler(Old);
+}

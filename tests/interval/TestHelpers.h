@@ -1,0 +1,211 @@
+//===- TestHelpers.h - Shared helpers for interval tests --------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random input generation and the quad-precision soundness oracle shared
+/// by the interval test suites. __float128 has 113 bits of precision --
+/// enough to serve as "exact" reference for single operations on doubles
+/// and for bounding double-double results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_TESTS_INTERVAL_TESTHELPERS_H
+#define IGEN_TESTS_INTERVAL_TESTHELPERS_H
+
+#include "interval/DdInterval.h"
+#include "interval/Expansion.h"
+#include "interval/Interval.h"
+#include "interval/Ulp.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace igen::test {
+
+/// Deterministic RNG for reproducible tests.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : Gen(Seed) {}
+
+  uint64_t bits() { return Gen(); }
+
+  /// Uniform in [Lo, Hi).
+  double uniform(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Gen);
+  }
+
+  int intIn(int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Gen);
+  }
+
+  /// A finite double spread over many binades (log-uniform magnitude,
+  /// random sign), occasionally denormal or exactly zero.
+  double finiteDouble() {
+    int Kind = intIn(0, 19);
+    if (Kind == 0)
+      return 0.0;
+    if (Kind == 1) // denormal
+      return std::ldexp(uniform(-1.0, 1.0), -1060);
+    int Exp = intIn(-300, 300);
+    return std::ldexp(uniform(-1.0, 1.0), Exp);
+  }
+
+  /// A double in a moderate range (no overflow in products).
+  double moderateDouble() {
+    int Exp = intIn(-30, 30);
+    return std::ldexp(uniform(-1.0, 1.0), Exp);
+  }
+
+  /// Any double including specials.
+  double anyDouble() {
+    int Kind = intIn(0, 9);
+    if (Kind == 0)
+      return std::numeric_limits<double>::infinity();
+    if (Kind == 1)
+      return -std::numeric_limits<double>::infinity();
+    if (Kind == 2)
+      return std::numeric_limits<double>::quiet_NaN();
+    return finiteDouble();
+  }
+
+  /// A valid interval around a random finite center, width up to
+  /// \p MaxUlps ulps.
+  Interval interval(int64_t MaxUlps = 64) {
+    double C = finiteDouble();
+    int64_t Down = intIn(0, static_cast<int>(MaxUlps));
+    int64_t Up = intIn(0, static_cast<int>(MaxUlps));
+    return Interval::fromEndpoints(addUlps(C, -Down), addUlps(C, Up));
+  }
+
+  /// A moderate-range interval (products/quotients stay finite).
+  Interval moderateInterval(int64_t MaxUlps = 64) {
+    double C = moderateDouble();
+    int64_t Down = intIn(0, static_cast<int>(MaxUlps));
+    int64_t Up = intIn(0, static_cast<int>(MaxUlps));
+    return Interval::fromEndpoints(addUlps(C, -Down), addUlps(C, Up));
+  }
+
+  /// A random normalized double-double value of moderate magnitude.
+  Dd dd() {
+    double H = moderateDouble();
+    double L = H * std::ldexp(uniform(-1.0, 1.0), -53);
+    // Normalize: H must absorb L's leading part.
+    double S = H + L;
+    return Dd(S, L - (S - H));
+  }
+
+private:
+  std::mt19937_64 Gen;
+};
+
+/// Quad-precision value of a double-double.
+inline __float128 toQuad(const Dd &X) {
+  return static_cast<__float128>(X.H) + static_cast<__float128>(X.L);
+}
+
+/// True if the interval contains the quad value \p Q (NaN endpoints
+/// contain everything; NaN Q is contained only by NaN intervals).
+inline bool containsQuad(const Interval &I, __float128 Q) {
+  if (I.hasNaN())
+    return true;
+  return -static_cast<__float128>(I.NegLo) <= Q &&
+         Q <= static_cast<__float128>(I.Hi);
+}
+
+inline bool containsQuad(const DdInterval &I, __float128 Q) {
+  if (I.hasNaN())
+    return true;
+  __float128 Lo = -toQuad(I.NegLo);
+  __float128 Hi = toQuad(I.Hi);
+  return Lo <= Q && Q <= Hi;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact (expansion-based) oracles
+//
+// __float128 has 113 bits; the exact sum of two double-doubles can need
+// ~118 and an exact dd product ~212, so quad comparisons near the boundary
+// are unreliable. These helpers evaluate signs exactly.
+//===----------------------------------------------------------------------===//
+
+/// Builds the expansion of (A + B) for double-doubles (exact).
+inline Expansion exactDdSum(const Dd &A, const Dd &B) {
+  RoundNearestScope RN;
+  Expansion E;
+  E.add(A.H);
+  E.add(A.L);
+  E.add(B.H);
+  E.add(B.L);
+  return E;
+}
+
+/// Builds the expansion of (A * B) for double-doubles (exact).
+inline Expansion exactDdProduct(const Dd &A, const Dd &B) {
+  RoundNearestScope RN;
+  Expansion E;
+  E.addProduct(A.H, B.H);
+  E.addProduct(A.H, B.L);
+  E.addProduct(A.L, B.H);
+  E.addProduct(A.L, B.L);
+  return E;
+}
+
+/// True if the double-double Z >= the exact value V (sign-exact).
+inline bool ddGeExact(const Dd &Z, const Expansion &V) {
+  RoundNearestScope RN;
+  Expansion D = V;
+  // D = V - Z; Z >= V  <=>  D <= 0.
+  D.add(-Z.H);
+  D.add(-Z.L);
+  return D.sign() <= 0;
+}
+
+/// True if the double-double Z <= the exact value V.
+inline bool ddLeExact(const Dd &Z, const Expansion &V) {
+  RoundNearestScope RN;
+  Expansion D = V;
+  D.add(-Z.H);
+  D.add(-Z.L);
+  return D.sign() >= 0;
+}
+
+/// True if the dd interval \p I contains the exact value \p V.
+inline bool containsExact(const DdInterval &I, const Expansion &V) {
+  if (I.hasNaN())
+    return true;
+  // lo <= V <= hi, with lo == -NegLo.
+  return ddLeExact(ddNeg(I.NegLo), V) && ddGeExact(I.Hi, V);
+}
+
+/// A set of "interesting" doubles for exhaustive special-value sweeps.
+inline const double *specialValues(int &Count) {
+  static const double Values[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      1.0,
+      -1.0,
+      1.5,
+      -2.5,
+      1e300,
+      -1e300,
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+  Count = sizeof(Values) / sizeof(Values[0]);
+  return Values;
+}
+
+} // namespace igen::test
+
+#endif // IGEN_TESTS_INTERVAL_TESTHELPERS_H

@@ -1,0 +1,77 @@
+//===- UlpTest.cpp - Ulp utility tests -------------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Ulp.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+TEST(Ulp, NextUpBasics) {
+  EXPECT_EQ(nextUp(1.0), 1.0 + 0x1p-52);
+  EXPECT_EQ(nextUp(0.0), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(nextUp(-std::numeric_limits<double>::denorm_min()), -0.0);
+  EXPECT_EQ(nextUp(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(nextUp(std::nan(""))));
+  EXPECT_EQ(nextUp(std::numeric_limits<double>::max()),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Ulp, NextDownBasics) {
+  EXPECT_EQ(nextDown(1.0), 1.0 - 0x1p-53);
+  EXPECT_EQ(nextDown(0.0), -std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(nextDown(-std::numeric_limits<double>::max()),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Ulp, NextUpDownAgreeWithNextafter) {
+  double Values[] = {0.0,  -0.0,   1.0,    -1.0,  0.1,
+                     -0.1, 1e308,  -1e308, 1e-310};
+  for (double V : Values) {
+    EXPECT_EQ(nextUp(V), std::nextafter(V, HUGE_VAL)) << V;
+    EXPECT_EQ(nextDown(V), std::nextafter(V, -HUGE_VAL)) << V;
+  }
+}
+
+TEST(Ulp, AddUlpsWalksAndSaturates) {
+  EXPECT_EQ(addUlps(1.0, 2), nextUp(nextUp(1.0)));
+  EXPECT_EQ(addUlps(1.0, -2), nextDown(nextDown(1.0)));
+  // Crossing zero.
+  double D = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(addUlps(D, -2), -D);
+  // Saturation.
+  EXPECT_EQ(addUlps(std::numeric_limits<double>::max(), 100),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(addUlps(-std::numeric_limits<double>::max(), -100),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Ulp, UlpDistance) {
+  EXPECT_EQ(ulpDistance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulpDistance(1.0, nextUp(1.0)), 1u);
+  EXPECT_EQ(ulpDistance(-nextUp(0.0), nextUp(0.0)), 2u);
+  EXPECT_EQ(ulpDistance(nextDown(1.0), nextUp(1.0)), 2u);
+}
+
+TEST(Ulp, UlpOf) {
+  EXPECT_EQ(ulpOf(1.0), 0x1p-52);
+  EXPECT_EQ(ulpOf(-1.0), 0x1p-52);
+  EXPECT_EQ(ulpOf(2.0), 0x1p-51);
+  EXPECT_EQ(ulpOf(0.0), std::numeric_limits<double>::denorm_min());
+  EXPECT_TRUE(std::isnan(ulpOf(std::numeric_limits<double>::infinity())));
+}
+
+TEST(Ulp, OrderedRoundTrip) {
+  double Values[] = {0.0, -0.0, 1.5, -2.25, 1e-300, -1e300};
+  for (double V : Values)
+    EXPECT_EQ(fromOrdered(toOrdered(V)), V);
+  // Ordering property.
+  EXPECT_LT(toOrdered(-1.0), toOrdered(-0.5));
+  EXPECT_LT(toOrdered(-0.5), toOrdered(0.0));
+  EXPECT_LT(toOrdered(0.0), toOrdered(0.5));
+}

@@ -1,0 +1,129 @@
+//===- PseudoLangTest.cpp - Intel pseudo-language parser tests ----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simdspec/PseudoLang.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using namespace igen::pseudo;
+
+namespace {
+
+Operation parseOk(std::string_view S) {
+  DiagnosticsEngine Diags;
+  auto Op = parseOperation(S, Diags);
+  EXPECT_TRUE(Op.has_value()) << Diags.render("pseudo");
+  return Op ? std::move(*Op) : Operation{};
+}
+
+} // namespace
+
+TEST(PseudoLang, Fig5Operation) {
+  Operation Op = parseOk("FOR j := 0 to 3\n"
+                         "  i := j*64\n"
+                         "  dst[i+63:i] := a[i+63:i] + b[i+63:i]\n"
+                         "ENDFOR\n"
+                         "dst[MAX:256] := 0\n");
+  ASSERT_EQ(Op.Stmts.size(), 2u);
+  const Stmt &For = *Op.Stmts[0];
+  EXPECT_EQ(For.K, Stmt::Kind::For);
+  EXPECT_EQ(For.LoopVar, "j");
+  ASSERT_EQ(For.Body.size(), 2u);
+  EXPECT_EQ(For.Body[0]->K, Stmt::Kind::Assign);
+  const Stmt &Update = *For.Body[1];
+  ASSERT_EQ(Update.Target->K, Expr::Kind::BitRange);
+  EXPECT_EQ(Update.Target->Name, "dst");
+  EXPECT_EQ(Update.Value->K, Expr::Kind::Binary);
+  EXPECT_EQ(Update.Value->Op, "+");
+}
+
+TEST(PseudoLang, IfElseAndModulo) {
+  Operation Op = parseOk("FOR j := 0 to 3\n"
+                         "  IF (j % 2 == 0)\n"
+                         "    x := 1\n"
+                         "  ELSE\n"
+                         "    x := 2\n"
+                         "  FI\n"
+                         "ENDFOR\n");
+  const Stmt &For = *Op.Stmts[0];
+  ASSERT_EQ(For.Body.size(), 1u);
+  const Stmt &If = *For.Body[0];
+  EXPECT_EQ(If.K, Stmt::Kind::If);
+  EXPECT_EQ(If.Then.size(), 1u);
+  EXPECT_EQ(If.Else.size(), 1u);
+}
+
+TEST(PseudoLang, TernaryBecomesSelect) {
+  Operation Op = parseOk("dst[63:0] := (imm8[0] == 0) ? a[63:0] : "
+                         "a[127:64]\n");
+  const Expr &V = *Op.Stmts[0]->Value;
+  ASSERT_EQ(V.K, Expr::Kind::Call);
+  EXPECT_EQ(V.Name, "SELECT");
+  EXPECT_EQ(V.Args.size(), 3u);
+}
+
+TEST(PseudoLang, HelperCalls) {
+  Operation Op = parseOk("dst[63:0] := SQRT(MIN(a[63:0], b[63:0]))\n");
+  const Expr &V = *Op.Stmts[0]->Value;
+  EXPECT_EQ(V.K, Expr::Kind::Call);
+  EXPECT_EQ(V.Name, "SQRT");
+  ASSERT_EQ(V.Args.size(), 1u);
+  EXPECT_EQ(V.Args[0]->Name, "MIN");
+}
+
+TEST(PseudoLang, SingleBitAccess) {
+  Operation Op = parseOk("x := imm8[3]\n");
+  const Expr &V = *Op.Stmts[0]->Value;
+  ASSERT_EQ(V.K, Expr::Kind::BitRange);
+  EXPECT_EQ(V.Name, "imm8");
+  EXPECT_EQ(V.Lo, nullptr);
+}
+
+TEST(PseudoLang, AffineForms) {
+  Operation Op = parseOk("x := i + 63\n"
+                         "y := 2*j - 3\n"
+                         "z := j*k\n");
+  auto A = tryAffine(*Op.Stmts[0]->Value);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->Constant, 63);
+  EXPECT_EQ(A->Coeffs.at("i"), 1);
+  auto B = tryAffine(*Op.Stmts[1]->Value);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Constant, -3);
+  EXPECT_EQ(B->Coeffs.at("j"), 2);
+  EXPECT_FALSE(tryAffine(*Op.Stmts[2]->Value).has_value());
+}
+
+TEST(PseudoLang, RangeWidths) {
+  Operation Op = parseOk("dst[i+63:i] := 0\n"
+                         "dst[127:64] := 0\n"
+                         "dst[k+31:k] := 0\n"
+                         "x := imm8[2]\n");
+  EXPECT_EQ(rangeWidth(*Op.Stmts[0]->Target).value_or(0), 64);
+  EXPECT_EQ(rangeWidth(*Op.Stmts[1]->Target).value_or(0), 64);
+  EXPECT_EQ(rangeWidth(*Op.Stmts[2]->Target).value_or(0), 32);
+  EXPECT_EQ(rangeWidth(*Op.Stmts[3]->Value).value_or(0), 1);
+}
+
+TEST(PseudoLang, NonAffineWidthRejected) {
+  Operation Op = parseOk("dst[i*j:i] := 0\n");
+  EXPECT_FALSE(rangeWidth(*Op.Stmts[0]->Target).has_value());
+}
+
+TEST(PseudoLang, HexNumbersAndComparisons) {
+  Operation Op = parseOk("IF x >= 0x1F AND y != 2\n  z := 1\nFI\n");
+  const Stmt &If = *Op.Stmts[0];
+  EXPECT_EQ(If.Cond->Op, "&&");
+  EXPECT_EQ(If.Cond->LHS->Op, ">=");
+  EXPECT_EQ(If.Cond->LHS->RHS->Num, 31);
+}
+
+TEST(PseudoLang, MalformedIsRejected) {
+  DiagnosticsEngine Diags;
+  EXPECT_FALSE(parseOperation("FOR j := 0 to\n", Diags).has_value() &&
+               !Diags.hasErrors());
+}

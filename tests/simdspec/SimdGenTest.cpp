@@ -1,0 +1,180 @@
+#include "support/StringExtras.h"
+//===- SimdGenTest.cpp - SIMD2C generator tests --------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simdspec/SimdGen.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+using namespace igen;
+using ::testing::HasSubstr;
+
+namespace {
+
+const char *Fig5Xml =
+    "<intrinsics_list>"
+    "<intrinsic rettype='__m256d' name='_mm256_add_pd'>"
+    "<type>Floating Point</type><CPUID>AVX</CPUID>"
+    "<category>Arithmetic</category>"
+    "<parameter varname='a' type='__m256d'/>"
+    "<parameter varname='b' type='__m256d'/>"
+    "<operation>\n"
+    "FOR j := 0 to 3\n"
+    "  i := j*64\n"
+    "  dst[i+63:i] := a[i+63:i] + b[i+63:i]\n"
+    "ENDFOR\n"
+    "dst[MAX:256] := 0\n"
+    "</operation>"
+    "</intrinsic>"
+    "</intrinsics_list>";
+
+std::vector<IntrinsicSpec> parseSpecs(std::string_view Xml) {
+  DiagnosticsEngine Diags;
+  auto Specs = parseIntrinsicsXml(Xml, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render("xml");
+  return Specs;
+}
+
+} // namespace
+
+TEST(SimdGen, ParsesSpec) {
+  auto Specs = parseSpecs(Fig5Xml);
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_EQ(Specs[0].Name, "_mm256_add_pd");
+  EXPECT_EQ(Specs[0].RetType, "__m256d");
+  EXPECT_EQ(Specs[0].Category, "Arithmetic");
+  ASSERT_EQ(Specs[0].Params.size(), 2u);
+  EXPECT_EQ(Specs[0].Params[0].Name, "a");
+  EXPECT_EQ(Specs[0].Op.Stmts.size(), 2u);
+}
+
+TEST(SimdGen, VecTypeInfo) {
+  EXPECT_EQ(vecTypeInfo("__m256d").Lanes, 4);
+  EXPECT_EQ(vecTypeInfo("__m256d").ElemBits, 64);
+  EXPECT_EQ(vecTypeInfo("__m128").Lanes, 4);
+  EXPECT_EQ(vecTypeInfo("__m128").ElemBits, 32);
+  EXPECT_EQ(vecTypeInfo("__m256").Lanes, 8);
+  EXPECT_FALSE(vecTypeInfo("int").isVector());
+  EXPECT_FALSE(vecTypeInfo("const int").isVector());
+}
+
+TEST(SimdGen, UnionEmissionMatchesFig5) {
+  DiagnosticsEngine Diags;
+  std::string Out = emitUnionC(parseSpecs(Fig5Xml), Diags);
+  // Fig. 5's generated code, modulo formatting.
+  EXPECT_THAT(Out, HasSubstr("typedef union {"));
+  EXPECT_THAT(Out, HasSubstr("__m256d v;"));
+  EXPECT_THAT(Out, HasSubstr("double f[4];"));
+  EXPECT_THAT(Out,
+              HasSubstr("__m256d _c_mm256_add_pd(__m256d _a, __m256d _b)"));
+  EXPECT_THAT(Out, HasSubstr("vec256d dst"));
+  EXPECT_THAT(Out, HasSubstr("{.v = _a}"));
+  EXPECT_THAT(Out, HasSubstr("dst.f[(i) / 64] = (a.f[(i) / 64] + "
+                             "b.f[(i) / 64]);"));
+  EXPECT_THAT(Out, HasSubstr("return dst.v;"));
+}
+
+TEST(SimdGen, ScalarEmissionIsIGenSubset) {
+  DiagnosticsEngine Diags;
+  std::string Out = emitScalarC(parseSpecs(Fig5Xml), "_s64", Diags);
+  EXPECT_THAT(Out, HasSubstr("void _s64_mm256_add_pd(double *dst, "
+                             "double *a, double *b)"));
+  EXPECT_THAT(Out, HasSubstr("dst[(i) / 64] = (a[(i) / 64] + "
+                             "b[(i) / 64]);"));
+  // No unions/member access (the IGen frontend does not support them).
+  EXPECT_EQ(Out.find(".f["), std::string::npos);
+}
+
+TEST(SimdGen, WrapperEmission) {
+  DiagnosticsEngine Diags;
+  std::string Out = emitWrappers(parseSpecs(Fig5Xml), "_s64", "_sdd",
+                                 Diags);
+  EXPECT_THAT(Out, HasSubstr("m256di_2 _ci_mm256_add_pd(m256di_2 a, "
+                             "m256di_2 b)"));
+  EXPECT_THAT(Out, HasSubstr("_s64_mm256_add_pd(_dst, _a, _b);"));
+  EXPECT_THAT(Out, HasSubstr("ddi_4 _ci_dd_mm256_add_pd(ddi_4 a, "
+                             "ddi_4 b)"));
+  EXPECT_THAT(Out, HasSubstr("_sdd_mm256_add_pd(_dst, _a, _b);"));
+}
+
+TEST(SimdGen, ImmediateControlBits) {
+  const char *Xml =
+      "<intrinsics_list>"
+      "<intrinsic rettype='__m128d' name='_mm_shuffle_pd'>"
+      "<category>Swizzle</category>"
+      "<parameter varname='a' type='__m128d'/>"
+      "<parameter varname='b' type='__m128d'/>"
+      "<parameter varname='imm8' type='const int'/>"
+      "<operation>\n"
+      "dst[63:0] := (imm8[0] == 0) ? a[63:0] : a[127:64]\n"
+      "dst[127:64] := (imm8[1] == 0) ? b[63:0] : b[127:64]\n"
+      "</operation>"
+      "</intrinsic></intrinsics_list>";
+  DiagnosticsEngine Diags;
+  std::string Out = emitScalarC(parseSpecs(Xml), "_s64", Diags);
+  EXPECT_THAT(Out, HasSubstr("((imm8 >> (0)) & 1)"));
+  EXPECT_THAT(Out, HasSubstr("? a[(0) / 64] : a[(64) / 64]"));
+  EXPECT_THAT(Out, HasSubstr("int imm8"));
+}
+
+TEST(SimdGen, MixedWidthConversion) {
+  const char *Xml =
+      "<intrinsics_list>"
+      "<intrinsic rettype='__m256d' name='_mm256_cvtps_pd'>"
+      "<category>Convert</category>"
+      "<parameter varname='a' type='__m128'/>"
+      "<operation>\n"
+      "FOR j := 0 to 3\n"
+      "  i := j*64\n"
+      "  k := j*32\n"
+      "  dst[i+63:i] := Convert_FP32_To_FP64(a[k+31:k])\n"
+      "ENDFOR\n"
+      "</operation>"
+      "</intrinsic></intrinsics_list>";
+  DiagnosticsEngine Diags;
+  std::string Out = emitScalarC(parseSpecs(Xml), "_s64", Diags);
+  EXPECT_THAT(Out, HasSubstr("double *dst, float *a"));
+  EXPECT_THAT(Out, HasSubstr("(double)(a[(k) / 32])"));
+}
+
+TEST(SimdGen, MismatchedWidthSkipsIntrinsic) {
+  // Accessing 32-bit chunks of a 64-bit-element vector is unsupported.
+  const char *Xml =
+      "<intrinsics_list>"
+      "<intrinsic rettype='__m256d' name='_mm256_bogus_pd'>"
+      "<category>Misc</category>"
+      "<parameter varname='a' type='__m256d'/>"
+      "<operation>\ndst[31:0] := a[31:0]\n</operation>"
+      "</intrinsic></intrinsics_list>";
+  DiagnosticsEngine Diags;
+  std::string Out = emitScalarC(parseSpecs(Xml), "_s64", Diags);
+  EXPECT_EQ(Out.find("_s64_mm256_bogus_pd"), std::string::npos);
+  bool Warned = false;
+  for (const auto &D : Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Warning)
+      Warned = true;
+  EXPECT_TRUE(Warned);
+}
+
+TEST(SimdGen, BundledDataFileParses) {
+  // The repository's own data file must fully parse and emit.
+  std::string Xml;
+  ASSERT_TRUE(readFile(SIMD_XML_PATH, Xml));
+  DiagnosticsEngine Diags;
+  auto Specs = parseIntrinsicsXml(Xml, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render("xml");
+  EXPECT_GE(Specs.size(), 20u);
+  std::string C = emitUnionC(Specs, Diags);
+  std::string S = emitScalarC(Specs, "_s64", Diags);
+  std::string W = emitWrappers(Specs, "_s64", "_sdd", Diags);
+  // Every spec must survive all three emitters (no silent skips).
+  for (const IntrinsicSpec &Spec : Specs) {
+    EXPECT_THAT(C, HasSubstr("_c" + Spec.Name + "(")) << Spec.Name;
+    EXPECT_THAT(S, HasSubstr("_s64" + Spec.Name + "(")) << Spec.Name;
+    EXPECT_THAT(W, HasSubstr("_ci" + Spec.Name + "(")) << Spec.Name;
+  }
+}

@@ -1,0 +1,83 @@
+//===- XmlParserTest.cpp - Mini XML parser tests ------------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simdspec/XmlParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+std::unique_ptr<XmlNode> parse(std::string_view S, bool ExpectOk = true) {
+  DiagnosticsEngine Diags;
+  auto Root = parseXml(S, Diags);
+  if (ExpectOk)
+    EXPECT_TRUE(Root != nullptr) << Diags.render("xml");
+  else
+    EXPECT_EQ(Root, nullptr);
+  return Root;
+}
+
+} // namespace
+
+TEST(XmlParser, SimpleElement) {
+  auto Root = parse("<a>hello</a>");
+  ASSERT_NE(Root, nullptr);
+  EXPECT_EQ(Root->Name, "a");
+  EXPECT_EQ(Root->Text, "hello");
+  EXPECT_TRUE(Root->Children.empty());
+}
+
+TEST(XmlParser, AttributesBothQuoteStyles) {
+  auto Root = parse("<intrinsic rettype='__m256d' name=\"_mm256_add_pd\"/>");
+  ASSERT_NE(Root, nullptr);
+  EXPECT_EQ(Root->attr("rettype"), "__m256d");
+  EXPECT_EQ(Root->attr("name"), "_mm256_add_pd");
+  EXPECT_EQ(Root->attr("missing"), "");
+}
+
+TEST(XmlParser, NestedChildren) {
+  auto Root = parse("<list><item x='1'/><item x='2'>t</item><other/>"
+                    "</list>");
+  ASSERT_NE(Root, nullptr);
+  EXPECT_EQ(Root->Children.size(), 3u);
+  auto Items = Root->children("item");
+  ASSERT_EQ(Items.size(), 2u);
+  EXPECT_EQ(Items[1]->attr("x"), "2");
+  EXPECT_EQ(Items[1]->Text, "t");
+  EXPECT_NE(Root->child("other"), nullptr);
+  EXPECT_EQ(Root->child("absent"), nullptr);
+}
+
+TEST(XmlParser, EntitiesDecoded) {
+  auto Root = parse("<a b='x &amp; y'>1 &lt; 2 &gt; 0 &quot;q&quot;</a>");
+  ASSERT_NE(Root, nullptr);
+  EXPECT_EQ(Root->attr("b"), "x & y");
+  EXPECT_EQ(Root->Text, "1 < 2 > 0 \"q\"");
+}
+
+TEST(XmlParser, CommentsAndProlog) {
+  auto Root = parse("<?xml version=\"1.0\"?>\n<!-- header -->\n"
+                    "<a><!-- inner -->x</a>");
+  ASSERT_NE(Root, nullptr);
+  EXPECT_EQ(Root->Text, "x");
+}
+
+TEST(XmlParser, MismatchedTagIsError) {
+  parse("<a><b></a></b>", /*ExpectOk=*/false);
+}
+
+TEST(XmlParser, UnterminatedIsError) {
+  parse("<a><b>", /*ExpectOk=*/false);
+}
+
+TEST(XmlParser, TextAroundChildren) {
+  auto Root = parse("<op>FOR j := 0 to 3\n  x\nENDFOR</op>");
+  ASSERT_NE(Root, nullptr);
+  EXPECT_NE(Root->Text.find("FOR j := 0 to 3"), std::string::npos);
+  EXPECT_NE(Root->Text.find("ENDFOR"), std::string::npos);
+}

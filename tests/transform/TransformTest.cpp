@@ -1,0 +1,373 @@
+//===- TransformTest.cpp - Interval transformation unit tests ---------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+std::string compile(std::string_view Src, TransformOptions Opts = {}) {
+  DiagnosticsEngine Diags;
+  auto Out = compileToIntervals(Src, Opts, Diags);
+  EXPECT_TRUE(Out.has_value()) << Diags.render("test");
+  return Out.value_or("");
+}
+
+bool fails(std::string_view Src, TransformOptions Opts = {}) {
+  DiagnosticsEngine Diags;
+  return !compileToIntervals(Src, Opts, Diags).has_value();
+}
+
+using ::testing::HasSubstr;
+using ::testing::Not;
+
+} // namespace
+
+TEST(Transform, PaperFigure2) {
+  std::string Out = compile("double foo(double a, double b) {\n"
+                            "  double c;\n"
+                            "  c = a + b + 0.1;\n"
+                            "  if (c > a) {\n"
+                            "    c = a * c;\n"
+                            "  }\n"
+                            "  return c;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("#include \"interval/igen_lib.h\""));
+  EXPECT_THAT(Out, HasSubstr("f64i foo(f64i a, f64i b)"));
+  EXPECT_THAT(Out, HasSubstr("ia_add_f64(a, b)"));
+  // The constant 0.1 is lifted to its neighbouring doubles.
+  EXPECT_THAT(Out, HasSubstr("ia_set_f64(0.09999999999999999"));
+  EXPECT_THAT(Out, HasSubstr("tbool _t1 = ia_cmpgt_f64(c, a);"));
+  EXPECT_THAT(Out, HasSubstr("if (ia_cvt2bool_tb(_t1))"));
+  EXPECT_THAT(Out, HasSubstr("ia_mul_f64(a, c)"));
+}
+
+TEST(Transform, PaperFigure3Tolerances) {
+  std::string Out = compile("double read_sensor(double:0.125 a) {\n"
+                            "  double c = 5.0 + 0.25t;\n"
+                            "  return a + c;\n"
+                            "}\n");
+  // Parameter keeps its scalar type; an interval shadow is introduced.
+  EXPECT_THAT(Out, HasSubstr("f64i read_sensor(double a)"));
+  EXPECT_THAT(Out, HasSubstr("f64i _a = ia_set_tol_f64(a, 0.125"));
+  // 5.0 + 0.25t folds to a single constant interval ~ [4.75, 5.25].
+  EXPECT_THAT(Out, HasSubstr("ia_set_f64(4.74"));
+  EXPECT_THAT(Out, HasSubstr("ia_add_f64(_a, c)"));
+}
+
+TEST(Transform, IntegerConstantsAreExact) {
+  std::string Out =
+      compile("double f(double x) { return x + 1.0 + 2.0; }");
+  EXPECT_THAT(Out, HasSubstr("ia_cst_f64(1")); // point interval
+  EXPECT_THAT(Out, Not(HasSubstr("ia_set_f64(1")));
+}
+
+TEST(Transform, ConstantFolding) {
+  std::string Out = compile("double f(double x) { return x * (2.0 + 0.1); }");
+  // 2.0 + 0.1 folds into one interval constant around 2.1.
+  EXPECT_THAT(Out, HasSubstr("ia_set_f64(2.09999999"));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_add_f64(ia_cst")));
+}
+
+TEST(Transform, IntLiteralMixesWithIntervals) {
+  std::string Out = compile("double f(double x) { return 1 - x; }");
+  EXPECT_THAT(Out, HasSubstr("ia_sub_f64(ia_cst_f64("));
+}
+
+TEST(Transform, IntExpressionsUntouched) {
+  std::string Out = compile("int f(int a, int b) { return a * b + 3; }");
+  EXPECT_THAT(Out, HasSubstr("return (a * b) + 3;"));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_")));
+}
+
+TEST(Transform, IndexLiftingAndPointers) {
+  std::string Out = compile(
+      "void axpy(double alpha, double *x, double *y, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    y[i] = y[i] + alpha * x[i];\n"
+      "}\n");
+  EXPECT_THAT(Out, HasSubstr("void axpy(f64i alpha, f64i *x, f64i *y"));
+  EXPECT_THAT(Out,
+              HasSubstr("y[i] = ia_add_f64(y[i], ia_mul_f64(alpha, x[i]))"));
+}
+
+TEST(Transform, MathFunctionsMap) {
+  std::string Out =
+      compile("double f(double x) { return sin(x) + sqrt(fabs(x)); }");
+  EXPECT_THAT(Out, HasSubstr("ia_sin_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_sqrt_f64(ia_abs_f64(x))"));
+}
+
+TEST(Transform, CompoundAssignments) {
+  std::string Out = compile("void f(double *s, double x) {\n"
+                            "  *s += x;\n"
+                            "  *s *= 2.0;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("*s = ia_add_f64(*s, x);"));
+  EXPECT_THAT(Out, HasSubstr("*s = ia_mul_f64(*s, ia_cst_f64(2"));
+}
+
+TEST(Transform, DdTarget) {
+  TransformOptions Opts;
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  std::string Out = compile("double f(double a, double b) {\n"
+                            "  double c = a * b + 0.1;\n"
+                            "  return c / b;\n"
+                            "}\n",
+                            Opts);
+  EXPECT_THAT(Out, HasSubstr("ddi f(ddi a, ddi b)"));
+  EXPECT_THAT(Out, HasSubstr("ia_mul_dd(a, b)"));
+  EXPECT_THAT(Out, HasSubstr("ia_div_dd(c, b)"));
+  // 0.1 gets a double-double-tight enclosure: four endpoint words.
+  EXPECT_THAT(Out, HasSubstr("ia_set_ddc(0.099999999999999992, "));
+}
+
+TEST(Transform, DdRejectsElementaryFunctions) {
+  TransformOptions Opts;
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  EXPECT_TRUE(fails("double f(double x) { return sin(x); }", Opts));
+  EXPECT_FALSE(fails("double f(double x) { return sqrt(x); }", Opts));
+}
+
+TEST(Transform, ScalarLibraryDefine) {
+  TransformOptions Opts;
+  Opts.ScalarLibrary = true;
+  std::string Out = compile("double f(double x) { return x; }", Opts);
+  EXPECT_THAT(Out, HasSubstr("#define IGEN_F64I_SCALAR 1"));
+}
+
+TEST(Transform, SimdIntrinsicsHandOptimized) {
+  std::string Out = compile(
+      "#include <immintrin.h>\n"
+      "void vaxpy(double *x, double *y) {\n"
+      "  __m256d a = _mm256_loadu_pd(x);\n"
+      "  __m256d b = _mm256_loadu_pd(y);\n"
+      "  _mm256_storeu_pd(y, _mm256_add_pd(a, b));\n"
+      "}\n");
+  EXPECT_THAT(Out, HasSubstr("m256di_2 a = ia_loadu_m256di_2(x)"));
+  EXPECT_THAT(Out,
+              HasSubstr("ia_storeu_m256di_2(y, ia_add_m256di_2(a, b))"));
+  // Hand-optimized set only: no generated-intrinsics include needed.
+  EXPECT_THAT(Out, Not(HasSubstr("igen_simd.h")));
+}
+
+TEST(Transform, SimdIntrinsicsGeneratedFallback) {
+  std::string Out = compile(
+      "#include <immintrin.h>\n"
+      "__m256d f(__m256d a, __m256d b) {\n"
+      "  return _mm256_unpacklo_pd(a, b);\n"
+      "}\n");
+  EXPECT_THAT(Out, HasSubstr("_ci_mm256_unpacklo_pd(a, b)"));
+  EXPECT_THAT(Out, HasSubstr("#include \"igen_simd.h\""));
+}
+
+TEST(Transform, SimdDdUsesAutomaticPath) {
+  TransformOptions Opts;
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  std::string Out = compile(
+      "#include <immintrin.h>\n"
+      "void f(double *x, double *y) {\n"
+      "  __m256d a = _mm256_loadu_pd(x);\n"
+      "  _mm256_storeu_pd(y, _mm256_mul_pd(a, a));\n"
+      "}\n",
+      Opts);
+  EXPECT_THAT(Out, HasSubstr("ddi_4 a = ia_loadu_ddi_4(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_mul_ddi_4(a, a)"));
+}
+
+TEST(Transform, ReductionTransformation) {
+  TransformOptions Opts;
+  Opts.EnableReductions = true;
+  std::string Out = compile(
+      "void mvm(double *A, double *x, double *y) {\n"
+      "  #pragma igen reduce y\n"
+      "  for (int i = 0; i < 100; i++)\n"
+      "    for (int j = 0; j < 500; j++)\n"
+      "      y[i] = y[i] + A[i * 500 + j] * x[j];\n"
+      "}\n",
+      Opts);
+  // Fig. 7: accumulator around the inner loop.
+  EXPECT_THAT(Out, HasSubstr("acc_f64 _acc1;"));
+  EXPECT_THAT(Out, HasSubstr("isum_init_f64(&_acc1, y[i]);"));
+  EXPECT_THAT(
+      Out, HasSubstr("isum_accumulate_f64(&_acc1, "
+                     "ia_mul_f64(A[(i * 500) + j], x[j]));"));
+  EXPECT_THAT(Out, HasSubstr("y[i] = isum_reduce_f64(&_acc1);"));
+  // The original update must be gone.
+  EXPECT_THAT(Out, Not(HasSubstr("y[i] = ia_add_f64")));
+}
+
+TEST(Transform, ReductionDisabledByDefault) {
+  std::string Out = compile(
+      "void mvm(double *A, double *x, double *y) {\n"
+      "  #pragma igen reduce y\n"
+      "  for (int i = 0; i < 4; i++)\n"
+      "    y[0] = y[0] + A[i] * x[i];\n"
+      "}\n");
+  EXPECT_THAT(Out, Not(HasSubstr("acc_f64")));
+}
+
+TEST(Transform, ReductionDdUsesDdAccumulator) {
+  TransformOptions Opts;
+  Opts.EnableReductions = true;
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  std::string Out = compile("double dot(double *a, double *b, int n) {\n"
+                            "  double s = 0.0;\n"
+                            "  #pragma igen reduce s\n"
+                            "  for (int i = 0; i < n; i++)\n"
+                            "    s = s + a[i] * b[i];\n"
+                            "  return s;\n"
+                            "}\n",
+                            Opts);
+  EXPECT_THAT(Out, HasSubstr("acc_dd _acc1;"));
+  EXPECT_THAT(Out, HasSubstr("isum_init_dd"));
+  EXPECT_THAT(Out, HasSubstr("isum_reduce_dd"));
+}
+
+TEST(Transform, JoinModeBranches) {
+  TransformOptions Opts;
+  Opts.Branches = TransformOptions::BranchPolicy::Join;
+  std::string Out = compile("double f(double a, double b) {\n"
+                            "  double r = 0.0;\n"
+                            "  if (a > b) { r = a; } else { r = b; }\n"
+                            "  return r;\n"
+                            "}\n",
+                            Opts);
+  EXPECT_THAT(Out, HasSubstr("ia_istrue_tb"));
+  EXPECT_THAT(Out, HasSubstr("ia_isfalse_tb"));
+  EXPECT_THAT(Out, HasSubstr("f64i _sav_r = r;"));
+  EXPECT_THAT(Out, HasSubstr("r = ia_join_f64(r, _res_r);"));
+}
+
+TEST(Transform, JoinModeFallsBackOnArrayStores) {
+  TransformOptions Opts;
+  Opts.Branches = TransformOptions::BranchPolicy::Join;
+  std::string Out = compile("void f(double *p, double a, double b) {\n"
+                            "  if (a > b) { p[0] = a; }\n"
+                            "}\n",
+                            Opts);
+  // Paper: not implemented when arrays are modified -> exception path.
+  EXPECT_THAT(Out, HasSubstr("ia_cvt2bool_tb"));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_join_f64")));
+}
+
+TEST(Transform, FloatPromotesToDoubleIntervals) {
+  std::string Out = compile("float f(float x) { return x * 0.5f; }");
+  EXPECT_THAT(Out, HasSubstr("f64i f(f64i x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_mul_f64"));
+}
+
+TEST(Transform, CastsBehave) {
+  std::string Out =
+      compile("double f(int n) { return (double)n * 0.5; }");
+  EXPECT_THAT(Out, HasSubstr("ia_cst_f64((double)(n))"));
+  std::string Out2 =
+      compile("float g(double x) { return (float)x; }");
+  EXPECT_THAT(Out2, HasSubstr("ia_f32cast_f64(x)"));
+}
+
+TEST(Transform, WhileAndDoLoops) {
+  std::string Out = compile("double f(double x, int n) {\n"
+                            "  int i = 0;\n"
+                            "  while (i < n) { x = x * x; i++; }\n"
+                            "  do { x = x + 1.0; i--; } while (i > 0);\n"
+                            "  return x;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("while (i < n)"));
+  EXPECT_THAT(Out, HasSubstr("x = ia_mul_f64(x, x);"));
+  EXPECT_THAT(Out, HasSubstr("while (i > 0);"));
+}
+
+TEST(Transform, UserFunctionCallsKeepNames) {
+  std::string Out = compile("double g(double x) { return x * x; }\n"
+                            "double f(double x) { return g(x + 1.0); }\n");
+  EXPECT_THAT(Out, HasSubstr("f64i g(f64i x)"));
+  EXPECT_THAT(Out, HasSubstr("g(ia_add_f64(x, ia_cst_f64(1"));
+}
+
+TEST(Transform, LogicalOpsOnIntervals) {
+  std::string Out = compile("double f(double a, double b) {\n"
+                            "  if (a > 0.0 && b > 0.0) return a;\n"
+                            "  return b;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("ia_and_tb(ia_cmpgt_f64"));
+}
+
+TEST(Transform, MixedIntAndIntervalConditions) {
+  std::string Out = compile("double f(double a, int n) {\n"
+                            "  if (n > 0 && a > 0.0) return a;\n"
+                            "  return a + 1.0;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("ia_bool2tb(n > 0)"));
+}
+
+TEST(Transform, DirectivesPassThrough) {
+  std::string Out = compile("#include <math.h>\n"
+                            "double f(double x) { return x; }\n");
+  EXPECT_THAT(Out, HasSubstr("#include <math.h>"));
+}
+
+TEST(Transform, TernaryWithPlainCondition) {
+  std::string Out =
+      compile("double f(int n, double a, double b) { return n > 0 ? a : "
+              "b; }");
+  EXPECT_THAT(Out, HasSubstr("(n > 0 ? a : b)"));
+}
+
+TEST(Transform, TernaryWithIntervalConditionRejected) {
+  EXPECT_TRUE(
+      fails("double f(double a, double b) { return a > b ? a : b; }"));
+}
+
+TEST(Transform, InverseTrigMap) {
+  std::string Out = compile(
+      "double f(double x) { return atan(x) + asin(x) - acos(x); }");
+  EXPECT_THAT(Out, HasSubstr("ia_atan_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_asin_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_acos_f64(x)"));
+  TransformOptions Opts;
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  EXPECT_TRUE(fails("double f(double x) { return atan(x); }", Opts));
+}
+
+TEST(Transform, ChainedAssignmentsEmitValidC) {
+  std::string Out = compile("double f(double a) {\n"
+                            "  double b = 0.0;\n"
+                            "  double c = 0.0;\n"
+                            "  b = c = a + 1.0;\n"
+                            "  return b;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("b = c = ia_add_f64(a, ia_cst_f64(1"));
+}
+
+TEST(Transform, JoinModeNestedIfs) {
+  TransformOptions Opts;
+  Opts.Branches = TransformOptions::BranchPolicy::Join;
+  std::string Out = compile("double f(double a, double b) {\n"
+                            "  double r = 0.0;\n"
+                            "  if (a > b) {\n"
+                            "    if (a > 0.0) { r = a; } else { r = b; }\n"
+                            "  } else { r = b - a; }\n"
+                            "  return r;\n"
+                            "}\n",
+                            Opts);
+  // The outer join must collect r through the nested if as well.
+  EXPECT_THAT(Out, HasSubstr("_sav_r"));
+  EXPECT_THAT(Out, HasSubstr("ia_join_f64(r, _res_r)"));
+}
+
+TEST(Transform, WhileWithIntervalConditionWrapsCvt) {
+  std::string Out = compile("double f(double x) {\n"
+                            "  while (x < 10.0) { x = x * 2.0; }\n"
+                            "  return x;\n"
+                            "}\n");
+  EXPECT_THAT(Out,
+              HasSubstr("while (ia_cvt2bool_tb(ia_cmplt_f64(x, "));
+}
