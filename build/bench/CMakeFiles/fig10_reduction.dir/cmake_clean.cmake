@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reduction.dir/fig10_reduction.cpp.o"
+  "CMakeFiles/fig10_reduction.dir/fig10_reduction.cpp.o.d"
+  "fig10_reduction"
+  "fig10_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_perf.dir/fig8_perf.cpp.o"
+  "CMakeFiles/fig8_perf.dir/fig8_perf.cpp.o.d"
+  "fig8_perf"
+  "fig8_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

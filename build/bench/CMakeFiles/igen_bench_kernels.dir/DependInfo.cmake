@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/bench_kernels_gen/base_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/base_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/base_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/base_henon.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_henon.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_henon.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/base_mvm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_mvm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_mvm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/base_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_potrf.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/basev_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/basev_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/basev_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/basev_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/basev_potrf.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/ss_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/ss_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/ss_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/ss_henon.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_henon.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_henon.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/ss_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/ss_potrf.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/sv_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/sv_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/sv_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/sv_henon.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_henon.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_henon.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/sv_mvm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_mvm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_mvm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/sv_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/sv_potrf.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svdd_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svdd_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svdd_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svdd_henon.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_henon.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_henon.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svdd_mvm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_mvm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_mvm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svdd_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svdd_potrf.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svddred_mvm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svddred_mvm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svddred_mvm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/svred_mvm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svred_mvm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/svred_mvm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vv_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vv_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vv_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vv_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vv_potrf.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vvdd_ffnn.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_ffnn.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_ffnn.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vvdd_fft.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_fft.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_fft.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vvdd_gemm.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_gemm.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_gemm.cpp.o.d"
+  "/root/repo/build/bench_kernels_gen/vvdd_potrf.cpp" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_potrf.cpp.o" "gcc" "bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/vvdd_potrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdspec/CMakeFiles/igen_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

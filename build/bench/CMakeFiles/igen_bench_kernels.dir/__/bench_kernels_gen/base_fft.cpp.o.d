@@ -1,0 +1,3 @@
+bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_fft.cpp.o: \
+ /root/repo/build/bench_kernels_gen/base_fft.cpp \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,3 @@
+bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_gemm.cpp.o: \
+ /root/repo/build/bench_kernels_gen/base_gemm.cpp \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,3 @@
+bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_henon.cpp.o: \
+ /root/repo/build/bench_kernels_gen/base_henon.cpp \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,3 @@
+bench/CMakeFiles/igen_bench_kernels.dir/__/bench_kernels_gen/base_mvm.cpp.o: \
+ /root/repo/build/bench_kernels_gen/base_mvm.cpp \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libigen_bench_kernels.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microops_bench.dir/microops_bench.cpp.o"
+  "CMakeFiles/microops_bench.dir/microops_bench.cpp.o.d"
+  "microops_bench"
+  "microops_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microops_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

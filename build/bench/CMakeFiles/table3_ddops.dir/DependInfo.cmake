@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_ddops.cpp" "bench/CMakeFiles/table3_ddops.dir/table3_ddops.cpp.o" "gcc" "bench/CMakeFiles/table3_ddops.dir/table3_ddops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/igen_bench_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/igen_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/affine/CMakeFiles/igen_affine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdspec/CMakeFiles/igen_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ddops.dir/table3_ddops.cpp.o"
+  "CMakeFiles/table3_ddops.dir/table3_ddops.cpp.o.d"
+  "table3_ddops"
+  "table3_ddops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ddops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_slowdown.dir/table5_slowdown.cpp.o"
+  "CMakeFiles/table5_slowdown.dir/table5_slowdown.cpp.o.d"
+  "table5_slowdown"
+  "table5_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_affine.dir/table6_affine.cpp.o"
+  "CMakeFiles/table6_affine.dir/table6_affine.cpp.o.d"
+  "table6_affine"
+  "table6_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

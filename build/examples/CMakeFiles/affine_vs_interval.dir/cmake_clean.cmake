@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_vs_interval.dir/affine_vs_interval.cpp.o"
+  "CMakeFiles/affine_vs_interval.dir/affine_vs_interval.cpp.o.d"
+  "affine_vs_interval"
+  "affine_vs_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_vs_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certified_newton.dir/certified_newton.cpp.o"
+  "CMakeFiles/certified_newton.dir/certified_newton.cpp.o.d"
+  "certified_newton"
+  "certified_newton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certified_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

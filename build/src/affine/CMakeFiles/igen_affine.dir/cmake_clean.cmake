@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_affine.dir/AffineForm.cpp.o"
+  "CMakeFiles/igen_affine.dir/AffineForm.cpp.o.d"
+  "libigen_affine.a"
+  "libigen_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libigen_affine.a"
+)

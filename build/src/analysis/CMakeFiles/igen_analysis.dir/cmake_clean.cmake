@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_analysis.dir/ReductionAnalysis.cpp.o"
+  "CMakeFiles/igen_analysis.dir/ReductionAnalysis.cpp.o.d"
+  "libigen_analysis.a"
+  "libigen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

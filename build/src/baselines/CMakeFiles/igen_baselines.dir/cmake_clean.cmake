@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_baselines.dir/BaselineIntervals.cpp.o"
+  "CMakeFiles/igen_baselines.dir/BaselineIntervals.cpp.o.d"
+  "libigen_baselines.a"
+  "libigen_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen.dir/main.cpp.o"
+  "CMakeFiles/igen.dir/main.cpp.o.d"
+  "igen"
+  "igen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

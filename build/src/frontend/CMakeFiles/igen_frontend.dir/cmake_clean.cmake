@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_frontend.dir/ASTDumper.cpp.o"
+  "CMakeFiles/igen_frontend.dir/ASTDumper.cpp.o.d"
+  "CMakeFiles/igen_frontend.dir/CPrinter.cpp.o"
+  "CMakeFiles/igen_frontend.dir/CPrinter.cpp.o.d"
+  "CMakeFiles/igen_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/igen_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/igen_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/igen_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/igen_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/igen_frontend.dir/Sema.cpp.o.d"
+  "libigen_frontend.a"
+  "libigen_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

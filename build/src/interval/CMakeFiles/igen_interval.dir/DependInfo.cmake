@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/DecimalFp.cpp" "src/interval/CMakeFiles/igen_interval.dir/DecimalFp.cpp.o" "gcc" "src/interval/CMakeFiles/igen_interval.dir/DecimalFp.cpp.o.d"
+  "/root/repo/src/interval/DoubleDouble.cpp" "src/interval/CMakeFiles/igen_interval.dir/DoubleDouble.cpp.o" "gcc" "src/interval/CMakeFiles/igen_interval.dir/DoubleDouble.cpp.o.d"
+  "/root/repo/src/interval/Elementary.cpp" "src/interval/CMakeFiles/igen_interval.dir/Elementary.cpp.o" "gcc" "src/interval/CMakeFiles/igen_interval.dir/Elementary.cpp.o.d"
+  "/root/repo/src/interval/Expansion.cpp" "src/interval/CMakeFiles/igen_interval.dir/Expansion.cpp.o" "gcc" "src/interval/CMakeFiles/igen_interval.dir/Expansion.cpp.o.d"
+  "/root/repo/src/interval/IntervalIO.cpp" "src/interval/CMakeFiles/igen_interval.dir/IntervalIO.cpp.o" "gcc" "src/interval/CMakeFiles/igen_interval.dir/IntervalIO.cpp.o.d"
+  "/root/repo/src/interval/TBool.cpp" "src/interval/CMakeFiles/igen_interval.dir/TBool.cpp.o" "gcc" "src/interval/CMakeFiles/igen_interval.dir/TBool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_interval.dir/DecimalFp.cpp.o"
+  "CMakeFiles/igen_interval.dir/DecimalFp.cpp.o.d"
+  "CMakeFiles/igen_interval.dir/DoubleDouble.cpp.o"
+  "CMakeFiles/igen_interval.dir/DoubleDouble.cpp.o.d"
+  "CMakeFiles/igen_interval.dir/Elementary.cpp.o"
+  "CMakeFiles/igen_interval.dir/Elementary.cpp.o.d"
+  "CMakeFiles/igen_interval.dir/Expansion.cpp.o"
+  "CMakeFiles/igen_interval.dir/Expansion.cpp.o.d"
+  "CMakeFiles/igen_interval.dir/IntervalIO.cpp.o"
+  "CMakeFiles/igen_interval.dir/IntervalIO.cpp.o.d"
+  "CMakeFiles/igen_interval.dir/TBool.cpp.o"
+  "CMakeFiles/igen_interval.dir/TBool.cpp.o.d"
+  "libigen_interval.a"
+  "libigen_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

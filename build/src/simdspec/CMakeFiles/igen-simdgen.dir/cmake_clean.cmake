@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen-simdgen.dir/igen-simdgen-main.cpp.o"
+  "CMakeFiles/igen-simdgen.dir/igen-simdgen-main.cpp.o.d"
+  "igen-simdgen"
+  "igen-simdgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen-simdgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/igen_simd_gen/igen_simd_scalar64.cpp" "src/simdspec/CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalar64.cpp.o" "gcc" "src/simdspec/CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalar64.cpp.o.d"
+  "/root/repo/build/igen_simd_gen/igen_simd_scalardd.cpp" "src/simdspec/CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalardd.cpp.o" "gcc" "src/simdspec/CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalardd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "../../igen_simd_gen/igen_simd_scalar64.c"
+  "../../igen_simd_gen/igen_simd_scalar64.cpp"
+  "../../igen_simd_gen/igen_simd_scalardd.c"
+  "../../igen_simd_gen/igen_simd_scalardd.cpp"
+  "CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalar64.cpp.o"
+  "CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalar64.cpp.o.d"
+  "CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalardd.cpp.o"
+  "CMakeFiles/igen_simd.dir/__/__/igen_simd_gen/igen_simd_scalardd.cpp.o.d"
+  "libigen_simd.a"
+  "libigen_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

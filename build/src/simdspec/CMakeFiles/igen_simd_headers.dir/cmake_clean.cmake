@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "../../igen_simd_gen/igen_simd.h"
+  "../../igen_simd_gen/igen_simd_c.h"
+  "CMakeFiles/igen_simd_headers"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/igen_simd_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_simdspec.dir/PseudoLang.cpp.o"
+  "CMakeFiles/igen_simdspec.dir/PseudoLang.cpp.o.d"
+  "CMakeFiles/igen_simdspec.dir/SimdGen.cpp.o"
+  "CMakeFiles/igen_simdspec.dir/SimdGen.cpp.o.d"
+  "CMakeFiles/igen_simdspec.dir/XmlParser.cpp.o"
+  "CMakeFiles/igen_simdspec.dir/XmlParser.cpp.o.d"
+  "libigen_simdspec.a"
+  "libigen_simdspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_simdspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/igen_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/igen_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/igen_support.dir/StringExtras.cpp.o.d"
+  "libigen_support.a"
+  "libigen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

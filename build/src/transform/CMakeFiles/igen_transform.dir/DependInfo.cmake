@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/IntervalTransform.cpp" "src/transform/CMakeFiles/igen_transform.dir/IntervalTransform.cpp.o" "gcc" "src/transform/CMakeFiles/igen_transform.dir/IntervalTransform.cpp.o.d"
+  "/root/repo/src/transform/Pipeline.cpp" "src/transform/CMakeFiles/igen_transform.dir/Pipeline.cpp.o" "gcc" "src/transform/CMakeFiles/igen_transform.dir/Pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/igen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/igen_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_transform.dir/IntervalTransform.cpp.o"
+  "CMakeFiles/igen_transform.dir/IntervalTransform.cpp.o.d"
+  "CMakeFiles/igen_transform.dir/Pipeline.cpp.o"
+  "CMakeFiles/igen_transform.dir/Pipeline.cpp.o.d"
+  "libigen_transform.a"
+  "libigen_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interval/IntervalTest.cpp" "tests/interval/CMakeFiles/interval_core_test.dir/IntervalTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_core_test.dir/IntervalTest.cpp.o.d"
+  "/root/repo/tests/interval/RoundingTest.cpp" "tests/interval/CMakeFiles/interval_core_test.dir/RoundingTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_core_test.dir/RoundingTest.cpp.o.d"
+  "/root/repo/tests/interval/TBoolTest.cpp" "tests/interval/CMakeFiles/interval_core_test.dir/TBoolTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_core_test.dir/TBoolTest.cpp.o.d"
+  "/root/repo/tests/interval/UlpTest.cpp" "tests/interval/CMakeFiles/interval_core_test.dir/UlpTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_core_test.dir/UlpTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

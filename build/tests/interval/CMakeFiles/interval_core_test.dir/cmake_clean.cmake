@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_core_test.dir/IntervalTest.cpp.o"
+  "CMakeFiles/interval_core_test.dir/IntervalTest.cpp.o.d"
+  "CMakeFiles/interval_core_test.dir/RoundingTest.cpp.o"
+  "CMakeFiles/interval_core_test.dir/RoundingTest.cpp.o.d"
+  "CMakeFiles/interval_core_test.dir/TBoolTest.cpp.o"
+  "CMakeFiles/interval_core_test.dir/TBoolTest.cpp.o.d"
+  "CMakeFiles/interval_core_test.dir/UlpTest.cpp.o"
+  "CMakeFiles/interval_core_test.dir/UlpTest.cpp.o.d"
+  "interval_core_test"
+  "interval_core_test.pdb"
+  "interval_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_dd_test.dir/DdIntervalTest.cpp.o"
+  "CMakeFiles/interval_dd_test.dir/DdIntervalTest.cpp.o.d"
+  "CMakeFiles/interval_dd_test.dir/DoubleDoubleTest.cpp.o"
+  "CMakeFiles/interval_dd_test.dir/DoubleDoubleTest.cpp.o.d"
+  "CMakeFiles/interval_dd_test.dir/ExpansionTest.cpp.o"
+  "CMakeFiles/interval_dd_test.dir/ExpansionTest.cpp.o.d"
+  "interval_dd_test"
+  "interval_dd_test.pdb"
+  "interval_dd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_dd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

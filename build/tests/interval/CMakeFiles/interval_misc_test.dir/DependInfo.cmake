@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interval/AccumulatorTest.cpp" "tests/interval/CMakeFiles/interval_misc_test.dir/AccumulatorTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_misc_test.dir/AccumulatorTest.cpp.o.d"
+  "/root/repo/tests/interval/AccuracyTest.cpp" "tests/interval/CMakeFiles/interval_misc_test.dir/AccuracyTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_misc_test.dir/AccuracyTest.cpp.o.d"
+  "/root/repo/tests/interval/DecimalFpTest.cpp" "tests/interval/CMakeFiles/interval_misc_test.dir/DecimalFpTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_misc_test.dir/DecimalFpTest.cpp.o.d"
+  "/root/repo/tests/interval/ElementaryTest.cpp" "tests/interval/CMakeFiles/interval_misc_test.dir/ElementaryTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_misc_test.dir/ElementaryTest.cpp.o.d"
+  "/root/repo/tests/interval/Interval32Test.cpp" "tests/interval/CMakeFiles/interval_misc_test.dir/Interval32Test.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_misc_test.dir/Interval32Test.cpp.o.d"
+  "/root/repo/tests/interval/IntervalIOTest.cpp" "tests/interval/CMakeFiles/interval_misc_test.dir/IntervalIOTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_misc_test.dir/IntervalIOTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

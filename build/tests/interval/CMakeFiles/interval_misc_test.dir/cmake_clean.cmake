@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_misc_test.dir/AccumulatorTest.cpp.o"
+  "CMakeFiles/interval_misc_test.dir/AccumulatorTest.cpp.o.d"
+  "CMakeFiles/interval_misc_test.dir/AccuracyTest.cpp.o"
+  "CMakeFiles/interval_misc_test.dir/AccuracyTest.cpp.o.d"
+  "CMakeFiles/interval_misc_test.dir/DecimalFpTest.cpp.o"
+  "CMakeFiles/interval_misc_test.dir/DecimalFpTest.cpp.o.d"
+  "CMakeFiles/interval_misc_test.dir/ElementaryTest.cpp.o"
+  "CMakeFiles/interval_misc_test.dir/ElementaryTest.cpp.o.d"
+  "CMakeFiles/interval_misc_test.dir/Interval32Test.cpp.o"
+  "CMakeFiles/interval_misc_test.dir/Interval32Test.cpp.o.d"
+  "CMakeFiles/interval_misc_test.dir/IntervalIOTest.cpp.o"
+  "CMakeFiles/interval_misc_test.dir/IntervalIOTest.cpp.o.d"
+  "interval_misc_test"
+  "interval_misc_test.pdb"
+  "interval_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interval/DdSimdTest.cpp" "tests/interval/CMakeFiles/interval_simd_test.dir/DdSimdTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_simd_test.dir/DdSimdTest.cpp.o.d"
+  "/root/repo/tests/interval/IntervalSimdTest.cpp" "tests/interval/CMakeFiles/interval_simd_test.dir/IntervalSimdTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_simd_test.dir/IntervalSimdTest.cpp.o.d"
+  "/root/repo/tests/interval/IntervalVectorTest.cpp" "tests/interval/CMakeFiles/interval_simd_test.dir/IntervalVectorTest.cpp.o" "gcc" "tests/interval/CMakeFiles/interval_simd_test.dir/IntervalVectorTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

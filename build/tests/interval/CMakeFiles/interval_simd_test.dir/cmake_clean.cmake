@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_simd_test.dir/DdSimdTest.cpp.o"
+  "CMakeFiles/interval_simd_test.dir/DdSimdTest.cpp.o.d"
+  "CMakeFiles/interval_simd_test.dir/IntervalSimdTest.cpp.o"
+  "CMakeFiles/interval_simd_test.dir/IntervalSimdTest.cpp.o.d"
+  "CMakeFiles/interval_simd_test.dir/IntervalVectorTest.cpp.o"
+  "CMakeFiles/interval_simd_test.dir/IntervalVectorTest.cpp.o.d"
+  "interval_simd_test"
+  "interval_simd_test.pdb"
+  "interval_simd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/interval
+# Build directory: /root/repo/build/tests/interval
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/interval/interval_core_test[1]_include.cmake")
+include("/root/repo/build/tests/interval/interval_dd_test[1]_include.cmake")
+include("/root/repo/build/tests/interval/interval_simd_test[1]_include.cmake")
+include("/root/repo/build/tests/interval/interval_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/interval/interval_property_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_exec_test.dir/SimdExecTest.cpp.o"
+  "CMakeFiles/simd_exec_test.dir/SimdExecTest.cpp.o.d"
+  "simd_exec_test"
+  "simd_exec_test.pdb"
+  "simd_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

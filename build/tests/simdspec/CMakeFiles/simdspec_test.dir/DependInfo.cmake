@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simdspec/PseudoLangTest.cpp" "tests/simdspec/CMakeFiles/simdspec_test.dir/PseudoLangTest.cpp.o" "gcc" "tests/simdspec/CMakeFiles/simdspec_test.dir/PseudoLangTest.cpp.o.d"
+  "/root/repo/tests/simdspec/SimdGenTest.cpp" "tests/simdspec/CMakeFiles/simdspec_test.dir/SimdGenTest.cpp.o" "gcc" "tests/simdspec/CMakeFiles/simdspec_test.dir/SimdGenTest.cpp.o.d"
+  "/root/repo/tests/simdspec/XmlParserTest.cpp" "tests/simdspec/CMakeFiles/simdspec_test.dir/XmlParserTest.cpp.o" "gcc" "tests/simdspec/CMakeFiles/simdspec_test.dir/XmlParserTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simdspec/CMakeFiles/igen_simdspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdspec_test.dir/PseudoLangTest.cpp.o"
+  "CMakeFiles/simdspec_test.dir/PseudoLangTest.cpp.o.d"
+  "CMakeFiles/simdspec_test.dir/SimdGenTest.cpp.o"
+  "CMakeFiles/simdspec_test.dir/SimdGenTest.cpp.o.d"
+  "CMakeFiles/simdspec_test.dir/XmlParserTest.cpp.o"
+  "CMakeFiles/simdspec_test.dir/XmlParserTest.cpp.o.d"
+  "simdspec_test"
+  "simdspec_test.pdb"
+  "simdspec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdspec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simdspec
+# Build directory: /root/repo/build/tests/simdspec
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simdspec/simdspec_test[1]_include.cmake")
+include("/root/repo/build/tests/simdspec/simd_exec_test[1]_include.cmake")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_exec_dd_test.dir/ExecDdTest.cpp.o"
+  "CMakeFiles/igen_exec_dd_test.dir/ExecDdTest.cpp.o.d"
+  "CMakeFiles/igen_exec_dd_test.dir/gen/k_dd.cpp.o"
+  "CMakeFiles/igen_exec_dd_test.dir/gen/k_dd.cpp.o.d"
+  "gen/k_dd.cpp"
+  "igen_exec_dd_test"
+  "igen_exec_dd_test.pdb"
+  "igen_exec_dd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_exec_dd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

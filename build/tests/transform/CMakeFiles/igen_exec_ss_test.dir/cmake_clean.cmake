@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_exec_ss_test.dir/ExecDoubleTest.cpp.o"
+  "CMakeFiles/igen_exec_ss_test.dir/ExecDoubleTest.cpp.o.d"
+  "CMakeFiles/igen_exec_ss_test.dir/gen/join_ss.cpp.o"
+  "CMakeFiles/igen_exec_ss_test.dir/gen/join_ss.cpp.o.d"
+  "CMakeFiles/igen_exec_ss_test.dir/gen/k_ss.cpp.o"
+  "CMakeFiles/igen_exec_ss_test.dir/gen/k_ss.cpp.o.d"
+  "CMakeFiles/igen_exec_ss_test.dir/gen/trig_ss.cpp.o"
+  "CMakeFiles/igen_exec_ss_test.dir/gen/trig_ss.cpp.o.d"
+  "gen/join_ss.cpp"
+  "gen/k_ss.cpp"
+  "gen/trig_ss.cpp"
+  "igen_exec_ss_test"
+  "igen_exec_ss_test.pdb"
+  "igen_exec_ss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_exec_ss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

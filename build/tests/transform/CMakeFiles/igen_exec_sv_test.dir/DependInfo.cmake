@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform/ExecDoubleTest.cpp" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/ExecDoubleTest.cpp.o" "gcc" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/ExecDoubleTest.cpp.o.d"
+  "/root/repo/build/tests/transform/gen/join_sv.cpp" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/gen/join_sv.cpp.o" "gcc" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/gen/join_sv.cpp.o.d"
+  "/root/repo/build/tests/transform/gen/k_sv.cpp" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/gen/k_sv.cpp.o" "gcc" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/gen/k_sv.cpp.o.d"
+  "/root/repo/build/tests/transform/gen/trig_sv.cpp" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/gen/trig_sv.cpp.o" "gcc" "tests/transform/CMakeFiles/igen_exec_sv_test.dir/gen/trig_sv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/igen_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igen_exec_sv_test.dir/ExecDoubleTest.cpp.o"
+  "CMakeFiles/igen_exec_sv_test.dir/ExecDoubleTest.cpp.o.d"
+  "CMakeFiles/igen_exec_sv_test.dir/gen/join_sv.cpp.o"
+  "CMakeFiles/igen_exec_sv_test.dir/gen/join_sv.cpp.o.d"
+  "CMakeFiles/igen_exec_sv_test.dir/gen/k_sv.cpp.o"
+  "CMakeFiles/igen_exec_sv_test.dir/gen/k_sv.cpp.o.d"
+  "CMakeFiles/igen_exec_sv_test.dir/gen/trig_sv.cpp.o"
+  "CMakeFiles/igen_exec_sv_test.dir/gen/trig_sv.cpp.o.d"
+  "gen/join_sv.cpp"
+  "gen/k_sv.cpp"
+  "gen/trig_sv.cpp"
+  "igen_exec_sv_test"
+  "igen_exec_sv_test.pdb"
+  "igen_exec_sv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igen_exec_sv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for igen_exec_sv_test.
+# This may be replaced when dependencies are built.

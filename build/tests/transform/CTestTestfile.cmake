@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/transform
+# Build directory: /root/repo/build/tests/transform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/transform/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/igen_exec_sv_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/igen_exec_ss_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/igen_exec_dd_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/igen_exec_dd_ss_test[1]_include.cmake")
+add_test(driver_cli_translate "/root/repo/build/src/driver/igen" "/root/repo/tests/transform/Inputs/kernels.c" "-o" "/root/repo/build/tests/transform/cli_smoke_out.cpp" "--reductions")
+set_tests_properties(driver_cli_translate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/transform/CMakeLists.txt;56;add_test;/root/repo/tests/transform/CMakeLists.txt;0;")
+add_test(driver_cli_dd "/root/repo/build/src/driver/igen" "/root/repo/tests/transform/Inputs/kernels.c" "-o" "/root/repo/build/tests/transform/cli_smoke_dd.cpp" "--precision=dd" "--target=ss")
+set_tests_properties(driver_cli_dd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/transform/CMakeLists.txt;59;add_test;/root/repo/tests/transform/CMakeLists.txt;0;")
+add_test(driver_cli_dump_ast "/root/repo/build/src/driver/igen" "--dump-ast" "/root/repo/tests/transform/Inputs/trig.c" "-o" "/dev/null")
+set_tests_properties(driver_cli_dump_ast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/transform/CMakeLists.txt;63;add_test;/root/repo/tests/transform/CMakeLists.txt;0;")
+add_test(driver_cli_rejects_bad_flag "/root/repo/build/src/driver/igen" "--no-such-flag" "/root/repo/tests/transform/Inputs/trig.c")
+set_tests_properties(driver_cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/transform/CMakeLists.txt;66;add_test;/root/repo/tests/transform/CMakeLists.txt;0;")
