@@ -23,8 +23,10 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <random>
+#include <string>
 #include <vector>
 #include <x86intrin.h>
 
@@ -56,7 +58,25 @@ inline uint64_t medianCycles(const std::function<void()> &Fn,
   return Times[Times.size() / 2];
 }
 
-/// Deterministic RNG shared by the benches.
+/// Runs \p Fn `Reps` times (after one warm-up run) and returns the
+/// minimum cycle count. Timing noise on shared/virtualized hosts is
+/// one-sided (interrupts, VM exits only ever add cycles), so the minimum
+/// is the sharpest estimator of the true cost; use it for rows that feed
+/// ratio comparisons.
+inline uint64_t minCycles(const std::function<void()> &Fn, int Reps = 11) {
+  Fn(); // warm-up
+  uint64_t Best = ~uint64_t{0};
+  for (int R = 0; R < Reps; ++R) {
+    uint64_t T0 = readCycles();
+    Fn();
+    Best = std::min(Best, readCycles() - T0);
+  }
+  return Best;
+}
+
+/// Deterministic RNG. Each measurement constructs its own instance from
+/// benchSeed() so inputs depend only on the row identity, never on how
+/// many rows ran before it (reproducible run-to-run and across subsets).
 class Rng {
 public:
   explicit Rng(uint64_t Seed) : Gen(Seed) {}
@@ -72,6 +92,26 @@ public:
 private:
   std::mt19937_64 Gen;
 };
+
+/// Per-row input seed: FNV-1a over (table, config, size). Two rows share
+/// inputs exactly when they measure the same problem, so configurations
+/// of one (table, size) cell stay comparable.
+inline uint64_t benchSeed(const char *Table, const char *Config, long Size) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](const char *S) {
+    for (; *S; ++S) {
+      H ^= static_cast<unsigned char>(*S);
+      H *= 0x100000001b3ull;
+    }
+  };
+  Mix(Table);
+  Mix(Config);
+  for (int B = 0; B < 8; ++B) {
+    H ^= static_cast<uint64_t>(Size >> (8 * B)) & 0xff;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
 
 /// Fills interval array \p Out (any type constructible via
 /// fromEndpoints(lo,hi)) with width-1-ulp intervals around random points.
@@ -166,6 +206,69 @@ inline double mvmIops(int M, int N) {
 inline void printRow(const char *Table, const char *Config, int Size,
                      double Value) {
   std::printf("%s,%s,%d,%.4f\n", Table, Config, Size, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable output (--json <path>)
+//===----------------------------------------------------------------------===//
+
+/// Collects benchmark rows and writes them as a JSON array, one object
+/// per measurement: {"kernel", "config", "size", "cycles",
+/// "iops_per_cycle"}. Rows are also echoed as CSV on stdout by
+/// reportRow() so the human-readable output is unchanged.
+class JsonReport {
+public:
+  struct Row {
+    std::string Kernel, Config;
+    long Size;
+    double Cycles, IopsPerCycle;
+  };
+
+  void add(const char *Kernel, const char *Config, long Size, double Cycles,
+           double IopsPerCycle) {
+    Rows.push_back({Kernel, Config, Size, Cycles, IopsPerCycle});
+  }
+
+  /// Writes the collected rows to \p Path; returns false on I/O failure.
+  bool writeTo(const char *Path) const {
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "[\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "  {\"kernel\": \"%s\", \"config\": \"%s\", "
+                   "\"size\": %ld, \"cycles\": %.1f, "
+                   "\"iops_per_cycle\": %.6f}%s\n",
+                   R.Kernel.c_str(), R.Config.c_str(), R.Size, R.Cycles,
+                   R.IopsPerCycle, I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "]\n");
+    return std::fclose(F) == 0;
+  }
+
+private:
+  std::vector<Row> Rows;
+};
+
+/// Returns the value of a `--json <path>` argument, or nullptr.
+inline const char *jsonPathArg(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+/// Emits one measurement: CSV on stdout, plus a JSON row when \p Report
+/// is non-null.
+inline void reportRow(JsonReport *Report, const char *Table,
+                      const char *Config, int Size, uint64_t Cycles,
+                      double Iops) {
+  double Value = Iops / static_cast<double>(Cycles);
+  printRow(Table, Config, Size, Value);
+  if (Report)
+    Report->add(Table, Config, Size, static_cast<double>(Cycles), Value);
 }
 
 } // namespace igen::bench

@@ -31,11 +31,12 @@ using namespace igen::bench;
 
 namespace {
 
-Rng R(2021);
+JsonReport *Report = nullptr;
 
 /// Runs one configuration of the fft benchmark and prints its row.
 template <typename I, typename Fn>
 void runFft(const char *Config, int N, const FftSetup &S, Fn Kernel) {
+  Rng R(benchSeed("fig8-fft", Config, N));
   std::vector<I> Re(N), Im(N), Wre(S.Wre.size()), Wim(S.Wim.size());
   fillUlpIntervals(Re.data(), N, R);
   fillUlpIntervals(Im.data(), N, R);
@@ -50,11 +51,12 @@ void runFft(const char *Config, int N, const FftSetup &S, Fn Kernel) {
     std::memcpy(Im.data(), Im0.data(), N * sizeof(I));
     Kernel(Re.data(), Im.data(), Wre.data(), Wim.data(), Rev.data(), N);
   });
-  printRow("fig8-fft", Config, N, fftIops(N) / Cycles);
+  reportRow(Report, "fig8-fft", Config, N, Cycles, fftIops(N));
 }
 
 template <typename I, typename Fn>
 void runGemm(const char *Config, int N, Fn Kernel) {
+  Rng R(benchSeed("fig8-gemm", Config, N));
   std::vector<I> A(N * N), B(N * N), C(N * N), C0(N * N);
   fillUlpIntervals(A.data(), N * N, R);
   fillUlpIntervals(B.data(), N * N, R);
@@ -63,7 +65,7 @@ void runGemm(const char *Config, int N, Fn Kernel) {
     std::memcpy(C.data(), C0.data(), N * N * sizeof(I));
     Kernel(C.data(), A.data(), B.data(), N);
   });
-  printRow("fig8-gemm", Config, N, gemmIops(N) / Cycles);
+  reportRow(Report, "fig8-gemm", Config, N, Cycles, gemmIops(N));
 }
 
 template <typename I, typename Fn>
@@ -76,11 +78,12 @@ void runPotrf(const char *Config, int N, const std::vector<double> &Spd,
     std::memcpy(A.data(), A0.data(), N * N * sizeof(I));
     Kernel(A.data(), N);
   });
-  printRow("fig8-potrf", Config, N, potrfIops(N) / Cycles);
+  reportRow(Report, "fig8-potrf", Config, N, Cycles, potrfIops(N));
 }
 
 template <typename I, typename Fn>
 void runFfnn(const char *Config, int N, int Layers, Fn Kernel) {
+  Rng R(benchSeed("fig8-ffnn", Config, N));
   std::vector<I> W(Layers * N * N), B(Layers * N), Buf0(N), Buf1(N),
       In(N);
   // Xavier-like weight scale keeps activations bounded.
@@ -95,13 +98,20 @@ void runFfnn(const char *Config, int N, int Layers, Fn Kernel) {
     std::memcpy(Buf0.data(), In.data(), N * sizeof(I));
     Kernel(W.data(), B.data(), Buf0.data(), Buf1.data(), N, Layers);
   });
-  printRow("fig8-ffnn", Config, N, ffnnIops(N, Layers) / Cycles);
+  reportRow(Report, "fig8-ffnn", Config, N, Cycles, ffnnIops(N, Layers));
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  bool Full = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--full")
+      Full = true;
+  const char *JsonPath = jsonPathArg(Argc, Argv);
+  JsonReport Json;
+  if (JsonPath)
+    Report = &Json;
   RoundUpwardScope Up;
 
   std::vector<int> FftSizes = Full ? std::vector<int>{16, 32, 64, 128, 256}
@@ -141,6 +151,8 @@ int main(int Argc, char **Argv) {
   }
 
   for (int N : PotrfSizes) {
+    // One SPD input per size, shared by every configuration of that cell.
+    Rng R(benchSeed("fig8-potrf", "spd", N));
     std::vector<double> Spd = spdMatrix(N, R);
     runPotrf<IntervalSse>("igen-vv", N, Spd, vv_potrf);
     runPotrf<IntervalSse>("igen-sv", N, Spd, sv_potrf);
@@ -165,6 +177,11 @@ int main(int Argc, char **Argv) {
                                ffnnT<FilibLikeInterval>);
     runFfnn<GaolLikeInterval>("gaol", N, Layers,
                               ffnnT<GaolLikeInterval>);
+  }
+
+  if (JsonPath && !Json.writeTo(JsonPath)) {
+    std::fprintf(stderr, "fig8_perf: cannot write %s\n", JsonPath);
+    return 1;
   }
   return 0;
 }

@@ -9,16 +9,21 @@
 // and control decisions (branches) can become *unknown*. This example
 // shows both the language extension (compiling a function with a
 // `double:0.05` tolerance parameter) and the runtime behaviour of the
-// exception vs join branch policies.
+// exception vs join branch policies, then scales the same computation to
+// a whole fleet of sensors with the batched array runtime (src/runtime/):
+// CPU-dispatched elementwise kernels and a deterministic parallel sum
+// whose bits do not depend on the thread count.
 //
 // Build & run:  ./build/examples/sensor_pipeline
 //
 //===----------------------------------------------------------------------===//
 
 #include "interval/igen_lib.h"
+#include "runtime/BatchKernels.h"
 #include "transform/Pipeline.h"
 
 #include <cstdio>
+#include <vector>
 
 namespace {
 
@@ -80,5 +85,41 @@ int main() {
                     : "join",
                 Out->c_str());
   }
+
+  // A fleet of monitors: the same margin computation over N sensor pairs
+  // at once with the batched runtime. The kernels pick the widest ISA
+  // the CPU supports at first call (override with IGEN_ISA=scalar|sse2|
+  // avx|avx2), and the parallel fleet-wide sum is bit-identical for any
+  // thread count, so the report below is reproducible on 1 core or 64.
+  using namespace igen::runtime;
+  constexpr size_t Fleet = 4096;
+  std::vector<igen::Interval> Dist(Fleet), Speed(Fleet), V2(Fleet),
+      Brake(Fleet), Margin(Fleet);
+  for (size_t K = 0; K < Fleet; ++K) {
+    double D = 12.0 + 0.005 * static_cast<double>(K % 1000);
+    double V = 11.5 + 0.001 * static_cast<double>(K % 777);
+    Dist[K] = igen::Interval::fromEndpoints(D - 0.05, D + 0.05);
+    Speed[K] = igen::Interval::fromEndpoints(V - 0.1, V + 0.1);
+  }
+  const igen::Interval InvDecel =
+      igen::iDiv(igen::Interval::fromPoint(1.0),
+                 igen::Interval::fromPoint(2.0 * 6.0));
+  iarr_mul(V2.data(), Speed.data(), Speed.data(), Fleet);      // v^2
+  iarr_scale(Brake.data(), V2.data(), InvDecel, Fleet);        // /(2 a)
+  iarr_sub(Margin.data(), Dist.data(), Brake.data(), Fleet);   // d - .
+  igen::Interval Total = iarr_sum_par(Margin.data(), Fleet);
+  size_t Unsafe = 0, Unknown = 0;
+  for (size_t K = 0; K < Fleet; ++K) {
+    if (Margin[K].hi() <= 0.0)
+      ++Unsafe;
+    else if (Margin[K].lo() <= 0.0)
+      ++Unknown;
+  }
+  std::printf("\nfleet of %zu monitors (batched runtime, %s kernels):\n",
+              Fleet, kernels().Name);
+  std::printf("  unsafe: %zu  unknown: %zu  safe: %zu\n", Unsafe, Unknown,
+              Fleet - Unsafe - Unknown);
+  std::printf("  fleet-wide margin sum in [%.6f, %.6f] m\n", Total.lo(),
+              Total.hi());
   return 0;
 }

@@ -1,0 +1,192 @@
+//===- BatchKernels.h - Batched interval array runtime ----------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched interval array runtime: contiguous-array kernels over
+/// double-precision intervals with runtime CPU dispatch (CpuDispatch.h)
+/// and deterministic, sound parallel reductions (BatchReduce.cpp).
+///
+/// Layouts. An array of N igen::Interval values is N contiguous
+/// (-lo, hi) double pairs. IntervalSse stores exactly one such pair per
+/// __m128d and IntervalX2 two pairs per __m256d, so arrays of all three
+/// types share one byte layout; the overloads below reinterpret the SIMD
+/// types onto the canonical Interval kernels (static_asserts verify the
+/// sizes).
+///
+/// Rounding. Every entry point establishes upward rounding internally
+/// (RAII) and restores the caller's mode — callers do NOT need to be
+/// inside a RoundUpwardScope, and the parallel reductions set the mode
+/// per worker task.
+///
+/// Determinism. iarr_sum / iarr_dot accumulate in a fixed chunked order
+/// (kReduceChunk elements per chunk, kReduceLanes interleaved
+/// double-double chains per chunk, chunk partials merged in a fixed
+/// pairwise tree over the chunk index). Dot products come from one
+/// multiply routine compiled into BatchReduce.cpp, not from the
+/// dispatched elementwise kernels. The order and the product bits
+/// therefore depend only on N — never on the thread count or the
+/// IGEN_ISA / forceIsa selection — so reduction results are
+/// bit-reproducible from 1 to N threads and across ISA overrides.
+/// Soundness (the result encloses every real sum/dot of reals drawn
+/// from the inputs) holds unconditionally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_RUNTIME_BATCHKERNELS_H
+#define IGEN_RUNTIME_BATCHKERNELS_H
+
+#include "interval/Interval.h"
+#include "interval/IntervalSimd.h"
+#include "interval/IntervalVector.h"
+#include "interval/Rounding.h"
+#include "runtime/CpuDispatch.h"
+
+#include <cstddef>
+
+namespace igen::runtime {
+
+/// Intervals per reduction chunk. Fixed: changing it changes the
+/// accumulation order and therefore the bit pattern of sum/dot results.
+inline constexpr size_t kReduceChunk = 1024;
+
+/// Interleaved double-double accumulator chains per chunk (covers the
+/// ddAddUp latency chain; part of the fixed accumulation order). Lane j
+/// takes elements with index ≡ j (mod kReduceLanes); the chains run four
+/// per AVX register (two intervals, both endpoints).
+inline constexpr size_t kReduceLanes = 8;
+
+static_assert(sizeof(Interval) == 2 * sizeof(double));
+static_assert(sizeof(IntervalSse) == sizeof(Interval));
+static_assert(sizeof(IntervalX2) == 2 * sizeof(Interval));
+
+//===----------------------------------------------------------------------===//
+// Elementwise kernels (CPU-dispatched)
+//===----------------------------------------------------------------------===//
+
+/// Dst[i] = X[i] + Y[i].
+inline void iarr_add(Interval *Dst, const Interval *X, const Interval *Y,
+                     size_t N) {
+  RoundUpwardScope Up;
+  kernels().Add(Dst, X, Y, N);
+}
+
+/// Dst[i] = X[i] - Y[i].
+inline void iarr_sub(Interval *Dst, const Interval *X, const Interval *Y,
+                     size_t N) {
+  RoundUpwardScope Up;
+  kernels().Sub(Dst, X, Y, N);
+}
+
+/// Dst[i] = X[i] * Y[i].
+inline void iarr_mul(Interval *Dst, const Interval *X, const Interval *Y,
+                     size_t N) {
+  RoundUpwardScope Up;
+  kernels().Mul(Dst, X, Y, N);
+}
+
+/// Dst[i] = A[i] * B[i] + C[i] (fused single-rounding candidates on the
+/// AVX2+FMA tier, composed mul+add elsewhere; the fused result is a
+/// subset of the composed one).
+inline void iarr_fma(Interval *Dst, const Interval *A, const Interval *B,
+                     const Interval *C, size_t N) {
+  RoundUpwardScope Up;
+  kernels().Fma(Dst, A, B, C, N);
+}
+
+/// Dst[i] = X[i] * S.
+inline void iarr_scale(Interval *Dst, const Interval *X, const Interval &S,
+                       size_t N) {
+  RoundUpwardScope Up;
+  kernels().Scale(Dst, X, S, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Sound reductions (deterministic chunked order; see file comment)
+//===----------------------------------------------------------------------===//
+
+/// Sum of X[0..N-1], accumulated per-endpoint in double-double
+/// (SumAccumulatorF64's representation) and rounded outward once at the
+/// end. N == 0 yields [0, 0].
+Interval iarr_sum(const Interval *X, size_t N);
+
+/// Dot product sum(X[i] * Y[i]); the multiplies are fused into the
+/// accumulation loop (fixed routine, independent of the dispatched
+/// tier), accumulation as in iarr_sum.
+Interval iarr_dot(const Interval *X, const Interval *Y, size_t N);
+
+/// Enclosure of the Euclidean norm sqrt(sum X[i]^2): the dot(X, X)
+/// enclosure intersected with [0, inf) (squares of reals are
+/// nonnegative), then iSqrt.
+Interval iarr_norm2(const Interval *X, size_t N);
+
+/// Multithreaded variants: identical bit patterns to the serial versions
+/// for every thread count (the chunk/merge structure is fixed by N).
+/// Threads == 0 uses all pool participants; Threads == 1 runs inline.
+Interval iarr_sum_par(const Interval *X, size_t N, unsigned Threads = 0);
+Interval iarr_dot_par(const Interval *X, const Interval *Y, size_t N,
+                      unsigned Threads = 0);
+
+//===----------------------------------------------------------------------===//
+// Layout overloads: IntervalSse and IntervalX2 arrays
+//===----------------------------------------------------------------------===//
+
+inline Interval *asIntervals(IntervalSse *P) {
+  return reinterpret_cast<Interval *>(P);
+}
+inline const Interval *asIntervals(const IntervalSse *P) {
+  return reinterpret_cast<const Interval *>(P);
+}
+inline Interval *asIntervals(IntervalX2 *P) {
+  return reinterpret_cast<Interval *>(P);
+}
+inline const Interval *asIntervals(const IntervalX2 *P) {
+  return reinterpret_cast<const Interval *>(P);
+}
+
+inline void iarr_add(IntervalSse *Dst, const IntervalSse *X,
+                     const IntervalSse *Y, size_t N) {
+  iarr_add(asIntervals(Dst), asIntervals(X), asIntervals(Y), N);
+}
+inline void iarr_sub(IntervalSse *Dst, const IntervalSse *X,
+                     const IntervalSse *Y, size_t N) {
+  iarr_sub(asIntervals(Dst), asIntervals(X), asIntervals(Y), N);
+}
+inline void iarr_mul(IntervalSse *Dst, const IntervalSse *X,
+                     const IntervalSse *Y, size_t N) {
+  iarr_mul(asIntervals(Dst), asIntervals(X), asIntervals(Y), N);
+}
+inline Interval iarr_sum(const IntervalSse *X, size_t N) {
+  return iarr_sum(asIntervals(X), N);
+}
+inline Interval iarr_dot(const IntervalSse *X, const IntervalSse *Y,
+                         size_t N) {
+  return iarr_dot(asIntervals(X), asIntervals(Y), N);
+}
+
+/// IntervalX2 overloads take N in *packs* (2 intervals each).
+inline void iarr_add(IntervalX2 *Dst, const IntervalX2 *X,
+                     const IntervalX2 *Y, size_t N) {
+  iarr_add(asIntervals(Dst), asIntervals(X), asIntervals(Y), 2 * N);
+}
+inline void iarr_sub(IntervalX2 *Dst, const IntervalX2 *X,
+                     const IntervalX2 *Y, size_t N) {
+  iarr_sub(asIntervals(Dst), asIntervals(X), asIntervals(Y), 2 * N);
+}
+inline void iarr_mul(IntervalX2 *Dst, const IntervalX2 *X,
+                     const IntervalX2 *Y, size_t N) {
+  iarr_mul(asIntervals(Dst), asIntervals(X), asIntervals(Y), 2 * N);
+}
+inline Interval iarr_sum(const IntervalX2 *X, size_t N) {
+  return iarr_sum(asIntervals(X), 2 * N);
+}
+inline Interval iarr_dot(const IntervalX2 *X, const IntervalX2 *Y,
+                         size_t N) {
+  return iarr_dot(asIntervals(X), asIntervals(Y), 2 * N);
+}
+
+} // namespace igen::runtime
+
+#endif // IGEN_RUNTIME_BATCHKERNELS_H

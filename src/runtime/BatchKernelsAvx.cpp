@@ -1,0 +1,76 @@
+//===- BatchKernelsAvx.cpp - AVX batched kernels --------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// AVX tier: two intervals per __m256d (the IntervalX2 lane-local lifts of
+// the SSE candidate schemes). Odd-length tails fall back to the scalar
+// operations, which compute the same candidate maxima. Compiled with
+// -march=x86-64 -mavx.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/IntervalVector.h"
+#include "runtime/CpuDispatch.h"
+
+namespace igen::runtime {
+
+namespace {
+
+inline IntervalX2 load2(const Interval *P) {
+  return IntervalX2(_mm256_loadu_pd(&P->NegLo));
+}
+
+inline void store2(Interval *P, const IntervalX2 &V) {
+  _mm256_storeu_pd(&P->NegLo, V.V);
+}
+
+void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2)
+    store2(Dst + I, iAdd(load2(X + I), load2(Y + I)));
+  for (; I < N; ++I)
+    Dst[I] = iAdd(X[I], Y[I]);
+}
+
+void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2)
+    store2(Dst + I, iSub(load2(X + I), load2(Y + I)));
+  for (; I < N; ++I)
+    Dst[I] = iSub(X[I], Y[I]);
+}
+
+void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2)
+    store2(Dst + I, iMul(load2(X + I), load2(Y + I)));
+  for (; I < N; ++I)
+    Dst[I] = iMul(X[I], Y[I]);
+}
+
+void fmaK(Interval *Dst, const Interval *A, const Interval *B,
+          const Interval *C, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2)
+    store2(Dst + I,
+           iAdd(iMul(load2(A + I), load2(B + I)), load2(C + I)));
+  for (; I < N; ++I)
+    Dst[I] = iAdd(iMul(A[I], B[I]), C[I]);
+}
+
+void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
+  IntervalX2 SV = IntervalX2::broadcast(S);
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2)
+    store2(Dst + I, iMul(load2(X + I), SV));
+  for (; I < N; ++I)
+    Dst[I] = iMul(X[I], S);
+}
+
+} // namespace
+
+extern const KernelTable kKernelsAvx = {"avx", addK, subK, mulK, fmaK, scaleK};
+
+} // namespace igen::runtime

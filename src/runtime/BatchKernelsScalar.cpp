@@ -1,0 +1,52 @@
+//===- BatchKernelsScalar.cpp - Portable batched kernels ------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The portable tier of the batched interval kernels: plain loops over the
+// scalar Interval operations. This is both the fallback for CPUs without
+// SSE2 (in practice: none on x86-64) and the reference the test suite
+// compares the SIMD tiers against.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Interval.h"
+#include "runtime/CpuDispatch.h"
+
+namespace igen::runtime {
+
+namespace {
+
+void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iAdd(X[I], Y[I]);
+}
+
+void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iSub(X[I], Y[I]);
+}
+
+void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iMul(X[I], Y[I]);
+}
+
+void fmaK(Interval *Dst, const Interval *A, const Interval *B,
+          const Interval *C, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iAdd(iMul(A[I], B[I]), C[I]);
+}
+
+void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iMul(X[I], S);
+}
+
+} // namespace
+
+extern const KernelTable kKernelsScalar = {"scalar", addK, subK, mulK, fmaK,
+                                    scaleK};
+
+} // namespace igen::runtime

@@ -1,0 +1,127 @@
+//===- CpuDispatch.cpp - Runtime ISA selection ----------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CpuDispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace igen::runtime {
+
+// Defined in the per-ISA translation units (BatchKernels<Tier>.cpp).
+extern const KernelTable kKernelsScalar;
+extern const KernelTable kKernelsSse2;
+extern const KernelTable kKernelsAvx;
+extern const KernelTable kKernelsAvx2;
+
+bool isaSupported(Isa I) {
+  switch (I) {
+  case Isa::Scalar:
+    return true;
+  case Isa::Sse2:
+    return __builtin_cpu_supports("sse2");
+  case Isa::Avx:
+    return __builtin_cpu_supports("avx");
+  case Isa::Avx2Fma:
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  return false;
+}
+
+Isa detectIsa() {
+  for (Isa I : {Isa::Avx2Fma, Isa::Avx, Isa::Sse2})
+    if (isaSupported(I))
+      return I;
+  return Isa::Scalar;
+}
+
+const char *isaName(Isa I) {
+  switch (I) {
+  case Isa::Scalar:
+    return "scalar";
+  case Isa::Sse2:
+    return "sse2";
+  case Isa::Avx:
+    return "avx";
+  case Isa::Avx2Fma:
+    return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Cached selection; -1 means "not resolved yet" (forceIsa() writes it
+/// directly, clearForcedIsa() resets it).
+std::atomic<int> ActiveCache{-1};
+
+bool parseIsaName(const char *S, Isa &Out) {
+  for (int I = 0; I < NumIsas; ++I)
+    if (std::strcmp(S, isaName(static_cast<Isa>(I))) == 0) {
+      Out = static_cast<Isa>(I);
+      return true;
+    }
+  return false;
+}
+
+Isa resolveIsa() {
+  if (const char *Env = std::getenv("IGEN_ISA")) {
+    Isa Wanted;
+    if (!parseIsaName(Env, Wanted)) {
+      std::fprintf(stderr,
+                   "igen: ignoring unknown IGEN_ISA='%s' "
+                   "(expected scalar|sse2|avx|avx2)\n",
+                   Env);
+    } else if (!isaSupported(Wanted)) {
+      std::fprintf(stderr,
+                   "igen: IGEN_ISA='%s' not supported by this CPU; "
+                   "auto-detecting\n",
+                   Env);
+    } else {
+      return Wanted;
+    }
+  }
+  return detectIsa();
+}
+
+} // namespace
+
+Isa activeIsa() {
+  int Cached = ActiveCache.load(std::memory_order_acquire);
+  if (Cached < 0) {
+    Cached = static_cast<int>(resolveIsa());
+    ActiveCache.store(Cached, std::memory_order_release);
+  }
+  return static_cast<Isa>(Cached);
+}
+
+void forceIsa(Isa I) {
+  if (!isaSupported(I))
+    I = detectIsa();
+  ActiveCache.store(static_cast<int>(I), std::memory_order_release);
+}
+
+void clearForcedIsa() { ActiveCache.store(-1, std::memory_order_release); }
+
+const KernelTable &kernelTableFor(Isa I) {
+  switch (I) {
+  case Isa::Scalar:
+    return kKernelsScalar;
+  case Isa::Sse2:
+    return kKernelsSse2;
+  case Isa::Avx:
+    return kKernelsAvx;
+  case Isa::Avx2Fma:
+    return kKernelsAvx2;
+  }
+  return kKernelsScalar;
+}
+
+const KernelTable &kernels() { return kernelTableFor(activeIsa()); }
+
+} // namespace igen::runtime

@@ -1,0 +1,87 @@
+//===- CpuDispatch.h - Runtime ISA selection for batched kernels -*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime CPU dispatch for the batched interval array kernels. Each ISA
+/// tier (scalar, SSE2, AVX, AVX2+FMA) provides one KernelTable, compiled in
+/// its own translation unit with the matching -march flags; the dispatcher
+/// picks the best supported table at first use via CPUID
+/// (__builtin_cpu_supports).
+///
+/// The selection can be overridden two ways:
+///  * environment: IGEN_ISA=scalar|sse2|avx|avx2 (read when the cached
+///    selection is empty; unsupported or unknown values fall back to
+///    auto-detection with a warning), and
+///  * programmatically: forceIsa() / clearForcedIsa(), used by the tests
+///    and benchmarks to exercise every tier in one process.
+///
+/// This header deliberately includes no intrinsics so that per-ISA kernel
+/// translation units can include it under any -march setting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_RUNTIME_CPUDISPATCH_H
+#define IGEN_RUNTIME_CPUDISPATCH_H
+
+#include "interval/Interval.h"
+
+#include <cstddef>
+
+namespace igen::runtime {
+
+/// ISA tiers, ordered from most portable to most capable.
+enum class Isa { Scalar = 0, Sse2 = 1, Avx = 2, Avx2Fma = 3 };
+
+inline constexpr int NumIsas = 4;
+
+/// One function pointer per batched elementwise kernel. All kernels require
+/// upward rounding (established by the iarr_* wrappers) and permit
+/// Dst == X/Y/A/B/C aliasing of whole arrays (element I only reads inputs
+/// at index I).
+struct KernelTable {
+  const char *Name;
+  void (*Add)(Interval *Dst, const Interval *X, const Interval *Y, size_t N);
+  void (*Sub)(Interval *Dst, const Interval *X, const Interval *Y, size_t N);
+  void (*Mul)(Interval *Dst, const Interval *X, const Interval *Y, size_t N);
+  /// Elementwise A*B + C. The AVX2+FMA tier fuses the candidate products
+  /// with the addend (single rounding: tighter and sound); other tiers
+  /// compose iAdd(iMul(a, b), c).
+  void (*Fma)(Interval *Dst, const Interval *A, const Interval *B,
+              const Interval *C, size_t N);
+  /// Elementwise X * S for a fixed interval scalar S.
+  void (*Scale)(Interval *Dst, const Interval *X, Interval S, size_t N);
+};
+
+/// True if the running CPU can execute the given tier.
+bool isaSupported(Isa I);
+
+/// Best tier the running CPU supports.
+Isa detectIsa();
+
+/// The tier in effect: forced > IGEN_ISA env override > CPUID detection.
+Isa activeIsa();
+
+/// Short lowercase name ("scalar", "sse2", "avx", "avx2").
+const char *isaName(Isa I);
+
+/// Pins the dispatcher to \p I for this process (clamped to a supported
+/// tier). Testing/benchmarking hook; not thread-safe against concurrent
+/// kernel launches.
+void forceIsa(Isa I);
+
+/// Drops the pin (and the cached selection): the next activeIsa() call
+/// re-reads IGEN_ISA / CPUID.
+void clearForcedIsa();
+
+/// Kernel table of a specific tier (must be supported).
+const KernelTable &kernelTableFor(Isa I);
+
+/// Kernel table of the active tier.
+const KernelTable &kernels();
+
+} // namespace igen::runtime
+
+#endif // IGEN_RUNTIME_CPUDISPATCH_H

@@ -1,0 +1,374 @@
+//===- BatchKernelTest.cpp - Batched runtime tests ------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the batched interval array runtime:
+//  (a) every batched elementwise kernel, on every supported ISA tier,
+//      encloses (for the fused FMA tier: is enclosed by *and* still
+//      sound against) the scalar reference computed with the Interval
+//      operations;
+//  (b) sum/dot are bit-identical across 1/2/4 threads and across ISA
+//      overrides, and enclose the sequential SumAccumulatorF64 result;
+//  (c) worker threads restore round-to-nearest after every reduction
+//      task, and the calling thread's mode survives the entry points.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BatchKernels.h"
+
+#include "interval/Accumulator.h"
+#include "runtime/ThreadPool.h"
+#include "../interval/TestHelpers.h"
+
+#include <cfenv>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace igen;
+using namespace igen::runtime;
+
+namespace {
+
+/// ISA tiers the running CPU can execute (always includes Scalar).
+std::vector<Isa> supportedIsas() {
+  std::vector<Isa> Out;
+  for (int I = 0; I < NumIsas; ++I)
+    if (isaSupported(static_cast<Isa>(I)))
+      Out.push_back(static_cast<Isa>(I));
+  return Out;
+}
+
+/// Restores auto-detection when a test finishes forcing tiers.
+struct IsaGuard {
+  ~IsaGuard() { clearForcedIsa(); }
+};
+
+/// Random intervals across many magnitudes, with some special endpoints.
+std::vector<Interval> randomIntervals(test::Rng &R, size_t N,
+                                      bool Specials) {
+  std::vector<Interval> V(N);
+  int SpecialCount = 0;
+  const double *Sp = test::specialValues(SpecialCount);
+  for (size_t I = 0; I < N; ++I) {
+    if (Specials && R.intIn(0, 15) == 0) {
+      double A = Sp[R.intIn(0, SpecialCount - 1)];
+      double B = Sp[R.intIn(0, SpecialCount - 1)];
+      if (std::isnan(A) || std::isnan(B))
+        V[I] = Interval::nan();
+      else
+        V[I] = Interval::fromEndpoints(std::fmin(A, B), std::fmax(A, B));
+    } else {
+      V[I] = R.moderateInterval();
+    }
+  }
+  return V;
+}
+
+/// Moderate, overflow-free, zero-free intervals: the domain on which the
+/// cross-ISA bit-identity guarantee holds (no inf candidates, no signed
+/// zero ties in the candidate maxima).
+std::vector<Interval> benignIntervals(test::Rng &R, size_t N) {
+  std::vector<Interval> V(N);
+  for (size_t I = 0; I < N; ++I) {
+    double C = R.uniform(0.25, 2.0) * (R.intIn(0, 1) ? 1.0 : -1.0);
+    V[I] = Interval::fromEndpoints(C, nextUp(nextUp(C)));
+  }
+  return V;
+}
+
+bool sameBits(const Interval &A, const Interval &B) {
+  return std::memcmp(&A, &B, sizeof(Interval)) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// (a) Elementwise kernels enclose the scalar reference on every tier
+//===----------------------------------------------------------------------===//
+
+class BatchKernelIsaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchKernelIsaTest, AddSubMulScaleMatchScalarReference) {
+  Isa Tier = static_cast<Isa>(GetParam());
+  if (!isaSupported(Tier))
+    GTEST_SKIP() << "CPU lacks " << isaName(Tier);
+  IsaGuard Restore;
+  forceIsa(Tier);
+
+  test::Rng R(0x5eed0 + GetParam());
+  for (size_t N : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 17ul, 64ul, 1023ul}) {
+    std::vector<Interval> X = randomIntervals(R, N, /*Specials=*/true);
+    std::vector<Interval> Y = randomIntervals(R, N, /*Specials=*/true);
+    std::vector<Interval> D(N), Ref(N);
+    Interval S = R.moderateInterval();
+
+    iarr_add(D.data(), X.data(), Y.data(), N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I)
+        Ref[I] = iAdd(X[I], Y[I]);
+    }
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_TRUE(D[I].containsInterval(Ref[I]) &&
+                  Ref[I].containsInterval(D[I]))
+          << isaName(Tier) << " add @" << I;
+
+    iarr_sub(D.data(), X.data(), Y.data(), N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I)
+        Ref[I] = iSub(X[I], Y[I]);
+    }
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_TRUE(D[I].containsInterval(Ref[I]) &&
+                  Ref[I].containsInterval(D[I]))
+          << isaName(Tier) << " sub @" << I;
+
+    iarr_mul(D.data(), X.data(), Y.data(), N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I)
+        Ref[I] = iMul(X[I], Y[I]);
+    }
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_TRUE(D[I].containsInterval(Ref[I]) &&
+                  Ref[I].containsInterval(D[I]))
+          << isaName(Tier) << " mul @" << I;
+
+    iarr_scale(D.data(), X.data(), S, N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I)
+        Ref[I] = iMul(X[I], S);
+    }
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_TRUE(D[I].containsInterval(Ref[I]) &&
+                  Ref[I].containsInterval(D[I]))
+          << isaName(Tier) << " scale @" << I;
+  }
+}
+
+TEST_P(BatchKernelIsaTest, FmaIsSoundAndAtMostComposedWidth) {
+  Isa Tier = static_cast<Isa>(GetParam());
+  if (!isaSupported(Tier))
+    GTEST_SKIP() << "CPU lacks " << isaName(Tier);
+  IsaGuard Restore;
+  forceIsa(Tier);
+
+  test::Rng R(0xfaa + GetParam());
+  for (size_t N : {1ul, 2ul, 3ul, 4ul, 7ul, 64ul, 513ul}) {
+    std::vector<Interval> A = randomIntervals(R, N, /*Specials=*/true);
+    std::vector<Interval> B = randomIntervals(R, N, /*Specials=*/true);
+    std::vector<Interval> C = randomIntervals(R, N, /*Specials=*/true);
+    std::vector<Interval> D(N), Ref(N);
+
+    iarr_fma(D.data(), A.data(), B.data(), C.data(), N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I)
+        Ref[I] = iAdd(iMul(A[I], B[I]), C[I]);
+    }
+    for (size_t I = 0; I < N; ++I) {
+      // The fused tier may be tighter, never wider, than the composed
+      // reference...
+      EXPECT_TRUE(Ref[I].containsInterval(D[I]))
+          << isaName(Tier) << " fma wider than composed @" << I;
+      // ...and must still contain the exact a*b + c for endpoint reals
+      // (quad precision is exact for one product plus one addend).
+      if (A[I].hasNaN() || B[I].hasNaN() || C[I].hasNaN())
+        continue;
+      for (double U : {A[I].lo(), A[I].hi()})
+        for (double V : {B[I].lo(), B[I].hi()})
+          for (double W : {C[I].lo(), C[I].hi()}) {
+            if (std::isinf(U) || std::isinf(V) || std::isinf(W))
+              continue;
+            __float128 Exact = static_cast<__float128>(U) * V + W;
+            EXPECT_TRUE(test::containsQuad(D[I], Exact))
+                << isaName(Tier) << " fma unsound @" << I;
+          }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, BatchKernelIsaTest,
+                         ::testing::Range(0, NumIsas),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return isaName(static_cast<Isa>(Info.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// (b) Reduction reproducibility and soundness
+//===----------------------------------------------------------------------===//
+
+TEST(BatchReduceTest, SumEnclosesSequentialAccumulatorAndExactSum) {
+  test::Rng R(0xacc);
+  for (size_t N : {1ul, 5ul, 1000ul, 1024ul, 1025ul, 4096ul, 10000ul}) {
+    std::vector<Interval> X = randomIntervals(R, N, /*Specials=*/false);
+    Interval Batched = iarr_sum(X.data(), N);
+
+    // Sequential reference: the reduction accumulator the transformer
+    // emits today.
+    RoundUpwardScope Up;
+    SumAccumulatorF64 Acc;
+    Acc.init(X[0]);
+    for (size_t I = 1; I < N; ++I)
+      Acc.accumulate(X[I]);
+    Interval Seq = Acc.reduce();
+    EXPECT_TRUE(Batched.containsInterval(Seq)) << "N=" << N;
+
+    // Exact endpoint sums via the error-free exponent-indexed
+    // accumulator: the batched interval must enclose them.
+    ExactAccumulator NegLo, Hi;
+    for (size_t I = 0; I < N; ++I) {
+      NegLo.add(X[I].NegLo);
+      Hi.add(X[I].Hi);
+    }
+    Dd ExactNeg = NegLo.reduceUp(), ExactHi = Hi.reduceUp();
+    EXPECT_GE(Batched.NegLo, ddToDoubleUp(ExactNeg)) << "N=" << N;
+    EXPECT_GE(Batched.Hi, ddToDoubleUp(ExactHi)) << "N=" << N;
+  }
+}
+
+TEST(BatchReduceTest, SumBitIdenticalAcrossThreadCounts) {
+  test::Rng R(0xbeef);
+  for (size_t N : {1ul, 1024ul, 3000ul, 8192ul, 50000ul}) {
+    std::vector<Interval> X = randomIntervals(R, N, /*Specials=*/false);
+    Interval T1 = iarr_sum_par(X.data(), N, 1);
+    Interval T2 = iarr_sum_par(X.data(), N, 2);
+    Interval T4 = iarr_sum_par(X.data(), N, 4);
+    Interval Serial = iarr_sum(X.data(), N);
+    EXPECT_TRUE(sameBits(T1, Serial)) << "N=" << N;
+    EXPECT_TRUE(sameBits(T2, Serial)) << "N=" << N;
+    EXPECT_TRUE(sameBits(T4, Serial)) << "N=" << N;
+  }
+}
+
+TEST(BatchReduceTest, DotBitIdenticalAcrossThreadsAndIsas) {
+  IsaGuard Restore;
+  test::Rng R(0xd07);
+  for (size_t N : {1ul, 1000ul, 4096ul, 20000ul}) {
+    // Benign inputs: products stay finite and nonzero, the domain on
+    // which every tier computes identical candidate maxima.
+    std::vector<Interval> X = benignIntervals(R, N);
+    std::vector<Interval> Y = benignIntervals(R, N);
+
+    clearForcedIsa();
+    Interval Ref = iarr_dot(X.data(), Y.data(), N);
+    for (Isa Tier : supportedIsas()) {
+      forceIsa(Tier);
+      Interval D1 = iarr_dot(X.data(), Y.data(), N);
+      Interval D2 = iarr_dot_par(X.data(), Y.data(), N, 2);
+      Interval D4 = iarr_dot_par(X.data(), Y.data(), N, 4);
+      EXPECT_TRUE(sameBits(D1, Ref))
+          << isaName(Tier) << " serial N=" << N;
+      EXPECT_TRUE(sameBits(D2, Ref)) << isaName(Tier) << " t2 N=" << N;
+      EXPECT_TRUE(sameBits(D4, Ref)) << isaName(Tier) << " t4 N=" << N;
+    }
+  }
+}
+
+TEST(BatchReduceTest, DotEnclosesSequentialReference) {
+  test::Rng R(0xd0d0);
+  for (size_t N : {1ul, 777ul, 4096ul}) {
+    std::vector<Interval> X = randomIntervals(R, N, /*Specials=*/false);
+    std::vector<Interval> Y = randomIntervals(R, N, /*Specials=*/false);
+    Interval Batched = iarr_dot_par(X.data(), Y.data(), N, 4);
+
+    RoundUpwardScope Up;
+    SumAccumulatorF64 Acc;
+    Acc.init(iMul(X[0], Y[0]));
+    for (size_t I = 1; I < N; ++I)
+      Acc.accumulate(iMul(X[I], Y[I]));
+    EXPECT_TRUE(Batched.containsInterval(Acc.reduce())) << "N=" << N;
+  }
+}
+
+TEST(BatchReduceTest, SumRespectsIgenIsaEnvOverride) {
+  // The env var is consulted whenever the cached selection is empty, so
+  // clearing the forced tier makes it take effect mid-process.
+  IsaGuard Restore;
+  test::Rng R(0xe4f);
+  std::vector<Interval> X = benignIntervals(R, 5000);
+  std::vector<Interval> Y = benignIntervals(R, 5000);
+
+  clearForcedIsa();
+  Interval Ref = iarr_dot(X.data(), Y.data(), X.size());
+  for (const char *Name : {"scalar", "sse2", "avx", "avx2"}) {
+    ASSERT_EQ(setenv("IGEN_ISA", Name, 1), 0);
+    clearForcedIsa();
+    Isa Wanted = Isa::Scalar;
+    bool Known = false;
+    for (int I = 0; I < NumIsas; ++I)
+      if (std::strcmp(Name, isaName(static_cast<Isa>(I))) == 0) {
+        Wanted = static_cast<Isa>(I);
+        Known = true;
+      }
+    ASSERT_TRUE(Known);
+    if (!isaSupported(Wanted))
+      continue;
+    EXPECT_EQ(activeIsa(), Wanted) << Name;
+    Interval D = iarr_dot(X.data(), Y.data(), X.size());
+    EXPECT_TRUE(sameBits(D, Ref)) << "IGEN_ISA=" << Name;
+  }
+  unsetenv("IGEN_ISA");
+}
+
+TEST(BatchReduceTest, NormTwoIsNonNegativeAndSound) {
+  test::Rng R(0x2017);
+  std::vector<Interval> X = randomIntervals(R, 300, /*Specials=*/false);
+  Interval N2 = iarr_norm2(X.data(), X.size());
+  ASSERT_FALSE(N2.hasNaN());
+  EXPECT_GE(N2.lo(), 0.0);
+  // Midpoint sample: sqrt(sum of midpoint squares) must be inside.
+  __float128 S = 0;
+  for (const Interval &I : X) {
+    __float128 M = (static_cast<__float128>(I.lo()) + I.hi()) / 2;
+    S += M * M;
+  }
+  double Mid = std::sqrt(static_cast<double>(S));
+  EXPECT_TRUE(N2.contains(Mid));
+}
+
+//===----------------------------------------------------------------------===//
+// (c) Rounding-mode hygiene
+//===----------------------------------------------------------------------===//
+
+TEST(BatchReduceTest, CallerRoundingModeIsPreserved) {
+  test::Rng R(0x0de);
+  std::vector<Interval> X = randomIntervals(R, 5000, /*Specials=*/false);
+
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  (void)iarr_sum_par(X.data(), X.size(), 4);
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+
+  {
+    RoundUpwardScope Up;
+    (void)iarr_sum_par(X.data(), X.size(), 4);
+    EXPECT_EQ(std::fegetround(), FE_UPWARD);
+  }
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}
+
+TEST(BatchReduceTest, WorkerThreadsRestoreRoundingAfterTasks) {
+  test::Rng R(0x0df);
+  std::vector<Interval> X = randomIntervals(R, 50000, /*Specials=*/false);
+  // Run reductions that flip every participating worker to upward...
+  for (int Round = 0; Round < 4; ++Round)
+    (void)iarr_sum_par(X.data(), X.size(), 0);
+
+  // ...then probe the pool: every task invocation must observe the
+  // worker back at round-to-nearest. (Task-to-thread assignment is
+  // dynamic, so probe many more tasks than workers.)
+  ThreadPool &Pool = ThreadPool::instance();
+  size_t NumProbes = 64 * Pool.maxParticipants();
+  std::vector<int> Seen(NumProbes, -1);
+  Pool.parallelFor(NumProbes, 0, [&](size_t I) {
+    Seen[I] = std::fegetround();
+  });
+  for (size_t I = 0; I < NumProbes; ++I)
+    EXPECT_EQ(Seen[I], FE_TONEAREST) << "probe " << I;
+}
+
+} // namespace
