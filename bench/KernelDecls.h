@@ -47,6 +47,8 @@ void basev_ffnn(const double *W, const double *b, double *buf0,
                 double *buf1, int n, int layers);
 void base_mvm(const double *A, const double *x, double *y, int m, int n);
 double base_henon(double x, double y, int iterations);
+double base_horner(const double *coef, double x, int d);
+double base_pade(const double *xs, double *out, int n);
 
 // --------------------------------------------------------------------------
 // IGen-sv: scalar input -> SSE-backed double intervals.
@@ -61,6 +63,19 @@ void sv_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m, int n);
 void svred_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m,
                int n);
 IntervalSse sv_henon(IntervalSse x, IntervalSse y, int iterations);
+IntervalSse sv_horner(IntervalSse *coef, IntervalSse x, int d);
+IntervalSse sv_pade(IntervalSse *xs, IntervalSse *out, int n);
+
+// --------------------------------------------------------------------------
+// IGen-sv with the mid-end optimizer disabled (-O0), for the Table V
+// optimizer-comparison rows.
+// --------------------------------------------------------------------------
+void sv0_gemm(IntervalSse *C, IntervalSse *A, IntervalSse *B, int n);
+void sv0_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m,
+             int n);
+IntervalSse sv0_henon(IntervalSse x, IntervalSse y, int iterations);
+IntervalSse sv0_horner(IntervalSse *coef, IntervalSse x, int d);
+IntervalSse sv0_pade(IntervalSse *xs, IntervalSse *out, int n);
 
 // --------------------------------------------------------------------------
 // IGen-ss: scalar input -> scalar double intervals.

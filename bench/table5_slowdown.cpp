@@ -10,6 +10,11 @@
 // one to two orders of magnitude, and noticeably worse for vv-dd (the
 // automatic intrinsic path).
 //
+// The second half measures the mid-end optimizer: each kernel compiled
+// at the default -O (sign-specialized multiplies, FMA fusion, CSE) vs
+// -O0, reported as the speedup O0-cycles / O1-cycles together with the
+// geometric mean. `--json <path>` writes all rows machine-readably.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -31,16 +36,81 @@ template <typename Fn> uint64_t timeNearest(Fn F, int Reps = 5) {
   return medianCycles(F, Reps);
 }
 
+struct SlowdownRow {
+  std::string Bench, Config;
+  int Size;
+  double Slowdown;
+};
+
+struct OptRow {
+  std::string Kernel;
+  int Size;
+  uint64_t CyclesO0, CyclesO1;
+  double Speedup;
+};
+
+std::vector<SlowdownRow> SlowdownRows;
+std::vector<OptRow> OptRows;
+
 void row(const char *Bench, int Size, const char *Config, uint64_t Cyc,
          uint64_t BaseCyc) {
-  std::printf("table5,%s-%d,%s,%.1f\n", Bench, Size, Config,
-              static_cast<double>(Cyc) / BaseCyc);
+  double S = static_cast<double>(Cyc) / BaseCyc;
+  std::printf("table5,%s-%d,%s,%.1f\n", Bench, Size, Config, S);
+  SlowdownRows.push_back({Bench, Config, Size, S});
+}
+
+/// One optimizer-comparison row: the same kernel built at -O0 and at the
+/// default -O. Uses minCycles (ratio rows; noise is one-sided).
+void optRow(const char *Kernel, int Size, const std::function<void()> &O0,
+            const std::function<void()> &O1, int Reps = 9) {
+  uint64_t C0 = minCycles(O0, Reps);
+  uint64_t C1 = minCycles(O1, Reps);
+  double Speedup = static_cast<double>(C0) / C1;
+  std::printf("table5opt,%s-%d,O0-vs-O1,%.2f\n", Kernel, Size, Speedup);
+  OptRows.push_back({Kernel, Size, C0, C1, Speedup});
+}
+
+bool writeJson(const char *Path) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\n  \"table\": \"table5\",\n  \"slowdown\": [\n");
+  for (size_t I = 0; I < SlowdownRows.size(); ++I) {
+    const SlowdownRow &S = SlowdownRows[I];
+    std::fprintf(F,
+                 "    {\"kernel\": \"%s\", \"size\": %d, \"config\": "
+                 "\"%s\", \"slowdown\": %.2f}%s\n",
+                 S.Bench.c_str(), S.Size, S.Config.c_str(), S.Slowdown,
+                 I + 1 < SlowdownRows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n  \"opt_compare\": [\n");
+  double LogSum = 0.0;
+  for (size_t I = 0; I < OptRows.size(); ++I) {
+    const OptRow &O = OptRows[I];
+    LogSum += std::log(O.Speedup);
+    std::fprintf(F,
+                 "    {\"kernel\": \"%s\", \"size\": %d, "
+                 "\"cycles_O0\": %llu, \"cycles_O1\": %llu, "
+                 "\"speedup\": %.3f}%s\n",
+                 O.Kernel.c_str(), O.Size,
+                 static_cast<unsigned long long>(O.CyclesO0),
+                 static_cast<unsigned long long>(O.CyclesO1), O.Speedup,
+                 I + 1 < OptRows.size() ? "," : "");
+  }
+  double Geomean =
+      OptRows.empty() ? 1.0 : std::exp(LogSum / OptRows.size());
+  std::fprintf(F, "  ],\n  \"opt_geomean_speedup\": %.3f\n}\n", Geomean);
+  return std::fclose(F) == 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  bool Full = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--full")
+      Full = true;
+  const char *JsonPath = jsonPathArg(Argc, Argv);
   RoundUpwardScope Up;
   std::printf("table,benchmark,config,slowdown\n");
 
@@ -195,6 +265,110 @@ int main(int Argc, char **Argv) {
         Base);
     row("gemm", N, "vv-dd", TimeIt(vvdd_gemm, (DdIntervalAvx *)nullptr, 1),
         Base);
+  }
+
+  // ------------------------------------------------------------------
+  // Mid-end optimizer: -O0 vs default -O on the sv configuration.
+  // ------------------------------------------------------------------
+  std::printf("table,benchmark,config,speedup\n");
+
+  // ---- gemm: add+mul fuses to ia_fma in the inner loop ----
+  {
+    const int N = Full ? 256 : 120;
+    std::vector<IntervalSse> IA(N * N), IB(N * N), IC0(N * N), IC(N * N);
+    Rng G(benchSeed("table5opt", "gemm", N));
+    fillUlpIntervals(IA.data(), N * N, G);
+    fillUlpIntervals(IB.data(), N * N, G);
+    fillUlpIntervals(IC0.data(), N * N, G);
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        std::memcpy(IC.data(), IC0.data(), N * N * sizeof(IntervalSse));
+        Kernel(IC.data(), IA.data(), IB.data(), N);
+      };
+    };
+    optRow("gemm", N, Run(sv0_gemm), Run(sv_gemm), 5);
+  }
+
+  // ---- mvm: the same fusion in a reduction-shaped loop ----
+  {
+    const int M = Full ? 1024 : 400, N = M;
+    std::vector<IntervalSse> IA(M * N), IX(N), IY0(M), IY(M);
+    Rng G(benchSeed("table5opt", "mvm", M));
+    fillUlpIntervals(IA.data(), M * N, G);
+    fillUlpIntervals(IX.data(), N, G);
+    fillUlpIntervals(IY0.data(), M, G);
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        std::memcpy(IY.data(), IY0.data(), M * sizeof(IntervalSse));
+        Kernel(IA.data(), IX.data(), IY.data(), M, N);
+      };
+    };
+    optRow("mvm", M, Run(sv0_mvm), Run(sv_mvm));
+  }
+
+  // ---- henon: constant-sign multiplies (ia_mul_pu) plus fusion ----
+  {
+    const int Points = 256, Iters = 40;
+    std::vector<IntervalSse> PX(Points), PY(Points);
+    Rng G(benchSeed("table5opt", "henon", Points));
+    fillUlpIntervals(PX.data(), Points, G, -0.5, 0.5);
+    fillUlpIntervals(PY.data(), Points, G, -0.5, 0.5);
+    volatile double Sink = 0.0;
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        double S = 0.0;
+        for (int P = 0; P < Points; ++P)
+          S += Kernel(PX[P], PY[P], Iters).toInterval().Hi;
+        Sink = Sink + S;
+      };
+    };
+    optRow("henon", Iters, Run(sv0_henon), Run(sv_henon));
+  }
+
+  // ---- horner: guard-derived sign fact enables ia_fma_pu ----
+  {
+    const int D = 30, Points = 2048;
+    std::vector<IntervalSse> Coef(D + 1), XS(Points);
+    Rng G(benchSeed("table5opt", "horner", D));
+    fillUlpIntervals(Coef.data(), D + 1, G, -2.0, 2.0);
+    fillUlpIntervals(XS.data(), Points, G, 0.001, 1.5);
+    volatile double Sink = 0.0;
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        double S = 0.0;
+        for (int P = 0; P < Points; ++P)
+          S += Kernel(Coef.data(), XS[P], D).toInterval().Hi;
+        Sink = Sink + S;
+      };
+    };
+    optRow("horner", D, Run(sv0_horner), Run(sv_horner));
+  }
+
+  // ---- pade: ia_fma_pp numerator/denominator and ia_div_p ----
+  {
+    const int N = 8192;
+    std::vector<IntervalSse> XS(N), Out(N);
+    Rng G(benchSeed("table5opt", "pade", N));
+    fillUlpIntervals(XS.data(), N, G, 0.001, 50.0);
+    volatile double Sink = 0.0;
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        Sink = Sink + Kernel(XS.data(), Out.data(), N).toInterval().Hi;
+      };
+    };
+    optRow("pade", N, Run(sv0_pade), Run(sv_pade));
+  }
+
+  double LogSum = 0.0;
+  for (const OptRow &O : OptRows)
+    LogSum += std::log(O.Speedup);
+  if (!OptRows.empty())
+    std::printf("table5opt,geomean,O0-vs-O1,%.2f\n",
+                std::exp(LogSum / OptRows.size()));
+
+  if (JsonPath && !writeJson(JsonPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+    return 1;
   }
   return 0;
 }

@@ -45,6 +45,11 @@ void printUsage() {
       "  --branch=<policy>     'exception' (default): unknown branch\n"
       "                        conditions signal; 'join': compute both\n"
       "                        branches and join when safe\n"
+      "  -O, -O1               enable the mid-end optimizer (default):\n"
+      "                        sign-specialized multiplies/divides,\n"
+      "                        interval CSE/hoisting, and FMA fusion\n"
+      "  -O0                   disable the mid-end optimizer; emit the\n"
+      "                        naive one-op-per-call translation\n"
       "  --runtime-header=<h>  header providing the ia_* runtime\n"
       "                        (default: interval/igen_lib.h)\n"
       "  --dump-ast            print the type-checked AST instead of\n"
@@ -122,6 +127,14 @@ int main(int Argc, char **Argv) {
     }
     if (startsWith(Arg, "--runtime-header=")) {
       Opts.RuntimeHeader = Arg.substr(17);
+      continue;
+    }
+    if (Arg == "-O" || Arg == "-O1") {
+      Opts.OptLevel = 1;
+      continue;
+    }
+    if (Arg == "-O0") {
+      Opts.OptLevel = 0;
       continue;
     }
     if (startsWith(Arg, "-")) {

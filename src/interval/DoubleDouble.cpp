@@ -3,14 +3,10 @@
 // Part of the IGen reproduction. BSD 3-Clause license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The CountingOps counters are inline thread_local members defined in
+// the header; this TU only anchors the library target.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interval/DoubleDouble.h"
-
-namespace igen {
-
-thread_local uint64_t CountingOps::Adds = 0;
-thread_local uint64_t CountingOps::Muls = 0;
-thread_local uint64_t CountingOps::Divs = 0;
-thread_local uint64_t CountingOps::Fmas = 0;
-
-} // namespace igen

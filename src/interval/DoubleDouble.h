@@ -84,9 +84,14 @@ struct FastOps {
 };
 
 /// Counting policy used by the Table III reproduction: counts every
-/// floating-point operation (an FMA counts as two flops).
+/// floating-point operation (an FMA counts as two flops). The counters
+/// are inline (defined in every TU) rather than out-of-line: an extern
+/// thread_local member is reached through a weak TLS wrapper function,
+/// which -fsanitize=null flags as a possibly-null store (GCC false
+/// positive); inline thread_locals need no wrapper.
 struct CountingOps {
-  static thread_local uint64_t Adds, Muls, Divs, Fmas;
+  static inline thread_local uint64_t Adds = 0, Muls = 0, Divs = 0,
+                                      Fmas = 0;
   static void reset() { Adds = Muls = Divs = Fmas = 0; }
   static uint64_t flops() { return Adds + Muls + Divs + 2 * Fmas; }
 

@@ -28,6 +28,7 @@
 #include "interval/TBool.h"
 #include "interval/Ulp.h"
 
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -234,6 +235,246 @@ inline Interval iDiv(const Interval &X, const Interval &Y) {
   if (__builtin_expect(std::isnan(Check), 0))
     return detail::divSlow(X, Y);
   return Interval(detail::max4(N1, N2, N3, N4), detail::max4(H1, H2, H3, H4));
+}
+
+//===----------------------------------------------------------------------===//
+// Sign-specialized multiply/divide and fused multiply-add
+//===----------------------------------------------------------------------===//
+//
+// The transformer's -O mid-end emits these variants when its value-range
+// analysis proves operand signs. Naming: p = subset of [0, +inf),
+// n = subset of (-inf, 0], u = unknown sign; the divide variants require a
+// strictly 0-free divisor. Each variant evaluates only the candidate
+// products/quotients that can attain the extrema given the proven signs
+// (2 instead of 8 when both signs are known), still rounds every endpoint
+// outward, and keeps the NaN-propagating check of the generic operation so
+// that 0 * inf candidates -- or inputs that violate the precondition at
+// runtime -- fall back to the fully general code path. The preconditions
+// are therefore a matter of speed, not of soundness; they are
+// debug-asserted to surface analysis bugs in the test suite.
+
+namespace detail {
+
+/// Debug check for a "provably nonnegative" operand: no non-NaN endpoint
+/// may contradict lo >= 0 (NaN endpoints pass; the runtime check catches
+/// them).
+inline bool nonNegOk(const Interval &X) { return !(X.NegLo > 0.0); }
+
+/// Debug check for a "provably nonpositive" operand.
+inline bool nonPosOk(const Interval &X) { return !(X.Hi > 0.0); }
+
+} // namespace detail
+
+/// X * Y with lo(X) >= 0 and lo(Y) >= 0: the extrema are lo*lo and hi*hi.
+inline Interval iMulPP(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(detail::nonNegOk(X) && detail::nonNegOk(Y));
+  double N = X.NegLo * (-Y.NegLo); // -(lo(X)*lo(Y))
+  double H = X.Hi * Y.Hi;
+  if (__builtin_expect(std::isnan(N + H), 0))
+    return iMul(X, Y);
+  return Interval(N, H);
+}
+
+/// X * Y with lo(X) >= 0 and hi(Y) <= 0: extrema are hi(X)*lo(Y) and
+/// lo(X)*hi(Y).
+inline Interval iMulPN(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(detail::nonNegOk(X) && detail::nonPosOk(Y));
+  double N = X.Hi * Y.NegLo;    // -(hi(X)*lo(Y))
+  double H = (-X.NegLo) * Y.Hi; // lo(X)*hi(Y)
+  if (__builtin_expect(std::isnan(N + H), 0))
+    return iMul(X, Y);
+  return Interval(N, H);
+}
+
+/// X * Y with hi(X) <= 0 and hi(Y) <= 0: extrema are hi*hi and lo*lo.
+inline Interval iMulNN(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(detail::nonPosOk(X) && detail::nonPosOk(Y));
+  double N = (-X.Hi) * Y.Hi;    // -(hi(X)*hi(Y))
+  double H = X.NegLo * Y.NegLo; // lo(X)*lo(Y)
+  if (__builtin_expect(std::isnan(N + H), 0))
+    return iMul(X, Y);
+  return Interval(N, H);
+}
+
+/// X * Y with lo(X) >= 0 and Y of unknown sign: x >= 0 makes x*lo(Y) the
+/// only lower and x*hi(Y) the only upper family, four candidates total.
+inline Interval iMulPU(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(detail::nonNegOk(X));
+  double N1 = X.NegLo * (-Y.NegLo); // -(lo(X)*lo(Y))
+  double N2 = X.Hi * Y.NegLo;       // -(hi(X)*lo(Y))
+  double H1 = (-X.NegLo) * Y.Hi;    // lo(X)*hi(Y)
+  double H2 = X.Hi * Y.Hi;          // hi(X)*hi(Y)
+  double Check = (N1 + N2) + (H1 + H2);
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iMul(X, Y);
+  return Interval(N1 > N2 ? N1 : N2, H1 > H2 ? H1 : H2);
+}
+
+/// X * Y with hi(X) <= 0 and Y of unknown sign.
+inline Interval iMulNU(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(detail::nonPosOk(X));
+  double N1 = X.NegLo * Y.Hi;    // -(lo(X)*hi(Y))
+  double N2 = (-X.Hi) * Y.Hi;    // -(hi(X)*hi(Y))
+  double H1 = X.NegLo * Y.NegLo; // lo(X)*lo(Y)
+  double H2 = X.Hi * (-Y.NegLo); // hi(X)*lo(Y)
+  double Check = (N1 + N2) + (H1 + H2);
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iMul(X, Y);
+  return Interval(N1 > N2 ? N1 : N2, H1 > H2 ? H1 : H2);
+}
+
+/// X / Y with lo(Y) > 0: the divisor is 0-free by precondition, so the
+/// zero-containment case analysis and half the quotients disappear.
+inline Interval iDivP(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(!(-Y.NegLo <= 0.0)); // lo(Y) > 0 (NaN endpoints pass)
+  double Yl = -Y.NegLo;
+  double N1 = X.NegLo / Yl;   // -(lo(X)/lo(Y))
+  double N2 = X.NegLo / Y.Hi; // -(lo(X)/hi(Y))
+  double H1 = X.Hi / Yl;      // hi(X)/lo(Y)
+  double H2 = X.Hi / Y.Hi;    // hi(X)/hi(Y)
+  double Check = (N1 + N2) + (H1 + H2);
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iDiv(X, Y);
+  return Interval(N1 > N2 ? N1 : N2, H1 > H2 ? H1 : H2);
+}
+
+/// X / Y with hi(Y) < 0.
+inline Interval iDivN(const Interval &X, const Interval &Y) {
+  assertRoundUpward();
+  assert(!(Y.Hi >= 0.0)); // hi(Y) < 0 (NaN endpoints pass)
+  double N1 = (-X.Hi) / Y.Hi;    // -(hi(X)/hi(Y))
+  double N2 = X.Hi / Y.NegLo;    // -(hi(X)/lo(Y))
+  double H1 = (-X.NegLo) / Y.Hi; // lo(X)/hi(Y)
+  double H2 = X.NegLo / Y.NegLo; // lo(X)/lo(Y)
+  double Check = (N1 + N2) + (H1 + H2);
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iDiv(X, Y);
+  return Interval(N1 > N2 ? N1 : N2, H1 > H2 ? H1 : H2);
+}
+
+/// X*Y + C as one fused operation: each candidate product of iMul gains
+/// the addend through a hardware fma, so every endpoint is rounded once
+/// instead of twice. The result contains {u*v + w : u in X, v in Y,
+/// w in C} and is a subset of iAdd(iMul(X, Y), C) (single rounding can
+/// only tighten). Hardware FMA honours the dynamic rounding mode; libm's
+/// software fallback does not, so without __FMA__ this degrades to the
+/// unfused composition instead.
+inline Interval iFma(const Interval &X, const Interval &Y,
+                     const Interval &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  double Xn = X.NegLo, Xh = X.Hi, Yn = Y.NegLo, Yh = Y.Hi;
+  double Cn = C.NegLo, Ch = C.Hi;
+  // RU(-(p) + (-lo(C))) >= -(p + lo(C)) for each candidate product p; the
+  // max over all candidates bounds -(lo(X*Y) + lo(C)) from above.
+  double N1 = __builtin_fma(-Xn, Yn, Cn);
+  double N2 = __builtin_fma(Xn, Yh, Cn);
+  double N3 = __builtin_fma(Xh, Yn, Cn);
+  double N4 = __builtin_fma(-Xh, Yh, Cn);
+  double H1 = __builtin_fma(Xn, Yn, Ch);
+  double H2 = __builtin_fma(-Xn, Yh, Ch);
+  double H3 = __builtin_fma(Xh, -Yn, Ch);
+  double H4 = __builtin_fma(Xh, Yh, Ch);
+  double Check = ((N1 + N2) + (N3 + N4)) + ((H1 + H2) + (H3 + H4));
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return Interval(detail::max4(N1, N2, N3, N4),
+                  detail::max4(H1, H2, H3, H4));
+#else
+  return iAdd(iMul(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with lo(X) >= 0 and lo(Y) >= 0: one fma per endpoint.
+inline Interval iFmaPP(const Interval &X, const Interval &Y,
+                       const Interval &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonNegOk(X) && detail::nonNegOk(Y));
+  double N = __builtin_fma(X.NegLo, -Y.NegLo, C.NegLo);
+  double H = __builtin_fma(X.Hi, Y.Hi, C.Hi);
+  if (__builtin_expect(std::isnan(N + H), 0))
+    return iAdd(iMul(X, Y), C);
+  return Interval(N, H);
+#else
+  return iAdd(iMulPP(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with lo(X) >= 0 and hi(Y) <= 0.
+inline Interval iFmaPN(const Interval &X, const Interval &Y,
+                       const Interval &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonNegOk(X) && detail::nonPosOk(Y));
+  double N = __builtin_fma(X.Hi, Y.NegLo, C.NegLo);
+  double H = __builtin_fma(-X.NegLo, Y.Hi, C.Hi);
+  if (__builtin_expect(std::isnan(N + H), 0))
+    return iAdd(iMul(X, Y), C);
+  return Interval(N, H);
+#else
+  return iAdd(iMulPN(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with hi(X) <= 0 and hi(Y) <= 0.
+inline Interval iFmaNN(const Interval &X, const Interval &Y,
+                       const Interval &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonPosOk(X) && detail::nonPosOk(Y));
+  double N = __builtin_fma(-X.Hi, Y.Hi, C.NegLo);
+  double H = __builtin_fma(X.NegLo, Y.NegLo, C.Hi);
+  if (__builtin_expect(std::isnan(N + H), 0))
+    return iAdd(iMul(X, Y), C);
+  return Interval(N, H);
+#else
+  return iAdd(iMulNN(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with lo(X) >= 0, Y of unknown sign.
+inline Interval iFmaPU(const Interval &X, const Interval &Y,
+                       const Interval &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonNegOk(X));
+  double N1 = __builtin_fma(X.NegLo, -Y.NegLo, C.NegLo);
+  double N2 = __builtin_fma(X.Hi, Y.NegLo, C.NegLo);
+  double H1 = __builtin_fma(-X.NegLo, Y.Hi, C.Hi);
+  double H2 = __builtin_fma(X.Hi, Y.Hi, C.Hi);
+  double Check = (N1 + N2) + (H1 + H2);
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return Interval(N1 > N2 ? N1 : N2, H1 > H2 ? H1 : H2);
+#else
+  return iAdd(iMulPU(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with hi(X) <= 0, Y of unknown sign.
+inline Interval iFmaNU(const Interval &X, const Interval &Y,
+                       const Interval &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonPosOk(X));
+  double N1 = __builtin_fma(X.NegLo, Y.Hi, C.NegLo);
+  double N2 = __builtin_fma(-X.Hi, Y.Hi, C.NegLo);
+  double H1 = __builtin_fma(X.NegLo, Y.NegLo, C.Hi);
+  double H2 = __builtin_fma(X.Hi, -Y.NegLo, C.Hi);
+  double Check = (N1 + N2) + (H1 + H2);
+  if (__builtin_expect(std::isnan(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return Interval(N1 > N2 ? N1 : N2, H1 > H2 ? H1 : H2);
+#else
+  return iAdd(iMulNU(X, Y), C);
+#endif
 }
 
 //===----------------------------------------------------------------------===//

@@ -161,6 +161,240 @@ inline IntervalSse iDiv(const IntervalSse &X, const IntervalSse &Y) {
       _mm_max_pd(_mm_max_pd(V1, V2), _mm_max_pd(V3, V4)));
 }
 
+//===----------------------------------------------------------------------===//
+// Sign-specialized multiply/divide and fused multiply-add
+//===----------------------------------------------------------------------===//
+//
+// SSE counterparts of the scalar iMulPP/... family (see Interval.h for the
+// preconditions and the soundness discussion). With both operand signs
+// proven, the four packed products and three maxima of the generic iMul
+// collapse to a single packed multiply plus one or two sign-flip
+// shuffles -- both extremal endpoint candidates sit in the right lanes of
+// one product. Every variant keeps a NaN check with fallback to the
+// generic operation, so a violated precondition costs speed, never
+// soundness.
+
+/// X * Y with lo(X) >= 0 and lo(Y) >= 0: R = X * [lo(Y), hi(Y)].
+inline IntervalSse iMulPP(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(detail::nonNegOk(X.toInterval()) &&
+         detail::nonNegOk(Y.toInterval()));
+  // [xn, xh] * [-yn, yh] = [-(lo*lo), hi*hi]
+  __m128d R = _mm_mul_pd(X.V, _mm_xor_pd(Y.V, detail::signLoMask()));
+  if (__builtin_expect(detail::anyNaN(R), 0))
+    return iMul(X, Y);
+  return IntervalSse(R);
+}
+
+/// X * Y with lo(X) >= 0 and hi(Y) <= 0.
+inline IntervalSse iMulPN(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(detail::nonNegOk(X.toInterval()) &&
+         detail::nonPosOk(Y.toInterval()));
+  // [xh, -xn] * [yn, yh] = [-(hi(X)*lo(Y)), lo(X)*hi(Y)]
+  __m128d A = _mm_xor_pd(detail::swapLanes(X.V), detail::signHiMask());
+  __m128d R = _mm_mul_pd(A, Y.V);
+  if (__builtin_expect(detail::anyNaN(R), 0))
+    return iMul(X, Y);
+  return IntervalSse(R);
+}
+
+/// X * Y with hi(X) <= 0 and hi(Y) <= 0.
+inline IntervalSse iMulNN(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(detail::nonPosOk(X.toInterval()) &&
+         detail::nonPosOk(Y.toInterval()));
+  // [-xh, xn] * [yh, yn] = [-(hi*hi), lo*lo]
+  __m128d A = _mm_xor_pd(detail::swapLanes(X.V), detail::signLoMask());
+  __m128d R = _mm_mul_pd(A, detail::swapLanes(Y.V));
+  if (__builtin_expect(detail::anyNaN(R), 0))
+    return iMul(X, Y);
+  return IntervalSse(R);
+}
+
+/// X * Y with lo(X) >= 0, Y of unknown sign: two products and one max.
+inline IntervalSse iMulPU(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(detail::nonNegOk(X.toInterval()));
+  // [xn, -xn] * [-yn, yh] = [-(lo(X)*lo(Y)), lo(X)*hi(Y)]
+  __m128d A1 = _mm_xor_pd(detail::broadcastLo(X.V), detail::signHiMask());
+  __m128d B1 = _mm_xor_pd(Y.V, detail::signLoMask());
+  __m128d V1 = _mm_mul_pd(A1, B1);
+  // [xh, xh] * [yn, yh] = [-(hi(X)*lo(Y)), hi(X)*hi(Y)]
+  __m128d V2 = _mm_mul_pd(detail::broadcastHi(X.V), Y.V);
+  __m128d Check = _mm_add_pd(V1, V2);
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iMul(X, Y);
+  return IntervalSse(_mm_max_pd(V1, V2));
+}
+
+/// X * Y with hi(X) <= 0, Y of unknown sign.
+inline IntervalSse iMulNU(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(detail::nonPosOk(X.toInterval()));
+  // [xn, xn] * [yh, yn] = [-(lo(X)*hi(Y)), lo(X)*lo(Y)]
+  __m128d V1 =
+      _mm_mul_pd(detail::broadcastLo(X.V), detail::swapLanes(Y.V));
+  // [-xh, xh] * [yh, -yn] = [-(hi(X)*hi(Y)), hi(X)*lo(Y)]
+  __m128d A2 = _mm_xor_pd(detail::broadcastHi(X.V), detail::signLoMask());
+  __m128d B2 = _mm_xor_pd(detail::swapLanes(Y.V), detail::signHiMask());
+  __m128d V2 = _mm_mul_pd(A2, B2);
+  __m128d Check = _mm_add_pd(V1, V2);
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iMul(X, Y);
+  return IntervalSse(_mm_max_pd(V1, V2));
+}
+
+/// X / Y with lo(Y) > 0: two packed divisions, no zero-containment test.
+inline IntervalSse iDivP(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(!(Y.toInterval().lo() <= 0.0));
+  // X / [lo(Y), lo(Y)] and X / [hi(Y), hi(Y)] cover all four candidates.
+  __m128d Yl = _mm_xor_pd(detail::broadcastLo(Y.V), _mm_set1_pd(-0.0));
+  __m128d V1 = _mm_div_pd(X.V, Yl);
+  __m128d V2 = _mm_div_pd(X.V, detail::broadcastHi(Y.V));
+  __m128d Check = _mm_add_pd(V1, V2);
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iDiv(X, Y);
+  return IntervalSse(_mm_max_pd(V1, V2));
+}
+
+/// X / Y with hi(Y) < 0.
+inline IntervalSse iDivN(const IntervalSse &X, const IntervalSse &Y) {
+  assertRoundUpward();
+  assert(!(Y.toInterval().hi() >= 0.0));
+  // [xh, xn] / [-yh, -yh] = [-(hi(X)/hi(Y)), lo(X)/hi(Y)]
+  __m128d A = detail::swapLanes(X.V);
+  __m128d Yh = _mm_xor_pd(detail::broadcastHi(Y.V), _mm_set1_pd(-0.0));
+  __m128d V1 = _mm_div_pd(A, Yh);
+  // [xh, xn] / [yn, yn] = [-(hi(X)/lo(Y)), lo(X)/lo(Y)]
+  __m128d V2 = _mm_div_pd(A, detail::broadcastLo(Y.V));
+  __m128d Check = _mm_add_pd(V1, V2);
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iDiv(X, Y);
+  return IntervalSse(_mm_max_pd(V1, V2));
+}
+
+/// Fused X*Y + C: the four candidate products of iMul each gain the
+/// addend lanes [-lo(C), hi(C)] through one packed fma (single outward
+/// rounding per candidate; subset of iAdd(iMul(X, Y), C)). Requires
+/// hardware FMA, which honours MXCSR; without it the unfused composition
+/// is used.
+inline IntervalSse iFma(const IntervalSse &X, const IntervalSse &Y,
+                        const IntervalSse &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  __m128d Xn = detail::broadcastLo(X.V);
+  __m128d Xh = detail::broadcastHi(X.V);
+  __m128d Yn = detail::broadcastLo(Y.V);
+  __m128d Yh = detail::broadcastHi(Y.V);
+  __m128d YnNegLo = _mm_xor_pd(Yn, detail::signLoMask());
+  __m128d YnNegHi = detail::swapLanes(YnNegLo);
+  __m128d XnNegHi = _mm_xor_pd(Xn, detail::signHiMask());
+  __m128d XhNegLo = _mm_xor_pd(Xh, detail::signLoMask());
+  __m128d V1 = _mm_fmadd_pd(Xn, YnNegLo, C.V);
+  __m128d V2 = _mm_fmadd_pd(Xh, YnNegHi, C.V);
+  __m128d V3 = _mm_fmadd_pd(Yh, XnNegHi, C.V);
+  __m128d V4 = _mm_fmadd_pd(Yh, XhNegLo, C.V);
+  __m128d Check = _mm_add_pd(_mm_add_pd(V1, V2), _mm_add_pd(V3, V4));
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalSse(_mm_max_pd(_mm_max_pd(V1, V2), _mm_max_pd(V3, V4)));
+#else
+  return iAdd(iMul(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with lo(X) >= 0 and lo(Y) >= 0: one packed fma.
+inline IntervalSse iFmaPP(const IntervalSse &X, const IntervalSse &Y,
+                          const IntervalSse &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonNegOk(X.toInterval()) &&
+         detail::nonNegOk(Y.toInterval()));
+  __m128d R =
+      _mm_fmadd_pd(X.V, _mm_xor_pd(Y.V, detail::signLoMask()), C.V);
+  if (__builtin_expect(detail::anyNaN(R), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalSse(R);
+#else
+  return iAdd(iMulPP(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with lo(X) >= 0 and hi(Y) <= 0.
+inline IntervalSse iFmaPN(const IntervalSse &X, const IntervalSse &Y,
+                          const IntervalSse &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonNegOk(X.toInterval()) &&
+         detail::nonPosOk(Y.toInterval()));
+  __m128d A = _mm_xor_pd(detail::swapLanes(X.V), detail::signHiMask());
+  __m128d R = _mm_fmadd_pd(A, Y.V, C.V);
+  if (__builtin_expect(detail::anyNaN(R), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalSse(R);
+#else
+  return iAdd(iMulPN(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with hi(X) <= 0 and hi(Y) <= 0.
+inline IntervalSse iFmaNN(const IntervalSse &X, const IntervalSse &Y,
+                          const IntervalSse &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonPosOk(X.toInterval()) &&
+         detail::nonPosOk(Y.toInterval()));
+  __m128d A = _mm_xor_pd(detail::swapLanes(X.V), detail::signLoMask());
+  __m128d R = _mm_fmadd_pd(A, detail::swapLanes(Y.V), C.V);
+  if (__builtin_expect(detail::anyNaN(R), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalSse(R);
+#else
+  return iAdd(iMulNN(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with lo(X) >= 0, Y of unknown sign.
+inline IntervalSse iFmaPU(const IntervalSse &X, const IntervalSse &Y,
+                          const IntervalSse &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonNegOk(X.toInterval()));
+  __m128d A1 = _mm_xor_pd(detail::broadcastLo(X.V), detail::signHiMask());
+  __m128d B1 = _mm_xor_pd(Y.V, detail::signLoMask());
+  __m128d V1 = _mm_fmadd_pd(A1, B1, C.V);
+  __m128d V2 = _mm_fmadd_pd(detail::broadcastHi(X.V), Y.V, C.V);
+  __m128d Check = _mm_add_pd(V1, V2);
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalSse(_mm_max_pd(V1, V2));
+#else
+  return iAdd(iMulPU(X, Y), C);
+#endif
+}
+
+/// Fused X*Y + C with hi(X) <= 0, Y of unknown sign.
+inline IntervalSse iFmaNU(const IntervalSse &X, const IntervalSse &Y,
+                          const IntervalSse &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  assert(detail::nonPosOk(X.toInterval()));
+  __m128d V1 =
+      _mm_fmadd_pd(detail::broadcastLo(X.V), detail::swapLanes(Y.V), C.V);
+  __m128d A2 = _mm_xor_pd(detail::broadcastHi(X.V), detail::signLoMask());
+  __m128d B2 = _mm_xor_pd(detail::swapLanes(Y.V), detail::signHiMask());
+  __m128d V2 = _mm_fmadd_pd(A2, B2, C.V);
+  __m128d Check = _mm_add_pd(V1, V2);
+  if (__builtin_expect(detail::anyNaN(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalSse(_mm_max_pd(V1, V2));
+#else
+  return iAdd(iMulNU(X, Y), C);
+#endif
+}
+
 /// Remaining operations route through the scalar implementation (they are
 /// rare in inner loops; sqrt dominates only in potrf where it is O(n) of
 /// an O(n^3) computation).

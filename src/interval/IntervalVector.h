@@ -161,6 +161,37 @@ inline IntervalX2 iDiv(const IntervalX2 &X, const IntervalX2 &Y) {
       _mm256_max_pd(_mm256_max_pd(V1, V2), _mm256_max_pd(V3, V4)));
 }
 
+/// Fused X*Y + C, lane-local lift of the SSE iFma: the four candidate
+/// products each gain the addend lanes through one packed fma (single
+/// outward rounding per candidate). Requires hardware FMA; otherwise the
+/// unfused composition.
+inline IntervalX2 iFma(const IntervalX2 &X, const IntervalX2 &Y,
+                       const IntervalX2 &C) {
+#if defined(__FMA__)
+  assertRoundUpward();
+  __m256d Xn = detail::broadcastLo256(X.V);
+  __m256d Xh = detail::broadcastHi256(X.V);
+  __m256d Yn = detail::broadcastLo256(Y.V);
+  __m256d Yh = detail::broadcastHi256(Y.V);
+  __m256d YnNegLo = _mm256_xor_pd(Yn, detail::signLoMask256());
+  __m256d YnNegHi = detail::swapLanes256(YnNegLo);
+  __m256d XnNegHi = _mm256_xor_pd(Xn, detail::signHiMask256());
+  __m256d XhNegLo = _mm256_xor_pd(Xh, detail::signLoMask256());
+  __m256d V1 = _mm256_fmadd_pd(Xn, YnNegLo, C.V);
+  __m256d V2 = _mm256_fmadd_pd(Xh, YnNegHi, C.V);
+  __m256d V3 = _mm256_fmadd_pd(Yh, XnNegHi, C.V);
+  __m256d V4 = _mm256_fmadd_pd(Yh, XhNegLo, C.V);
+  __m256d Check = _mm256_add_pd(_mm256_add_pd(V1, V2),
+                                _mm256_add_pd(V3, V4));
+  if (__builtin_expect(detail::anyNaN256(Check), 0))
+    return iAdd(iMul(X, Y), C);
+  return IntervalX2(
+      _mm256_max_pd(_mm256_max_pd(V1, V2), _mm256_max_pd(V3, V4)));
+#else
+  return iAdd(iMul(X, Y), C);
+#endif
+}
+
 inline IntervalX2 iSqrt(const IntervalX2 &X) {
   return IntervalX2::fromIntervals(iSqrt(X.interval(0)),
                                    iSqrt(X.interval(1)));
@@ -233,6 +264,15 @@ inline IntervalVec<K> iDiv(const IntervalVec<K> &X, const IntervalVec<K> &Y) {
   IntervalVec<K> R;
   for (int P = 0; P < K; ++P)
     R.Part[P] = iDiv(X.Part[P], Y.Part[P]);
+  return R;
+}
+
+template <int K>
+inline IntervalVec<K> iFma(const IntervalVec<K> &X, const IntervalVec<K> &Y,
+                           const IntervalVec<K> &C) {
+  IntervalVec<K> R;
+  for (int P = 0; P < K; ++P)
+    R.Part[P] = iFma(X.Part[P], Y.Part[P], C.Part[P]);
   return R;
 }
 

@@ -114,6 +114,39 @@ inline f64i ia_sub_f64(f64i A, f64i B) { return igen::iSub(A, B); }
 inline f64i ia_mul_f64(f64i A, f64i B) { return igen::iMul(A, B); }
 inline f64i ia_div_f64(f64i A, f64i B) { return igen::iDiv(A, B); }
 inline f64i ia_neg_f64(f64i A) { return igen::iNeg(A); }
+
+// Sign-specialized variants and fused multiply-add, emitted by the
+// transformer's -O mid-end when its value-range analysis proves operand
+// signs (p = nonnegative, n = nonpositive, u = unknown; the last letter of
+// a mul/fma suffix describes the second operand). Semantically identical
+// to the generic calls -- each falls back to them at runtime if its
+// precondition turns out violated -- just cheaper.
+inline f64i ia_mul_pp_f64(f64i A, f64i B) { return igen::iMulPP(A, B); }
+inline f64i ia_mul_pn_f64(f64i A, f64i B) { return igen::iMulPN(A, B); }
+inline f64i ia_mul_nn_f64(f64i A, f64i B) { return igen::iMulNN(A, B); }
+inline f64i ia_mul_pu_f64(f64i A, f64i B) { return igen::iMulPU(A, B); }
+inline f64i ia_mul_nu_f64(f64i A, f64i B) { return igen::iMulNU(A, B); }
+inline f64i ia_div_p_f64(f64i A, f64i B) { return igen::iDivP(A, B); }
+inline f64i ia_div_n_f64(f64i A, f64i B) { return igen::iDivN(A, B); }
+inline f64i ia_fma_f64(f64i A, f64i B, f64i C) {
+  return igen::iFma(A, B, C);
+}
+inline f64i ia_fma_pp_f64(f64i A, f64i B, f64i C) {
+  return igen::iFmaPP(A, B, C);
+}
+inline f64i ia_fma_pn_f64(f64i A, f64i B, f64i C) {
+  return igen::iFmaPN(A, B, C);
+}
+inline f64i ia_fma_nn_f64(f64i A, f64i B, f64i C) {
+  return igen::iFmaNN(A, B, C);
+}
+inline f64i ia_fma_pu_f64(f64i A, f64i B, f64i C) {
+  return igen::iFmaPU(A, B, C);
+}
+inline f64i ia_fma_nu_f64(f64i A, f64i B, f64i C) {
+  return igen::iFmaNU(A, B, C);
+}
+
 inline f64i ia_sqrt_f64(f64i A) { return igen::iSqrt(A); }
 inline f64i ia_abs_f64(f64i A) { return igen::iAbs(A); }
 inline f64i ia_floor_f64(f64i A) { return igen::iFloor(A); }
@@ -337,6 +370,9 @@ inline m256di_1 ia_mul_m256di_1(m256di_1 A, m256di_1 B) {
 inline m256di_1 ia_div_m256di_1(m256di_1 A, m256di_1 B) {
   return igen::iDiv(A, B);
 }
+inline m256di_1 ia_fma_m256di_1(m256di_1 A, m256di_1 B, m256di_1 C) {
+  return igen::iFma(A, B, C);
+}
 
 inline m256di_2 ia_add_m256di_2(m256di_2 A, m256di_2 B) {
   return igen::iAdd(A, B);
@@ -349,6 +385,9 @@ inline m256di_2 ia_mul_m256di_2(m256di_2 A, m256di_2 B) {
 }
 inline m256di_2 ia_div_m256di_2(m256di_2 A, m256di_2 B) {
   return igen::iDiv(A, B);
+}
+inline m256di_2 ia_fma_m256di_2(m256di_2 A, m256di_2 B, m256di_2 C) {
+  return igen::iFma(A, B, C);
 }
 inline m256di_2 ia_sqrt_m256di_2(m256di_2 A) { return igen::iSqrt(A); }
 
@@ -363,6 +402,9 @@ inline m256di_4 ia_mul_m256di_4(m256di_4 A, m256di_4 B) {
 }
 inline m256di_4 ia_div_m256di_4(m256di_4 A, m256di_4 B) {
   return igen::iDiv(A, B);
+}
+inline m256di_4 ia_fma_m256di_4(m256di_4 A, m256di_4 B, m256di_4 C) {
+  return igen::iFma(A, B, C);
 }
 
 /// Loads/stores: an array of f64i has the layout [-lo0|hi0|-lo1|hi1|...],

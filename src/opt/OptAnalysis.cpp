@@ -1,0 +1,1635 @@
+//===- OptAnalysis.cpp - Mid-end facts for interval lowering --------------===//
+//
+// Value-range/sign analysis plus the syntactic CSE/LICM collectors.
+//
+// Soundness model for the range part: a ValueFact for an expression bounds
+// the *endpoints* of the runtime enclosure the transformed code computes
+// for that expression. Transfer functions run in the host's nearest
+// arithmetic and nudge every computed bound one ulp outward (nextDown /
+// nextUp), which covers the target's directed rounding regardless of the
+// rounding mode either side uses: for any mode, fl(s) is one of the two
+// doubles bracketing the real s, so nextDown(fl(s)) <= s <= nextUp(fl(s)).
+// Anything the analysis cannot bound becomes Top, which only costs
+// performance (a generic runtime call), never soundness.
+//
+// Runtime invariant relied upon throughout: enclosures are either fully
+// valid (both endpoints non-NaN) or fully NaN; partially-NaN intervals do
+// not occur (see src/interval/Interval.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/OptAnalysis.h"
+
+#include "analysis/ReductionAnalysis.h"
+#include "frontend/Sema.h"
+#include "interval/Ulp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+using namespace igen;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// One ulp below \p F: a lower bound for any real that rounds to F under
+/// any rounding mode. NaN collapses to -inf (no information).
+double outDown(double F) {
+  if (std::isnan(F) || F == -Inf)
+    return -Inf;
+  return nextDown(F);
+}
+
+/// One ulp above \p F (see outDown).
+double outUp(double F) {
+  if (std::isnan(F) || F == Inf)
+    return Inf;
+  return nextUp(F);
+}
+
+ValueFact joinFacts(const ValueFact &A, const ValueFact &B) {
+  ValueFact R;
+  R.Lo = std::min(A.Lo, B.Lo);
+  R.Hi = std::max(A.Hi, B.Hi);
+  R.NoNaN = A.NoNaN && B.NoNaN;
+  return R;
+}
+
+bool sameFact(const ValueFact &A, const ValueFact &B) {
+  return A.Lo == B.Lo && A.Hi == B.Hi && A.NoNaN == B.NoNaN;
+}
+
+ValueFact vNeg(const ValueFact &A) {
+  ValueFact R;
+  R.Lo = -A.Hi;
+  R.Hi = -A.Lo;
+  R.NoNaN = A.NoNaN;
+  return R;
+}
+
+ValueFact vAdd(const ValueFact &A, const ValueFact &B) {
+  if (!A.NoNaN || !B.NoNaN)
+    return ValueFact::top();
+  // Opposite infinities can meet at runtime and produce NaN endpoints.
+  if ((A.Lo == -Inf && B.Hi == Inf) || (A.Hi == Inf && B.Lo == -Inf))
+    return ValueFact::top();
+  return ValueFact::range(outDown(A.Lo + B.Lo), outUp(A.Hi + B.Hi));
+}
+
+ValueFact vSub(const ValueFact &A, const ValueFact &B) {
+  return vAdd(A, vNeg(B));
+}
+
+ValueFact vMul(const ValueFact &A, const ValueFact &B) {
+  if (!A.NoNaN || !B.NoNaN)
+    return ValueFact::top();
+  const double P[4] = {A.Lo * B.Lo, A.Lo * B.Hi, A.Hi * B.Lo, A.Hi * B.Hi};
+  double Lo = Inf, Hi = -Inf;
+  bool SawNaN = false;
+  for (double V : P) {
+    if (std::isnan(V)) {
+      // 0 * inf corner: the runtime slow path maps it to 0.
+      SawNaN = true;
+      continue;
+    }
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  if (SawNaN) {
+    Lo = std::min(Lo, 0.0);
+    Hi = std::max(Hi, 0.0);
+  }
+  ValueFact R = ValueFact::range(outDown(Lo), outUp(Hi));
+  // Exact sign information survives directed rounding (0 is a double, so
+  // rounding a nonnegative real down stays >= 0, and symmetrically).
+  if ((A.provenNonNeg() && B.provenNonNeg()) ||
+      (A.provenNonPos() && B.provenNonPos()))
+    R.Lo = std::max(R.Lo, 0.0);
+  if ((A.provenNonNeg() && B.provenNonPos()) ||
+      (A.provenNonPos() && B.provenNonNeg()))
+    R.Hi = std::min(R.Hi, 0.0);
+  return R;
+}
+
+ValueFact vDiv(const ValueFact &A, const ValueFact &B) {
+  if (!A.NoNaN || !B.NoNaN)
+    return ValueFact::top();
+  const bool PosDen = B.provenPos(), NegDen = B.provenNeg();
+  if (!PosDen && !NegDen)
+    return ValueFact::top(); // divisor may contain 0: anything can happen
+  // A zero-free, NaN-free divisor keeps the runtime out of the NaN paths;
+  // the worst case (inf/inf) falls back to the entire line, not NaN.
+  ValueFact R;
+  R.NoNaN = true;
+  const bool InfNum = A.Lo == -Inf || A.Hi == Inf;
+  const bool InfDen = PosDen ? B.Hi == Inf : B.Lo == -Inf;
+  if (InfNum && InfDen)
+    return R; // [-inf, inf], NoNaN
+  const double P[4] = {A.Lo / B.Lo, A.Lo / B.Hi, A.Hi / B.Lo, A.Hi / B.Hi};
+  double Lo = Inf, Hi = -Inf;
+  for (double V : P) {
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  R.Lo = outDown(Lo);
+  R.Hi = outUp(Hi);
+  if ((A.provenNonNeg() && PosDen) || (A.provenNonPos() && NegDen))
+    R.Lo = std::max(R.Lo, 0.0);
+  if ((A.provenNonNeg() && NegDen) || (A.provenNonPos() && PosDen))
+    R.Hi = std::min(R.Hi, 0.0);
+  return R;
+}
+
+ValueFact vSqrt(const ValueFact &A) {
+  if (!A.provenNonNeg())
+    return ValueFact::top(); // a negative lo endpoint yields NaN
+  ValueFact R;
+  R.NoNaN = true;
+  R.Lo = A.Lo > 0.0 ? std::max(0.0, outDown(std::sqrt(A.Lo))) : 0.0;
+  R.Hi = A.Hi == Inf ? Inf : outUp(std::sqrt(A.Hi));
+  return R;
+}
+
+ValueFact vAbs(const ValueFact &A) {
+  // iAbs only selects/negates existing endpoints; no rounding happens.
+  ValueFact R;
+  R.NoNaN = A.NoNaN;
+  if (A.Lo >= 0.0) {
+    R.Lo = A.Lo;
+    R.Hi = A.Hi;
+  } else if (A.Hi <= 0.0) {
+    R.Lo = -A.Hi;
+    R.Hi = -A.Lo;
+  } else {
+    R.Lo = 0.0;
+    R.Hi = std::max(-A.Lo, A.Hi);
+  }
+  return R;
+}
+
+/// Widens \p F outward to the single-precision grid, for casts to float.
+ValueFact toFloatGrid(const ValueFact &A) {
+  ValueFact R;
+  R.NoNaN = A.NoNaN; // float overflow saturates to +-inf, never NaN
+  R.Lo = A.Lo == -Inf
+             ? -Inf
+             : static_cast<double>(
+                   std::nextafterf(static_cast<float>(A.Lo), -INFINITY));
+  R.Hi = A.Hi == Inf
+             ? Inf
+             : static_cast<double>(
+                   std::nextafterf(static_cast<float>(A.Hi), INFINITY));
+  return R;
+}
+
+bool finiteBounds(const ValueFact &A) {
+  return A.NoNaN && A.Lo > -Inf && A.Hi < Inf;
+}
+
+//===----------------------------------------------------------------------===//
+// Range analysis
+//===----------------------------------------------------------------------===//
+
+using VarEnv = std::map<const VarDecl *, ValueFact>;
+
+ValueFact envGet(const VarEnv &E, const VarDecl *D) {
+  auto It = E.find(D);
+  return It == E.end() ? ValueFact::top() : It->second;
+}
+
+VarEnv joinEnv(const VarEnv &A, const VarEnv &B) {
+  VarEnv R;
+  for (const auto &[D, F] : A)
+    R[D] = joinFacts(F, envGet(B, D));
+  for (const auto &[D, F] : B)
+    if (!A.count(D))
+      R[D] = ValueFact::top(); // only one side has info: unknown before
+  return R;
+}
+
+bool sameEnv(const VarEnv &A, const VarEnv &B) {
+  for (const auto &[D, F] : A)
+    if (!sameFact(F, envGet(B, D)))
+      return false;
+  for (const auto &[D, F] : B)
+    if (!A.count(D) && !F.isTop())
+      return false;
+  return true;
+}
+
+class RangeAnalyzer {
+public:
+  RangeAnalyzer(OptFunctionInfo &Info, const OptOptions &Opts)
+      : Info(Info), Opts(Opts) {}
+
+  void run(const FunctionDecl &F) {
+    if (F.Body)
+      findAddrTaken(F.Body);
+    VarEnv Env; // parameters are runtime doubles: unknown, possibly NaN
+    if (F.Body)
+      analyzeStmt(F.Body, Env);
+  }
+
+private:
+  OptFunctionInfo &Info;
+  const OptOptions &Opts;
+  std::set<const VarDecl *> AddrTaken;
+  bool Record = true;
+
+  bool tracked(const VarDecl *D) const {
+    return D && D->Ty && D->Ty->isFloating() && !AddrTaken.count(D);
+  }
+
+  void record(const Expr *E, const ValueFact &F) {
+    if (!Record || F.isTop())
+      return;
+    auto It = Info.Facts.find(E);
+    if (It == Info.Facts.end())
+      Info.Facts.emplace(E, F);
+    else
+      It->second = joinFacts(It->second, F);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  ValueFact evalExpr(const Expr *E, VarEnv &Env) {
+    ValueFact F = evalExprImpl(E, Env);
+    if (std::isnan(F.Lo))
+      F.Lo = -Inf;
+    if (std::isnan(F.Hi))
+      F.Hi = Inf;
+    record(E, F);
+    return F;
+  }
+
+  ValueFact evalExprImpl(const Expr *E, VarEnv &Env) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral: {
+      const double V = static_cast<double>(cast<IntLiteralExpr>(E)->Value);
+      if (std::fabs(V) < 0x1p53)
+        return ValueFact::range(V, V);
+      return ValueFact::range(outDown(V), outUp(V));
+    }
+    case Expr::Kind::FloatLiteral:
+      return literalFact(cast<FloatLiteralExpr>(E));
+    case Expr::Kind::DeclRef: {
+      const VarDecl *D = cast<DeclRefExpr>(E)->Decl;
+      return tracked(D) ? envGet(Env, D) : ValueFact::top();
+    }
+    case Expr::Kind::Paren:
+      return evalExpr(cast<ParenExpr>(E)->Sub, Env);
+    case Expr::Kind::Unary:
+      return evalUnary(cast<UnaryExpr>(E), Env);
+    case Expr::Kind::Binary:
+      return evalBinary(cast<BinaryExpr>(E), Env);
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      evalExpr(C->Cond, Env);
+      ValueFact T = evalExpr(C->Then, Env);
+      ValueFact El = evalExpr(C->Else, Env);
+      return joinFacts(T, El);
+    }
+    case Expr::Kind::Call:
+      return evalCall(cast<CallExpr>(E), Env);
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      evalExpr(I->Base, Env);
+      evalExpr(I->Idx, Env);
+      return ValueFact::top(); // memory contents are unknown
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      ValueFact Sub = evalExpr(C->Sub, Env);
+      if (!C->To || !C->To->isFloating())
+        return ValueFact::top();
+      if (C->To->kind() == Type::Kind::Float)
+        return toFloatGrid(Sub);
+      return Sub; // widening to double is value-preserving
+    }
+    }
+    return ValueFact::top();
+  }
+
+  /// Mirrors the transformer's constant lifting (IntervalTransform.cpp,
+  /// FloatLiteral case): integer-valued doubles become exact points,
+  /// everything else the bracketing [prev(v), next(v)] pair.
+  ValueFact literalFact(const FloatLiteralExpr *F) {
+    const double V = F->Value;
+    if (std::isnan(V))
+      return ValueFact::top();
+    if (F->IsTolerance) {
+      const double H = outUp(std::fabs(V));
+      return ValueFact::range(-H, H);
+    }
+    if (F->IsFloatSuffix) {
+      ValueFact R = ValueFact::range(V, V);
+      return toFloatGrid(R);
+    }
+    if (V == std::trunc(V) && std::fabs(V) < 0x1p53)
+      return ValueFact::range(V, V);
+    return ValueFact::range(nextDown(V), nextUp(V));
+  }
+
+  ValueFact evalUnary(const UnaryExpr *U, VarEnv &Env) {
+    switch (U->O) {
+    case UnaryExpr::Op::Neg:
+      return vNeg(evalExpr(U->Sub, Env));
+    case UnaryExpr::Op::Plus:
+      return evalExpr(U->Sub, Env);
+    case UnaryExpr::Op::PreInc:
+    case UnaryExpr::Op::PreDec:
+    case UnaryExpr::Op::PostInc:
+    case UnaryExpr::Op::PostDec: {
+      evalExpr(U->Sub, Env);
+      if (const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(U->Sub)))
+        if (tracked(Ref->Decl))
+          Env[Ref->Decl] = ValueFact::top();
+      return ValueFact::top();
+    }
+    case UnaryExpr::Op::Deref:
+      evalExpr(U->Sub, Env);
+      return ValueFact::top();
+    default:
+      evalExpr(U->Sub, Env);
+      return ValueFact::top();
+    }
+  }
+
+  ValueFact evalBinary(const BinaryExpr *B, VarEnv &Env) {
+    if (B->isAssignment())
+      return evalAssignment(B, Env);
+    ValueFact L = evalExpr(B->LHS, Env);
+    ValueFact R = evalExpr(B->RHS, Env);
+    const bool Floating = B->type() && B->type()->isFloating();
+    if (!Floating)
+      return ValueFact::top();
+    switch (B->O) {
+    case BinaryExpr::Op::Add:
+      return vAdd(L, R);
+    case BinaryExpr::Op::Sub:
+      return vSub(L, R);
+    case BinaryExpr::Op::Mul:
+      return vMul(L, R);
+    case BinaryExpr::Op::Div:
+      return vDiv(L, R);
+    default:
+      return ValueFact::top();
+    }
+  }
+
+  ValueFact evalAssignment(const BinaryExpr *B, VarEnv &Env) {
+    // Record the LHS with its pre-store fact: that is the value a
+    // compound assignment reads.
+    const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(B->LHS));
+    if (Ref) {
+      ValueFact Old =
+          tracked(Ref->Decl) ? envGet(Env, Ref->Decl) : ValueFact::top();
+      record(B->LHS, Old);
+      if (B->LHS != ignoreParens(B->LHS))
+        record(ignoreParens(B->LHS), Old);
+    } else {
+      evalExpr(B->LHS, Env); // records index/deref subexpressions
+    }
+    ValueFact R = evalExpr(B->RHS, Env);
+    ValueFact New = ValueFact::top();
+    if (Ref && tracked(Ref->Decl)) {
+      ValueFact Old = envGet(Env, Ref->Decl);
+      switch (B->O) {
+      case BinaryExpr::Op::Assign:
+        New = R;
+        break;
+      case BinaryExpr::Op::AddAssign:
+        New = vAdd(Old, R);
+        break;
+      case BinaryExpr::Op::SubAssign:
+        New = vSub(Old, R);
+        break;
+      case BinaryExpr::Op::MulAssign:
+        New = vMul(Old, R);
+        break;
+      case BinaryExpr::Op::DivAssign:
+        New = vDiv(Old, R);
+        break;
+      default:
+        break;
+      }
+      Env[Ref->Decl] = New;
+    }
+    return New;
+  }
+
+  ValueFact evalCall(const CallExpr *C, VarEnv &Env) {
+    std::vector<ValueFact> Args;
+    Args.reserve(C->Args.size());
+    for (const Expr *A : C->Args)
+      Args.push_back(evalExpr(A, Env));
+    if (classifyCallee(C->Callee) != CalleeKind::MathFunction)
+      return ValueFact::top();
+    std::string N = C->Callee;
+    if (N.size() > 1 && N.back() == 'f' && N != "fabsf")
+      N.pop_back(); // sinf -> sin etc.
+    if (N == "fabsf")
+      N = "fabs";
+    const ValueFact A0 = Args.empty() ? ValueFact::top() : Args[0];
+    if (N == "sqrt")
+      return vSqrt(A0);
+    if (N == "fabs")
+      return vAbs(A0);
+    if (N == "exp")
+      return A0.NoNaN ? ValueFact::range(0.0, Inf) : ValueFact::top();
+    if ((N == "sin" || N == "cos" || N == "atan") && finiteBounds(A0))
+      return ValueFact::range(-2.0, 2.0); // unit range + libm slop
+    if (N == "tan" && finiteBounds(A0)) {
+      ValueFact R; // poles yield the entire line, but never NaN
+      R.NoNaN = true;
+      return R;
+    }
+    if (N == "floor" && A0.NoNaN)
+      return ValueFact::range(std::floor(A0.Lo), std::floor(A0.Hi));
+    if (N == "ceil" && A0.NoNaN)
+      return ValueFact::range(std::ceil(A0.Lo), std::ceil(A0.Hi));
+    if ((N == "fmin" || N == "fmax") && Args.size() == 2 && A0.NoNaN &&
+        Args[1].NoNaN) {
+      const ValueFact &A1 = Args[1];
+      if (N == "fmin")
+        return ValueFact::range(std::min(A0.Lo, A1.Lo),
+                                std::min(A0.Hi, A1.Hi));
+      return ValueFact::range(std::max(A0.Lo, A1.Lo),
+                              std::max(A0.Hi, A1.Hi));
+    }
+    return ValueFact::top();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Branch-guard refinement
+  //===--------------------------------------------------------------------===//
+
+  /// Narrows \p Env assuming the condition evaluated to the given truth
+  /// value. Only sound under the Exception branch policy: a branch runs
+  /// iff its interval comparison is *certainly* true/false, which both
+  /// orders the endpoints and excludes NaN.
+  void refineByCond(const Expr *Cond, bool IsTrue, VarEnv &Env) {
+    Cond = ignoreParens(Cond);
+    if (const auto *U = dynCast<UnaryExpr>(Cond)) {
+      if (U->O == UnaryExpr::Op::LogicalNot)
+        refineByCond(U->Sub, !IsTrue, Env);
+      return;
+    }
+    const auto *B = dynCast<BinaryExpr>(Cond);
+    if (!B)
+      return;
+    if (B->O == BinaryExpr::Op::LAnd && IsTrue) {
+      refineByCond(B->LHS, true, Env);
+      refineByCond(B->RHS, true, Env);
+      return;
+    }
+    if (B->O == BinaryExpr::Op::LOr && !IsTrue) {
+      refineByCond(B->LHS, false, Env);
+      refineByCond(B->RHS, false, Env);
+      return;
+    }
+    if (!B->isComparison())
+      return;
+    // Normalize to L < R / L <= R by swapping operands for > and >=.
+    const Expr *L = B->LHS, *R = B->RHS;
+    bool Strict;
+    switch (B->O) {
+    case BinaryExpr::Op::LT:
+      Strict = true;
+      break;
+    case BinaryExpr::Op::LE:
+      Strict = false;
+      break;
+    case BinaryExpr::Op::GT:
+      std::swap(L, R);
+      Strict = true;
+      break;
+    case BinaryExpr::Op::GE:
+      std::swap(L, R);
+      Strict = false;
+      break;
+    default:
+      return; // ==/!= carry no usable endpoint information
+    }
+    // tbool semantics (Interval.h): L < R is True iff hi(L) < lo(R) and
+    // False iff lo(L) >= hi(R); L <= R is True iff hi(L) <= lo(R) and
+    // False iff lo(L) > hi(R). Either verdict orders real (non-NaN)
+    // endpoints, so the refined variable also gains NoNaN.
+    VarEnv Snapshot = Env;
+    auto factOf = [&](const Expr *E) { return evalNoSideEffects(E, Snapshot); };
+    auto refineVar = [&](const Expr *Side, bool IsUpper, double Bound,
+                         bool StrictBound) {
+      const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(Side));
+      if (!Ref || !tracked(Ref->Decl))
+        return;
+      if (!Ref->type() || !Ref->type()->isFloating())
+        return;
+      ValueFact F = envGet(Env, Ref->Decl);
+      F.NoNaN = true;
+      if (IsUpper)
+        F.Hi = std::min(F.Hi, StrictBound ? outDown(Bound) : Bound);
+      else
+        F.Lo = std::max(F.Lo, StrictBound ? outUp(Bound) : Bound);
+      Env[Ref->Decl] = F;
+    };
+    const ValueFact LF = factOf(L), RF = factOf(R);
+    if (IsTrue) {
+      // hi(L) < lo(R) <= RF.Hi  and  LF.Lo <= hi(L) ... lo(R) > ...
+      refineVar(L, /*IsUpper=*/true, RF.Hi, Strict);
+      refineVar(R, /*IsUpper=*/false, LF.Lo, Strict);
+    } else {
+      // lo(L) >= hi(R) >= RF.Lo  (strict for <=)
+      refineVar(L, /*IsUpper=*/false, RF.Lo, !Strict);
+      refineVar(R, /*IsUpper=*/true, LF.Hi, !Strict);
+    }
+  }
+
+  /// Evaluates an expression for its fact only: no recording, no
+  /// environment updates (used on already-evaluated condition operands).
+  ValueFact evalNoSideEffects(const Expr *E, VarEnv Scratch) {
+    bool Saved = Record;
+    Record = false;
+    ValueFact F = evalExpr(E, Scratch);
+    Record = Saved;
+    return F;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void analyzeStmt(const Stmt *S, VarEnv &Env) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        analyzeStmt(Sub, Env);
+      return;
+    case Stmt::Kind::DeclStmt:
+      for (const VarDecl *D : cast<DeclStmt>(S)->Decls) {
+        if (D->Init) {
+          ValueFact F = evalExpr(D->Init, Env);
+          if (tracked(D))
+            Env[D] = F;
+        } else if (tracked(D)) {
+          Env[D] = ValueFact::top();
+        }
+      }
+      return;
+    case Stmt::Kind::ExprStmt:
+      evalExpr(cast<ExprStmt>(S)->E, Env);
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      evalExpr(I->Cond, Env);
+      VarEnv ThenEnv = Env, ElseEnv = Env;
+      if (Opts.GuardFacts) {
+        refineByCond(I->Cond, true, ThenEnv);
+        refineByCond(I->Cond, false, ElseEnv);
+      }
+      analyzeStmt(I->Then, ThenEnv);
+      if (I->Else)
+        analyzeStmt(I->Else, ElseEnv);
+      Env = joinEnv(ThenEnv, ElseEnv);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->Init)
+        analyzeStmt(F->Init, Env);
+      analyzeLoop(F->Cond, F->Body, F->Inc, Env);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      analyzeLoop(W->Cond, W->Body, nullptr, Env);
+      return;
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      analyzeLoop(D->Cond, D->Body, nullptr, Env);
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (const Expr *V = cast<ReturnStmt>(S)->Value)
+        evalExpr(V, Env);
+      return;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Null:
+      return;
+    }
+  }
+
+  /// Fixpoint over one loop. \p Env enters as the state after the init
+  /// statement and leaves as a sound post-loop state (the loop head
+  /// invariant, which also covers zero iterations).
+  void analyzeLoop(const Expr *Cond, const Stmt *Body, const Expr *Inc,
+                   VarEnv &Env) {
+    std::set<const VarDecl *> Mod;
+    if (Body)
+      collectModifiedStmt(Body, Mod);
+    if (Cond)
+      collectModifiedExpr(Cond, Mod);
+    if (Inc)
+      collectModifiedExpr(Inc, Mod);
+    VarEnv Head = Env;
+    // break/continue exit mid-iteration, so the end-of-body join below
+    // would not cover them; give up on anything the loop writes.
+    const bool HasJump = Body && containsJump(Body);
+    if (HasJump)
+      for (const VarDecl *D : Mod)
+        Head[D] = ValueFact::top();
+    const bool Saved = Record;
+    Record = false;
+    bool Converged = HasJump; // top'd modified vars are already stable
+    for (int Iter = 0; Iter < 8 && !Converged; ++Iter) {
+      VarEnv B = Head;
+      if (Cond)
+        evalExpr(Cond, B);
+      if (Body)
+        analyzeStmt(Body, B);
+      if (Inc)
+        evalExpr(Inc, B);
+      VarEnv New = joinEnv(Head, B);
+      if (Iter >= 2)
+        widenEnv(New, Head);
+      Converged = sameEnv(New, Head);
+      Head = New;
+    }
+    if (!Converged)
+      for (const VarDecl *D : Mod)
+        Head[D] = ValueFact::top();
+    Record = Saved;
+    // One recording pass over the stable head state.
+    VarEnv B = Head;
+    if (Cond)
+      evalExpr(Cond, B);
+    if (Body)
+      analyzeStmt(Body, B);
+    if (Inc)
+      evalExpr(Inc, B);
+    Env = Head;
+  }
+
+  /// Accelerates convergence: bounds that are still moving jump to the
+  /// nearest of {0, +-inf}, preserving a proven sign where possible.
+  void widenEnv(VarEnv &New, const VarEnv &Old) {
+    for (auto &[D, F] : New) {
+      const ValueFact O = envGet(Old, D);
+      if (F.Lo < O.Lo)
+        F.Lo = F.Lo >= 0.0 ? 0.0 : -Inf;
+      if (F.Hi > O.Hi)
+        F.Hi = F.Hi <= 0.0 ? 0.0 : Inf;
+    }
+  }
+
+  void collectModifiedExpr(const Expr *E, std::set<const VarDecl *> &Mod) {
+    switch (E->kind()) {
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      if (B->isAssignment())
+        if (const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(B->LHS)))
+          if (Ref->Decl)
+            Mod.insert(Ref->Decl);
+      collectModifiedExpr(B->LHS, Mod);
+      collectModifiedExpr(B->RHS, Mod);
+      return;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->O == UnaryExpr::Op::PreInc || U->O == UnaryExpr::Op::PreDec ||
+          U->O == UnaryExpr::Op::PostInc || U->O == UnaryExpr::Op::PostDec)
+        if (const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(U->Sub)))
+          if (Ref->Decl)
+            Mod.insert(Ref->Decl);
+      collectModifiedExpr(U->Sub, Mod);
+      return;
+    }
+    case Expr::Kind::Paren:
+      collectModifiedExpr(cast<ParenExpr>(E)->Sub, Mod);
+      return;
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      collectModifiedExpr(C->Cond, Mod);
+      collectModifiedExpr(C->Then, Mod);
+      collectModifiedExpr(C->Else, Mod);
+      return;
+    }
+    case Expr::Kind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->Args)
+        collectModifiedExpr(A, Mod);
+      return;
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      collectModifiedExpr(I->Base, Mod);
+      collectModifiedExpr(I->Idx, Mod);
+      return;
+    }
+    case Expr::Kind::Cast:
+      collectModifiedExpr(cast<CastExpr>(E)->Sub, Mod);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void collectModifiedStmt(const Stmt *S, std::set<const VarDecl *> &Mod) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        collectModifiedStmt(Sub, Mod);
+      return;
+    case Stmt::Kind::DeclStmt:
+      for (const VarDecl *D : cast<DeclStmt>(S)->Decls) {
+        Mod.insert(D); // re-initialized every iteration
+        if (D->Init)
+          collectModifiedExpr(D->Init, Mod);
+      }
+      return;
+    case Stmt::Kind::ExprStmt:
+      collectModifiedExpr(cast<ExprStmt>(S)->E, Mod);
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      collectModifiedExpr(I->Cond, Mod);
+      collectModifiedStmt(I->Then, Mod);
+      if (I->Else)
+        collectModifiedStmt(I->Else, Mod);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->Init)
+        collectModifiedStmt(F->Init, Mod);
+      if (F->Cond)
+        collectModifiedExpr(F->Cond, Mod);
+      if (F->Inc)
+        collectModifiedExpr(F->Inc, Mod);
+      if (F->Body)
+        collectModifiedStmt(F->Body, Mod);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      collectModifiedExpr(W->Cond, Mod);
+      collectModifiedStmt(W->Body, Mod);
+      return;
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      collectModifiedStmt(D->Body, Mod);
+      collectModifiedExpr(D->Cond, Mod);
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (const Expr *V = cast<ReturnStmt>(S)->Value)
+        collectModifiedExpr(V, Mod);
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// break/continue belonging to THIS loop (nested loops own theirs).
+  bool containsJump(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      return true;
+    case Stmt::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        if (containsJump(Sub))
+          return true;
+      return false;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      return containsJump(I->Then) || (I->Else && containsJump(I->Else));
+    }
+    default:
+      return false; // For/While/Do capture their own jumps
+    }
+  }
+
+  void findAddrTaken(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        findAddrTaken(Sub);
+      return;
+    case Stmt::Kind::DeclStmt:
+      for (const VarDecl *D : cast<DeclStmt>(S)->Decls)
+        if (D->Init)
+          findAddrTakenExpr(D->Init);
+      return;
+    case Stmt::Kind::ExprStmt:
+      findAddrTakenExpr(cast<ExprStmt>(S)->E);
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      findAddrTakenExpr(I->Cond);
+      findAddrTaken(I->Then);
+      if (I->Else)
+        findAddrTaken(I->Else);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->Init)
+        findAddrTaken(F->Init);
+      if (F->Cond)
+        findAddrTakenExpr(F->Cond);
+      if (F->Inc)
+        findAddrTakenExpr(F->Inc);
+      if (F->Body)
+        findAddrTaken(F->Body);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      findAddrTakenExpr(W->Cond);
+      findAddrTaken(W->Body);
+      return;
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      findAddrTaken(D->Body);
+      findAddrTakenExpr(D->Cond);
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (const Expr *V = cast<ReturnStmt>(S)->Value)
+        findAddrTakenExpr(V);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void findAddrTakenExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->O == UnaryExpr::Op::AddrOf)
+        if (const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(U->Sub)))
+          if (Ref->Decl)
+            AddrTaken.insert(Ref->Decl);
+      findAddrTakenExpr(U->Sub);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      findAddrTakenExpr(B->LHS);
+      findAddrTakenExpr(B->RHS);
+      return;
+    }
+    case Expr::Kind::Paren:
+      findAddrTakenExpr(cast<ParenExpr>(E)->Sub);
+      return;
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      findAddrTakenExpr(C->Cond);
+      findAddrTakenExpr(C->Then);
+      findAddrTakenExpr(C->Else);
+      return;
+    }
+    case Expr::Kind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->Args)
+        findAddrTakenExpr(A);
+      return;
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      findAddrTakenExpr(I->Base);
+      findAddrTakenExpr(I->Idx);
+      return;
+    }
+    case Expr::Kind::Cast:
+      findAddrTakenExpr(cast<CastExpr>(E)->Sub);
+      return;
+    default:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CSE / LICM collection (syntactic; independent of the range analysis)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Structural equality with DeclRefs compared by resolved declaration,
+/// not by name, so shadowed variables never alias a hoisted temp.
+bool cseEqualImpl(const Expr *A, const Expr *B) {
+  A = ignoreParens(A);
+  B = ignoreParens(B);
+  if (A->kind() == Expr::Kind::DeclRef && B->kind() == Expr::Kind::DeclRef) {
+    const auto *RA = cast<DeclRefExpr>(A), *RB = cast<DeclRefExpr>(B);
+    if (RA->Decl || RB->Decl)
+      return RA->Decl == RB->Decl;
+  }
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::Unary: {
+    const auto *UA = cast<UnaryExpr>(A), *UB = cast<UnaryExpr>(B);
+    return UA->O == UB->O && cseEqualImpl(UA->Sub, UB->Sub);
+  }
+  case Expr::Kind::Binary: {
+    const auto *BA = cast<BinaryExpr>(A), *BB = cast<BinaryExpr>(B);
+    return BA->O == BB->O && cseEqualImpl(BA->LHS, BB->LHS) &&
+           cseEqualImpl(BA->RHS, BB->RHS);
+  }
+  case Expr::Kind::Call: {
+    const auto *CA = cast<CallExpr>(A), *CB = cast<CallExpr>(B);
+    if (CA->Callee != CB->Callee || CA->Args.size() != CB->Args.size())
+      return false;
+    for (size_t I = 0; I < CA->Args.size(); ++I)
+      if (!cseEqualImpl(CA->Args[I], CB->Args[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Index: {
+    const auto *IA = cast<IndexExpr>(A), *IB = cast<IndexExpr>(B);
+    return cseEqualImpl(IA->Base, IB->Base) &&
+           cseEqualImpl(IA->Idx, IB->Idx);
+  }
+  case Expr::Kind::Cast: {
+    const auto *CA = cast<CastExpr>(A), *CB = cast<CastExpr>(B);
+    return CA->To == CB->To && cseEqualImpl(CA->Sub, CB->Sub);
+  }
+  default:
+    return exprStructurallyEqual(A, B); // literals and leaves
+  }
+}
+
+/// Side-effect-free expression whose transformed form is a plain
+/// expression (safe to evaluate once, early, into a temp). With
+/// \p AllowLoads, Index/Deref reads are allowed (fine within one
+/// statement; not across loop iterations).
+bool isPureExpr(const Expr *E, bool AllowLoads) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::DeclRef:
+    return true;
+  case Expr::Kind::Paren:
+    return isPureExpr(cast<ParenExpr>(E)->Sub, AllowLoads);
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->O == UnaryExpr::Op::Neg || U->O == UnaryExpr::Op::Plus)
+      return isPureExpr(U->Sub, AllowLoads);
+    if (U->O == UnaryExpr::Op::Deref)
+      return AllowLoads && isPureExpr(U->Sub, AllowLoads);
+    return false;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    switch (B->O) {
+    case BinaryExpr::Op::Add:
+    case BinaryExpr::Op::Sub:
+    case BinaryExpr::Op::Mul:
+    case BinaryExpr::Op::Div:
+    case BinaryExpr::Op::Rem:
+    case BinaryExpr::Op::Shl:
+    case BinaryExpr::Op::Shr:
+    case BinaryExpr::Op::BitAnd:
+    case BinaryExpr::Op::BitOr:
+    case BinaryExpr::Op::BitXor:
+      return isPureExpr(B->LHS, AllowLoads) && isPureExpr(B->RHS, AllowLoads);
+    default:
+      return false; // assignments, comparisons, && / ||
+    }
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    if (classifyCallee(C->Callee) != CalleeKind::MathFunction)
+      return false;
+    for (const Expr *A : C->Args)
+      if (!isPureExpr(A, AllowLoads))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    return AllowLoads && isPureExpr(I->Base, AllowLoads) &&
+           isPureExpr(I->Idx, AllowLoads);
+  }
+  case Expr::Kind::Cast:
+    return isPureExpr(cast<CastExpr>(E)->Sub, AllowLoads);
+  default:
+    return false;
+  }
+}
+
+/// A node worth naming: a floating-typed operation (not a bare leaf).
+bool isFloatingOpNode(const Expr *E) {
+  E = ignoreParens(E);
+  if (!E->type() || !E->type()->isFloating())
+    return false;
+  switch (E->kind()) {
+  case Expr::Kind::Binary: {
+    const auto O = cast<BinaryExpr>(E)->O;
+    return O == BinaryExpr::Op::Add || O == BinaryExpr::Op::Sub ||
+           O == BinaryExpr::Op::Mul || O == BinaryExpr::Op::Div;
+  }
+  case Expr::Kind::Unary:
+    return cast<UnaryExpr>(E)->O == UnaryExpr::Op::Neg;
+  case Expr::Kind::Call:
+    return classifyCallee(cast<CallExpr>(E)->Callee) ==
+           CalleeKind::MathFunction;
+  default:
+    return false;
+  }
+}
+
+void forEachDeclRef(const Expr *E,
+                    const std::function<void(const DeclRefExpr *)> &Fn) {
+  switch (E->kind()) {
+  case Expr::Kind::DeclRef:
+    Fn(cast<DeclRefExpr>(E));
+    return;
+  case Expr::Kind::Paren:
+    forEachDeclRef(cast<ParenExpr>(E)->Sub, Fn);
+    return;
+  case Expr::Kind::Unary:
+    forEachDeclRef(cast<UnaryExpr>(E)->Sub, Fn);
+    return;
+  case Expr::Kind::Binary:
+    forEachDeclRef(cast<BinaryExpr>(E)->LHS, Fn);
+    forEachDeclRef(cast<BinaryExpr>(E)->RHS, Fn);
+    return;
+  case Expr::Kind::Conditional:
+    forEachDeclRef(cast<ConditionalExpr>(E)->Cond, Fn);
+    forEachDeclRef(cast<ConditionalExpr>(E)->Then, Fn);
+    forEachDeclRef(cast<ConditionalExpr>(E)->Else, Fn);
+    return;
+  case Expr::Kind::Call:
+    for (const Expr *A : cast<CallExpr>(E)->Args)
+      forEachDeclRef(A, Fn);
+    return;
+  case Expr::Kind::Index:
+    forEachDeclRef(cast<IndexExpr>(E)->Base, Fn);
+    forEachDeclRef(cast<IndexExpr>(E)->Idx, Fn);
+    return;
+  case Expr::Kind::Cast:
+    forEachDeclRef(cast<CastExpr>(E)->Sub, Fn);
+    return;
+  default:
+    return;
+  }
+}
+
+int countOps(const Expr *E) {
+  int N = isFloatingOpNode(E) ? 1 : 0;
+  switch (E->kind()) {
+  case Expr::Kind::Paren:
+    return countOps(cast<ParenExpr>(E)->Sub);
+  case Expr::Kind::Unary:
+    return N + countOps(cast<UnaryExpr>(E)->Sub);
+  case Expr::Kind::Binary:
+    return N + countOps(cast<BinaryExpr>(E)->LHS) +
+           countOps(cast<BinaryExpr>(E)->RHS);
+  case Expr::Kind::Call: {
+    for (const Expr *A : cast<CallExpr>(E)->Args)
+      N += countOps(A);
+    return N;
+  }
+  case Expr::Kind::Index:
+    return countOps(cast<IndexExpr>(E)->Base) +
+           countOps(cast<IndexExpr>(E)->Idx);
+  case Expr::Kind::Cast:
+    return countOps(cast<CastExpr>(E)->Sub);
+  default:
+    return 0;
+  }
+}
+
+class SyntaxCollector {
+public:
+  explicit SyntaxCollector(OptFunctionInfo &Info) : Info(Info) {}
+
+  void run(const FunctionDecl &F) {
+    if (F.Body)
+      walkStmt(F.Body);
+  }
+
+private:
+  OptFunctionInfo &Info;
+
+  void walkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        walkStmt(Sub);
+      return;
+    case Stmt::Kind::DeclStmt:
+    case Stmt::Kind::ExprStmt:
+    case Stmt::Kind::Return:
+      collectCse(S);
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      walkStmt(I->Then);
+      if (I->Else)
+        walkStmt(I->Else);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      collectLoopInvariants(F);
+      if (F->Body)
+        walkStmt(F->Body);
+      return;
+    }
+    case Stmt::Kind::While:
+      walkStmt(cast<WhileStmt>(S)->Body);
+      return;
+    case Stmt::Kind::Do:
+      walkStmt(cast<DoStmt>(S)->Body);
+      return;
+    default:
+      return;
+    }
+  }
+
+  //===-- Loop-invariant hoisting candidates ------------------------------===//
+
+  void collectLoopInvariants(const ForStmt *FS) {
+    if (!FS->Body)
+      return;
+    std::set<const VarDecl *> Mod;
+    RangeAnalyzerModHelper(FS, Mod);
+    std::vector<const Expr *> Out;
+    collectInvariantsIn(FS->Body, Mod, Out);
+    if (Out.empty())
+      return;
+    // Contained candidates first, so an outer hoist can reuse them.
+    std::stable_sort(Out.begin(), Out.end(),
+                     [](const Expr *A, const Expr *B) {
+                       return countOps(A) < countOps(B);
+                     });
+    Info.LoopInvariants[FS] = std::move(Out);
+  }
+
+  /// Everything the loop writes or declares (including its init/inc).
+  static void RangeAnalyzerModHelper(const ForStmt *FS,
+                                     std::set<const VarDecl *> &Mod);
+
+  bool isInvariantCandidate(const Expr *E,
+                            const std::set<const VarDecl *> &Mod) {
+    if (!isFloatingOpNode(E) || !isPureExpr(E, /*AllowLoads=*/false))
+      return false;
+    bool Ok = true, AnyRef = false;
+    forEachDeclRef(E, [&](const DeclRefExpr *Ref) {
+      AnyRef = true;
+      if (!Ref->Decl || Mod.count(Ref->Decl))
+        Ok = false;
+    });
+    // Pure literal trees fold to constants anyway; require a variable.
+    return Ok && AnyRef;
+  }
+
+  void collectInvariantsIn(const Stmt *S, const std::set<const VarDecl *> &Mod,
+                           std::vector<const Expr *> &Out) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        collectInvariantsIn(Sub, Mod, Out);
+      return;
+    case Stmt::Kind::DeclStmt:
+      for (const VarDecl *D : cast<DeclStmt>(S)->Decls)
+        if (D->Init)
+          collectInvariantsInExpr(D->Init, Mod, Out);
+      return;
+    case Stmt::Kind::ExprStmt:
+      collectInvariantsInExpr(cast<ExprStmt>(S)->E, Mod, Out);
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      collectInvariantsInExpr(I->Cond, Mod, Out);
+      collectInvariantsIn(I->Then, Mod, Out);
+      if (I->Else)
+        collectInvariantsIn(I->Else, Mod, Out);
+      return;
+    }
+    case Stmt::Kind::For: {
+      // Expressions in a nested loop still repeat per outer iteration;
+      // hoisting them in front of the outer loop is strictly better.
+      const auto *F = cast<ForStmt>(S);
+      if (F->Init)
+        collectInvariantsIn(F->Init, Mod, Out);
+      if (F->Cond)
+        collectInvariantsInExpr(F->Cond, Mod, Out);
+      if (F->Inc)
+        collectInvariantsInExpr(F->Inc, Mod, Out);
+      if (F->Body)
+        collectInvariantsIn(F->Body, Mod, Out);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      collectInvariantsInExpr(W->Cond, Mod, Out);
+      collectInvariantsIn(W->Body, Mod, Out);
+      return;
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      collectInvariantsIn(D->Body, Mod, Out);
+      collectInvariantsInExpr(D->Cond, Mod, Out);
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (const Expr *V = cast<ReturnStmt>(S)->Value)
+        collectInvariantsInExpr(V, Mod, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void collectInvariantsInExpr(const Expr *E,
+                               const std::set<const VarDecl *> &Mod,
+                               std::vector<const Expr *> &Out) {
+    if (isInvariantCandidate(E, Mod)) {
+      for (const Expr *Seen : Out)
+        if (exprCseEqual(Seen, E))
+          return;
+      Out.push_back(E);
+      return; // maximal: don't also hoist the pieces
+    }
+    switch (E->kind()) {
+    case Expr::Kind::Paren:
+      collectInvariantsInExpr(cast<ParenExpr>(E)->Sub, Mod, Out);
+      return;
+    case Expr::Kind::Unary:
+      collectInvariantsInExpr(cast<UnaryExpr>(E)->Sub, Mod, Out);
+      return;
+    case Expr::Kind::Binary:
+      collectInvariantsInExpr(cast<BinaryExpr>(E)->LHS, Mod, Out);
+      collectInvariantsInExpr(cast<BinaryExpr>(E)->RHS, Mod, Out);
+      return;
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      collectInvariantsInExpr(C->Cond, Mod, Out);
+      collectInvariantsInExpr(C->Then, Mod, Out);
+      collectInvariantsInExpr(C->Else, Mod, Out);
+      return;
+    }
+    case Expr::Kind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->Args)
+        collectInvariantsInExpr(A, Mod, Out);
+      return;
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      collectInvariantsInExpr(I->Base, Mod, Out);
+      collectInvariantsInExpr(I->Idx, Mod, Out);
+      return;
+    }
+    case Expr::Kind::Cast:
+      collectInvariantsInExpr(cast<CastExpr>(E)->Sub, Mod, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  //===-- Per-statement common subexpressions -----------------------------===//
+
+  void collectCse(const Stmt *S) {
+    std::vector<const Expr *> Roots;
+    std::set<const VarDecl *> OwnDecls;
+    switch (S->kind()) {
+    case Stmt::Kind::DeclStmt:
+      for (const VarDecl *D : cast<DeclStmt>(S)->Decls) {
+        OwnDecls.insert(D);
+        if (D->Init)
+          Roots.push_back(D->Init);
+      }
+      break;
+    case Stmt::Kind::ExprStmt: {
+      const Expr *E = ignoreParens(cast<ExprStmt>(S)->E);
+      if (const auto *B = dynCast<BinaryExpr>(E); B && B->isAssignment()) {
+        Roots.push_back(B->LHS);
+        Roots.push_back(B->RHS);
+      } else {
+        Roots.push_back(E);
+      }
+      break;
+    }
+    case Stmt::Kind::Return:
+      if (const Expr *V = cast<ReturnStmt>(S)->Value)
+        Roots.push_back(V);
+      break;
+    default:
+      return;
+    }
+    if (Roots.empty())
+      return;
+    // A nested side effect (assignment, ++/--, unknown call) could change
+    // a value between the hoisted temp and its original use: bail.
+    for (const Expr *R : Roots)
+      if (hasSideEffects(R))
+        return;
+    std::vector<const Expr *> Reps;
+    std::vector<int> Counts;
+    for (const Expr *R : Roots)
+      countPureSubtrees(R, OwnDecls, Reps, Counts);
+    std::vector<const Expr *> Out;
+    for (size_t I = 0; I < Reps.size(); ++I)
+      if (Counts[I] >= 2)
+        Out.push_back(Reps[I]); // post-order append: innermost first
+    if (!Out.empty())
+      Info.CommonSubexprs[S] = std::move(Out);
+  }
+
+  bool hasSideEffects(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return B->isAssignment() || hasSideEffects(B->LHS) ||
+             hasSideEffects(B->RHS);
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->O == UnaryExpr::Op::PreInc || U->O == UnaryExpr::Op::PreDec ||
+          U->O == UnaryExpr::Op::PostInc || U->O == UnaryExpr::Op::PostDec)
+        return true;
+      return hasSideEffects(U->Sub);
+    }
+    case Expr::Kind::Paren:
+      return hasSideEffects(cast<ParenExpr>(E)->Sub);
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      return hasSideEffects(C->Cond) || hasSideEffects(C->Then) ||
+             hasSideEffects(C->Else);
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      if (classifyCallee(C->Callee) == CalleeKind::UserFunction ||
+          classifyCallee(C->Callee) == CalleeKind::Allocation ||
+          classifyCallee(C->Callee) == CalleeKind::Unknown)
+        return true;
+      for (const Expr *A : C->Args)
+        if (hasSideEffects(A))
+          return true;
+      return false;
+    }
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      return hasSideEffects(I->Base) || hasSideEffects(I->Idx);
+    }
+    case Expr::Kind::Cast:
+      return hasSideEffects(cast<CastExpr>(E)->Sub);
+    default:
+      return false;
+    }
+  }
+
+  void countPureSubtrees(const Expr *E, const std::set<const VarDecl *> &Own,
+                         std::vector<const Expr *> &Reps,
+                         std::vector<int> &Counts) {
+    // Post-order: count children before the node itself.
+    switch (E->kind()) {
+    case Expr::Kind::Paren:
+      countPureSubtrees(cast<ParenExpr>(E)->Sub, Own, Reps, Counts);
+      return; // the inner node already counted; parens add nothing
+    case Expr::Kind::Unary:
+      countPureSubtrees(cast<UnaryExpr>(E)->Sub, Own, Reps, Counts);
+      break;
+    case Expr::Kind::Binary:
+      countPureSubtrees(cast<BinaryExpr>(E)->LHS, Own, Reps, Counts);
+      countPureSubtrees(cast<BinaryExpr>(E)->RHS, Own, Reps, Counts);
+      break;
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      countPureSubtrees(C->Cond, Own, Reps, Counts);
+      countPureSubtrees(C->Then, Own, Reps, Counts);
+      countPureSubtrees(C->Else, Own, Reps, Counts);
+      break;
+    }
+    case Expr::Kind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->Args)
+        countPureSubtrees(A, Own, Reps, Counts);
+      break;
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      countPureSubtrees(I->Base, Own, Reps, Counts);
+      countPureSubtrees(I->Idx, Own, Reps, Counts);
+      break;
+    }
+    case Expr::Kind::Cast:
+      countPureSubtrees(cast<CastExpr>(E)->Sub, Own, Reps, Counts);
+      break;
+    default:
+      break;
+    }
+    if (!isFloatingOpNode(E) || !isPureExpr(E, /*AllowLoads=*/true))
+      return;
+    bool RefsOwn = false;
+    forEachDeclRef(E, [&](const DeclRefExpr *Ref) {
+      if (Ref->Decl && Own.count(Ref->Decl))
+        RefsOwn = true;
+    });
+    if (RefsOwn)
+      return; // would be emitted before its variable is declared
+    for (size_t I = 0; I < Reps.size(); ++I)
+      if (exprCseEqual(Reps[I], E)) {
+        ++Counts[I];
+        return;
+      }
+    Reps.push_back(E);
+    Counts.push_back(1);
+  }
+};
+
+void SyntaxCollector::RangeAnalyzerModHelper(const ForStmt *FS,
+                                             std::set<const VarDecl *> &Mod) {
+  // Reuse the statement walkers via a throwaway analyzer-free path: the
+  // collectors only need assignment/decl targets.
+  struct Walker {
+    std::set<const VarDecl *> &Mod;
+    void stmt(const Stmt *S) {
+      switch (S->kind()) {
+      case Stmt::Kind::Compound:
+        for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+          stmt(Sub);
+        return;
+      case Stmt::Kind::DeclStmt:
+        for (const VarDecl *D : cast<DeclStmt>(S)->Decls) {
+          Mod.insert(D);
+          if (D->Init)
+            expr(D->Init);
+        }
+        return;
+      case Stmt::Kind::ExprStmt:
+        expr(cast<ExprStmt>(S)->E);
+        return;
+      case Stmt::Kind::If: {
+        const auto *I = cast<IfStmt>(S);
+        expr(I->Cond);
+        stmt(I->Then);
+        if (I->Else)
+          stmt(I->Else);
+        return;
+      }
+      case Stmt::Kind::For: {
+        const auto *F = cast<ForStmt>(S);
+        if (F->Init)
+          stmt(F->Init);
+        if (F->Cond)
+          expr(F->Cond);
+        if (F->Inc)
+          expr(F->Inc);
+        if (F->Body)
+          stmt(F->Body);
+        return;
+      }
+      case Stmt::Kind::While: {
+        const auto *W = cast<WhileStmt>(S);
+        expr(W->Cond);
+        stmt(W->Body);
+        return;
+      }
+      case Stmt::Kind::Do: {
+        const auto *D = cast<DoStmt>(S);
+        stmt(D->Body);
+        expr(D->Cond);
+        return;
+      }
+      case Stmt::Kind::Return:
+        if (const Expr *V = cast<ReturnStmt>(S)->Value)
+          expr(V);
+        return;
+      default:
+        return;
+      }
+    }
+    void expr(const Expr *E) {
+      switch (E->kind()) {
+      case Expr::Kind::Binary: {
+        const auto *B = cast<BinaryExpr>(E);
+        if (B->isAssignment())
+          if (const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(B->LHS)))
+            if (Ref->Decl)
+              Mod.insert(Ref->Decl);
+        expr(B->LHS);
+        expr(B->RHS);
+        return;
+      }
+      case Expr::Kind::Unary: {
+        const auto *U = cast<UnaryExpr>(E);
+        if (U->O == UnaryExpr::Op::PreInc || U->O == UnaryExpr::Op::PreDec ||
+            U->O == UnaryExpr::Op::PostInc ||
+            U->O == UnaryExpr::Op::PostDec)
+          if (const auto *Ref = dynCast<DeclRefExpr>(ignoreParens(U->Sub)))
+            if (Ref->Decl)
+              Mod.insert(Ref->Decl);
+        expr(U->Sub);
+        return;
+      }
+      case Expr::Kind::Paren:
+        expr(cast<ParenExpr>(E)->Sub);
+        return;
+      case Expr::Kind::Conditional: {
+        const auto *C = cast<ConditionalExpr>(E);
+        expr(C->Cond);
+        expr(C->Then);
+        expr(C->Else);
+        return;
+      }
+      case Expr::Kind::Call:
+        for (const Expr *A : cast<CallExpr>(E)->Args)
+          expr(A);
+        return;
+      case Expr::Kind::Index: {
+        const auto *I = cast<IndexExpr>(E);
+        expr(I->Base);
+        expr(I->Idx);
+        return;
+      }
+      case Expr::Kind::Cast:
+        expr(cast<CastExpr>(E)->Sub);
+        return;
+      default:
+        return;
+      }
+    }
+  } W{Mod};
+  if (FS->Init)
+    W.stmt(FS->Init);
+  if (FS->Cond)
+    W.expr(FS->Cond);
+  if (FS->Inc)
+    W.expr(FS->Inc);
+  if (FS->Body)
+    W.stmt(FS->Body);
+}
+
+} // namespace
+
+bool igen::exprCseEqual(const Expr *A, const Expr *B) {
+  return cseEqualImpl(A, B);
+}
+
+bool igen::exprIsPureValue(const Expr *E) {
+  return isPureExpr(E, /*AllowLoads=*/true);
+}
+
+void igen::forEachSubexprPruned(const Expr *E,
+                                const std::function<bool(const Expr *)> &Fn) {
+  if (!E || !Fn(E))
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::DeclRef:
+    return;
+  case Expr::Kind::Unary:
+    forEachSubexprPruned(cast<UnaryExpr>(E)->Sub, Fn);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    forEachSubexprPruned(B->LHS, Fn);
+    forEachSubexprPruned(B->RHS, Fn);
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    forEachSubexprPruned(C->Cond, Fn);
+    forEachSubexprPruned(C->Then, Fn);
+    forEachSubexprPruned(C->Else, Fn);
+    return;
+  }
+  case Expr::Kind::Call:
+    for (const Expr *Arg : cast<CallExpr>(E)->Args)
+      forEachSubexprPruned(Arg, Fn);
+    return;
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    forEachSubexprPruned(I->Base, Fn);
+    forEachSubexprPruned(I->Idx, Fn);
+    return;
+  }
+  case Expr::Kind::Cast:
+    forEachSubexprPruned(cast<CastExpr>(E)->Sub, Fn);
+    return;
+  case Expr::Kind::Paren:
+    forEachSubexprPruned(cast<ParenExpr>(E)->Sub, Fn);
+    return;
+  }
+}
+
+OptFunctionInfo igen::analyzeFunctionForOpt(const FunctionDecl &F,
+                                            const OptOptions &Opts) {
+  OptFunctionInfo Info;
+  RangeAnalyzer(Info, Opts).run(F);
+  SyntaxCollector(Info).run(F);
+  return Info;
+}

@@ -1,0 +1,122 @@
+//===- OptAnalysis.h - Mid-end facts for interval lowering ------*- C++ -*-===//
+//
+// Conservative static analysis that runs between Sema and the interval
+// transformer. It derives three kinds of information the transformer can
+// exploit without ever weakening soundness:
+//
+//  * Value-range/sign facts per expression node: a ValueFact bounds the
+//    endpoints of the runtime enclosure an expression will produce, so the
+//    transformer may lower a multiply to the sign-specialized ia_mul_pp /
+//    ia_mul_pn / ... variants (which themselves still fall back to the
+//    generic op when the precondition does not hold at runtime).
+//  * Loop-invariant pure subexpressions per for-statement, so their
+//    ia_* call chains can be hoisted in front of the loop header.
+//  * Repeated pure subexpressions per statement, so one enclosure can be
+//    computed once into a temporary and reused (interval CSE).
+//
+// All facts are conservative: a missing fact means "unknown", and every
+// recorded fact is an over-approximation of the runtime enclosure
+// endpoints. Wrong code can never be emitted from a missing fact — only a
+// generic (slower) call.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_OPT_OPTANALYSIS_H
+#define IGEN_OPT_OPTANALYSIS_H
+
+#include "frontend/AST.h"
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace igen {
+
+/// A sound bound on the runtime enclosure of a floating expression: every
+/// non-NaN endpoint e of the enclosure satisfies Lo <= e <= Hi, and when
+/// NoNaN is set the endpoints are additionally guaranteed not to be NaN.
+/// The default-constructed fact is Top ("anything, possibly NaN").
+struct ValueFact {
+  double Lo = -std::numeric_limits<double>::infinity();
+  double Hi = std::numeric_limits<double>::infinity();
+  bool NoNaN = false;
+
+  static ValueFact top() { return ValueFact(); }
+  /// A NaN-free fact with the given endpoint bounds.
+  static ValueFact range(double Lo, double Hi) {
+    ValueFact F;
+    F.Lo = Lo;
+    F.Hi = Hi;
+    F.NoNaN = true;
+    return F;
+  }
+
+  bool isTop() const {
+    return !NoNaN && Lo == -std::numeric_limits<double>::infinity() &&
+           Hi == std::numeric_limits<double>::infinity();
+  }
+
+  /// Enclosure is certainly a subset of [0, +inf).
+  bool provenNonNeg() const { return NoNaN && Lo >= 0.0; }
+  /// Enclosure is certainly a subset of (-inf, 0].
+  bool provenNonPos() const { return NoNaN && Hi <= 0.0; }
+  /// Enclosure is certainly a subset of (0, +inf) — usable as a divisor.
+  bool provenPos() const { return NoNaN && Lo > 0.0; }
+  /// Enclosure is certainly a subset of (-inf, 0) — usable as a divisor.
+  bool provenNeg() const { return NoNaN && Hi < 0.0; }
+};
+
+struct OptOptions {
+  /// Derive facts from branch guards. Only sound under the Exception
+  /// branch policy, where a then-branch runs iff the comparison is
+  /// certainly true; under Join both sides execute unconditionally.
+  bool GuardFacts = true;
+};
+
+/// Analysis results for one function, keyed by AST node identity.
+struct OptFunctionInfo {
+  /// Endpoint bounds for expression nodes. Sparse: absent means Top.
+  std::map<const Expr *, ValueFact> Facts;
+
+  /// Per for-statement: maximal pure, load-free, loop-invariant floating
+  /// subexpressions worth hoisting ahead of the loop header. Ordered
+  /// with subexpressions before the expressions containing them.
+  std::map<const Stmt *, std::vector<const Expr *>> LoopInvariants;
+
+  /// Per statement: pure floating subexpressions occurring at least
+  /// twice (structurally) in that statement, ordered innermost-first so
+  /// a temp's initializer can reuse earlier temps.
+  std::map<const Stmt *, std::vector<const Expr *>> CommonSubexprs;
+
+  ValueFact factFor(const Expr *E) const {
+    auto It = Facts.find(E);
+    return It == Facts.end() ? ValueFact::top() : It->second;
+  }
+};
+
+/// Runs the value-range/sign analysis plus the CSE/LICM collectors over
+/// one function body. Pure analysis: the AST is not modified.
+OptFunctionInfo analyzeFunctionForOpt(const FunctionDecl &F,
+                                      const OptOptions &Opts);
+
+/// Structural equality for CSE/hoist matching. Unlike
+/// exprStructurallyEqual this compares DeclRefs by their resolved
+/// declaration, so a shadowing variable of the same name never aliases a
+/// hoisted temporary.
+bool exprCseEqual(const Expr *A, const Expr *B);
+
+/// True when \p E is a side-effect-free value computation (memory loads
+/// allowed): safe to re-evaluate or reorder against other pure values.
+bool exprIsPureValue(const Expr *E);
+
+/// Pre-order walk over \p E and its subexpressions. When \p Fn returns
+/// false the node's children are skipped. Lets the transformer count
+/// which CSE occurrences remain visible once enclosing expressions have
+/// been replaced by temporaries.
+void forEachSubexprPruned(const Expr *E,
+                          const std::function<bool(const Expr *)> &Fn);
+
+} // namespace igen
+
+#endif // IGEN_OPT_OPTANALYSIS_H

@@ -24,14 +24,27 @@ struct ThreadPool::Batch {
   ThreadPool *Pool = nullptr;
 };
 
+unsigned ThreadPool::participantsFromEnv(const char *Spec,
+                                         unsigned Hardware) {
+  if (!Spec || !*Spec)
+    return 0;
+  char *End = nullptr;
+  long V = std::strtol(Spec, &End, 10);
+  if (End == Spec || *End != '\0' || V < 1)
+    return 0;
+  // Oversubscribing past the hardware only adds scheduling noise; the
+  // floor of 4 matches the default so small machines still exercise the
+  // multithreaded paths.
+  long Cap = std::max(4u, Hardware);
+  return static_cast<unsigned>(std::min(V, Cap));
+}
+
 namespace {
 
 unsigned defaultParticipants() {
-  if (const char *Env = std::getenv("IGEN_THREADS")) {
-    long V = std::strtol(Env, nullptr, 10);
-    if (V >= 1 && V <= 256)
-      return static_cast<unsigned>(V);
-  }
+  if (unsigned FromEnv = ThreadPool::participantsFromEnv(
+          std::getenv("IGEN_THREADS"), std::thread::hardware_concurrency()))
+    return FromEnv;
   unsigned HW = std::thread::hardware_concurrency();
   return HW > 4 ? HW : 4;
 }

@@ -20,10 +20,11 @@
 ///    participates in the work, so the pool functions correctly even with
 ///    zero workers.
 ///
-/// Pool size: IGEN_THREADS environment variable if set, otherwise
-/// max(4, hardware_concurrency) total participants. The minimum of 4
-/// keeps the multithreaded reduction paths exercised (timesliced) even on
-/// single-core CI machines.
+/// Pool size: IGEN_THREADS environment variable if set (clamped to the
+/// machine's useful participant count, see participantsFromEnv),
+/// otherwise max(4, hardware_concurrency) total participants. The
+/// minimum of 4 keeps the multithreaded reduction paths exercised
+/// (timesliced) even on single-core CI machines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +45,13 @@ class ThreadPool {
 public:
   /// The process-wide pool (created on first use).
   static ThreadPool &instance();
+
+  /// Parses an IGEN_THREADS-style override. Returns the total
+  /// participant count clamped to [1, max(4, Hardware)], or 0 when
+  /// \p Spec is null, empty, or not a positive decimal integer (the
+  /// caller then falls back to the hardware default). Exposed for
+  /// testing; `instance()` applies it to getenv("IGEN_THREADS").
+  static unsigned participantsFromEnv(const char *Spec, unsigned Hardware);
 
   /// Creates a pool with \p WorkerCount background workers (the caller of
   /// parallelFor is an additional participant).

@@ -261,10 +261,20 @@ public:
 private:
   const Token &cur() const { return Tokens[Index]; }
   bool at(Tok K) const { return cur().K == K; }
-  Token consume() { return Tokens[Index++]; }
+  /// Advances, but never past the trailing End sentinel: error recovery
+  /// (expect() skipping a token) must not run cur() off the buffer.
+  void bump() {
+    if (!at(Tok::End))
+      ++Index;
+  }
+  Token consume() {
+    Token T = cur();
+    bump();
+    return T;
+  }
   bool accept(Tok K) {
     if (at(K)) {
-      ++Index;
+      bump();
       return true;
     }
     return false;
@@ -274,7 +284,7 @@ private:
       Diags.error(SourceLoc{0, cur().Line, 0},
                   std::string("pseudo-language: expected ") + What);
       HadError = true;
-      ++Index;
+      bump();
     }
   }
   void skipNewlines() {

@@ -8,6 +8,7 @@
 
 #include "frontend/Sema.h"
 #include "interval/DdInterval.h"
+#include "opt/OptAnalysis.h"
 #include "interval/DecimalFp.h"
 #include "interval/Interval.h"
 #include "interval/Rounding.h"
@@ -127,6 +128,35 @@ private:
   TR transformUnary(const UnaryExpr *U);
   TR transformCall(const CallExpr *C);
   TR transformCast(const CastExpr *C);
+
+  // Mid-end optimizer hooks (src/opt). All of them degrade to "emit the
+  // generic call" when the analysis proved nothing.
+  bool optOn() const { return Opts.OptLevel > 0; }
+  /// Scalar-double sign specialization and fusion only applies when the
+  /// operation lowers to the f64 scalar runtime (not dd, not vectors).
+  bool scalarF64(const Type *T) const {
+    return !isDd() && T && T->isFloating();
+  }
+  /// 'p': enclosure proven within [0,+inf); 'n': within (-inf,0]; 'u'.
+  char signClassOf(const Expr *E) const {
+    ValueFact F = OptInfo.factFor(E);
+    if (F.provenNonNeg())
+      return 'p';
+    if (F.provenNonPos())
+      return 'n';
+    return 'u';
+  }
+  std::string specializedMul(const Expr *LE, const Expr *RE,
+                             const std::string &LC, const std::string &RC);
+  std::string specializedDiv(const Expr *RE, const std::string &LC,
+                             const std::string &RC);
+  /// Fuses add/sub-of-mul into ia_fma_* (empty string: no fusion).
+  std::string tryFuseFma(const Expr *MulSide, const Expr *AddendExpr,
+                         const std::string &AddendCode, bool NegateMul,
+                         bool NegateAddend);
+  const std::string *findActiveTemp(const Expr *E) const;
+  size_t emitCseTemps(const Stmt *S);
+  void popTemps(size_t N) { ActiveTemps.resize(ActiveTemps.size() - N); }
   TR makeConstant(const Interval &F64, const DdInterval &Dd,
                   const Type *OrigTy);
   std::string materializeConst(const TR &V) const;
@@ -173,6 +203,14 @@ private:
   ReductionAnalysisResult Reductions;
   std::map<const Stmt *, std::pair<const ReductionSite *, std::string>>
       UpdateToAcc;
+
+  // Mid-end optimizer state (per function).
+  OptFunctionInfo OptInfo;
+  /// Enclosures currently available in a named temp (_cseN/_hoistN),
+  /// innermost scope last. transformExpr consults this before emitting.
+  std::vector<std::pair<const Expr *, std::string>> ActiveTemps;
+  int HoistCounter = 0;
+  int CseCounter = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -235,6 +273,13 @@ std::string Transformer::asTBool(const TR &V) {
 //===----------------------------------------------------------------------===//
 
 TR Transformer::transformExpr(const Expr *E) {
+  if (const std::string *Temp = findActiveTemp(E)) {
+    TR R;
+    R.Code = *Temp;
+    R.C = Cat::Interval;
+    R.OrigTy = E->type();
+    return R;
+  }
   switch (E->kind()) {
   case Expr::Kind::IntLiteral: {
     const auto *I = cast<IntLiteralExpr>(E);
@@ -392,6 +437,116 @@ TR Transformer::transformUnary(const UnaryExpr *U) {
   return R;
 }
 
+const std::string *Transformer::findActiveTemp(const Expr *E) const {
+  if (ActiveTemps.empty())
+    return nullptr;
+  switch (ignoreParens(E)->kind()) {
+  case Expr::Kind::Binary:
+  case Expr::Kind::Unary:
+  case Expr::Kind::Call:
+    break; // only op nodes ever become temps
+  default:
+    return nullptr;
+  }
+  for (const auto &[Rep, Name] : ActiveTemps)
+    if (exprCseEqual(Rep, E))
+      return &Name;
+  return nullptr;
+}
+
+std::string Transformer::specializedMul(const Expr *LE, const Expr *RE,
+                                        const std::string &LC,
+                                        const std::string &RC) {
+  const char SL = signClassOf(LE), SR = signClassOf(RE);
+  if (SL == 'u' && SR == 'u')
+    return "";
+  // Multiplication commutes and argument evaluation order is unspecified
+  // in C anyway, but only reorder operands we know are side-effect-free.
+  const bool Swappable = exprIsPureValue(LE) && exprIsPureValue(RE);
+  auto call = [&](const char *V, const std::string &A,
+                  const std::string &B) {
+    return std::string("ia_mul_") + V + "_f64(" + A + ", " + B + ")";
+  };
+  if (SL == 'p' && SR == 'p')
+    return call("pp", LC, RC);
+  if (SL == 'n' && SR == 'n')
+    return call("nn", LC, RC);
+  if (SL == 'p' && SR == 'n')
+    return call("pn", LC, RC);
+  if (SL == 'n' && SR == 'p')
+    return Swappable ? call("pn", RC, LC) : "";
+  if (SL == 'p')
+    return call("pu", LC, RC);
+  if (SR == 'p')
+    return Swappable ? call("pu", RC, LC) : "";
+  if (SL == 'n')
+    return call("nu", LC, RC);
+  return Swappable ? call("nu", RC, LC) : ""; // SR == 'n'
+}
+
+std::string Transformer::specializedDiv(const Expr *RE,
+                                        const std::string &LC,
+                                        const std::string &RC) {
+  const ValueFact F = OptInfo.factFor(RE);
+  if (F.provenPos())
+    return "ia_div_p_f64(" + LC + ", " + RC + ")";
+  if (F.provenNeg())
+    return "ia_div_n_f64(" + LC + ", " + RC + ")";
+  return "";
+}
+
+/// Fuses `mul(a,b) + addend` (NegateMul/NegateAddend select the sub
+/// forms) into one ia_fma_* call. \p MulSide must be a floating scalar
+/// multiply that was not const-folded or CSE'd by the caller.
+std::string Transformer::tryFuseFma(const Expr *MulSide,
+                                    const Expr *AddendExpr,
+                                    const std::string &AddendCode,
+                                    bool NegateMul, bool NegateAddend) {
+  const auto *M = dynCast<BinaryExpr>(ignoreParens(MulSide));
+  if (!M || M->O != BinaryExpr::Op::Mul || !scalarF64(M->type()))
+    return "";
+  (void)AddendExpr;
+  TR A = transformExpr(M->LHS);
+  TR Bv = transformExpr(M->RHS);
+  if (A.IsConst && Bv.IsConst)
+    return ""; // would have folded; keep the constant path
+  std::string AC = asInterval(A), BC = asInterval(Bv);
+  char SA = signClassOf(M->LHS);
+  const char SB = signClassOf(M->RHS);
+  if (NegateMul) {
+    // -(a*b) + c == (-a)*b + c; negation flips a's sign class exactly.
+    AC = "ia_neg_f64(" + AC + ")";
+    SA = SA == 'p' ? 'n' : SA == 'n' ? 'p' : 'u';
+  }
+  std::string CC = AddendCode;
+  if (NegateAddend)
+    CC = "ia_neg_f64(" + CC + ")";
+  const bool Swappable =
+      exprIsPureValue(M->LHS) && exprIsPureValue(M->RHS) && !NegateMul;
+  auto call = [&](const char *V, const std::string &X,
+                  const std::string &Y) {
+    return std::string("ia_fma") + (*V ? "_" : "") + V + "_f64(" + X +
+           ", " + Y + ", " + CC + ")";
+  };
+  if (SA == 'p' && SB == 'p')
+    return call("pp", AC, BC);
+  if (SA == 'n' && SB == 'n')
+    return call("nn", AC, BC);
+  if (SA == 'p' && SB == 'n')
+    return call("pn", AC, BC);
+  if (SA == 'n' && SB == 'p')
+    return Swappable ? call("pn", BC, AC) : call("", AC, BC);
+  if (SA == 'p')
+    return call("pu", AC, BC);
+  if (SB == 'p')
+    return Swappable ? call("pu", BC, AC) : call("", AC, BC);
+  if (SA == 'n')
+    return call("nu", AC, BC);
+  if (SB == 'n')
+    return Swappable ? call("nu", BC, AC) : call("", AC, BC);
+  return call("", AC, BC);
+}
+
 TR Transformer::transformBinary(const BinaryExpr *B) {
   if (B->isAssignment()) {
     std::string LHS = lvalueOf(B->LHS);
@@ -414,6 +569,31 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
                             ? vecTypeName(B->LHS->type())
                             : sfx();
     std::string Value = asInterval(RHS);
+    if (optOn() && scalarF64(B->LHS->type())) {
+      std::string Opt;
+      switch (B->O) {
+      case BinaryExpr::Op::AddAssign: // y += a*b  ->  y = fma(a, b, y)
+        if (!RHS.IsConst && !findActiveTemp(B->RHS))
+          Opt = tryFuseFma(B->RHS, nullptr, LHS, false, false);
+        break;
+      case BinaryExpr::Op::SubAssign: // y -= a*b  ->  y = fma(-a, b, y)
+        if (!RHS.IsConst && !findActiveTemp(B->RHS))
+          Opt = tryFuseFma(B->RHS, nullptr, LHS, true, false);
+        break;
+      case BinaryExpr::Op::MulAssign:
+        Opt = specializedMul(B->LHS, B->RHS, LHS, Value);
+        break;
+      case BinaryExpr::Op::DivAssign:
+        Opt = specializedDiv(B->RHS, LHS, Value);
+        break;
+      default:
+        break;
+      }
+      if (!Opt.empty()) {
+        R.Code = LHS + " = " + Opt;
+        return R;
+      }
+    }
     switch (B->O) {
     case BinaryExpr::Op::AddAssign:
       Value = "ia_add_" + OpSfx + "(" + LHS + ", " + Value + ")";
@@ -496,6 +676,38 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
     Out.C = Cat::Interval;
     bool Vector = B->type() && B->type()->isSimdVector();
     std::string OpSfx = Vector ? vecTypeName(B->type()) : sfx();
+    if (optOn() && !Vector && scalarF64(B->type())) {
+      std::string Opt;
+      switch (B->O) {
+      case BinaryExpr::Op::Mul:
+        Opt = specializedMul(B->LHS, B->RHS, asInterval(L), asInterval(R));
+        break;
+      case BinaryExpr::Op::Div:
+        Opt = specializedDiv(B->RHS, asInterval(L), asInterval(R));
+        break;
+      case BinaryExpr::Op::Add:
+        // a*b + c (either side). A mul that is already const-folded or
+        // available in a CSE/hoist temp stays a plain operand.
+        if (!L.IsConst && !findActiveTemp(B->LHS))
+          Opt = tryFuseFma(B->LHS, B->RHS, asInterval(R), false, false);
+        if (Opt.empty() && !R.IsConst && !findActiveTemp(B->RHS))
+          Opt = tryFuseFma(B->RHS, B->LHS, asInterval(L), false, false);
+        break;
+      case BinaryExpr::Op::Sub:
+        // a*b - c = fma(a, b, -c);  c - a*b = fma(-a, b, c).
+        if (!L.IsConst && !findActiveTemp(B->LHS))
+          Opt = tryFuseFma(B->LHS, B->RHS, asInterval(R), false, true);
+        if (Opt.empty() && !R.IsConst && !findActiveTemp(B->RHS))
+          Opt = tryFuseFma(B->RHS, B->LHS, asInterval(L), true, false);
+        break;
+      default:
+        break;
+      }
+      if (!Opt.empty()) {
+        Out.Code = Opt;
+        return Out;
+      }
+    }
     const char *Name = B->O == BinaryExpr::Op::Add   ? "add"
                        : B->O == BinaryExpr::Op::Sub ? "sub"
                        : B->O == BinaryExpr::Op::Mul ? "mul"
@@ -744,6 +956,32 @@ TR Transformer::transformCall(const CallExpr *C) {
   }
 
   if (CK == CalleeKind::Intrinsic) {
+    // Vector FMA fusion: _mm{256,}_add_pd(_mm{256,}_mul_pd(a, b), c) and the
+    // mirrored form lower to the fused interval FMA kernels.
+    if (optOn() && !isDd() &&
+        (C->Callee == "_mm256_add_pd" || C->Callee == "_mm_add_pd") &&
+        C->Args.size() == 2) {
+      bool Wide = C->Callee == "_mm256_add_pd";
+      const char *MulName = Wide ? "_mm256_mul_pd" : "_mm_mul_pd";
+      const char *FmaName = Wide ? "ia_fma_m256di_2" : "ia_fma_m256di_1";
+      for (int Side = 0; Side < 2; ++Side) {
+        const auto *MC = dynCast<CallExpr>(ignoreParens(C->Args[Side]));
+        if (!MC || MC->Callee != MulName || MC->Args.size() != 2)
+          continue;
+        // Mirrored form reorders argument evaluation; only do it when both
+        // call operands are pure values.
+        if (Side == 1 &&
+            !(exprIsPureValue(C->Args[0]) && exprIsPureValue(C->Args[1])))
+          continue;
+        TR MA = transformExpr(MC->Args[0]);
+        TR MB = transformExpr(MC->Args[1]);
+        TR Addend = transformExpr(C->Args[1 - Side]);
+        R.C = Cat::Interval;
+        R.Code = std::string(FmaName) + "(" + asInterval(MA) + ", " +
+                 asInterval(MB) + ", " + asInterval(Addend) + ")";
+        return R;
+      }
+    }
     const auto &Hand =
         isDd() ? detail::handOptimizedDd() : detail::handOptimizedF64();
     auto It = Hand.find(C->Callee);
@@ -962,7 +1200,82 @@ std::string Transformer::forHeader(const ForStmt *S) {
   return "for (" + Init + "; " + Cond + "; " + Inc + ")";
 }
 
+size_t Transformer::emitCseTemps(const Stmt *S) {
+  if (!optOn())
+    return 0;
+  auto It = OptInfo.CommonSubexprs.find(S);
+  if (It == OptInfo.CommonSubexprs.end())
+    return 0;
+
+  // Expression roots of the statement, for occurrence counting.
+  std::vector<const Expr *> Roots;
+  if (const auto *DS = dynCast<DeclStmt>(S)) {
+    for (const VarDecl *D : DS->Decls)
+      if (D->Init)
+        Roots.push_back(D->Init);
+  } else if (const auto *ES = dynCast<ExprStmt>(S)) {
+    Roots.push_back(ES->E);
+  } else if (const auto *RS = dynCast<ReturnStmt>(S)) {
+    if (RS->Value)
+      Roots.push_back(RS->Value);
+  }
+
+  // Occurrences hidden inside an already-active temp (e.g. a hoisted
+  // loop invariant containing this candidate) are never re-emitted, so
+  // they must not count toward the reuse threshold.
+  auto visibleCount = [&](const Expr *Rep) {
+    int N = 0;
+    for (const Expr *Root : Roots)
+      forEachSubexprPruned(Root, [&](const Expr *E) {
+        if (findActiveTemp(E))
+          return false;
+        if (exprCseEqual(E, Rep)) {
+          ++N;
+          return false;
+        }
+        return true;
+      });
+    return N;
+  };
+
+  size_t N = 0;
+  for (const Expr *Rep : It->second) {
+    if (findActiveTemp(Rep))
+      continue; // already available from a hoist or an enclosing statement
+    if (visibleCount(Rep) < 2)
+      continue;
+    TR Init = transformExpr(Rep);
+    if (Init.IsConst || Init.C != Cat::Interval)
+      continue; // constants fold; nothing to reuse
+    std::string Name = formatString("_cse%d", ++CseCounter);
+    line(scalarIntervalType() + " " + Name + " = " + Init.Code + ";");
+    ActiveTemps.push_back({Rep, Name});
+    ++N;
+  }
+  return N;
+}
+
 void Transformer::emitFor(const ForStmt *S) {
+  // Hoist loop-invariant enclosures ahead of the header; they stay
+  // visible (via ActiveTemps) for the whole loop emission.
+  size_t Hoisted = 0;
+  if (optOn()) {
+    auto HIt = OptInfo.LoopInvariants.find(S);
+    if (HIt != OptInfo.LoopInvariants.end()) {
+      for (const Expr *Rep : HIt->second) {
+        if (findActiveTemp(Rep))
+          continue;
+        TR Init = transformExpr(Rep);
+        if (Init.IsConst || Init.C != Cat::Interval)
+          continue;
+        std::string Name = formatString("_hoist%d", ++HoistCounter);
+        line(scalarIntervalType() + " " + Name + " = " + Init.Code + ";");
+        ActiveTemps.push_back({Rep, Name});
+        ++Hoisted;
+      }
+    }
+  }
+
   std::vector<const ReductionSite *> Sites;
   if (Opts.EnableReductions)
     Sites = Reductions.sitesForLoop(S);
@@ -986,6 +1299,7 @@ void Transformer::emitFor(const ForStmt *S) {
          ");");
     UpdateToAcc.erase(Site->Update);
   }
+  popTemps(Hoisted);
 }
 
 void Transformer::emitWhileCond(std::string Keyword, const Expr *Cond) {
@@ -1021,13 +1335,19 @@ void Transformer::emitStmt(const Stmt *S) {
     --Indent;
     line("}");
     return;
-  case Stmt::Kind::DeclStmt:
+  case Stmt::Kind::DeclStmt: {
+    size_t Temps = emitCseTemps(S);
     for (const VarDecl *D : cast<DeclStmt>(S)->Decls)
       emitDecl(D);
+    popTemps(Temps);
     return;
-  case Stmt::Kind::ExprStmt:
+  }
+  case Stmt::Kind::ExprStmt: {
+    size_t Temps = emitCseTemps(S);
     emitExprStmt(cast<ExprStmt>(S));
+    popTemps(Temps);
     return;
+  }
   case Stmt::Kind::If:
     emitIf(cast<IfStmt>(S));
     return;
@@ -1057,11 +1377,13 @@ void Transformer::emitStmt(const Stmt *S) {
       line("return;");
       return;
     }
+    size_t Temps = emitCseTemps(S);
     TR V = transformExpr(R->Value);
     // Wrap per the function's (promoted) return type.
     bool WantInterval = R->Value->type() &&
                         R->Value->type()->isFloatingOrVector();
     line("return " + (WantInterval ? asInterval(V) : V.Code) + ";");
+    popTemps(Temps);
     return;
   }
   case Stmt::Kind::Break:
@@ -1083,6 +1405,17 @@ void Transformer::emitFunction(FunctionDecl *F) {
     Reductions = ReductionAnalysisResult();
   UpdateToAcc.clear();
   Renames.clear();
+  ActiveTemps.clear();
+  if (Opts.OptLevel > 0 && F->Body) {
+    OptOptions OO;
+    // Guard-derived facts require the Exception policy: under Join both
+    // branch bodies execute unconditionally.
+    OO.GuardFacts =
+        Opts.Branches == TransformOptions::BranchPolicy::Exception;
+    OptInfo = analyzeFunctionForOpt(*F, OO);
+  } else {
+    OptInfo = OptFunctionInfo();
+  }
 
   // Header (Fig. 2/3): floating types promote; tolerance parameters keep
   // their scalar type and gain an interval shadow in the body.

@@ -52,6 +52,15 @@ struct TransformOptions {
   };
   BranchPolicy Branches = BranchPolicy::Exception;
 
+  /// Mid-end optimization level (driver -O/-O0). At level >= 1 the
+  /// transformer runs the src/opt value-range analysis and uses it for
+  /// sign-specialized multiplies/divides (ia_mul_pp/... / ia_div_p),
+  /// fuses add+mul into ia_fma, reuses repeated enclosures (interval
+  /// CSE), and hoists loop-invariant interval computations. Every
+  /// rewrite preserves or tightens the computed enclosures; 0 disables
+  /// the whole pipeline and reproduces the naive translation.
+  int OptLevel = 1;
+
   /// Header providing the ia_* runtime (paper: "igen_lib.h").
   std::string RuntimeHeader = "interval/igen_lib.h";
 

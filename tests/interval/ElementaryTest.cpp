@@ -242,6 +242,81 @@ TEST_F(ElemTest, AsinAcosDomainEdges) {
   EXPECT_GE(AC.hi(), 3.1415926535897931);
 }
 
+TEST_F(ElemTest, TanSpansPoleAwayFromOrigin) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  // 11*pi/2 ~ 17.28 lies inside [17, 18]: the enclosure is the line.
+  Interval T = iTan(Interval::fromEndpoints(17.0, 18.0));
+  EXPECT_EQ(T.lo(), -Inf);
+  EXPECT_EQ(T.hi(), Inf);
+  // Any interval wider than pi spans a pole no matter where it sits.
+  T = iTan(Interval::fromEndpoints(100.0, 104.0));
+  EXPECT_EQ(T.lo(), -Inf);
+  EXPECT_EQ(T.hi(), Inf);
+  // The closest double to pi/2 is still on the left of the pole; tan
+  // there is ~1.6e16 and the enclosure must reach it (or be entire if
+  // the section is ambiguous).
+  double NearPiHalf = 1.5707963267948966;
+  Interval P = iTan(Interval::fromPoint(NearPiHalf));
+  long double Ref = refLd([](long double V) { return tanl(V); }, NearPiHalf);
+  EXPECT_GE(static_cast<long double>(P.hi()), Ref);
+  EXPECT_LE(static_cast<long double>(P.lo()), Ref);
+}
+
+TEST_F(ElemTest, AsinAcosJustOutsideUnitDomain) {
+  // One ulp outside [-1, 1] is already fully invalid.
+  double Above = std::nextafter(1.0, 2.0);
+  double Below = std::nextafter(-1.0, -2.0);
+  EXPECT_TRUE(iAsin(Interval::fromPoint(Above)).hasNaN());
+  EXPECT_TRUE(iAsin(Interval::fromPoint(Below)).hasNaN());
+  EXPECT_TRUE(iAcos(Interval::fromPoint(Above)).hasNaN());
+  EXPECT_TRUE(iAcos(Interval::fromPoint(Below)).hasNaN());
+  // Straddling the upper edge by one ulp: NaN on the invalid side, a
+  // sound bound on the valid side (cf. AsinAcosDomainEdges).
+  double JustIn = std::nextafter(1.0, 0.0);
+  Interval S = iAsin(Interval::fromEndpoints(JustIn, Above));
+  EXPECT_TRUE(S.hasNaN());
+  if (!std::isnan(S.NegLo)) {
+    long double Ref =
+        refLd([](long double V) { return asinl(V); }, JustIn);
+    EXPECT_LE(static_cast<long double>(S.lo()), Ref);
+  }
+  Interval C = iAcos(Interval::fromEndpoints(Below, std::nextafter(-1.0, 0.0)));
+  EXPECT_TRUE(C.hasNaN());
+  if (!std::isnan(C.Hi))
+    EXPECT_GE(C.hi(), 3.1415926535897931); // acos(-1) rounds to pi
+}
+
+TEST_F(ElemTest, SinCosAtArgumentReductionCutoff) {
+  // sectionRange is only consulted for |x| <= 2^45; straddle that
+  // boundary from both sides. Everything must stay sound against the
+  // long double reference and inside [-1, 1].
+  const double Cut = 0x1p45;
+  const double Probes[] = {Cut,
+                           -Cut,
+                           std::nextafter(Cut, 0.0),
+                           std::nextafter(Cut, 1e300),
+                           std::nextafter(-Cut, 0.0),
+                           std::nextafter(-Cut, -1e300)};
+  for (double X : Probes) {
+    Interval S = iSin(Interval::fromPoint(X));
+    Interval C = iCos(Interval::fromPoint(X));
+    long double RefS = refLd([](long double V) { return sinl(V); }, X);
+    long double RefC = refLd([](long double V) { return cosl(V); }, X);
+    EXPECT_GE(static_cast<long double>(S.hi()), RefS) << X;
+    EXPECT_LE(static_cast<long double>(S.lo()), RefS) << X;
+    EXPECT_GE(static_cast<long double>(C.hi()), RefC) << X;
+    EXPECT_LE(static_cast<long double>(C.lo()), RefC) << X;
+    EXPECT_LE(S.hi(), 1.0);
+    EXPECT_GE(S.lo(), -1.0);
+    EXPECT_LE(C.hi(), 1.0);
+    EXPECT_GE(C.lo(), -1.0);
+  }
+  // Above the cutoff the implementation gives up: exactly [-1, 1].
+  Interval Wide = iSin(Interval::fromPoint(std::nextafter(Cut, 1e300)));
+  EXPECT_EQ(Wide.lo(), -1.0);
+  EXPECT_EQ(Wide.hi(), 1.0);
+}
+
 TEST_F(ElemTest, AtanMonotoneEndpoints) {
   Interval A = iAtan(Interval::fromEndpoints(-2.0, 3.0));
   long double RefLo = refLd([](long double V) { return atanl(V); }, -2.0);

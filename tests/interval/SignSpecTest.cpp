@@ -1,0 +1,234 @@
+//===- SignSpecTest.cpp - Sign-specialized op and FMA property tests --------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the sign-specialized multiply/divide variants and
+/// the fused FMA added for the mid-end optimizer. Invariants:
+///
+///  * On inputs satisfying the variant's sign precondition, the variant
+///    is sound (contains sampled exact products) and never wider than
+///    the generic operation.
+///  * On NaN inputs the variants reproduce the generic NaN result (the
+///    runtime NaN-check fallback, which keeps soundness independent of
+///    the compiler's static reasoning).
+///  * iFma{,PP,PN,NN,PU,NU} are sound for sampled exact x*y + c values
+///    and are subsets of the unfused iAdd(iMul*(X, Y), C).
+///
+//===----------------------------------------------------------------------===//
+
+#include "interval/Interval.h"
+#include "interval/IntervalSimd.h"
+#include "interval/IntervalVector.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::containsQuad;
+using igen::test::Rng;
+
+namespace {
+
+class SignSpecTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{0x51675};
+};
+
+Interval nonNegInterval(Rng &R) {
+  double A = std::fabs(R.moderateDouble());
+  double B = std::fabs(R.moderateDouble());
+  if (A > B)
+    std::swap(A, B);
+  return Interval::fromEndpoints(A, B);
+}
+
+Interval posInterval(Rng &R) {
+  Interval I = nonNegInterval(R);
+  if (I.lo() <= 0.0)
+    I = Interval::fromEndpoints(0x1p-80, std::max(I.hi(), 0x1p-80));
+  return I;
+}
+
+Interval negate(const Interval &I) { return iNeg(I); }
+
+Interval anyModerate(Rng &R) { return R.moderateInterval(); }
+
+/// Sampled exact products of the endpoint grid plus interior points must
+/// land inside \p Got.
+void expectSoundMul(const Interval &Got, const Interval &X,
+                    const Interval &Y) {
+  const double Xs[] = {X.lo(), X.hi(), (X.lo() + X.hi()) / 2};
+  const double Ys[] = {Y.lo(), Y.hi(), (Y.lo() + Y.hi()) / 2};
+  for (double U : Xs)
+    for (double V : Ys)
+      EXPECT_TRUE(containsQuad(Got, static_cast<__float128>(U) * V))
+          << U << " * " << V;
+}
+
+} // namespace
+
+TEST_F(SignSpecTest, MulVariantsSoundAndNoWiderThanGeneric) {
+  for (int I = 0; I < 20000; ++I) {
+    Interval P1 = nonNegInterval(R), P2 = nonNegInterval(R);
+    Interval N1 = negate(nonNegInterval(R)), N2 = negate(nonNegInterval(R));
+    Interval U = anyModerate(R);
+
+    struct Case {
+      Interval Got, X, Y;
+    } Cases[] = {
+        {iMulPP(P1, P2), P1, P2}, {iMulPN(P1, N1), P1, N1},
+        {iMulNN(N1, N2), N1, N2}, {iMulPU(P1, U), P1, U},
+        {iMulNU(N1, U), N1, U},
+    };
+    for (const Case &C : Cases) {
+      expectSoundMul(C.Got, C.X, C.Y);
+      Interval Generic = iMul(C.X, C.Y);
+      EXPECT_TRUE(Generic.containsInterval(C.Got))
+          << "[" << C.X.lo() << "," << C.X.hi() << "] * [" << C.Y.lo()
+          << "," << C.Y.hi() << "]";
+    }
+  }
+}
+
+TEST_F(SignSpecTest, DivVariantsSoundAndNoWiderThanGeneric) {
+  for (int I = 0; I < 20000; ++I) {
+    Interval X = anyModerate(R);
+    Interval DP = posInterval(R);
+    Interval DN = negate(posInterval(R));
+
+    Interval GotP = iDivP(X, DP);
+    Interval GotN = iDivN(X, DN);
+    const double Xs[] = {X.lo(), X.hi(), (X.lo() + X.hi()) / 2};
+    for (double U : Xs) {
+      EXPECT_TRUE(
+          containsQuad(GotP, static_cast<__float128>(U) / DP.lo()));
+      EXPECT_TRUE(
+          containsQuad(GotP, static_cast<__float128>(U) / DP.hi()));
+      EXPECT_TRUE(
+          containsQuad(GotN, static_cast<__float128>(U) / DN.lo()));
+      EXPECT_TRUE(
+          containsQuad(GotN, static_cast<__float128>(U) / DN.hi()));
+    }
+    EXPECT_TRUE(iDiv(X, DP).containsInterval(GotP));
+    EXPECT_TRUE(iDiv(X, DN).containsInterval(GotN));
+  }
+}
+
+TEST_F(SignSpecTest, VariantsFallBackOnNaN) {
+  // A NaN operand passes every debug precondition and must trip the
+  // runtime check, reproducing the fully-NaN generic result.
+  Interval Nan = Interval::nan();
+  Interval P = posInterval(R);
+  EXPECT_TRUE(iMulPP(Nan, P).hasNaN());
+  EXPECT_TRUE(iMulPN(P, Nan).hasNaN());
+  EXPECT_TRUE(iMulNN(Nan, Nan).hasNaN());
+  EXPECT_TRUE(iMulPU(P, Nan).hasNaN());
+  EXPECT_TRUE(iMulNU(Nan, P).hasNaN());
+  EXPECT_TRUE(iDivP(Nan, P).hasNaN());
+  EXPECT_TRUE(iDivN(Nan, negate(P)).hasNaN());
+  EXPECT_TRUE(iFma(Nan, P, P).hasNaN());
+  EXPECT_TRUE(iFmaPP(P, Nan, P).hasNaN());
+  EXPECT_TRUE(iFmaPU(P, P, Nan).hasNaN());
+}
+
+TEST_F(SignSpecTest, FmaSoundAndNoWiderThanUnfused) {
+  for (int I = 0; I < 20000; ++I) {
+    Interval P1 = nonNegInterval(R), P2 = nonNegInterval(R);
+    Interval N1 = negate(nonNegInterval(R)), N2 = negate(nonNegInterval(R));
+    Interval U = anyModerate(R), C = anyModerate(R);
+
+    struct Case {
+      Interval Got, X, Y;
+    } Cases[] = {
+        {iFma(U, anyModerate(R), C), U, Interval()}, // filled below
+        {iFmaPP(P1, P2, C), P1, P2},
+        {iFmaPN(P1, N1, C), P1, N1},
+        {iFmaNN(N1, N2, C), N1, N2},
+        {iFmaPU(P1, U, C), P1, U},
+        {iFmaNU(N1, U, C), N1, U},
+    };
+    // Rebuild case 0 with both operands known so sampling works.
+    Interval U2 = anyModerate(R);
+    Cases[0] = {iFma(U, U2, C), U, U2};
+
+    for (const Case &Kase : Cases) {
+      // Sampled exact x*y + c (quad holds x*y exactly; adding c rounds
+      // once at 113 bits -- far inside any double-width enclosure).
+      const double Xs[] = {Kase.X.lo(), Kase.X.hi()};
+      const double Ys[] = {Kase.Y.lo(), Kase.Y.hi()};
+      const double Cs[] = {C.lo(), C.hi(), (C.lo() + C.hi()) / 2};
+      for (double Xe : Xs)
+        for (double Ye : Ys)
+          for (double Ce : Cs)
+            EXPECT_TRUE(containsQuad(
+                Kase.Got, static_cast<__float128>(Xe) * Ye + Ce))
+                << Xe << "*" << Ye << "+" << Ce;
+      // Fused must not be wider than the unfused generic composition.
+      Interval Unfused = iAdd(iMul(Kase.X, Kase.Y), C);
+      EXPECT_TRUE(Unfused.containsInterval(Kase.Got));
+    }
+  }
+}
+
+TEST_F(SignSpecTest, SseVariantsMatchScalarBehavior) {
+  for (int I = 0; I < 20000; ++I) {
+    Interval P1 = nonNegInterval(R), P2 = nonNegInterval(R);
+    Interval N1 = negate(nonNegInterval(R));
+    Interval U = anyModerate(R), C = anyModerate(R);
+    Interval DP = posInterval(R);
+
+    auto S = [](const Interval &I) { return IntervalSse::fromInterval(I); };
+
+    struct Case {
+      Interval Sse, X, Y;
+    } Cases[] = {
+        {iMulPP(S(P1), S(P2)).toInterval(), P1, P2},
+        {iMulPN(S(P1), S(N1)).toInterval(), P1, N1},
+        {iMulNN(S(N1), S(N1)).toInterval(), N1, N1},
+        {iMulPU(S(P1), S(U)).toInterval(), P1, U},
+        {iMulNU(S(N1), S(U)).toInterval(), N1, U},
+    };
+    for (const Case &Kase : Cases) {
+      expectSoundMul(Kase.Sse, Kase.X, Kase.Y);
+      EXPECT_TRUE(iMul(Kase.X, Kase.Y).containsInterval(Kase.Sse));
+    }
+
+    Interval DivSse = iDivP(S(U), S(DP)).toInterval();
+    EXPECT_TRUE(iDiv(U, DP).containsInterval(DivSse));
+    EXPECT_TRUE(containsQuad(
+        DivSse, static_cast<__float128>(U.lo()) / DP.hi()));
+
+    Interval FmaSse = iFmaPU(S(P1), S(U), S(C)).toInterval();
+    EXPECT_TRUE(iAdd(iMul(P1, U), C).containsInterval(FmaSse));
+    EXPECT_TRUE(containsQuad(
+        FmaSse, static_cast<__float128>(P1.hi()) * U.lo() + C.lo()));
+  }
+}
+
+TEST_F(SignSpecTest, VectorFmaSoundPerLane) {
+  for (int I = 0; I < 10000; ++I) {
+    Interval X0 = anyModerate(R), X1 = anyModerate(R);
+    Interval Y0 = anyModerate(R), Y1 = anyModerate(R);
+    Interval C0 = anyModerate(R), C1 = anyModerate(R);
+    IntervalX2 Got = iFma(IntervalX2::fromIntervals(X0, X1),
+                          IntervalX2::fromIntervals(Y0, Y1),
+                          IntervalX2::fromIntervals(C0, C1));
+    const Interval Xs[] = {X0, X1}, Ys[] = {Y0, Y1}, Cs[] = {C0, C1};
+    for (int L = 0; L < 2; ++L) {
+      Interval Lane = Got.interval(L);
+      EXPECT_TRUE(containsQuad(Lane, static_cast<__float128>(Xs[L].lo()) *
+                                             Ys[L].lo() +
+                                         Cs[L].lo()));
+      EXPECT_TRUE(containsQuad(Lane, static_cast<__float128>(Xs[L].hi()) *
+                                             Ys[L].hi() +
+                                         Cs[L].hi()));
+      EXPECT_TRUE(
+          iAdd(iMul(Xs[L], Ys[L]), Cs[L]).containsInterval(Lane));
+    }
+  }
+}

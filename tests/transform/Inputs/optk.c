@@ -1,0 +1,63 @@
+/* Kernels exercising the mid-end optimizer: guard-derived sign facts,
+   sign-specialized multiplies and divides, FMA fusion, CSE, and
+   loop-invariant hoisting. Compiled twice (default -O and -O0) so the
+   exec test can compare enclosures. */
+
+double opt_horner(const double *coef, double x, int d) {
+  double r = 0.0;
+  if (x > 0.0) {
+    r = coef[d];
+    for (int k = d - 1; k >= 0; k--) {
+      r = r * x + coef[k];
+    }
+  }
+  return r;
+}
+
+double opt_pade(double x) {
+  double r = 0.0;
+  if (x > 0.0) {
+    double p = 0.125 + x * (2.0 + x);
+    double q = 2.0 + x * (0.5 + x);
+    r = p / q;
+  }
+  return r;
+}
+
+double opt_henon(double x, double y, int n) {
+  double a = 1.05;
+  double b = 0.3;
+  for (int i = 0; i < n; i++) {
+    double xi = x;
+    double yi = y;
+    x = 1 - a * xi * xi + yi;
+    y = b * xi;
+  }
+  return x;
+}
+
+double opt_invsq(double x) {
+  double r = 0.0;
+  if (x > 1.0) {
+    r = 1.0 / (x * x);
+  }
+  return r;
+}
+
+double opt_negsq(double x, double y) {
+  double r = 0.0;
+  if (x < 0.0) {
+    if (y < x) {
+      r = x * y;
+    }
+  }
+  return r;
+}
+
+double opt_cse(const double *v, double a, double b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    s = s + (a * b + 1.0) * v[i] + (a * b + 1.0);
+  }
+  return s;
+}

@@ -1,0 +1,14 @@
+//===- OptkO0Tu.cpp - Wrap the -O0 build of Inputs/optk.c --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#define opt_horner opt_horner_O0
+#define opt_pade opt_pade_O0
+#define opt_henon opt_henon_O0
+#define opt_invsq opt_invsq_O0
+#define opt_negsq opt_negsq_O0
+#define opt_cse opt_cse_O0
+
+#include "optk_O0.cpp"

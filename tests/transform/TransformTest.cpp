@@ -94,8 +94,8 @@ TEST(Transform, IndexLiftingAndPointers) {
       "    y[i] = y[i] + alpha * x[i];\n"
       "}\n");
   EXPECT_THAT(Out, HasSubstr("void axpy(f64i alpha, f64i *x, f64i *y"));
-  EXPECT_THAT(Out,
-              HasSubstr("y[i] = ia_add_f64(y[i], ia_mul_f64(alpha, x[i]))"));
+  // The default optimization level fuses the multiply-accumulate.
+  EXPECT_THAT(Out, HasSubstr("y[i] = ia_fma_f64(alpha, x[i], y[i])"));
 }
 
 TEST(Transform, MathFunctionsMap) {
@@ -111,7 +111,9 @@ TEST(Transform, CompoundAssignments) {
                             "  *s *= 2.0;\n"
                             "}\n");
   EXPECT_THAT(Out, HasSubstr("*s = ia_add_f64(*s, x);"));
-  EXPECT_THAT(Out, HasSubstr("*s = ia_mul_f64(*s, ia_cst_f64(2"));
+  // 2.0 is provably positive, so -O specializes (and commutes) the
+  // multiply.
+  EXPECT_THAT(Out, HasSubstr("*s = ia_mul_pu_f64(ia_cst_f64(2"));
 }
 
 TEST(Transform, DdTarget) {
@@ -261,7 +263,7 @@ TEST(Transform, JoinModeFallsBackOnArrayStores) {
 TEST(Transform, FloatPromotesToDoubleIntervals) {
   std::string Out = compile("float f(float x) { return x * 0.5f; }");
   EXPECT_THAT(Out, HasSubstr("f64i f(f64i x)"));
-  EXPECT_THAT(Out, HasSubstr("ia_mul_f64"));
+  EXPECT_THAT(Out, HasSubstr("ia_mul_pu_f64(ia_set_f64("));
 }
 
 TEST(Transform, CastsBehave) {
@@ -370,4 +372,134 @@ TEST(Transform, WhileWithIntervalConditionWrapsCvt) {
                             "}\n");
   EXPECT_THAT(Out,
               HasSubstr("while (ia_cvt2bool_tb(ia_cmplt_f64(x, "));
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-end optimizer golden tests (-O vs -O0)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *SignKernel = "double f(double x) {\n"
+                         "  double r = 0.0;\n"
+                         "  if (x > 1.0) {\n"
+                         "    r = 1.0 / (x * x);\n"
+                         "  }\n"
+                         "  return r;\n"
+                         "}\n";
+
+const char *MacKernel = "void mac(double *y, double *a, double *b, int n) {\n"
+                        "  for (int i = 0; i < n; i++)\n"
+                        "    y[i] = y[i] + a[i] * b[i];\n"
+                        "}\n";
+
+} // namespace
+
+TEST(Optimizer, SignProvableKernelSpecializesUnderO1) {
+  std::string Out = compile(SignKernel);
+  // x > 1.0 proves x (and hence x*x) strictly positive.
+  EXPECT_THAT(Out, HasSubstr("ia_mul_pp_f64(x, x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_div_p_f64("));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_mul_f64")));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_div_f64")));
+}
+
+TEST(Optimizer, O0EmitsGenericCalls) {
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  std::string Out = compile(SignKernel, Opts);
+  EXPECT_THAT(Out, HasSubstr("ia_mul_f64(x, x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_div_f64("));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_mul_pp")));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_div_p")));
+}
+
+TEST(Optimizer, MulAddFusesToFma) {
+  std::string Out = compile(MacKernel);
+  EXPECT_THAT(Out, HasSubstr("y[i] = ia_fma_f64(a[i], b[i], y[i])"));
+
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  std::string Naive = compile(MacKernel, Opts);
+  EXPECT_THAT(Naive,
+              HasSubstr("y[i] = ia_add_f64(y[i], ia_mul_f64(a[i], b[i]))"));
+  EXPECT_THAT(Naive, Not(HasSubstr("ia_fma")));
+}
+
+TEST(Optimizer, SubtractionFusesWithNegation) {
+  // a*b - c = fma(a, b, -c); c - a*b = fma(-a, b, c).
+  std::string Out = compile("double f(double a, double b, double c) {\n"
+                            "  return a * b - c;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("ia_fma_f64(a, b, ia_neg_f64(c))"));
+  Out = compile("double f(double a, double b, double c) {\n"
+                "  return c - a * b;\n"
+                "}\n");
+  EXPECT_THAT(Out, HasSubstr("ia_fma_f64(ia_neg_f64(a), b, c)"));
+}
+
+TEST(Optimizer, CseAndHoistingIntroduceTemps) {
+  std::string Src = "double f(const double *v, double a, double b, int n) {\n"
+                    "  double s = 0.0;\n"
+                    "  for (int i = 0; i < n; i++) {\n"
+                    "    s = s + (a * b + 1.0) * v[i] + (a * b + 1.0);\n"
+                    "  }\n"
+                    "  return s;\n"
+                    "}\n";
+  std::string Out = compile(Src);
+  // The loop-invariant a*b + 1.0 is computed once ahead of the loop.
+  EXPECT_THAT(Out, HasSubstr("f64i _hoist1 = ia_fma_f64(a, b, ia_cst_f64(1));"));
+  EXPECT_THAT(Out, HasSubstr("ia_fma_f64(_hoist1, v[i], s)"));
+
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  std::string Naive = compile(Src, Opts);
+  EXPECT_THAT(Naive, Not(HasSubstr("_hoist")));
+  EXPECT_THAT(Naive, Not(HasSubstr("_cse")));
+}
+
+TEST(Optimizer, CseWithinOneStatement) {
+  std::string Out = compile("double f(double a, double b, double c) {\n"
+                            "  return (a * b + c) * (a * b + c) + a * b;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("f64i _cse1 = ia_mul_f64(a, b);"));
+  EXPECT_THAT(Out, HasSubstr("f64i _cse2 = ia_add_f64(_cse1, c);"));
+  EXPECT_THAT(Out, HasSubstr("return ia_fma_f64(_cse2, _cse2, _cse1);"));
+}
+
+TEST(Optimizer, DdTargetStaysGeneric) {
+  // The specialized entry points exist for f64 only; dd lowering must
+  // not change under -O.
+  TransformOptions Opts;
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  std::string Out = compile(SignKernel, Opts);
+  EXPECT_THAT(Out, HasSubstr("ia_mul_dd(x, x)"));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_mul_pp")));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_fma")));
+}
+
+TEST(Optimizer, VectorIntrinsicAddMulFuses) {
+  std::string Src =
+      "void vmac(__m256d *y, __m256d *a, __m256d *b, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    y[i] = _mm256_add_pd(_mm256_mul_pd(a[i], b[i]), y[i]);\n"
+      "}\n";
+  std::string Out = compile(Src);
+  EXPECT_THAT(Out, HasSubstr("ia_fma_m256di_2("));
+
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  std::string Naive = compile(Src, Opts);
+  EXPECT_THAT(Naive, HasSubstr("ia_add_m256di_2("));
+  EXPECT_THAT(Naive, Not(HasSubstr("ia_fma")));
+}
+
+TEST(Optimizer, GuardFactsDisabledUnderJoinPolicy) {
+  // Under the join policy both sides of a branch execute, so the guard
+  // cannot prove signs; only guard-independent facts may specialize.
+  TransformOptions Opts;
+  Opts.Branches = TransformOptions::BranchPolicy::Join;
+  std::string Out = compile(SignKernel, Opts);
+  EXPECT_THAT(Out, Not(HasSubstr("ia_mul_pp")));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_div_p_f64")));
 }
