@@ -18,6 +18,7 @@
 #include "interval/DdSimd.h"
 #include "interval/Interval.h"
 #include "interval/Ulp.h"
+#include "support/JsonWriter.h"
 
 #include <algorithm>
 #include <cmath>
@@ -212,10 +213,11 @@ inline void printRow(const char *Table, const char *Config, int Size,
 // Machine-readable output (--json <path>)
 //===----------------------------------------------------------------------===//
 
-/// Collects benchmark rows and writes them as a JSON array, one object
-/// per measurement: {"kernel", "config", "size", "cycles",
-/// "iops_per_cycle"}. Rows are also echoed as CSV on stdout by
-/// reportRow() so the human-readable output is unchanged.
+/// Collects benchmark rows and writes them through the shared
+/// igen::JsonWriter as {"schema_version": 1, "report": "igen_bench",
+/// "rows": [{"kernel", "config", "size", "cycles", "iops_per_cycle"},
+/// ...]}. Rows are also echoed as CSV on stdout by reportRow() so the
+/// human-readable output is unchanged.
 class JsonReport {
 public:
   struct Row {
@@ -231,21 +233,24 @@ public:
 
   /// Writes the collected rows to \p Path; returns false on I/O failure.
   bool writeTo(const char *Path) const {
-    std::FILE *F = std::fopen(Path, "w");
-    if (!F)
-      return false;
-    std::fprintf(F, "[\n");
-    for (size_t I = 0; I < Rows.size(); ++I) {
-      const Row &R = Rows[I];
-      std::fprintf(F,
-                   "  {\"kernel\": \"%s\", \"config\": \"%s\", "
-                   "\"size\": %ld, \"cycles\": %.1f, "
-                   "\"iops_per_cycle\": %.6f}%s\n",
-                   R.Kernel.c_str(), R.Config.c_str(), R.Size, R.Cycles,
-                   R.IopsPerCycle, I + 1 < Rows.size() ? "," : "");
+    JsonWriter W;
+    W.beginObject();
+    W.field("schema_version", 1);
+    W.field("report", "igen_bench");
+    W.key("rows");
+    W.beginArray();
+    for (const Row &R : Rows) {
+      W.beginObject();
+      W.field("kernel", R.Kernel);
+      W.field("config", R.Config);
+      W.field("size", static_cast<int64_t>(R.Size));
+      W.field("cycles", R.Cycles);
+      W.field("iops_per_cycle", R.IopsPerCycle);
+      W.endObject();
     }
-    std::fprintf(F, "]\n");
-    return std::fclose(F) == 0;
+    W.endArray();
+    W.endObject();
+    return W.writeTo(Path);
   }
 
 private:

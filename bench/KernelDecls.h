@@ -78,6 +78,17 @@ IntervalSse sv0_horner(IntervalSse *coef, IntervalSse x, int d);
 IntervalSse sv0_pade(IntervalSse *xs, IntervalSse *out, int n);
 
 // --------------------------------------------------------------------------
+// IGen-sv with --profile instrumentation (precision profiler overhead
+// rows of Table V).
+// --------------------------------------------------------------------------
+void svp_gemm(IntervalSse *C, IntervalSse *A, IntervalSse *B, int n);
+void svp_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m,
+             int n);
+IntervalSse svp_henon(IntervalSse x, IntervalSse y, int iterations);
+IntervalSse svp_horner(IntervalSse *coef, IntervalSse x, int d);
+IntervalSse svp_pade(IntervalSse *xs, IntervalSse *out, int n);
+
+// --------------------------------------------------------------------------
 // IGen-ss: scalar input -> scalar double intervals.
 // --------------------------------------------------------------------------
 void ss_fft(Interval *re, Interval *im, Interval *wre, Interval *wim,

@@ -49,8 +49,16 @@ struct OptRow {
   double Speedup;
 };
 
+struct ProfRow {
+  std::string Kernel;
+  int Size;
+  uint64_t CyclesPlain, CyclesProf;
+  double Overhead;
+};
+
 std::vector<SlowdownRow> SlowdownRows;
 std::vector<OptRow> OptRows;
+std::vector<ProfRow> ProfRows;
 
 void row(const char *Bench, int Size, const char *Config, uint64_t Cyc,
          uint64_t BaseCyc) {
@@ -70,37 +78,75 @@ void optRow(const char *Kernel, int Size, const std::function<void()> &O0,
   OptRows.push_back({Kernel, Size, C0, C1, Speedup});
 }
 
-bool writeJson(const char *Path) {
-  std::FILE *F = std::fopen(Path, "w");
-  if (!F)
-    return false;
-  std::fprintf(F, "{\n  \"table\": \"table5\",\n  \"slowdown\": [\n");
-  for (size_t I = 0; I < SlowdownRows.size(); ++I) {
-    const SlowdownRow &S = SlowdownRows[I];
-    std::fprintf(F,
-                 "    {\"kernel\": \"%s\", \"size\": %d, \"config\": "
-                 "\"%s\", \"slowdown\": %.2f}%s\n",
-                 S.Bench.c_str(), S.Size, S.Config.c_str(), S.Slowdown,
-                 I + 1 < SlowdownRows.size() ? "," : "");
-  }
-  std::fprintf(F, "  ],\n  \"opt_compare\": [\n");
+/// One profiler-overhead row: the sv kernel vs the same kernel compiled
+/// with --profile (svp_). Uses minCycles like the other ratio rows.
+void profRow(const char *Kernel, int Size, const std::function<void()> &Plain,
+             const std::function<void()> &Prof, int Reps = 9) {
+  uint64_t CP = minCycles(Plain, Reps);
+  uint64_t CI = minCycles(Prof, Reps);
+  double Overhead = static_cast<double>(CI) / CP;
+  std::printf("table5prof,%s-%d,profile-overhead,%.2f\n", Kernel, Size,
+              Overhead);
+  ProfRows.push_back({Kernel, Size, CP, CI, Overhead});
+}
+
+double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 1.0;
   double LogSum = 0.0;
-  for (size_t I = 0; I < OptRows.size(); ++I) {
-    const OptRow &O = OptRows[I];
-    LogSum += std::log(O.Speedup);
-    std::fprintf(F,
-                 "    {\"kernel\": \"%s\", \"size\": %d, "
-                 "\"cycles_O0\": %llu, \"cycles_O1\": %llu, "
-                 "\"speedup\": %.3f}%s\n",
-                 O.Kernel.c_str(), O.Size,
-                 static_cast<unsigned long long>(O.CyclesO0),
-                 static_cast<unsigned long long>(O.CyclesO1), O.Speedup,
-                 I + 1 < OptRows.size() ? "," : "");
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return std::exp(LogSum / Xs.size());
+}
+
+bool writeJson(const char *Path) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", 1);
+  W.field("table", "table5");
+  W.key("slowdown");
+  W.beginArray();
+  for (const SlowdownRow &S : SlowdownRows) {
+    W.beginObject();
+    W.field("kernel", S.Bench);
+    W.field("size", S.Size);
+    W.field("config", S.Config);
+    W.field("slowdown", S.Slowdown);
+    W.endObject();
   }
-  double Geomean =
-      OptRows.empty() ? 1.0 : std::exp(LogSum / OptRows.size());
-  std::fprintf(F, "  ],\n  \"opt_geomean_speedup\": %.3f\n}\n", Geomean);
-  return std::fclose(F) == 0;
+  W.endArray();
+  W.key("opt_compare");
+  W.beginArray();
+  std::vector<double> Speedups;
+  for (const OptRow &O : OptRows) {
+    Speedups.push_back(O.Speedup);
+    W.beginObject();
+    W.field("kernel", O.Kernel);
+    W.field("size", O.Size);
+    W.field("cycles_O0", O.CyclesO0);
+    W.field("cycles_O1", O.CyclesO1);
+    W.field("speedup", O.Speedup);
+    W.endObject();
+  }
+  W.endArray();
+  W.field("opt_geomean_speedup", geomean(Speedups));
+  W.key("profile_overhead");
+  W.beginArray();
+  std::vector<double> Overheads;
+  for (const ProfRow &P : ProfRows) {
+    Overheads.push_back(P.Overhead);
+    W.beginObject();
+    W.field("kernel", P.Kernel);
+    W.field("size", P.Size);
+    W.field("cycles_plain", P.CyclesPlain);
+    W.field("cycles_profiled", P.CyclesProf);
+    W.field("overhead", P.Overhead);
+    W.endObject();
+  }
+  W.endArray();
+  W.field("profile_overhead_geomean", geomean(Overheads));
+  W.endObject();
+  return W.writeTo(Path);
 }
 
 } // namespace
@@ -365,6 +411,108 @@ int main(int Argc, char **Argv) {
   if (!OptRows.empty())
     std::printf("table5opt,geomean,O0-vs-O1,%.2f\n",
                 std::exp(LogSum / OptRows.size()));
+
+  // ------------------------------------------------------------------
+  // Precision profiler: --profile instrumentation overhead on the sv
+  // configuration (target: < 2.5x).
+  // ------------------------------------------------------------------
+  std::printf("table,benchmark,config,overhead\n");
+
+  // ---- gemm ----
+  {
+    const int N = 120;
+    std::vector<IntervalSse> IA(N * N), IB(N * N), IC0(N * N), IC(N * N);
+    Rng G(benchSeed("table5prof", "gemm", N));
+    fillUlpIntervals(IA.data(), N * N, G);
+    fillUlpIntervals(IB.data(), N * N, G);
+    fillUlpIntervals(IC0.data(), N * N, G);
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        std::memcpy(IC.data(), IC0.data(), N * N * sizeof(IntervalSse));
+        Kernel(IC.data(), IA.data(), IB.data(), N);
+      };
+    };
+    profRow("gemm", N, Run(sv_gemm), Run(svp_gemm), 5);
+  }
+
+  // ---- mvm ----
+  {
+    const int M = 400, N = M;
+    std::vector<IntervalSse> IA(M * N), IX(N), IY0(M), IY(M);
+    Rng G(benchSeed("table5prof", "mvm", M));
+    fillUlpIntervals(IA.data(), M * N, G);
+    fillUlpIntervals(IX.data(), N, G);
+    fillUlpIntervals(IY0.data(), M, G);
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        std::memcpy(IY.data(), IY0.data(), M * sizeof(IntervalSse));
+        Kernel(IA.data(), IX.data(), IY.data(), M, N);
+      };
+    };
+    profRow("mvm", M, Run(sv_mvm), Run(svp_mvm));
+  }
+
+  // ---- henon ----
+  {
+    const int Points = 256, Iters = 40;
+    std::vector<IntervalSse> PX(Points), PY(Points);
+    Rng G(benchSeed("table5prof", "henon", Points));
+    fillUlpIntervals(PX.data(), Points, G, -0.5, 0.5);
+    fillUlpIntervals(PY.data(), Points, G, -0.5, 0.5);
+    volatile double Sink = 0.0;
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        double S = 0.0;
+        for (int P = 0; P < Points; ++P)
+          S += Kernel(PX[P], PY[P], Iters).toInterval().Hi;
+        Sink = Sink + S;
+      };
+    };
+    profRow("henon", Iters, Run(sv_henon), Run(svp_henon));
+  }
+
+  // ---- horner ----
+  {
+    const int D = 30, Points = 2048;
+    std::vector<IntervalSse> Coef(D + 1), XS(Points);
+    Rng G(benchSeed("table5prof", "horner", D));
+    fillUlpIntervals(Coef.data(), D + 1, G, -2.0, 2.0);
+    fillUlpIntervals(XS.data(), Points, G, 0.001, 1.5);
+    volatile double Sink = 0.0;
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        double S = 0.0;
+        for (int P = 0; P < Points; ++P)
+          S += Kernel(Coef.data(), XS[P], D).toInterval().Hi;
+        Sink = Sink + S;
+      };
+    };
+    profRow("horner", D, Run(sv_horner), Run(svp_horner));
+  }
+
+  // ---- pade ----
+  {
+    const int N = 8192;
+    std::vector<IntervalSse> XS(N), Out(N);
+    Rng G(benchSeed("table5prof", "pade", N));
+    fillUlpIntervals(XS.data(), N, G, 0.001, 50.0);
+    volatile double Sink = 0.0;
+    auto Run = [&](auto *Kernel) {
+      return [&, Kernel] {
+        Sink = Sink + Kernel(XS.data(), Out.data(), N).toInterval().Hi;
+      };
+    };
+    profRow("pade", N, Run(sv_pade), Run(svp_pade));
+  }
+
+  {
+    std::vector<double> Overheads;
+    for (const ProfRow &P : ProfRows)
+      Overheads.push_back(P.Overhead);
+    if (!Overheads.empty())
+      std::printf("table5prof,geomean,profile-overhead,%.2f\n",
+                  geomean(Overheads));
+  }
 
   if (JsonPath && !writeJson(JsonPath)) {
     std::fprintf(stderr, "error: cannot write %s\n", JsonPath);

@@ -15,6 +15,7 @@
 #include "frontend/ASTDumper.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
+#include "support/JsonWriter.h"
 #include "support/StringExtras.h"
 #include "transform/Pipeline.h"
 
@@ -52,6 +53,11 @@ void printUsage() {
       "                        naive one-op-per-call translation\n"
       "  --runtime-header=<h>  header providing the ia_* runtime\n"
       "                        (default: interval/igen_lib.h)\n"
+      "  --profile             emit precision-profiling instrumentation:\n"
+      "                        interval ops report per-site width\n"
+      "                        statistics to the igen_profile runtime;\n"
+      "                        the site table is also written next to\n"
+      "                        the output as <output>.sites.json\n"
       "  --dump-ast            print the type-checked AST instead of\n"
       "                        translating\n");
 }
@@ -129,6 +135,10 @@ int main(int Argc, char **Argv) {
       Opts.RuntimeHeader = Arg.substr(17);
       continue;
     }
+    if (Arg == "--profile") {
+      Opts.Profile = true;
+      continue;
+    }
     if (Arg == "-O" || Arg == "-O1") {
       Opts.OptLevel = 1;
       continue;
@@ -185,8 +195,22 @@ int main(int Argc, char **Argv) {
     std::fputs(dumpAST(Ctx.TU).c_str(), stdout);
     return Diags.hasErrors() ? 1 : 0;
   }
+  if (Opts.Profile) {
+    Opts.SourceName = InputPath;
+    // Module name: output file's basename without extension.
+    size_t Slash = OutputPath.find_last_of('/');
+    std::string Stem = Slash == std::string::npos
+                           ? OutputPath
+                           : OutputPath.substr(Slash + 1);
+    size_t Dot = Stem.find_last_of('.');
+    if (Dot != std::string::npos && Dot > 0)
+      Stem.resize(Dot);
+    Opts.ModuleName = Stem;
+  }
+
+  ProfileSiteTable Sites;
   std::optional<std::string> Output =
-      compileToIntervals(Source, Opts, Diags);
+      compileToIntervals(Source, Opts, Diags, Opts.Profile ? &Sites : nullptr);
   std::fputs(Diags.render(InputPath).c_str(), stderr);
   if (!Output)
     return 1;
@@ -195,6 +219,38 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "igen: error: cannot write '%s'\n",
                  OutputPath.c_str());
     return 1;
+  }
+
+  if (Opts.Profile) {
+    // Sidecar with the compile-time site table, so tooling can map site
+    // IDs in runtime reports back to source without executing anything.
+    JsonWriter W;
+    W.beginObject();
+    W.field("schema_version", 1);
+    W.field("report", "igen_sites");
+    W.field("module", Sites.Module);
+    W.field("source_file", Sites.SourceFile);
+    W.key("sites");
+    W.beginArray();
+    for (size_t I = 0; I < Sites.Sites.size(); ++I) {
+      const ProfileSite &S = Sites.Sites[I];
+      W.beginObject();
+      W.field("id", static_cast<uint64_t>(I));
+      W.field("op", S.Op);
+      W.field("func", S.Func);
+      W.field("line", static_cast<uint64_t>(S.Line));
+      W.field("col", static_cast<uint64_t>(S.Col));
+      W.field("text", S.Text);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::string SidecarPath = OutputPath + ".sites.json";
+    if (!W.writeTo(SidecarPath.c_str())) {
+      std::fprintf(stderr, "igen: error: cannot write '%s'\n",
+                   SidecarPath.c_str());
+      return 1;
+    }
   }
   return 0;
 }

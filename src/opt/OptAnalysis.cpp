@@ -1122,6 +1122,7 @@ public:
 
 private:
   OptFunctionInfo &Info;
+  unsigned LoopDepth = 0;
 
   void walkStmt(const Stmt *S) {
     switch (S->kind()) {
@@ -1130,9 +1131,13 @@ private:
         walkStmt(Sub);
       return;
     case Stmt::Kind::DeclStmt:
-    case Stmt::Kind::ExprStmt:
     case Stmt::Kind::Return:
       collectCse(S);
+      return;
+    case Stmt::Kind::ExprStmt:
+      collectCse(S);
+      if (LoopDepth > 0)
+        collectFmaHazards(cast<ExprStmt>(S)->E);
       return;
     case Stmt::Kind::If: {
       const auto *I = cast<IfStmt>(S);
@@ -1144,19 +1149,62 @@ private:
     case Stmt::Kind::For: {
       const auto *F = cast<ForStmt>(S);
       collectLoopInvariants(F);
-      if (F->Body)
+      if (F->Body) {
+        ++LoopDepth;
         walkStmt(F->Body);
+        --LoopDepth;
+      }
       return;
     }
     case Stmt::Kind::While:
+      ++LoopDepth;
       walkStmt(cast<WhileStmt>(S)->Body);
+      --LoopDepth;
       return;
     case Stmt::Kind::Do:
+      ++LoopDepth;
       walkStmt(cast<DoStmt>(S)->Body);
+      --LoopDepth;
       return;
     default:
       return;
     }
+  }
+
+  //===-- Loop-carried FMA hazards ----------------------------------------===//
+
+  /// Marks accumulation statements inside loops whose multiply-add must
+  /// not fuse: when the addend of `target = ... target +- a*b ...` (or a
+  /// `target +=`/`-=` form) is the assignment target itself, the add is
+  /// the loop-carried dependency. Fusion would put the multiply's latency
+  /// on that recurrence; unfused, the multiplies overlap across
+  /// iterations and only the cheap add serializes.
+  void collectFmaHazards(const Expr *E) {
+    const auto *B = dynCast<BinaryExpr>(ignoreParens(E));
+    if (!B || !B->isAssignment())
+      return;
+    if (B->O == BinaryExpr::Op::AddAssign ||
+        B->O == BinaryExpr::Op::SubAssign) {
+      Info.FmaLoopHazards.insert(B);
+      return;
+    }
+    if (B->O != BinaryExpr::Op::Assign)
+      return;
+    markCarriedAddSub(B->LHS, B->RHS);
+    collectFmaHazards(B->RHS); // chained assignments: a = b = ...
+  }
+
+  /// Walks the add/sub spine of \p E and marks every node with an operand
+  /// structurally equal to \p Target.
+  void markCarriedAddSub(const Expr *Target, const Expr *E) {
+    const auto *B = dynCast<BinaryExpr>(ignoreParens(E));
+    if (!B ||
+        (B->O != BinaryExpr::Op::Add && B->O != BinaryExpr::Op::Sub))
+      return;
+    if (exprCseEqual(B->LHS, Target) || exprCseEqual(B->RHS, Target))
+      Info.FmaLoopHazards.insert(B);
+    markCarriedAddSub(Target, B->LHS);
+    markCarriedAddSub(Target, B->RHS);
   }
 
   //===-- Loop-invariant hoisting candidates ------------------------------===//

@@ -29,6 +29,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <set>
 #include <vector>
 
 namespace igen {
@@ -88,6 +89,16 @@ struct OptFunctionInfo {
   /// twice (structurally) in that statement, ordered innermost-first so
   /// a temp's initializer can reuse earlier temps.
   std::map<const Stmt *, std::vector<const Expr *>> CommonSubexprs;
+
+  /// Expression nodes where add/sub-of-mul FMA fusion must be skipped
+  /// because the addend is the loop-carried accumulator itself (`y += a*b`
+  /// or `y = y + a*b` inside a loop). Fusing there moves the multiply's
+  /// full latency onto the recurrence and serializes the loop (the mvm
+  /// regression); left unfused, the multiplies pipeline and only the add
+  /// chains. Contains the compound-assignment node for `y +=`/`y -=` and
+  /// the Add/Sub node whose operand equals the assignment target for
+  /// plain `y = y + ...` forms.
+  std::set<const Expr *> FmaLoopHazards;
 
   ValueFact factFor(const Expr *E) const {
     auto It = Facts.find(E);

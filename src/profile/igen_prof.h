@@ -1,0 +1,184 @@
+//===- igen_prof.h - Instrumented interval runtime wrappers -----*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iap_* wrappers emitted by `igen --profile`: each one is the
+/// corresponding ia_* runtime operation plus one igen_prof_record() call
+/// carrying the operation's static site ID. The enclosure computation is
+/// untouched — the wrapped result is the exact ia_* result, so profiled
+/// and unprofiled code always produce identical intervals (the exec tests
+/// assert this bit-for-bit).
+///
+/// Include after interval/igen_lib.h (the transformer emits both). Like
+/// the runtime itself the wrappers live in a configuration-specific
+/// namespace so one binary can link scalar- and SIMD-backed profiled
+/// translation units without ODR violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_PROFILE_IGEN_PROF_H
+#define IGEN_PROFILE_IGEN_PROF_H
+
+#include "profile/Profile.h"
+
+#include <cmath>
+
+#if defined(IGEN_F64I_SCALAR)
+namespace igen_prof_cfg_scalar {
+#else
+namespace igen_prof_cfg_simd {
+#endif
+
+//===----------------------------------------------------------------------===//
+// Recording helpers
+//===----------------------------------------------------------------------===//
+
+/// Stores an operand's raw {negated lo, hi} pair into a ring-entry slot.
+/// For f64i this is the in-memory representation verbatim (one 16-byte
+/// copy the compiler lowers to a vector store); double-double operands
+/// are collapsed to their outer f64 hull first.
+inline void iap_stash(double *Slot, f64i X) {
+  std::memcpy(Slot, &X, 2 * sizeof(double));
+}
+inline void iap_stash(double *Slot, ddi X) {
+  igen::Interval H = igen_detail::ddiToScalar(X).outerHull();
+  Slot[0] = H.NegLo;
+  Slot[1] = H.Hi;
+}
+
+/// Queues one executed operation (result \p R, then each input) on the
+/// calling thread's ring; falls back to the out-of-line slow path when
+/// the ring is full or the thread is not attached yet.
+template <typename T>
+inline void iap_push(unsigned Site, T R, T A) {
+  namespace pd = igen::prof::detail;
+  pd::RingEntry Local;
+  pd::RingEntry *S = pd::ringSlot();
+  pd::RingEntry *E = S ? S : &Local;
+  iap_stash(E->V + 0, R);
+  iap_stash(E->V + 2, A);
+  E->Site = Site;
+  E->NIn = 1;
+  if (!S)
+    pd::recordSlow(Local);
+}
+template <typename T>
+inline void iap_push(unsigned Site, T R, T A, T B) {
+  namespace pd = igen::prof::detail;
+  pd::RingEntry Local;
+  pd::RingEntry *S = pd::ringSlot();
+  pd::RingEntry *E = S ? S : &Local;
+  iap_stash(E->V + 0, R);
+  iap_stash(E->V + 2, A);
+  iap_stash(E->V + 4, B);
+  E->Site = Site;
+  E->NIn = 2;
+  if (!S)
+    pd::recordSlow(Local);
+}
+template <typename T>
+inline void iap_push(unsigned Site, T R, T A, T B, T C) {
+  namespace pd = igen::prof::detail;
+  pd::RingEntry Local;
+  pd::RingEntry *S = pd::ringSlot();
+  pd::RingEntry *E = S ? S : &Local;
+  iap_stash(E->V + 0, R);
+  iap_stash(E->V + 2, A);
+  iap_stash(E->V + 4, B);
+  iap_stash(E->V + 6, C);
+  E->Site = Site;
+  E->NIn = 3;
+  if (!S)
+    pd::recordSlow(Local);
+}
+
+//===----------------------------------------------------------------------===//
+// Wrapper generation
+//===----------------------------------------------------------------------===//
+
+#define IGEN_PROF_WRAP1(NAME, T)                                             \
+  inline T iap_##NAME(unsigned Site, T A) {                                  \
+    T R = ia_##NAME(A);                                                      \
+    iap_push(Site, R, A);                                                    \
+    return R;                                                                \
+  }
+
+#define IGEN_PROF_WRAP2(NAME, T)                                             \
+  inline T iap_##NAME(unsigned Site, T A, T B) {                             \
+    T R = ia_##NAME(A, B);                                                   \
+    iap_push(Site, R, A, B);                                                 \
+    return R;                                                                \
+  }
+
+#define IGEN_PROF_WRAP3(NAME, T)                                             \
+  inline T iap_##NAME(unsigned Site, T A, T B, T C) {                        \
+    T R = ia_##NAME(A, B, C);                                                \
+    iap_push(Site, R, A, B, C);                                              \
+    return R;                                                                \
+  }
+
+// Double-precision scalar ops (everything the transformer instruments).
+IGEN_PROF_WRAP2(add_f64, f64i)
+IGEN_PROF_WRAP2(sub_f64, f64i)
+IGEN_PROF_WRAP2(mul_f64, f64i)
+IGEN_PROF_WRAP2(div_f64, f64i)
+IGEN_PROF_WRAP1(neg_f64, f64i)
+IGEN_PROF_WRAP2(mul_pp_f64, f64i)
+IGEN_PROF_WRAP2(mul_pn_f64, f64i)
+IGEN_PROF_WRAP2(mul_nn_f64, f64i)
+IGEN_PROF_WRAP2(mul_pu_f64, f64i)
+IGEN_PROF_WRAP2(mul_nu_f64, f64i)
+IGEN_PROF_WRAP2(div_p_f64, f64i)
+IGEN_PROF_WRAP2(div_n_f64, f64i)
+IGEN_PROF_WRAP3(fma_f64, f64i)
+IGEN_PROF_WRAP3(fma_pp_f64, f64i)
+IGEN_PROF_WRAP3(fma_pn_f64, f64i)
+IGEN_PROF_WRAP3(fma_nn_f64, f64i)
+IGEN_PROF_WRAP3(fma_pu_f64, f64i)
+IGEN_PROF_WRAP3(fma_nu_f64, f64i)
+IGEN_PROF_WRAP1(sqrt_f64, f64i)
+IGEN_PROF_WRAP1(abs_f64, f64i)
+IGEN_PROF_WRAP1(floor_f64, f64i)
+IGEN_PROF_WRAP1(ceil_f64, f64i)
+IGEN_PROF_WRAP2(join_f64, f64i)
+IGEN_PROF_WRAP2(min_f64, f64i)
+IGEN_PROF_WRAP2(max_f64, f64i)
+IGEN_PROF_WRAP1(f32cast_f64, f64i)
+IGEN_PROF_WRAP1(exp_f64, f64i)
+IGEN_PROF_WRAP1(log_f64, f64i)
+IGEN_PROF_WRAP1(sin_f64, f64i)
+IGEN_PROF_WRAP1(cos_f64, f64i)
+IGEN_PROF_WRAP1(tan_f64, f64i)
+IGEN_PROF_WRAP1(atan_f64, f64i)
+IGEN_PROF_WRAP1(asin_f64, f64i)
+IGEN_PROF_WRAP1(acos_f64, f64i)
+
+// Double-double scalar ops.
+IGEN_PROF_WRAP2(add_dd, ddi)
+IGEN_PROF_WRAP2(sub_dd, ddi)
+IGEN_PROF_WRAP2(mul_dd, ddi)
+IGEN_PROF_WRAP2(div_dd, ddi)
+IGEN_PROF_WRAP1(neg_dd, ddi)
+IGEN_PROF_WRAP1(abs_dd, ddi)
+IGEN_PROF_WRAP1(sqrt_dd, ddi)
+IGEN_PROF_WRAP2(join_dd, ddi)
+IGEN_PROF_WRAP2(min_dd, ddi)
+IGEN_PROF_WRAP2(max_dd, ddi)
+IGEN_PROF_WRAP1(f32cast_dd, ddi)
+
+#undef IGEN_PROF_WRAP1
+#undef IGEN_PROF_WRAP2
+#undef IGEN_PROF_WRAP3
+
+#if defined(IGEN_F64I_SCALAR)
+} // namespace igen_prof_cfg_scalar
+using namespace igen_prof_cfg_scalar;
+#else
+} // namespace igen_prof_cfg_simd
+using namespace igen_prof_cfg_simd;
+#endif
+
+#endif // IGEN_PROFILE_IGEN_PROF_H

@@ -69,24 +69,37 @@ bool parseIsaName(const char *S, Isa &Out) {
   return false;
 }
 
-Isa resolveIsa() {
-  if (const char *Env = std::getenv("IGEN_ISA")) {
+} // namespace
+
+Isa resolveIsaFromSpec(const char *Spec, std::string *Warning) {
+  if (Spec && *Spec) {
     Isa Wanted;
-    if (!parseIsaName(Env, Wanted)) {
-      std::fprintf(stderr,
-                   "igen: ignoring unknown IGEN_ISA='%s' "
-                   "(expected scalar|sse2|avx|avx2)\n",
-                   Env);
+    if (!parseIsaName(Spec, Wanted)) {
+      if (Warning)
+        *Warning = std::string("igen: ignoring unknown IGEN_ISA='") + Spec +
+                   "' (expected scalar|sse2|avx|avx2)";
     } else if (!isaSupported(Wanted)) {
-      std::fprintf(stderr,
-                   "igen: IGEN_ISA='%s' not supported by this CPU; "
-                   "auto-detecting\n",
-                   Env);
+      if (Warning)
+        *Warning = std::string("igen: IGEN_ISA='") + Spec +
+                   "' not supported by this CPU; auto-detecting";
     } else {
       return Wanted;
     }
   }
   return detectIsa();
+}
+
+namespace {
+
+/// Env-override resolution, warning to stderr at most once per process
+/// even though clearForcedIsa() can make activeIsa() re-resolve.
+Isa resolveIsa() {
+  std::string Warning;
+  Isa I = resolveIsaFromSpec(std::getenv("IGEN_ISA"), &Warning);
+  static std::atomic<bool> Warned{false};
+  if (!Warning.empty() && !Warned.exchange(true))
+    std::fprintf(stderr, "%s\n", Warning.c_str());
+  return I;
 }
 
 } // namespace

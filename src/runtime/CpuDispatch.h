@@ -29,6 +29,7 @@
 #include "interval/Interval.h"
 
 #include <cstddef>
+#include <string>
 
 namespace igen::runtime {
 
@@ -63,6 +64,14 @@ Isa detectIsa();
 
 /// The tier in effect: forced > IGEN_ISA env override > CPUID detection.
 Isa activeIsa();
+
+/// Resolves an IGEN_ISA-style spec: a recognized, CPU-supported tier name
+/// wins; anything else falls back to auto-detection. When \p Warning is
+/// non-null and the spec was non-empty but unusable, an explanatory
+/// message is stored into it (left untouched otherwise). Exposed for
+/// testing; activeIsa() applies it to getenv("IGEN_ISA") and prints the
+/// warning to stderr once per process.
+Isa resolveIsaFromSpec(const char *Spec, std::string *Warning = nullptr);
 
 /// Short lowercase name ("scalar", "sse2", "avx", "avx2").
 const char *isaName(Isa I);

@@ -36,6 +36,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -52,6 +53,13 @@ public:
   /// caller then falls back to the hardware default). Exposed for
   /// testing; `instance()` applies it to getenv("IGEN_THREADS").
   static unsigned participantsFromEnv(const char *Spec, unsigned Hardware);
+
+  /// Like the two-argument overload, but when \p Spec is non-empty yet not
+  /// a positive decimal integer, stores an explanatory message into
+  /// \p Warning (left untouched otherwise). instance() prints the warning
+  /// to stderr once per process.
+  static unsigned participantsFromEnv(const char *Spec, unsigned Hardware,
+                                      std::string *Warning);
 
   /// Creates a pool with \p WorkerCount background workers (the caller of
   /// parallelFor is an additional participant).

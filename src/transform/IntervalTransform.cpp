@@ -16,6 +16,7 @@
 #include "support/StringExtras.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -60,6 +61,159 @@ std::string maybeParen(const TR &V) {
   return V.Code;
 }
 
+//===----------------------------------------------------------------------===//
+// Profile-site support: source-text reconstruction for reports
+//===----------------------------------------------------------------------===//
+
+const char *unaryOpSpelling(UnaryExpr::Op O) {
+  switch (O) {
+  case UnaryExpr::Op::Neg:
+    return "-";
+  case UnaryExpr::Op::Plus:
+    return "+";
+  case UnaryExpr::Op::LogicalNot:
+    return "!";
+  case UnaryExpr::Op::BitNot:
+    return "~";
+  case UnaryExpr::Op::PreInc:
+  case UnaryExpr::Op::PostInc:
+    return "++";
+  case UnaryExpr::Op::PreDec:
+  case UnaryExpr::Op::PostDec:
+    return "--";
+  case UnaryExpr::Op::Deref:
+    return "*";
+  case UnaryExpr::Op::AddrOf:
+    return "&";
+  }
+  return "?";
+}
+
+const char *binaryOpSpelling(BinaryExpr::Op O) {
+  switch (O) {
+  case BinaryExpr::Op::Add:
+    return "+";
+  case BinaryExpr::Op::Sub:
+    return "-";
+  case BinaryExpr::Op::Mul:
+    return "*";
+  case BinaryExpr::Op::Div:
+    return "/";
+  case BinaryExpr::Op::Rem:
+    return "%";
+  case BinaryExpr::Op::Shl:
+    return "<<";
+  case BinaryExpr::Op::Shr:
+    return ">>";
+  case BinaryExpr::Op::BitAnd:
+    return "&";
+  case BinaryExpr::Op::BitOr:
+    return "|";
+  case BinaryExpr::Op::BitXor:
+    return "^";
+  case BinaryExpr::Op::LT:
+    return "<";
+  case BinaryExpr::Op::GT:
+    return ">";
+  case BinaryExpr::Op::LE:
+    return "<=";
+  case BinaryExpr::Op::GE:
+    return ">=";
+  case BinaryExpr::Op::EQ:
+    return "==";
+  case BinaryExpr::Op::NE:
+    return "!=";
+  case BinaryExpr::Op::LAnd:
+    return "&&";
+  case BinaryExpr::Op::LOr:
+    return "||";
+  case BinaryExpr::Op::Assign:
+    return "=";
+  case BinaryExpr::Op::AddAssign:
+    return "+=";
+  case BinaryExpr::Op::SubAssign:
+    return "-=";
+  case BinaryExpr::Op::MulAssign:
+    return "*=";
+  case BinaryExpr::Op::DivAssign:
+    return "/=";
+  }
+  return "?";
+}
+
+/// Reconstructs approximate source text for a profile site's "where"
+/// column. Best effort only — reports consume it, nothing parses it.
+std::string unparseExpr(const Expr *E) {
+  if (!E)
+    return "";
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    return cast<IntLiteralExpr>(E)->Spelling;
+  case Expr::Kind::FloatLiteral:
+    return cast<FloatLiteralExpr>(E)->Spelling;
+  case Expr::Kind::DeclRef:
+    return cast<DeclRefExpr>(E)->Name;
+  case Expr::Kind::Paren:
+    return "(" + unparseExpr(cast<ParenExpr>(E)->Sub) + ")";
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->O == UnaryExpr::Op::PostInc || U->O == UnaryExpr::Op::PostDec)
+      return unparseExpr(U->Sub) + unaryOpSpelling(U->O);
+    return std::string(unaryOpSpelling(U->O)) + unparseExpr(U->Sub);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return unparseExpr(B->LHS) + " " + binaryOpSpelling(B->O) + " " +
+           unparseExpr(B->RHS);
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    return unparseExpr(C->Cond) + " ? " + unparseExpr(C->Then) + " : " +
+           unparseExpr(C->Else);
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::string S = C->Callee + "(";
+    for (size_t I = 0; I < C->Args.size(); ++I)
+      S += (I ? ", " : "") + unparseExpr(C->Args[I]);
+    return S + ")";
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    return unparseExpr(I->Base) + "[" + unparseExpr(I->Idx) + "]";
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    return "(" + C->To->cName() + ")" + unparseExpr(C->Sub);
+  }
+  }
+  return "";
+}
+
+/// Escapes a string for embedding in a C string literal.
+std::string escapeCString(const std::string &S) {
+  std::string Out;
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += Ch;
+    }
+  }
+  return Out;
+}
+
 class Transformer {
 public:
   Transformer(ASTContext &Ctx, DiagnosticsEngine &Diags,
@@ -67,6 +221,8 @@ public:
       : Ctx(Ctx), Diags(Diags), Opts(Opts) {}
 
   std::string run();
+
+  const ProfileSiteTable &siteTable() const { return SiteTable; }
 
 private:
   bool isDd() const {
@@ -191,6 +347,91 @@ private:
   }
   std::string freshTemp() { return formatString("_t%d", ++TempCounter); }
 
+  /// Profiling hook wrapped around every scalar ia_* arithmetic call the
+  /// transformer emits. With Opts.Profile off it returns \p Call verbatim
+  /// (making the unprofiled output byte-identical by construction); with
+  /// it on, the call is rewritten to the corresponding iap_* wrapper
+  /// carrying a freshly assigned static site ID, and the site's metadata
+  /// (op, enclosing function, source location, reconstructed text) is
+  /// recorded in SiteTable. Called at emission time, so sign-specialized
+  /// and FMA-fused rewrites inherit the originating expression's site.
+  std::string prof(std::string Call, const Expr *Origin) {
+    if (!Opts.Profile)
+      return Call;
+    size_t Paren = Call.find('(');
+    if (Paren == std::string::npos || Call.compare(0, 3, "ia_") != 0)
+      return Call;
+    std::string Op = Call.substr(3, Paren - 3);
+    // Only the scalar f64/dd runtime has iap_* wrappers; vector calls
+    // (ia_*_m256di_k / ia_*_ddi_k) pass through uninstrumented.
+    if (endsWith(Op, "_f64"))
+      Op.resize(Op.size() - 4);
+    else if (endsWith(Op, "_dd"))
+      Op.resize(Op.size() - 3);
+    else
+      return Call;
+    ProfileSite Site;
+    Site.Op = Op;
+    Site.Func = CurFuncName;
+    if (Origin) {
+      Site.Line = Origin->loc().Line;
+      Site.Col = Origin->loc().Col;
+      Site.Text = unparseExpr(Origin);
+      if (Site.Text.size() > 60)
+        Site.Text = Site.Text.substr(0, 57) + "...";
+    }
+    unsigned Id = static_cast<unsigned>(SiteTable.Sites.size());
+    SiteTable.Sites.push_back(std::move(Site));
+    return "iap" + Call.substr(2, Paren - 2) +
+           formatString("(_igen_prof_base + %uu, ", Id) +
+           Call.substr(Paren + 1);
+  }
+
+  /// Drops site-table rows whose IDs never appear in the emitted body and
+  /// renumbers the survivors. Rewrites like FMA fusion build (and thereby
+  /// instrument) their operand code before deciding to replace it, which
+  /// can orphan a site; the embedded table must only describe ops that can
+  /// actually execute.
+  void compactSites() {
+    static const char Tag[] = "_igen_prof_base + ";
+    const size_t TagLen = sizeof(Tag) - 1;
+    std::vector<bool> Used(SiteTable.Sites.size(), false);
+    for (size_t P = Body.find(Tag); P != std::string::npos;
+         P = Body.find(Tag, P + TagLen))
+      Used[std::strtoul(Body.c_str() + P + TagLen, nullptr, 10)] = true;
+    std::vector<unsigned> Remap(SiteTable.Sites.size(), 0);
+    unsigned Next = 0;
+    for (size_t I = 0; I < Used.size(); ++I) {
+      Remap[I] = Next;
+      Next += Used[I];
+    }
+    if (Next == SiteTable.Sites.size())
+      return;
+    std::vector<ProfileSite> Kept;
+    Kept.reserve(Next);
+    for (size_t I = 0; I < Used.size(); ++I)
+      if (Used[I])
+        Kept.push_back(std::move(SiteTable.Sites[I]));
+    std::string NewBody;
+    NewBody.reserve(Body.size());
+    size_t Last = 0;
+    for (size_t P = Body.find(Tag); P != std::string::npos;
+         P = Body.find(Tag, P)) {
+      size_t NumBegin = P + TagLen, NumEnd = NumBegin;
+      while (NumEnd < Body.size() && Body[NumEnd] >= '0' &&
+             Body[NumEnd] <= '9')
+        ++NumEnd;
+      unsigned Old = static_cast<unsigned>(
+          std::strtoul(Body.c_str() + NumBegin, nullptr, 10));
+      NewBody.append(Body, Last, NumBegin - Last);
+      NewBody += std::to_string(Remap[Old]);
+      Last = P = NumEnd;
+    }
+    NewBody.append(Body, Last, std::string::npos);
+    Body = std::move(NewBody);
+    SiteTable.Sites = std::move(Kept);
+  }
+
   ASTContext &Ctx;
   DiagnosticsEngine &Diags;
   TransformOptions Opts;
@@ -203,6 +444,10 @@ private:
   ReductionAnalysisResult Reductions;
   std::map<const Stmt *, std::pair<const ReductionSite *, std::string>>
       UpdateToAcc;
+
+  // Profiling state (per translation unit).
+  ProfileSiteTable SiteTable;
+  std::string CurFuncName;
 
   // Mid-end optimizer state (per function).
   OptFunctionInfo OptInfo;
@@ -389,7 +634,7 @@ TR Transformer::transformUnary(const UnaryExpr *U) {
       std::string OpSfx = (Sub.OrigTy && Sub.OrigTy->isSimdVector())
                               ? vecTypeName(Sub.OrigTy)
                               : sfx();
-      R.Code = "ia_neg_" + OpSfx + "(" + Sub.Code + ")";
+      R.Code = prof("ia_neg_" + OpSfx + "(" + Sub.Code + ")", U);
       return R;
     }
     R.Code = Sub.Code[0] == '-' ? "-(" + Sub.Code + ")"
@@ -573,11 +818,13 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
       std::string Opt;
       switch (B->O) {
       case BinaryExpr::Op::AddAssign: // y += a*b  ->  y = fma(a, b, y)
-        if (!RHS.IsConst && !findActiveTemp(B->RHS))
+        if (!RHS.IsConst && !findActiveTemp(B->RHS) &&
+            !OptInfo.FmaLoopHazards.count(B))
           Opt = tryFuseFma(B->RHS, nullptr, LHS, false, false);
         break;
       case BinaryExpr::Op::SubAssign: // y -= a*b  ->  y = fma(-a, b, y)
-        if (!RHS.IsConst && !findActiveTemp(B->RHS))
+        if (!RHS.IsConst && !findActiveTemp(B->RHS) &&
+            !OptInfo.FmaLoopHazards.count(B))
           Opt = tryFuseFma(B->RHS, nullptr, LHS, true, false);
         break;
       case BinaryExpr::Op::MulAssign:
@@ -590,22 +837,22 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
         break;
       }
       if (!Opt.empty()) {
-        R.Code = LHS + " = " + Opt;
+        R.Code = LHS + " = " + prof(Opt, B);
         return R;
       }
     }
     switch (B->O) {
     case BinaryExpr::Op::AddAssign:
-      Value = "ia_add_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      Value = prof("ia_add_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
       break;
     case BinaryExpr::Op::SubAssign:
-      Value = "ia_sub_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      Value = prof("ia_sub_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
       break;
     case BinaryExpr::Op::MulAssign:
-      Value = "ia_mul_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      Value = prof("ia_mul_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
       break;
     case BinaryExpr::Op::DivAssign:
-      Value = "ia_div_" + OpSfx + "(" + LHS + ", " + Value + ")";
+      Value = prof("ia_div_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
       break;
     default:
       break;
@@ -687,7 +934,10 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
         break;
       case BinaryExpr::Op::Add:
         // a*b + c (either side). A mul that is already const-folded or
-        // available in a CSE/hoist temp stays a plain operand.
+        // available in a CSE/hoist temp stays a plain operand; a mul
+        // feeding a loop-carried accumulation stays unfused.
+        if (OptInfo.FmaLoopHazards.count(B))
+          break;
         if (!L.IsConst && !findActiveTemp(B->LHS))
           Opt = tryFuseFma(B->LHS, B->RHS, asInterval(R), false, false);
         if (Opt.empty() && !R.IsConst && !findActiveTemp(B->RHS))
@@ -695,6 +945,8 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
         break;
       case BinaryExpr::Op::Sub:
         // a*b - c = fma(a, b, -c);  c - a*b = fma(-a, b, c).
+        if (OptInfo.FmaLoopHazards.count(B))
+          break;
         if (!L.IsConst && !findActiveTemp(B->LHS))
           Opt = tryFuseFma(B->LHS, B->RHS, asInterval(R), false, true);
         if (Opt.empty() && !R.IsConst && !findActiveTemp(B->RHS))
@@ -704,7 +956,7 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
         break;
       }
       if (!Opt.empty()) {
-        Out.Code = Opt;
+        Out.Code = prof(Opt, B);
         return Out;
       }
     }
@@ -712,8 +964,9 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
                        : B->O == BinaryExpr::Op::Sub ? "sub"
                        : B->O == BinaryExpr::Op::Mul ? "mul"
                                                      : "div";
-    Out.Code = std::string("ia_") + Name + "_" + OpSfx + "(" +
-               asInterval(L) + ", " + asInterval(R) + ")";
+    Out.Code = prof(std::string("ia_") + Name + "_" + OpSfx + "(" +
+                        asInterval(L) + ", " + asInterval(R) + ")",
+                    B);
     return Out;
   }
   case BinaryExpr::Op::LT:
@@ -826,7 +1079,7 @@ TR Transformer::transformCast(const CastExpr *C) {
       if (C->To->kind() == Type::Kind::Float && From &&
           From->kind() == Type::Kind::Double) {
         R.C = Cat::Interval;
-        R.Code = "ia_f32cast_" + sfx() + "(" + Sub.Code + ")";
+        R.Code = prof("ia_f32cast_" + sfx() + "(" + Sub.Code + ")", C);
         return R;
       }
       return Sub; // float<->double widening: intervals already double
@@ -947,11 +1200,12 @@ TR Transformer::transformCall(const CallExpr *C) {
     R.C = Cat::Interval;
     if (Base == "min" || Base == "max") {
       TR Arg2 = transformExpr(C->Args[1]);
-      R.Code = "ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) + ", " +
-               asInterval(Arg2) + ")";
+      R.Code = prof("ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) +
+                        ", " + asInterval(Arg2) + ")",
+                    C);
       return R;
     }
-    R.Code = "ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) + ")";
+    R.Code = prof("ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) + ")", C);
     return R;
   }
 
@@ -1399,6 +1653,7 @@ void Transformer::emitStmt(const Stmt *S) {
 }
 
 void Transformer::emitFunction(FunctionDecl *F) {
+  CurFuncName = F->Name;
   if (Opts.EnableReductions)
     Reductions = analyzeReductions(F, Diags);
   else
@@ -1471,6 +1726,9 @@ void Transformer::emitFunction(FunctionDecl *F) {
 
 std::string Transformer::run() {
   Body.clear();
+  SiteTable = ProfileSiteTable();
+  SiteTable.Module = Opts.ModuleName.empty() ? "igen" : Opts.ModuleName;
+  SiteTable.SourceFile = Opts.SourceName;
   for (const TopLevelItem &Item : Ctx.TU.Items) {
     if (!Item.Function) {
       line(Item.Directive);
@@ -1479,6 +1737,8 @@ std::string Transformer::run() {
     emitFunction(Item.Function);
     Body += '\n';
   }
+  if (Opts.Profile && !SiteTable.Sites.empty())
+    compactSites();
 
   std::string Out;
   Out += "// Generated by igen (IGen reproduction). Do not edit.\n";
@@ -1488,9 +1748,31 @@ std::string Transformer::run() {
   if (Opts.ScalarLibrary)
     Out += "#define IGEN_F64I_SCALAR 1\n";
   Out += "#include \"" + Opts.RuntimeHeader + "\"\n";
+  if (Opts.Profile)
+    Out += "#include \"profile/igen_prof.h\"\n";
   if (UsedGeneratedIntrinsics)
     Out += "#include \"" + Opts.GeneratedIntrinsicsHeader + "\"\n";
   Out += "\n";
+  if (Opts.Profile && !SiteTable.Sites.empty()) {
+    // Compile-time site table: self-registers with the profiler runtime
+    // at static-init time; _igen_prof_base offsets this TU's IDs so
+    // several profiled TUs can coexist in one binary.
+    Out += formatString("static const igen_prof_site _igen_prof_sites[%zu] "
+                        "= {\n",
+                        SiteTable.Sites.size());
+    for (const ProfileSite &S : SiteTable.Sites)
+      Out += formatString("  {\"%s\", \"%s\", \"%s\", %uu, %uu},\n",
+                          escapeCString(S.Op).c_str(),
+                          escapeCString(S.Func).c_str(),
+                          escapeCString(S.Text).c_str(), S.Line, S.Col);
+    Out += "};\n";
+    Out += formatString(
+        "static const unsigned _igen_prof_base = "
+        "igen_prof_register_sites(\"%s\", \"%s\", _igen_prof_sites, %zu);\n",
+        escapeCString(SiteTable.Module).c_str(),
+        escapeCString(SiteTable.SourceFile).c_str(), SiteTable.Sites.size());
+    Out += "\n";
+  }
   Out += Body;
   return Out;
 }
@@ -1499,7 +1781,11 @@ std::string Transformer::run() {
 
 std::string igen::transformToIntervals(ASTContext &Ctx,
                                        DiagnosticsEngine &Diags,
-                                       const TransformOptions &Options) {
+                                       const TransformOptions &Options,
+                                       ProfileSiteTable *SitesOut) {
   Transformer T(Ctx, Diags, Options);
-  return T.run();
+  std::string Out = T.run();
+  if (SitesOut)
+    *SitesOut = T.siteTable();
+  return Out;
 }

@@ -30,6 +30,7 @@
 #include "analysis/ReductionAnalysis.h"
 #include "frontend/AST.h"
 #include "support/Diagnostics.h"
+#include "transform/ProfileSites.h"
 
 #include <string>
 
@@ -67,12 +68,31 @@ struct TransformOptions {
   /// Header with generated interval intrinsics (_ci_*); included when the
   /// input uses intrinsics beyond the hand-optimized set.
   std::string GeneratedIntrinsicsHeader = "igen_simd.h";
+
+  /// Emit precision-profiling instrumentation (driver --profile): every
+  /// interval arithmetic call is routed through the iap_* wrappers from
+  /// profile/igen_prof.h carrying a static site ID, and the generated TU
+  /// self-registers its site table with the profiler runtime. The
+  /// computed enclosures are unchanged; with Profile off the output is
+  /// byte-identical to a build without this feature.
+  bool Profile = false;
+
+  /// Module name baked into the emitted site table (defaults to "igen"
+  /// when empty). The driver sets it to the output file's stem.
+  std::string ModuleName;
+
+  /// Source file name recorded in the site table for report locations.
+  std::string SourceName;
 };
 
 /// Transforms the (parsed and type-checked) translation unit into interval
-/// C code. Reports unsupported constructs through \p Diags.
+/// C code. Reports unsupported constructs through \p Diags. When
+/// \p SitesOut is non-null and Options.Profile is set, receives the
+/// compile-time profile site table matching the IDs embedded in the
+/// generated code.
 std::string transformToIntervals(ASTContext &Ctx, DiagnosticsEngine &Diags,
-                                 const TransformOptions &Options);
+                                 const TransformOptions &Options,
+                                 ProfileSiteTable *SitesOut = nullptr);
 
 } // namespace igen
 

@@ -14,7 +14,8 @@ using namespace igen;
 std::optional<std::string>
 igen::compileToIntervals(std::string_view Source,
                          const TransformOptions &Opts,
-                         DiagnosticsEngine &Diags) {
+                         DiagnosticsEngine &Diags,
+                         ProfileSiteTable *SitesOut) {
   ASTContext Ctx;
   Parser P(Source, Ctx, Diags);
   if (!P.parseTranslationUnit())
@@ -22,7 +23,7 @@ igen::compileToIntervals(std::string_view Source,
   Sema S(Ctx, Diags);
   if (!S.run())
     return std::nullopt;
-  std::string Out = transformToIntervals(Ctx, Diags, Opts);
+  std::string Out = transformToIntervals(Ctx, Diags, Opts, SitesOut);
   if (Diags.hasErrors())
     return std::nullopt;
   return Out;

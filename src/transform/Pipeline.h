@@ -24,10 +24,13 @@
 namespace igen {
 
 /// Compiles C source text to interval C. Returns std::nullopt (with
-/// diagnostics in \p Diags) on any error.
+/// diagnostics in \p Diags) on any error. With Opts.Profile set and
+/// \p SitesOut non-null, receives the compile-time profile site table.
 std::optional<std::string> compileToIntervals(std::string_view Source,
                                               const TransformOptions &Opts,
-                                              DiagnosticsEngine &Diags);
+                                              DiagnosticsEngine &Diags,
+                                              ProfileSiteTable *SitesOut =
+                                                  nullptr);
 
 } // namespace igen
 

@@ -1,0 +1,46 @@
+//===- ProfileSites.h - Compile-time precision-profile site table -*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static site table produced by `igen --profile`. Every instrumented
+/// interval operation in the emitted code carries a small integer site ID;
+/// this table maps IDs back to the originating source operation (op name,
+/// source line/column, unparsed expression text, enclosing function). The
+/// transformer embeds the table into the generated TU (so reports are
+/// self-describing at runtime) and the driver additionally serializes it
+/// as a `<output>.sites.json` sidecar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_TRANSFORM_PROFILESITES_H
+#define IGEN_TRANSFORM_PROFILESITES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igen {
+
+/// One instrumented operation. IDs are the vector index, assigned in
+/// emission order; sign-specialized and FMA-fused rewrites reuse the
+/// source operation's location, so a site survives optimizer rewrites.
+struct ProfileSite {
+  std::string Op;       ///< runtime op ("mul", "fma_pu", "sub", ...)
+  std::string Func;     ///< enclosing source function
+  std::string Text;     ///< unparsed source expression
+  uint32_t Line = 0;    ///< 1-based source line (0 = unknown)
+  uint32_t Col = 0;     ///< 1-based source column
+};
+
+struct ProfileSiteTable {
+  std::string Module;     ///< module name registered with the runtime
+  std::string SourceFile; ///< original input path
+  std::vector<ProfileSite> Sites;
+};
+
+} // namespace igen
+
+#endif // IGEN_TRANSFORM_PROFILESITES_H

@@ -1,0 +1,85 @@
+//===- EnvParseTest.cpp - IGEN_THREADS / IGEN_ISA parsing tests -----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The runtime reads two environment knobs, IGEN_THREADS and IGEN_ISA.
+// Both must fall back gracefully on bad input *and* say so: a typo'd
+// override silently ignored is a user running a different configuration
+// than they think. These tests drive the pure parsing entry points the
+// env readers are built on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CpuDispatch.h"
+#include "runtime/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using igen::runtime::Isa;
+using igen::runtime::resolveIsaFromSpec;
+using igen::runtime::ThreadPool;
+
+TEST(EnvParse, ThreadsAcceptsPositiveIntegers) {
+  std::string W;
+  EXPECT_EQ(ThreadPool::participantsFromEnv("1", 8, &W), 1u);
+  EXPECT_EQ(ThreadPool::participantsFromEnv("6", 8, &W), 6u);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, ThreadsClampsToUsefulRange) {
+  std::string W;
+  // Oversubscription clamps to max(4, hardware).
+  EXPECT_EQ(ThreadPool::participantsFromEnv("64", 8, &W), 8u);
+  EXPECT_EQ(ThreadPool::participantsFromEnv("64", 2, &W), 4u);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, ThreadsUnsetOrEmptyIsNotAnError) {
+  std::string W;
+  EXPECT_EQ(ThreadPool::participantsFromEnv(nullptr, 8, &W), 0u);
+  EXPECT_EQ(ThreadPool::participantsFromEnv("", 8, &W), 0u);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, ThreadsWarnsOnMalformedValues) {
+  for (const char *Bad : {"abc", "3x", "-2", "0", " 4 "}) {
+    std::string W;
+    EXPECT_EQ(ThreadPool::participantsFromEnv(Bad, 8, &W), 0u)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find("IGEN_THREADS"), std::string::npos) << "spec: " << Bad;
+    EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
+  }
+}
+
+TEST(EnvParse, IsaAcceptsKnownSupportedNames) {
+  std::string W;
+  EXPECT_EQ(resolveIsaFromSpec("scalar", &W), Isa::Scalar);
+  // Every x86-64 CPU has SSE2; on other hosts the fallback is still a
+  // supported tier and must warn.
+  Isa Sse = resolveIsaFromSpec("sse2", &W);
+  EXPECT_TRUE(igen::runtime::isaSupported(Sse));
+  if (igen::runtime::isaSupported(Isa::Sse2)) {
+    EXPECT_EQ(Sse, Isa::Sse2);
+    EXPECT_TRUE(W.empty());
+  }
+}
+
+TEST(EnvParse, IsaUnsetOrEmptyAutoDetectsSilently) {
+  std::string W;
+  EXPECT_EQ(resolveIsaFromSpec(nullptr, &W), igen::runtime::detectIsa());
+  EXPECT_EQ(resolveIsaFromSpec("", &W), igen::runtime::detectIsa());
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, IsaWarnsOnUnknownNamesAndFallsBack) {
+  for (const char *Bad : {"avx512", "AVX2", "fast", "sse", "2"}) {
+    std::string W;
+    EXPECT_EQ(resolveIsaFromSpec(Bad, &W), igen::runtime::detectIsa())
+        << "spec: " << Bad;
+    EXPECT_NE(W.find("unknown IGEN_ISA"), std::string::npos)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
+  }
+}

@@ -1,0 +1,193 @@
+//===- ExecProfileTest.cpp - Execute --profile instrumented kernels ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Inputs/profk.c is compiled by the igen driver twice -- with --profile
+// and without -- and both results are linked here (ProfkProfTu.cpp /
+// ProfkPlainTu.cpp). The tests verify the profiler's core contracts:
+//
+//  * Instrumentation never changes computed enclosures (bit-for-bit).
+//  * Blowup attribution ranks the kernel's deliberate catastrophic-
+//    cancellation site first.
+//  * Merged per-site statistics are bit-identical however the same work
+//    is partitioned across threads.
+//  * The text and JSON reports carry the ranked site data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Rounding.h"
+#include "interval/igen_lib.h"
+#include "profile/Profile.h"
+#include "runtime/ThreadPool.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+f64i cancel_prof(f64i x);
+f64i cancel_plain(f64i x);
+f64i dot_prof(f64i *a, f64i *b, int n);
+f64i dot_plain(f64i *a, f64i *b, int n);
+
+namespace {
+
+using igen::Interval;
+using igen::prof::SiteReport;
+
+Interval toI(f64i V) { return V.toInterval(); }
+f64i fromI(double Lo, double Hi) {
+  return f64i::fromInterval(Interval::fromEndpoints(Lo, Hi));
+}
+
+bool bitEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// One deterministic unit of work: a cancellation-heavy call plus a
+/// short dot product, parameterized by a task index so any partitioning
+/// of the index space records the same multiset of operations.
+void workUnit(size_t I) {
+  igen::RoundUpwardScope Up;
+  double V = 1.0 + static_cast<double>(I) * 0.015625;
+  f64i X = fromI(V, V + 1e-10);
+  f64i R = cancel_prof(X);
+  (void)R;
+  f64i A[4], B[4];
+  for (int K = 0; K < 4; ++K) {
+    A[K] = fromI(V + K, V + K + 1e-9);
+    B[K] = fromI(0.5 + K, 0.5 + K);
+  }
+  f64i D = dot_prof(A, B, 4);
+  (void)D;
+}
+
+std::vector<SiteReport> snapshotAfter(unsigned Participants) {
+  igen_prof_reset();
+  igen::runtime::ThreadPool::instance().parallelFor(64, Participants,
+                                                    workUnit);
+  return igen::prof::snapshot();
+}
+
+} // namespace
+
+TEST(ExecProfile, InstrumentedEnclosuresBitIdentical) {
+  igen::RoundUpwardScope Up;
+  for (int It = 0; It < 200; ++It) {
+    double V = 0.75 + It * 0.03125;
+    f64i X = fromI(V, V + 1e-10);
+    Interval P = toI(cancel_prof(X)), Q = toI(cancel_plain(X));
+    EXPECT_TRUE(bitEqual(P.NegLo, Q.NegLo) && bitEqual(P.Hi, Q.Hi))
+        << "cancel diverged at V=" << V;
+
+    f64i A[8], B[8], A2[8], B2[8];
+    for (int K = 0; K < 8; ++K) {
+      A2[K] = A[K] = fromI(V + K, V + K + 1e-9);
+      B2[K] = B[K] = fromI(-K - 0.25, -K + 0.25);
+    }
+    Interval DP = toI(dot_prof(A, B, 8)), DQ = toI(dot_plain(A2, B2, 8));
+    EXPECT_TRUE(bitEqual(DP.NegLo, DQ.NegLo) && bitEqual(DP.Hi, DQ.Hi))
+        << "dot diverged at V=" << V;
+  }
+}
+
+TEST(ExecProfile, BlowupAttributionRanksCancellationFirst) {
+  igen_prof_reset();
+  {
+    igen::RoundUpwardScope Up;
+    for (int It = 0; It < 256; ++It) {
+      double V = 1.0 + It * 0.00390625;
+      f64i R = cancel_prof(fromI(V, V + 1e-10));
+      (void)R;
+    }
+  }
+  std::vector<SiteReport> Sites = igen::prof::snapshot();
+  ASSERT_FALSE(Sites.empty());
+  // The subtraction cancels the 1e8 common term: absolute rounding error
+  // acquired at magnitude 1e8 becomes relative width at magnitude ~1, a
+  // growth of tens of bits per execution. It must rank first.
+  EXPECT_EQ(Sites[0].Op, "sub");
+  EXPECT_EQ(Sites[0].Func, "cancel");
+  EXPECT_EQ(Sites[0].Count, 256u);
+  EXPECT_GT(Sites[0].GrowthBits, 0u);
+  EXPECT_GT(Sites[0].MaxGrowth, 1e3);
+  EXPECT_GT(Sites[0].MaxRelW, 0.0);
+  EXPECT_GE(Sites[0].MaxRelW, Sites[0].MeanRelW);
+  // The multiply downstream only transports the width; it must not claim
+  // the blowup.
+  for (const SiteReport &S : Sites) {
+    if (S.Op == "mul" && S.Func == "cancel") {
+      EXPECT_LT(S.GrowthBits, Sites[0].GrowthBits);
+    }
+  }
+}
+
+TEST(ExecProfile, WholeIntervalEscapesCounted) {
+  igen_prof_reset();
+  {
+    igen::RoundUpwardScope Up;
+    f64i R = cancel_prof(f64i::fromInterval(Interval::entire()));
+    (void)R;
+  }
+  std::vector<SiteReport> Sites = igen::prof::snapshot();
+  uint64_t Whole = 0;
+  for (const SiteReport &S : Sites)
+    Whole += S.WholeCount;
+  EXPECT_GT(Whole, 0u);
+}
+
+TEST(ExecProfile, ThreadMergeBitIdenticalAcrossPartitionings) {
+  std::vector<SiteReport> R1 = snapshotAfter(1);
+  std::vector<SiteReport> R2 = snapshotAfter(2);
+  std::vector<SiteReport> R4 = snapshotAfter(4);
+  ASSERT_EQ(R1.size(), R2.size());
+  ASSERT_EQ(R1.size(), R4.size());
+  for (size_t I = 0; I < R1.size(); ++I) {
+    for (const std::vector<SiteReport> *Other : {&R2, &R4}) {
+      const SiteReport &A = R1[I], &B = (*Other)[I];
+      EXPECT_EQ(A.Id, B.Id);
+      EXPECT_EQ(A.Count, B.Count);
+      EXPECT_EQ(A.NanCount, B.NanCount);
+      EXPECT_EQ(A.WholeCount, B.WholeCount);
+      EXPECT_EQ(A.GrowthBits, B.GrowthBits);
+      EXPECT_TRUE(bitEqual(A.MaxRelW, B.MaxRelW));
+      EXPECT_TRUE(bitEqual(A.MeanRelW, B.MeanRelW));
+      EXPECT_TRUE(bitEqual(A.MaxGrowth, B.MaxGrowth));
+    }
+  }
+}
+
+TEST(ExecProfile, ReportsCarryRankedSites) {
+  igen_prof_reset();
+  {
+    igen::RoundUpwardScope Up;
+    f64i R = cancel_prof(fromI(2.0, 2.0 + 1e-10));
+    (void)R;
+  }
+  std::string Text = igen::prof::reportText();
+  EXPECT_NE(Text.find("igen precision profile"), std::string::npos);
+  EXPECT_NE(Text.find("sub"), std::string::npos);
+  EXPECT_NE(Text.find("(cancel)"), std::string::npos);
+
+  std::string Json = igen::prof::reportJson();
+  EXPECT_NE(Json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"report\": \"igen_profile\""), std::string::npos);
+  EXPECT_NE(Json.find("\"op\": \"sub\""), std::string::npos);
+  EXPECT_NE(Json.find("\"growth_bits\""), std::string::npos);
+
+  std::string Path =
+      ::testing::TempDir() + "igen_prof_report_test.json";
+  ASSERT_EQ(igen_prof_report_json(Path.c_str()), 0);
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[64] = {0};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  ASSERT_GT(N, 0u);
+  EXPECT_EQ(Buf[0], '{');
+}

@@ -1,0 +1,20 @@
+/* Kernels for the precision profiler tests. `cancel` contains a
+   deliberate catastrophic-cancellation site: the subtraction strips the
+   large common term, so the absolute rounding error picked up at 1e8
+   magnitude becomes a huge *relative* width at magnitude ~1. Blowup
+   attribution must rank that subtraction first. `dot` provides a loop
+   with a carried accumulation for the thread-merge determinism test. */
+
+double cancel(double x) {
+  double big = x + 100000000.0;
+  double d = big - 100000000.0;
+  return d * 3.0;
+}
+
+double dot(const double *a, const double *b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}

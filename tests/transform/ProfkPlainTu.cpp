@@ -1,0 +1,10 @@
+//===- ProfkPlainTu.cpp - Wrap the plain build of Inputs/profk.c -------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#define cancel cancel_plain
+#define dot dot_plain
+
+#include "profk_plain.cpp"

@@ -1,0 +1,16 @@
+//===- ProfkProfTu.cpp - Wrap the --profile build of Inputs/profk.c ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The same input is compiled by the igen driver with and without
+// --profile; renaming the functions lets one test binary link both
+// builds and compare their enclosures bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#define cancel cancel_prof
+#define dot dot_prof
+
+#include "profk_prof.cpp"

@@ -94,8 +94,11 @@ TEST(Transform, IndexLiftingAndPointers) {
       "    y[i] = y[i] + alpha * x[i];\n"
       "}\n");
   EXPECT_THAT(Out, HasSubstr("void axpy(f64i alpha, f64i *x, f64i *y"));
-  // The default optimization level fuses the multiply-accumulate.
-  EXPECT_THAT(Out, HasSubstr("y[i] = ia_fma_f64(alpha, x[i], y[i])"));
+  // The add feeds the loop-carried accumulator y[i], so the optimizer
+  // deliberately keeps it unfused (fusing would serialize the loop on
+  // the fma latency).
+  EXPECT_THAT(Out,
+              HasSubstr("y[i] = ia_add_f64(y[i], ia_mul_f64(alpha, x[i]))"));
 }
 
 TEST(Transform, MathFunctionsMap) {
@@ -414,9 +417,33 @@ TEST(Optimizer, O0EmitsGenericCalls) {
   EXPECT_THAT(Out, Not(HasSubstr("ia_div_p")));
 }
 
-TEST(Optimizer, MulAddFusesToFma) {
+TEST(Optimizer, LoopCarriedMulAddStaysUnfused) {
+  // y[i] = y[i] + a[i]*b[i] inside a loop: the add is the loop-carried
+  // recurrence, so FMA fusion is suppressed — fused, every iteration's
+  // multiply would sit on the recurrence's critical path.
   std::string Out = compile(MacKernel);
-  EXPECT_THAT(Out, HasSubstr("y[i] = ia_fma_f64(a[i], b[i], y[i])"));
+  EXPECT_THAT(Out,
+              HasSubstr("y[i] = ia_add_f64(y[i], ia_mul_f64(a[i], b[i]))"));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_fma")));
+
+  // Outside a loop the same shape fuses as before.
+  std::string Straight =
+      compile("double g(double y, double a, double b) {\n"
+              "  y = y + a * b;\n"
+              "  return y;\n"
+              "}\n");
+  EXPECT_THAT(Straight, HasSubstr("y = ia_fma_f64(a, b, y)"));
+
+  // A compound accumulation inside a loop is suppressed too.
+  std::string Compound =
+      compile("double h(double *a, double *b, int n) {\n"
+              "  double s = 0.0;\n"
+              "  for (int i = 0; i < n; i++)\n"
+              "    s += a[i] * b[i];\n"
+              "  return s;\n"
+              "}\n");
+  EXPECT_THAT(Compound, HasSubstr("s = ia_add_f64(s, ia_mul_f64(a[i], b[i]))"));
+  EXPECT_THAT(Compound, Not(HasSubstr("ia_fma")));
 
   TransformOptions Opts;
   Opts.OptLevel = 0;
@@ -424,6 +451,19 @@ TEST(Optimizer, MulAddFusesToFma) {
   EXPECT_THAT(Naive,
               HasSubstr("y[i] = ia_add_f64(y[i], ia_mul_f64(a[i], b[i]))"));
   EXPECT_THAT(Naive, Not(HasSubstr("ia_fma")));
+}
+
+TEST(Optimizer, NonCarriedMulAddInLoopStillFuses) {
+  // Horner shape: r = r*x + c[k]. The addend c[k] is not the target r —
+  // the recurrence already runs through the multiply, so fusing costs
+  // nothing on the critical path and saves the separate add.
+  std::string Out = compile("double horner(const double *c, double x, int n) {\n"
+                            "  double r = c[0];\n"
+                            "  for (int k = 1; k < n; k++)\n"
+                            "    r = r * x + c[k];\n"
+                            "  return r;\n"
+                            "}\n");
+  EXPECT_THAT(Out, HasSubstr("r = ia_fma_f64(r, x, c[k])"));
 }
 
 TEST(Optimizer, SubtractionFusesWithNegation) {
@@ -447,9 +487,10 @@ TEST(Optimizer, CseAndHoistingIntroduceTemps) {
                     "  return s;\n"
                     "}\n";
   std::string Out = compile(Src);
-  // The loop-invariant a*b + 1.0 is computed once ahead of the loop.
+  // The loop-invariant a*b + 1.0 is computed once ahead of the loop. The
+  // accumulation into s stays unfused (loop-carried FMA suppression).
   EXPECT_THAT(Out, HasSubstr("f64i _hoist1 = ia_fma_f64(a, b, ia_cst_f64(1));"));
-  EXPECT_THAT(Out, HasSubstr("ia_fma_f64(_hoist1, v[i], s)"));
+  EXPECT_THAT(Out, HasSubstr("ia_add_f64(s, ia_mul_f64(_hoist1, v[i]))"));
 
   TransformOptions Opts;
   Opts.OptLevel = 0;

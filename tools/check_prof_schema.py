@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate igen precision-profiler JSON documents (schema_version 1).
+
+Two document kinds are accepted, distinguished by their "report" field:
+
+  igen_profile  -- the runtime report written by igen_prof_report_json()
+                   or IGEN_PROF_OUT=path.json at process exit.
+  igen_sites    -- the compile-time site-table sidecar the driver writes
+                   next to --profile output (<output>.sites.json).
+
+Usage: check_prof_schema.py FILE [FILE...]
+
+Exits 0 when every file validates, 1 otherwise, printing one line per
+problem. Stdlib only; used by CI as the --profile smoke gate.
+"""
+
+import json
+import sys
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(f"{self.path}: {msg}")
+
+    def field(self, obj, key, types, where):
+        if key not in obj:
+            self.fail(f"{where}: missing key '{key}'")
+            return None
+        val = obj[key]
+        # bool is an int subclass; reject it where an int is expected.
+        if isinstance(val, bool) or not isinstance(val, types):
+            want = "/".join(t.__name__ for t in types)
+            self.fail(f"{where}: '{key}' is {type(val).__name__}, want {want}")
+            return None
+        return val
+
+
+NUM = (int, float)
+
+PROFILE_SITE_FIELDS = [
+    ("rank", (int,)),
+    ("id", (int,)),
+    ("module", (str,)),
+    ("op", (str,)),
+    ("func", (str,)),
+    ("line", (int,)),
+    ("col", (int,)),
+    ("text", (str,)),
+    ("count", (int,)),
+    ("nan_escapes", (int,)),
+    ("whole_escapes", (int,)),
+    ("growth_bits", (int,)),
+    ("max_rel_width", NUM),
+    ("mean_rel_width", NUM),
+    ("max_growth_ratio", NUM),
+]
+
+SIDECAR_SITE_FIELDS = [
+    ("id", (int,)),
+    ("op", (str,)),
+    ("func", (str,)),
+    ("line", (int,)),
+    ("col", (int,)),
+    ("text", (str,)),
+]
+
+
+def check_profile(c, doc):
+    modules = c.field(doc, "modules", (list,), "top level")
+    for i, mod in enumerate(modules or []):
+        where = f"modules[{i}]"
+        if not isinstance(mod, dict):
+            c.fail(f"{where}: not an object")
+            continue
+        c.field(mod, "module", (str,), where)
+        c.field(mod, "source_file", (str,), where)
+        c.field(mod, "first_site", (int,), where)
+        c.field(mod, "num_sites", (int,), where)
+
+    sites = c.field(doc, "sites", (list,), "top level")
+    prev_growth = None
+    for i, site in enumerate(sites or []):
+        where = f"sites[{i}]"
+        if not isinstance(site, dict):
+            c.fail(f"{where}: not an object")
+            continue
+        for key, types in PROFILE_SITE_FIELDS:
+            site_val = c.field(site, key, types, where)
+            if key == "rank" and site_val is not None and site_val != i + 1:
+                c.fail(f"{where}: rank {site_val}, want {i + 1}")
+        growth = site.get("growth_bits")
+        if isinstance(growth, int) and not isinstance(growth, bool):
+            if prev_growth is not None and growth > prev_growth:
+                c.fail(f"{where}: growth_bits not ranked descending")
+            prev_growth = growth
+        for key in ("count", "nan_escapes", "whole_escapes", "growth_bits"):
+            val = site.get(key)
+            if isinstance(val, int) and not isinstance(val, bool) and val < 0:
+                c.fail(f"{where}: '{key}' is negative")
+
+
+def check_sidecar(c, doc):
+    c.field(doc, "module", (str,), "top level")
+    c.field(doc, "source_file", (str,), "top level")
+    sites = c.field(doc, "sites", (list,), "top level")
+    for i, site in enumerate(sites or []):
+        where = f"sites[{i}]"
+        if not isinstance(site, dict):
+            c.fail(f"{where}: not an object")
+            continue
+        for key, types in SIDECAR_SITE_FIELDS:
+            site_val = c.field(site, key, types, where)
+            if key == "id" and site_val is not None and site_val != i:
+                c.fail(f"{where}: id {site_val}, want {i}")
+
+
+def check_file(path):
+    c = Checker(path)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        c.fail(f"cannot parse: {err}")
+        return c.errors
+    if not isinstance(doc, dict):
+        c.fail("top level is not an object")
+        return c.errors
+    version = c.field(doc, "schema_version", (int,), "top level")
+    if version is not None and version != 1:
+        c.fail(f"unsupported schema_version {version}")
+    kind = c.field(doc, "report", (str,), "top level")
+    if kind == "igen_profile":
+        check_profile(c, doc)
+    elif kind == "igen_sites":
+        check_sidecar(c, doc)
+    elif kind is not None:
+        c.fail(f"unknown report kind '{kind}'")
+    return c.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for err in errors:
+                print(err, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
