@@ -65,6 +65,7 @@ void svred_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m,
 IntervalSse sv_henon(IntervalSse x, IntervalSse y, int iterations);
 IntervalSse sv_horner(IntervalSse *coef, IntervalSse x, int d);
 IntervalSse sv_pade(IntervalSse *xs, IntervalSse *out, int n);
+IntervalSse sv_gauss(IntervalSse *xs, IntervalSse *out, int n);
 
 // --------------------------------------------------------------------------
 // IGen-sv with the mid-end optimizer disabled (-O0), for the Table V
@@ -76,6 +77,7 @@ void sv0_mvm(IntervalSse *A, IntervalSse *x, IntervalSse *y, int m,
 IntervalSse sv0_henon(IntervalSse x, IntervalSse y, int iterations);
 IntervalSse sv0_horner(IntervalSse *coef, IntervalSse x, int d);
 IntervalSse sv0_pade(IntervalSse *xs, IntervalSse *out, int n);
+IntervalSse sv0_gauss(IntervalSse *xs, IntervalSse *out, int n);
 
 // --------------------------------------------------------------------------
 // IGen-sv with --profile instrumentation (precision profiler overhead

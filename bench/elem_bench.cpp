@@ -1,0 +1,133 @@
+//===- elem_bench.cpp - Elementary-function kernel benchmark ----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the certified polynomial elementary kernels against the
+// libm-widened baseline, per function and per dispatch tier, at 2^16
+// intervals (the working-set size of the PR acceptance criteria):
+//
+//   elem,<fn>_libm_scalar   loop of iExp/iLog/iSin/iCos (fesetround and
+//                           a libm call per endpoint)
+//   elem,<fn>_poly_scalar   loop of iExpFast/... (ambient-mode polynomial)
+//   elem,<fn>_batch_<isa>   iarr_<fn> with the tier forced
+//
+// The value column is intervals per cycle (higher is better); the JSON
+// rows also carry raw cycles so ratios can be recomputed. Two extra rows
+// measure the satellite-1 rounding-scope cache: entering a
+// RoundNearestScope from upward mode costs two fesetround switches,
+// entering a redundant RoundUpwardScope costs only the thread-local
+// check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "interval/Elementary.h"
+#include "interval/PolyKernels.h"
+#include "runtime/BatchKernels.h"
+
+#include <cstdio>
+
+using namespace igen;
+using namespace igen::bench;
+using namespace igen::runtime;
+
+namespace {
+
+struct ElemFn {
+  const char *Name;
+  Interval (*Libm)(const Interval &);
+  Interval (*Poly)(const Interval &);
+  void (*Arr)(Interval *, const Interval *, size_t);
+  double Lo, Hi; // input range (inside the fast domain)
+};
+
+const ElemFn Fns[] = {
+    {"exp", iExp, iExpFast, iarr_exp, -80.0, 80.0},
+    {"log", iLog, iLogFast, iarr_log, 1e-3, 1e3},
+    {"sin", iSin, iSinFast, iarr_sin, -1000.0, 1000.0},
+    {"cos", iCos, iCosFast, iarr_cos, -1000.0, 1000.0},
+};
+
+/// Rounding-scope micro-bench (satellite of the cached-mode change in
+/// Rounding.h): cycles for Iters scope entries+exits of each flavor.
+uint64_t scopeToggleCycles(int Iters) {
+  RoundUpwardScope Up;
+  return minCycles([&] {
+    double Acc = 0.0;
+    for (int I = 0; I < Iters; ++I) {
+      RoundNearestScope Near; // mode differs: two fesetround calls
+      Acc += 1.0;
+    }
+    opaque(Acc);
+  });
+}
+
+uint64_t scopeCachedCycles(int Iters) {
+  RoundUpwardScope Up;
+  return minCycles([&] {
+    double Acc = 0.0;
+    for (int I = 0; I < Iters; ++I) {
+      RoundUpwardScope Redundant; // cached mode matches: no fesetround
+      Acc += 1.0;
+    }
+    opaque(Acc);
+  });
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = jsonPathArg(Argc, Argv);
+  JsonReport Report;
+  JsonReport *Rep = JsonPath ? &Report : nullptr;
+  std::printf("table,config,size,intervals_per_cycle\n");
+
+  const int N = 1 << 16;
+  std::vector<Interval> X(N), D(N);
+
+  for (const ElemFn &F : Fns) {
+    Rng G(benchSeed("elem", F.Name, N));
+    fillUlpIntervals(X.data(), N, G, F.Lo, F.Hi);
+    std::string Base = F.Name;
+
+    uint64_t CLibm, CPoly;
+    {
+      RoundUpwardScope Up;
+      CLibm = minCycles([&] {
+        for (int I = 0; I < N; ++I)
+          D[I] = F.Libm(X[I]);
+      });
+      CPoly = minCycles([&] {
+        for (int I = 0; I < N; ++I)
+          D[I] = F.Poly(X[I]);
+      });
+    }
+    reportRow(Rep, "elem", (Base + "_libm_scalar").c_str(), N, CLibm, N);
+    reportRow(Rep, "elem", (Base + "_poly_scalar").c_str(), N, CPoly, N);
+
+    for (int T = 0; T < NumIsas; ++T) {
+      Isa Tier = static_cast<Isa>(T);
+      if (!isaSupported(Tier))
+        continue;
+      forceIsa(Tier);
+      uint64_t C = minCycles([&] { F.Arr(D.data(), X.data(), N); });
+      clearForcedIsa();
+      reportRow(Rep, "elem",
+                (Base + "_batch_" + isaName(Tier)).c_str(), N, C, N);
+    }
+  }
+
+  const int ScopeIters = 1 << 16;
+  reportRow(Rep, "rounding", "scope_toggle", ScopeIters,
+            scopeToggleCycles(ScopeIters), ScopeIters);
+  reportRow(Rep, "rounding", "scope_cached", ScopeIters,
+            scopeCachedCycles(ScopeIters), ScopeIters);
+
+  if (JsonPath && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "elem_bench: cannot write %s\n", JsonPath);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+//===- PolyKernels.cpp - Certified polynomial elementary kernels ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/PolyKernels.h"
+
+#include "interval/Elementary.h"
+#include "interval/Rounding.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace igen;
+
+namespace {
+
+/// High and low words of 2/pi (same quad-precision reconstruction as
+/// Elementary.cpp's sectionRange; accurate as a pair to ~2^-110).
+struct TwoOverPiConst {
+  double H;
+  double L;
+  TwoOverPiConst() {
+    __float128 Pi = (__float128)3.141592653589793116e+00 +
+                    1.224646799147353207e-16 +
+                    (-2.994769809718339666e-33);
+    __float128 T = (__float128)2.0 / Pi;
+    H = (double)T;
+    L = (double)(T - (__float128)H);
+  }
+};
+
+const TwoOverPiConst &twoOverPi() {
+  static const TwoOverPiConst C;
+  return C;
+}
+
+} // namespace
+
+void poly::detail::sectionRangeUp(double X, long long &KMin, long long &KMax) {
+  // The round-to-nearest sectionRange rewritten for the ambient (upward)
+  // mode: the FMA residue of the double-double product is exact in any
+  // rounding mode, and the remaining directed-rounding errors are below
+  // 2^-50 for |X| <= 2^20, far under the 2^-40 ambiguity threshold. The
+  // +-1 adjustments absorb a floor(S) that rounding pushed across an
+  // integer, exactly as in the nearest-mode original.
+  const TwoOverPiConst &C = twoOverPi();
+  double P = X * C.H;
+  double E = __builtin_fma(X, C.H, -P); // exact residue
+  double E2 = E + X * C.L;
+  double S = P + E2;
+  double K = std::floor(S);
+  double D = (P - K) + E2; // fractional part, nearly exact
+  const double Eps = 0x1p-40;
+  KMin = static_cast<long long>(K) - (D < Eps ? 1 : 0);
+  KMax = static_cast<long long>(K) + (D > 1.0 - Eps ? 1 : 0);
+}
+
+Interval igen::iExpFast(const Interval &X) {
+  assertRoundUpward();
+  double Lo = -X.NegLo, Hi = X.Hi;
+  if (!poly::expFastDomain(Lo, Hi))
+    return iExp(X); // NaN and out-of-range endpoints
+  // Monotone: two endpoint evaluations. The certified relative bound is
+  // folded outward with ambient-mode directed adds: the upper endpoint
+  // RU(y + e) >= y + e and the stored negated-lower RU(-y + e) = -RD(y-e).
+  double YL = poly::expCore(Lo);
+  double YH = poly::expCore(Hi);
+  double EL = YL * poly::ExpEpsRel; // RU: >= the exact margin; exp > 0
+  double EH = YH * poly::ExpEpsRel;
+  return Interval((-YL) + EL, YH + EH);
+}
+
+Interval igen::iLogFast(const Interval &X) {
+  assertRoundUpward();
+  double Lo = -X.NegLo, Hi = X.Hi;
+  if (!poly::logFastDomain(Lo, Hi))
+    return iLog(X); // NaN, nonpositive/subnormal lower, inf upper
+  double YL = poly::logCore(Lo);
+  double YH = poly::logCore(Hi);
+  double EL = std::fabs(YL) * poly::LogEpsRel;
+  double EH = std::fabs(YH) * poly::LogEpsRel;
+  return Interval((-YL) + EL, YH + EH);
+}
+
+namespace {
+
+/// Shared sin/cos fast path. Monotone between section boundaries; only
+/// boundaries where the function attains +-1 (peak PeakMod4, trough at
+/// PeakMod4 + 2 mod 4) break monotonicity, so the hull of the endpoint
+/// enclosures plus injected +-1 covers the true range. The boundary scan
+/// of Elementary.cpp's sinCosImpl is replaced by a modular membership
+/// test, so the whole path is loop- and fesetround-free.
+/// Point evaluation with its certified margin: absolute SinCosEpsAbs in
+/// general, the relative SinCosEpsRel when the reduction was the identity
+/// (n == 0 implies r == x exactly; every remaining error term scales with
+/// the result).
+template <bool IsSin> double pointWithMargin(double X, double &E) {
+  int64_t N;
+  double R = poly::sinCosReduce(X, N);
+  int64_t J = N & 3;
+  double V;
+  if (IsSin) {
+    V = (J & 1) ? poly::cosPolyR(R) : poly::sinPolyR(R);
+    V = (J & 2) ? -V : V;
+  } else {
+    V = (J & 1) ? poly::sinPolyR(R) : poly::cosPolyR(R);
+    V = ((J + 1) & 2) ? -V : V;
+  }
+  E = N == 0 ? std::fabs(V) * poly::SinCosEpsRel : poly::SinCosEpsAbs;
+  return V;
+}
+
+template <bool IsSin> Interval sinCosFastImpl(const Interval &X) {
+  assertRoundUpward();
+  double Lo = -X.NegLo, Hi = X.Hi;
+  if (!poly::sinCosFastDomain(Lo, Hi))
+    return IsSin ? iSin(X) : iCos(X);
+  long long KLoMin, KLoMax, KHiMin, KHiMax;
+  poly::detail::sectionRangeUp(Lo, KLoMin, KLoMax);
+  poly::detail::sectionRangeUp(Hi, KHiMin, KHiMax);
+  if (KHiMax - KLoMin >= 5) // conservatively spans a peak and a trough
+    return Interval::fromEndpoints(-1.0, 1.0);
+  double EL, EH;
+  double FL = pointWithMargin<IsSin>(Lo, EL);
+  double FH = pointWithMargin<IsSin>(Hi, EH);
+  double RHi = std::max(FL + EL, FH + EH);         // RU(f + e)
+  double NegRLo = std::max((-FL) + EL, (-FH) + EH); // -RD(f - e)
+  // Section boundaries possibly interior to [Lo, Hi]: m in (KLoMin,
+  // KHiMax], i.e. Count values starting at First.
+  long long First = KLoMin + 1;
+  long long Count = KHiMax - KLoMin; // 0..5 here
+  constexpr long long PeakMod4 = IsSin ? 1 : 0;
+  constexpr long long TroughMod4 = IsSin ? 3 : 2;
+  auto hasBoundaryMod4 = [&](long long Mod) {
+    long long Delta = ((Mod - First) % 4 + 4) & 3; // distance to first hit
+    return Delta < Count;
+  };
+  RHi = hasBoundaryMod4(PeakMod4) ? 1.0 : std::min(RHi, 1.0);
+  NegRLo = hasBoundaryMod4(TroughMod4) ? 1.0 : std::min(NegRLo, 1.0);
+  return Interval(NegRLo, RHi);
+}
+
+} // namespace
+
+Interval igen::iSinFast(const Interval &X) { return sinCosFastImpl<true>(X); }
+
+Interval igen::iCosFast(const Interval &X) { return sinCosFastImpl<false>(X); }

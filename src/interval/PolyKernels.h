@@ -1,0 +1,271 @@
+//===- PolyKernels.h - Certified polynomial elementary kernels --*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Polynomial exp/log/sin/cos kernels evaluated entirely under the
+/// *ambient* round-upward mode of the interval runtime -- no fesetround()
+/// on the hot path, unlike the libm substitution in Elementary.h which
+/// pays a round-to-nearest scope per endpoint. Each kernel carries a
+/// statically derived total error bound (polynomial approximation error
+/// plus per-step directed-rounding error, derivations in DESIGN.md
+/// "Certified polynomial kernels") that is folded outward into the
+/// returned interval, so the enclosures are sound by construction.
+///
+/// The fast kernels cover a restricted domain (ExpFastLimit etc.) inside
+/// which every error term of the derivation is valid; outside it they
+/// fall back to the libm-widened iExp/iLog/iSin/iCos, so soundness never
+/// depends on the polynomial code's coverage.
+///
+/// The point cores below are deliberately header-inline and written as a
+/// fixed sequence of scalar mul/add/sub operations (no FMA, no libm):
+/// the per-ISA batched kernels in src/runtime/BatchElem*.cpp mirror the
+/// exact same operation sequence with SSE2/AVX2 intrinsics, which makes
+/// every lane bit-identical to the scalar core under the same rounding
+/// mode -- the batch tests compare tiers with EXPECT_EQ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_INTERVAL_POLYKERNELS_H
+#define IGEN_INTERVAL_POLYKERNELS_H
+
+#include "interval/Interval.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace igen {
+namespace poly {
+
+//===----------------------------------------------------------------------===//
+// Fast-path domains and certified error bounds (derived in DESIGN.md)
+//===----------------------------------------------------------------------===//
+
+/// exp fast path: |x| <= 690 keeps the scaled result strictly inside the
+/// normal range (exp(+-690) ~ 2^+-995.5, 26 binades of margin), so the
+/// final 2^k scaling multiply is exact.
+inline constexpr double ExpFastLimit = 690.0;
+
+/// sin/cos fast path: |x| <= 2^20 is where the 3-term Cody-Waite pi/2
+/// reduction below is provably exact in its first step (n*Pio2_1 needs
+/// 31+20 significand bits). Between 2^20 and the 2^45 sectionRange cutoff
+/// the libm-widened path takes over.
+inline constexpr double SinCosFastLimit = 0x1p20;
+
+/// Certified worst-case *relative* error of expCore/logCore on their fast
+/// domains, and *absolute* error of sinCore/cosCore (absolute because the
+/// reduction error ~2^-52 does not shrink near the zeros of sin/cos).
+/// When the reduction is the identity (n == 0, so r == x exactly) there
+/// is no reduction error and the sin/cos bound improves to the *relative*
+/// SinCosEpsRel -- this is what keeps iSinFast tight near zero.
+/// The derivations in DESIGN.md bound the true errors by 2^-49.4 (exp),
+/// 2^-50.3 (log) and 2^-50.3 (sin/cos, 2^-50.2 relative for n == 0);
+/// 2^-48 leaves >= 2x margin everywhere.
+inline constexpr double ExpEpsRel = 0x1p-48;
+inline constexpr double LogEpsRel = 0x1p-48;
+inline constexpr double SinCosEpsAbs = 0x1p-48;
+inline constexpr double SinCosEpsRel = 0x1p-48;
+
+/// Fast-domain predicates. NaN endpoints fail every comparison and fall
+/// back to the libm path (which handles them).
+inline bool expFastDomain(double Lo, double Hi) {
+  return std::fabs(Lo) <= ExpFastLimit && std::fabs(Hi) <= ExpFastLimit;
+}
+inline bool logFastDomain(double Lo, double Hi) {
+  // Positive *normal* lower endpoint (the bit-level exponent extraction
+  // in logCore assumes a normal input) and a finite upper endpoint.
+  return Lo >= std::numeric_limits<double>::min() &&
+         Hi <= std::numeric_limits<double>::max();
+}
+inline bool sinCosFastDomain(double Lo, double Hi) {
+  return std::fabs(Lo) <= SinCosFastLimit && std::fabs(Hi) <= SinCosFastLimit;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared constants
+//===----------------------------------------------------------------------===//
+
+/// 1.5 * 2^52: adding it pins a value's integer part into the low
+/// significand bits ("shifter trick"); under the ambient upward mode
+/// (v - 0.5) + Shift computes ceil(v - 0.5), a round-half-up nearest.
+inline constexpr double Shifter = 0x1.8p52;
+
+/// log2(e), nearest.
+inline constexpr double InvLn2 = 0x1.71547652b82fep+0;
+
+/// ln 2 split with a 31-bit head: k * Ln2Hi is exact for |k| < 2^21.
+inline constexpr double Ln2Hi = 0x1.62e42feep-1;
+inline constexpr double Ln2Lo = 0x1.a39ef35793c76p-33;
+
+/// sqrt(2), nearest (mantissa normalization threshold in logCore).
+inline constexpr double Sqrt2 = 0x1.6a09e667f3bcdp+0;
+
+/// 2/pi, nearest.
+inline constexpr double InvPio2 = 0x1.45f306dc9c883p-1;
+
+/// pi/2 in three parts with 31/32/28-bit heads (fdlibm's pio2_1/2/3):
+/// n * each part is exact for |n| <= 2^20, and the neglected tail
+/// contributes |n| * 8.5e-32 <= 2^-83.
+inline constexpr double Pio2_1 = 0x1.921fb544p+0;
+inline constexpr double Pio2_2 = 0x1.0b4611a6p-34;
+inline constexpr double Pio2_3 = 0x1.3198a2ep-69;
+
+/// Taylor coefficients (nearest doubles; every factorial below is exactly
+/// representable, so each entry carries a single half-ulp representation
+/// error that the DESIGN.md budgets account for).
+inline constexpr double ExpC[12] = {
+    1.0 / 2, 1.0 / 6, 1.0 / 24, 1.0 / 120, 1.0 / 720, 1.0 / 5040,
+    1.0 / 40320, 1.0 / 362880, 1.0 / 3628800, 1.0 / 39916800,
+    1.0 / 479001600, 1.0 / 6227020800.0};
+
+inline constexpr double SinC[8] = {
+    -1.0 / 6, 1.0 / 120, -1.0 / 5040, 1.0 / 362880, -1.0 / 39916800,
+    1.0 / 6227020800.0, -1.0 / 1307674368000.0, 1.0 / 355687428096000.0};
+
+inline constexpr double CosC[7] = {
+    1.0 / 24, -1.0 / 720, 1.0 / 40320, -1.0 / 3628800, 1.0 / 479001600,
+    -1.0 / 87178291200.0, 1.0 / 20922789888000.0};
+
+/// atanh-series coefficients 2/(2k+1) for log: log(m) = 2s + s*z*Q(z)
+/// with s = (m-1)/(m+1), z = s^2.
+inline constexpr double LogC[11] = {
+    2.0 / 3, 2.0 / 5, 2.0 / 7, 2.0 / 9, 2.0 / 11, 2.0 / 13,
+    2.0 / 15, 2.0 / 17, 2.0 / 19, 2.0 / 21, 2.0 / 23};
+
+//===----------------------------------------------------------------------===//
+// Point cores (ambient rounding mode; certified error bounds above)
+//===----------------------------------------------------------------------===//
+
+/// exp(x) for |x| <= ExpFastLimit. Relative error < ExpEpsRel / 2.
+inline double expCore(double X) {
+  // k = round-half-up nearest of x/ln2 via the shifter; the bit pattern
+  // of U is bits(Shifter) + k, exactly.
+  double P = X * InvLn2;
+  double U = (P - 0.5) + Shifter;
+  double Kd = U - Shifter; // exact (Sterbenz)
+  int64_t K = std::bit_cast<int64_t>(U) - std::bit_cast<int64_t>(Shifter);
+  // Cody-Waite reduction: both the product k*Ln2Hi and the first
+  // subtraction are exact (DESIGN.md); |R| <= 0.3467.
+  double R0 = X - Kd * Ln2Hi;
+  double R = R0 - Kd * Ln2Lo;
+  // exp(R) = 1 + R + R^2 * Q(R), Q = Taylor through degree 13. The
+  // attenuated form keeps every rounding error small against the leading
+  // 1 + R.
+  double Q = ExpC[11];
+  for (int I = 10; I >= 0; --I)
+    Q = ExpC[I] + R * Q;
+  double Z = R * R;
+  double Y = 1.0 + (R + Z * Q);
+  // 2^k scaling: exact because the result is normal on the fast domain.
+  double Scale = std::bit_cast<double>((K + 1023) << 52);
+  return Y * Scale;
+}
+
+/// log(x) for positive normal finite x. Relative error < LogEpsRel / 2.
+inline double logCore(double X) {
+  // x = 2^e * m with m normalized into [sqrt(1/2), sqrt(2)): |log m| is
+  // either 0-homogeneous in s (e == 0) or bounded away from cancelling
+  // against e*ln2 (|e*ln2 + log m| >= ln2/2 when e != 0).
+  int64_t Bits = std::bit_cast<int64_t>(X);
+  int64_t E2 = (Bits >> 52) - 1023;
+  double M = std::bit_cast<double>((Bits & 0xFFFFFFFFFFFFFll) |
+                                   0x3FF0000000000000ll);
+  if (M > Sqrt2) {
+    M = M * 0.5; // exact
+    E2 += 1;
+  }
+  double Ed = static_cast<double>(E2);
+  double A = M - 1.0; // exact (Sterbenz)
+  double B = M + 1.0;
+  double S = A / B; // |S| <= 0.1716
+  double Z = S * S;
+  double Q = LogC[10];
+  for (int I = 9; I >= 0; --I)
+    Q = LogC[I] + Z * Q;
+  double T = (S * Z) * Q;
+  double S2 = S + S; // exact
+  double VHi = Ed * Ln2Hi; // exact (|e| <= 1023 < 2^21)
+  double VLo = Ed * Ln2Lo;
+  return (VHi + S2) + (T + VLo);
+}
+
+/// Shared pi/2 argument reduction for |x| <= SinCosFastLimit: returns the
+/// reduced argument r = x - n*pi/2 with |r| <= pi/4 + 2^-30 and
+/// |r - r_true| <= 2^-51.9, and sets \p N = n (quadrant = n mod 4; n == 0
+/// means r == x exactly, with no reduction error at all).
+inline double sinCosReduce(double X, int64_t &N) {
+  double P = X * InvPio2;
+  double U = (P - 0.5) + Shifter;
+  double Nd = U - Shifter; // exact
+  N = std::bit_cast<int64_t>(U) - std::bit_cast<int64_t>(Shifter);
+  double R0 = X - Nd * Pio2_1; // both exact (DESIGN.md)
+  double R1 = R0 - Nd * Pio2_2; // product exact; one rounding
+  return R1 - Nd * Pio2_3; // product exact; one rounding
+}
+
+/// sin(r) / cos(r) on the reduced domain |r| <= pi/4 + 2^-30.
+inline double sinPolyR(double R) {
+  double Z = R * R;
+  double S = SinC[7];
+  for (int I = 6; I >= 0; --I)
+    S = SinC[I] + Z * S;
+  return R + (R * Z) * S;
+}
+inline double cosPolyR(double R) {
+  double Z = R * R;
+  double C = CosC[6];
+  for (int I = 5; I >= 0; --I)
+    C = CosC[I] + Z * C;
+  double Hz = 0.5 * Z; // exact
+  return (1.0 - Hz) + (Z * Z) * C;
+}
+
+/// sin(x) / cos(x) for |x| <= SinCosFastLimit. Absolute error
+/// < SinCosEpsAbs / 2; relative error < SinCosEpsRel / 2 when the
+/// reduction returns n == 0.
+inline double sinCore(double X) {
+  int64_t N;
+  double R = sinCosReduce(X, N);
+  int64_t J = N & 3; // two's complement: correct mod 4 for negative n
+  double V = (J & 1) ? cosPolyR(R) : sinPolyR(R);
+  return (J & 2) ? -V : V;
+}
+inline double cosCore(double X) {
+  int64_t N;
+  double R = sinCosReduce(X, N);
+  int64_t J = N & 3;
+  double V = (J & 1) ? sinPolyR(R) : cosPolyR(R);
+  return ((J + 1) & 2) ? -V : V;
+}
+
+namespace detail {
+
+/// Conservative bounds [KMin, KMax] on floor(x / (pi/2)) computed without
+/// leaving the ambient rounding mode (the upward-mode sibling of
+/// igen::detail::sectionRange, same 2^-40 ambiguity threshold). Requires
+/// |x| <= SinCosFastLimit.
+void sectionRangeUp(double X, long long &KMin, long long &KMax);
+
+} // namespace detail
+
+} // namespace poly
+
+//===----------------------------------------------------------------------===//
+// Interval kernels
+//===----------------------------------------------------------------------===//
+
+/// Certified polynomial interval exp/log/sin/cos: same contracts as
+/// iExp/iLog/iSin/iCos (to which they defer outside the fast domain), but
+/// evaluated without any rounding-mode switch and widened by the certified
+/// kernel error instead of the libm ulp bound.
+Interval iExpFast(const Interval &X);
+Interval iLogFast(const Interval &X);
+Interval iSinFast(const Interval &X);
+Interval iCosFast(const Interval &X);
+
+} // namespace igen
+
+#endif // IGEN_INTERVAL_POLYKERNELS_H

@@ -34,39 +34,70 @@ namespace igen {
 /// Returns true if the FPU currently rounds upward.
 inline bool isRoundUpward() { return std::fegetround() == FE_UPWARD; }
 
-/// RAII scope that switches the FPU to upward rounding and restores the
-/// previous mode on destruction. All interval operations must execute
-/// inside such a scope (asserted in debug builds by the hot operations).
-class RoundUpwardScope {
-public:
-  RoundUpwardScope() : Saved(std::fegetround()) {
-    std::fesetround(FE_UPWARD);
-  }
-  ~RoundUpwardScope() { std::fesetround(Saved); }
+namespace detail {
 
-  RoundUpwardScope(const RoundUpwardScope &) = delete;
-  RoundUpwardScope &operator=(const RoundUpwardScope &) = delete;
+/// The rounding mode this thread's FPU is known to be in, or -1 when
+/// unknown (thread start, or after foreign code may have switched modes
+/// behind our back -- see invalidateRoundingCache()). An fesetround() on
+/// x86-64 costs a pipeline-serializing LDMXCSR + FLDCW pair, and nested
+/// scopes (every ia_* wrapper opens one) would otherwise pay it twice per
+/// call even when the mode is already correct.
+inline thread_local int CachedRoundingMode = -1;
+
+/// Shared scope body: enters \p Want, skipping the fesetround() pair when
+/// the cache proves the FPU is already there.
+template <int Want> class CachedRoundingScope {
+public:
+  CachedRoundingScope() {
+    if (CachedRoundingMode == Want) {
+      NoOp = true;
+      Saved = Want;
+      // The cache is only sound if nothing switches modes without going
+      // through these scopes; check that in debug builds.
+      assert(std::fegetround() == Want &&
+             "rounding-mode cache out of sync (foreign fesetround? call "
+             "igen::invalidateRoundingCache())");
+    } else {
+      NoOp = false;
+      Saved = std::fegetround();
+      std::fesetround(Want);
+      CachedRoundingMode = Want;
+    }
+  }
+  ~CachedRoundingScope() {
+    if (!NoOp) {
+      std::fesetround(Saved);
+      CachedRoundingMode = Saved;
+    }
+  }
+
+  CachedRoundingScope(const CachedRoundingScope &) = delete;
+  CachedRoundingScope &operator=(const CachedRoundingScope &) = delete;
 
 private:
   int Saved;
+  bool NoOp;
 };
+
+} // namespace detail
+
+/// Forgets the cached rounding mode for the calling thread. Must be called
+/// after changing the mode with a raw std::fesetround() (tests do this) so
+/// the next scope re-reads the FPU instead of trusting a stale cache.
+inline void invalidateRoundingCache() { detail::CachedRoundingMode = -1; }
+
+/// RAII scope that switches the FPU to upward rounding and restores the
+/// previous mode on destruction. All interval operations must execute
+/// inside such a scope (asserted in debug builds by the hot operations).
+/// Re-entering the mode the thread is already in skips the fesetround()
+/// pair entirely (see detail::CachedRoundingMode; the elem bench reports
+/// the saved toggle cost).
+class RoundUpwardScope : public detail::CachedRoundingScope<FE_UPWARD> {};
 
 /// RAII scope that switches to round-to-nearest (used around libm calls in
 /// the elementary functions and around error-free transformations in the
 /// expansion oracle, which are only exact in round-to-nearest).
-class RoundNearestScope {
-public:
-  RoundNearestScope() : Saved(std::fegetround()) {
-    std::fesetround(FE_TONEAREST);
-  }
-  ~RoundNearestScope() { std::fesetround(Saved); }
-
-  RoundNearestScope(const RoundNearestScope &) = delete;
-  RoundNearestScope &operator=(const RoundNearestScope &) = delete;
-
-private:
-  int Saved;
-};
+class RoundNearestScope : public detail::CachedRoundingScope<FE_TONEAREST> {};
 
 /// Asserted by interval operations; compiled out of release builds. Kept as
 /// a macro-free inline so hot code reads naturally.

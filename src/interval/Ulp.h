@@ -56,13 +56,21 @@ inline double nextDown(double X) {
 }
 
 /// Moves \p X by \p N ulps upward (N may make it cross zero). Saturates at
-/// +-infinity.
+/// +-infinity in the outward direction; stepping *inward* from an infinity
+/// yields the corresponding finite neighbours. The inward behaviour is what
+/// makes libm error margins sound at overflow: when round-to-nearest exp()
+/// returns +inf the true value still exceeds every double within the libm
+/// ulp bound of +inf, so addUlps(+inf, -Bound) is a valid lower bound —
+/// the old early-return of +inf produced the empty-looking [+inf, +inf].
 inline double addUlps(double X, int64_t N) {
   if (std::isnan(X))
     return X;
-  if (std::isinf(X))
-    return X;
-  int64_t Ordered = toOrdered(X) + N;
+  // toOrdered(+-inf) is ~2^62 away from the int64 limits, but N is caller
+  // controlled: keep extreme N defined instead of overflowing.
+  int64_t Ordered;
+  if (__builtin_add_overflow(toOrdered(X), N, &Ordered))
+    Ordered = N > 0 ? std::numeric_limits<int64_t>::max()
+                    : std::numeric_limits<int64_t>::min();
   // Saturate at the infinities.
   const int64_t PosInf = toOrdered(std::numeric_limits<double>::infinity());
   const int64_t NegInf = toOrdered(-std::numeric_limits<double>::infinity());

@@ -32,6 +32,7 @@
 #include "interval/Interval32.h"
 #include "interval/IntervalSimd.h"
 #include "interval/IntervalVector.h"
+#include "interval/PolyKernels.h"
 #include "interval/TBool.h"
 
 //===----------------------------------------------------------------------===//
@@ -211,6 +212,32 @@ inline f64i ia_asin_f64(f64i A) {
 }
 inline f64i ia_acos_f64(f64i A) {
   return f64i::fromInterval(igen::iAcos(A.toInterval()));
+}
+#endif
+
+/// Certified polynomial fast paths (interval/PolyKernels.h), emitted by
+/// the transform at -O1 and above in place of the libm-widened versions:
+/// no rounding-mode switch per call, and the enclosure is widened by the
+/// statically certified kernel bound instead of the libm ulp band.
+/// Outside the fast domain they defer to the libm path, so they accept
+/// the same inputs as the plain versions.
+#if defined(IGEN_F64I_SCALAR)
+inline f64i ia_exp_fast_f64(f64i A) { return igen::iExpFast(A); }
+inline f64i ia_log_fast_f64(f64i A) { return igen::iLogFast(A); }
+inline f64i ia_sin_fast_f64(f64i A) { return igen::iSinFast(A); }
+inline f64i ia_cos_fast_f64(f64i A) { return igen::iCosFast(A); }
+#else
+inline f64i ia_exp_fast_f64(f64i A) {
+  return f64i::fromInterval(igen::iExpFast(A.toInterval()));
+}
+inline f64i ia_log_fast_f64(f64i A) {
+  return f64i::fromInterval(igen::iLogFast(A.toInterval()));
+}
+inline f64i ia_sin_fast_f64(f64i A) {
+  return f64i::fromInterval(igen::iSinFast(A.toInterval()));
+}
+inline f64i ia_cos_fast_f64(f64i A) {
+  return f64i::fromInterval(igen::iCosFast(A.toInterval()));
 }
 #endif
 

@@ -155,6 +155,10 @@ IGEN_PROF_WRAP1(tan_f64, f64i)
 IGEN_PROF_WRAP1(atan_f64, f64i)
 IGEN_PROF_WRAP1(asin_f64, f64i)
 IGEN_PROF_WRAP1(acos_f64, f64i)
+IGEN_PROF_WRAP1(exp_fast_f64, f64i)
+IGEN_PROF_WRAP1(log_fast_f64, f64i)
+IGEN_PROF_WRAP1(sin_fast_f64, f64i)
+IGEN_PROF_WRAP1(cos_fast_f64, f64i)
 
 // Double-double scalar ops.
 IGEN_PROF_WRAP2(add_dd, ddi)

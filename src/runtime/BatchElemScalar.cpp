@@ -1,0 +1,42 @@
+//===- BatchElemScalar.cpp - Portable batched elementary kernels ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Portable tier of the batched elementary-function kernels: plain loops
+// over the certified polynomial interval kernels. The SIMD tiers must be
+// bit-identical to these loops (they mirror the same operation
+// sequence), which the batch tests check with EXPECT_EQ across forced
+// tiers. The sin/cos loops here are shared by every dispatch table; the
+// bodies are out-of-line calls into igen_interval, so no tier-specific
+// instructions are emitted from this translation unit's loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/PolyKernels.h"
+#include "runtime/BatchElem.h"
+
+namespace igen::runtime::elem {
+
+void expScalar(Interval *Dst, const Interval *X, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iExpFast(X[I]);
+}
+
+void logScalar(Interval *Dst, const Interval *X, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iLogFast(X[I]);
+}
+
+void sinScalar(Interval *Dst, const Interval *X, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iSinFast(X[I]);
+}
+
+void cosScalar(Interval *Dst, const Interval *X, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = iCosFast(X[I]);
+}
+
+} // namespace igen::runtime::elem

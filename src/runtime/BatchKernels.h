@@ -103,6 +103,35 @@ inline void iarr_scale(Interval *Dst, const Interval *X, const Interval &S,
   kernels().Scale(Dst, X, S, N);
 }
 
+/// Dst[i] = certified enclosure of exp(X[i]) (iExpFast semantics: the
+/// polynomial fast path inside |x| <= 690, the libm-widened iExp
+/// outside). The SIMD tiers evaluate both endpoints in parallel lanes
+/// with the exact scalar operation sequence, so results are
+/// bit-identical across ISA tiers.
+inline void iarr_exp(Interval *Dst, const Interval *X, size_t N) {
+  RoundUpwardScope Up;
+  kernels().Exp(Dst, X, N);
+}
+
+/// Dst[i] = certified enclosure of log(X[i]) (iLogFast semantics).
+inline void iarr_log(Interval *Dst, const Interval *X, size_t N) {
+  RoundUpwardScope Up;
+  kernels().Log(Dst, X, N);
+}
+
+/// Dst[i] = certified enclosure of sin(X[i]) (iSinFast semantics; the
+/// range analysis keeps this scalar in every tier).
+inline void iarr_sin(Interval *Dst, const Interval *X, size_t N) {
+  RoundUpwardScope Up;
+  kernels().Sin(Dst, X, N);
+}
+
+/// Dst[i] = certified enclosure of cos(X[i]) (iCosFast semantics).
+inline void iarr_cos(Interval *Dst, const Interval *X, size_t N) {
+  RoundUpwardScope Up;
+  kernels().Cos(Dst, X, N);
+}
+
 //===----------------------------------------------------------------------===//
 // Sound reductions (deterministic chunked order; see file comment)
 //===----------------------------------------------------------------------===//

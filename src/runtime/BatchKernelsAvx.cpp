@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interval/IntervalVector.h"
+#include "runtime/BatchElem.h"
 #include "runtime/CpuDispatch.h"
 
 namespace igen::runtime {
@@ -71,6 +72,11 @@ void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
 
 } // namespace
 
-extern const KernelTable kKernelsAvx = {"avx", addK, subK, mulK, fmaK, scaleK};
+// The AVX table reuses the SSE2 elementary kernels: the cores are
+// mul/add/div-bound and gain nothing from VEX encoding alone.
+extern const KernelTable kKernelsAvx = {
+    "avx",         addK,          subK,          mulK,           fmaK,
+    scaleK,        elem::expSse2, elem::logSse2, elem::sinScalar,
+    elem::cosScalar};
 
 } // namespace igen::runtime

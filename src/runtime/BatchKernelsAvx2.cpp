@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interval/IntervalVector.h"
+#include "runtime/BatchElem.h"
 #include "runtime/CpuDispatch.h"
 
 #include <cstdint>
@@ -288,6 +289,9 @@ void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
 
 } // namespace
 
-extern const KernelTable kKernelsAvx2 = {"avx2", addK, subK, mulK, fmaK, scaleK};
+extern const KernelTable kKernelsAvx2 = {
+    "avx2",        addK,          subK,          mulK,           fmaK,
+    scaleK,        elem::expAvx2, elem::logAvx2, elem::sinScalar,
+    elem::cosScalar};
 
 } // namespace igen::runtime

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interval/Interval.h"
+#include "runtime/BatchElem.h"
 #include "runtime/CpuDispatch.h"
 
 namespace igen::runtime {
@@ -46,7 +47,9 @@ void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
 
 } // namespace
 
-extern const KernelTable kKernelsScalar = {"scalar", addK, subK, mulK, fmaK,
-                                    scaleK};
+extern const KernelTable kKernelsScalar = {
+    "scalar",        addK,           subK,           mulK,
+    fmaK,            scaleK,         elem::expScalar, elem::logScalar,
+    elem::sinScalar, elem::cosScalar};
 
 } // namespace igen::runtime

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interval/IntervalSimd.h"
+#include "runtime/BatchElem.h"
 #include "runtime/CpuDispatch.h"
 
 namespace igen::runtime {
@@ -56,6 +57,9 @@ void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
 
 } // namespace
 
-extern const KernelTable kKernelsSse2 = {"sse2", addK, subK, mulK, fmaK, scaleK};
+extern const KernelTable kKernelsSse2 = {
+    "sse2",        addK,          subK,          mulK,           fmaK,
+    scaleK,        elem::expSse2, elem::logSse2, elem::sinScalar,
+    elem::cosScalar};
 
 } // namespace igen::runtime

@@ -54,6 +54,16 @@ struct KernelTable {
               const Interval *C, size_t N);
   /// Elementwise X * S for a fixed interval scalar S.
   void (*Scale)(Interval *Dst, const Interval *X, Interval S, size_t N);
+  /// Elementwise certified polynomial elementary functions
+  /// (iExpFast-family semantics, see interval/PolyKernels.h). The SIMD
+  /// tiers vectorize the exp/log point cores across both endpoints and
+  /// mirror the scalar operation sequence exactly, so every lane is
+  /// bit-identical to the scalar tier; intervals outside the fast domain
+  /// take the per-element scalar fallback.
+  void (*Exp)(Interval *Dst, const Interval *X, size_t N);
+  void (*Log)(Interval *Dst, const Interval *X, size_t N);
+  void (*Sin)(Interval *Dst, const Interval *X, size_t N);
+  void (*Cos)(Interval *Dst, const Interval *X, size_t N);
 };
 
 /// True if the running CPU can execute the given tier.

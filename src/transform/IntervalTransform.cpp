@@ -1205,6 +1205,14 @@ TR Transformer::transformCall(const CallExpr *C) {
                     C);
       return R;
     }
+    // At -O1 and above the transcendentals with certified polynomial
+    // kernels (interval/PolyKernels.h) lower to the fast variants: no
+    // rounding-mode switch per call, enclosure widened by the certified
+    // bound instead of the libm ulp band. -O0 keeps the libm path.
+    static const std::set<std::string> PolyFast = {"exp", "log", "sin",
+                                                   "cos"};
+    if (optOn() && !isDd() && PolyFast.count(Base))
+      Base += "_fast";
     R.Code = prof("ia_" + Base + "_" + sfx() + "(" + asInterval(Arg) + ")", C);
     return R;
   }

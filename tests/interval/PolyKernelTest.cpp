@@ -1,0 +1,381 @@
+//===- PolyKernelTest.cpp - Certified polynomial kernel soundness ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based soundness sweeps for the polynomial exp/log/sin/cos
+// kernels: containment of a long-double reference is *required*, tightness
+// relative to the libm-widened oracle is *reported*. Sweeps cover every
+// binade of each fast domain plus adversarial points (section boundaries,
+// reduction-constant neighbourhoods, domain edges).
+//
+// Sample counts scale with IGEN_SWEEP_SAMPLES (the CI soundness-sweep job
+// cranks this up); failures append machine-readable lines to the file
+// named by IGEN_SWEEP_DUMP so CI can upload them as an artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Elementary.h"
+#include "interval/Interval.h"
+#include "interval/PolyKernels.h"
+#include "interval/Rounding.h"
+#include "interval/Ulp.h"
+
+#include "TestHelpers.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace igen;
+using igen::test::Rng;
+
+namespace {
+
+/// Per-test sample multiplier: IGEN_SWEEP_SAMPLES overrides the default
+/// per-binade / per-list count.
+int sweepSamples(int Base) {
+  if (const char *S = std::getenv("IGEN_SWEEP_SAMPLES")) {
+    long V = std::strtol(S, nullptr, 10);
+    if (V > 0 && V < 1000000)
+      return static_cast<int>(V);
+  }
+  return Base;
+}
+
+/// Appends one failing input to the IGEN_SWEEP_DUMP file (if set).
+void dumpFailure(const char *Fn, double Lo, double Hi, const Interval &Got) {
+  const char *Path = std::getenv("IGEN_SWEEP_DUMP");
+  if (!Path)
+    return;
+  if (std::FILE *F = std::fopen(Path, "a")) {
+    std::fprintf(F, "{\"fn\":\"%s\",\"lo\":\"%a\",\"hi\":\"%a\",\"got\":[\"%a\",\"%a\"]}\n",
+                 Fn, Lo, Hi, -Got.NegLo, Got.Hi);
+    std::fclose(F);
+  }
+}
+
+template <typename Fn> long double refLd(Fn F, double X) {
+  RoundNearestScope RN;
+  return F(static_cast<long double>(X));
+}
+
+/// Tightness accumulator: mean and max of width(fast)/width(libm).
+struct Tightness {
+  double Sum = 0.0, Max = 0.0;
+  long N = 0;
+  void add(const Interval &Fast, const Interval &Libm) {
+    RoundNearestScope RN;
+    double WF = Fast.Hi - (-Fast.NegLo);
+    double WL = Libm.Hi - (-Libm.NegLo);
+    if (!(WL > 0.0) || !std::isfinite(WF))
+      return;
+    double Ratio = WF / WL;
+    Sum += Ratio;
+    Max = std::max(Max, Ratio);
+    ++N;
+  }
+  void report(const char *Name) {
+    if (!N)
+      return;
+    std::printf("[tightness] %s: width(poly)/width(libm) mean=%.2f max=%.2f "
+                "over %ld samples\n",
+                Name, Sum / N, Max, N);
+    ::testing::Test::RecordProperty(std::string(Name) + "_mean_width_ratio",
+                                    std::to_string(Sum / N));
+  }
+};
+
+class PolyKernelTest : public ::testing::Test {
+protected:
+  RoundUpwardScope Up;
+  Rng R{20260805};
+};
+
+/// Containment of the long-double reference in the fast kernel's point
+/// interval; also feeds the tightness accumulator against the oracle.
+template <typename PolyFn, typename LibmFn, typename RefFn>
+void checkPoint(const char *Name, PolyFn P, LibmFn L, RefFn Ref, double X,
+                Tightness &T) {
+  Interval I = P(Interval::fromPoint(X));
+  Interval O = L(Interval::fromPoint(X));
+  if (I.hasNaN() || O.hasNaN())
+    return; // fallback/domain semantics are compared in a separate test
+  long double Rf = refLd(Ref, X);
+  bool Ok = static_cast<long double>(I.lo()) <= Rf &&
+            Rf <= static_cast<long double>(I.hi());
+  EXPECT_TRUE(Ok) << Name << " unsound at x=" << X << " (" << std::hexfloat
+                  << X << std::defaultfloat << ")";
+  if (!Ok)
+    dumpFailure(Name, X, X, I);
+  T.add(I, O);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-binade sweeps
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolyKernelTest, ExpPerBinadeSweep) {
+  Tightness T;
+  int N = sweepSamples(40);
+  for (int E = -60; E <= 9; ++E)
+    for (int I = 0; I < N; ++I) {
+      double X = std::ldexp(R.uniform(1.0, 2.0), E);
+      if (std::fabs(X) > poly::ExpFastLimit)
+        continue;
+      checkPoint("exp", iExpFast, iExp,
+                 [](long double V) { return expl(V); }, X, T);
+      checkPoint("exp", iExpFast, iExp,
+                 [](long double V) { return expl(V); }, -X, T);
+    }
+  T.report("exp");
+}
+
+TEST_F(PolyKernelTest, LogPerBinadeSweep) {
+  Tightness T;
+  int N = sweepSamples(4);
+  for (int E = -1022; E <= 1023; ++E)
+    for (int I = 0; I < N; ++I) {
+      double X = std::ldexp(R.uniform(1.0, 2.0), E);
+      if (!std::isfinite(X))
+        continue;
+      checkPoint("log", iLogFast, iLog,
+                 [](long double V) { return logl(V); }, X, T);
+    }
+  T.report("log");
+}
+
+TEST_F(PolyKernelTest, SinCosPerBinadeSweep) {
+  Tightness TS, TC;
+  int N = sweepSamples(40);
+  for (int E = -60; E <= 19; ++E)
+    for (int I = 0; I < N; ++I) {
+      double X = std::ldexp(R.uniform(1.0, 2.0), E);
+      for (double V : {X, -X}) {
+        checkPoint("sin", iSinFast, iSin,
+                   [](long double W) { return sinl(W); }, V, TS);
+        checkPoint("cos", iCosFast, iCos,
+                   [](long double W) { return cosl(W); }, V, TC);
+      }
+    }
+  TS.report("sin");
+  TC.report("cos");
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial points
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolyKernelTest, ExpAdversarialPoints) {
+  Tightness T;
+  auto Check = [&](double X) {
+    checkPoint("exp", iExpFast, iExp, [](long double V) { return expl(V); },
+               X, T);
+  };
+  // Reduction-constant neighbourhoods: x near k*ln2 (r near 0) and near
+  // (k + 1/2)*ln2 (|r| maximal, rounding of k can go either way).
+  const double Ln2 = 0.6931471805599453;
+  for (int K = -990; K <= 990; K += 7) {
+    RoundNearestScope RN;
+    double XK = K * Ln2;
+    double XH = (K + 0.5) * Ln2;
+    RoundUpwardScope Up2;
+    for (int D = -4; D <= 4; ++D) {
+      Check(addUlps(XK, D));
+      Check(addUlps(XH, D));
+    }
+  }
+  // Domain edges and zero neighbourhood.
+  for (double X : {690.0, -690.0, 689.999999, -689.999999, 0.0, -0.0,
+                   0x1p-1074, -0x1p-1074, 0x1p-1022, -0x1p-1022, 1e-300,
+                   -1e-300, 0x1p-53, -0x1p-53})
+    Check(X);
+}
+
+TEST_F(PolyKernelTest, LogAdversarialPoints) {
+  Tightness T;
+  auto Check = [&](double X) {
+    checkPoint("log", iLogFast, iLog, [](long double V) { return logl(V); },
+               X, T);
+  };
+  // Cancellation region around 1 and the sqrt(2)/sqrt(1/2) normalization
+  // thresholds in several binades.
+  for (int D = -40; D <= 40; ++D)
+    Check(addUlps(1.0, D));
+  for (int E : {-900, -10, -1, 0, 1, 10, 900})
+    for (int D = -4; D <= 4; ++D) {
+      Check(addUlps(std::ldexp(poly::Sqrt2, E), D));
+      Check(addUlps(std::ldexp(1.0, E), D));
+    }
+  // Domain edges.
+  for (double X :
+       {std::numeric_limits<double>::min(),
+        nextUp(std::numeric_limits<double>::min()),
+        std::numeric_limits<double>::max(),
+        nextDown(std::numeric_limits<double>::max())})
+    Check(X);
+  T.report("log_adversarial");
+}
+
+TEST_F(PolyKernelTest, SinCosAdversarialPoints) {
+  Tightness T;
+  auto Check = [&](double X) {
+    checkPoint("sin", iSinFast, iSin, [](long double V) { return sinl(V); },
+               X, T);
+    checkPoint("cos", iCosFast, iCos, [](long double V) { return cosl(V); },
+               X, T);
+  };
+  // Section boundaries k*pi/2: peak/trough/zero neighbourhoods where the
+  // reduced argument cancels to ~2^-33 and the section index is ambiguous.
+  const long double PiO2 = 1.57079632679489661923L;
+  for (long K = -4000; K <= 4000; K += 13) {
+    double XK;
+    {
+      RoundNearestScope RN;
+      XK = static_cast<double>(K * PiO2);
+    }
+    for (int D = -4; D <= 4; ++D)
+      Check(addUlps(XK, D));
+  }
+  // Large-argument boundaries near the fast-domain limit.
+  for (long K = 667543; K >= 667500; K -= 11) {
+    double XK;
+    {
+      RoundNearestScope RN;
+      XK = static_cast<double>(K * PiO2);
+    }
+    for (int D = -2; D <= 2; ++D) {
+      Check(addUlps(XK, D));
+      Check(addUlps(-XK, D));
+    }
+  }
+  for (double X : {0.0, -0.0, 0x1p20, -0x1p20, 0x1p-1074, 0x1p-30})
+    Check(X);
+}
+
+//===----------------------------------------------------------------------===//
+// Interval inputs: interior-point containment + extremum injection
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolyKernelTest, IntervalSweepContainsInteriorPoints) {
+  int N = sweepSamples(200) * 10;
+  for (int I = 0; I < N; ++I) {
+    // Width from a few ulps up to several periods.
+    double C = std::ldexp(R.uniform(-2.0, 2.0), R.intIn(-20, 18));
+    double W = std::ldexp(R.uniform(0.0, 2.0), R.intIn(-40, 4));
+    Interval X = Interval::fromEndpoints(C - W, C + W);
+    if (!std::isfinite(X.lo()) || !std::isfinite(X.Hi) || !(X.lo() < X.Hi))
+      continue;
+    Interval S = iSinFast(X), Co = iCosFast(X);
+    Interval E = iExpFast(X);
+    for (int P = 0; P < 8; ++P) {
+      double V = R.uniform(X.lo(), X.Hi);
+      long double RfS = refLd([](long double U) { return sinl(U); }, V);
+      long double RfC = refLd([](long double U) { return cosl(U); }, V);
+      EXPECT_TRUE(static_cast<long double>(S.lo()) <= RfS &&
+                  RfS <= static_cast<long double>(S.Hi))
+          << "sin interval unsound at " << V << " in [" << X.lo() << ","
+          << X.Hi << "]";
+      EXPECT_TRUE(static_cast<long double>(Co.lo()) <= RfC &&
+                  RfC <= static_cast<long double>(Co.Hi))
+          << "cos interval unsound at " << V;
+      if (std::fabs(X.lo()) <= poly::ExpFastLimit &&
+          std::fabs(X.Hi) <= poly::ExpFastLimit) {
+        long double RfE = refLd([](long double U) { return expl(U); }, V);
+        EXPECT_TRUE(static_cast<long double>(E.lo()) <= RfE &&
+                    RfE <= static_cast<long double>(E.Hi))
+            << "exp interval unsound at " << V;
+      }
+    }
+  }
+}
+
+TEST_F(PolyKernelTest, WidePeriodSpanGivesUnitInterval) {
+  Interval S = iSinFast(Interval::fromEndpoints(0.0, 100.0));
+  EXPECT_EQ(S.lo(), -1.0);
+  EXPECT_EQ(S.Hi, 1.0);
+  Interval C = iCosFast(Interval::fromEndpoints(-7.0, 50.0));
+  EXPECT_EQ(C.lo(), -1.0);
+  EXPECT_EQ(C.Hi, 1.0);
+}
+
+TEST_F(PolyKernelTest, ExtremumInjection) {
+  const double PiO2 = 1.5707963267948966;
+  // [0.1, pi/2 + 0.1] contains the sin peak but no trough.
+  Interval S = iSinFast(Interval::fromEndpoints(0.1, PiO2 + 0.1));
+  EXPECT_EQ(S.Hi, 1.0);
+  long double RfLo = refLd([](long double U) { return sinl(U); }, 0.1);
+  EXPECT_LE(static_cast<long double>(S.lo()), RfLo);
+  EXPECT_GT(S.lo(), 0.0);
+  // [pi - 0.1, pi + 0.1] contains the cos trough but no peak.
+  Interval C = iCosFast(
+      Interval::fromEndpoints(2 * PiO2 - 0.1, 2 * PiO2 + 0.1));
+  EXPECT_EQ(C.lo(), -1.0);
+  EXPECT_LT(C.Hi, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback and special-value semantics match the libm path
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolyKernelTest, FallbackOutsideFastDomain) {
+  double Inf = std::numeric_limits<double>::infinity();
+  // exp beyond +-690, at infinities, and with NaN: identical to iExp.
+  for (Interval X :
+       {Interval::fromEndpoints(700.0, 710.0),
+        Interval::fromEndpoints(-800.0, -700.0),
+        Interval::fromEndpoints(-Inf, 0.0), Interval::fromEndpoints(0.0, Inf),
+        Interval::nan()}) {
+    Interval A = iExpFast(X), B = iExp(X);
+    EXPECT_EQ(std::bit_cast<int64_t>(A.NegLo), std::bit_cast<int64_t>(B.NegLo));
+    EXPECT_EQ(std::bit_cast<int64_t>(A.Hi), std::bit_cast<int64_t>(B.Hi));
+  }
+  // log with nonpositive/subnormal lower endpoints or infinite upper.
+  for (Interval X :
+       {Interval::fromEndpoints(-1.0, 2.0), Interval::fromEndpoints(0.0, 2.0),
+        Interval::fromEndpoints(0x1p-1060, 1.0),
+        Interval::fromEndpoints(1.0, Inf), Interval::fromEndpoints(-2.0, -1.0),
+        Interval::nan()}) {
+    Interval A = iLogFast(X), B = iLog(X);
+    EXPECT_EQ(std::bit_cast<int64_t>(A.NegLo), std::bit_cast<int64_t>(B.NegLo));
+    EXPECT_EQ(std::bit_cast<int64_t>(A.Hi), std::bit_cast<int64_t>(B.Hi));
+  }
+  // sin/cos beyond 2^20 defer to the libm path (which itself covers up to
+  // the 2^45 section cutoff, then [-1, 1]).
+  for (Interval X :
+       {Interval::fromEndpoints(0x1.1p20, 0x1.2p20),
+        Interval::fromEndpoints(0x1p44, 0x1p44 + 10.0),
+        Interval::fromEndpoints(0x1p50, 0x1p50 + 1.0), Interval::nan()}) {
+    Interval A = iSinFast(X), B = iSin(X);
+    EXPECT_EQ(std::bit_cast<int64_t>(A.NegLo), std::bit_cast<int64_t>(B.NegLo));
+    EXPECT_EQ(std::bit_cast<int64_t>(A.Hi), std::bit_cast<int64_t>(B.Hi));
+    Interval Ac = iCosFast(X), Bc = iCos(X);
+    EXPECT_EQ(std::bit_cast<int64_t>(Ac.NegLo),
+              std::bit_cast<int64_t>(Bc.NegLo));
+    EXPECT_EQ(std::bit_cast<int64_t>(Ac.Hi), std::bit_cast<int64_t>(Bc.Hi));
+  }
+}
+
+TEST_F(PolyKernelTest, SectionRangeUpMatchesTruth) {
+  int N = sweepSamples(2000) * 5;
+  for (int I = 0; I < N; ++I) {
+    double X = std::ldexp(R.uniform(-2.0, 2.0), R.intIn(-5, 19));
+    if (std::fabs(X) > poly::SinCosFastLimit)
+      continue;
+    long long KMin, KMax;
+    poly::detail::sectionRangeUp(X, KMin, KMax);
+    EXPECT_LE(KMax - KMin, 1) << X;
+    long long KTrue;
+    {
+      RoundNearestScope RN;
+      KTrue = static_cast<long long>(
+          floorl(static_cast<long double>(X) / 1.57079632679489661923L));
+    }
+    EXPECT_LE(KMin, KTrue) << X;
+    EXPECT_GE(KMax, KTrue) << X;
+  }
+}

@@ -94,6 +94,8 @@ TEST(Rounding, SqrtHonoursRoundingMode) {
     std::fesetround(FE_DOWNWARD);
     Down = std::sqrt(Two);
     std::fesetround(FE_TONEAREST);
+    // Raw fesetround() bypasses the scopes' thread-local mode cache.
+    invalidateRoundingCache();
   }
   EXPECT_GT(Up, Down);
   EXPECT_EQ(std::nextafter(Down, 2.0), Up);
@@ -116,6 +118,42 @@ TEST(Rounding, DivisionRoundsUp) {
     QN = divideHere(1.0, 3.0);
   }
   EXPECT_EQ(std::nextafter(QN, 1.0), Q);
+}
+
+TEST(Rounding, CachedModeSkipsRedundantSwitchesSoundly) {
+  // Nested same-mode scopes take the cached no-op path; the FPU must still
+  // be in the right mode at every level, and restores must unwind exactly.
+  RoundUpwardScope A;
+  EXPECT_TRUE(isRoundUpward());
+  {
+    RoundUpwardScope B;
+    EXPECT_TRUE(isRoundUpward());
+    {
+      RoundNearestScope C;
+      EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+      {
+        RoundNearestScope D;
+        EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+      }
+      EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+    }
+    EXPECT_TRUE(isRoundUpward());
+  }
+  EXPECT_TRUE(isRoundUpward());
+}
+
+TEST(Rounding, InvalidateAfterForeignSwitch) {
+  // A foreign fesetround() plus invalidateRoundingCache() must make the
+  // next scope re-read the FPU and restore the foreign mode on exit.
+  std::fesetround(FE_DOWNWARD);
+  invalidateRoundingCache();
+  {
+    RoundUpwardScope Up;
+    EXPECT_TRUE(isRoundUpward());
+  }
+  EXPECT_EQ(std::fegetround(), FE_DOWNWARD);
+  std::fesetround(FE_TONEAREST);
+  invalidateRoundingCache();
 }
 
 TEST(Rounding, FmaContractionDisabled) {

@@ -51,6 +51,62 @@ TEST(Ulp, AddUlpsWalksAndSaturates) {
             -std::numeric_limits<double>::infinity());
 }
 
+TEST(Ulp, AddUlpsBinadeBoundaries) {
+  // Crossing a power of two changes the ulp size; the ordered-integer walk
+  // must land on the adjacent values on both sides of the boundary.
+  EXPECT_EQ(addUlps(2.0, -1), 2.0 - 0x1p-52);
+  EXPECT_EQ(addUlps(2.0 - 0x1p-52, 1), 2.0);
+  EXPECT_EQ(addUlps(2.0 - 0x1p-52, 2), 2.0 + 0x1p-51);
+  EXPECT_EQ(addUlps(1.0, -2), 1.0 - 2 * 0x1p-53);
+  // Smallest normal <-> largest subnormal.
+  double MinNormal = std::numeric_limits<double>::min();
+  double MaxSubnormal = MinNormal - std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(addUlps(MinNormal, -1), MaxSubnormal);
+  EXPECT_EQ(addUlps(MaxSubnormal, 1), MinNormal);
+}
+
+TEST(Ulp, AddUlpsSubnormals) {
+  double D = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(addUlps(0.0, 1), D);
+  EXPECT_EQ(addUlps(0.0, -1), -D);
+  EXPECT_EQ(addUlps(3 * D, -5), -2 * D);
+  EXPECT_EQ(addUlps(-3 * D, 5), 2 * D);
+}
+
+TEST(Ulp, AddUlpsAtInfinities) {
+  double Inf = std::numeric_limits<double>::infinity();
+  double Max = std::numeric_limits<double>::max();
+  // Outward (and zero) stays saturated.
+  EXPECT_EQ(addUlps(Inf, 0), Inf);
+  EXPECT_EQ(addUlps(Inf, 10), Inf);
+  EXPECT_EQ(addUlps(-Inf, -10), -Inf);
+  // Inward must step onto the finite neighbours: this is what keeps
+  // libm-widened lower bounds sound when round-to-nearest overflows to
+  // +inf (exp(710) truly is ~2.2e308, not +inf).
+  EXPECT_EQ(addUlps(Inf, -1), Max);
+  EXPECT_EQ(addUlps(Inf, -3), nextDown(nextDown(Max)));
+  EXPECT_EQ(addUlps(-Inf, 1), -Max);
+  EXPECT_EQ(addUlps(-Inf, 3), -nextDown(nextDown(Max)));
+}
+
+TEST(Ulp, AddUlpsExtremeCountsStayDefined) {
+  // toOrdered(X) + N can exceed the int64 range (previously UB); those
+  // walks must saturate at the matching infinity.
+  int64_t Huge = std::numeric_limits<int64_t>::max();
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(addUlps(1.0, Huge), Inf);       // overflows int64
+  EXPECT_EQ(addUlps(-1.0, -Huge), -Inf);    // underflows int64
+  EXPECT_EQ(addUlps(Inf, Huge), Inf);
+  EXPECT_EQ(addUlps(-Inf, -Huge), -Inf);
+  // In-range but past an infinity still saturates.
+  EXPECT_EQ(addUlps(1e300, Huge / 2), Inf);
+  // A maximal walk that stays inside the ordered range is just a walk:
+  // int64 max steps down from 1.0 lands on a finite negative double.
+  double Far = addUlps(1.0, -Huge);
+  EXPECT_TRUE(std::isfinite(Far));
+  EXPECT_LT(Far, 0.0);
+}
+
 TEST(Ulp, UlpDistance) {
   EXPECT_EQ(ulpDistance(1.0, 1.0), 0u);
   EXPECT_EQ(ulpDistance(1.0, nextUp(1.0)), 1u);

@@ -19,6 +19,7 @@
 #include "runtime/BatchKernels.h"
 
 #include "interval/Accumulator.h"
+#include "interval/PolyKernels.h"
 #include "runtime/ThreadPool.h"
 #include "../interval/TestHelpers.h"
 
@@ -190,6 +191,127 @@ TEST_P(BatchKernelIsaTest, FmaIsSoundAndAtMostComposedWidth) {
           }
     }
   }
+}
+
+/// Interval inputs for one elementary function, mixing fast-domain
+/// elements with out-of-domain / special ones so the SIMD screens and
+/// per-element fallbacks are exercised in the same batch.
+std::vector<Interval> elemInputs(test::Rng &R, size_t N, char Fn) {
+  std::vector<Interval> V(N);
+  for (size_t I = 0; I < N; ++I) {
+    int Kind = R.intIn(0, 9);
+    if (Kind == 0) {
+      V[I] = Interval::nan();
+      continue;
+    }
+    if (Kind == 1) {
+      V[I] = Interval::fromEndpoints(
+          -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity());
+      continue;
+    }
+    double C, W;
+    switch (Fn) {
+    case 'e': // straddles the |x| <= 690 fast limit when Kind == 2
+      C = Kind == 2 ? R.uniform(680.0, 720.0) : R.uniform(-690.0, 690.0);
+      W = R.uniform(0.0, 4.0);
+      break;
+    case 'l': // positive log-spaced; Kind == 2 dips to subnormal/zero
+      C = std::ldexp(R.uniform(1.0, 2.0), R.intIn(-1021, 1023));
+      if (Kind == 2) { // lower endpoint outside the fast domain
+        V[I] = Interval::fromEndpoints(I % 2 ? 0.0 : 0x1p-1040, C);
+        continue;
+      }
+      W = C * R.uniform(0.0, 0.5);
+      break;
+    default: // sin/cos: straddles the 2^20 limit when Kind == 2
+      C = R.uniform(-1.0, 1.0) * (Kind == 2 ? 0x1.2p20 : 0x1p20);
+      W = R.uniform(0.0, 8.0);
+      break;
+    }
+    V[I] = Interval::fromEndpoints(C - W, C + W);
+  }
+  return V;
+}
+
+TEST_P(BatchKernelIsaTest, ElementaryBitIdenticalToScalarKernels) {
+  Isa Tier = static_cast<Isa>(GetParam());
+  if (!isaSupported(Tier))
+    GTEST_SKIP() << "CPU lacks " << isaName(Tier);
+  IsaGuard Restore;
+  forceIsa(Tier);
+
+  using ArrFn = void (*)(Interval *, const Interval *, size_t);
+  using ScalFn = Interval (*)(const Interval &);
+  struct Case {
+    char Tag;
+    ArrFn Arr;
+    ScalFn Scal;
+  } Cases[] = {{'e', iarr_exp, iExpFast},
+               {'l', iarr_log, iLogFast},
+               {'s', iarr_sin, iSinFast},
+               {'c', iarr_cos, iCosFast}};
+
+  test::Rng R(0xe1e0 + GetParam());
+  for (size_t N : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 17ul, 64ul, 1023ul}) {
+    for (const Case &C : Cases) {
+      std::vector<Interval> X = elemInputs(R, N, C.Tag);
+      std::vector<Interval> D(N), Ref(N);
+      C.Arr(D.data(), X.data(), N);
+      {
+        RoundUpwardScope Up;
+        for (size_t I = 0; I < N; ++I)
+          Ref[I] = C.Scal(X[I]);
+      }
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_TRUE(sameBits(D[I], Ref[I]))
+            << isaName(Tier) << " " << C.Tag << " @" << I << " got ["
+            << -D[I].NegLo << ", " << D[I].Hi << "] want [" << -Ref[I].NegLo
+            << ", " << Ref[I].Hi << "]";
+    }
+  }
+}
+
+TEST_P(BatchKernelIsaTest, ElementaryEnclosesTrueValues) {
+  Isa Tier = static_cast<Isa>(GetParam());
+  if (!isaSupported(Tier))
+    GTEST_SKIP() << "CPU lacks " << isaName(Tier);
+  IsaGuard Restore;
+  forceIsa(Tier);
+
+  constexpr size_t N = 512;
+  test::Rng R(0x50111d + GetParam());
+  std::vector<Interval> X(N), D(N);
+  std::vector<double> Pt(N);
+  for (size_t I = 0; I < N; ++I) {
+    Pt[I] = R.uniform(-600.0, 600.0);
+    X[I] = Interval::fromPoint(Pt[I]);
+  }
+
+  auto check = [&](const char *Name, auto RefLd) {
+    for (size_t I = 0; I < N; ++I) {
+      long double F;
+      {
+        RoundNearestScope Near;
+        F = RefLd(static_cast<long double>(Pt[I]));
+      }
+      EXPECT_TRUE(test::containsQuad(D[I], static_cast<__float128>(F)))
+          << isaName(Tier) << " " << Name << " unsound at x=" << Pt[I];
+    }
+  };
+
+  iarr_exp(D.data(), X.data(), N);
+  check("exp", [](long double V) { return expl(V); });
+  iarr_sin(D.data(), X.data(), N);
+  check("sin", [](long double V) { return sinl(V); });
+  iarr_cos(D.data(), X.data(), N);
+  check("cos", [](long double V) { return cosl(V); });
+  for (size_t I = 0; I < N; ++I) {
+    Pt[I] = std::ldexp(R.uniform(1.0, 2.0), R.intIn(-1021, 1023));
+    X[I] = Interval::fromPoint(Pt[I]);
+  }
+  iarr_log(D.data(), X.data(), N);
+  check("log", [](long double V) { return logl(V); });
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIsas, BatchKernelIsaTest,

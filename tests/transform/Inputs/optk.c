@@ -54,6 +54,14 @@ double opt_negsq(double x, double y) {
   return r;
 }
 
+double opt_elem(double x) {
+  double r = 0.0;
+  if (x > 0.0) {
+    r = exp(0.5 * sin(x)) + log(2.0 + cos(x));
+  }
+  return r;
+}
+
 double opt_cse(const double *v, double a, double b, int n) {
   double s = 0.0;
   for (int i = 0; i < n; i++) {

@@ -9,6 +9,7 @@
 #define opt_henon opt_henon_O0
 #define opt_invsq opt_invsq_O0
 #define opt_negsq opt_negsq_O0
+#define opt_elem opt_elem_O0
 #define opt_cse opt_cse_O0
 
 #include "optk_O0.cpp"

@@ -15,6 +15,7 @@
 #define opt_henon opt_henon_O1
 #define opt_invsq opt_invsq_O1
 #define opt_negsq opt_negsq_O1
+#define opt_elem opt_elem_O1
 #define opt_cse opt_cse_O1
 
 #include "optk_O1.cpp"

@@ -102,10 +102,38 @@ TEST(Transform, IndexLiftingAndPointers) {
 }
 
 TEST(Transform, MathFunctionsMap) {
+  // Default -O1: the transcendentals with certified polynomial kernels
+  // lower to the _fast variants; sqrt/abs have no polynomial version.
   std::string Out =
       compile("double f(double x) { return sin(x) + sqrt(fabs(x)); }");
-  EXPECT_THAT(Out, HasSubstr("ia_sin_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_sin_fast_f64(x)"));
   EXPECT_THAT(Out, HasSubstr("ia_sqrt_f64(ia_abs_f64(x))"));
+}
+
+TEST(Transform, MathFunctionsKeepLibmPathAtO0) {
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  std::string Out = compile(
+      "double f(double x) { return exp(x) + log(x) + sin(x) + cos(x); }",
+      Opts);
+  EXPECT_THAT(Out, HasSubstr("ia_exp_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_log_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_sin_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_cos_f64(x)"));
+  EXPECT_THAT(Out, Not(HasSubstr("_fast_f64")));
+}
+
+TEST(Transform, MathFunctionsUseFastKernelsAtO1) {
+  std::string Out = compile(
+      "double f(double x) { return exp(x) + log(x) + sin(x) + cos(x); }");
+  EXPECT_THAT(Out, HasSubstr("ia_exp_fast_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_log_fast_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_sin_fast_f64(x)"));
+  EXPECT_THAT(Out, HasSubstr("ia_cos_fast_f64(x)"));
+  // tan has no certified polynomial kernel; it stays on the libm path
+  // at every level.
+  std::string Tan = compile("double g(double x) { return tan(x); }");
+  EXPECT_THAT(Tan, HasSubstr("ia_tan_f64(x)"));
 }
 
 TEST(Transform, CompoundAssignments) {
