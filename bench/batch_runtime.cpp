@@ -138,6 +138,34 @@ void runDispatched(Inputs &In, int N, Isa Tier) {
   clearForcedIsa();
 }
 
+/// Sentinel overhead: the same kernels with the iarr_* entry checks
+/// (fenv sentinel, aliasing guard, fault-injection gate) bypassed by
+/// calling the dispatched kernel table directly. The nosentinel rows
+/// exist only as the denominator for the <1% overhead claim in
+/// DESIGN.md; production code must never skip the wrappers.
+void runSentinelOverhead(Inputs &In, int N) {
+  Interval *Dst = In.Dst.P;
+  const Interval *X = In.X.P, *Y = In.Y.P, *C = In.C.P;
+  benchRow("batch-add", "nosentinel", N, N, [&] {
+    RoundUpwardScope Up;
+    kernels().Add(Dst, X, Y, N);
+  });
+  benchRow("batch-mul", "nosentinel", N, N, [&] {
+    RoundUpwardScope Up;
+    kernels().Mul(Dst, X, Y, N);
+  });
+  benchRow("batch-fma", "nosentinel", N, N, [&] {
+    RoundUpwardScope Up;
+    kernels().Fma(Dst, X, Y, C, N);
+  });
+  // The guarded counterparts on the same (auto-detected) tier, labeled
+  // distinctly so the JSON consumer can pair them up.
+  benchRow("batch-add", "sentinel", N, N, [&] { iarr_add(Dst, X, Y, N); });
+  benchRow("batch-mul", "sentinel", N, N, [&] { iarr_mul(Dst, X, Y, N); });
+  benchRow("batch-fma", "sentinel", N, N,
+           [&] { iarr_fma(Dst, X, Y, C, N); });
+}
+
 /// Parallel reductions on the auto-detected tier.
 void runParallel(Inputs &In, int N) {
   const Interval *X = In.X.P, *Y = In.Y.P;
@@ -166,6 +194,8 @@ int main(int Argc, char **Argv) {
     for (int T = 0; T < NumIsas; ++T)
       if (isaSupported(static_cast<Isa>(T)))
         runDispatched(In, N, static_cast<Isa>(T));
+    if (N == 1 << 16)
+      runSentinelOverhead(In, N);
     runParallel(In, N);
   }
 

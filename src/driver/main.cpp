@@ -58,8 +58,41 @@ void printUsage() {
       "                        statistics to the igen_profile runtime;\n"
       "                        the site table is also written next to\n"
       "                        the output as <output>.sites.json\n"
+      "  --harden              emit FP-environment sentinel checks at\n"
+      "                        sound-region entry and after external\n"
+      "                        calls; violations are handled per\n"
+      "                        IGEN_FENV_POLICY={repair,poison,abort}\n"
       "  --dump-ast            print the type-checked AST instead of\n"
-      "                        translating\n");
+      "                        translating\n"
+      "\n"
+      "exit codes: 0 success, 2 usage error, 3 parse error, 4 type/sema\n"
+      "error, 5 transform error, 6 file I/O error\n");
+}
+
+/// Distinct exit codes so scripts and tests can tell failure classes
+/// apart (1 is left unused: it is what an uncaught crash path or assert
+/// typically yields, so a clean diagnostic is distinguishable from one).
+enum ExitCode {
+  ExitSuccess = 0,
+  ExitUsage = 2,
+  ExitParse = 3,
+  ExitSema = 4,
+  ExitTransform = 5,
+  ExitIO = 6,
+};
+
+int exitCodeFor(igen::PipelineStage Stage) {
+  switch (Stage) {
+  case igen::PipelineStage::Parse:
+    return ExitParse;
+  case igen::PipelineStage::Sema:
+    return ExitSema;
+  case igen::PipelineStage::Transform:
+    return ExitTransform;
+  case igen::PipelineStage::None:
+    break;
+  }
+  return ExitSuccess;
 }
 
 } // namespace
@@ -79,7 +112,7 @@ int main(int Argc, char **Argv) {
     if (Arg == "-o") {
       if (++I >= Argc) {
         std::fprintf(stderr, "igen: error: -o requires an argument\n");
-        return 1;
+        return ExitUsage;
       }
       OutputPath = Argv[I];
       continue;
@@ -93,7 +126,7 @@ int main(int Argc, char **Argv) {
       else {
         std::fprintf(stderr, "igen: error: unknown precision '%s'\n",
                      Value.c_str());
-        return 1;
+        return ExitUsage;
       }
       continue;
     }
@@ -106,7 +139,7 @@ int main(int Argc, char **Argv) {
       else {
         std::fprintf(stderr, "igen: error: unknown target '%s'\n",
                      Value.c_str());
-        return 1;
+        return ExitUsage;
       }
       continue;
     }
@@ -127,7 +160,7 @@ int main(int Argc, char **Argv) {
       else {
         std::fprintf(stderr, "igen: error: unknown branch policy '%s'\n",
                      Value.c_str());
-        return 1;
+        return ExitUsage;
       }
       continue;
     }
@@ -137,6 +170,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--profile") {
       Opts.Profile = true;
+      continue;
+    }
+    if (Arg == "--harden") {
+      Opts.Harden = true;
       continue;
     }
     if (Arg == "-O" || Arg == "-O1") {
@@ -151,18 +188,18 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "igen: error: unknown option '%s'\n",
                    Arg.c_str());
       printUsage();
-      return 1;
+      return ExitUsage;
     }
     if (!InputPath.empty()) {
       std::fprintf(stderr, "igen: error: multiple input files\n");
-      return 1;
+      return ExitUsage;
     }
     InputPath = Arg;
   }
 
   if (InputPath.empty()) {
     printUsage();
-    return 1;
+    return ExitUsage;
   }
   if (OutputPath.empty()) {
     size_t Slash = InputPath.find_last_of('/');
@@ -177,7 +214,7 @@ int main(int Argc, char **Argv) {
   if (!readFile(InputPath, Source)) {
     std::fprintf(stderr, "igen: error: cannot read '%s'\n",
                  InputPath.c_str());
-    return 1;
+    return ExitIO;
   }
 
   DiagnosticsEngine Diags;
@@ -191,9 +228,9 @@ int main(int Argc, char **Argv) {
     }
     std::fputs(Diags.render(InputPath).c_str(), stderr);
     if (!Parsed)
-      return 1;
+      return ExitParse;
     std::fputs(dumpAST(Ctx.TU).c_str(), stdout);
-    return Diags.hasErrors() ? 1 : 0;
+    return Diags.hasErrors() ? ExitSema : ExitSuccess;
   }
   if (Opts.Profile) {
     Opts.SourceName = InputPath;
@@ -209,16 +246,17 @@ int main(int Argc, char **Argv) {
   }
 
   ProfileSiteTable Sites;
-  std::optional<std::string> Output =
-      compileToIntervals(Source, Opts, Diags, Opts.Profile ? &Sites : nullptr);
+  PipelineStage Failed = PipelineStage::None;
+  std::optional<std::string> Output = compileToIntervals(
+      Source, Opts, Diags, Opts.Profile ? &Sites : nullptr, &Failed);
   std::fputs(Diags.render(InputPath).c_str(), stderr);
   if (!Output)
-    return 1;
+    return exitCodeFor(Failed);
 
   if (!writeFile(OutputPath, *Output)) {
     std::fprintf(stderr, "igen: error: cannot write '%s'\n",
                  OutputPath.c_str());
-    return 1;
+    return ExitIO;
   }
 
   if (Opts.Profile) {
@@ -249,8 +287,8 @@ int main(int Argc, char **Argv) {
     if (!W.writeTo(SidecarPath.c_str())) {
       std::fprintf(stderr, "igen: error: cannot write '%s'\n",
                    SidecarPath.c_str());
-      return 1;
+      return ExitIO;
     }
   }
-  return 0;
+  return ExitSuccess;
 }

@@ -50,6 +50,46 @@ void Parser::skipToSync() {
   }
 }
 
+void Parser::syncStmt() {
+  while (!cur().is(TokenKind::EndOfFile)) {
+    switch (cur().Kind) {
+    case TokenKind::Semi:
+      consume();
+      return;
+    case TokenKind::RBrace: // enclosing block's close: let it handle
+      return;
+    case TokenKind::LBrace:
+    case TokenKind::KwIf:
+    case TokenKind::KwFor:
+    case TokenKind::KwWhile:
+    case TokenKind::KwDo:
+    case TokenKind::KwReturn:
+    case TokenKind::KwBreak:
+    case TokenKind::KwContinue:
+      return; // a fresh statement can start here
+    default:
+      if (startsType())
+        return; // a declaration can start here
+      consume();
+    }
+  }
+}
+
+bool Parser::errorLimitReached() {
+  if (Diags.errorCount() < MaxParseErrors)
+    return false;
+  if (!ErrorLimitDiagnosed) {
+    ErrorLimitDiagnosed = true;
+    Diags.error(cur().Loc,
+                formatString("too many errors (limit %u); giving up",
+                             MaxParseErrors));
+  }
+  // Drain the token stream so every caller loop terminates.
+  while (!cur().is(TokenKind::EndOfFile))
+    consume();
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Types
 //===----------------------------------------------------------------------===//
@@ -157,7 +197,7 @@ const Type *Parser::parsePointerSuffix(const Type *Base) {
 
 bool Parser::parseTranslationUnit() {
   unsigned ErrorsBefore = Diags.errorCount();
-  while (!cur().is(TokenKind::EndOfFile)) {
+  while (!cur().is(TokenKind::EndOfFile) && !errorLimitReached()) {
     if (cur().is(TokenKind::PassthroughDirective)) {
       Ctx.TU.Items.push_back(TopLevelItem{nullptr, consume().Text});
       continue;
@@ -291,7 +331,8 @@ DeclStmt *Parser::parseDeclStmt() {
       V->Init = parseAssignment();
     DS->Decls.push_back(V);
   } while (consumeIf(TokenKind::Comma));
-  expect(TokenKind::Semi, "after declaration");
+  if (!expect(TokenKind::Semi, "after declaration"))
+    syncStmt();
   return DS;
 }
 
@@ -303,7 +344,8 @@ CompoundStmt *Parser::parseCompound() {
   SourceLoc Loc = cur().Loc;
   expect(TokenKind::LBrace, "to open block");
   auto *C = Ctx.create<CompoundStmt>(Loc);
-  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::EndOfFile))
+  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::EndOfFile) &&
+         !errorLimitReached())
     C->Body.push_back(parseStmt());
   expect(TokenKind::RBrace, "to close block");
   return C;
@@ -332,17 +374,20 @@ Stmt *Parser::parseStmt() {
     Expr *Value = nullptr;
     if (!cur().is(TokenKind::Semi))
       Value = parseExpr();
-    expect(TokenKind::Semi, "after return");
+    if (!expect(TokenKind::Semi, "after return"))
+      syncStmt();
     return Ctx.create<ReturnStmt>(Loc, Value);
   }
   case TokenKind::KwBreak: {
     SourceLoc Loc = consume().Loc;
-    expect(TokenKind::Semi, "after break");
+    if (!expect(TokenKind::Semi, "after break"))
+      syncStmt();
     return Ctx.create<BreakStmt>(Loc);
   }
   case TokenKind::KwContinue: {
     SourceLoc Loc = consume().Loc;
-    expect(TokenKind::Semi, "after continue");
+    if (!expect(TokenKind::Semi, "after continue"))
+      syncStmt();
     return Ctx.create<ContinueStmt>(Loc);
   }
   case TokenKind::Semi:
@@ -374,7 +419,8 @@ Stmt *Parser::parseStmt() {
     return parseDeclStmt();
   SourceLoc Loc = cur().Loc;
   Expr *E = parseExpr();
-  expect(TokenKind::Semi, "after expression");
+  if (!expect(TokenKind::Semi, "after expression"))
+    syncStmt();
   return Ctx.create<ExprStmt>(Loc, E);
 }
 
@@ -710,7 +756,12 @@ Expr *Parser::parsePrimary() {
   default:
     Diags.error(Loc, formatString("expected an expression, found %s",
                                   tokenKindName(cur().Kind)));
-    consume();
+    // Do NOT consume ';' / '}' / EOF: they are the statement-recovery
+    // sync points, and eating one here would turn a single missing
+    // expression into a cascade of missed-semicolon errors.
+    if (!cur().is(TokenKind::Semi) && !cur().is(TokenKind::RBrace) &&
+        !cur().is(TokenKind::EndOfFile))
+      consume();
     return Ctx.create<IntLiteralExpr>(Loc, 0, "0");
   }
 }

@@ -48,6 +48,19 @@ private:
   }
   bool expect(TokenKind K, const char *Context);
   void skipToSync();
+  /// Statement-level recovery after a missed ';': skip to the next ';'
+  /// (consumed), or stop before a '}' / end-of-file / token that can
+  /// start a new statement, so one malformed statement costs exactly one
+  /// diagnostic and the rest of the function still parses.
+  void syncStmt();
+  /// True once the error cap is hit; parsing bails out quietly (one
+  /// final note) instead of spewing thousands of cascading diagnostics
+  /// on pathological (fuzzed) inputs.
+  bool errorLimitReached();
+
+  /// Recoverable-diagnostic cap per parse (far above anything a real
+  /// source hits; bounds the work on adversarial inputs).
+  static constexpr unsigned MaxParseErrors = 256;
 
   // Types and declarators.
   bool startsType() const;
@@ -92,6 +105,7 @@ private:
   size_t Index = 0;
   int Depth = 0;
   bool DepthDiagnosed = false;
+  bool ErrorLimitDiagnosed = false;
   std::vector<std::string> PendingReduceVars;
 };
 

@@ -1,0 +1,104 @@
+//===- igen_fenv.h - fenv sentinel API for generated code -------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FP-environment sentinel as seen by igen-generated translation
+/// units (emitted when compiling with `igen --harden`). Include AFTER the
+/// runtime header (interval/igen_lib.h): the helpers are written against
+/// the configuration-selected typedef names (f64i, ddi, m256di_k, ddi_k)
+/// that igen_lib.h brings into scope.
+///
+/// The emitted checks are:
+///
+///   igen_fenv_check()        at sound-region entry (function prologue)
+///                            and after calls to external user functions
+///                            that return nothing / non-interval values.
+///                            Returns 1 when the active policy is poison
+///                            and a clobber was found: the caller must
+///                            degrade its interval results to whole
+///                            intervals (ia_whole_*).
+///   ia_fenv_guard(expr)      wraps an external call that returns an
+///                            interval value. C++ evaluates the argument
+///                            first, so the check runs *after* the call;
+///                            under poison the call's result is replaced
+///                            by a whole interval of the same type.
+///
+/// Both are single-load no-ops when the environment is clean; policy and
+/// semantics live in FenvSentinel.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_HARDEN_IGEN_FENV_H
+#define IGEN_HARDEN_IGEN_FENV_H
+
+#include "harden/FenvSentinel.h"
+
+#include <cmath>
+
+/// Sentinel check at a generated-code site. Returns 1 iff the caller must
+/// poison its interval results (IGEN_FENV_POLICY=poison and the FP
+/// environment was found clobbered; it has been repaired either way).
+inline int igen_fenv_check(void) {
+  return igen::harden::checkFenvUpward("generated code") ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-interval ([-inf, +inf]) constructors, one per generated type
+//===----------------------------------------------------------------------===//
+
+inline f64i ia_whole_f64(void) { return ia_set_f64(-HUGE_VAL, HUGE_VAL); }
+inline ddi ia_whole_dd(void) { return ia_set_dd(-HUGE_VAL, HUGE_VAL); }
+inline m256di_1 ia_whole_m256di_1(void) {
+  return ia_set1_m256di_1(ia_whole_f64());
+}
+inline m256di_2 ia_whole_m256di_2(void) {
+  return ia_set1_m256di_2(ia_whole_f64());
+}
+inline m256di_4 ia_whole_m256di_4(void) {
+  f64i W[8];
+  for (int I = 0; I < 8; ++I)
+    W[I] = ia_whole_f64();
+  return ia_loadu_m256di_4(W);
+}
+inline ddi_2 ia_whole_ddi_2(void) { return ia_set1_ddi_2(ia_whole_dd()); }
+inline ddi_4 ia_whole_ddi_4(void) { return ia_set1_ddi_4(ia_whole_dd()); }
+inline ddi_8 ia_whole_ddi_8(void) {
+  ddi W[8];
+  for (int I = 0; I < 8; ++I)
+    W[I] = ia_whole_dd();
+  return ia_loadu_ddi_8(W);
+}
+
+//===----------------------------------------------------------------------===//
+// Post-external-call guards
+//===----------------------------------------------------------------------===//
+
+inline f64i ia_fenv_guard(f64i V) {
+  return igen_fenv_check() ? ia_whole_f64() : V;
+}
+inline ddi ia_fenv_guard(ddi V) {
+  return igen_fenv_check() ? ia_whole_dd() : V;
+}
+inline m256di_1 ia_fenv_guard(m256di_1 V) {
+  return igen_fenv_check() ? ia_whole_m256di_1() : V;
+}
+inline m256di_2 ia_fenv_guard(m256di_2 V) {
+  return igen_fenv_check() ? ia_whole_m256di_2() : V;
+}
+inline m256di_4 ia_fenv_guard(m256di_4 V) {
+  return igen_fenv_check() ? ia_whole_m256di_4() : V;
+}
+inline ddi_2 ia_fenv_guard(ddi_2 V) {
+  return igen_fenv_check() ? ia_whole_ddi_2() : V;
+}
+inline ddi_4 ia_fenv_guard(ddi_4 V) {
+  return igen_fenv_check() ? ia_whole_ddi_4() : V;
+}
+inline ddi_8 ia_fenv_guard(ddi_8 V) {
+  return igen_fenv_check() ? ia_whole_ddi_8() : V;
+}
+
+#endif // IGEN_HARDEN_IGEN_FENV_H

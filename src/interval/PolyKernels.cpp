@@ -6,6 +6,7 @@
 
 #include "interval/PolyKernels.h"
 
+#include "harden/FenvSentinel.h"
 #include "interval/Elementary.h"
 #include "interval/Rounding.h"
 
@@ -36,6 +37,16 @@ const TwoOverPiConst &twoOverPi() {
   return C;
 }
 
+/// Sentinel check after a libm fallback (the external call could have
+/// disturbed MXCSR). Under the poison policy the fallback's result is
+/// replaced by the whole line -- a sound enclosure of any elementary
+/// function value.
+inline Interval guardFallback(Interval R, const char *Where) {
+  if (__builtin_expect(harden::checkFenvUpward(Where), 0))
+    return Interval::entire();
+  return R;
+}
+
 } // namespace
 
 void poly::detail::sectionRangeUp(double X, long long &KMin, long long &KMax) {
@@ -60,8 +71,8 @@ void poly::detail::sectionRangeUp(double X, long long &KMin, long long &KMax) {
 Interval igen::iExpFast(const Interval &X) {
   assertRoundUpward();
   double Lo = -X.NegLo, Hi = X.Hi;
-  if (!poly::expFastDomain(Lo, Hi))
-    return iExp(X); // NaN and out-of-range endpoints
+  if (!poly::expFastDomain(Lo, Hi)) // NaN and out-of-range endpoints
+    return guardFallback(iExp(X), "iExpFast libm fallback");
   // Monotone: two endpoint evaluations. The certified relative bound is
   // folded outward with ambient-mode directed adds: the upper endpoint
   // RU(y + e) >= y + e and the stored negated-lower RU(-y + e) = -RD(y-e).
@@ -75,8 +86,9 @@ Interval igen::iExpFast(const Interval &X) {
 Interval igen::iLogFast(const Interval &X) {
   assertRoundUpward();
   double Lo = -X.NegLo, Hi = X.Hi;
-  if (!poly::logFastDomain(Lo, Hi))
-    return iLog(X); // NaN, nonpositive/subnormal lower, inf upper
+  if (!poly::logFastDomain(Lo, Hi)) // NaN, nonpositive/subnormal lower,
+                                    // inf upper
+    return guardFallback(iLog(X), "iLogFast libm fallback");
   double YL = poly::logCore(Lo);
   double YH = poly::logCore(Hi);
   double EL = std::fabs(YL) * poly::LogEpsRel;
@@ -116,7 +128,8 @@ template <bool IsSin> Interval sinCosFastImpl(const Interval &X) {
   assertRoundUpward();
   double Lo = -X.NegLo, Hi = X.Hi;
   if (!poly::sinCosFastDomain(Lo, Hi))
-    return IsSin ? iSin(X) : iCos(X);
+    return guardFallback(IsSin ? iSin(X) : iCos(X),
+                         "iSinFast/iCosFast libm fallback");
   long long KLoMin, KLoMax, KHiMin, KHiMax;
   poly::detail::sectionRangeUp(Lo, KLoMin, KLoMax);
   poly::detail::sectionRangeUp(Hi, KHiMin, KHiMax);

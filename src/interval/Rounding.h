@@ -26,6 +26,7 @@
 #ifndef IGEN_INTERVAL_ROUNDING_H
 #define IGEN_INTERVAL_ROUNDING_H
 
+#include <atomic>
 #include <cassert>
 #include <cfenv>
 
@@ -35,6 +36,14 @@ namespace igen {
 inline bool isRoundUpward() { return std::fegetround() == FE_UPWARD; }
 
 namespace detail {
+
+/// Test-only fault-injection hook (harden/FaultInject.h): when non-null it
+/// runs after every rounding-scope entry with the mode the scope
+/// established, so the injector can deterministically clobber the FP
+/// environment "behind the runtime's back" at the Nth scope entry. Costs
+/// one relaxed load + predictable branch per scope entry when disarmed.
+using RoundingScopeHook = void (*)(int EnteredMode);
+inline std::atomic<RoundingScopeHook> ScopeEntryHook{nullptr};
 
 /// The rounding mode this thread's FPU is known to be in, or -1 when
 /// unknown (thread start, or after foreign code may have switched modes
@@ -53,16 +62,19 @@ public:
       NoOp = true;
       Saved = Want;
       // The cache is only sound if nothing switches modes without going
-      // through these scopes; check that in debug builds.
-      assert(std::fegetround() == Want &&
-             "rounding-mode cache out of sync (foreign fesetround? call "
-             "igen::invalidateRoundingCache())");
+      // through these scopes. A stale cache (foreign fesetround) is NOT
+      // asserted here: the fenv sentinel (harden/FenvSentinel.h) checks
+      // the real MXCSR at sound-region entry points and repairs, poisons
+      // or aborts per IGEN_FENV_POLICY, which also covers FTZ/DAZ bits a
+      // mode assert could never see.
     } else {
       NoOp = false;
       Saved = std::fegetround();
       std::fesetround(Want);
       CachedRoundingMode = Want;
     }
+    if (RoundingScopeHook H = ScopeEntryHook.load(std::memory_order_relaxed))
+      H(Want);
   }
   ~CachedRoundingScope() {
     if (!NoOp) {

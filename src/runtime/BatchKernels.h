@@ -19,7 +19,20 @@
 /// Rounding. Every entry point establishes upward rounding internally
 /// (RAII) and restores the caller's mode — callers do NOT need to be
 /// inside a RoundUpwardScope, and the parallel reductions set the mode
-/// per worker task.
+/// per worker task. After establishing the mode, every entry point runs
+/// the fenv sentinel (harden/FenvSentinel.h) exactly once — the hot loop
+/// stays clean — so an FTZ/DAZ or rounding clobber left behind by
+/// foreign code is detected and handled per IGEN_FENV_POLICY before any
+/// bound is computed; under the poison policy the whole output batch
+/// (or reduction result) degrades to [-inf, +inf], which is sound.
+///
+/// Aliasing. Elementwise kernels compute element i from element i only,
+/// and every dispatch tier loads a block's inputs before storing its
+/// outputs, so FULL aliasing (Dst == X and/or Dst == Y, identical base
+/// pointer) is supported. PARTIAL overlap (Dst offset into an input
+/// range) is a caller bug: debug builds assert on it; release builds
+/// copy the overlapping input to scratch and proceed with defined
+/// results. N == 0 is a no-op on every entry point.
 ///
 /// Determinism. iarr_sum / iarr_dot accumulate in a fixed chunked order
 /// (kReduceChunk elements per chunk, kReduceLanes interleaved
@@ -38,13 +51,19 @@
 #ifndef IGEN_RUNTIME_BATCHKERNELS_H
 #define IGEN_RUNTIME_BATCHKERNELS_H
 
+#include "harden/FaultInject.h"
+#include "harden/FenvSentinel.h"
 #include "interval/Interval.h"
 #include "interval/IntervalSimd.h"
 #include "interval/IntervalVector.h"
 #include "interval/Rounding.h"
 #include "runtime/CpuDispatch.h"
 
+#include <cassert>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace igen::runtime {
 
@@ -63,27 +82,123 @@ static_assert(sizeof(IntervalSse) == sizeof(Interval));
 static_assert(sizeof(IntervalX2) == 2 * sizeof(Interval));
 
 //===----------------------------------------------------------------------===//
+// Hardening helpers (sentinel, aliasing contract, fault injection)
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// True when [A, A+N) and [B, B+N) overlap other than by being the exact
+/// same range (A == B, which every kernel supports). Compared as
+/// integers: A and B may point into unrelated arrays, where raw pointer
+/// ordering is unspecified.
+inline bool partialOverlap(const Interval *A, const Interval *B, size_t N) {
+  if (A == B || N == 0)
+    return false;
+  uintptr_t LA = reinterpret_cast<uintptr_t>(A);
+  uintptr_t LB = reinterpret_cast<uintptr_t>(B);
+  uintptr_t Bytes = N * sizeof(Interval);
+  return LA < LB + Bytes && LB < LA + Bytes;
+}
+
+/// Poison an output batch: every element becomes the whole line. Runs on
+/// the sentinel's cold path only.
+[[gnu::cold]] inline void poisonBatch(Interval *Dst, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = Interval::entire();
+}
+
+/// Shared iarr_* prologue, run once per kernel invocation with upward
+/// rounding already established. Returns true when the caller must
+/// poison its results and return.
+inline bool batchPrologue(const char *Where, Interval *Dst, size_t N) {
+  if (__builtin_expect(harden::checkFenvUpward(Where), 0)) {
+    poisonBatch(Dst, N);
+    return true;
+  }
+  return false;
+}
+
+/// Fault-injection support: when a nan/inf operand fault fires for this
+/// invocation, copy \p X to \p Scratch with element N % \p N corrupted
+/// and return Scratch.data(); otherwise return \p X unchanged. The
+/// disarmed cost is one relaxed load + branch.
+inline const Interval *maybeCorrupt(const Interval *X, size_t N,
+                                    std::vector<Interval> &Scratch) {
+  if (__builtin_expect(!harden::faultsArmedFromEnv(), 1) || N == 0)
+    return X;
+  long long At = 0;
+  bool Nan = harden::faultFires(harden::FaultKind::Nan, &At);
+  bool Inf = !Nan && harden::faultFires(harden::FaultKind::Inf, &At);
+  if (!Nan && !Inf)
+    return X;
+  Scratch.assign(X, X + N);
+  Scratch[static_cast<size_t>(At) % N] =
+      Nan ? Interval::nan() : Interval::fromPoint(HUGE_VAL);
+  return Scratch.data();
+}
+
+/// Release-build fallback of the aliasing contract: copy \p In to
+/// \p Scratch when it partially overlaps [Dst, Dst+N). Debug builds
+/// assert instead (the overlap is a caller bug; the copy merely keeps
+/// the behavior defined).
+inline const Interval *resolveOverlap(Interval *Dst, const Interval *In,
+                                      size_t N,
+                                      std::vector<Interval> &Scratch) {
+  if (__builtin_expect(!partialOverlap(Dst, In, N), 1))
+    return In;
+  assert(!"iarr_* input partially overlaps the output range");
+  Scratch.assign(In, In + N);
+  return Scratch.data();
+}
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
 // Elementwise kernels (CPU-dispatched)
 //===----------------------------------------------------------------------===//
 
 /// Dst[i] = X[i] + Y[i].
 inline void iarr_add(Interval *Dst, const Interval *X, const Interval *Y,
                      size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_add", Dst, N))
+    return;
+  std::vector<Interval> SX, SY, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  Y = detail::resolveOverlap(Dst, Y, N, SY);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Add(Dst, X, Y, N);
 }
 
 /// Dst[i] = X[i] - Y[i].
 inline void iarr_sub(Interval *Dst, const Interval *X, const Interval *Y,
                      size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_sub", Dst, N))
+    return;
+  std::vector<Interval> SX, SY, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  Y = detail::resolveOverlap(Dst, Y, N, SY);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Sub(Dst, X, Y, N);
 }
 
 /// Dst[i] = X[i] * Y[i].
 inline void iarr_mul(Interval *Dst, const Interval *X, const Interval *Y,
                      size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_mul", Dst, N))
+    return;
+  std::vector<Interval> SX, SY, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  Y = detail::resolveOverlap(Dst, Y, N, SY);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Mul(Dst, X, Y, N);
 }
 
@@ -92,14 +207,30 @@ inline void iarr_mul(Interval *Dst, const Interval *X, const Interval *Y,
 /// subset of the composed one).
 inline void iarr_fma(Interval *Dst, const Interval *A, const Interval *B,
                      const Interval *C, size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_fma", Dst, N))
+    return;
+  std::vector<Interval> SA, SB, SCc, SC;
+  A = detail::resolveOverlap(Dst, A, N, SA);
+  B = detail::resolveOverlap(Dst, B, N, SB);
+  C = detail::resolveOverlap(Dst, C, N, SCc);
+  A = detail::maybeCorrupt(A, N, SC);
   kernels().Fma(Dst, A, B, C, N);
 }
 
 /// Dst[i] = X[i] * S.
 inline void iarr_scale(Interval *Dst, const Interval *X, const Interval &S,
                        size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_scale", Dst, N))
+    return;
+  std::vector<Interval> SX, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Scale(Dst, X, S, N);
 }
 
@@ -109,26 +240,54 @@ inline void iarr_scale(Interval *Dst, const Interval *X, const Interval &S,
 /// with the exact scalar operation sequence, so results are
 /// bit-identical across ISA tiers.
 inline void iarr_exp(Interval *Dst, const Interval *X, size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_exp", Dst, N))
+    return;
+  std::vector<Interval> SX, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Exp(Dst, X, N);
 }
 
 /// Dst[i] = certified enclosure of log(X[i]) (iLogFast semantics).
 inline void iarr_log(Interval *Dst, const Interval *X, size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_log", Dst, N))
+    return;
+  std::vector<Interval> SX, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Log(Dst, X, N);
 }
 
 /// Dst[i] = certified enclosure of sin(X[i]) (iSinFast semantics; the
 /// range analysis keeps this scalar in every tier).
 inline void iarr_sin(Interval *Dst, const Interval *X, size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_sin", Dst, N))
+    return;
+  std::vector<Interval> SX, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Sin(Dst, X, N);
 }
 
 /// Dst[i] = certified enclosure of cos(X[i]) (iCosFast semantics).
 inline void iarr_cos(Interval *Dst, const Interval *X, size_t N) {
+  if (N == 0)
+    return;
   RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_cos", Dst, N))
+    return;
+  std::vector<Interval> SX, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  X = detail::maybeCorrupt(X, N, SC);
   kernels().Cos(Dst, X, N);
 }
 

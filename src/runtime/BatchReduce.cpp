@@ -32,6 +32,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "harden/FaultInject.h"
+#include "harden/FenvSentinel.h"
 #include "interval/Accumulator.h"
 #include "interval/DoubleDouble.h"
 #include "interval/IntervalVector.h"
@@ -39,7 +41,10 @@
 #include "runtime/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <immintrin.h>
+#include <new>
 #include <vector>
 
 namespace igen::runtime {
@@ -191,15 +196,46 @@ DdPartial mergePartials(std::vector<DdPartial> &P) {
   return P[0];
 }
 
+/// Sound degradation when the scratch-partial allocation fails (real
+/// std::bad_alloc or the injected 'alloc' fault): the whole line encloses
+/// every possible sum/dot, so the result stays correct, just useless.
+[[gnu::cold]] Interval allocDegrade(const char *Where) {
+  static std::atomic<bool> Warned{false};
+  if (!Warned.exchange(true))
+    std::fprintf(stderr,
+                 "igen: warning: scratch allocation failed in %s; "
+                 "returning [-inf, +inf] (sound degradation). Further "
+                 "failures are silent.\n",
+                 Where);
+  return Interval::entire();
+}
+
 /// Shared driver: computes per-chunk partials (serially or on the pool),
 /// then merges and rounds outward on the calling thread. ChunkFn maps
 /// (Begin, Len) to a DdPartial and must itself establish upward rounding.
+/// The fenv sentinel runs once per reduction, before any partial is
+/// computed; under the poison policy a clobbered environment degrades
+/// the whole result to [-inf, +inf].
 template <typename ChunkFn>
-Interval reduceChunked(size_t N, unsigned Threads, const ChunkFn &Fn) {
+Interval reduceChunked(const char *Where, size_t N, unsigned Threads,
+                       const ChunkFn &Fn) {
   if (N == 0)
     return Interval::fromPoint(0.0);
+  {
+    RoundUpwardScope Up;
+    if (__builtin_expect(harden::checkFenvUpward(Where), 0))
+      return Interval::entire();
+  }
   size_t NumChunks = (N + kReduceChunk - 1) / kReduceChunk;
-  std::vector<DdPartial> Partials(NumChunks);
+  std::vector<DdPartial> Partials;
+  if (__builtin_expect(harden::faultsArmedFromEnv(), 0) &&
+      harden::faultFires(harden::FaultKind::Alloc))
+    return allocDegrade(Where);
+  try {
+    Partials.resize(NumChunks);
+  } catch (const std::bad_alloc &) {
+    return allocDegrade(Where);
+  }
   auto Task = [&](size_t C) {
     size_t Begin = C * kReduceChunk;
     Partials[C] = Fn(Begin, std::min(kReduceChunk, N - Begin));
@@ -215,7 +251,8 @@ Interval reduceChunked(size_t N, unsigned Threads, const ChunkFn &Fn) {
 }
 
 Interval sumImpl(const Interval *X, size_t N, unsigned Threads) {
-  return reduceChunked(N, Threads, [X](size_t Begin, size_t Len) {
+  return reduceChunked("iarr_sum", N, Threads,
+                       [X](size_t Begin, size_t Len) {
     RoundUpwardScope Up; // Per-task: restores the worker's mode after.
     return sumChunk(X + Begin, Len);
   });
@@ -223,7 +260,8 @@ Interval sumImpl(const Interval *X, size_t N, unsigned Threads) {
 
 Interval dotImpl(const Interval *X, const Interval *Y, size_t N,
                  unsigned Threads) {
-  return reduceChunked(N, Threads, [X, Y](size_t Begin, size_t Len) {
+  return reduceChunked("iarr_dot", N, Threads,
+                       [X, Y](size_t Begin, size_t Len) {
     RoundUpwardScope Up;
     return dotChunk(X + Begin, Y + Begin, Len);
   });

@@ -266,6 +266,18 @@ private:
     return T->cName();
   }
 
+  /// --harden: whole-interval ([-inf, +inf]) constructor call for a
+  /// promoted interval type, or "" when \p T does not promote to one.
+  std::string wholeCtorFor(const Type *T) const {
+    if (!T)
+      return "";
+    if (T->isFloating())
+      return "ia_whole_" + sfx() + "()";
+    if (T->isSimdVector())
+      return "ia_whole_" + vecTypeName(T) + "()";
+    return "";
+  }
+
   std::string promoteTypeAndName(const Type *T, const std::string &Name) {
     std::string Dims;
     const Type *Base = T;
@@ -448,6 +460,11 @@ private:
   // Profiling state (per translation unit).
   ProfileSiteTable SiteTable;
   std::string CurFuncName;
+
+  /// Functions *defined* in this TU (for --harden: calls to these need
+  /// no post-call fenv guard, their own prologue re-checks; calls to
+  /// declared-only externals do).
+  std::set<std::string> DefinedFns;
 
   // Mid-end optimizer state (per function).
   OptFunctionInfo OptInfo;
@@ -1293,8 +1310,14 @@ TR Transformer::transformCall(const CallExpr *C) {
     Args += WantInterval ? asInterval(Arg) : Arg.Code;
   }
   R.Code = C->Callee + "(" + Args + ")";
-  if (C->type() && C->type()->isFloatingOrVector())
+  if (C->type() && C->type()->isFloatingOrVector()) {
     R.C = Cat::Interval;
+    // --harden: an external callee (declared, not defined here) may have
+    // disturbed the FP environment. ia_fenv_guard evaluates the call
+    // first, checks after, and poisons its result if required.
+    if (Opts.Harden && !DefinedFns.count(C->Callee))
+      R.Code = "ia_fenv_guard(" + R.Code + ")";
+  }
   return R;
 }
 
@@ -1328,6 +1351,15 @@ void Transformer::emitExprStmt(const ExprStmt *S) {
     return;
   }
   line(transformExpr(S->E).Code + ";");
+  // --harden: a statement-position external call with a non-interval
+  // result got no ia_fenv_guard wrapper; re-check the environment here.
+  if (Opts.Harden) {
+    const auto *CE = dynCast<CallExpr>(ignoreParens(S->E));
+    if (CE && classifyCallee(CE->Callee) == CalleeKind::UserFunction &&
+        !DefinedFns.count(CE->Callee) &&
+        !(CE->type() && CE->type()->isFloatingOrVector()))
+      line("igen_fenv_check();");
+  }
 }
 
 bool Transformer::collectAssignTargetsInExpr(const Expr *E,
@@ -1709,6 +1741,14 @@ void Transformer::emitFunction(FunctionDecl *F) {
   line(Header);
   line("{");
   ++Indent;
+  if (Opts.Harden) {
+    // Sound-region entry: the caller may arrive with any FP environment.
+    std::string Whole = wholeCtorFor(F->RetTy);
+    if (!Whole.empty())
+      line("if (igen_fenv_check()) return " + Whole + ";");
+    else
+      line("igen_fenv_check();");
+  }
   for (VarDecl *P : F->Params) {
     if (!P->HasTolerance)
       continue;
@@ -1737,6 +1777,10 @@ std::string Transformer::run() {
   SiteTable = ProfileSiteTable();
   SiteTable.Module = Opts.ModuleName.empty() ? "igen" : Opts.ModuleName;
   SiteTable.SourceFile = Opts.SourceName;
+  DefinedFns.clear();
+  for (const TopLevelItem &Item : Ctx.TU.Items)
+    if (Item.Function && Item.Function->Body)
+      DefinedFns.insert(Item.Function->Name);
   for (const TopLevelItem &Item : Ctx.TU.Items) {
     if (!Item.Function) {
       line(Item.Directive);
@@ -1756,6 +1800,8 @@ std::string Transformer::run() {
   if (Opts.ScalarLibrary)
     Out += "#define IGEN_F64I_SCALAR 1\n";
   Out += "#include \"" + Opts.RuntimeHeader + "\"\n";
+  if (Opts.Harden)
+    Out += "#include \"" + Opts.HardenHeader + "\"\n";
   if (Opts.Profile)
     Out += "#include \"profile/igen_prof.h\"\n";
   if (UsedGeneratedIntrinsics)

@@ -77,6 +77,18 @@ struct TransformOptions {
   /// byte-identical to a build without this feature.
   bool Profile = false;
 
+  /// Emit FP-environment sentinel checks (driver --harden): every
+  /// generated function verifies MXCSR at sound-region entry, and calls
+  /// to external user functions (declared but not defined in the TU) are
+  /// re-checked afterwards -- a callback that flipped FTZ/DAZ or the
+  /// rounding mode is detected and handled per IGEN_FENV_POLICY (see
+  /// harden/FenvSentinel.h). With the environment clean the checks cost
+  /// one MXCSR read + compare each; enclosures are unchanged.
+  bool Harden = false;
+
+  /// Header providing igen_fenv_check / ia_fenv_guard for --harden.
+  std::string HardenHeader = "harden/igen_fenv.h";
+
   /// Module name baked into the emitted site table (defaults to "igen"
   /// when empty). The driver sets it to the output file's stem.
   std::string ModuleName;

@@ -15,16 +15,24 @@ std::optional<std::string>
 igen::compileToIntervals(std::string_view Source,
                          const TransformOptions &Opts,
                          DiagnosticsEngine &Diags,
-                         ProfileSiteTable *SitesOut) {
+                         ProfileSiteTable *SitesOut,
+                         PipelineStage *FailedStage) {
+  auto Fail = [&](PipelineStage S) {
+    if (FailedStage)
+      *FailedStage = S;
+    return std::nullopt;
+  };
+  if (FailedStage)
+    *FailedStage = PipelineStage::None;
   ASTContext Ctx;
   Parser P(Source, Ctx, Diags);
   if (!P.parseTranslationUnit())
-    return std::nullopt;
+    return Fail(PipelineStage::Parse);
   Sema S(Ctx, Diags);
   if (!S.run())
-    return std::nullopt;
+    return Fail(PipelineStage::Sema);
   std::string Out = transformToIntervals(Ctx, Diags, Opts, SitesOut);
   if (Diags.hasErrors())
-    return std::nullopt;
+    return Fail(PipelineStage::Transform);
   return Out;
 }

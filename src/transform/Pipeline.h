@@ -23,13 +23,22 @@
 
 namespace igen {
 
+/// Pipeline stage that produced the first error, for callers (the
+/// driver) that map failures to distinct exit codes.
+enum class PipelineStage { None, Parse, Sema, Transform };
+
 /// Compiles C source text to interval C. Returns std::nullopt (with
 /// diagnostics in \p Diags) on any error. With Opts.Profile set and
 /// \p SitesOut non-null, receives the compile-time profile site table.
+/// \p FailedStage, when non-null, receives the stage that failed (None
+/// on success). Parsing continues past recoverable syntax errors, so a
+/// Parse failure can carry several diagnostics.
 std::optional<std::string> compileToIntervals(std::string_view Source,
                                               const TransformOptions &Opts,
                                               DiagnosticsEngine &Diags,
                                               ProfileSiteTable *SitesOut =
+                                                  nullptr,
+                                              PipelineStage *FailedStage =
                                                   nullptr);
 
 } // namespace igen

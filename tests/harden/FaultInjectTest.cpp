@@ -1,0 +1,131 @@
+//===- FaultInjectTest.cpp - Fault-injector unit tests --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the deterministic fault injector (harden/FaultInject.h) itself:
+// the IGEN_FAULT grammar (kind[@N] lists, malformed-item skipping), the
+// one-shot @N countdown semantics, and the rounding-scope hook install /
+// uninstall lifecycle. End-to-end behavior of the injected faults is in
+// BatchHardenTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harden/FaultInject.h"
+
+#include <cfenv>
+
+#include "gtest/gtest.h"
+
+using namespace igen;
+using namespace igen::harden;
+
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // Consume the one-time IGEN_FAULT environment check so the lazily
+    // checking trigger points cannot overwrite the programmatic arming
+    // below with the (empty) environment spec.
+    faultsArmedFromEnv();
+    disarmFaults();
+  }
+  void TearDown() override {
+    disarmFaults();
+    std::fesetround(FE_TONEAREST);
+    writeMxcsr(readMxcsr() & ~(kMxcsrFtz | kMxcsrDaz));
+    invalidateRoundingCache();
+  }
+};
+
+TEST_F(FaultInjectTest, DisarmedByDefault) {
+  EXPECT_FALSE(faultsArmed());
+  EXPECT_FALSE(faultFires(FaultKind::Nan));
+  EXPECT_FALSE(faultFires(FaultKind::Alloc));
+}
+
+TEST_F(FaultInjectTest, OneShotCountdown) {
+  armFaults("alloc@2");
+  EXPECT_TRUE(faultsArmed());
+  EXPECT_FALSE(faultFires(FaultKind::Alloc)); // occurrence 0
+  EXPECT_FALSE(faultFires(FaultKind::Alloc)); // occurrence 1
+  long long N = -1;
+  EXPECT_TRUE(faultFires(FaultKind::Alloc, &N)); // occurrence 2: fires
+  EXPECT_EQ(N, 2);
+  EXPECT_FALSE(faultFires(FaultKind::Alloc)); // one-shot: disarmed now
+}
+
+TEST_F(FaultInjectTest, CountDefaultsToZeroAndListsParse) {
+  armFaults("nan,inf@1");
+  long long N = -1;
+  EXPECT_TRUE(faultFires(FaultKind::Nan, &N));
+  EXPECT_EQ(N, 0);
+  EXPECT_FALSE(faultFires(FaultKind::Inf)); // occurrence 0
+  EXPECT_TRUE(faultFires(FaultKind::Inf));  // occurrence 1
+}
+
+TEST_F(FaultInjectTest, MalformedItemsAreSkippedOthersStillArm) {
+  // Unknown kind, negative count, and trailing junk are each dropped
+  // (with a once-only warning); the valid item still arms.
+  armFaults("bogus,ftz@-1,daz@2x,nan@0");
+  EXPECT_TRUE(faultsArmed());
+  EXPECT_FALSE(faultFires(FaultKind::Ftz));
+  EXPECT_FALSE(faultFires(FaultKind::Daz));
+  EXPECT_TRUE(faultFires(FaultKind::Nan));
+}
+
+TEST_F(FaultInjectTest, NullOrEmptySpecDisarms) {
+  armFaults("nan");
+  EXPECT_TRUE(faultsArmed());
+  armFaults("");
+  EXPECT_FALSE(faultsArmed());
+  armFaults("nan");
+  armFaults(nullptr);
+  EXPECT_FALSE(faultsArmed());
+}
+
+TEST_F(FaultInjectTest, ScopeHookInstalledOnlyForFenvFaults) {
+  // Operand/allocation faults never pay the scope-entry hook.
+  armFaults("nan,alloc");
+  EXPECT_EQ(igen::detail::ScopeEntryHook.load(), nullptr);
+  // Environment faults do install it; disarm removes it.
+  armFaults("rnd@0");
+  EXPECT_NE(igen::detail::ScopeEntryHook.load(), nullptr);
+  disarmFaults();
+  EXPECT_EQ(igen::detail::ScopeEntryHook.load(), nullptr);
+}
+
+TEST_F(FaultInjectTest, ScopeEntryFaultClobbersNthUpwardScope) {
+  armFaults("ftz@1");
+  {
+    RoundUpwardScope First; // occurrence 0: no fire
+    EXPECT_EQ(readMxcsr() & kMxcsrFtz, 0u);
+  }
+  {
+    RoundUpwardScope Second; // occurrence 1: fires, sets FTZ
+    EXPECT_NE(readMxcsr() & kMxcsrFtz, 0u);
+    writeMxcsr(readMxcsr() & ~kMxcsrFtz); // clean up inside the scope
+  }
+  {
+    RoundUpwardScope Third; // one-shot: nothing
+    EXPECT_EQ(readMxcsr() & kMxcsrFtz, 0u);
+  }
+}
+
+TEST_F(FaultInjectTest, DownwardScopesAreNotTargets) {
+  // Only upward (sound-region) scopes are clobber targets; the nearest
+  // scopes around libm calls must not consume the countdown.
+  armFaults("rnd@0");
+  {
+    RoundNearestScope Nearest;
+  }
+  {
+    RoundUpwardScope Up; // first *upward* entry: fires here
+    EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+  }
+  invalidateRoundingCache(); // the injected clobber left a stale cache
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+//===- FenvSentinelTest.cpp - FP-environment sentinel tests ---------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the fenv sentinel (harden/FenvSentinel.h):
+//  (a) policy selection: IGEN_FENV_POLICY parsing, the programmatic
+//      override, and the unknown-value fallback;
+//  (b) detection and handling of a foreign fesetround(FE_TONEAREST)
+//      behind the cached rounding scope -- the stale-cache hazard the
+//      sentinel exists for -- under repair, poison and abort;
+//  (c) FTZ/DAZ clobbers, including after invalidateRoundingCache(),
+//      where re-entering the rounding scope alone can never help
+//      (fesetround does not touch the flush-to-zero bits);
+//  (d) the honest-invalidate path: a rounding clobber followed by
+//      invalidateRoundingCache() is healed silently by the next scope's
+//      real fesetround, so no violation is counted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harden/FenvSentinel.h"
+
+#include "interval/Interval.h"
+#include "runtime/BatchKernels.h"
+
+#include <cfenv>
+#include <cstdlib>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace igen;
+using namespace igen::harden;
+
+namespace {
+
+/// Resets every piece of process-global sentinel state around each test,
+/// and leaves the FP environment in the default round-to-nearest state.
+class FenvSentinelTest : public ::testing::Test {
+protected:
+  void SetUp() override { resetAll(); }
+  void TearDown() override { resetAll(); }
+
+  static void resetAll() {
+    std::fesetround(FE_TONEAREST);
+    writeMxcsr(readMxcsr() & ~(kMxcsrFtz | kMxcsrDaz));
+    invalidateRoundingCache();
+    setFenvPolicy(FenvPolicy::Repair);
+    resetFenvStats();
+  }
+};
+
+std::vector<Interval> points(std::initializer_list<double> Xs) {
+  std::vector<Interval> V;
+  for (double X : Xs)
+    V.push_back(Interval::fromPoint(X));
+  return V;
+}
+
+TEST_F(FenvSentinelTest, SoundPredicateTracksEnvironment) {
+  EXPECT_FALSE(fenvIsSoundUpward()); // default: round-to-nearest
+  {
+    RoundUpwardScope Up;
+    EXPECT_TRUE(fenvIsSoundUpward());
+    EXPECT_FALSE(checkFenvUpward("test")); // clean: no poison request
+  }
+  EXPECT_EQ(fenvStats().Violations, 0u);
+  {
+    RoundUpwardScope Up;
+    writeMxcsr(readMxcsr() | kMxcsrFtz);
+    EXPECT_FALSE(fenvIsSoundUpward());
+  }
+}
+
+TEST_F(FenvSentinelTest, PolicyParsesEnvironmentVariable) {
+  // The cache wins until cleared; clearing re-reads the environment.
+  ASSERT_EQ(setenv("IGEN_FENV_POLICY", "poison", 1), 0);
+  EXPECT_EQ(fenvPolicy(), FenvPolicy::Repair); // still the cached value
+  clearFenvPolicyCache();
+  EXPECT_EQ(fenvPolicy(), FenvPolicy::Poison);
+
+  ASSERT_EQ(setenv("IGEN_FENV_POLICY", "abort", 1), 0);
+  clearFenvPolicyCache();
+  EXPECT_EQ(fenvPolicy(), FenvPolicy::Abort);
+
+  // Unknown values fall back to repair (warning once, not tested here).
+  ASSERT_EQ(setenv("IGEN_FENV_POLICY", "explode", 1), 0);
+  clearFenvPolicyCache();
+  EXPECT_EQ(fenvPolicy(), FenvPolicy::Repair);
+
+  ASSERT_EQ(unsetenv("IGEN_FENV_POLICY"), 0);
+  clearFenvPolicyCache();
+  EXPECT_EQ(fenvPolicy(), FenvPolicy::Repair);
+}
+
+TEST_F(FenvSentinelTest, RepairCatchesForeignRoundingBehindStaleCache) {
+  setFenvPolicy(FenvPolicy::Repair);
+  std::vector<Interval> X = points({1.0, 2.0, 3.0, 4.0});
+  std::vector<Interval> Y = points({0.5, 0.25, 0.125, 0.0625});
+  std::vector<Interval> Dst(X.size());
+  {
+    RoundUpwardScope Up;            // primes the per-thread cache
+    std::fesetround(FE_TONEAREST);  // foreign clobber: cache is now stale
+    // The nested scope inside iarr_add trusts the cache and skips the
+    // fesetround -- exactly the hazard. The sentinel must catch it.
+    runtime::iarr_add(Dst.data(), X.data(), Y.data(), X.size());
+  }
+  invalidateRoundingCache(); // this test clobbered; be honest afterwards
+
+  FenvStats S = fenvStats();
+  EXPECT_EQ(S.Violations, 1u);
+  EXPECT_EQ(S.Repairs, 1u);
+  EXPECT_EQ(S.Poisoned, 0u);
+
+  // Repair means the results were computed in the restored environment:
+  // identical to an uncontested run.
+  std::vector<Interval> Ref(X.size());
+  runtime::iarr_add(Ref.data(), X.data(), Y.data(), X.size());
+  EXPECT_EQ(fenvStats().Violations, 1u); // second run was clean
+  for (size_t I = 0; I < X.size(); ++I) {
+    EXPECT_EQ(Dst[I].NegLo, Ref[I].NegLo) << "element " << I;
+    EXPECT_EQ(Dst[I].Hi, Ref[I].Hi) << "element " << I;
+  }
+}
+
+TEST_F(FenvSentinelTest, PoisonDegradesBatchToWholeIntervals) {
+  setFenvPolicy(FenvPolicy::Poison);
+  std::vector<Interval> X = points({1.0, 2.0, 3.0});
+  std::vector<Interval> Y = points({4.0, 5.0, 6.0});
+  std::vector<Interval> Dst(X.size());
+  {
+    RoundUpwardScope Up;
+    std::fesetround(FE_TONEAREST);
+    runtime::iarr_mul(Dst.data(), X.data(), Y.data(), X.size());
+  }
+  invalidateRoundingCache();
+
+  FenvStats S = fenvStats();
+  EXPECT_EQ(S.Violations, 1u);
+  EXPECT_EQ(S.Repairs, 1u); // poison repairs too
+  EXPECT_EQ(S.Poisoned, 1u);
+  for (const Interval &R : Dst) {
+    // Degraded but sound: the whole line encloses every true product.
+    EXPECT_EQ(R.lo(), -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(R.hi(), std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST_F(FenvSentinelTest, AbortPolicyAborts) {
+  std::vector<Interval> X = points({1.0});
+  std::vector<Interval> Dst(1);
+  EXPECT_DEATH(
+      {
+        setFenvPolicy(FenvPolicy::Abort);
+        RoundUpwardScope Up;
+        std::fesetround(FE_TONEAREST);
+        runtime::iarr_exp(Dst.data(), X.data(), 1);
+      },
+      "IGEN_FENV_POLICY=abort");
+}
+
+TEST_F(FenvSentinelTest, FtzClobberCaughtEvenAfterCacheInvalidation) {
+  // invalidateRoundingCache() makes the next scope re-establish the
+  // rounding mode -- but fesetround never touches FTZ/DAZ, so those
+  // clobbers are invisible to the scope machinery and only the sentinel
+  // can catch them.
+  setFenvPolicy(FenvPolicy::Repair);
+  std::vector<Interval> X = points({1.0, 2.0});
+  std::vector<Interval> Dst(2);
+
+  writeMxcsr(readMxcsr() | kMxcsrFtz);
+  invalidateRoundingCache();
+  runtime::iarr_log(Dst.data(), X.data(), 2);
+
+  FenvStats S = fenvStats();
+  EXPECT_EQ(S.Violations, 1u);
+  EXPECT_NE(S.LastBits & kMxcsrFtz, 0u);
+  EXPECT_EQ(readMxcsr() & kMxcsrFtz, 0u); // repaired
+
+  // Same for DAZ.
+  resetFenvStats();
+  writeMxcsr(readMxcsr() | kMxcsrDaz);
+  invalidateRoundingCache();
+  runtime::iarr_log(Dst.data(), X.data(), 2);
+  S = fenvStats();
+  EXPECT_EQ(S.Violations, 1u);
+  EXPECT_NE(S.LastBits & kMxcsrDaz, 0u);
+  EXPECT_EQ(readMxcsr() & kMxcsrDaz, 0u);
+}
+
+TEST_F(FenvSentinelTest, HonestInvalidateHealsRoundingSilently) {
+  // A rounding clobber *followed by* invalidateRoundingCache() (the
+  // documented contract for raw fesetround users) is healed by the next
+  // scope's real fesetround before any arithmetic runs -- no violation.
+  setFenvPolicy(FenvPolicy::Poison);
+  std::vector<Interval> X = points({1.0, 2.0});
+  std::vector<Interval> Dst(2);
+
+  std::fesetround(FE_TONEAREST);
+  invalidateRoundingCache();
+  runtime::iarr_sin(Dst.data(), X.data(), 2);
+
+  EXPECT_EQ(fenvStats().Violations, 0u);
+  for (const Interval &R : Dst)
+    EXPECT_FALSE(R.hasNaN());
+}
+
+TEST_F(FenvSentinelTest, ReductionsDegradeWholeResultUnderPoison) {
+  setFenvPolicy(FenvPolicy::Poison);
+  std::vector<Interval> X = points({1.0, 2.0, 3.0, 4.0});
+  Interval R;
+  {
+    RoundUpwardScope Up;
+    std::fesetround(FE_TONEAREST);
+    R = runtime::iarr_sum(X.data(), X.size());
+  }
+  invalidateRoundingCache();
+  EXPECT_EQ(fenvStats().Violations, 1u);
+  EXPECT_EQ(R.lo(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(R.hi(), std::numeric_limits<double>::infinity());
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- StandaloneFuzzMain.cpp - libFuzzer-free fuzz driver ----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Minimal replacement for the libFuzzer runtime so the fuzz targets
+// build and run with any toolchain (the default build links this; CI's
+// clang job links -fsanitize=fuzzer instead -- see CMakeLists.txt).
+//
+// Usage:
+//   <target> file...        replay each file once (corpus regression)
+//   <target> [-n N] [-s S]  run N random inputs (default 10000) from
+//                           seed S (default 1) through the target
+//
+// Exit is abnormal (the target traps/aborts) exactly when a real fuzz
+// run would report a crash, so CI and tests can use the exit status.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size);
+
+namespace {
+
+bool replayFile(const char *Path) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F) {
+    std::fprintf(stderr, "fuzz: cannot read '%s'\n", Path);
+    return false;
+  }
+  std::vector<uint8_t> Buf;
+  uint8_t Chunk[4096];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Buf.insert(Buf.end(), Chunk, Chunk + N);
+  std::fclose(F);
+  LLVMFuzzerTestOneInput(Buf.data(), Buf.size());
+  return true;
+}
+
+/// xorshift64*: deterministic input generator for the smoke mode.
+uint64_t next(uint64_t &S) {
+  S ^= S >> 12;
+  S ^= S << 25;
+  S ^= S >> 27;
+  return S * 0x2545F4914F6CDD1Dull;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  long Iterations = 10000;
+  uint64_t Seed = 1;
+  std::vector<const char *> Files;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-n") == 0 && I + 1 < Argc)
+      Iterations = std::atol(Argv[++I]);
+    else if (std::strcmp(Argv[I], "-s") == 0 && I + 1 < Argc)
+      Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    else
+      Files.push_back(Argv[I]);
+  }
+
+  if (!Files.empty()) {
+    int Bad = 0;
+    for (const char *Path : Files)
+      Bad += !replayFile(Path);
+    std::fprintf(stderr, "fuzz: replayed %zu file(s)\n",
+                 Files.size() - Bad);
+    return Bad ? 1 : 0;
+  }
+
+  uint64_t S = Seed ? Seed : 1;
+  std::vector<uint8_t> Buf;
+  for (long I = 0; I < Iterations; ++I) {
+    size_t Len = next(S) % 512;
+    Buf.resize(Len);
+    for (size_t J = 0; J < Len; ++J)
+      Buf[J] = static_cast<uint8_t>(next(S));
+    LLVMFuzzerTestOneInput(Buf.data(), Buf.size());
+  }
+  std::fprintf(stderr, "fuzz: %ld random input(s), no crash\n",
+               Iterations);
+  return 0;
+}

@@ -1,0 +1,5 @@
+double f(double x) {
+  double a = x + ;
+  double b = (x;
+  return a * b
+}

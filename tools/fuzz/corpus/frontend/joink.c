@@ -1,0 +1,22 @@
+/* Kernels exercising the join branch policy. */
+
+double jbranch(double a, double b) {
+  double r = 0.0;
+  if (a > b) {
+    r = a + 1.0;
+  } else {
+    r = a - 1.0;
+  }
+  return r;
+}
+
+double jclamp(double x) {
+  double r = x;
+  if (x > 1.0) {
+    r = 1.0;
+  }
+  if (x < -1.0) {
+    r = -1.0;
+  }
+  return r;
+}

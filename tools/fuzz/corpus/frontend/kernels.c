@@ -1,0 +1,68 @@
+/* Execution-test kernels for the IGen pipeline (double-double safe). */
+#include <immintrin.h>
+
+double poly(double x) {
+  return ((x + 1.0) * x - 0.5) * x + 0.1;
+}
+
+double henon(double x, double y, int n) {
+  double a = 1.05;
+  double b = 0.3;
+  for (int i = 0; i < n; i++) {
+    double xi = x;
+    x = 1 - a * xi * xi + y;
+    y = b * xi;
+  }
+  return x;
+}
+
+double dot(double *a, double *b, int n) {
+  double s = 0.0;
+  #pragma igen reduce s
+  for (int i = 0; i < n; i++)
+    s = s + a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, double *x, double *y, int n) {
+  for (int i = 0; i < n; i++)
+    y[i] = y[i] + alpha * x[i];
+}
+
+double absdiff(double a, double b) {
+  if (a < b)
+    return b - a;
+  return a - b;
+}
+
+double sensor_scale(double:0.5 a) {
+  return a * 2.0;
+}
+
+/* n must be a multiple of 4. */
+void vscale(double *x, double *y, int n) {
+  __m256d two = _mm256_set1_pd(2.0);
+  for (int i = 0; i < n; i += 4) {
+    __m256d v = _mm256_loadu_pd(x + i);
+    __m256d w = _mm256_mul_pd(v, two);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(w, v));
+  }
+}
+
+double ratio(double a, double b) {
+  return (a * a + 1.0) / (b * b + 2.0);
+}
+
+double grow_until(double x, double limit) {
+  while (x < limit) {
+    x = x * 2.0;
+  }
+  return x;
+}
+
+double chain_assign(double a) {
+  double b = 0.0;
+  double c = 0.0;
+  b = c = a * 2.0;
+  return b + c;
+}

@@ -1,0 +1,8 @@
+double acc(double *v, int n) {
+  double s = 0.0;
+  #pragma igen reduce s
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + v[i];
+  }
+  return s;
+}

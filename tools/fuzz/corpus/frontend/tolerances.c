@@ -1,0 +1,4 @@
+double model(double:0.125 x, double y) {
+  double c = 0.25t;
+  return x * y + c;
+}

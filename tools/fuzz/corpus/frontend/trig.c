@@ -1,0 +1,13 @@
+/* Double-precision-only kernels (elementary functions). */
+
+double pyth(double x) {
+  return sin(x) * sin(x) + cos(x) * cos(x);
+}
+
+double softplusish(double x) {
+  return log(exp(x) + 1.0);
+}
+
+double hypot2(double a, double b) {
+  return sqrt(a * a + b * b);
+}

@@ -1,0 +1,67 @@
+//===- fuzz_frontend.cpp - Frontend/pipeline differential fuzzer ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fuzz target: the whole compilation pipeline must never crash, hang or
+// report success-without-output on arbitrary bytes -- parse errors are
+// fine, undefined behavior is not. Option combinations (precision,
+// target, optimizer, branch policy, profiling, hardening) are derived
+// from a hash of the input so the corpus explores them without wasting
+// leading bytes.
+//
+// Builds two ways (tools/fuzz/CMakeLists.txt):
+//   * -DIGEN_LIBFUZZER=ON (clang): a real libFuzzer target; CI runs it
+//     with ASan for 60 seconds per push.
+//   * default (any compiler): linked against StandaloneFuzzMain.cpp,
+//     which replays corpus files and runs a deterministic random smoke
+//     loop -- so the harness itself is exercised by the regular build
+//     even where libFuzzer does not exist.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+using namespace igen;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  // Bound pathological inputs: the parser's error cap and nesting guard
+  // make big inputs safe but slow; fuzzing wants throughput.
+  if (Size > 1 << 16)
+    return 0;
+  std::string Src(reinterpret_cast<const char *>(Data), Size);
+
+  // FNV-1a over the input selects the option combination.
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 0; I < Size; ++I)
+    H = (H ^ Data[I]) * 1099511628211ull;
+
+  TransformOptions Opts;
+  Opts.Prec = (H & 1) ? TransformOptions::Precision::DoubleDouble
+                      : TransformOptions::Precision::Double;
+  Opts.ScalarLibrary = (H >> 1) & 1;
+  Opts.OptLevel = (H >> 2) & 1;
+  Opts.EnableReductions = (H >> 3) & 1;
+  Opts.Branches = ((H >> 4) & 1) ? TransformOptions::BranchPolicy::Join
+                                 : TransformOptions::BranchPolicy::Exception;
+  Opts.Harden = (H >> 5) & 1;
+
+  DiagnosticsEngine Diags;
+  PipelineStage Failed = PipelineStage::None;
+  auto Out = compileToIntervals(Src, Opts, Diags, nullptr, &Failed);
+
+  // Contract: failure implies diagnostics and a failing stage; success
+  // implies neither nullopt output nor a "failed" stage marker.
+  if (!Out && !Diags.hasErrors())
+    __builtin_trap();
+  if (!Out && Failed == PipelineStage::None)
+    __builtin_trap();
+  if (Out && Failed != PipelineStage::None)
+    __builtin_trap();
+  return 0;
+}

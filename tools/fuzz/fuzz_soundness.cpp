@@ -1,0 +1,272 @@
+//===- fuzz_soundness.cpp - End-to-end interval soundness fuzzer ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential fuzz target for the soundness property itself: the input
+// bytes encode a random straight-line expression program over the f64i
+// runtime API (the exact ia_*_f64 calls `igen --target=ss` emits), which
+// is evaluated twice --
+//
+//   * with the interval runtime under upward rounding, and
+//   * with a __float128 oracle (113-bit mantissa) carrying a rigorous
+//     absolute-error bound A alongside each value, so chained rounding
+//     and libm approximation error in the oracle itself can never
+//     produce a false alarm;
+//
+// any oracle value provably outside the computed interval (by more than
+// its own error bound) is a containment violation: the one bug class
+// this project exists to rule out. Violations print the failing program
+// and trap -- crash-severity under libFuzzer.
+//
+// Program encoding (one byte per field, stream consumed left to right):
+//   [0..31]   four little-endian doubles seeding registers r0..r3
+//   then repeating: opcode byte, then 1-2 register bytes (mod 8); binary
+//   ops write to a destination register chosen by the opcode byte's high
+//   bits. The register file has 8 slots; programs run at most 48 ops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Rounding.h"
+#include "interval/igen_lib.h"
+
+#include <cfenv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace {
+
+/// Oracle value: a quad-precision estimate Q of the exact real result
+/// plus an absolute bound A on |Q - exact|. Ops propagate A with first-
+/// order error analysis plus one quad ulp of slack; when the analysis
+/// cannot bound the error (division by an interval straddling zero, log
+/// near zero, non-finite values) A becomes +inf and checks are skipped.
+struct Oracle {
+  __float128 Q = 0;
+  __float128 A = 0;
+};
+
+__float128 qabs(__float128 X) { return X < 0 ? -X : X; }
+
+const __float128 kQuadInf = __builtin_huge_valq();
+
+/// 2^-16000: an absolute slack floor far below every quad denormal that
+/// matters. Built by repeated squaring because the 'q' literal suffix is
+/// a GNU extension unavailable under -std=c++20.
+inline __float128 quadTiny() {
+  static const __float128 T = [] {
+    __float128 V = 1;
+    for (int I = 0; I < 16; ++I)
+      V *= static_cast<__float128>(std::ldexp(1.0, -1000));
+    return V;
+  }();
+  return T;
+}
+
+/// One ulp-ish of quad slack at Q's magnitude: 2^-100 relative
+/// (comfortably above quad rounding, far below double widths) plus the
+/// absolute floor.
+__float128 qulp(__float128 Q) {
+  const __float128 RelEps =
+      static_cast<__float128>(std::ldexp(1.0, -100));
+  return qabs(Q) * RelEps + quadTiny();
+}
+
+bool qfinite(__float128 X) { return X == X && qabs(X) < kQuadInf; }
+
+Oracle oAdd(Oracle X, Oracle Y) {
+  Oracle R{X.Q + Y.Q, X.A + Y.A};
+  R.A += qulp(R.Q);
+  return R;
+}
+Oracle oSub(Oracle X, Oracle Y) {
+  Oracle R{X.Q - Y.Q, X.A + Y.A};
+  R.A += qulp(R.Q);
+  return R;
+}
+Oracle oMul(Oracle X, Oracle Y) {
+  Oracle R{X.Q * Y.Q,
+           X.A * qabs(Y.Q) + Y.A * qabs(X.Q) + X.A * Y.A};
+  R.A += qulp(R.Q);
+  return R;
+}
+Oracle oFma(Oracle X, Oracle Y, Oracle Z) { return oAdd(oMul(X, Y), Z); }
+Oracle oNeg(Oracle X) { return {-X.Q, X.A}; }
+Oracle oAbsv(Oracle X) { return {qabs(X.Q), X.A}; }
+
+/// Unary libm-backed oracle: evaluates \p F in long double (64-bit
+/// mantissa, |error| <= a few ulps) and propagates input error through a
+/// Lipschitz bound \p Deriv valid near X.Q. LibmSlack covers the libm
+/// approximation error relative to the result magnitude.
+Oracle oLibm(Oracle X, long double (*F)(long double), __float128 Deriv,
+             __float128 LibmSlack) {
+  Oracle R;
+  R.Q = F(static_cast<long double>(X.Q));
+  R.A = X.A * Deriv + qabs(R.Q) * LibmSlack + quadTiny();
+  return R;
+}
+
+// >> long-double libm error, << double interval widths.
+const __float128 kLibmSlack = static_cast<__float128>(1e-17);
+
+/// The interpreter: runs the byte program on both representations and
+/// checks containment after every op. Returns true on violation.
+bool runProgram(const uint8_t *Data, size_t Size) {
+  constexpr int NumRegs = 8;
+  constexpr int MaxOps = 48;
+  if (Size < 32)
+    return false;
+
+  // Generated interval code runs inside a sound region established by
+  // its caller; the fuzzer honors the same contract.
+  igen::RoundUpwardScope Up;
+
+  f64i IReg[NumRegs];
+  Oracle OReg[NumRegs];
+  {
+    for (int R = 0; R < 4; ++R) {
+      double V;
+      std::memcpy(&V, Data + 8 * R, 8);
+      if (!std::isfinite(V))
+        V = 1.0; // non-finite seeds make the oracle vacuous
+      IReg[R] = ia_cst_f64(V);
+      IReg[R + 4] = ia_cst_f64(-V);
+      OReg[R] = {static_cast<__float128>(V), 0};
+      OReg[R + 4] = {-static_cast<__float128>(V), 0};
+    }
+  }
+
+  size_t P = 32;
+  int Ops = 0;
+  auto NextByte = [&]() -> int { return P < Size ? Data[P++] : -1; };
+
+  while (Ops++ < MaxOps) {
+    int OpByte = NextByte();
+    if (OpByte < 0)
+      break;
+    int Op = OpByte % 12;
+    int D = (OpByte / 12) % NumRegs;
+    int AByte = NextByte();
+    if (AByte < 0)
+      break;
+    int A = AByte % NumRegs;
+    int B = 0;
+    bool Binary = Op <= 3 || Op == 11;
+    if (Binary) {
+      int BByte = NextByte();
+      if (BByte < 0)
+        break;
+      B = BByte % NumRegs;
+    }
+
+    f64i RI;
+    Oracle RO;
+    switch (Op) {
+    case 0:
+      RI = ia_add_f64(IReg[A], IReg[B]);
+      RO = oAdd(OReg[A], OReg[B]);
+      break;
+    case 1:
+      RI = ia_sub_f64(IReg[A], IReg[B]);
+      RO = oSub(OReg[A], OReg[B]);
+      break;
+    case 2:
+      RI = ia_mul_f64(IReg[A], IReg[B]);
+      RO = oMul(OReg[A], OReg[B]);
+      break;
+    case 3:
+      RI = ia_fma_f64(IReg[A], IReg[B], IReg[D]);
+      RO = oFma(OReg[A], OReg[B], OReg[D]);
+      break;
+    case 4:
+      RI = ia_neg_f64(IReg[A]);
+      RO = oNeg(OReg[A]);
+      break;
+    case 5:
+      RI = ia_abs_f64(IReg[A]);
+      RO = oAbsv(OReg[A]);
+      break;
+    case 6:
+      RI = ia_exp_fast_f64(IReg[A]);
+      // d/dx exp = exp; bound with the result magnitude (+ slack).
+      RO = oLibm(OReg[A], expl, qabs(expl((long double)OReg[A].Q)) + 1,
+                 kLibmSlack);
+      break;
+    case 7: {
+      RI = ia_log_fast_f64(IReg[A]);
+      __float128 X = OReg[A].Q;
+      if (X - OReg[A].A <= 0) {
+        RO = {0, kQuadInf}; // domain edge: oracle gives up
+      } else {
+        RO = oLibm(OReg[A], logl, 1 / (X - OReg[A].A), kLibmSlack);
+      }
+      break;
+    }
+    case 8:
+      RI = ia_sin_fast_f64(IReg[A]);
+      // |sin'| <= 1; argument reduction in long double loses relative
+      // accuracy for huge args, covered by an |x|-scaled slack term.
+      RO = oLibm(OReg[A], sinl, 1, kLibmSlack);
+      RO.A += qabs(OReg[A].Q) * kLibmSlack;
+      break;
+    case 9:
+      RI = ia_cos_fast_f64(IReg[A]);
+      RO = oLibm(OReg[A], cosl, 1, kLibmSlack);
+      RO.A += qabs(OReg[A].Q) * kLibmSlack;
+      break;
+    case 10: {
+      RI = ia_sqrt_f64(IReg[A]);
+      __float128 X = OReg[A].Q;
+      if (X - OReg[A].A <= 0) {
+        RO = {0, kQuadInf};
+      } else {
+        long double S = sqrtl(static_cast<long double>(X));
+        RO.Q = S;
+        RO.A = OReg[A].A / (2 * static_cast<__float128>(S)) +
+               qabs(RO.Q) * kLibmSlack + quadTiny();
+      }
+      break;
+    }
+    default: // 11
+      RI = ia_join_f64(IReg[A], IReg[B]);
+      // join(X, Y) contains everything X contains: keep A's oracle.
+      RO = OReg[A];
+      break;
+    }
+
+    IReg[D] = RI;
+    OReg[D] = RO;
+
+    // Containment check, skipped when the oracle cannot vouch.
+    double Lo = ia_inf_f64(RI);
+    double Hi = ia_sup_f64(RI);
+    if (std::isnan(Lo) || std::isnan(Hi))
+      continue; // NaN interval: contains everything by convention
+    if (!qfinite(RO.Q) || !qfinite(RO.A))
+      continue; // oracle overflowed or gave up
+    __float128 QLo = static_cast<__float128>(Lo);
+    __float128 QHi = static_cast<__float128>(Hi);
+    if (QLo - (RO.Q + RO.A) > 0 || (RO.Q - RO.A) - QHi > 0) {
+      std::fprintf(stderr,
+                   "SOUNDNESS VIOLATION: op %d produced [%a, %a] "
+                   "excluding oracle %.36Lg (+/- %.6Lg)\n",
+                   Op, Lo, Hi, static_cast<long double>(RO.Q),
+                   static_cast<long double>(RO.A));
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > 4096)
+    return 0;
+  if (runProgram(Data, Size))
+    __builtin_trap(); // containment violation: crash-severity
+  return 0;
+}
