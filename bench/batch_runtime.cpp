@@ -7,17 +7,26 @@
 // Measures the batched interval array runtime (src/runtime/) against
 // hand-written scalar-Interval loops:
 //
-//   scalar-loop        per-element iAdd/iMul/... over Interval; the dot
-//                      baseline accumulates with SumAccumulatorF64
-//   scalar/sse2/avx/avx2
-//                      the dispatched iarr_* kernels pinned to one ISA
-//                      tier via forceIsa()
+//   scalar-loop        per-element iAdd/iMul/iDiv/iSqrt/... over
+//                      Interval; the dot baseline accumulates with
+//                      SumAccumulatorF64; the dd-* baselines loop the
+//                      scalar ddi operations
+//   scalar/sse2/avx/avx2/avx512
+//                      the dispatched iarr_*/ddarr_* kernels pinned to
+//                      one ISA tier via forceIsa() (the per-size loop is
+//                      the ISA sweep: every tier the CPU supports gets
+//                      its own rows)
 //   par-t1/t2/t4       iarr_sum_par / iarr_dot_par at a fixed thread
 //                      count (bit-identical to each other by design)
 //
+// The div rows divide by strictly positive divisors: a benign pack of
+// one divisor class keeps every tier on its sign-specialized fast path,
+// which is the case the transformer emits after value-range analysis.
+//
 // Rows are "kernel,config,size,iops_per_cycle" on stdout; --json <path>
 // additionally writes machine-readable rows (BENCH_batch.json in CI).
-// Interval op counts: add/sub/scale = N, mul/fma = N, sum = N, dot = 2N.
+// Interval op counts: add/sub/scale = N, mul/fma/div/sqrt = N, sum = N,
+// dot = 2N; dd rows count ddi operations the same way.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +35,7 @@
 #include "interval/Accumulator.h"
 #include "interval/Rounding.h"
 #include "runtime/BatchKernels.h"
+#include "runtime/DdBatch.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -117,6 +127,19 @@ void runScalarLoops(Inputs &In, int N) {
       Acc.accumulate(iMul(X[K], Y[K]));
     Sink = Acc.reduce().Hi;
   });
+  // The generic iDiv is the status quo a compiler without sign analysis
+  // emits; C is strictly positive, so this measures its full candidate
+  // set against the kernels' classified path.
+  benchRow("batch-div", "scalar-loop", N, N, [&] {
+    RoundUpwardScope Up;
+    for (int K = 0; K < N; ++K)
+      Dst[K] = iDiv(X[K], C[K]);
+  });
+  benchRow("batch-sqrt", "scalar-loop", N, N, [&] {
+    RoundUpwardScope Up;
+    for (int K = 0; K < N; ++K)
+      Dst[K] = iSqrt(C[K]);
+  });
 }
 
 /// The dispatched kernels, pinned to one ISA tier.
@@ -135,7 +158,56 @@ void runDispatched(Inputs &In, int N, Isa Tier) {
            [&] { Sink = iarr_sum(X, N).Hi; });
   benchRow("batch-dot", Config, N, 2.0 * N,
            [&] { Sink = iarr_dot(X, Y, N).Hi; });
+  benchRow("batch-div", Config, N, N,
+           [&] { iarr_div(Dst, X, C, N); });
+  benchRow("batch-sqrt", Config, N, N,
+           [&] { iarr_sqrt(Dst, C, N); });
   clearForcedIsa();
+}
+
+/// The batched ddi tier against per-element scalar ddi loops. Only the
+/// tiers that map to distinct dd kernel tables get their own rows.
+void runDdRows(Inputs &In, int N) {
+  std::vector<DdInterval> X(N), Y(N), C(N), Dst(N);
+  {
+    RoundUpwardScope Up;
+    for (int K = 0; K < N; ++K) {
+      // Products of the f64i inputs populate the full dd precision.
+      X[K] = ddiMul(DdInterval::fromInterval(In.X.P[K]),
+                    DdInterval::fromInterval(In.C.P[K]));
+      Y[K] = ddiMul(DdInterval::fromInterval(In.Y.P[K]),
+                    DdInterval::fromInterval(In.C.P[K]));
+      C[K] = DdInterval::fromInterval(In.C.P[K]);
+    }
+  }
+  DdInterval *D = Dst.data();
+  const DdInterval *XP = X.data(), *YP = Y.data(), *CP = C.data();
+
+  benchRow("dd-add", "scalar-loop", N, N, [&] {
+    RoundUpwardScope Up;
+    for (int K = 0; K < N; ++K)
+      D[K] = ddiAdd(XP[K], YP[K]);
+  });
+  benchRow("dd-mul", "scalar-loop", N, N, [&] {
+    RoundUpwardScope Up;
+    for (int K = 0; K < N; ++K)
+      D[K] = ddiMul(XP[K], YP[K]);
+  });
+  for (Isa Tier : {Isa::Scalar, Isa::Avx2Fma}) {
+    if (!isaSupported(Tier))
+      continue;
+    forceIsa(Tier);
+    const char *Config = isaName(Tier);
+    benchRow("dd-add", Config, N, N, [&] { ddarr_add(D, XP, YP, N); });
+    benchRow("dd-mul", Config, N, N, [&] { ddarr_mul(D, XP, YP, N); });
+    benchRow("dd-fma", Config, N, N,
+             [&] { ddarr_fma(D, XP, YP, CP, N); });
+    clearForcedIsa();
+  }
+  benchRow("dd-sum", "fixed", N, N,
+           [&] { Sink = ddarr_sum(XP, N).Hi.H; });
+  benchRow("dd-dot", "fixed", N, 2.0 * N,
+           [&] { Sink = ddarr_dot(XP, YP, N).Hi.H; });
 }
 
 /// Sentinel overhead: the same kernels with the iarr_* entry checks
@@ -196,6 +268,7 @@ int main(int Argc, char **Argv) {
         runDispatched(In, N, static_cast<Isa>(T));
     if (N == 1 << 16)
       runSentinelOverhead(In, N);
+    runDdRows(In, N);
     runParallel(In, N);
   }
 

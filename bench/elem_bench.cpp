@@ -35,7 +35,7 @@ using namespace igen::runtime;
 
 namespace {
 
-struct ElemFn {
+struct ElemRow {
   const char *Name;
   Interval (*Libm)(const Interval &);
   Interval (*Poly)(const Interval &);
@@ -43,7 +43,7 @@ struct ElemFn {
   double Lo, Hi; // input range (inside the fast domain)
 };
 
-const ElemFn Fns[] = {
+const ElemRow Fns[] = {
     {"exp", iExp, iExpFast, iarr_exp, -80.0, 80.0},
     {"log", iLog, iLogFast, iarr_log, 1e-3, 1e3},
     {"sin", iSin, iSinFast, iarr_sin, -1000.0, 1000.0},
@@ -87,7 +87,7 @@ int main(int Argc, char **Argv) {
   const int N = 1 << 16;
   std::vector<Interval> X(N), D(N);
 
-  for (const ElemFn &F : Fns) {
+  for (const ElemRow &F : Fns) {
     Rng G(benchSeed("elem", F.Name, N));
     fillUlpIntervals(X.data(), N, G, F.Lo, F.Hi);
     std::string Base = F.Name;

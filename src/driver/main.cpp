@@ -43,6 +43,9 @@ void printUsage() {
       "                        registers; 'ss': scalar intervals\n"
       "  --reductions          enable the reduction accuracy\n"
       "                        transformation (Section VI-B)\n"
+      "  --batch-loops         route recognized elementwise array loops\n"
+      "                        (d[i] = a[i] OP b[i], d[i] = sqrt(a[i]))\n"
+      "                        onto the batched ia_arr_* runtime\n"
       "  --branch=<policy>     'exception' (default): unknown branch\n"
       "                        conditions signal; 'join': compute both\n"
       "                        branches and join when safe\n"
@@ -145,6 +148,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--reductions") {
       Opts.EnableReductions = true;
+      continue;
+    }
+    if (Arg == "--batch-loops") {
+      Opts.EnableBatchLoops = true;
       continue;
     }
     if (Arg == "--dump-ast") {

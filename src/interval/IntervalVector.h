@@ -161,6 +161,46 @@ inline IntervalX2 iDiv(const IntervalX2 &X, const IntervalX2 &Y) {
       _mm256_max_pd(_mm256_max_pd(V1, V2), _mm256_max_pd(V3, V4)));
 }
 
+/// Sign-specialized division by a packed divisor whose elements are all
+/// strictly positive (lo(Y) > 0 in both elements). Two packed divisions
+/// replace the eight-candidate case analysis. The NaN screen sums the
+/// candidates *across* the endpoint lanes so that each element sees the
+/// exact scalar `iDivP` check value ((N1+N2)+(H1+H2)); the fast path and
+/// the per-element scalar fallback therefore agree bit for bit.
+inline IntervalX2 iDivP(const IntervalX2 &X, const IntervalX2 &Y) {
+  assertRoundUpward();
+  __m256d Yl = _mm256_xor_pd(detail::broadcastLo256(Y.V),
+                             _mm256_set1_pd(-0.0));
+  __m256d V1 = _mm256_div_pd(X.V, Yl);                      // (N1, H1)
+  __m256d V2 = _mm256_div_pd(X.V, detail::broadcastHi256(Y.V)); // (N2, H2)
+  __m256d C = _mm256_add_pd(V1, V2);
+  __m256d Check = _mm256_add_pd(C, detail::swapLanes256(C));
+  if (__builtin_expect(detail::anyNaN256(Check), 0))
+    return IntervalX2::fromIntervals(
+        iDivP(X.interval(0), Y.interval(0)),
+        iDivP(X.interval(1), Y.interval(1)));
+  return IntervalX2(_mm256_max_pd(V1, V2));
+}
+
+/// Sign-specialized division by a packed divisor whose elements are all
+/// strictly negative (hi(Y) < 0 in both elements). Same cross-lane check
+/// discipline as iDivP.
+inline IntervalX2 iDivN(const IntervalX2 &X, const IntervalX2 &Y) {
+  assertRoundUpward();
+  __m256d A = detail::swapLanes256(X.V); // (Xh, Xn) per element
+  __m256d Yh = _mm256_xor_pd(detail::broadcastHi256(Y.V),
+                             _mm256_set1_pd(-0.0));
+  __m256d V1 = _mm256_div_pd(A, Yh);                       // (N1, H1)
+  __m256d V2 = _mm256_div_pd(A, detail::broadcastLo256(Y.V)); // (N2, H2)
+  __m256d C = _mm256_add_pd(V1, V2);
+  __m256d Check = _mm256_add_pd(C, detail::swapLanes256(C));
+  if (__builtin_expect(detail::anyNaN256(Check), 0))
+    return IntervalX2::fromIntervals(
+        iDivN(X.interval(0), Y.interval(0)),
+        iDivN(X.interval(1), Y.interval(1)));
+  return IntervalX2(_mm256_max_pd(V1, V2));
+}
+
 /// Fused X*Y + C, lane-local lift of the SSE iFma: the four candidate
 /// products each gain the addend lanes through one packed fma (single
 /// outward rounding per candidate). Requires hardware FMA; otherwise the

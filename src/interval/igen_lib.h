@@ -16,6 +16,11 @@
 ///                        configuration). Default: SIMD-backed types
 ///                        (f64i in one SSE register, ddi in one AVX
 ///                        register; IGen-sv / IGen-vv / *-dd).
+///   IGEN_BATCH_RUNTIME -- back the ia_arr_* batched array operations
+///                        with the runtime-dispatched SIMD kernels from
+///                        runtime/BatchKernels.h (requires linking
+///                        igen_runtime). Default: portable per-element
+///                        loops with identical enclosures.
 ///
 /// The caller must run generated functions inside igen::RoundUpwardScope.
 ///
@@ -34,6 +39,10 @@
 #include "interval/IntervalVector.h"
 #include "interval/PolyKernels.h"
 #include "interval/TBool.h"
+
+#if defined(IGEN_BATCH_RUNTIME)
+#include "runtime/BatchKernels.h"
+#endif
 
 //===----------------------------------------------------------------------===//
 // Types
@@ -247,6 +256,67 @@ inline tbool ia_cmpgt_f64(f64i A, f64i B) { return igen::iCmpGT(A, B); }
 inline tbool ia_cmpge_f64(f64i A, f64i B) { return igen::iCmpGE(A, B); }
 inline tbool ia_cmpeq_f64(f64i A, f64i B) { return igen::iCmpEQ(A, B); }
 inline tbool ia_cmpne_f64(f64i A, f64i B) { return igen::iCmpNE(A, B); }
+
+//===----------------------------------------------------------------------===//
+// Batched array operations (driver --batch-loops)
+//===----------------------------------------------------------------------===//
+//
+// Elementwise whole-array forms of the core operations, emitted by the
+// transform for recognized `d[i] = a[i] OP b[i]` loops. With
+// IGEN_BATCH_RUNTIME defined they dispatch to the runtime's SIMD-tiered
+// kernels (one rounding-mode switch per call instead of per element);
+// otherwise they are portable per-element loops. Both modes compute
+// identical enclosures. Division bit patterns may differ between the two
+// modes on inputs where the sign-specialized routing and the generic
+// quotient enumeration resolve signed-zero candidate ties differently;
+// within either mode results are deterministic.
+
+#if defined(IGEN_BATCH_RUNTIME)
+inline void ia_arr_add_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  igen::runtime::iarr_add(D, A, B, N);
+}
+inline void ia_arr_sub_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  igen::runtime::iarr_sub(D, A, B, N);
+}
+inline void ia_arr_mul_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  igen::runtime::iarr_mul(D, A, B, N);
+}
+inline void ia_arr_div_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  igen::runtime::iarr_div(D, A, B, N);
+}
+inline void ia_arr_sqrt_f64(f64i *D, const f64i *A, unsigned long N) {
+  igen::runtime::iarr_sqrt(D, A, N);
+}
+#else
+inline void ia_arr_add_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  for (unsigned long I = 0; I < N; ++I)
+    D[I] = ia_add_f64(A[I], B[I]);
+}
+inline void ia_arr_sub_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  for (unsigned long I = 0; I < N; ++I)
+    D[I] = ia_sub_f64(A[I], B[I]);
+}
+inline void ia_arr_mul_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  for (unsigned long I = 0; I < N; ++I)
+    D[I] = ia_mul_f64(A[I], B[I]);
+}
+inline void ia_arr_div_f64(f64i *D, const f64i *A, const f64i *B,
+                           unsigned long N) {
+  for (unsigned long I = 0; I < N; ++I)
+    D[I] = ia_div_f64(A[I], B[I]);
+}
+inline void ia_arr_sqrt_f64(f64i *D, const f64i *A, unsigned long N) {
+  for (unsigned long I = 0; I < N; ++I)
+    D[I] = ia_sqrt_f64(A[I]);
+}
+#endif
 
 //===----------------------------------------------------------------------===//
 // tbool operations

@@ -4,149 +4,25 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// AVX2 tier of the batched exp/log kernels: two intervals per __m256d
-// (lanes 0/2 the lower endpoints, 1/3 the upper). Same 1:1 transcription
-// of the PolyKernels.h cores as the SSE2 tier — plain mul/add/sub/div
-// intrinsics only, NO FMA even though the TU is compiled with -mfma,
-// because fusing would change the bits relative to the other tiers and
-// break the cross-tier determinism contract. The 256-bit width and the
-// AVX2 integer ops (64-bit add/sub/shift across the full register) are
-// where this tier wins, not the instruction mix.
-//
-// A batch whose four endpoint lanes don't all pass the fast-domain
-// screen takes the per-element scalar fallback for both its intervals
-// (the scalar fast path is bit-identical, so mixing is invisible).
-// Compiled with -march=x86-64 -mavx2 -mfma.
+// AVX2 tier of the batched exp/log kernels: the width-generic cores of
+// runtime/ElemCores.h instantiated over the 256-bit backend (two
+// intervals per __m256d). FMA is deliberately NOT used inside the cores
+// (it would change the bits versus the other tiers); the -mfma flag only
+// matches the TU's dispatch tier. Compiled with -mavx2 -mfma.
 //
 //===----------------------------------------------------------------------===//
 
-#include "interval/PolyKernels.h"
 #include "runtime/BatchElem.h"
-
-#include <bit>
-#include <cstdint>
-#include <immintrin.h>
-#include <limits>
+#include "runtime/ElemCores.h"
 
 namespace igen::runtime::elem {
 
-namespace {
-
-/// Sign bits of the negated-lower lanes (0 and 2).
-inline __m256d signLanes02() {
-  const int64_t S = std::numeric_limits<int64_t>::min();
-  return _mm256_castsi256_pd(_mm256_set_epi64x(0, S, 0, S));
-}
-
-inline __m256d absMask4() {
-  return _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
-}
-
-/// Four lanes of expCore, operation for operation.
-inline __m256d expCore4(__m256d X) {
-  const __m256d Shift = _mm256_set1_pd(poly::Shifter);
-  __m256d P = _mm256_mul_pd(X, _mm256_set1_pd(poly::InvLn2));
-  __m256d U = _mm256_add_pd(_mm256_sub_pd(P, _mm256_set1_pd(0.5)), Shift);
-  __m256d Kd = _mm256_sub_pd(U, Shift);
-  __m256i K = _mm256_sub_epi64(
-      _mm256_castpd_si256(U),
-      _mm256_set1_epi64x(std::bit_cast<int64_t>(poly::Shifter)));
-  __m256d R0 =
-      _mm256_sub_pd(X, _mm256_mul_pd(Kd, _mm256_set1_pd(poly::Ln2Hi)));
-  __m256d R =
-      _mm256_sub_pd(R0, _mm256_mul_pd(Kd, _mm256_set1_pd(poly::Ln2Lo)));
-  __m256d Q = _mm256_set1_pd(poly::ExpC[11]);
-  for (int I = 10; I >= 0; --I)
-    Q = _mm256_add_pd(_mm256_set1_pd(poly::ExpC[I]), _mm256_mul_pd(R, Q));
-  __m256d Z = _mm256_mul_pd(R, R);
-  __m256d Y = _mm256_add_pd(_mm256_set1_pd(1.0),
-                            _mm256_add_pd(R, _mm256_mul_pd(Z, Q)));
-  __m256i ScaleBits =
-      _mm256_slli_epi64(_mm256_add_epi64(K, _mm256_set1_epi64x(1023)), 52);
-  return _mm256_mul_pd(Y, _mm256_castsi256_pd(ScaleBits));
-}
-
-/// Four lanes of logCore (select instead of branch; same bits).
-inline __m256d logCore4(__m256d X) {
-  __m256i Bits = _mm256_castpd_si256(X);
-  __m256i E2 = _mm256_sub_epi64(_mm256_srli_epi64(Bits, 52),
-                                _mm256_set1_epi64x(1023));
-  __m256d M = _mm256_castsi256_pd(_mm256_or_si256(
-      _mm256_and_si256(Bits, _mm256_set1_epi64x(0xFFFFFFFFFFFFFll)),
-      _mm256_set1_epi64x(0x3FF0000000000000ll)));
-  __m256d Gt = _mm256_cmp_pd(M, _mm256_set1_pd(poly::Sqrt2), _CMP_GT_OQ);
-  __m256d MHalf = _mm256_mul_pd(M, _mm256_set1_pd(0.5)); // exact
-  M = _mm256_blendv_pd(M, MHalf, Gt);
-  E2 = _mm256_sub_epi64(E2, _mm256_castpd_si256(Gt)); // true lane is -1
-  __m256i EdBits = _mm256_add_epi64(
-      E2, _mm256_set1_epi64x(std::bit_cast<int64_t>(poly::Shifter)));
-  __m256d Ed = _mm256_sub_pd(_mm256_castsi256_pd(EdBits),
-                             _mm256_set1_pd(poly::Shifter));
-  __m256d A = _mm256_sub_pd(M, _mm256_set1_pd(1.0));
-  __m256d B = _mm256_add_pd(M, _mm256_set1_pd(1.0));
-  __m256d S = _mm256_div_pd(A, B);
-  __m256d Z = _mm256_mul_pd(S, S);
-  __m256d Q = _mm256_set1_pd(poly::LogC[10]);
-  for (int I = 9; I >= 0; --I)
-    Q = _mm256_add_pd(_mm256_set1_pd(poly::LogC[I]), _mm256_mul_pd(Z, Q));
-  __m256d T = _mm256_mul_pd(_mm256_mul_pd(S, Z), Q);
-  __m256d S2 = _mm256_add_pd(S, S);
-  __m256d VHi = _mm256_mul_pd(Ed, _mm256_set1_pd(poly::Ln2Hi));
-  __m256d VLo = _mm256_mul_pd(Ed, _mm256_set1_pd(poly::Ln2Lo));
-  return _mm256_add_pd(_mm256_add_pd(VHi, S2), _mm256_add_pd(T, VLo));
-}
-
-} // namespace
-
 void expAvx2(Interval *Dst, const Interval *X, size_t N) {
-  const __m256d SignLo = signLanes02();
-  const __m256d Abs = absMask4();
-  const __m256d Limit = _mm256_set1_pd(poly::ExpFastLimit);
-  const __m256d Eps = _mm256_set1_pd(poly::ExpEpsRel);
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2) {
-    __m256d V = _mm256_loadu_pd(&X[I].NegLo);
-    __m256d E = _mm256_xor_pd(V, SignLo); // (lo0, hi0, lo1, hi1)
-    __m256d InDom =
-        _mm256_cmp_pd(_mm256_and_pd(E, Abs), Limit, _CMP_LE_OQ);
-    if (_mm256_movemask_pd(InDom) != 0xF) {
-      Dst[I] = iExpFast(X[I]);
-      Dst[I + 1] = iExpFast(X[I + 1]);
-      continue;
-    }
-    __m256d Y = expCore4(E);
-    __m256d Mg = _mm256_mul_pd(Y, Eps);
-    __m256d R = _mm256_add_pd(_mm256_xor_pd(Y, SignLo), Mg);
-    _mm256_storeu_pd(&Dst[I].NegLo, R);
-  }
-  for (; I < N; ++I)
-    Dst[I] = iExpFast(X[I]);
+  expKernel<Avx2VecOps>(Dst, X, N);
 }
 
 void logAvx2(Interval *Dst, const Interval *X, size_t N) {
-  const __m256d SignLo = signLanes02();
-  const __m256d Abs = absMask4();
-  const __m256d MinN = _mm256_set1_pd(std::numeric_limits<double>::min());
-  const __m256d MaxF = _mm256_set1_pd(std::numeric_limits<double>::max());
-  const __m256d Eps = _mm256_set1_pd(poly::LogEpsRel);
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2) {
-    __m256d V = _mm256_loadu_pd(&X[I].NegLo);
-    __m256d E = _mm256_xor_pd(V, SignLo);
-    __m256d InDom = _mm256_and_pd(_mm256_cmp_pd(E, MinN, _CMP_GE_OQ),
-                                  _mm256_cmp_pd(E, MaxF, _CMP_LE_OQ));
-    if (_mm256_movemask_pd(InDom) != 0xF) {
-      Dst[I] = iLogFast(X[I]);
-      Dst[I + 1] = iLogFast(X[I + 1]);
-      continue;
-    }
-    __m256d Y = logCore4(E);
-    __m256d Mg = _mm256_mul_pd(_mm256_and_pd(Y, Abs), Eps);
-    __m256d R = _mm256_add_pd(_mm256_xor_pd(Y, SignLo), Mg);
-    _mm256_storeu_pd(&Dst[I].NegLo, R);
-  }
-  for (; I < N; ++I)
-    Dst[I] = iLogFast(X[I]);
+  logKernel<Avx2VecOps>(Dst, X, N);
 }
 
 } // namespace igen::runtime::elem

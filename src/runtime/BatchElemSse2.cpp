@@ -4,151 +4,24 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// SSE2 tier of the batched exp/log kernels: one interval per __m128d,
-// lane 0 carrying the lower endpoint and lane 1 the upper, both run
-// through a lane-parallel transcription of the PolyKernels.h point
-// cores. Every vector operation corresponds 1:1 to a scalar operation of
-// the core (plain mul/add/sub/div, no FMA, no reassociation), so under
-// the same ambient upward rounding the lanes are bit-identical to
-// iExpFast/iLogFast — the dispatch tiers agree to the last bit.
-//
-// The integer parts of the cores use the same tricks as the scalar code:
-// the exponent k drops out of the shifter bit pattern
-// (bits(U) - bits(Shifter)), the 2^k scale is built by integer add+shift
-// (exact on the fast domain), and the int64 -> double conversion of the
-// log exponent goes through the shifter bias (exact for |e| <= 1024).
-//
-// Intervals whose endpoints fail the vector fast-domain screen (NaN
-// fails every compare) fall back per element to the scalar kernel,
-// which re-checks and widens via libm — identical to what the scalar
-// tier would produce for that element. Compiled with -march=x86-64.
+// SSE2 tier of the batched exp/log kernels: the width-generic cores of
+// runtime/ElemCores.h instantiated over the 128-bit backend (one interval
+// per __m128d, lane 0 the negated lower endpoint, lane 1 the upper).
+// Compiled with -march=x86-64.
 //
 //===----------------------------------------------------------------------===//
 
-#include "interval/PolyKernels.h"
 #include "runtime/BatchElem.h"
-
-#include <bit>
-#include <cstdint>
-#include <emmintrin.h>
-#include <limits>
+#include "runtime/ElemCores.h"
 
 namespace igen::runtime::elem {
 
-namespace {
-
-/// Sign bit of lane 0 only: XOR turns the stored (-lo, hi) pair into the
-/// endpoint pair (lo, hi) and back.
-inline __m128d signLane0() {
-  return _mm_castsi128_pd(
-      _mm_set_epi64x(0, std::numeric_limits<int64_t>::min()));
-}
-
-inline __m128d absMask() {
-  return _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
-}
-
-/// Both lanes of expCore (PolyKernels.h), operation for operation.
-inline __m128d expCore2(__m128d X) {
-  const __m128d Shift = _mm_set1_pd(poly::Shifter);
-  __m128d P = _mm_mul_pd(X, _mm_set1_pd(poly::InvLn2));
-  __m128d U = _mm_add_pd(_mm_sub_pd(P, _mm_set1_pd(0.5)), Shift);
-  __m128d Kd = _mm_sub_pd(U, Shift);
-  __m128i K = _mm_sub_epi64(
-      _mm_castpd_si128(U),
-      _mm_set1_epi64x(std::bit_cast<int64_t>(poly::Shifter)));
-  __m128d R0 = _mm_sub_pd(X, _mm_mul_pd(Kd, _mm_set1_pd(poly::Ln2Hi)));
-  __m128d R = _mm_sub_pd(R0, _mm_mul_pd(Kd, _mm_set1_pd(poly::Ln2Lo)));
-  __m128d Q = _mm_set1_pd(poly::ExpC[11]);
-  for (int I = 10; I >= 0; --I)
-    Q = _mm_add_pd(_mm_set1_pd(poly::ExpC[I]), _mm_mul_pd(R, Q));
-  __m128d Z = _mm_mul_pd(R, R);
-  __m128d Y =
-      _mm_add_pd(_mm_set1_pd(1.0), _mm_add_pd(R, _mm_mul_pd(Z, Q)));
-  __m128i ScaleBits =
-      _mm_slli_epi64(_mm_add_epi64(K, _mm_set1_epi64x(1023)), 52);
-  return _mm_mul_pd(Y, _mm_castsi128_pd(ScaleBits));
-}
-
-/// Both lanes of logCore. The conditional sqrt(2) normalization becomes
-/// a bitwise select (the discarded halved value is exact, so selection
-/// preserves bit-identity with the scalar branch).
-inline __m128d logCore2(__m128d X) {
-  __m128i Bits = _mm_castpd_si128(X);
-  // Positive normal input: logical shift == arithmetic shift.
-  __m128i E2 =
-      _mm_sub_epi64(_mm_srli_epi64(Bits, 52), _mm_set1_epi64x(1023));
-  __m128d M = _mm_castsi128_pd(
-      _mm_or_si128(_mm_and_si128(Bits, _mm_set1_epi64x(0xFFFFFFFFFFFFFll)),
-                   _mm_set1_epi64x(0x3FF0000000000000ll)));
-  __m128d Gt = _mm_cmpgt_pd(M, _mm_set1_pd(poly::Sqrt2));
-  __m128d MHalf = _mm_mul_pd(M, _mm_set1_pd(0.5)); // exact
-  M = _mm_or_pd(_mm_and_pd(Gt, MHalf), _mm_andnot_pd(Gt, M));
-  E2 = _mm_sub_epi64(E2, _mm_castpd_si128(Gt)); // true lane is -1
-  // int64 -> double through the shifter bias; exact for |E2| <= 1024, so
-  // identical to the scalar static_cast.
-  __m128i EdBits = _mm_add_epi64(
-      E2, _mm_set1_epi64x(std::bit_cast<int64_t>(poly::Shifter)));
-  __m128d Ed =
-      _mm_sub_pd(_mm_castsi128_pd(EdBits), _mm_set1_pd(poly::Shifter));
-  __m128d A = _mm_sub_pd(M, _mm_set1_pd(1.0));
-  __m128d B = _mm_add_pd(M, _mm_set1_pd(1.0));
-  __m128d S = _mm_div_pd(A, B);
-  __m128d Z = _mm_mul_pd(S, S);
-  __m128d Q = _mm_set1_pd(poly::LogC[10]);
-  for (int I = 9; I >= 0; --I)
-    Q = _mm_add_pd(_mm_set1_pd(poly::LogC[I]), _mm_mul_pd(Z, Q));
-  __m128d T = _mm_mul_pd(_mm_mul_pd(S, Z), Q);
-  __m128d S2 = _mm_add_pd(S, S);
-  __m128d VHi = _mm_mul_pd(Ed, _mm_set1_pd(poly::Ln2Hi));
-  __m128d VLo = _mm_mul_pd(Ed, _mm_set1_pd(poly::Ln2Lo));
-  return _mm_add_pd(_mm_add_pd(VHi, S2), _mm_add_pd(T, VLo));
-}
-
-} // namespace
-
 void expSse2(Interval *Dst, const Interval *X, size_t N) {
-  const __m128d SignLo = signLane0();
-  const __m128d Abs = absMask();
-  const __m128d Limit = _mm_set1_pd(poly::ExpFastLimit);
-  const __m128d Eps = _mm_set1_pd(poly::ExpEpsRel);
-  for (size_t I = 0; I < N; ++I) {
-    __m128d V = _mm_loadu_pd(&X[I].NegLo);
-    __m128d E = _mm_xor_pd(V, SignLo); // (lo, hi)
-    __m128d InDom = _mm_cmple_pd(_mm_and_pd(E, Abs), Limit);
-    if (_mm_movemask_pd(InDom) != 3) {
-      Dst[I] = iExpFast(X[I]); // re-checks; libm-widened fallback
-      continue;
-    }
-    __m128d Y = expCore2(E);        // both lanes positive
-    __m128d Mg = _mm_mul_pd(Y, Eps); // RU margins
-    __m128d R = _mm_add_pd(_mm_xor_pd(Y, SignLo), Mg); // (-yl+el, yh+eh)
-    _mm_storeu_pd(&Dst[I].NegLo, R);
-  }
+  expKernel<Sse2VecOps>(Dst, X, N);
 }
 
 void logSse2(Interval *Dst, const Interval *X, size_t N) {
-  const __m128d SignLo = signLane0();
-  const __m128d Abs = absMask();
-  const __m128d MinN = _mm_set1_pd(std::numeric_limits<double>::min());
-  const __m128d MaxF = _mm_set1_pd(std::numeric_limits<double>::max());
-  const __m128d Eps = _mm_set1_pd(poly::LogEpsRel);
-  for (size_t I = 0; I < N; ++I) {
-    __m128d V = _mm_loadu_pd(&X[I].NegLo);
-    __m128d E = _mm_xor_pd(V, SignLo);
-    // Both endpoints positive normal finite (stricter than the scalar
-    // lo >= MinN && hi <= MaxF check, which these imply for lo <= hi).
-    __m128d InDom =
-        _mm_and_pd(_mm_cmpge_pd(E, MinN), _mm_cmple_pd(E, MaxF));
-    if (_mm_movemask_pd(InDom) != 3) {
-      Dst[I] = iLogFast(X[I]);
-      continue;
-    }
-    __m128d Y = logCore2(E);
-    __m128d Mg = _mm_mul_pd(_mm_and_pd(Y, Abs), Eps);
-    __m128d R = _mm_add_pd(_mm_xor_pd(Y, SignLo), Mg);
-    _mm_storeu_pd(&Dst[I].NegLo, R);
-  }
+  logKernel<Sse2VecOps>(Dst, X, N);
 }
 
 } // namespace igen::runtime::elem

@@ -234,6 +234,41 @@ inline void iarr_scale(Interval *Dst, const Interval *X, const Interval &S,
   kernels().Scale(Dst, X, S, N);
 }
 
+/// Dst[i] = X[i] / Y[i]. Every tier routes each element through the same
+/// sign-specialized lowering the scalar compiler output uses (iDivP for
+/// strictly positive divisors, iDivN for strictly negative ones, the
+/// generic iDiv case analysis otherwise), so results are bit-identical
+/// across ISA tiers on all inputs. Divisors containing zero are sound:
+/// the generic path yields the half-line / entire-line / NaN enclosures
+/// of iDiv per element.
+inline void iarr_div(Interval *Dst, const Interval *X, const Interval *Y,
+                     size_t N) {
+  if (N == 0)
+    return;
+  RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_div", Dst, N))
+    return;
+  std::vector<Interval> SX, SY, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  Y = detail::resolveOverlap(Dst, Y, N, SY);
+  X = detail::maybeCorrupt(X, N, SC);
+  kernels().Div(Dst, X, Y, N);
+}
+
+/// Dst[i] = sqrt(X[i]) with iSqrt semantics (bit-identical across tiers;
+/// negative and NaN inputs degrade per element exactly like iSqrt).
+inline void iarr_sqrt(Interval *Dst, const Interval *X, size_t N) {
+  if (N == 0)
+    return;
+  RoundUpwardScope Up;
+  if (detail::batchPrologue("iarr_sqrt", Dst, N))
+    return;
+  std::vector<Interval> SX, SC;
+  X = detail::resolveOverlap(Dst, X, N, SX);
+  X = detail::maybeCorrupt(X, N, SC);
+  kernels().Sqrt(Dst, X, N);
+}
+
 /// Dst[i] = certified enclosure of exp(X[i]) (iExpFast semantics: the
 /// polynomial fast path inside |x| <= 690, the libm-widened iExp
 /// outside). The SIMD tiers evaluate both endpoints in parallel lanes
@@ -346,6 +381,34 @@ inline void iarr_mul(IntervalSse *Dst, const IntervalSse *X,
                      const IntervalSse *Y, size_t N) {
   iarr_mul(asIntervals(Dst), asIntervals(X), asIntervals(Y), N);
 }
+inline void iarr_fma(IntervalSse *Dst, const IntervalSse *A,
+                     const IntervalSse *B, const IntervalSse *C, size_t N) {
+  iarr_fma(asIntervals(Dst), asIntervals(A), asIntervals(B), asIntervals(C),
+           N);
+}
+inline void iarr_scale(IntervalSse *Dst, const IntervalSse *X,
+                       const Interval &S, size_t N) {
+  iarr_scale(asIntervals(Dst), asIntervals(X), S, N);
+}
+inline void iarr_div(IntervalSse *Dst, const IntervalSse *X,
+                     const IntervalSse *Y, size_t N) {
+  iarr_div(asIntervals(Dst), asIntervals(X), asIntervals(Y), N);
+}
+inline void iarr_sqrt(IntervalSse *Dst, const IntervalSse *X, size_t N) {
+  iarr_sqrt(asIntervals(Dst), asIntervals(X), N);
+}
+inline void iarr_exp(IntervalSse *Dst, const IntervalSse *X, size_t N) {
+  iarr_exp(asIntervals(Dst), asIntervals(X), N);
+}
+inline void iarr_log(IntervalSse *Dst, const IntervalSse *X, size_t N) {
+  iarr_log(asIntervals(Dst), asIntervals(X), N);
+}
+inline void iarr_sin(IntervalSse *Dst, const IntervalSse *X, size_t N) {
+  iarr_sin(asIntervals(Dst), asIntervals(X), N);
+}
+inline void iarr_cos(IntervalSse *Dst, const IntervalSse *X, size_t N) {
+  iarr_cos(asIntervals(Dst), asIntervals(X), N);
+}
 inline Interval iarr_sum(const IntervalSse *X, size_t N) {
   return iarr_sum(asIntervals(X), N);
 }
@@ -366,6 +429,34 @@ inline void iarr_sub(IntervalX2 *Dst, const IntervalX2 *X,
 inline void iarr_mul(IntervalX2 *Dst, const IntervalX2 *X,
                      const IntervalX2 *Y, size_t N) {
   iarr_mul(asIntervals(Dst), asIntervals(X), asIntervals(Y), 2 * N);
+}
+inline void iarr_fma(IntervalX2 *Dst, const IntervalX2 *A,
+                     const IntervalX2 *B, const IntervalX2 *C, size_t N) {
+  iarr_fma(asIntervals(Dst), asIntervals(A), asIntervals(B), asIntervals(C),
+           2 * N);
+}
+inline void iarr_scale(IntervalX2 *Dst, const IntervalX2 *X,
+                       const Interval &S, size_t N) {
+  iarr_scale(asIntervals(Dst), asIntervals(X), S, 2 * N);
+}
+inline void iarr_div(IntervalX2 *Dst, const IntervalX2 *X,
+                     const IntervalX2 *Y, size_t N) {
+  iarr_div(asIntervals(Dst), asIntervals(X), asIntervals(Y), 2 * N);
+}
+inline void iarr_sqrt(IntervalX2 *Dst, const IntervalX2 *X, size_t N) {
+  iarr_sqrt(asIntervals(Dst), asIntervals(X), 2 * N);
+}
+inline void iarr_exp(IntervalX2 *Dst, const IntervalX2 *X, size_t N) {
+  iarr_exp(asIntervals(Dst), asIntervals(X), 2 * N);
+}
+inline void iarr_log(IntervalX2 *Dst, const IntervalX2 *X, size_t N) {
+  iarr_log(asIntervals(Dst), asIntervals(X), 2 * N);
+}
+inline void iarr_sin(IntervalX2 *Dst, const IntervalX2 *X, size_t N) {
+  iarr_sin(asIntervals(Dst), asIntervals(X), 2 * N);
+}
+inline void iarr_cos(IntervalX2 *Dst, const IntervalX2 *X, size_t N) {
+  iarr_cos(asIntervals(Dst), asIntervals(X), 2 * N);
 }
 inline Interval iarr_sum(const IntervalX2 *X, size_t N) {
   return iarr_sum(asIntervals(X), 2 * N);

@@ -6,77 +6,19 @@
 //
 // AVX tier: two intervals per __m256d (the IntervalX2 lane-local lifts of
 // the SSE candidate schemes). Odd-length tails fall back to the scalar
-// operations, which compute the same candidate maxima. Compiled with
-// -march=x86-64 -mavx.
+// operations, which compute the same candidate maxima. The elementary
+// cores reuse the SSE2 entry points — they gain nothing from VEX
+// encoding alone. Compiled with -march=x86-64 -mavx.
 //
 //===----------------------------------------------------------------------===//
 
-#include "interval/IntervalVector.h"
-#include "runtime/BatchElem.h"
-#include "runtime/CpuDispatch.h"
+#include "runtime/BatchKernelsImpl.h"
 
 namespace igen::runtime {
 
-namespace {
-
-inline IntervalX2 load2(const Interval *P) {
-  return IntervalX2(_mm256_loadu_pd(&P->NegLo));
-}
-
-inline void store2(Interval *P, const IntervalX2 &V) {
-  _mm256_storeu_pd(&P->NegLo, V.V);
-}
-
-void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2)
-    store2(Dst + I, iAdd(load2(X + I), load2(Y + I)));
-  for (; I < N; ++I)
-    Dst[I] = iAdd(X[I], Y[I]);
-}
-
-void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2)
-    store2(Dst + I, iSub(load2(X + I), load2(Y + I)));
-  for (; I < N; ++I)
-    Dst[I] = iSub(X[I], Y[I]);
-}
-
-void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2)
-    store2(Dst + I, iMul(load2(X + I), load2(Y + I)));
-  for (; I < N; ++I)
-    Dst[I] = iMul(X[I], Y[I]);
-}
-
-void fmaK(Interval *Dst, const Interval *A, const Interval *B,
-          const Interval *C, size_t N) {
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2)
-    store2(Dst + I,
-           iAdd(iMul(load2(A + I), load2(B + I)), load2(C + I)));
-  for (; I < N; ++I)
-    Dst[I] = iAdd(iMul(A[I], B[I]), C[I]);
-}
-
-void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
-  IntervalX2 SV = IntervalX2::broadcast(S);
-  size_t I = 0;
-  for (; I + 2 <= N; I += 2)
-    store2(Dst + I, iMul(load2(X + I), SV));
-  for (; I < N; ++I)
-    Dst[I] = iMul(X[I], S);
-}
-
-} // namespace
-
-// The AVX table reuses the SSE2 elementary kernels: the cores are
-// mul/add/div-bound and gain nothing from VEX encoding alone.
-extern const KernelTable kKernelsAvx = {
-    "avx",         addK,          subK,          mulK,           fmaK,
-    scaleK,        elem::expSse2, elem::logSse2, elem::sinScalar,
-    elem::cosScalar};
+extern const KernelTable kKernelsAvx; // external linkage
+constinit const KernelTable kKernelsAvx =
+    impl::makeTable<lanes::AvxLanes>("avx", elem::expSse2, elem::logSse2,
+                                     elem::sinScalar, elem::cosScalar);
 
 } // namespace igen::runtime

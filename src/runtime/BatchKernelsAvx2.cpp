@@ -4,294 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// AVX2+FMA tier: the IntervalX2 algorithms unrolled several registers
-// deep to cover the FP latency of the candidate products, plus a
-// genuinely fused elementwise A*B + C. The multiply screens its *inputs*
-// for inf/NaN (cheap bitwise OR over the batch) instead of summing the
-// candidate products per pair, which removes three vector adds per pair
-// from an ALU-throughput-bound loop. The fused kernel
-// exploits that the hardware FMA rounds once: with the FPU rounding
-// upward, fma(p, q, c) == RU(p*q + c) >= p*q + c, so adding the addend
-// inside each candidate product is sound *and* tighter than the composed
-// RU(RU(p*q) + c) of the other tiers. Compiled with
-// -march=x86-64 -mavx2 -mfma.
-//
-// Batches too large for L2 are store-bound: a cached store of Dst first
-// reads the line for ownership, a quarter of the total traffic for
-// kernels that stream 48 B per interval. Such batches use non-temporal
-// stores instead (gated on batch size and 32-byte alignment of Dst,
-// reached by peeling at most one leading element).
+// AVX2+FMA tier: the Lane.h AVX2 backend — IntervalX2 algorithms
+// unrolled two packs deep, a genuinely fused elementwise A*B + C, the
+// group-screened multiply (bitwise-OR special-value screen over four
+// pack pairs), and non-temporal stores for batches that outgrow L2.
+// Compiled with -march=x86-64 -mavx2 -mfma.
 //
 //===----------------------------------------------------------------------===//
 
-#include "interval/IntervalVector.h"
-#include "runtime/BatchElem.h"
-#include "runtime/CpuDispatch.h"
-
-#include <cstdint>
+#include "runtime/BatchKernelsImpl.h"
 
 namespace igen::runtime {
 
-namespace {
-
-inline IntervalX2 load2(const Interval *P) {
-  return IntervalX2(_mm256_loadu_pd(&P->NegLo));
-}
-
-inline void store2(Interval *P, const IntervalX2 &V) {
-  _mm256_storeu_pd(&P->NegLo, V.V);
-}
-
-/// Batch size from which the three streams (~1.5 MB) outgrow a typical
-/// L2 and stores switch to the non-temporal path.
-constexpr size_t kNtMinBatch = 32768;
-
-/// Decides the store flavor for a batch. When streaming pays off and Dst
-/// can be 32-byte aligned by peeling at most one element (Interval is
-/// 16 bytes), returns true and sets \p Peel; otherwise plain stores.
-inline bool useNtStores(const Interval *Dst, size_t N, size_t &Peel) {
-  Peel = 0;
-  uintptr_t A = reinterpret_cast<uintptr_t>(Dst);
-  if (N < kNtMinBatch || A % 16 != 0)
-    return false;
-  Peel = (A % 32) ? 1 : 0;
-  return true;
-}
-
-template <bool NT> inline void storeV(Interval *P, __m256d V) {
-  if constexpr (NT)
-    _mm256_stream_pd(&P->NegLo, V); // requires 32-byte alignment
-  else
-    _mm256_storeu_pd(&P->NegLo, V);
-}
-
-/// Fused interval A*B + C on two packed intervals. Candidate layout is the
-/// iMul scheme of IntervalVector.h with C.V as the FMA addend: lane 0 of
-/// every candidate is RU(-(a_i*b_j) + (-lo C)) and lane 1 is
-/// RU(a_i*b_j + hi C); the maxima over the four sign patterns bound
-/// -lo(A*B + C) and hi(A*B + C) from above. A NaN in any candidate
-/// (0 * inf, inf - inf, NaN endpoints) routes both elements through the
-/// conservative composed scalar path.
-inline IntervalX2 fmaX2(const IntervalX2 &A, const IntervalX2 &B,
-                        const IntervalX2 &C) {
-  using namespace igen::detail;
-  __m256d Xn = broadcastLo256(A.V);
-  __m256d Xh = broadcastHi256(A.V);
-  __m256d Yn = broadcastLo256(B.V);
-  __m256d Yh = broadcastHi256(B.V);
-  __m256d YnNegLo = _mm256_xor_pd(Yn, signLoMask256());
-  __m256d YnNegHi = swapLanes256(YnNegLo);
-  __m256d XnNegHi = _mm256_xor_pd(Xn, signHiMask256());
-  __m256d XhNegLo = _mm256_xor_pd(Xh, signLoMask256());
-  __m256d W1 = _mm256_fmadd_pd(Xn, YnNegLo, C.V);
-  __m256d W2 = _mm256_fmadd_pd(Xh, YnNegHi, C.V);
-  __m256d W3 = _mm256_fmadd_pd(Yh, XnNegHi, C.V);
-  __m256d W4 = _mm256_fmadd_pd(Yh, XhNegLo, C.V);
-  __m256d Check =
-      _mm256_add_pd(_mm256_add_pd(W1, W2), _mm256_add_pd(W3, W4));
-  if (__builtin_expect(anyNaN256(Check), 0))
-    return IntervalX2::fromIntervals(
-        iAdd(iMul(A.interval(0), B.interval(0)), C.interval(0)),
-        iAdd(iMul(A.interval(1), B.interval(1)), C.interval(1)));
-  return IntervalX2(
-      _mm256_max_pd(_mm256_max_pd(W1, W2), _mm256_max_pd(W3, W4)));
-}
-
-template <bool NT>
-void addBody(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t I = 0;
-  for (; I + 4 <= N; I += 4) {
-    storeV<NT>(Dst + I, iAdd(load2(X + I), load2(Y + I)).V);
-    storeV<NT>(Dst + I + 2, iAdd(load2(X + I + 2), load2(Y + I + 2)).V);
-  }
-  for (; I + 2 <= N; I += 2)
-    storeV<NT>(Dst + I, iAdd(load2(X + I), load2(Y + I)).V);
-  for (; I < N; ++I)
-    Dst[I] = iAdd(X[I], Y[I]);
-}
-
-void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t Peel;
-  if (useNtStores(Dst, N, Peel)) {
-    for (size_t I = 0; I < Peel; ++I)
-      Dst[I] = iAdd(X[I], Y[I]);
-    addBody<true>(Dst + Peel, X + Peel, Y + Peel, N - Peel);
-    _mm_sfence();
-  } else {
-    addBody<false>(Dst, X, Y, N);
-  }
-}
-
-template <bool NT>
-void subBody(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t I = 0;
-  for (; I + 4 <= N; I += 4) {
-    storeV<NT>(Dst + I, iSub(load2(X + I), load2(Y + I)).V);
-    storeV<NT>(Dst + I + 2, iSub(load2(X + I + 2), load2(Y + I + 2)).V);
-  }
-  for (; I + 2 <= N; I += 2)
-    storeV<NT>(Dst + I, iSub(load2(X + I), load2(Y + I)).V);
-  for (; I < N; ++I)
-    Dst[I] = iSub(X[I], Y[I]);
-}
-
-void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t Peel;
-  if (useNtStores(Dst, N, Peel)) {
-    for (size_t I = 0; I < Peel; ++I)
-      Dst[I] = iSub(X[I], Y[I]);
-    subBody<true>(Dst + Peel, X + Peel, Y + Peel, N - Peel);
-    _mm_sfence();
-  } else {
-    subBody<false>(Dst, X, Y, N);
-  }
-}
-
-/// The IntervalVector.h iMul candidate scheme reduced to one combined
-/// result, with no per-pair NaN check: callers must have screened the
-/// inputs (see mulBody). With all-finite inputs no candidate can be NaN
-/// — finite * finite is a real, and overflow to +/-inf only loosens the
-/// upper bound, which stays sound under upward rounding.
-inline __m256d mulScreened(__m256d X, __m256d Y) {
-  using namespace igen::detail;
-  __m256d Xn = broadcastLo256(X);
-  __m256d Xh = broadcastHi256(X);
-  __m256d Yn = broadcastLo256(Y);
-  __m256d Yh = broadcastHi256(Y);
-  __m256d YnNegLo = _mm256_xor_pd(Yn, signLoMask256());
-  __m256d YnNegHi = swapLanes256(YnNegLo);
-  __m256d XnNegHi = _mm256_xor_pd(Xn, signHiMask256());
-  __m256d XhNegLo = _mm256_xor_pd(Xh, signLoMask256());
-  __m256d V1 = _mm256_mul_pd(Xn, YnNegLo);
-  __m256d V2 = _mm256_mul_pd(Xh, YnNegHi);
-  __m256d V3 = _mm256_mul_pd(Yh, XnNegHi);
-  __m256d V4 = _mm256_mul_pd(Yh, XhNegLo);
-  return _mm256_max_pd(_mm256_max_pd(V1, V2), _mm256_max_pd(V3, V4));
-}
-
-template <bool NT>
-void mulBody(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  // Bitwise-OR screen over the loaded inputs: an inf or NaN lane keeps
-  // its all-ones exponent through the OR, so |OR| >= inf (unordered on
-  // NaN) detects every special input. A spurious all-ones exponent
-  // assembled from different lanes' bits only reroutes the group through
-  // the sound iMul fallback. Screening inputs instead of summing the
-  // candidate products (iMul's own check) saves three vector adds per
-  // pair — the loop is ALU-throughput-bound.
-  const __m256d AbsMask =
-      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
-  const __m256d Inf = _mm256_set1_pd(__builtin_inf());
-  size_t I = 0;
-  // Eight intervals per iteration with one shared screen branch.
-  // Prefetching a few iterations ahead hides part of the L3 latency on
-  // big batches.
-  for (; I + 8 <= N; I += 8) {
-    _mm_prefetch(reinterpret_cast<const char *>(X + I + 16), _MM_HINT_T0);
-    _mm_prefetch(reinterpret_cast<const char *>(Y + I + 16), _MM_HINT_T0);
-    _mm_prefetch(reinterpret_cast<const char *>(X + I + 20), _MM_HINT_T0);
-    _mm_prefetch(reinterpret_cast<const char *>(Y + I + 20), _MM_HINT_T0);
-    __m256d X0 = _mm256_loadu_pd(&X[I].NegLo);
-    __m256d Y0 = _mm256_loadu_pd(&Y[I].NegLo);
-    __m256d X1 = _mm256_loadu_pd(&X[I + 2].NegLo);
-    __m256d Y1 = _mm256_loadu_pd(&Y[I + 2].NegLo);
-    __m256d X2 = _mm256_loadu_pd(&X[I + 4].NegLo);
-    __m256d Y2 = _mm256_loadu_pd(&Y[I + 4].NegLo);
-    __m256d X3 = _mm256_loadu_pd(&X[I + 6].NegLo);
-    __m256d Y3 = _mm256_loadu_pd(&Y[I + 6].NegLo);
-    __m256d O = _mm256_or_pd(
-        _mm256_or_pd(_mm256_or_pd(X0, Y0), _mm256_or_pd(X1, Y1)),
-        _mm256_or_pd(_mm256_or_pd(X2, Y2), _mm256_or_pd(X3, Y3)));
-    __m256d Bad =
-        _mm256_cmp_pd(_mm256_and_pd(O, AbsMask), Inf, _CMP_NLT_UQ);
-    if (__builtin_expect(_mm256_movemask_pd(Bad) != 0, 0)) {
-      for (size_t J = I; J < I + 8; J += 2)
-        storeV<NT>(Dst + J, iMul(load2(X + J), load2(Y + J)).V);
-      continue;
-    }
-    storeV<NT>(Dst + I, mulScreened(X0, Y0));
-    storeV<NT>(Dst + I + 2, mulScreened(X1, Y1));
-    storeV<NT>(Dst + I + 4, mulScreened(X2, Y2));
-    storeV<NT>(Dst + I + 6, mulScreened(X3, Y3));
-  }
-  for (; I + 2 <= N; I += 2)
-    storeV<NT>(Dst + I, iMul(load2(X + I), load2(Y + I)).V);
-  for (; I < N; ++I)
-    Dst[I] = iMul(X[I], Y[I]);
-}
-
-void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  size_t Peel;
-  if (useNtStores(Dst, N, Peel)) {
-    for (size_t I = 0; I < Peel; ++I)
-      Dst[I] = iMul(X[I], Y[I]);
-    mulBody<true>(Dst + Peel, X + Peel, Y + Peel, N - Peel);
-    _mm_sfence();
-  } else {
-    mulBody<false>(Dst, X, Y, N);
-  }
-}
-
-template <bool NT>
-void fmaBody(Interval *Dst, const Interval *A, const Interval *B,
-             const Interval *C, size_t N) {
-  size_t I = 0;
-  for (; I + 4 <= N; I += 4) {
-    storeV<NT>(Dst + I, fmaX2(load2(A + I), load2(B + I), load2(C + I)).V);
-    storeV<NT>(
-        Dst + I + 2,
-        fmaX2(load2(A + I + 2), load2(B + I + 2), load2(C + I + 2)).V);
-  }
-  for (; I + 2 <= N; I += 2)
-    storeV<NT>(Dst + I, fmaX2(load2(A + I), load2(B + I), load2(C + I)).V);
-  for (; I < N; ++I)
-    Dst[I] = iAdd(iMul(A[I], B[I]), C[I]);
-}
-
-void fmaK(Interval *Dst, const Interval *A, const Interval *B,
-          const Interval *C, size_t N) {
-  size_t Peel;
-  if (useNtStores(Dst, N, Peel)) {
-    for (size_t I = 0; I < Peel; ++I)
-      Dst[I] = iAdd(iMul(A[I], B[I]), C[I]);
-    fmaBody<true>(Dst + Peel, A + Peel, B + Peel, C + Peel, N - Peel);
-    _mm_sfence();
-  } else {
-    fmaBody<false>(Dst, A, B, C, N);
-  }
-}
-
-template <bool NT>
-void scaleBody(Interval *Dst, const Interval *X, const IntervalX2 &SV,
-               size_t N) {
-  size_t I = 0;
-  for (; I + 4 <= N; I += 4) {
-    storeV<NT>(Dst + I, iMul(load2(X + I), SV).V);
-    storeV<NT>(Dst + I + 2, iMul(load2(X + I + 2), SV).V);
-  }
-  for (; I + 2 <= N; I += 2)
-    storeV<NT>(Dst + I, iMul(load2(X + I), SV).V);
-  for (; I < N; ++I)
-    Dst[I] = iMul(X[I], SV.interval(0));
-}
-
-void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
-  IntervalX2 SV = IntervalX2::broadcast(S);
-  size_t Peel;
-  if (useNtStores(Dst, N, Peel)) {
-    for (size_t I = 0; I < Peel; ++I)
-      Dst[I] = iMul(X[I], S);
-    scaleBody<true>(Dst + Peel, X + Peel, SV, N - Peel);
-    _mm_sfence();
-  } else {
-    scaleBody<false>(Dst, X, SV, N);
-  }
-}
-
-} // namespace
-
-extern const KernelTable kKernelsAvx2 = {
-    "avx2",        addK,          subK,          mulK,           fmaK,
-    scaleK,        elem::expAvx2, elem::logAvx2, elem::sinScalar,
-    elem::cosScalar};
+extern const KernelTable kKernelsAvx2; // external linkage
+constinit const KernelTable kKernelsAvx2 =
+    impl::makeTable<lanes::Avx2Lanes>("avx2", elem::expAvx2, elem::logAvx2,
+                                      elem::sinScalar, elem::cosScalar);
 
 } // namespace igen::runtime

@@ -1,0 +1,26 @@
+//===- BatchKernelsAvx512.cpp - AVX-512 batched kernels -------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// AVX-512 tier: four intervals per __m512d through the Lane.h AVX-512
+// backend. Batch tails are handled with masked loads/stores (dead lanes
+// carry a benign [1, 1]) instead of a scalar remainder loop, compares
+// produce mask registers, and the multiply keeps the AVX2 tier's
+// group-screen and non-temporal store strategies at twice the width.
+// Compiled with -march=x86-64 -mavx512f -mavx512dq -mavx512vl -mfma.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BatchKernelsImpl.h"
+
+namespace igen::runtime {
+
+extern const KernelTable kKernelsAvx512; // external linkage
+constinit const KernelTable kKernelsAvx512 =
+    impl::makeTable<lanes::Avx512Lanes>("avx512", elem::expAvx512,
+                                        elem::logAvx512, elem::sinScalar,
+                                        elem::cosScalar);
+
+} // namespace igen::runtime

@@ -1,0 +1,327 @@
+//===- BatchKernelsImpl.h - Lane-generic batched kernel bodies --*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel templates behind every per-ISA batched-kernel TU. Each
+/// kernel is one loop skeleton instantiated over a Lane.h backend:
+///
+///   [optional NT peel]  scalar prefix until Dst reaches kNtAlign
+///   [unrolled body]     kUnroll packs per iteration
+///   [pack body]         one pack per iteration
+///   [tail]              masked pack (kMaskedTail) or scalar loop
+///
+/// The scalar tail / peel elements use the same scalar routines the
+/// ScalarLanes backend uses, so a batch is bit-identical no matter how
+/// it is carved into peel, packs, and tail. The multiply additionally
+/// runs a group-screened body (kGroupMul): four pack pairs share one
+/// bitwise-OR special-value screen and skip the per-pack NaN check.
+///
+/// A TU instantiates makeTable<Backend>(...) and is done.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_RUNTIME_BATCHKERNELSIMPL_H
+#define IGEN_RUNTIME_BATCHKERNELSIMPL_H
+
+#include "runtime/BatchElem.h"
+#include "runtime/CpuDispatch.h"
+#include "runtime/Lane.h"
+
+#include <cstdint>
+
+namespace igen::runtime::impl {
+
+/// Decides the store flavor for a batch. When streaming pays off and Dst
+/// can be aligned to L::kNtAlign by peeling at most a few leading
+/// elements (Interval is 16 bytes), returns true and sets \p Peel;
+/// otherwise plain stores.
+template <class L>
+inline bool useNtStores(const Interval *Dst, size_t N, size_t &Peel) {
+  Peel = 0;
+  uintptr_t A = reinterpret_cast<uintptr_t>(Dst);
+  if (N < L::kNtMinBatch || A % 16 != 0)
+    return false;
+  Peel = (A % L::kNtAlign) ? (L::kNtAlign - A % L::kNtAlign) / 16 : 0;
+  return true;
+}
+
+/// Two-source elementwise body: X[i] op Y[i] -> Dst[i].
+template <class L, bool NT, class PackOp, class ScalarOp>
+inline void body2(Interval *Dst, const Interval *X, const Interval *Y,
+                  size_t N, PackOp VOp, ScalarOp SOp) {
+  constexpr size_t P = L::kIntervals;
+  size_t I = 0;
+  if constexpr (L::kUnroll >= 2) {
+    for (; I + 2 * P <= N; I += 2 * P) {
+      L::template store<NT>(Dst + I, VOp(L::load(X + I), L::load(Y + I)));
+      L::template store<NT>(
+          Dst + I + P, VOp(L::load(X + I + P), L::load(Y + I + P)));
+    }
+  }
+  for (; I + P <= N; I += P)
+    L::template store<NT>(Dst + I, VOp(L::load(X + I), L::load(Y + I)));
+  if constexpr (L::kMaskedTail) {
+    if (I < N) {
+      size_t K = N - I;
+      L::maskStore(Dst + I, K,
+                   VOp(L::maskLoad(X + I, K), L::maskLoad(Y + I, K)));
+    }
+  } else {
+    for (; I < N; ++I)
+      Dst[I] = SOp(X[I], Y[I]);
+  }
+}
+
+/// One-source elementwise body: op(X[i]) -> Dst[i].
+template <class L, bool NT, class PackOp, class ScalarOp>
+inline void body1(Interval *Dst, const Interval *X, size_t N, PackOp VOp,
+                  ScalarOp SOp) {
+  constexpr size_t P = L::kIntervals;
+  size_t I = 0;
+  if constexpr (L::kUnroll >= 2) {
+    for (; I + 2 * P <= N; I += 2 * P) {
+      L::template store<NT>(Dst + I, VOp(L::load(X + I)));
+      L::template store<NT>(Dst + I + P, VOp(L::load(X + I + P)));
+    }
+  }
+  for (; I + P <= N; I += P)
+    L::template store<NT>(Dst + I, VOp(L::load(X + I)));
+  if constexpr (L::kMaskedTail) {
+    if (I < N) {
+      size_t K = N - I;
+      L::maskStore(Dst + I, K, VOp(L::maskLoad(X + I, K)));
+    }
+  } else {
+    for (; I < N; ++I)
+      Dst[I] = SOp(X[I]);
+  }
+}
+
+/// Three-source elementwise body: fma(A[i], B[i], C[i]) -> Dst[i].
+template <class L, bool NT, class PackOp, class ScalarOp>
+inline void body3(Interval *Dst, const Interval *A, const Interval *B,
+                  const Interval *C, size_t N, PackOp VOp, ScalarOp SOp) {
+  constexpr size_t P = L::kIntervals;
+  size_t I = 0;
+  if constexpr (L::kUnroll >= 2) {
+    for (; I + 2 * P <= N; I += 2 * P) {
+      L::template store<NT>(
+          Dst + I, VOp(L::load(A + I), L::load(B + I), L::load(C + I)));
+      L::template store<NT>(Dst + I + P,
+                            VOp(L::load(A + I + P), L::load(B + I + P),
+                                L::load(C + I + P)));
+    }
+  }
+  for (; I + P <= N; I += P)
+    L::template store<NT>(
+        Dst + I, VOp(L::load(A + I), L::load(B + I), L::load(C + I)));
+  if constexpr (L::kMaskedTail) {
+    if (I < N) {
+      size_t K = N - I;
+      L::maskStore(Dst + I, K,
+                   VOp(L::maskLoad(A + I, K), L::maskLoad(B + I, K),
+                       L::maskLoad(C + I, K)));
+    }
+  } else {
+    for (; I < N; ++I)
+      Dst[I] = SOp(A[I], B[I], C[I]);
+  }
+}
+
+/// Multiply body: group-screened where the backend supports it (four
+/// pack pairs share one special-value screen and skip the per-pack
+/// check), checked per pack otherwise.
+template <class L, bool NT>
+inline void mulBody(Interval *Dst, const Interval *X, const Interval *Y,
+                    size_t N) {
+  constexpr size_t P = L::kIntervals;
+  size_t I = 0;
+  if constexpr (L::kGroupMul) {
+    for (; I + 4 * P <= N; I += 4 * P) {
+      L::prefetchMul(X, Y, I);
+      auto X0 = L::load(X + I), Y0 = L::load(Y + I);
+      auto X1 = L::load(X + I + P), Y1 = L::load(Y + I + P);
+      auto X2 = L::load(X + I + 2 * P), Y2 = L::load(Y + I + 2 * P);
+      auto X3 = L::load(X + I + 3 * P), Y3 = L::load(Y + I + 3 * P);
+      if (__builtin_expect(
+              L::anySpecial(X0, Y0, X1, Y1, X2, Y2, X3, Y3), 0)) {
+        L::template store<NT>(Dst + I, L::mul(X0, Y0));
+        L::template store<NT>(Dst + I + P, L::mul(X1, Y1));
+        L::template store<NT>(Dst + I + 2 * P, L::mul(X2, Y2));
+        L::template store<NT>(Dst + I + 3 * P, L::mul(X3, Y3));
+        continue;
+      }
+      L::template store<NT>(Dst + I, L::mulUnchecked(X0, Y0));
+      L::template store<NT>(Dst + I + P, L::mulUnchecked(X1, Y1));
+      L::template store<NT>(Dst + I + 2 * P, L::mulUnchecked(X2, Y2));
+      L::template store<NT>(Dst + I + 3 * P, L::mulUnchecked(X3, Y3));
+    }
+  }
+  for (; I + P <= N; I += P)
+    L::template store<NT>(Dst + I,
+                          L::mul(L::load(X + I), L::load(Y + I)));
+  if constexpr (L::kMaskedTail) {
+    if (I < N) {
+      size_t K = N - I;
+      L::maskStore(Dst + I, K,
+                   L::mul(L::maskLoad(X + I, K), L::maskLoad(Y + I, K)));
+    }
+  } else {
+    for (; I < N; ++I)
+      Dst[I] = iMul(X[I], Y[I]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The kernel entry points
+//===----------------------------------------------------------------------===//
+
+template <class L>
+void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  auto V = [](const typename L::Pack &A, const typename L::Pack &B) {
+    return L::add(A, B);
+  };
+  auto S = [](const Interval &A, const Interval &B) { return iAdd(A, B); };
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = iAdd(X[I], Y[I]);
+      body2<L, true>(Dst + Peel, X + Peel, Y + Peel, N - Peel, V, S);
+      L::storeFence();
+      return;
+    }
+  }
+  body2<L, false>(Dst, X, Y, N, V, S);
+}
+
+template <class L>
+void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  auto V = [](const typename L::Pack &A, const typename L::Pack &B) {
+    return L::sub(A, B);
+  };
+  auto S = [](const Interval &A, const Interval &B) { return iSub(A, B); };
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = iSub(X[I], Y[I]);
+      body2<L, true>(Dst + Peel, X + Peel, Y + Peel, N - Peel, V, S);
+      L::storeFence();
+      return;
+    }
+  }
+  body2<L, false>(Dst, X, Y, N, V, S);
+}
+
+template <class L>
+void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = iMul(X[I], Y[I]);
+      mulBody<L, true>(Dst + Peel, X + Peel, Y + Peel, N - Peel);
+      L::storeFence();
+      return;
+    }
+  }
+  mulBody<L, false>(Dst, X, Y, N);
+}
+
+template <class L>
+void fmaK(Interval *Dst, const Interval *A, const Interval *B,
+          const Interval *C, size_t N) {
+  auto V = [](const typename L::Pack &X, const typename L::Pack &Y,
+              const typename L::Pack &Z) { return L::fma(X, Y, Z); };
+  auto S = [](const Interval &X, const Interval &Y, const Interval &Z) {
+    return lanes::fmaComposed(X, Y, Z);
+  };
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = lanes::fmaComposed(A[I], B[I], C[I]);
+      body3<L, true>(Dst + Peel, A + Peel, B + Peel, C + Peel, N - Peel,
+                     V, S);
+      L::storeFence();
+      return;
+    }
+  }
+  body3<L, false>(Dst, A, B, C, N, V, S);
+}
+
+template <class L>
+void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
+  const typename L::Pack SV = L::broadcast(S);
+  auto V = [&SV](const typename L::Pack &A) { return L::mul(A, SV); };
+  auto SOp = [&S](const Interval &A) { return iMul(A, S); };
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = iMul(X[I], S);
+      body1<L, true>(Dst + Peel, X + Peel, N - Peel, V, SOp);
+      L::storeFence();
+      return;
+    }
+  }
+  body1<L, false>(Dst, X, N, V, SOp);
+}
+
+template <class L>
+void divK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
+  auto V = [](const typename L::Pack &A, const typename L::Pack &B) {
+    return L::div(A, B);
+  };
+  auto S = [](const Interval &A, const Interval &B) {
+    return lanes::divAuto(A, B);
+  };
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = lanes::divAuto(X[I], Y[I]);
+      body2<L, true>(Dst + Peel, X + Peel, Y + Peel, N - Peel, V, S);
+      L::storeFence();
+      return;
+    }
+  }
+  body2<L, false>(Dst, X, Y, N, V, S);
+}
+
+template <class L>
+void sqrtK(Interval *Dst, const Interval *X, size_t N) {
+  auto V = [](const typename L::Pack &A) { return L::sqrt(A); };
+  auto S = [](const Interval &A) { return iSqrt(A); };
+  if constexpr (L::kNtStores) {
+    size_t Peel;
+    if (useNtStores<L>(Dst, N, Peel)) {
+      for (size_t I = 0; I < Peel; ++I)
+        Dst[I] = iSqrt(X[I]);
+      body1<L, true>(Dst + Peel, X + Peel, N - Peel, V, S);
+      L::storeFence();
+      return;
+    }
+  }
+  body1<L, false>(Dst, X, N, V, S);
+}
+
+/// One fully populated dispatch row for a backend. The elementary
+/// kernels keep their per-ISA hand-written (or core-template) entry
+/// points because their structure is screen-heavy rather than
+/// loop-shaped.
+template <class L>
+constexpr KernelTable makeTable(const char *Name, ElemFn Exp, ElemFn Log,
+                                ElemFn Sin, ElemFn Cos) {
+  return KernelTable{Name,     addK<L>, subK<L>, mulK<L>,
+                     fmaK<L>,  scaleK<L>, divK<L>, sqrtK<L>,
+                     Exp,      Log,     Sin,     Cos};
+}
+
+} // namespace igen::runtime::impl
+
+#endif // IGEN_RUNTIME_BATCHKERNELSIMPL_H

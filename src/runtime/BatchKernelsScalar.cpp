@@ -4,52 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The portable tier of the batched interval kernels: plain loops over the
-// scalar Interval operations. This is both the fallback for CPUs without
-// SSE2 (in practice: none on x86-64) and the reference the test suite
-// compares the SIMD tiers against.
+// The portable tier of the batched interval kernels: the Lane.h scalar
+// backend through the shared kernel skeletons. This is both the fallback
+// for CPUs without SSE2 (in practice: none on x86-64) and the bit-level
+// reference the test suite compares the SIMD tiers against.
 //
 //===----------------------------------------------------------------------===//
 
-#include "interval/Interval.h"
-#include "runtime/BatchElem.h"
-#include "runtime/CpuDispatch.h"
+#include "runtime/BatchKernelsImpl.h"
 
 namespace igen::runtime {
 
-namespace {
-
-void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    Dst[I] = iAdd(X[I], Y[I]);
-}
-
-void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    Dst[I] = iSub(X[I], Y[I]);
-}
-
-void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    Dst[I] = iMul(X[I], Y[I]);
-}
-
-void fmaK(Interval *Dst, const Interval *A, const Interval *B,
-          const Interval *C, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    Dst[I] = iAdd(iMul(A[I], B[I]), C[I]);
-}
-
-void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    Dst[I] = iMul(X[I], S);
-}
-
-} // namespace
-
-extern const KernelTable kKernelsScalar = {
-    "scalar",        addK,           subK,           mulK,
-    fmaK,            scaleK,         elem::expScalar, elem::logScalar,
-    elem::sinScalar, elem::cosScalar};
+extern const KernelTable kKernelsScalar; // external linkage
+constinit const KernelTable kKernelsScalar =
+    impl::makeTable<lanes::ScalarLanes>("scalar", elem::expScalar,
+                                        elem::logScalar, elem::sinScalar,
+                                        elem::cosScalar);
 
 } // namespace igen::runtime

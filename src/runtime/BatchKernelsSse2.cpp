@@ -4,62 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// SSE2 tier: one interval per __m128d (the IntervalSse algorithms), loaded
-// straight from the contiguous (-lo, hi) array layout. Compiled with
-// -march=x86-64 (SSE2 baseline) so the emitted code runs on any x86-64
-// CPU regardless of the flags the rest of the project is built with.
+// SSE2 tier: one interval per __m128d (the IntervalSse algorithms plus
+// the Lane.h sign-specialized div and packed sqrt), loaded straight from
+// the contiguous (-lo, hi) array layout. Compiled with -march=x86-64
+// (SSE2 baseline) so the emitted code runs on any x86-64 CPU regardless
+// of the flags the rest of the project is built with.
 //
 //===----------------------------------------------------------------------===//
 
-#include "interval/IntervalSimd.h"
-#include "runtime/BatchElem.h"
-#include "runtime/CpuDispatch.h"
+#include "runtime/BatchKernelsImpl.h"
 
 namespace igen::runtime {
 
-namespace {
-
-inline IntervalSse load1(const Interval *P) {
-  return IntervalSse(_mm_loadu_pd(&P->NegLo));
-}
-
-inline void store1(Interval *P, const IntervalSse &V) {
-  _mm_storeu_pd(&P->NegLo, V.V);
-}
-
-void addK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    store1(Dst + I, iAdd(load1(X + I), load1(Y + I)));
-}
-
-void subK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    store1(Dst + I, iSub(load1(X + I), load1(Y + I)));
-}
-
-void mulK(Interval *Dst, const Interval *X, const Interval *Y, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    store1(Dst + I, iMul(load1(X + I), load1(Y + I)));
-}
-
-void fmaK(Interval *Dst, const Interval *A, const Interval *B,
-          const Interval *C, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    store1(Dst + I,
-           iAdd(iMul(load1(A + I), load1(B + I)), load1(C + I)));
-}
-
-void scaleK(Interval *Dst, const Interval *X, Interval S, size_t N) {
-  IntervalSse SV = IntervalSse::fromInterval(S);
-  for (size_t I = 0; I < N; ++I)
-    store1(Dst + I, iMul(load1(X + I), SV));
-}
-
-} // namespace
-
-extern const KernelTable kKernelsSse2 = {
-    "sse2",        addK,          subK,          mulK,           fmaK,
-    scaleK,        elem::expSse2, elem::logSse2, elem::sinScalar,
-    elem::cosScalar};
+extern const KernelTable kKernelsSse2; // external linkage
+constinit const KernelTable kKernelsSse2 =
+    impl::makeTable<lanes::Sse2Lanes>("sse2", elem::expSse2, elem::logSse2,
+                                      elem::sinScalar, elem::cosScalar);
 
 } // namespace igen::runtime

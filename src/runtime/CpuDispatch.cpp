@@ -7,6 +7,7 @@
 #include "runtime/CpuDispatch.h"
 
 #include <atomic>
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +19,11 @@ extern const KernelTable kKernelsScalar;
 extern const KernelTable kKernelsSse2;
 extern const KernelTable kKernelsAvx;
 extern const KernelTable kKernelsAvx2;
+extern const KernelTable kKernelsAvx512;
+
+// Defined in DdBatchKernels{,Avx2}.cpp.
+extern const DdKernelTable kDdKernelsScalar;
+extern const DdKernelTable kDdKernelsAvx2;
 
 bool isaSupported(Isa I) {
   switch (I) {
@@ -29,12 +35,17 @@ bool isaSupported(Isa I) {
     return __builtin_cpu_supports("avx");
   case Isa::Avx2Fma:
     return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  case Isa::Avx512:
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("fma");
   }
   return false;
 }
 
 Isa detectIsa() {
-  for (Isa I : {Isa::Avx2Fma, Isa::Avx, Isa::Sse2})
+  for (Isa I : {Isa::Avx512, Isa::Avx2Fma, Isa::Avx, Isa::Sse2})
     if (isaSupported(I))
       return I;
   return Isa::Scalar;
@@ -50,6 +61,8 @@ const char *isaName(Isa I) {
     return "avx";
   case Isa::Avx2Fma:
     return "avx2";
+  case Isa::Avx512:
+    return "avx512";
   }
   return "?";
 }
@@ -77,7 +90,7 @@ Isa resolveIsaFromSpec(const char *Spec, std::string *Warning) {
     if (!parseIsaName(Spec, Wanted)) {
       if (Warning)
         *Warning = std::string("igen: ignoring unknown IGEN_ISA='") + Spec +
-                   "' (expected scalar|sse2|avx|avx2)";
+                   "' (expected scalar|sse2|avx|avx2|avx512)";
     } else if (!isaSupported(Wanted)) {
       if (Warning)
         *Warning = std::string("igen: IGEN_ISA='") + Spec +
@@ -122,6 +135,7 @@ void forceIsa(Isa I) {
 void clearForcedIsa() { ActiveCache.store(-1, std::memory_order_release); }
 
 const KernelTable &kernelTableFor(Isa I) {
+  assert(kernelTablesComplete() && "null kernel-table entry");
   switch (I) {
   case Isa::Scalar:
     return kKernelsScalar;
@@ -131,10 +145,95 @@ const KernelTable &kernelTableFor(Isa I) {
     return kKernelsAvx;
   case Isa::Avx2Fma:
     return kKernelsAvx2;
+  case Isa::Avx512:
+    return kKernelsAvx512;
   }
   return kKernelsScalar;
 }
 
 const KernelTable &kernels() { return kernelTableFor(activeIsa()); }
+
+const DdKernelTable &ddKernelTableFor(Isa I) {
+  return I >= Isa::Avx2Fma ? kDdKernelsAvx2 : kDdKernelsScalar;
+}
+
+const DdKernelTable &ddKernels() { return ddKernelTableFor(activeIsa()); }
+
+bool kernelTablesComplete(std::string *Missing) {
+  // The one-time check result is cached: kernelTableFor() asserts on it
+  // in debug builds, so it runs on every dispatch.
+  auto Check = [&Missing]() {
+    bool Ok = true;
+    auto Note = [&](Isa I, const char *Op) {
+      Ok = false;
+      if (Missing) {
+        if (!Missing->empty())
+          *Missing += ", ";
+        *Missing += std::string(isaName(I)) + "." + Op;
+      }
+    };
+    for (int N = 0; N < NumIsas; ++N) {
+      Isa I = static_cast<Isa>(N);
+      const KernelTable *T;
+      switch (I) {
+      case Isa::Scalar:
+        T = &kKernelsScalar;
+        break;
+      case Isa::Sse2:
+        T = &kKernelsSse2;
+        break;
+      case Isa::Avx:
+        T = &kKernelsAvx;
+        break;
+      case Isa::Avx2Fma:
+        T = &kKernelsAvx2;
+        break;
+      case Isa::Avx512:
+        T = &kKernelsAvx512;
+        break;
+      }
+      if (!T->Name)
+        Note(I, "Name");
+      if (!T->Add)
+        Note(I, "Add");
+      if (!T->Sub)
+        Note(I, "Sub");
+      if (!T->Mul)
+        Note(I, "Mul");
+      if (!T->Fma)
+        Note(I, "Fma");
+      if (!T->Scale)
+        Note(I, "Scale");
+      if (!T->Div)
+        Note(I, "Div");
+      if (!T->Sqrt)
+        Note(I, "Sqrt");
+      if (!T->Exp)
+        Note(I, "Exp");
+      if (!T->Log)
+        Note(I, "Log");
+      if (!T->Sin)
+        Note(I, "Sin");
+      if (!T->Cos)
+        Note(I, "Cos");
+      const DdKernelTable &D = ddKernelTableFor(I);
+      if (!D.Name)
+        Note(I, "Dd.Name");
+      if (!D.Add)
+        Note(I, "Dd.Add");
+      if (!D.Sub)
+        Note(I, "Dd.Sub");
+      if (!D.Mul)
+        Note(I, "Dd.Mul");
+      if (!D.Fma)
+        Note(I, "Dd.Fma");
+    }
+    return Ok;
+  };
+  if (Missing) // uncached: the caller wants the hole list
+    return Check();
+  static const bool Complete = Check();
+  return Complete;
+}
 
 } // namespace igen::runtime

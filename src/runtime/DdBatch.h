@@ -1,0 +1,189 @@
+//===- DdBatch.h - Batched double-double interval runtime ------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched ddi (double-double interval) tier: contiguous-array
+/// kernels over DdInterval values, the escalation targets of the
+/// adaptive-precision work. The surface mirrors the f64i iarr_* runtime
+/// (BatchKernels.h) — same rounding contract (entry points establish
+/// upward rounding themselves), same fenv sentinel with whole-batch
+/// poisoning to [-inf, +inf] endpoints, same aliasing rules (full
+/// aliasing allowed, partial overlap asserts in debug and is copied to
+/// scratch in release), same IGEN_FAULT operand-corruption hooks.
+///
+/// Dispatch: only two kernel tiers exist (scalar and AVX2+FMA — the
+/// DdSimd layout wants 256-bit FMA); ddKernels() maps every Isa onto the
+/// best available one, and the two produce bit-identical results (the
+/// vectorized ddiAdd/ddiMul mirror the scalar error-free transformation
+/// sequences exactly, and every screen hit falls back to the scalar
+/// routine).
+///
+/// Reductions (ddarr_sum/ddarr_dot) accumulate sequentially in index
+/// order with ddiAdd — one fixed routine compiled in the scalar TU, so
+/// the result bits never depend on the ISA selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_RUNTIME_DDBATCH_H
+#define IGEN_RUNTIME_DDBATCH_H
+
+#include "harden/FaultInject.h"
+#include "harden/FenvSentinel.h"
+#include "interval/DdInterval.h"
+#include "interval/Rounding.h"
+#include "runtime/CpuDispatch.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace igen::runtime {
+
+static_assert(sizeof(DdInterval) == 4 * sizeof(double));
+
+namespace detail {
+
+/// Dd analogue of partialOverlap (BatchKernels.h): true when the ranges
+/// overlap other than being identical.
+inline bool partialOverlapDd(const DdInterval *A, const DdInterval *B,
+                             size_t N) {
+  if (A == B || N == 0)
+    return false;
+  uintptr_t LA = reinterpret_cast<uintptr_t>(A);
+  uintptr_t LB = reinterpret_cast<uintptr_t>(B);
+  uintptr_t Bytes = N * sizeof(DdInterval);
+  return LA < LB + Bytes && LB < LA + Bytes;
+}
+
+[[gnu::cold]] inline void poisonBatchDd(DdInterval *Dst, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = DdInterval::entire();
+}
+
+/// Shared ddarr_* prologue: fenv sentinel once per invocation, with
+/// upward rounding already established. Returns true when the caller
+/// must poison its results and return.
+inline bool ddBatchPrologue(const char *Where, DdInterval *Dst, size_t N) {
+  if (__builtin_expect(harden::checkFenvUpward(Where), 0)) {
+    poisonBatchDd(Dst, N);
+    return true;
+  }
+  return false;
+}
+
+/// IGEN_FAULT nan/inf operand corruption, scratch-local as in the f64i
+/// runtime.
+inline const DdInterval *maybeCorruptDd(const DdInterval *X, size_t N,
+                                        std::vector<DdInterval> &Scratch) {
+  if (__builtin_expect(!harden::faultsArmedFromEnv(), 1) || N == 0)
+    return X;
+  long long At = 0;
+  bool Nan = harden::faultFires(harden::FaultKind::Nan, &At);
+  bool Inf = !Nan && harden::faultFires(harden::FaultKind::Inf, &At);
+  if (!Nan && !Inf)
+    return X;
+  Scratch.assign(X, X + N);
+  Scratch[static_cast<size_t>(At) % N] =
+      Nan ? DdInterval::nan() : DdInterval::fromPoint(HUGE_VAL);
+  return Scratch.data();
+}
+
+inline const DdInterval *resolveOverlapDd(DdInterval *Dst,
+                                          const DdInterval *In, size_t N,
+                                          std::vector<DdInterval> &Scratch) {
+  if (__builtin_expect(!partialOverlapDd(Dst, In, N), 1))
+    return In;
+  assert(!"ddarr_* input partially overlaps the output range");
+  Scratch.assign(In, In + N);
+  return Scratch.data();
+}
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Elementwise kernels (CPU-dispatched)
+//===----------------------------------------------------------------------===//
+
+/// Dst[i] = X[i] + Y[i].
+inline void ddarr_add(DdInterval *Dst, const DdInterval *X,
+                      const DdInterval *Y, size_t N) {
+  if (N == 0)
+    return;
+  RoundUpwardScope Up;
+  if (detail::ddBatchPrologue("ddarr_add", Dst, N))
+    return;
+  std::vector<DdInterval> SX, SY, SC;
+  X = detail::resolveOverlapDd(Dst, X, N, SX);
+  Y = detail::resolveOverlapDd(Dst, Y, N, SY);
+  X = detail::maybeCorruptDd(X, N, SC);
+  ddKernels().Add(Dst, X, Y, N);
+}
+
+/// Dst[i] = X[i] - Y[i].
+inline void ddarr_sub(DdInterval *Dst, const DdInterval *X,
+                      const DdInterval *Y, size_t N) {
+  if (N == 0)
+    return;
+  RoundUpwardScope Up;
+  if (detail::ddBatchPrologue("ddarr_sub", Dst, N))
+    return;
+  std::vector<DdInterval> SX, SY, SC;
+  X = detail::resolveOverlapDd(Dst, X, N, SX);
+  Y = detail::resolveOverlapDd(Dst, Y, N, SY);
+  X = detail::maybeCorruptDd(X, N, SC);
+  ddKernels().Sub(Dst, X, Y, N);
+}
+
+/// Dst[i] = X[i] * Y[i].
+inline void ddarr_mul(DdInterval *Dst, const DdInterval *X,
+                      const DdInterval *Y, size_t N) {
+  if (N == 0)
+    return;
+  RoundUpwardScope Up;
+  if (detail::ddBatchPrologue("ddarr_mul", Dst, N))
+    return;
+  std::vector<DdInterval> SX, SY, SC;
+  X = detail::resolveOverlapDd(Dst, X, N, SX);
+  Y = detail::resolveOverlapDd(Dst, Y, N, SY);
+  X = detail::maybeCorruptDd(X, N, SC);
+  ddKernels().Mul(Dst, X, Y, N);
+}
+
+/// Dst[i] = A[i] * B[i] + C[i] (composed ddiAdd(ddiMul) on every tier;
+/// the dd error-free transformations already carry products exactly).
+inline void ddarr_fma(DdInterval *Dst, const DdInterval *A,
+                      const DdInterval *B, const DdInterval *C, size_t N) {
+  if (N == 0)
+    return;
+  RoundUpwardScope Up;
+  if (detail::ddBatchPrologue("ddarr_fma", Dst, N))
+    return;
+  std::vector<DdInterval> SA, SB, SCc, SC;
+  A = detail::resolveOverlapDd(Dst, A, N, SA);
+  B = detail::resolveOverlapDd(Dst, B, N, SB);
+  C = detail::resolveOverlapDd(Dst, C, N, SCc);
+  A = detail::maybeCorruptDd(A, N, SC);
+  ddKernels().Fma(Dst, A, B, C, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Sound reductions (fixed sequential order; ISA-independent)
+//===----------------------------------------------------------------------===//
+
+/// Sum of X[0..N-1], accumulated left to right with ddiAdd (the ~106-bit
+/// endpoints make interleaved chains unnecessary for accuracy; a single
+/// chain keeps the order trivially fixed). N == 0 yields [0, 0].
+DdInterval ddarr_sum(const DdInterval *X, size_t N);
+
+/// Dot product sum(X[i] * Y[i]), products by ddiMul, accumulation as in
+/// ddarr_sum.
+DdInterval ddarr_dot(const DdInterval *X, const DdInterval *Y, size_t N);
+
+} // namespace igen::runtime
+
+#endif // IGEN_RUNTIME_DDBATCH_H

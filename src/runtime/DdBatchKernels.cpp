@@ -1,0 +1,80 @@
+//===- DdBatchKernels.cpp - Scalar batched ddi kernels --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The portable tier of the batched double-double interval kernels: plain
+// loops over the DdInterval operations, plus the fixed-order reductions
+// shared by every dispatch tier. Compiled with -march=x86-64 so the
+// emitted code (and the reduction bit patterns) never depend on the
+// build host. FastOps::fma-based double-double primitives are correctly
+// rounded regardless of -march.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DdBatch.h"
+
+namespace igen::runtime {
+
+namespace {
+
+void addK(DdInterval *Dst, const DdInterval *X, const DdInterval *Y,
+          size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = ddiAdd(X[I], Y[I]);
+}
+
+void subK(DdInterval *Dst, const DdInterval *X, const DdInterval *Y,
+          size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = ddiSub(X[I], Y[I]);
+}
+
+void mulK(DdInterval *Dst, const DdInterval *X, const DdInterval *Y,
+          size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = ddiMul(X[I], Y[I]);
+}
+
+void fmaK(DdInterval *Dst, const DdInterval *A, const DdInterval *B,
+          const DdInterval *C, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = ddiAdd(ddiMul(A[I], B[I]), C[I]);
+}
+
+} // namespace
+
+extern const DdKernelTable kDdKernelsScalar; // external linkage
+constinit const DdKernelTable kDdKernelsScalar = {"dd-scalar", addK, subK,
+                                                 mulK, fmaK};
+
+//===----------------------------------------------------------------------===//
+// Reductions (one fixed routine for every ISA tier)
+//===----------------------------------------------------------------------===//
+
+DdInterval ddarr_sum(const DdInterval *X, size_t N) {
+  RoundUpwardScope Up;
+  if (__builtin_expect(harden::checkFenvUpward("ddarr_sum"), 0))
+    return DdInterval::entire();
+  std::vector<DdInterval> SC;
+  X = detail::maybeCorruptDd(X, N, SC);
+  DdInterval Acc = DdInterval::fromPoint(0.0);
+  for (size_t I = 0; I < N; ++I)
+    Acc = ddiAdd(Acc, X[I]);
+  return Acc;
+}
+
+DdInterval ddarr_dot(const DdInterval *X, const DdInterval *Y, size_t N) {
+  RoundUpwardScope Up;
+  if (__builtin_expect(harden::checkFenvUpward("ddarr_dot"), 0))
+    return DdInterval::entire();
+  std::vector<DdInterval> SC;
+  X = detail::maybeCorruptDd(X, N, SC);
+  DdInterval Acc = DdInterval::fromPoint(0.0);
+  for (size_t I = 0; I < N; ++I)
+    Acc = ddiAdd(Acc, ddiMul(X[I], Y[I]));
+  return Acc;
+}
+
+} // namespace igen::runtime

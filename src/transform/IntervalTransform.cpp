@@ -6,6 +6,7 @@
 
 #include "transform/IntervalTransform.h"
 
+#include "analysis/BatchLoopAnalysis.h"
 #include "frontend/Sema.h"
 #include "interval/DdInterval.h"
 #include "opt/OptAnalysis.h"
@@ -1550,6 +1551,26 @@ size_t Transformer::emitCseTemps(const Stmt *S) {
 }
 
 void Transformer::emitFor(const ForStmt *S) {
+  // Batched array loops (--batch-loops): a recognized elementwise loop
+  // collapses to one ia_arr_* call. f64i only -- the ddi runtime keeps
+  // elementwise emission -- and not under --profile, which wants the
+  // per-site call instrumentation the elementwise path carries.
+  if (Opts.EnableBatchLoops &&
+      Opts.Prec == TransformOptions::Precision::Double && !Opts.Profile) {
+    if (std::optional<BatchLoop> L = matchBatchLoop(S)) {
+      TR Dst = transformExpr(L->Dst);
+      TR A = transformExpr(L->A);
+      TR Count = transformExpr(L->Count);
+      std::string Call = std::string("ia_arr_") + L->opName() + "_" +
+                         sfx() + "(" + Dst.Code + ", " + A.Code;
+      if (L->B)
+        Call += ", " + transformExpr(L->B).Code;
+      Call += ", (unsigned long)(" + Count.Code + "));";
+      line(Call);
+      return;
+    }
+  }
+
   // Hoist loop-invariant enclosures ahead of the header; they stay
   // visible (via ActiveTemps) for the whole loop emission.
   size_t Hoisted = 0;

@@ -47,6 +47,13 @@ struct TransformOptions {
   /// Enable the reduction accuracy transformation (Section VI-B).
   bool EnableReductions = false;
 
+  /// Route recognized elementwise array loops (d[i] = a[i] OP b[i],
+  /// d[i] = sqrt(a[i])) onto the batched runtime's ia_arr_* entry
+  /// points instead of per-element interval calls (driver
+  /// --batch-loops). Same enclosures, amortized rounding-mode setup,
+  /// SIMD dispatch at runtime. f64i only; ddi loops stay elementwise.
+  bool EnableBatchLoops = false;
+
   enum class BranchPolicy {
     Exception, ///< unknown branch conditions signal (default)
     Join,      ///< compute both branches and join results when safe

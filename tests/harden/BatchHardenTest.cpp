@@ -8,8 +8,11 @@
 // runtime:
 //  (a) the fault matrix: every environment fault (ftz/daz/rnd) injected
 //      at scope entry is detected on every supported dispatch tier
-//      (Scalar/SSE2/AVX/AVX2+FMA), poison results verified sound, and
-//      repair results verified identical to an uncontested run;
+//      (Scalar/SSE2/AVX/AVX2+FMA/AVX-512), for the f64i kernels
+//      (including div and sqrt) and the batched ddi tier alike; poison
+//      results verified sound, repair results verified identical to an
+//      uncontested run, and a zero-containing divisor shown to be an
+//      ordinary sound input rather than a sentinel event;
 //  (b) operand faults (nan/inf) flow through the kernels to sound
 //      outputs without disturbing uncorrupted elements;
 //  (c) the allocation fault (and by extension real std::bad_alloc in
@@ -21,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/BatchKernels.h"
+#include "runtime/DdBatch.h"
 
 #include "harden/FaultInject.h"
 #include "../interval/TestHelpers.h"
@@ -73,6 +77,32 @@ protected:
     for (auto &I : V)
       I = R.moderateInterval();
     return V;
+  }
+
+  /// Strictly positive intervals: valid divisors and sqrt inputs.
+  static std::vector<Interval> positive(size_t N, uint64_t Seed) {
+    test::Rng R(Seed);
+    std::vector<Interval> V(N);
+    for (auto &I : V) {
+      double Lo = R.uniform(0.25, 2.0);
+      I = Interval::fromEndpoints(Lo, Lo * R.uniform(1.0, 4.0));
+    }
+    return V;
+  }
+
+  static std::vector<DdInterval> moderateDd(size_t N, uint64_t Seed) {
+    test::Rng R(Seed);
+    RoundUpwardScope Up;
+    std::vector<DdInterval> V(N);
+    for (auto &I : V)
+      I = ddiMul(DdInterval::fromInterval(R.moderateInterval()),
+                 DdInterval::fromInterval(R.moderateInterval()));
+    return V;
+  }
+
+  static bool isEntireDd(const DdInterval &R) {
+    double Inf = std::numeric_limits<double>::infinity();
+    return R.NegLo.H == Inf && R.Hi.H == Inf;
   }
 };
 
@@ -135,6 +165,103 @@ TEST_F(BatchHardenTest, FaultMatrixRepairRecoversOnEveryTier) {
   }
 }
 
+TEST_F(BatchHardenTest, DivSqrtFaultMatrixPoisonIsSoundOnEveryTier) {
+  const size_t N = 100;
+  std::vector<Interval> X = moderate(N, 211), Y = positive(N, 222);
+  std::vector<Interval> Dst(N);
+  for (Isa Tier : supportedIsas()) {
+    forceIsa(Tier);
+    for (const char *Spec : {"ftz@0", "daz@0", "rnd@0"}) {
+      setFenvPolicy(FenvPolicy::Poison);
+      resetFenvStats();
+      armFaults(Spec);
+      iarr_div(Dst.data(), X.data(), Y.data(), N);
+      disarmFaults();
+      invalidateRoundingCache();
+      EXPECT_EQ(fenvStats().Poisoned, 1u)
+          << "tier " << isaName(Tier) << " div fault " << Spec;
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_TRUE(isEntire(Dst[I]))
+            << "tier " << isaName(Tier) << " div fault " << Spec
+            << " element " << I;
+
+      resetFenvStats();
+      armFaults(Spec);
+      iarr_sqrt(Dst.data(), Y.data(), N);
+      disarmFaults();
+      invalidateRoundingCache();
+      EXPECT_EQ(fenvStats().Poisoned, 1u)
+          << "tier " << isaName(Tier) << " sqrt fault " << Spec;
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_TRUE(isEntire(Dst[I]))
+            << "tier " << isaName(Tier) << " sqrt fault " << Spec
+            << " element " << I;
+    }
+  }
+}
+
+TEST_F(BatchHardenTest, DdFaultMatrixPoisonIsSoundOnEveryTier) {
+  const size_t N = 50;
+  std::vector<DdInterval> X = moderateDd(N, 311), Y = moderateDd(N, 322);
+  std::vector<DdInterval> Dst(N);
+  for (Isa Tier : supportedIsas()) {
+    forceIsa(Tier);
+    for (const char *Spec : {"ftz@0", "daz@0", "rnd@0"}) {
+      setFenvPolicy(FenvPolicy::Poison);
+      resetFenvStats();
+      armFaults(Spec);
+      ddarr_mul(Dst.data(), X.data(), Y.data(), N);
+      disarmFaults();
+      invalidateRoundingCache();
+      EXPECT_EQ(fenvStats().Poisoned, 1u)
+          << "tier " << isaName(Tier) << " ddarr_mul fault " << Spec;
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_TRUE(isEntireDd(Dst[I]))
+            << "tier " << isaName(Tier) << " ddarr_mul fault " << Spec
+            << " element " << I;
+    }
+
+    // The reductions poison their (single) return value instead.
+    setFenvPolicy(FenvPolicy::Poison);
+    resetFenvStats();
+    armFaults("rnd@0");
+    DdInterval Sum = ddarr_sum(X.data(), N);
+    disarmFaults();
+    invalidateRoundingCache();
+    EXPECT_TRUE(isEntireDd(Sum)) << "tier " << isaName(Tier);
+    DdInterval Again = ddarr_sum(X.data(), N);
+    EXPECT_FALSE(isEntireDd(Again)) << "tier " << isaName(Tier);
+  }
+}
+
+TEST_F(BatchHardenTest, DivByZeroContainingDivisorIsSoundNotPoisoned) {
+  // A divisor straddling zero is a legitimate (if useless) input: the
+  // generic routine returns the whole line for that element, the fenv
+  // sentinel never fires, and neighbours are unaffected.
+  const size_t N = 9;
+  std::vector<Interval> X = moderate(N, 411), Y = positive(N, 422);
+  Y[4] = Interval::fromEndpoints(-0.5, 0.5); // contains zero
+  std::vector<Interval> Dst(N);
+  for (Isa Tier : supportedIsas()) {
+    forceIsa(Tier);
+    setFenvPolicy(FenvPolicy::Poison);
+    resetFenvStats();
+    iarr_div(Dst.data(), X.data(), Y.data(), N);
+    EXPECT_EQ(fenvStats().Violations, 0u) << isaName(Tier);
+    EXPECT_TRUE(isEntire(Dst[4])) << isaName(Tier);
+    for (size_t I = 0; I < N; ++I) {
+      if (I == 4)
+        continue;
+      EXPECT_FALSE(isEntire(Dst[I])) << isaName(Tier) << " element " << I;
+      // Quotients of positive divisors stay sound around the poisoned
+      // neighbour.
+      __float128 Q = static_cast<__float128>(X[I].lo()) / Y[I].hi();
+      EXPECT_TRUE(test::containsQuad(Dst[I], Q))
+          << isaName(Tier) << " element " << I;
+    }
+  }
+}
+
 TEST_F(BatchHardenTest, OneShotFaultLeavesLaterCallsClean) {
   const size_t N = 16;
   std::vector<Interval> X = moderate(N, 55), Dst(N);
@@ -171,6 +298,32 @@ TEST_F(BatchHardenTest, NanOperandFaultPropagatesSoundly) {
   }
   // The caller's array was never written (corruption is scratch-local).
   EXPECT_FALSE(X[0].hasNaN());
+}
+
+TEST_F(BatchHardenTest, NanOperandFaultPropagatesThroughDivAndDd) {
+  const size_t N = 8;
+  std::vector<Interval> X = moderate(N, 166), Y = positive(N, 177);
+  std::vector<Interval> Dst(N), Ref(N);
+  iarr_div(Ref.data(), X.data(), Y.data(), N);
+  armFaults("nan@0");
+  iarr_div(Dst.data(), X.data(), Y.data(), N);
+  disarmFaults();
+  EXPECT_TRUE(Dst[0].hasNaN());
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_TRUE(Dst[I].NegLo == Ref[I].NegLo && Dst[I].Hi == Ref[I].Hi)
+        << "element " << I;
+
+  std::vector<DdInterval> DX = moderateDd(N, 188), DY = moderateDd(N, 199);
+  std::vector<DdInterval> DDst(N), DRef(N);
+  ddarr_add(DRef.data(), DX.data(), DY.data(), N);
+  armFaults("nan@0");
+  ddarr_add(DDst.data(), DX.data(), DY.data(), N);
+  disarmFaults();
+  EXPECT_TRUE(DDst[0].hasNaN());
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_EQ(std::memcmp(&DDst[I], &DRef[I], sizeof(DdInterval)), 0)
+        << "element " << I;
+  EXPECT_FALSE(DX[0].hasNaN()); // corruption stays scratch-local
 }
 
 TEST_F(BatchHardenTest, InfOperandFaultSelectsArmedElement) {
@@ -231,8 +384,15 @@ TEST_F(BatchHardenTest, EmptyRangesAreNoOps) {
   iarr_add(D, Src, Src, 0);
   iarr_fma(D, Src, Src, Src, 0);
   iarr_exp(D, Src, 0);
+  iarr_div(D, Src, Src, 0);
+  iarr_sqrt(D, Src, 0);
   Interval S = Interval::fromPoint(1.0);
   iarr_scale(D, Src, S, 0);
+  DdInterval *DD = nullptr;
+  const DdInterval *DSrc = nullptr;
+  ddarr_add(DD, DSrc, DSrc, 0);
+  ddarr_mul(DD, DSrc, DSrc, 0);
+  ddarr_fma(DD, DSrc, DSrc, DSrc, 0);
 
   Interval Sum = iarr_sum(Src, 0);
   EXPECT_EQ(Sum.lo(), 0.0);
@@ -260,6 +420,28 @@ TEST_F(BatchHardenTest, FullAliasingIsExact) {
     EXPECT_EQ(std::memcmp(W.data(), RefExp.data(), N * sizeof(Interval)),
               0)
         << "tier " << isaName(Tier);
+
+    std::vector<Interval> P = positive(N, 457);
+    std::vector<Interval> RefDiv(N), RefSqrt(N);
+    iarr_div(RefDiv.data(), P.data(), P.data(), N);
+    std::vector<Interval> Q = P;
+    iarr_div(Q.data(), Q.data(), Q.data(), N); // Dst == X == Y
+    EXPECT_EQ(std::memcmp(Q.data(), RefDiv.data(), N * sizeof(Interval)),
+              0)
+        << "tier " << isaName(Tier) << " div";
+    iarr_sqrt(RefSqrt.data(), P.data(), N);
+    iarr_sqrt(P.data(), P.data(), N); // Dst == X
+    EXPECT_EQ(std::memcmp(P.data(), RefSqrt.data(), N * sizeof(Interval)),
+              0)
+        << "tier " << isaName(Tier) << " sqrt";
+
+    std::vector<DdInterval> DV = moderateDd(N, 458);
+    std::vector<DdInterval> DRef(N);
+    ddarr_mul(DRef.data(), DV.data(), DV.data(), N);
+    ddarr_mul(DV.data(), DV.data(), DV.data(), N); // Dst == X == Y
+    EXPECT_EQ(
+        std::memcmp(DV.data(), DRef.data(), N * sizeof(DdInterval)), 0)
+        << "tier " << isaName(Tier) << " ddarr_mul";
   }
 }
 
@@ -268,6 +450,13 @@ TEST_F(BatchHardenTest, PartialOverlapDiesInDebug) {
   std::vector<Interval> Buf = moderate(8, 789);
   std::vector<Interval> Y = moderate(4, 790);
   EXPECT_DEATH(iarr_add(Buf.data() + 1, Buf.data(), Y.data(), 4),
+               "partially overlaps");
+  EXPECT_DEATH(iarr_div(Buf.data() + 1, Buf.data(), Y.data(), 4),
+               "partially overlaps");
+
+  std::vector<DdInterval> DBuf = moderateDd(8, 791);
+  std::vector<DdInterval> DY = moderateDd(4, 792);
+  EXPECT_DEATH(ddarr_add(DBuf.data() + 1, DBuf.data(), DY.data(), 4),
                "partially overlaps");
 }
 #endif

@@ -8,7 +8,9 @@
 //  (a) every batched elementwise kernel, on every supported ISA tier,
 //      encloses (for the fused FMA tier: is enclosed by *and* still
 //      sound against) the scalar reference computed with the Interval
-//      operations;
+//      operations; div and sqrt are additionally bit-identical to the
+//      sign-specialized scalar routing on all inputs, and every
+//      (tier, op) kernel-table row is verified populated;
 //  (b) sum/dot are bit-identical across 1/2/4 threads and across ISA
 //      overrides, and enclose the sequential SumAccumulatorF64 result;
 //  (c) worker threads restore round-to-nearest after every reduction
@@ -193,6 +195,172 @@ TEST_P(BatchKernelIsaTest, FmaIsSoundAndAtMostComposedWidth) {
   }
 }
 
+/// Divisors drawn from every classification the div kernels route on:
+/// strictly positive, strictly negative, zero-containing, special
+/// (inf/NaN endpoints), and unconstrained moderate.
+std::vector<Interval> divisorIntervals(test::Rng &R, size_t N) {
+  std::vector<Interval> V(N);
+  int SpecialCount = 0;
+  const double *Sp = test::specialValues(SpecialCount);
+  for (size_t I = 0; I < N; ++I) {
+    switch (R.intIn(0, 4)) {
+    case 0: { // strictly positive
+      double Lo = std::ldexp(R.uniform(0.5, 1.0), R.intIn(-20, 20));
+      V[I] = Interval::fromEndpoints(Lo, Lo * R.uniform(1.0, 4.0));
+      break;
+    }
+    case 1: { // strictly negative
+      double Hi = -std::ldexp(R.uniform(0.5, 1.0), R.intIn(-20, 20));
+      V[I] = Interval::fromEndpoints(Hi * R.uniform(1.0, 4.0), Hi);
+      break;
+    }
+    case 2: // zero-containing (generic slow path)
+      V[I] = Interval::fromEndpoints(-R.uniform(0.0, 2.0),
+                                     R.uniform(0.0, 2.0));
+      break;
+    case 3: { // special endpoints, incl. NaN
+      double A = Sp[R.intIn(0, SpecialCount - 1)];
+      double B = Sp[R.intIn(0, SpecialCount - 1)];
+      if (std::isnan(A) || std::isnan(B))
+        V[I] = Interval::nan();
+      else
+        V[I] = Interval::fromEndpoints(std::fmin(A, B), std::fmax(A, B));
+      break;
+    }
+    default:
+      V[I] = R.moderateInterval();
+    }
+  }
+  return V;
+}
+
+TEST_P(BatchKernelIsaTest, DivBitIdenticalToSignSpecializedRouting) {
+  Isa Tier = static_cast<Isa>(GetParam());
+  if (!isaSupported(Tier))
+    GTEST_SKIP() << "CPU lacks " << isaName(Tier);
+  IsaGuard Restore;
+  forceIsa(Tier);
+
+  // Unlike mul, div is bit-identical on ALL inputs: the vector fast
+  // paths compute the same cross-family NaN screen the scalar iDivP /
+  // iDivN routines do, so fast-path-vs-fallback decisions converge.
+  test::Rng R(0xd1f + GetParam());
+  for (size_t N : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 17ul, 64ul, 1023ul}) {
+    std::vector<Interval> X = randomIntervals(R, N, /*Specials=*/true);
+    std::vector<Interval> Y = divisorIntervals(R, N);
+    std::vector<Interval> D(N), Ref(N);
+
+    iarr_div(D.data(), X.data(), Y.data(), N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I) {
+        // The routing contract shared by every tier (NaN divisors fail
+        // both sign tests and take the generic routine).
+        if (-Y[I].NegLo > 0.0)
+          Ref[I] = iDivP(X[I], Y[I]);
+        else if (Y[I].Hi < 0.0)
+          Ref[I] = iDivN(X[I], Y[I]);
+        else
+          Ref[I] = iDiv(X[I], Y[I]);
+      }
+    }
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_TRUE(sameBits(D[I], Ref[I]))
+          << isaName(Tier) << " div @" << I << " X=[" << X[I].lo() << ", "
+          << X[I].hi() << "] Y=[" << Y[I].lo() << ", " << Y[I].hi()
+          << "] got [" << -D[I].NegLo << ", " << D[I].Hi << "] want ["
+          << -Ref[I].NegLo << ", " << Ref[I].Hi << "]";
+
+    // Soundness spot-check: endpoint quotients are contained whenever
+    // they are well-defined reals.
+    for (size_t I = 0; I < N; ++I) {
+      if (X[I].hasNaN() || Y[I].hasNaN())
+        continue;
+      if (Y[I].contains(0.0))
+        continue;
+      for (double U : {X[I].lo(), X[I].hi()})
+        for (double V : {Y[I].lo(), Y[I].hi()}) {
+          if (std::isinf(U) || std::isinf(V))
+            continue;
+          __float128 Exact = static_cast<__float128>(U) / V;
+          EXPECT_TRUE(test::containsQuad(D[I], Exact))
+              << isaName(Tier) << " div unsound @" << I;
+        }
+    }
+  }
+}
+
+/// Inputs for sqrt spanning its routing: positive fast-domain, zero and
+/// negative lower endpoints, infinite uppers, and NaN.
+std::vector<Interval> sqrtInputs(test::Rng &R, size_t N) {
+  std::vector<Interval> V(N);
+  for (size_t I = 0; I < N; ++I) {
+    switch (R.intIn(0, 5)) {
+    case 0:
+      V[I] = Interval::nan();
+      break;
+    case 1: // negative lower endpoint: NaN from iSqrt
+      V[I] = Interval::fromEndpoints(-R.uniform(0.0, 2.0),
+                                     R.uniform(0.0, 2.0));
+      break;
+    case 2: // exact zero lower endpoint (outside the strict fast screen)
+      V[I] = Interval::fromEndpoints(0.0, R.uniform(0.0, 4.0));
+      break;
+    case 3: // infinite upper endpoint
+      V[I] = Interval::fromEndpoints(
+          R.uniform(0.0, 1.0), std::numeric_limits<double>::infinity());
+      break;
+    default: { // strictly positive across many binades
+      double Lo = std::ldexp(R.uniform(0.5, 1.0), R.intIn(-300, 300));
+      V[I] = Interval::fromEndpoints(Lo, Lo * R.uniform(1.0, 4.0));
+    }
+    }
+  }
+  return V;
+}
+
+TEST_P(BatchKernelIsaTest, SqrtBitIdenticalToScalarOnAllInputs) {
+  Isa Tier = static_cast<Isa>(GetParam());
+  if (!isaSupported(Tier))
+    GTEST_SKIP() << "CPU lacks " << isaName(Tier);
+  IsaGuard Restore;
+  forceIsa(Tier);
+
+  test::Rng R(0x5c27 + GetParam());
+  for (size_t N : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 17ul, 64ul, 1023ul}) {
+    std::vector<Interval> X = sqrtInputs(R, N);
+    std::vector<Interval> D(N), Ref(N);
+    iarr_sqrt(D.data(), X.data(), N);
+    {
+      RoundUpwardScope Up;
+      for (size_t I = 0; I < N; ++I)
+        Ref[I] = iSqrt(X[I]);
+    }
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_TRUE(sameBits(D[I], Ref[I]))
+          << isaName(Tier) << " sqrt @" << I << " X=[" << X[I].lo() << ", "
+          << X[I].hi() << "] got [" << -D[I].NegLo << ", " << D[I].Hi
+          << "] want [" << -Ref[I].NegLo << ", " << Ref[I].Hi << "]";
+
+    // Soundness: sqrt of each finite non-negative endpoint is contained.
+    for (size_t I = 0; I < N; ++I) {
+      if (X[I].hasNaN() || X[I].lo() < 0.0)
+        continue;
+      for (double U : {X[I].lo(), X[I].hi()}) {
+        if (std::isinf(U))
+          continue;
+        long double S;
+        {
+          RoundNearestScope Near;
+          S = sqrtl(static_cast<long double>(U));
+        }
+        EXPECT_TRUE(test::containsQuad(D[I], static_cast<__float128>(S)))
+            << isaName(Tier) << " sqrt unsound @" << I << " x=" << U;
+      }
+    }
+  }
+}
+
 /// Interval inputs for one elementary function, mixing fast-domain
 /// elements with out-of-domain / special ones so the SIMD screens and
 /// per-element fallbacks are exercised in the same batch.
@@ -319,6 +487,26 @@ INSTANTIATE_TEST_SUITE_P(AllIsas, BatchKernelIsaTest,
                          [](const ::testing::TestParamInfo<int> &Info) {
                            return isaName(static_cast<Isa>(Info.param));
                          });
+
+//===----------------------------------------------------------------------===//
+// Kernel-table completeness
+//===----------------------------------------------------------------------===//
+
+TEST(KernelTableTest, EveryRowPopulatedForEveryIsa) {
+  // Guards against a new op being added to KernelTable but left null in
+  // one tier's table: the dispatcher would hand out a null function
+  // pointer for that (tier, op) pair. The check names the offender.
+  std::string Missing;
+  EXPECT_TRUE(kernelTablesComplete(&Missing)) << Missing;
+}
+
+TEST(KernelTableTest, TableNamesMatchTierNames) {
+  IsaGuard Restore;
+  for (Isa Tier : supportedIsas()) {
+    forceIsa(Tier);
+    EXPECT_STREQ(kernels().Name, isaName(Tier));
+  }
+}
 
 //===----------------------------------------------------------------------===//
 // (b) Reduction reproducibility and soundness
@@ -454,7 +642,7 @@ TEST(BatchReduceTest, SumRespectsIgenIsaEnvOverride) {
 
   clearForcedIsa();
   Interval Ref = iarr_dot(X.data(), Y.data(), X.size());
-  for (const char *Name : {"scalar", "sse2", "avx", "avx2"}) {
+  for (const char *Name : {"scalar", "sse2", "avx", "avx2", "avx512"}) {
     ASSERT_EQ(setenv("IGEN_ISA", Name, 1), 0);
     clearForcedIsa();
     Isa Wanted = Isa::Scalar;

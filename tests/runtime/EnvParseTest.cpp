@@ -73,8 +73,22 @@ TEST(EnvParse, IsaUnsetOrEmptyAutoDetectsSilently) {
   EXPECT_TRUE(W.empty());
 }
 
+TEST(EnvParse, IsaAcceptsAvx512WhereSupported) {
+  std::string W;
+  Isa Got = resolveIsaFromSpec("avx512", &W);
+  EXPECT_TRUE(igen::runtime::isaSupported(Got));
+  if (igen::runtime::isaSupported(Isa::Avx512)) {
+    EXPECT_EQ(Got, Isa::Avx512);
+    EXPECT_TRUE(W.empty());
+  } else {
+    // Known name, unsupported CPU: fall back to detection, but say so.
+    EXPECT_EQ(Got, igen::runtime::detectIsa());
+    EXPECT_FALSE(W.empty());
+  }
+}
+
 TEST(EnvParse, IsaWarnsOnUnknownNamesAndFallsBack) {
-  for (const char *Bad : {"avx512", "AVX2", "fast", "sse", "2"}) {
+  for (const char *Bad : {"avx1024", "AVX2", "fast", "sse", "2"}) {
     std::string W;
     EXPECT_EQ(resolveIsaFromSpec(Bad, &W), igen::runtime::detectIsa())
         << "spec: " << Bad;

@@ -1,0 +1,36 @@
+/* Elementwise array kernels for the --batch-loops exec tests. Each loop
+ * matches the batched shape and compiles to a single ia_arr_* call. */
+
+void vadd(double *d, double *a, double *b, int n) {
+  for (int i = 0; i < n; i++)
+    d[i] = a[i] + b[i];
+}
+
+void vsub(double *d, double *a, double *b, int n) {
+  for (int i = 0; i < n; i++)
+    d[i] = a[i] - b[i];
+}
+
+void vmul(double *d, double *a, double *b, int n) {
+  for (int i = 0; i < n; i++)
+    d[i] = a[i] * b[i];
+}
+
+void vdiv(double *d, double *a, double *b, int n) {
+  for (int i = 0; i < n; i++)
+    d[i] = a[i] / b[i];
+}
+
+void vsqrt(double *d, double *a, int n) {
+  for (int i = 0; i < n; i++)
+    d[i] = sqrt(a[i]);
+}
+
+/* Does not match the batched shape (two-statement body); stays an
+ * elementwise loop so the two paths coexist in one translation unit. */
+void vnorm2(double *d, double *a, double *b, int n) {
+  for (int i = 0; i < n; i++) {
+    d[i] = a[i] * a[i];
+    d[i] = d[i] + b[i] * b[i];
+  }
+}

@@ -572,3 +572,113 @@ TEST(Optimizer, GuardFactsDisabledUnderJoinPolicy) {
   EXPECT_THAT(Out, Not(HasSubstr("ia_mul_pp")));
   EXPECT_THAT(Out, Not(HasSubstr("ia_div_p_f64")));
 }
+
+//===----------------------------------------------------------------------===//
+// Batched array loops (--batch-loops)
+//===----------------------------------------------------------------------===//
+
+namespace {
+TransformOptions batchOpts() {
+  TransformOptions Opts;
+  Opts.EnableBatchLoops = true;
+  return Opts;
+}
+} // namespace
+
+TEST(BatchLoops, ElementwiseBinaryLoopsCollapseToOneCall) {
+  std::string Out = compile(
+      "void vadd(double *d, double *a, double *b, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    d[i] = a[i] + b[i];\n"
+      "}\n"
+      "void vdiv(double *d, double *a, double *b, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    d[i] = a[i] / b[i];\n"
+      "}\n",
+      batchOpts());
+  EXPECT_THAT(Out, HasSubstr("ia_arr_add_f64(d, a, b, (unsigned long)(n));"));
+  EXPECT_THAT(Out, HasSubstr("ia_arr_div_f64(d, a, b, (unsigned long)(n));"));
+  // The per-element loop is gone entirely.
+  EXPECT_THAT(Out, Not(HasSubstr("ia_add_f64")));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_div_f64")));
+  EXPECT_THAT(Out, Not(HasSubstr("for (")));
+}
+
+TEST(BatchLoops, SqrtLoopCollapses) {
+  std::string Out = compile("void vsqrt(double *d, double *a, int n) {\n"
+                            "  for (int i = 0; i < n; i++)\n"
+                            "    d[i] = sqrt(a[i]);\n"
+                            "}\n",
+                            batchOpts());
+  EXPECT_THAT(Out, HasSubstr("ia_arr_sqrt_f64(d, a, (unsigned long)(n));"));
+  EXPECT_THAT(Out, Not(HasSubstr("ia_sqrt_f64")));
+}
+
+TEST(BatchLoops, OffByDefault) {
+  std::string Out =
+      compile("void vadd(double *d, double *a, double *b, int n) {\n"
+              "  for (int i = 0; i < n; i++)\n"
+              "    d[i] = a[i] + b[i];\n"
+              "}\n");
+  EXPECT_THAT(Out, Not(HasSubstr("ia_arr_")));
+  EXPECT_THAT(Out, HasSubstr("ia_add_f64(a[i], b[i])"));
+}
+
+TEST(BatchLoops, DdPrecisionStaysElementwise) {
+  TransformOptions Opts = batchOpts();
+  Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  std::string Out =
+      compile("void vadd(double *d, double *a, double *b, int n) {\n"
+              "  for (int i = 0; i < n; i++)\n"
+              "    d[i] = a[i] + b[i];\n"
+              "}\n",
+              Opts);
+  EXPECT_THAT(Out, Not(HasSubstr("ia_arr_")));
+  EXPECT_THAT(Out, HasSubstr("ia_add_dd(a[i], b[i])"));
+}
+
+TEST(BatchLoops, ProfileModeStaysElementwise) {
+  // --profile wants per-site instrumentation on every interval op; a
+  // collapsed ia_arr_ call would lose the site attribution.
+  TransformOptions Opts = batchOpts();
+  Opts.Profile = true;
+  std::string Out =
+      compile("void vadd(double *d, double *a, double *b, int n) {\n"
+              "  for (int i = 0; i < n; i++)\n"
+              "    d[i] = a[i] + b[i];\n"
+              "}\n",
+              Opts);
+  EXPECT_THAT(Out, Not(HasSubstr("ia_arr_")));
+}
+
+TEST(BatchLoops, NonMatchingLoopsAreLeftAlone) {
+  // Broadcast operand, strided access, accumulation, two-statement
+  // bodies: none match the d[i] = a[i] OP b[i] shape.
+  std::string Out = compile(
+      "void broadcast(double *d, double *a, double *b, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    d[i] = a[i] + b[0];\n"
+      "}\n"
+      "void strided(double *d, double *a, double *b, int n) {\n"
+      "  for (int i = 0; i < n; i += 2)\n"
+      "    d[i] = a[i] + b[i];\n"
+      "}\n"
+      "double accum(double *a, int n) {\n"
+      "  double s = 0.0;\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    s = s + a[i];\n"
+      "  return s;\n"
+      "}\n",
+      batchOpts());
+  EXPECT_THAT(Out, Not(HasSubstr("ia_arr_")));
+}
+
+TEST(BatchLoops, LiteralTripCountAndCompoundBodyMatch) {
+  std::string Out = compile("void vmul8(double *d, double *a, double *b) {\n"
+                            "  for (int i = 0; i < 8; i++) {\n"
+                            "    d[i] = a[i] * b[i];\n"
+                            "  }\n"
+                            "}\n",
+                            batchOpts());
+  EXPECT_THAT(Out, HasSubstr("ia_arr_mul_f64(d, a, b, (unsigned long)(8));"));
+}

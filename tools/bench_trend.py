@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two igen_bench JSON reports row by row and flag regressions.
+
+Usage: bench_trend.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files must be igen_bench documents (as written by the bench binaries
+with --json, e.g. BENCH_batch.json) with the same schema_version. Rows are
+keyed by (kernel, config, size); for each key present in both files the
+relative change in iops_per_cycle is printed. Rows present in only one
+file are listed as added/removed but do not affect the exit status.
+
+Exit status: 0 when no matched row regressed by more than the threshold
+(default 10%), 1 when at least one did, 2 on malformed input. Stdlib
+only; used by CI to gate batched-kernel performance against the checked-in
+baseline.
+
+Throughput noise on shared/virtualized runners easily reaches a few
+percent; the default threshold is deliberately loose. Tighten with
+--threshold for controlled machines.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg):
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"bench_trend: {path}: {e}")
+    if not isinstance(doc, dict) or doc.get("report") != "igen_bench":
+        die(f"bench_trend: {path}: not an igen_bench report")
+    if not isinstance(doc.get("schema_version"), int):
+        die(f"bench_trend: {path}: missing integer schema_version")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        die(f"bench_trend: {path}: missing rows array")
+    table = {}
+    for i, row in enumerate(rows):
+        try:
+            key = (row["kernel"], row["config"], int(row["size"]))
+            val = float(row["iops_per_cycle"])
+        except (KeyError, TypeError, ValueError) as e:
+            die(f"bench_trend: {path}: rows[{i}]: {e}")
+        if key in table:
+            die(f"bench_trend: {path}: duplicate row {key}")
+        table[key] = val
+    return doc["schema_version"], table
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare two igen_bench reports; exit 1 on regression")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    base_ver, base = load(args.baseline)
+    cur_ver, cur = load(args.current)
+    if base_ver != cur_ver:
+        die(f"bench_trend: schema_version mismatch: "
+            f"{args.baseline} is v{base_ver}, {args.current} is "
+            f"v{cur_ver}; regenerate the baseline")
+
+    regressions = []
+    print(f"{'kernel':<12} {'config':<14} {'size':>8} "
+          f"{'base':>9} {'cur':>9} {'delta':>8}")
+    for key in sorted(base):
+        if key not in cur:
+            print(f"{key[0]:<12} {key[1]:<14} {key[2]:>8} "
+                  f"{base[key]:>9.4f} {'--':>9} {'removed':>8}")
+            continue
+        b, c = base[key], cur[key]
+        pct = (c - b) / b * 100.0 if b else 0.0
+        mark = ""
+        if pct < -args.threshold:
+            mark = "  <-- REGRESSION"
+            regressions.append((key, b, c, pct))
+        print(f"{key[0]:<12} {key[1]:<14} {key[2]:>8} "
+              f"{b:>9.4f} {c:>9.4f} {pct:>+7.1f}%{mark}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key[0]:<12} {key[1]:<14} {key[2]:>8} "
+              f"{'--':>9} {cur[key]:>9.4f} {'added':>8}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed more than "
+              f"{args.threshold:g}%:", file=sys.stderr)
+        for (kernel, config, size), b, c, pct in regressions:
+            print(f"  {kernel}/{config}@{size}: {b:.4f} -> {c:.4f} "
+                  f"({pct:+.1f}%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
