@@ -91,6 +91,21 @@ IntervalSse svp_horner(IntervalSse *coef, IntervalSse x, int d);
 IntervalSse svp_pade(IntervalSse *xs, IntervalSse *out, int n);
 
 // --------------------------------------------------------------------------
+// IGen-svt: adaptive precision tiering (--tier). The wrapper under the
+// kernel name runs at f64i speed and escalates on blowup; the emitted
+// ddi clone (__dd suffix) stays directly callable and doubles as the
+// always-double-double baseline. Array parameters keep the f64i memory
+// ABI even in the clone.
+// --------------------------------------------------------------------------
+IntervalSse svt_henon(IntervalSse x, IntervalSse y, int iterations);
+DdIntervalAvx svt_henon__dd(DdIntervalAvx x, DdIntervalAvx y,
+                            int iterations);
+IntervalSse svt_gauss(IntervalSse *xs, IntervalSse *out, int n);
+DdIntervalAvx svt_gauss__dd(IntervalSse *xs, IntervalSse *out, int n);
+IntervalSse sv_envmax(IntervalSse *xs, int n);
+IntervalSse svt_envmax(IntervalSse *xs, int n);
+
+// --------------------------------------------------------------------------
 // IGen-ss: scalar input -> scalar double intervals.
 // --------------------------------------------------------------------------
 void ss_fft(Interval *re, Interval *im, Interval *wre, Interval *wim,

@@ -1,0 +1,15 @@
+/* Movability-pruning kernel for the tier benchmark: the envelope bound
+   is built entirely from exact-transfer operations (fabs/fmax selection,
+   unary negation, the integral literal 0.0), so the --tier movability
+   analysis classifies the result immovable. On wide inputs the blowup
+   predicate fires at region exit, but the wrapper must skip the ddi
+   rerun: a recompute provably returns the identical interval. The
+   tiered row should therefore time within noise of the plain row. */
+
+double k_envmax(const double *xs, int n) {
+  double m = 0.0;
+  for (int i = 0; i < n; i++) {
+    m = fmax(m, fabs(xs[i]));
+  }
+  return -m;
+}

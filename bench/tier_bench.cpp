@@ -1,0 +1,239 @@
+//===- tier_bench.cpp - Adaptive precision tiering cost/benefit -------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the --tier contract on henon and gauss plus the
+// movability-pruning envelope kernel:
+//
+//  * easy inputs (tight enclosures): the tiered build must ride the
+//    f64i tier -- zero escalations and within a few percent of the
+//    plain sv build, far from the always-double-double cost;
+//  * hard inputs (blowup at f64i): every call escalates, the result
+//    width collapses to the ddi clone's, and the cost approaches
+//    sv + dd (the price of one recompute, paid only when needed);
+//  * envmax (immovable result): the predicate fires but the rerun is
+//    pruned, so the tiered row times like the plain row.
+//
+// Configs: sv-easy/tier-easy/dd-easy and the -hard triple per kernel
+// (envmax: sv-hard/tier-hard only). The dd rows call the tier build's
+// ddi clones directly. The escalation-counter contract is checked
+// deterministically; any violation exits nonzero. `--json <path>`
+// writes the rows machine-readably (BENCH_tier.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "KernelDecls.h"
+#include "profile/TierRuntime.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace igen;
+using namespace igen::bench;
+
+namespace {
+
+bool ContractViolated = false;
+
+struct RegionCounts {
+  uint64_t Escalations = 0, Pruned = 0;
+};
+
+RegionCounts counts(const char *Fn) {
+  RegionCounts C;
+  for (const tier::RegionReport &R : tier::snapshot())
+    if (R.Func == Fn) {
+      C.Escalations = R.Escalations;
+      C.Pruned = R.Pruned;
+    }
+  return C;
+}
+
+/// Times one tiered row and checks its escalation contract: EveryCall
+/// -> every invocation escalated; Never -> none did (NeverPruned
+/// additionally requires the predicate to have fired and been pruned).
+enum class Expect { EveryCall, Never, NeverPruned };
+
+uint64_t timedTierRow(const char *Region, Expect Want,
+                      const std::function<void()> &Fn, int Reps) {
+  RegionCounts Before = counts(Region);
+  uint64_t Cycles = minCycles(Fn, Reps);
+  RegionCounts After = counts(Region);
+  uint64_t Calls = static_cast<uint64_t>(Reps) + 1; // + warm-up
+  uint64_t Esc = After.Escalations - Before.Escalations;
+  uint64_t Pruned = After.Pruned - Before.Pruned;
+  bool Ok = true;
+  switch (Want) {
+  case Expect::EveryCall:
+    Ok = Esc == Calls;
+    break;
+  case Expect::Never:
+    Ok = Esc == 0;
+    break;
+  case Expect::NeverPruned:
+    Ok = Esc == 0 && Pruned == Calls;
+    break;
+  }
+  if (!Ok) {
+    std::fprintf(stderr,
+                 "tier_bench: ERROR: %s escalation contract violated "
+                 "(%llu escalations, %llu pruned over %llu calls)\n",
+                 Region, static_cast<unsigned long long>(Esc),
+                 static_cast<unsigned long long>(Pruned),
+                 static_cast<unsigned long long>(Calls));
+    ContractViolated = true;
+  }
+  return Cycles;
+}
+
+double width(IntervalSse V) {
+  Interval I = V.toInterval();
+  return I.Hi + I.NegLo;
+}
+
+double width(DdIntervalAvx V) {
+  DdInterval I = V.toScalar();
+  return (I.Hi.H + I.Hi.L) + (I.NegLo.H + I.NegLo.L);
+}
+
+//===--------------------------------------------------------------------===//
+// henon: size = iteration count. Point inputs; easy stays under the
+// blowup threshold, hard crosses it (the f64i width is rounding-induced
+// and grows exponentially, so the ddi rerun collapses it).
+//===--------------------------------------------------------------------===//
+
+double henonIops(int Iters) { return 5.0 * Iters; }
+
+void benchHenon(JsonReport *Rep, bool Hard) {
+  const int Iters = Hard ? 60 : 12;
+  const char *Suffix = Hard ? "hard" : "easy";
+  const int Reps = 33;
+  IntervalSse X = IntervalSse::fromPoint(0.3);
+  IntervalSse Y = IntervalSse::fromPoint(0.24);
+  DdIntervalAvx Xd = DdIntervalAvx::fromPoint(0.3);
+  DdIntervalAvx Yd = DdIntervalAvx::fromPoint(0.24);
+
+  IntervalSse RSv, RTier;
+  DdIntervalAvx RDd;
+  uint64_t CSv = minCycles([&] { RSv = sv_henon(X, Y, Iters); }, Reps);
+  uint64_t CTier = timedTierRow(
+      "svt_henon", Hard ? Expect::EveryCall : Expect::Never,
+      [&] { RTier = svt_henon(X, Y, Iters); }, Reps);
+  uint64_t CDd = minCycles([&] { RDd = svt_henon__dd(Xd, Yd, Iters); },
+                           Reps);
+
+  reportRow(Rep, "henon", (std::string("sv-") + Suffix).c_str(), Iters,
+            CSv, henonIops(Iters));
+  reportRow(Rep, "henon", (std::string("tier-") + Suffix).c_str(), Iters,
+            CTier, henonIops(Iters));
+  reportRow(Rep, "henon", (std::string("dd-") + Suffix).c_str(), Iters,
+            CDd, henonIops(Iters));
+  std::printf("# henon-%s: tier/sv %.2fx, dd/sv %.2fx; widths sv %.3g "
+              "tier %.3g dd %.3g\n",
+              Suffix, double(CTier) / CSv, double(CDd) / CSv, width(RSv),
+              width(RTier), width(RDd));
+}
+
+//===--------------------------------------------------------------------===//
+// gauss: size = element count. Easy: width-1-ulp inputs. Hard: 1e-4-wide
+// inputs push the accumulated sum past the threshold.
+//===--------------------------------------------------------------------===//
+
+double gaussIops(int N) { return 10.0 * N; }
+
+void benchGauss(JsonReport *Rep, bool Hard) {
+  const int N = 256;
+  const char *Suffix = Hard ? "hard" : "easy";
+  const int Reps = 11;
+  Rng R(benchSeed("tier_gauss", Suffix, N));
+  std::vector<IntervalSse> Xs(N), Out(N);
+  for (int I = 0; I < N; ++I) {
+    double C = R.uniform(-1.0, 1.0);
+    Xs[I] = Hard ? IntervalSse::fromEndpoints(C, C + 1e-4)
+                 : IntervalSse::fromEndpoints(C, nextUp(C));
+  }
+
+  IntervalSse RSv, RTier;
+  DdIntervalAvx RDd;
+  uint64_t CSv =
+      minCycles([&] { RSv = sv_gauss(Xs.data(), Out.data(), N); }, Reps);
+  uint64_t CTier = timedTierRow(
+      "svt_gauss", Hard ? Expect::EveryCall : Expect::Never,
+      [&] { RTier = svt_gauss(Xs.data(), Out.data(), N); }, Reps);
+  uint64_t CDd =
+      minCycles([&] { RDd = svt_gauss__dd(Xs.data(), Out.data(), N); },
+                Reps);
+
+  reportRow(Rep, "gauss", (std::string("sv-") + Suffix).c_str(), N, CSv,
+            gaussIops(N));
+  reportRow(Rep, "gauss", (std::string("tier-") + Suffix).c_str(), N,
+            CTier, gaussIops(N));
+  reportRow(Rep, "gauss", (std::string("dd-") + Suffix).c_str(), N, CDd,
+            gaussIops(N));
+  std::printf("# gauss-%s: tier/sv %.2fx, dd/sv %.2fx; widths sv %.3g "
+              "tier %.3g dd %.3g\n",
+              Suffix, double(CTier) / CSv, double(CDd) / CSv, width(RSv),
+              width(RTier), width(RDd));
+}
+
+//===--------------------------------------------------------------------===//
+// envmax: size = element count. Wide inputs fire the predicate, but the
+// immovable result prunes the rerun: tier must time like sv.
+//===--------------------------------------------------------------------===//
+
+void benchEnvmax(JsonReport *Rep) {
+  const int N = 1024;
+  const int Reps = 11;
+  Rng R(benchSeed("tier_envmax", "hard", N));
+  std::vector<IntervalSse> Xs(N);
+  for (int I = 0; I < N; ++I) {
+    double C = R.uniform(-1.0, 1.0);
+    Xs[I] = IntervalSse::fromEndpoints(C, C + 0.1);
+  }
+
+  IntervalSse RSv, RTier;
+  uint64_t CSv = minCycles([&] { RSv = sv_envmax(Xs.data(), N); }, Reps);
+  uint64_t CTier = timedTierRow(
+      "svt_envmax", Expect::NeverPruned,
+      [&] { RTier = svt_envmax(Xs.data(), N); }, Reps);
+
+  reportRow(Rep, "envmax", "sv-hard", N, CSv, 2.0 * N);
+  reportRow(Rep, "envmax", "tier-hard", N, CTier, 2.0 * N);
+  std::printf("# envmax-hard: tier/sv %.2fx (pruned, no rerun); widths "
+              "sv %.3g tier %.3g\n",
+              double(CTier) / CSv, width(RSv), width(RTier));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = jsonPathArg(argc, argv);
+  JsonReport Report;
+  JsonReport *Rep = JsonPath ? &Report : nullptr;
+
+  RoundUpwardScope Up;
+  igen_tier_env_refresh();
+  igen_tier_reset();
+
+  benchHenon(Rep, /*Hard=*/false);
+  benchHenon(Rep, /*Hard=*/true);
+  benchGauss(Rep, /*Hard=*/false);
+  benchGauss(Rep, /*Hard=*/true);
+  benchEnvmax(Rep);
+
+  std::printf("\n");
+  igen_tier_report(stdout);
+
+  if (JsonPath && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "tier_bench: cannot write %s\n", JsonPath);
+    return 1;
+  }
+  return ContractViolated ? 1 : 0;
+}

@@ -15,7 +15,6 @@
 #include "frontend/ASTDumper.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
-#include "support/JsonWriter.h"
 #include "support/StringExtras.h"
 #include "transform/Pipeline.h"
 
@@ -61,6 +60,16 @@ void printUsage() {
       "                        statistics to the igen_profile runtime;\n"
       "                        the site table is also written next to\n"
       "                        the output as <output>.sites.json\n"
+      "  --tier                emit adaptive precision tiering: eligible\n"
+      "                        functions run at f64i speed, check a blowup\n"
+      "                        predicate on their result, and re-execute a\n"
+      "                        double-double clone from a live-in snapshot\n"
+      "                        only when the result is wide AND provably\n"
+      "                        improvable (movability analysis). Tuned by\n"
+      "                        IGEN_TIER_WIDTH / IGEN_TIER_MAX; the region\n"
+      "                        table is written as <output>.sites.json.\n"
+      "                        Incompatible with --profile and\n"
+      "                        --precision=dd\n"
       "  --harden              emit FP-environment sentinel checks at\n"
       "                        sound-region entry and after external\n"
       "                        calls; violations are handled per\n"
@@ -179,6 +188,10 @@ int main(int Argc, char **Argv) {
       Opts.Profile = true;
       continue;
     }
+    if (Arg == "--tier") {
+      Opts.Tier = true;
+      continue;
+    }
     if (Arg == "--harden") {
       Opts.Harden = true;
       continue;
@@ -239,7 +252,18 @@ int main(int Argc, char **Argv) {
     std::fputs(dumpAST(Ctx.TU).c_str(), stdout);
     return Diags.hasErrors() ? ExitSema : ExitSuccess;
   }
-  if (Opts.Profile) {
+  if (Opts.Tier && Opts.Profile) {
+    std::fprintf(stderr, "igen: error: --tier cannot be combined with "
+                         "--profile (one instrumentation layer per TU)\n");
+    return ExitUsage;
+  }
+  if (Opts.Tier && Opts.Prec == TransformOptions::Precision::DoubleDouble) {
+    std::fprintf(stderr,
+                 "igen: error: --tier requires --precision=double (the "
+                 "double-double tier is what it escalates to)\n");
+    return ExitUsage;
+  }
+  if (Opts.Profile || Opts.Tier) {
     Opts.SourceName = InputPath;
     // Module name: output file's basename without extension.
     size_t Slash = OutputPath.find_last_of('/');
@@ -252,10 +276,11 @@ int main(int Argc, char **Argv) {
     Opts.ModuleName = Stem;
   }
 
-  ProfileSiteTable Sites;
+  SiteTable Sites;
   PipelineStage Failed = PipelineStage::None;
   std::optional<std::string> Output = compileToIntervals(
-      Source, Opts, Diags, Opts.Profile ? &Sites : nullptr, &Failed);
+      Source, Opts, Diags,
+      Opts.Profile || Opts.Tier ? &Sites : nullptr, &Failed);
   std::fputs(Diags.render(InputPath).c_str(), stderr);
   if (!Output)
     return exitCodeFor(Failed);
@@ -266,32 +291,11 @@ int main(int Argc, char **Argv) {
     return ExitIO;
   }
 
-  if (Opts.Profile) {
-    // Sidecar with the compile-time site table, so tooling can map site
+  if (Opts.Profile || Opts.Tier) {
+    // Sidecar with the compile-time site/region table, so tooling can map
     // IDs in runtime reports back to source without executing anything.
-    JsonWriter W;
-    W.beginObject();
-    W.field("schema_version", 1);
-    W.field("report", "igen_sites");
-    W.field("module", Sites.Module);
-    W.field("source_file", Sites.SourceFile);
-    W.key("sites");
-    W.beginArray();
-    for (size_t I = 0; I < Sites.Sites.size(); ++I) {
-      const ProfileSite &S = Sites.Sites[I];
-      W.beginObject();
-      W.field("id", static_cast<uint64_t>(I));
-      W.field("op", S.Op);
-      W.field("func", S.Func);
-      W.field("line", static_cast<uint64_t>(S.Line));
-      W.field("col", static_cast<uint64_t>(S.Col));
-      W.field("text", S.Text);
-      W.endObject();
-    }
-    W.endArray();
-    W.endObject();
     std::string SidecarPath = OutputPath + ".sites.json";
-    if (!W.writeTo(SidecarPath.c_str())) {
+    if (!writeSiteSidecar(SidecarPath, Sites)) {
       std::fprintf(stderr, "igen: error: cannot write '%s'\n",
                    SidecarPath.c_str());
       return ExitIO;

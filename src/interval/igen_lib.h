@@ -44,6 +44,8 @@
 #include "runtime/BatchKernels.h"
 #endif
 
+#include <cmath>
+
 //===----------------------------------------------------------------------===//
 // Types
 //===----------------------------------------------------------------------===//
@@ -426,6 +428,78 @@ inline ddi ia_f32cast_dd(ddi A) {
   igen::Interval Hull = igen_detail::ddiToScalar(A).outerHull();
   return igen_detail::ddiFromScalar(igen::DdInterval::fromInterval(
       igen::Interval32::fromInterval(Hull).widen()));
+}
+
+/// Elementary functions on ddi fall back to the double-precision kernels
+/// applied to the outer f64 hull of the argument: the result encloses the
+/// true image (the hull encloses the argument, the f64 kernel is sound on
+/// the hull), it is just no tighter than the f64 enclosure of a hull-wide
+/// input. This is what makes transcendental kernels *compile* at the ddi
+/// tier — the error amplification through exp/log/sin/cos is still
+/// computed at dd precision everywhere else, and for the adaptive tiering
+/// path (igen --tier) the escalated re-execution only needs the dd
+/// arithmetic around these calls to recover the cancellation losses.
+#define IGEN_DD_HULL_FALLBACK(NAME, F64_KERNEL)                              \
+  inline ddi ia_##NAME##_dd(ddi A) {                                         \
+    igen::Interval H = igen_detail::ddiToScalar(A).outerHull();              \
+    return igen_detail::ddiFromScalar(                                       \
+        igen::DdInterval::fromInterval(igen::F64_KERNEL(H)));                \
+  }
+
+IGEN_DD_HULL_FALLBACK(exp, iExp)
+IGEN_DD_HULL_FALLBACK(log, iLog)
+IGEN_DD_HULL_FALLBACK(sin, iSin)
+IGEN_DD_HULL_FALLBACK(cos, iCos)
+IGEN_DD_HULL_FALLBACK(tan, iTan)
+IGEN_DD_HULL_FALLBACK(atan, iAtan)
+IGEN_DD_HULL_FALLBACK(asin, iAsin)
+IGEN_DD_HULL_FALLBACK(acos, iAcos)
+IGEN_DD_HULL_FALLBACK(floor, iFloor)
+IGEN_DD_HULL_FALLBACK(ceil, iCeil)
+
+#undef IGEN_DD_HULL_FALLBACK
+
+//===----------------------------------------------------------------------===//
+// Precision-tier conversions (igen --tier, Section VI-A ladder)
+//===----------------------------------------------------------------------===//
+
+/// Exact f64i -> ddi promotion: every double endpoint is representable as
+/// a double-double, so the promoted interval is the same set of reals.
+/// Free of rounding; used to lift an escalation region's live-in snapshot
+/// onto the ddi tier.
+inline ddi ia_promote_f64_dd(f64i X) {
+#if defined(IGEN_F64I_SCALAR)
+  return igen_detail::ddiFromScalar(igen::DdInterval::fromInterval(X));
+#else
+  return igen_detail::ddiFromScalar(
+      igen::DdInterval::fromInterval(X.toInterval()));
+#endif
+}
+
+/// Sound ddi -> f64i narrowing: the outer double hull (lo rounded down,
+/// hi rounded up), i.e. the tightest f64i superset of the ddi enclosure.
+inline f64i ia_narrow_dd_f64(ddi X) {
+  igen::Interval H = igen_detail::ddiToScalar(X).outerHull();
+#if defined(IGEN_F64I_SCALAR)
+  return H;
+#else
+  return f64i::fromInterval(H);
+#endif
+}
+
+/// Intersection of two enclosures of the same real value: both are sound,
+/// so their intersection is sound and at least as tight as either. NaN
+/// endpoints act as "unbounded" (fmax/fmin ignore them); a numerically
+/// empty meet — impossible for two sound enclosures of one value, but
+/// reachable if a caller intersects unrelated intervals — degrades to the
+/// first argument. Used by --tier to combine the f64i result with the
+/// narrowed re-executed ddi result.
+inline f64i ia_meet_f64(f64i A, f64i B) {
+  double Lo = std::fmax(ia_inf_f64(A), ia_inf_f64(B));
+  double Hi = std::fmin(ia_sup_f64(A), ia_sup_f64(B));
+  if (!(Lo <= Hi))
+    return A;
+  return ia_set_f64(Lo, Hi);
 }
 
 inline tbool ia_cmplt_dd(ddi A, ddi B) { return igen::ddiCmpLT(A, B); }

@@ -1,0 +1,74 @@
+//===- Movability.h - Result-movability lattice for --tier ------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides, per tier-eligible function, whether re-executing the function
+/// at the double-double tier could ever produce a tighter enclosure than
+/// the f64i tier did ("movable"), or whether the two tiers provably
+/// compute the identical interval ("immovable"). The tiering transform
+/// uses this to skip the ddi rerun for regions whose wide output cannot
+/// improve: wide because the *inputs* are wide, not because f64 outward
+/// rounding inflated it.
+///
+/// The key fact making immovability common enough to matter is the
+/// snapshot ABI: the ddi clone receives ia_promote_f64_dd of the
+/// wrapper's f64i live-ins, an *exact* injection — both tiers start from
+/// bit-identical intervals. Exactness is then preserved by every
+/// operation whose interval transfer function introduces no rounding
+/// (negation, abs, min/max, join, floor/ceil, float casts, copies) and
+/// lost exactly where the tiers can differ:
+///
+///   * rounded arithmetic: + - * / sqrt and the elementary functions
+///     (f64 rounds outward each step; dd rounds less);
+///   * non-integral float literals (the dd clone lifts `0.1` to a
+///     tighter enclosure than f64i can represent);
+///   * tolerance widening (ia_set_tol_dd computes p +/- tol at dd
+///     precision);
+///   * loads after a floating store (the clone's stores narrow dd to
+///     f64i memory, so a reread is not the f64i-pass value).
+///
+/// A function's result is immovable when every returned value is exact
+/// AND every floating comparison has exact operands (exact operands give
+/// identical tbool outcomes, hence identical control flow in both
+/// tiers). The analysis is a forward dataflow over the set of
+/// exact-valued variables, with intersection at branch joins and a
+/// descending fixpoint at loops.
+///
+/// Wrong answers are never unsound — both tiers produce sound enclosures
+/// regardless — but the two error directions differ in cost: claiming
+/// "movable" for an immovable region wastes a rerun; claiming
+/// "immovable" for a movable one forfeits precision the user asked for.
+/// The rules above therefore only claim immovability on airtight
+/// identical-value arguments, defaulting to movable everywhere else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_OPT_MOVABILITY_H
+#define IGEN_OPT_MOVABILITY_H
+
+#include "frontend/AST.h"
+
+namespace igen {
+
+struct MovabilityInfo {
+  /// Every return value is exact and control flow is tier-independent:
+  /// a ddi rerun provably returns the identical interval, so the tiering
+  /// transform must not re-execute this region.
+  bool ResultImmovable = false;
+
+  /// No floating comparison with movable operands (loops/branches take
+  /// the same path in both tiers). Exposed for tests; ResultImmovable
+  /// implies it.
+  bool ControlExact = false;
+};
+
+/// Runs the movability analysis over one function body. Pure analysis;
+/// requires a type-checked AST with a body.
+MovabilityInfo analyzeMovability(const FunctionDecl &F);
+
+} // namespace igen
+
+#endif // IGEN_OPT_MOVABILITY_H

@@ -172,6 +172,16 @@ IGEN_PROF_WRAP2(join_dd, ddi)
 IGEN_PROF_WRAP2(min_dd, ddi)
 IGEN_PROF_WRAP2(max_dd, ddi)
 IGEN_PROF_WRAP1(f32cast_dd, ddi)
+IGEN_PROF_WRAP1(exp_dd, ddi)
+IGEN_PROF_WRAP1(log_dd, ddi)
+IGEN_PROF_WRAP1(sin_dd, ddi)
+IGEN_PROF_WRAP1(cos_dd, ddi)
+IGEN_PROF_WRAP1(tan_dd, ddi)
+IGEN_PROF_WRAP1(atan_dd, ddi)
+IGEN_PROF_WRAP1(asin_dd, ddi)
+IGEN_PROF_WRAP1(acos_dd, ddi)
+IGEN_PROF_WRAP1(floor_dd, ddi)
+IGEN_PROF_WRAP1(ceil_dd, ddi)
 
 #undef IGEN_PROF_WRAP1
 #undef IGEN_PROF_WRAP2

@@ -1,0 +1,96 @@
+//===- igen_tier.h - Tier-escalation API for generated code -----*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive precision-tiering predicate as seen by igen-generated
+/// translation units (emitted when compiling with `igen --tier`). Include
+/// AFTER the runtime header (interval/igen_lib.h): the helpers are
+/// written against the configuration-selected f64i typedef that
+/// igen_lib.h brings into scope.
+///
+/// The emitted checks are:
+///
+///   igen_tier_escalate(r, id)        at region exit of a *movable*
+///                                    region. Evaluates the blowup
+///                                    predicate on the f64i region result
+///                                    r; returns 1 iff the caller must
+///                                    re-execute the region's ddi clone
+///                                    (predicate fired and IGEN_TIER_MAX
+///                                    permits escalation).
+///   igen_tier_note_immovable(r, id)  at region exit of a region whose
+///                                    result provably cannot improve at a
+///                                    higher tier. Only counts: a fired
+///                                    predicate increments the region's
+///                                    "pruned" counter instead of
+///                                    triggering a rerun.
+///
+/// The predicate fires when the result escaped to a non-finite or NaN
+/// endpoint (whole-interval escape) or its relative width
+/// (hi-lo)/max(|lo|,|hi|) exceeds the IGEN_TIER_WIDTH threshold. It runs
+/// under the kernel's upward rounding mode; the division rounding is
+/// conservative in the escalation direction and the threshold is a
+/// heuristic, not a soundness boundary — both the f64i result and the
+/// narrowed ddi rerun are sound enclosures whatever the predicate does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_PROFILE_IGEN_TIER_H
+#define IGEN_PROFILE_IGEN_TIER_H
+
+#include "profile/TierRuntime.h"
+
+#include <cmath>
+
+#if defined(IGEN_F64I_SCALAR)
+namespace igen_tier_cfg_scalar {
+#else
+namespace igen_tier_cfg_simd {
+#endif
+
+/// The raw blowup predicate: whole-interval escape or relative width
+/// above \p Threshold. NaN endpoints (sound "unknown") always fire.
+inline int igen_tier_blowup(f64i R, double Threshold) {
+  double Lo = ia_inf_f64(R), Hi = ia_sup_f64(R);
+  double W = Hi - Lo;
+  if (!(W >= 0.0))
+    return 1; // NaN endpoint, or inverted (defensive): escalate
+  if (std::isinf(Lo) || std::isinf(Hi))
+    return 1; // whole-interval escape
+  double ALo = std::fabs(Lo), AHi = std::fabs(Hi);
+  double Denom = ALo < AHi ? AHi : ALo;
+  double Rel = Denom > 0.0 ? W / Denom : W;
+  return Rel > Threshold ? 1 : 0;
+}
+
+/// Region-exit check for a movable region: 1 iff the caller must rerun
+/// the region at the ddi tier.
+inline int igen_tier_escalate(f64i R, unsigned Region) {
+  igen_tier_count_check(Region);
+  if (!igen_tier_blowup(R, igen_tier_width_threshold()))
+    return 0;
+  if (igen_tier_max() < 2)
+    return 0; // escalation disabled: keep the (sound) f64i result
+  igen_tier_count_escalate(Region);
+  return 1;
+}
+
+/// Region-exit check for an immovable region: never reruns, but records
+/// when the predicate would have fired so reports show the pruning.
+inline void igen_tier_note_immovable(f64i R, unsigned Region) {
+  igen_tier_count_check(Region);
+  if (igen_tier_blowup(R, igen_tier_width_threshold()))
+    igen_tier_count_pruned(Region);
+}
+
+#if defined(IGEN_F64I_SCALAR)
+} // namespace igen_tier_cfg_scalar
+using namespace igen_tier_cfg_scalar;
+#else
+} // namespace igen_tier_cfg_simd
+using namespace igen_tier_cfg_simd;
+#endif
+
+#endif // IGEN_PROFILE_IGEN_TIER_H

@@ -9,6 +9,7 @@
 #include "analysis/BatchLoopAnalysis.h"
 #include "frontend/Sema.h"
 #include "interval/DdInterval.h"
+#include "opt/Movability.h"
 #include "opt/OptAnalysis.h"
 #include "interval/DecimalFp.h"
 #include "interval/Interval.h"
@@ -191,6 +192,217 @@ std::string unparseExpr(const Expr *E) {
   return "";
 }
 
+//===----------------------------------------------------------------------===//
+// --tier eligibility: can this function be an escalation region?
+//===----------------------------------------------------------------------===//
+
+/// Variable at the base of an Index/Deref lvalue chain, or null when the
+/// chain bottoms out in something other than a plain variable reference
+/// (e.g. pointer arithmetic).
+const VarDecl *memRootDecl(const Expr *E) {
+  E = ignoreParens(E);
+  while (true) {
+    if (const auto *I = dynCast<IndexExpr>(E)) {
+      E = ignoreParens(I->Base);
+      continue;
+    }
+    const auto *U = dynCast<UnaryExpr>(E);
+    if (U && U->O == UnaryExpr::Op::Deref) {
+      E = ignoreParens(U->Sub);
+      continue;
+    }
+    break;
+  }
+  const auto *D = dynCast<DeclRefExpr>(E);
+  return D ? D->Decl : nullptr;
+}
+
+/// Decides whether a function can be compiled as an escalation region.
+/// The wrapper must capture the region's live-ins at entry (params plus
+/// the memory behind pointer params) and be able to re-execute the
+/// <name>__dd clone as a function of that snapshot alone. Anything that
+/// lets state escape the region (address-taken values, local pointers,
+/// calls into other code) or that reads param memory the f64i pass
+/// already overwrote disqualifies; \p Why names the first blocker.
+class TierEligibility {
+public:
+  std::string Why;
+
+  bool check(const FunctionDecl &F) {
+    if (!F.Body)
+      return no("declaration only");
+    if (!F.RetTy || !F.RetTy->isFloating())
+      return no("return type is not a floating scalar");
+    for (const VarDecl *P : F.Params) {
+      const Type *T = P->Ty;
+      if (T->isSimdVector())
+        return no("SIMD vector parameter '" + P->Name + "'");
+      if ((T->isPointer() || T->isArray()) &&
+          (T->element()->isPointer() || T->element()->isSimdVector()))
+        return no("unsupported pointer parameter '" + P->Name + "'");
+    }
+    if (!visitStmt(F.Body))
+      return false;
+    for (const VarDecl *P : F.Params)
+      if (MemReads.count(P) && MemWrites.count(P))
+        return no("memory behind parameter '" + P->Name +
+                  "' is both read and written");
+    return true;
+  }
+
+private:
+  std::set<const VarDecl *> MemReads, MemWrites;
+
+  bool no(const std::string &Reason) {
+    if (Why.empty())
+      Why = Reason;
+    return false;
+  }
+
+  /// Records a memory access rooted at a variable and scans the chain's
+  /// index expressions. \p E is the full Index/Deref chain.
+  bool access(const Expr *E, bool IsWrite, bool IsRead) {
+    const VarDecl *Root = memRootDecl(E);
+    if (!Root)
+      return no("unsupported pointer expression");
+    if (IsWrite)
+      MemWrites.insert(Root);
+    if (IsRead)
+      MemReads.insert(Root);
+    const Expr *S = ignoreParens(E);
+    while (true) {
+      if (const auto *I = dynCast<IndexExpr>(S)) {
+        if (!visitExpr(I->Idx))
+          return false;
+        S = ignoreParens(I->Base);
+        continue;
+      }
+      const auto *U = dynCast<UnaryExpr>(S);
+      if (U && U->O == UnaryExpr::Op::Deref) {
+        S = ignoreParens(U->Sub);
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool visitExpr(const Expr *E) {
+    if (!E)
+      return true;
+    if (E->type() && E->type()->isSimdVector())
+      return no("uses SIMD vector values");
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+    case Expr::Kind::DeclRef:
+      return true;
+    case Expr::Kind::Paren:
+      return visitExpr(cast<ParenExpr>(E)->Sub);
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->O == UnaryExpr::Op::AddrOf)
+        return no("takes the address of a value");
+      if (U->O == UnaryExpr::Op::Deref)
+        return access(E, /*IsWrite=*/false, /*IsRead=*/true);
+      if (U->O == UnaryExpr::Op::PreInc || U->O == UnaryExpr::Op::PreDec ||
+          U->O == UnaryExpr::Op::PostInc ||
+          U->O == UnaryExpr::Op::PostDec) {
+        const Expr *S = ignoreParens(U->Sub);
+        if (!dynCast<DeclRefExpr>(S))
+          return access(S, /*IsWrite=*/true, /*IsRead=*/true);
+        return true;
+      }
+      return visitExpr(U->Sub);
+    }
+    case Expr::Kind::Index:
+      return access(E, /*IsWrite=*/false, /*IsRead=*/true);
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      if (B->isAssignment()) {
+        const Expr *L = ignoreParens(B->LHS);
+        if (!dynCast<DeclRefExpr>(L) &&
+            !access(L, /*IsWrite=*/true,
+                    /*IsRead=*/B->O != BinaryExpr::Op::Assign))
+          return false;
+        return visitExpr(B->RHS);
+      }
+      if ((B->O == BinaryExpr::Op::EQ || B->O == BinaryExpr::Op::NE) &&
+          ((B->LHS->type() && B->LHS->type()->isFloating()) ||
+           (B->RHS->type() && B->RHS->type()->isFloating())))
+        return no("floating ==/!= has no double-double comparison");
+      return visitExpr(B->LHS) && visitExpr(B->RHS);
+    }
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      return visitExpr(C->Cond) && visitExpr(C->Then) &&
+             visitExpr(C->Else);
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      if (classifyCallee(C->Callee) != CalleeKind::MathFunction)
+        return no("calls '" + C->Callee + "'");
+      for (const Expr *A : C->Args)
+        if (!visitExpr(A))
+          return false;
+      return true;
+    }
+    case Expr::Kind::Cast:
+      return visitExpr(cast<CastExpr>(E)->Sub);
+    }
+    return true;
+  }
+
+  bool visitStmt(const Stmt *S) {
+    if (!S)
+      return true;
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *C : cast<CompoundStmt>(S)->Body)
+        if (!visitStmt(C))
+          return false;
+      return true;
+    case Stmt::Kind::DeclStmt:
+      for (const VarDecl *D : cast<DeclStmt>(S)->Decls) {
+        if (D->Ty->isPointer())
+          return no("declares local pointer '" + D->Name + "'");
+        if (D->Ty->isSimdVector() ||
+            (D->Ty->isArray() && D->Ty->element()->isSimdVector()))
+          return no("uses SIMD vector values");
+        if (!visitExpr(D->Init))
+          return false;
+      }
+      return true;
+    case Stmt::Kind::ExprStmt:
+      return visitExpr(cast<ExprStmt>(S)->E);
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      return visitExpr(I->Cond) && visitStmt(I->Then) &&
+             visitStmt(I->Else);
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      return visitStmt(F->Init) && visitExpr(F->Cond) &&
+             visitExpr(F->Inc) && visitStmt(F->Body);
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      return visitExpr(W->Cond) && visitStmt(W->Body);
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      return visitStmt(D->Body) && visitExpr(D->Cond);
+    }
+    case Stmt::Kind::Return:
+      return visitExpr(cast<ReturnStmt>(S)->Value);
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Null:
+      return true;
+    }
+    return true;
+  }
+};
+
 /// Escapes a string for embedding in a C string literal.
 std::string escapeCString(const std::string &S) {
   std::string Out;
@@ -226,8 +438,15 @@ public:
   const ProfileSiteTable &siteTable() const { return SiteTable; }
 
 private:
+  /// --tier emission mode for the function currently being emitted.
+  /// Wrapper: the f64i fast path with snapshot + escalation codegen.
+  /// DdClone: the <name>__dd body, emitted as double-double with the
+  /// uniform f64i memory ABI (loads promote, stores narrow).
+  enum class TierMode { Off, Wrapper, DdClone };
+
   bool isDd() const {
-    return Opts.Prec == TransformOptions::Precision::DoubleDouble;
+    return Opts.Prec == TransformOptions::Precision::DoubleDouble ||
+           TMode == TierMode::DdClone;
   }
   std::string sfx() const { return isDd() ? "dd" : "f64"; }
   std::string scalarIntervalType() const { return isDd() ? "ddi" : "f64i"; }
@@ -257,13 +476,18 @@ private:
     return false;
   }
 
-  std::string promoteTypeSpelling(const Type *T) const {
+  /// \p InMemory: the spelling describes a memory element (pointee or
+  /// array element). The tier clone keeps memory at the f64i ABI so the
+  /// wrapper and clone can share the caller's buffers; everything else
+  /// promotes to the current tier's interval type.
+  std::string promoteTypeSpelling(const Type *T, bool InMemory = false) const {
     if (T->isFloating())
-      return scalarIntervalType();
+      return TMode == TierMode::DdClone && InMemory ? "f64i"
+                                                    : scalarIntervalType();
     if (T->isSimdVector())
       return vecTypeName(T);
     if (T->isPointer())
-      return promoteTypeSpelling(T->element()) + " *";
+      return promoteTypeSpelling(T->element(), /*InMemory=*/true) + " *";
     return T->cName();
   }
 
@@ -287,8 +511,20 @@ private:
           formatString("[%lld]", static_cast<long long>(Base->arraySize()));
       Base = Base->element();
     }
-    std::string TypeName = promoteTypeSpelling(Base);
+    std::string TypeName = promoteTypeSpelling(Base, /*InMemory=*/!Dims.empty());
     return TypeName + (endsWith(TypeName, "*") ? "" : " ") + Name + Dims;
+  }
+
+  /// True when \p E is a floating lvalue that lives in f64i memory under
+  /// the clone's uniform ABI (array element or pointer dereference).
+  bool cloneMemLvalue(const Expr *E) const {
+    if (TMode != TierMode::DdClone || !E->type() || !E->type()->isFloating())
+      return false;
+    const Expr *S = ignoreParens(E);
+    if (S->kind() == Expr::Kind::Index)
+      return true;
+    const auto *U = dynCast<UnaryExpr>(S);
+    return U && U->O == UnaryExpr::Op::Deref;
   }
 
   // Expressions.
@@ -345,6 +581,7 @@ private:
   void emitExprStmt(const ExprStmt *S);
   std::string forHeader(const ForStmt *S);
   void emitFunction(FunctionDecl *F);
+  void emitFunctionImpl(FunctionDecl *F, const std::string &EmitName);
 
   // Join-mode branch support: collects scalar interval variables assigned
   // within \p S; returns false if the branch does anything the join
@@ -400,49 +637,32 @@ private:
            Call.substr(Paren + 1);
   }
 
-  /// Drops site-table rows whose IDs never appear in the emitted body and
-  /// renumbers the survivors. Rewrites like FMA fusion build (and thereby
-  /// instrument) their operand code before deciding to replace it, which
-  /// can orphan a site; the embedded table must only describe ops that can
-  /// actually execute.
+  /// Drops site- and region-table rows whose IDs never appear in the
+  /// emitted body and renumbers the survivors (one shared pass per table;
+  /// see compactIdReferences). Rewrites like FMA fusion build (and
+  /// thereby instrument) their operand code before deciding to replace
+  /// it, which can orphan a site; the embedded tables must only describe
+  /// entries that can actually execute.
   void compactSites() {
-    static const char Tag[] = "_igen_prof_base + ";
-    const size_t TagLen = sizeof(Tag) - 1;
-    std::vector<bool> Used(SiteTable.Sites.size(), false);
-    for (size_t P = Body.find(Tag); P != std::string::npos;
-         P = Body.find(Tag, P + TagLen))
-      Used[std::strtoul(Body.c_str() + P + TagLen, nullptr, 10)] = true;
-    std::vector<unsigned> Remap(SiteTable.Sites.size(), 0);
-    unsigned Next = 0;
-    for (size_t I = 0; I < Used.size(); ++I) {
-      Remap[I] = Next;
-      Next += Used[I];
-    }
-    if (Next == SiteTable.Sites.size())
-      return;
-    std::vector<ProfileSite> Kept;
-    Kept.reserve(Next);
-    for (size_t I = 0; I < Used.size(); ++I)
-      if (Used[I])
-        Kept.push_back(std::move(SiteTable.Sites[I]));
-    std::string NewBody;
-    NewBody.reserve(Body.size());
-    size_t Last = 0;
-    for (size_t P = Body.find(Tag); P != std::string::npos;
-         P = Body.find(Tag, P)) {
-      size_t NumBegin = P + TagLen, NumEnd = NumBegin;
-      while (NumEnd < Body.size() && Body[NumEnd] >= '0' &&
-             Body[NumEnd] <= '9')
-        ++NumEnd;
-      unsigned Old = static_cast<unsigned>(
-          std::strtoul(Body.c_str() + NumBegin, nullptr, 10));
-      NewBody.append(Body, Last, NumBegin - Last);
-      NewBody += std::to_string(Remap[Old]);
-      Last = P = NumEnd;
-    }
-    NewBody.append(Body, Last, std::string::npos);
-    Body = std::move(NewBody);
-    SiteTable.Sites = std::move(Kept);
+    std::vector<bool> KeepSite = compactIdReferences(
+        Body, "_igen_prof_base + ", SiteTable.Sites.size());
+    filterByMask(SiteTable.Sites, KeepSite);
+    std::vector<bool> KeepRegion = compactIdReferences(
+        Body, "_igen_tier_base + ", SiteTable.Regions.size());
+    filterByMask(SiteTable.Regions, KeepRegion);
+  }
+
+  template <typename T>
+  static void filterByMask(std::vector<T> &Rows,
+                           const std::vector<bool> &Keep) {
+    size_t Next = 0;
+    for (size_t I = 0; I < Rows.size(); ++I)
+      if (Keep[I]) {
+        if (Next != I)
+          Rows[Next] = std::move(Rows[I]);
+        ++Next;
+      }
+    Rows.resize(Next);
   }
 
   ASTContext &Ctx;
@@ -461,6 +681,12 @@ private:
   // Profiling state (per translation unit).
   ProfileSiteTable SiteTable;
   std::string CurFuncName;
+
+  // --tier state (set per function while emitting the wrapper).
+  TierMode TMode = TierMode::Off;
+  unsigned TierRegionId = 0;
+  bool TierMovable = true;
+  std::string TierCloneCall; ///< "<name>__dd(<snapshotted args>)"
 
   /// Functions *defined* in this TU (for --harden: calls to these need
   /// no post-call fenv guard, their own prologue re-checks; calls to
@@ -629,6 +855,8 @@ TR Transformer::transformExpr(const Expr *E) {
     R.OrigTy = E->type();
     if (E->type() && E->type()->isFloatingOrVector())
       R.C = Cat::Interval;
+    if (cloneMemLvalue(E))
+      R.Code = "ia_promote_f64_dd(" + R.Code + ")";
     return R;
   }
   case Expr::Kind::Cast:
@@ -692,6 +920,8 @@ TR Transformer::transformUnary(const UnaryExpr *U) {
     R.Code = "*" + maybeParen(Sub);
     if (U->type() && U->type()->isFloatingOrVector())
       R.C = Cat::Interval;
+    if (cloneMemLvalue(U))
+      R.Code = "ia_promote_f64_dd(" + R.Code + ")";
     return R;
   case UnaryExpr::Op::AddrOf:
     R.Code = "&" + maybeParen(Sub);
@@ -832,6 +1062,12 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
                             ? vecTypeName(B->LHS->type())
                             : sfx();
     std::string Value = asInterval(RHS);
+    // Clone memory ABI: the stored element is f64i; compound updates
+    // promote the current value into the dd arithmetic and the final
+    // value narrows back to its outer f64 hull on the way out.
+    const bool MemAbi = cloneMemLvalue(B->LHS);
+    const std::string Cur =
+        MemAbi ? "ia_promote_f64_dd(" + LHS + ")" : LHS;
     if (optOn() && scalarF64(B->LHS->type())) {
       std::string Opt;
       switch (B->O) {
@@ -861,20 +1097,22 @@ TR Transformer::transformBinary(const BinaryExpr *B) {
     }
     switch (B->O) {
     case BinaryExpr::Op::AddAssign:
-      Value = prof("ia_add_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
+      Value = prof("ia_add_" + OpSfx + "(" + Cur + ", " + Value + ")", B);
       break;
     case BinaryExpr::Op::SubAssign:
-      Value = prof("ia_sub_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
+      Value = prof("ia_sub_" + OpSfx + "(" + Cur + ", " + Value + ")", B);
       break;
     case BinaryExpr::Op::MulAssign:
-      Value = prof("ia_mul_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
+      Value = prof("ia_mul_" + OpSfx + "(" + Cur + ", " + Value + ")", B);
       break;
     case BinaryExpr::Op::DivAssign:
-      Value = prof("ia_div_" + OpSfx + "(" + LHS + ", " + Value + ")", B);
+      Value = prof("ia_div_" + OpSfx + "(" + Cur + ", " + Value + ")", B);
       break;
     default:
       break;
     }
+    if (MemAbi)
+      Value = "ia_narrow_dd_f64(" + Value + ")";
     R.Code = LHS + " = " + Value;
     return R;
   }
@@ -1200,12 +1438,9 @@ TR Transformer::transformCall(const CallExpr *C) {
       Base = "min";
     if (Base == "fmax")
       Base = "max";
-    static const std::set<std::string> DdSupported = {"abs", "sqrt", "min",
-                                                      "max"};
-    if (isDd() && !DdSupported.count(Base))
-      Diags.error(C->loc(), "elementary function '" + C->Callee +
-                                "' is not supported with double-double "
-                                "intervals (Section VI-A)");
+    // Every math function has a double-double form: abs/sqrt/min/max are
+    // native, the elementary functions fall back to the f64 kernel on the
+    // interval's outer hull (sound, though no tighter than f64i).
     if (C->Args.empty() || ((Base == "min" || Base == "max") &&
                             C->Args.size() < 2)) {
       Diags.error(C->loc(), "wrong number of arguments to '" + C->Callee +
@@ -1552,11 +1787,13 @@ size_t Transformer::emitCseTemps(const Stmt *S) {
 
 void Transformer::emitFor(const ForStmt *S) {
   // Batched array loops (--batch-loops): a recognized elementwise loop
-  // collapses to one ia_arr_* call. f64i only -- the ddi runtime keeps
-  // elementwise emission -- and not under --profile, which wants the
-  // per-site call instrumentation the elementwise path carries.
+  // collapses to one ia_arr_* call. f64i only -- the ddi runtime (and
+  // the tier's dd clone) keeps elementwise emission -- and not under
+  // --profile, which wants the per-site call instrumentation the
+  // elementwise path carries.
   if (Opts.EnableBatchLoops &&
-      Opts.Prec == TransformOptions::Precision::Double && !Opts.Profile) {
+      Opts.Prec == TransformOptions::Precision::Double && !Opts.Profile &&
+      TMode != TierMode::DdClone) {
     if (std::optional<BatchLoop> L = matchBatchLoop(S)) {
       TR Dst = transformExpr(L->Dst);
       TR A = transformExpr(L->A);
@@ -1610,8 +1847,10 @@ void Transformer::emitFor(const ForStmt *S) {
   emitBody(S->Body);
 
   for (auto &[Site, Acc] : Accs) {
-    line(lvalueOf(Site->Target) + " = isum_reduce_" + sfx() + "(&" + Acc +
-         ");");
+    std::string Red = "isum_reduce_" + sfx() + "(&" + Acc + ")";
+    if (cloneMemLvalue(Site->Target))
+      Red = "ia_narrow_dd_f64(" + Red + ")";
+    line(lvalueOf(Site->Target) + " = " + Red + ";");
     UpdateToAcc.erase(Site->Update);
   }
   popTemps(Hoisted);
@@ -1694,6 +1933,30 @@ void Transformer::emitStmt(const Stmt *S) {
     }
     size_t Temps = emitCseTemps(S);
     TR V = transformExpr(R->Value);
+    if (TMode == TierMode::Wrapper) {
+      // Region exit: check the blowup predicate on the f64i result and
+      // re-execute the region at ddi from the entry snapshot when it
+      // fires. The meet of the two enclosures is sound (both contain the
+      // true result set) and never wider than the f64i answer.
+      std::string Id = formatString("_igen_tier_base + %uu", TierRegionId);
+      line("{");
+      ++Indent;
+      line("f64i _tier_ret = " + asInterval(V) + ";");
+      if (TierMovable) {
+        line("if (igen_tier_escalate(_tier_ret, " + Id + "))");
+        ++Indent;
+        line("_tier_ret = ia_meet_f64(_tier_ret, ia_narrow_dd_f64(" +
+             TierCloneCall + "));");
+        --Indent;
+      } else {
+        line("igen_tier_note_immovable(_tier_ret, " + Id + ");");
+      }
+      line("return _tier_ret;");
+      --Indent;
+      line("}");
+      popTemps(Temps);
+      return;
+    }
     // Wrap per the function's (promoted) return type.
     bool WantInterval = R->Value->type() &&
                         R->Value->type()->isFloatingOrVector();
@@ -1714,6 +1977,28 @@ void Transformer::emitStmt(const Stmt *S) {
 }
 
 void Transformer::emitFunction(FunctionDecl *F) {
+  if (Opts.Tier && F->Body) {
+    TierEligibility El;
+    if (El.check(*F)) {
+      // Clone first so the wrapper's escalation call sees it defined.
+      TMode = TierMode::DdClone;
+      emitFunctionImpl(F, F->Name + "__dd");
+      Body += '\n';
+      TierMovable = !analyzeMovability(*F).ResultImmovable;
+      TMode = TierMode::Wrapper;
+      emitFunctionImpl(F, F->Name);
+      TMode = TierMode::Off;
+      return;
+    }
+    Diags.warning(F->Loc, "function '" + F->Name +
+                              "' is not tier-eligible (" + El.Why +
+                              "); emitting the plain f64i translation");
+  }
+  emitFunctionImpl(F, F->Name);
+}
+
+void Transformer::emitFunctionImpl(FunctionDecl *F,
+                                   const std::string &EmitName) {
   CurFuncName = F->Name;
   if (Opts.EnableReductions)
     Reductions = analyzeReductions(F, Diags);
@@ -1742,7 +2027,7 @@ void Transformer::emitFunction(FunctionDecl *F) {
       F->RetTy->isFloatingOrVector() || needsPromotion(F->RetTy)
           ? promoteTypeSpelling(F->RetTy)
           : F->RetTy->cName();
-  Header += Ret + (endsWith(Ret, "*") ? "" : " ") + F->Name + "(";
+  Header += Ret + (endsWith(Ret, "*") ? "" : " ") + EmitName + "(";
   for (size_t I = 0; I < F->Params.size(); ++I) {
     VarDecl *P = F->Params[I];
     if (I)
@@ -1769,6 +2054,39 @@ void Transformer::emitFunction(FunctionDecl *F) {
       line("if (igen_fenv_check()) return " + Whole + ";");
     else
       line("igen_fenv_check();");
+  }
+  if (TMode == TierMode::Wrapper) {
+    // Region snapshot, captured at f64i cost: the body may overwrite
+    // parameters, and on blowup the dd clone re-executes from the entry
+    // state. Promotion to ddi is exact, so both tiers start from
+    // bit-identical intervals (what makes movability analysis possible).
+    std::string Args;
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      VarDecl *P = F->Params[I];
+      if (I)
+        Args += ", ";
+      if (P->HasTolerance) {
+        // The body only reads its interval shadow, never the raw value,
+        // and the clone applies its own dd-tight widening.
+        Args += P->Name;
+        continue;
+      }
+      const Type *T = P->Ty;
+      std::string Snap = "_tier_in_" + P->Name;
+      std::string Spell =
+          T->isArray() ? promoteTypeSpelling(T->element(), true) + " *"
+                       : promoteTypeSpelling(T);
+      line(Spell + (endsWith(Spell, "*") ? "" : " ") + Snap + " = " +
+           P->Name + ";");
+      Args += T->isFloating() ? "ia_promote_f64_dd(" + Snap + ")" : Snap;
+    }
+    TierCloneCall = F->Name + "__dd(" + Args + ")";
+    TierRegionId = static_cast<unsigned>(SiteTable.Regions.size());
+    TierRegion Region;
+    Region.Func = F->Name;
+    Region.Line = F->Loc.Line;
+    Region.Movable = TierMovable;
+    SiteTable.Regions.push_back(Region);
   }
   for (VarDecl *P : F->Params) {
     if (!P->HasTolerance)
@@ -1810,7 +2128,8 @@ std::string Transformer::run() {
     emitFunction(Item.Function);
     Body += '\n';
   }
-  if (Opts.Profile && !SiteTable.Sites.empty())
+  if ((Opts.Profile && !SiteTable.Sites.empty()) ||
+      (Opts.Tier && !SiteTable.Regions.empty()))
     compactSites();
 
   std::string Out;
@@ -1825,6 +2144,8 @@ std::string Transformer::run() {
     Out += "#include \"" + Opts.HardenHeader + "\"\n";
   if (Opts.Profile)
     Out += "#include \"profile/igen_prof.h\"\n";
+  if (Opts.Tier)
+    Out += "#include \"" + Opts.TierHeader + "\"\n";
   if (UsedGeneratedIntrinsics)
     Out += "#include \"" + Opts.GeneratedIntrinsicsHeader + "\"\n";
   Out += "\n";
@@ -1846,6 +2167,24 @@ std::string Transformer::run() {
         "igen_prof_register_sites(\"%s\", \"%s\", _igen_prof_sites, %zu);\n",
         escapeCString(SiteTable.Module).c_str(),
         escapeCString(SiteTable.SourceFile).c_str(), SiteTable.Sites.size());
+    Out += "\n";
+  }
+  if (Opts.Tier && !SiteTable.Regions.empty()) {
+    // Compile-time region table: self-registers with the tier runtime at
+    // static-init time; _igen_tier_base offsets this TU's region IDs so
+    // several tiered TUs can coexist in one binary.
+    Out += formatString(
+        "static const igen_tier_region _igen_tier_regions[%zu] = {\n",
+        SiteTable.Regions.size());
+    for (const TierRegion &R : SiteTable.Regions)
+      Out += formatString("  {\"%s\", %uu, %d},\n",
+                          escapeCString(R.Func).c_str(), R.Line,
+                          R.Movable ? 1 : 0);
+    Out += "};\n";
+    Out += formatString(
+        "static const unsigned _igen_tier_base = "
+        "igen_tier_register_regions(\"%s\", _igen_tier_regions, %zu);\n",
+        escapeCString(SiteTable.Module).c_str(), SiteTable.Regions.size());
     Out += "\n";
   }
   Out += Body;

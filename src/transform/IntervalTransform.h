@@ -30,7 +30,7 @@
 #include "analysis/ReductionAnalysis.h"
 #include "frontend/AST.h"
 #include "support/Diagnostics.h"
-#include "transform/ProfileSites.h"
+#include "transform/SiteTable.h"
 
 #include <string>
 
@@ -84,6 +84,24 @@ struct TransformOptions {
   /// byte-identical to a build without this feature.
   bool Profile = false;
 
+  /// Emit adaptive precision tiering (driver --tier, requires the f64
+  /// precision): each eligible function becomes an escalation region that
+  /// runs at f64i speed, checks a cheap blowup predicate on its result at
+  /// region exit, and — when the predicate fires, the region's result is
+  /// *movable* (src/opt movability lattice: a higher-precision rerun can
+  /// actually tighten it) and IGEN_TIER_MAX permits — transparently
+  /// re-executes a ddi clone of the region from a live-in snapshot
+  /// captured at entry, returning the meet of both sound enclosures.
+  /// Ineligible functions (out-parameter read/write aliasing, SIMD, calls
+  /// to user functions, ...) fall back to the plain f64i translation with
+  /// a warning. The generated TU self-registers its region table with the
+  /// tier runtime, mirroring --profile's site table.
+  bool Tier = false;
+
+  /// Header providing igen_tier_escalate / igen_tier_note_immovable and
+  /// the region-table registration API for --tier.
+  std::string TierHeader = "profile/igen_tier.h";
+
   /// Emit FP-environment sentinel checks (driver --harden): every
   /// generated function verifies MXCSR at sound-region entry, and calls
   /// to external user functions (declared but not defined in the TU) are
@@ -106,12 +124,12 @@ struct TransformOptions {
 
 /// Transforms the (parsed and type-checked) translation unit into interval
 /// C code. Reports unsupported constructs through \p Diags. When
-/// \p SitesOut is non-null and Options.Profile is set, receives the
-/// compile-time profile site table matching the IDs embedded in the
-/// generated code.
+/// \p SitesOut is non-null and Options.Profile or Options.Tier is set,
+/// receives the compile-time site/region table matching the IDs embedded
+/// in the generated code.
 std::string transformToIntervals(ASTContext &Ctx, DiagnosticsEngine &Diags,
                                  const TransformOptions &Options,
-                                 ProfileSiteTable *SitesOut = nullptr);
+                                 SiteTable *SitesOut = nullptr);
 
 } // namespace igen
 

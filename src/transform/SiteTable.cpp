@@ -1,0 +1,100 @@
+//===- SiteTable.cpp - Compile-time site/region tables --------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SiteTable.h"
+
+#include "support/JsonWriter.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace igen;
+
+std::vector<bool> igen::compactIdReferences(std::string &Body,
+                                            const char *Tag,
+                                            size_t NumIds) {
+  const size_t TagLen = std::strlen(Tag);
+  std::vector<bool> Used(NumIds, false);
+  for (size_t P = Body.find(Tag); P != std::string::npos;
+       P = Body.find(Tag, P + TagLen)) {
+    size_t Id = std::strtoul(Body.c_str() + P + TagLen, nullptr, 10);
+    if (Id < NumIds)
+      Used[Id] = true;
+  }
+  std::vector<unsigned> Remap(NumIds, 0);
+  unsigned Next = 0;
+  for (size_t I = 0; I < NumIds; ++I) {
+    Remap[I] = Next;
+    Next += Used[I];
+  }
+  if (Next == NumIds)
+    return Used; // dense already; nothing to rewrite
+  std::string NewBody;
+  NewBody.reserve(Body.size());
+  size_t Last = 0;
+  for (size_t P = Body.find(Tag); P != std::string::npos;
+       P = Body.find(Tag, P)) {
+    size_t NumBegin = P + TagLen, NumEnd = NumBegin;
+    while (NumEnd < Body.size() && Body[NumEnd] >= '0' &&
+           Body[NumEnd] <= '9')
+      ++NumEnd;
+    size_t Old = std::strtoul(Body.c_str() + NumBegin, nullptr, 10);
+    NewBody.append(Body, Last, NumBegin - Last);
+    NewBody += std::to_string(Old < NumIds ? Remap[Old] : 0);
+    Last = P = NumEnd;
+  }
+  NewBody.append(Body, Last, std::string::npos);
+  Body = std::move(NewBody);
+  return Used;
+}
+
+std::string igen::siteSidecarJson(const SiteTable &Table) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", 1);
+  W.field("report", "igen_sites");
+  W.field("module", Table.Module);
+  W.field("source_file", Table.SourceFile);
+  W.key("sites");
+  W.beginArray();
+  for (size_t I = 0; I < Table.Sites.size(); ++I) {
+    const ProfileSite &S = Table.Sites[I];
+    W.beginObject();
+    W.field("id", static_cast<uint64_t>(I));
+    W.field("op", S.Op);
+    W.field("func", S.Func);
+    W.field("line", static_cast<uint64_t>(S.Line));
+    W.field("col", static_cast<uint64_t>(S.Col));
+    W.field("text", S.Text);
+    W.endObject();
+  }
+  W.endArray();
+  if (!Table.Regions.empty()) {
+    W.key("regions");
+    W.beginArray();
+    for (size_t I = 0; I < Table.Regions.size(); ++I) {
+      const TierRegion &R = Table.Regions[I];
+      W.beginObject();
+      W.field("id", static_cast<uint64_t>(I));
+      W.field("func", R.Func);
+      W.field("line", static_cast<uint64_t>(R.Line));
+      W.field("movable", R.Movable);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+  return W.take();
+}
+
+bool igen::writeSiteSidecar(const std::string &Path, const SiteTable &Table) {
+  std::string Text = siteSidecarJson(Table);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  return (std::fclose(F) == 0) && Ok;
+}

@@ -4,14 +4,16 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The runtime reads two environment knobs, IGEN_THREADS and IGEN_ISA.
-// Both must fall back gracefully on bad input *and* say so: a typo'd
-// override silently ignored is a user running a different configuration
-// than they think. These tests drive the pure parsing entry points the
-// env readers are built on.
+// The runtime reads environment knobs -- IGEN_THREADS, IGEN_ISA, and
+// the tiering pair IGEN_TIER_WIDTH / IGEN_TIER_MAX. All must fall back
+// gracefully on bad input *and* say so: a typo'd override silently
+// ignored is a user running a different configuration than they think.
+// These tests drive the pure parsing entry points the env readers are
+// built on.
 //
 //===----------------------------------------------------------------------===//
 
+#include "profile/TierRuntime.h"
 #include "runtime/CpuDispatch.h"
 #include "runtime/ThreadPool.h"
 
@@ -94,6 +96,64 @@ TEST(EnvParse, IsaWarnsOnUnknownNamesAndFallsBack) {
         << "spec: " << Bad;
     EXPECT_NE(W.find("unknown IGEN_ISA"), std::string::npos)
         << "spec: " << Bad;
+    EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
+  }
+}
+
+TEST(EnvParse, TierWidthAcceptsFiniteDecimals) {
+  std::string W;
+  EXPECT_EQ(igen::tier::widthFromSpec("1e-6", &W), 1e-6);
+  EXPECT_EQ(igen::tier::widthFromSpec("0.5", &W), 0.5);
+  EXPECT_EQ(igen::tier::widthFromSpec("1e30", &W), 1e30);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, TierWidthUnsetOrEmptyUsesDefaultSilently) {
+  std::string W;
+  EXPECT_EQ(igen::tier::widthFromSpec(nullptr, &W),
+            igen::tier::DefaultWidthThreshold);
+  EXPECT_EQ(igen::tier::widthFromSpec("", &W),
+            igen::tier::DefaultWidthThreshold);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, TierWidthWarnsOnMalformedValues) {
+  // The threshold must be a finite decimal > 0: zero and negatives
+  // would make every region "blown up", nan/inf would make none.
+  for (const char *Bad : {"abc", "-1", "0", "nan", "inf", "1e999", "2x"}) {
+    std::string W;
+    EXPECT_EQ(igen::tier::widthFromSpec(Bad, &W),
+              igen::tier::DefaultWidthThreshold)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find("IGEN_TIER_WIDTH"), std::string::npos)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
+  }
+}
+
+TEST(EnvParse, TierMaxAcceptsSupportedTiers) {
+  std::string W;
+  EXPECT_EQ(igen::tier::maxTierFromSpec("1", &W), 1);
+  EXPECT_EQ(igen::tier::maxTierFromSpec("2", &W), 2);
+  EXPECT_EQ(igen::tier::maxTierFromSpec("3", &W), 3);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, TierMaxUnsetOrEmptyUsesDefaultSilently) {
+  std::string W;
+  EXPECT_EQ(igen::tier::maxTierFromSpec(nullptr, &W),
+            igen::tier::DefaultMaxTier);
+  EXPECT_EQ(igen::tier::maxTierFromSpec("", &W), igen::tier::DefaultMaxTier);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(EnvParse, TierMaxWarnsOnOutOfRangeOrGarbage) {
+  for (const char *Bad : {"0", "4", "-1", "two", "2.5"}) {
+    std::string W;
+    EXPECT_EQ(igen::tier::maxTierFromSpec(Bad, &W),
+              igen::tier::DefaultMaxTier)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find("IGEN_TIER_MAX"), std::string::npos) << "spec: " << Bad;
     EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
   }
 }

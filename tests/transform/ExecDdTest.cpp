@@ -151,3 +151,28 @@ TEST_F(ExecDdTest, BranchOnDdIntervals) {
   EXPECT_TRUE(containsQ(R, (__float128)2.0));
   EXPECT_GT(igen::accuracyBits(R), 100.0);
 }
+
+TEST_F(ExecDdTest, ElementaryHullFallbackSound) {
+  // ia_*_dd lower the transcendentals onto the f64 kernels applied to
+  // the argument's outer double hull (igen_lib.h); the enclosure must
+  // still contain the true image even though it is only f64i-tight.
+  for (int I = 0; I < 200; ++I) {
+    double X = uniform(-10.0, 10.0);
+    ddi A = ddi::fromPoint(X);
+    EXPECT_TRUE(containsQ(toI(ia_sin_dd(A)), (__float128)sinl(X)));
+    EXPECT_TRUE(containsQ(toI(ia_cos_dd(A)), (__float128)cosl(X)));
+    EXPECT_TRUE(containsQ(toI(ia_atan_dd(A)), (__float128)atanl(X)));
+    double P = uniform(0.001, 10.0);
+    ddi B = ddi::fromPoint(P);
+    EXPECT_TRUE(containsQ(toI(ia_exp_dd(B)), (__float128)expl(P)));
+    EXPECT_TRUE(containsQ(toI(ia_log_dd(B)), (__float128)logl(P)));
+  }
+  // The fallback narrows to the hull first, so a dd-tight input loses
+  // nothing beyond the f64 kernel's width: result == f64 kernel on hull.
+  ddi A = ia_set_tol_dd(0.3, 1e-30);
+  f64i Hull = ia_narrow_dd_f64(A);
+  f64i Direct = ia_sin_f64(Hull);
+  f64i Round = ia_narrow_dd_f64(ia_sin_dd(A));
+  EXPECT_EQ(ia_inf_f64(Round), ia_inf_f64(Direct));
+  EXPECT_EQ(ia_sup_f64(Round), ia_sup_f64(Direct));
+}

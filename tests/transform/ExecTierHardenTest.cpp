@@ -1,0 +1,150 @@
+//===- ExecTierHardenTest.cpp - Tiering under fenv faults (--tier --harden) --===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Inputs/tierk.c compiled with --tier --harden: both the f64i wrapper
+// and its ddi clone carry the fenv-sentinel prologue. The fault matrix
+// for the combination:
+//
+//  * clean environment: the tier contract is unchanged (escalation on
+//    blowup, meet with the clone's narrowed result);
+//  * environment corrupted before the wrapper runs (poison policy):
+//    the wrapper's prologue fires first, the whole line comes back,
+//    the environment is repaired, and the very next call behaves as if
+//    nothing happened -- no stuck escalation state;
+//  * environment corrupted at the clone's entry check (the "fault
+//    inside the escalated region" leg): the clone poisons ITS result
+//    to the whole ddi line, and the wrapper's meet then degrades to
+//    the f64i result instead of widening the final answer to the
+//    whole line -- sound, and strictly better than not tiering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harden/FenvSentinel.h"
+#include "interval/Rounding.h"
+#include "interval/igen_lib.h"
+#include "profile/TierRuntime.h"
+
+#include <cfenv>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+f64i k_iter_hard(f64i x, f64i y, int n);
+ddi k_iter__dd(ddi x, ddi y, int n);
+
+namespace {
+
+using igen::Interval;
+using namespace igen::harden;
+
+Interval toI(f64i V) { return V.toInterval(); }
+f64i fromI(double Lo, double Hi) {
+  return f64i::fromInterval(Interval::fromEndpoints(Lo, Hi));
+}
+bool bitEqual(f64i A, f64i B) {
+  Interval P = toI(A), Q = toI(B);
+  return std::memcmp(&P.NegLo, &Q.NegLo, sizeof(double)) == 0 &&
+         std::memcmp(&P.Hi, &Q.Hi, sizeof(double)) == 0;
+}
+bool isEntire(f64i V) {
+  Interval I = toI(V);
+  double Inf = std::numeric_limits<double>::infinity();
+  return I.lo() == -Inf && I.hi() == Inf;
+}
+
+class ExecTierHardenTest : public ::testing::Test {
+protected:
+  void SetUp() override { resetAll(); }
+  void TearDown() override { resetAll(); }
+
+  static void resetAll() {
+    std::fesetround(FE_TONEAREST);
+    writeMxcsr(readMxcsr() & ~(kMxcsrFtz | kMxcsrDaz));
+    igen::invalidateRoundingCache();
+    setFenvPolicy(FenvPolicy::Repair);
+    resetFenvStats();
+    unsetenv("IGEN_TIER_WIDTH");
+    unsetenv("IGEN_TIER_MAX");
+    igen_tier_env_refresh();
+    igen_tier_reset();
+  }
+
+  // Hard point inputs: deep enough into the chaotic regime that the
+  // f64i enclosure trips the blowup predicate.
+  static constexpr int N = 45;
+  f64i hardX() { return fromI(0.3, 0.3); }
+  f64i hardY() { return fromI(0.24, 0.24); }
+};
+
+} // namespace
+
+TEST_F(ExecTierHardenTest, CleanEnvironmentKeepsTierContract) {
+  igen::RoundUpwardScope Up;
+  f64i T = k_iter_hard(hardX(), hardY(), N);
+  ddi C = k_iter__dd(ia_promote_f64_dd(hardX()), ia_promote_f64_dd(hardY()),
+                     N);
+  EXPECT_FALSE(isEntire(T));
+  EXPECT_GE(igen::tier::snapshot().at(0).Escalations, 1u);
+  // The clone ran clean, so the escalated result contains its narrowing.
+  Interval TI = toI(T), CI = toI(ia_narrow_dd_f64(C));
+  EXPECT_LE(TI.NegLo, CI.NegLo);
+  EXPECT_LE(TI.Hi, CI.Hi);
+}
+
+TEST_F(ExecTierHardenTest, WrapperPrologueCatchesPoisonedEntry) {
+  setFenvPolicy(FenvPolicy::Poison);
+  igen::RoundUpwardScope Up;
+  f64i Ref = k_iter_hard(hardX(), hardY(), N);
+  igen_tier_reset();
+
+  // A foreign library resets the rounding mode behind the cached scope.
+  std::fesetround(FE_TONEAREST);
+  f64i Poisoned = k_iter_hard(hardX(), hardY(), N);
+  EXPECT_TRUE(isEntire(Poisoned));
+  // The prologue returns before the region-exit predicate runs.
+  EXPECT_EQ(igen::tier::snapshot().at(0).Checks, 0u);
+  EXPECT_GE(fenvStats().Violations, 1u);
+
+  // The sentinel repaired the environment: the next call is unaffected.
+  f64i After = k_iter_hard(hardX(), hardY(), N);
+  EXPECT_TRUE(bitEqual(After, Ref));
+  EXPECT_GE(igen::tier::snapshot().at(0).Escalations, 1u);
+}
+
+TEST_F(ExecTierHardenTest, PoisonedCloneDegradesToF64NotWhole) {
+  setFenvPolicy(FenvPolicy::Poison);
+  igen::RoundUpwardScope Up;
+
+  // The pure f64i tier result: same wrapper with escalation disabled.
+  setenv("IGEN_TIER_MAX", "1", 1);
+  igen_tier_env_refresh();
+  f64i F64Only = k_iter_hard(hardX(), hardY(), N);
+  unsetenv("IGEN_TIER_MAX");
+  igen_tier_env_refresh();
+
+  // Simulate the fenv fault landing exactly at the escalated region:
+  // the clone's own prologue sees the dirty environment, poisons its
+  // result to the whole ddi line, and repairs.
+  std::fesetround(FE_TONEAREST);
+  ddi C = k_iter__dd(ia_promote_f64_dd(hardX()), ia_promote_f64_dd(hardY()),
+                     N);
+  f64i Narrowed = ia_narrow_dd_f64(C);
+  EXPECT_TRUE(isEntire(Narrowed));
+  EXPECT_GE(fenvStats().Violations, 1u);
+
+  // The wrapper's meet with a whole-line clone result is exactly the
+  // f64i result: poisoning the rerun can never widen the answer.
+  EXPECT_TRUE(bitEqual(ia_meet_f64(F64Only, Narrowed), F64Only));
+
+  // And a full tiered call after the repair escalates for real again.
+  f64i T = k_iter_hard(hardX(), hardY(), N);
+  EXPECT_FALSE(isEntire(T));
+  EXPECT_TRUE(bitEqual(T, ia_meet_f64(F64Only, ia_narrow_dd_f64(
+                              k_iter__dd(ia_promote_f64_dd(hardX()),
+                                         ia_promote_f64_dd(hardY()), N)))));
+}

@@ -1,0 +1,227 @@
+//===- ExecTierTest.cpp - Execute adaptive precision tiering (--tier) --------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Inputs/tierk.c is compiled by the igen driver twice -- with --tier
+// and without -- and both results are linked here (TierkTierTu.cpp /
+// TierkPlainTu.cpp). The renaming wrappers leave the emitted ddi
+// clones (`k_iter__dd` ...) untouched, so the always-ddi baseline is
+// directly callable too. The tests verify the tiering contracts:
+//
+//  * Easy inputs: the tiered build is bit-identical to the plain f64i
+//    build and never escalates (the wrapper IS the plain translation
+//    plus a region-exit predicate).
+//  * Hard inputs: the region re-executes at ddi, the result equals
+//    meet(f64i result, narrow(ddi clone result)) bit-for-bit, is
+//    contained in the plain enclosure, and is strictly tighter when
+//    the blowup is rounding-induced.
+//  * Movability: the immovable kernel is pruned (predicate fires, no
+//    rerun) -- justified here by checking its ddi clone really does
+//    return the identical interval.
+//  * Memory ABI: array parameters stay f64i in the clone; after an
+//    escalated run each output element holds the clone's narrowed
+//    store and is contained in the plain build's element.
+//  * IGEN_TIER_MAX=1 and a huge IGEN_TIER_WIDTH both disable
+//    escalation at runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/Rounding.h"
+#include "interval/igen_lib.h"
+#include "profile/TierRuntime.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+f64i k_iter_tier(f64i x, f64i y, int n);
+f64i k_iter_plain(f64i x, f64i y, int n);
+ddi k_iter__dd(ddi x, ddi y, int n);
+
+f64i k_env_tier(f64i x, f64i y);
+f64i k_env_plain(f64i x, f64i y);
+ddi k_env__dd(ddi x, ddi y);
+
+f64i k_sumsq_tier(f64i *xs, f64i *out, int n);
+f64i k_sumsq_plain(f64i *xs, f64i *out, int n);
+ddi k_sumsq__dd(f64i *xs, f64i *out, int n);
+
+namespace {
+
+using igen::Interval;
+using igen::tier::RegionReport;
+
+Interval toI(f64i V) { return V.toInterval(); }
+f64i fromI(double Lo, double Hi) {
+  return f64i::fromInterval(Interval::fromEndpoints(Lo, Hi));
+}
+
+bool bitEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+bool bitEqual(f64i A, f64i B) {
+  Interval P = toI(A), Q = toI(B);
+  return bitEqual(P.NegLo, Q.NegLo) && bitEqual(P.Hi, Q.Hi);
+}
+
+/// A subseteq B on the enclosure endpoints.
+bool subsetEq(f64i A, f64i B) {
+  Interval P = toI(A), Q = toI(B);
+  return P.NegLo <= Q.NegLo && P.Hi <= Q.Hi;
+}
+
+double width(f64i V) {
+  Interval I = toI(V);
+  return I.Hi + I.NegLo;
+}
+
+RegionReport region(const char *Func) {
+  for (const RegionReport &R : igen::tier::snapshot())
+    if (R.Func == Func)
+      return R;
+  ADD_FAILURE() << "region '" << Func << "' not registered";
+  return RegionReport();
+}
+
+class ExecTierTest : public ::testing::Test {
+protected:
+  void SetUp() override { clean(); }
+  void TearDown() override { clean(); }
+  static void clean() {
+    unsetenv("IGEN_TIER_WIDTH");
+    unsetenv("IGEN_TIER_MAX");
+    igen_tier_env_refresh();
+    igen_tier_reset();
+  }
+  igen::RoundUpwardScope Up;
+};
+
+} // namespace
+
+TEST_F(ExecTierTest, RegionsRegisteredWithMovability) {
+  RegionReport Iter = region("k_iter"), Env = region("k_env"),
+               Sum = region("k_sumsq");
+  EXPECT_TRUE(Iter.Movable);
+  EXPECT_FALSE(Env.Movable); // fabs/fmax/negate only: result immovable
+  EXPECT_TRUE(Sum.Movable);
+  EXPECT_GT(Iter.Line, 0u);
+  EXPECT_FALSE(Iter.Module.empty());
+  // Renaming happens in the wrapper TU's preprocessor; the registered
+  // table keeps the source names.
+  EXPECT_EQ(region("k_iter").Func, "k_iter");
+}
+
+TEST_F(ExecTierTest, EasyInputsBitIdenticalAndNoEscalation) {
+  for (int It = 0; It < 16; ++It) {
+    double X = 0.05 + It * 0.01, Y = 0.1 + It * 0.005;
+    f64i T = k_iter_tier(fromI(X, X), fromI(Y, Y), 5);
+    f64i P = k_iter_plain(fromI(X, X), fromI(Y, Y), 5);
+    EXPECT_TRUE(bitEqual(T, P)) << "diverged at It=" << It;
+  }
+  RegionReport R = region("k_iter");
+  EXPECT_EQ(R.Checks, 16u);
+  EXPECT_EQ(R.Escalations, 0u);
+  EXPECT_EQ(R.Pruned, 0u);
+}
+
+TEST_F(ExecTierTest, HardInputsEscalateTightenAndMatchMeet) {
+  // Point inputs iterated deep into the chaotic regime: all f64i width
+  // is rounding-induced, so the ddi rerun is strictly tighter.
+  const int N = 45;
+  f64i X = fromI(0.3, 0.3), Y = fromI(0.24, 0.24);
+  f64i T = k_iter_tier(X, Y, N);
+  f64i P = k_iter_plain(X, Y, N);
+  ddi C = k_iter__dd(ia_promote_f64_dd(X), ia_promote_f64_dd(Y), N);
+  f64i Expect = ia_meet_f64(P, ia_narrow_dd_f64(C));
+
+  RegionReport R = region("k_iter");
+  EXPECT_EQ(R.Checks, 1u);
+  EXPECT_EQ(R.Escalations, 1u);
+  EXPECT_TRUE(subsetEq(T, P));
+  EXPECT_LT(width(T), width(P));
+  EXPECT_TRUE(bitEqual(T, Expect));
+}
+
+TEST_F(ExecTierTest, WideInputsEscalateSoundly) {
+  // Width dominated by the inputs, not rounding: escalation still runs
+  // and the meet contract still holds, even if it cannot tighten much.
+  const int N = 12;
+  f64i X = fromI(0.3, 0.3 + 1e-6), Y = fromI(0.24, 0.24);
+  f64i T = k_iter_tier(X, Y, N);
+  f64i P = k_iter_plain(X, Y, N);
+  ddi C = k_iter__dd(ia_promote_f64_dd(X), ia_promote_f64_dd(Y), N);
+  EXPECT_TRUE(subsetEq(T, P));
+  EXPECT_TRUE(bitEqual(T, ia_meet_f64(P, ia_narrow_dd_f64(C))));
+  EXPECT_GE(region("k_iter").Escalations, 1u);
+}
+
+TEST_F(ExecTierTest, ImmovableRegionPrunesRerun) {
+  // Wide inputs make the envelope wide enough to trip the predicate,
+  // but the region's exact-transfer body means a rerun cannot tighten:
+  // the wrapper must count a prune, not an escalation.
+  f64i X = fromI(-2.0, 2.0), Y = fromI(-1.0, 3.0);
+  f64i T = k_env_tier(X, Y);
+  f64i P = k_env_plain(X, Y);
+  EXPECT_TRUE(bitEqual(T, P));
+
+  RegionReport R = region("k_env");
+  EXPECT_FALSE(R.Movable);
+  EXPECT_EQ(R.Checks, 1u);
+  EXPECT_EQ(R.Pruned, 1u);
+  EXPECT_EQ(R.Escalations, 0u);
+
+  // The immovability claim is checkable: the ddi clone really does
+  // return the identical interval on the promoted snapshot.
+  f64i Wide = ia_narrow_dd_f64(
+      k_env__dd(ia_promote_f64_dd(X), ia_promote_f64_dd(Y)));
+  EXPECT_TRUE(bitEqual(Wide, P));
+}
+
+TEST_F(ExecTierTest, ArrayKernelEscalatesThroughMemoryAbi) {
+  const int N = 6;
+  f64i Xs[N], XsPlain[N], XsClone[N];
+  f64i OutT[N], OutP[N], OutC[N];
+  for (int I = 0; I < N; ++I) {
+    double V = 1.0 + I * 0.5;
+    XsClone[I] = XsPlain[I] = Xs[I] = fromI(V, V + 1e-5);
+  }
+  f64i T = k_sumsq_tier(Xs, OutT, N);
+  f64i P = k_sumsq_plain(XsPlain, OutP, N);
+  ddi C = k_sumsq__dd(XsClone, OutC, N);
+
+  EXPECT_GE(region("k_sumsq").Escalations, 1u);
+  EXPECT_TRUE(subsetEq(T, P));
+  EXPECT_TRUE(bitEqual(T, ia_meet_f64(P, ia_narrow_dd_f64(C))));
+  for (int I = 0; I < N; ++I) {
+    // The escalated rerun rewrites out[]: each element is the clone's
+    // narrowed store, still contained in the plain build's element
+    // (mul/sub have exact-hull transfer functions in both tiers).
+    EXPECT_TRUE(bitEqual(OutT[I], OutC[I])) << "element " << I;
+    EXPECT_TRUE(subsetEq(OutT[I], OutP[I])) << "element " << I;
+  }
+}
+
+TEST_F(ExecTierTest, MaxTierOneDisablesEscalation) {
+  setenv("IGEN_TIER_MAX", "1", 1);
+  igen_tier_env_refresh();
+  f64i X = fromI(0.3, 0.3), Y = fromI(0.24, 0.24);
+  f64i T = k_iter_tier(X, Y, 45);
+  f64i P = k_iter_plain(X, Y, 45);
+  EXPECT_TRUE(bitEqual(T, P)); // blown up, but escalation is off
+  RegionReport R = region("k_iter");
+  EXPECT_EQ(R.Checks, 1u);
+  EXPECT_EQ(R.Escalations, 0u);
+}
+
+TEST_F(ExecTierTest, HugeWidthThresholdDisablesEscalation) {
+  setenv("IGEN_TIER_WIDTH", "1e30", 1);
+  igen_tier_env_refresh();
+  f64i X = fromI(0.3, 0.3), Y = fromI(0.24, 0.24);
+  f64i T = k_iter_tier(X, Y, 45);
+  EXPECT_TRUE(bitEqual(T, k_iter_plain(X, Y, 45)));
+  EXPECT_EQ(region("k_iter").Escalations, 0u);
+}

@@ -1,0 +1,43 @@
+/* Kernels for the adaptive precision tiering tests (--tier).
+
+   `k_iter` is a Henon-style chaotic map: interval widths blow up
+   exponentially in the iteration count at f64i precision, so hard
+   inputs (wide boxes or many iterations) trip the region-exit blowup
+   predicate while easy inputs stay below it. Every operation on the
+   return path is rounded arithmetic, so the region is movable and the
+   ddi rerun genuinely tightens the enclosure.
+
+   `k_env` computes an envelope bound from exact-transfer operations
+   only (fabs/fmax selection and unary negation). The movability
+   analysis must classify its result immovable: a ddi rerun would
+   return the identical interval, so the transform emits the pruned
+   (no-clone-call) wrapper.
+
+   `k_sumsq` exercises the uniform memory ABI: array parameters stay
+   f64i in the ddi clone, with loads promoted and stores narrowed.
+   `xs` is read-only and `out` write-only, which keeps the function
+   tier-eligible. */
+
+double k_iter(double x, double y, int n) {
+  for (int i = 0; i < n; i++) {
+    double xi = x;
+    x = 1.0 - 1.05 * xi * xi + y;
+    y = 0.3 * xi;
+  }
+  return x;
+}
+
+double k_env(double x, double y) {
+  double m = fmax(fabs(x), fabs(y));
+  return -m;
+}
+
+double k_sumsq(double *xs, double *out, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    double h = xs[i] * xs[i] - 0.1;
+    out[i] = h;
+    s = s + h;
+  }
+  return s;
+}

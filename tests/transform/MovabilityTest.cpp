@@ -1,0 +1,161 @@
+//===- MovabilityTest.cpp - Result-movability analysis tests -----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the --tier movability lattice: a region is immovable
+// exactly when every returned value is built from exact-transfer
+// operations (selection, negation, copies, integral literals) over the
+// snapshot inputs AND every floating comparison has exact operands.
+// Wrong answers are never unsound, but the analysis promises to only
+// claim immovability on identical-value arguments -- these tests pin
+// both directions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "opt/Movability.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen;
+
+namespace {
+
+MovabilityInfo analyze(std::string_view Src, const char *Fn) {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticsEngine Diags;
+  Parser P(Src, *Ctx, Diags);
+  EXPECT_TRUE(P.parseTranslationUnit()) << Diags.render("test");
+  Sema S(*Ctx, Diags);
+  EXPECT_TRUE(S.run()) << Diags.render("test");
+  FunctionDecl *F = Ctx->TU.findFunction(Fn);
+  EXPECT_NE(F, nullptr);
+  return analyzeMovability(*F);
+}
+
+} // namespace
+
+TEST(Movability, ExactSelectionChainIsImmovable) {
+  MovabilityInfo Info = analyze("double f(double x, double y) {\n"
+                                "  double m = fmax(fabs(x), fabs(y));\n"
+                                "  return -m;\n"
+                                "}\n",
+                                "f");
+  EXPECT_TRUE(Info.ResultImmovable);
+  EXPECT_TRUE(Info.ControlExact);
+}
+
+TEST(Movability, RoundedArithmeticIsMovable) {
+  EXPECT_FALSE(
+      analyze("double f(double x) { return x + 1.0; }", "f").ResultImmovable);
+  // Even subtraction from zero: binary arithmetic rounds in the
+  // lattice, so only unary negation is exact.
+  EXPECT_FALSE(
+      analyze("double f(double x) { return 0.0 - x; }", "f").ResultImmovable);
+  EXPECT_TRUE(
+      analyze("double f(double x) { return -x; }", "f").ResultImmovable);
+}
+
+TEST(Movability, LiteralExactnessDependsOnIntegrality) {
+  // 2.0 lifts to the same point interval in both tiers; 0.1 does not
+  // (the dd lift is tighter than the f64 one).
+  EXPECT_TRUE(
+      analyze("double f(double x) { return fmax(x, 2.0); }", "f")
+          .ResultImmovable);
+  EXPECT_FALSE(
+      analyze("double f(double x) { return fmax(x, 0.1); }", "f")
+          .ResultImmovable);
+}
+
+TEST(Movability, ToleranceParameterIsMovable) {
+  // ia_set_tol widens v +/- tol at tier precision: the dd shadow is
+  // tighter, so a tolerance-carrying input is never exact.
+  EXPECT_FALSE(
+      analyze("double f(double:0.125 a) { return a; }", "f").ResultImmovable);
+  EXPECT_TRUE(
+      analyze("double f(double a) { return a; }", "f").ResultImmovable);
+}
+
+TEST(Movability, InexactComparisonPoisonsControl) {
+  // The returned values are exact, but the branch compares a rounded
+  // value: the tiers could take different paths, so the result moves.
+  MovabilityInfo Info = analyze("double f(double x) {\n"
+                                "  double z = x * 2.0;\n"
+                                "  if (z < 1.0) { return x; }\n"
+                                "  return -x;\n"
+                                "}\n",
+                                "f");
+  EXPECT_FALSE(Info.ControlExact);
+  EXPECT_FALSE(Info.ResultImmovable);
+
+  MovabilityInfo Exact = analyze("double g(double x, double y) {\n"
+                                 "  if (x < y) { return x; }\n"
+                                 "  return y;\n"
+                                 "}\n",
+                                 "g");
+  EXPECT_TRUE(Exact.ControlExact);
+  EXPECT_TRUE(Exact.ResultImmovable);
+}
+
+TEST(Movability, BranchJoinIntersectsExactness) {
+  // Exact in one branch, rounded in the other: movable after the join.
+  EXPECT_FALSE(analyze("double f(double x, double c) {\n"
+                       "  double t = x;\n"
+                       "  if (c > 0.0) { t = x + 1.0; }\n"
+                       "  return -t;\n"
+                       "}\n",
+                       "f")
+                   .ResultImmovable);
+  // Exact on both paths: still immovable after the join.
+  EXPECT_TRUE(analyze("double g(double x, double c) {\n"
+                      "  double t = x;\n"
+                      "  if (c > 0.0) { t = fabs(x); }\n"
+                      "  return t;\n"
+                      "}\n",
+                      "g")
+                  .ResultImmovable);
+}
+
+TEST(Movability, LoopFixpointPreservesOrKillsExactness) {
+  EXPECT_TRUE(analyze("double f(double x, int n) {\n"
+                      "  double t = fabs(x);\n"
+                      "  for (int i = 0; i < n; i++) { t = fmin(t, x); }\n"
+                      "  return t;\n"
+                      "}\n",
+                      "f")
+                  .ResultImmovable);
+  EXPECT_FALSE(analyze("double g(double x, int n) {\n"
+                       "  double t = fabs(x);\n"
+                       "  for (int i = 0; i < n; i++) { t = t * 0.5; }\n"
+                       "  return t;\n"
+                       "}\n",
+                       "g")
+                   .ResultImmovable);
+}
+
+TEST(Movability, FloatStoresKillMemoryExactness) {
+  // A load from untouched parameter memory is exact (both tiers read
+  // the identical f64i): pure read-out functions are immovable.
+  EXPECT_TRUE(
+      analyze("double f(double *a, int i) { return a[i]; }", "f")
+          .ResultImmovable);
+  // Any floating store in the body poisons all loads: the clone's
+  // narrowed stores make a reread differ from the f64i pass.
+  EXPECT_FALSE(analyze("double g(double *a) {\n"
+                       "  a[0] = a[0] + 1.0;\n"
+                       "  return a[1];\n"
+                       "}\n",
+                       "g")
+                   .ResultImmovable);
+}
+
+TEST(Movability, VoidResultIsNotImmovable) {
+  // No value-returning path: nothing to prune against, so the analysis
+  // reports movable (the transform's eligibility check rejects these
+  // functions anyway).
+  EXPECT_FALSE(
+      analyze("void f(double *a) { a[0] = 1.0; }", "f").ResultImmovable);
+}

@@ -1,0 +1,11 @@
+//===- TierkHardTu.cpp - Wrap the --tier --harden build of tierk.c -----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#define k_iter k_iter_hard
+#define k_env k_env_hard
+#define k_sumsq k_sumsq_hard
+
+#include "tierk_hard.cpp"

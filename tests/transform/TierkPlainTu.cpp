@@ -1,0 +1,11 @@
+//===- TierkPlainTu.cpp - Wrap the plain f64i build of Inputs/tierk.c --------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#define k_iter k_iter_plain
+#define k_env k_env_plain
+#define k_sumsq k_sumsq_plain
+
+#include "tierk_plain.cpp"

@@ -1,0 +1,19 @@
+//===- TierkTierTu.cpp - Wrap the --tier build of Inputs/tierk.c -------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The same input is compiled by the igen driver with and without
+// --tier; renaming the functions lets one test binary link both builds
+// and compare their enclosures. The #define renames whole identifier
+// tokens only, so the clones (`k_iter__dd` etc.) keep their emitted
+// names and stay directly callable as the always-ddi baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#define k_iter k_iter_tier
+#define k_env k_env_tier
+#define k_sumsq k_sumsq_tier
+
+#include "tierk_tier.cpp"

@@ -5,8 +5,10 @@ Two document kinds are accepted, distinguished by their "report" field:
 
   igen_profile  -- the runtime report written by igen_prof_report_json()
                    or IGEN_PROF_OUT=path.json at process exit.
-  igen_sites    -- the compile-time site-table sidecar the driver writes
-                   next to --profile output (<output>.sites.json).
+  igen_sites    -- the compile-time site/region-table sidecar the driver
+                   writes next to --profile or --tier output
+                   (<output>.sites.json). The "regions" array is present
+                   only for --tier output.
 
 Usage: check_prof_schema.py FILE [FILE...]
 
@@ -31,8 +33,11 @@ class Checker:
             self.fail(f"{where}: missing key '{key}'")
             return None
         val = obj[key]
-        # bool is an int subclass; reject it where an int is expected.
-        if isinstance(val, bool) or not isinstance(val, types):
+        # bool is an int subclass; reject it where an int is expected
+        # (but accept it where bool itself is the wanted type).
+        if (isinstance(val, bool) and bool not in types) or not isinstance(
+            val, types
+        ):
             want = "/".join(t.__name__ for t in types)
             self.fail(f"{where}: '{key}' is {type(val).__name__}, want {want}")
             return None
@@ -66,6 +71,13 @@ SIDECAR_SITE_FIELDS = [
     ("line", (int,)),
     ("col", (int,)),
     ("text", (str,)),
+]
+
+SIDECAR_REGION_FIELDS = [
+    ("id", (int,)),
+    ("func", (str,)),
+    ("line", (int,)),
+    ("movable", (bool,)),
 ]
 
 
@@ -116,6 +128,18 @@ def check_sidecar(c, doc):
             site_val = c.field(site, key, types, where)
             if key == "id" and site_val is not None and site_val != i:
                 c.fail(f"{where}: id {site_val}, want {i}")
+    if "regions" not in doc:
+        return  # pre-tier sidecars have no regions array
+    regions = c.field(doc, "regions", (list,), "top level")
+    for i, region in enumerate(regions or []):
+        where = f"regions[{i}]"
+        if not isinstance(region, dict):
+            c.fail(f"{where}: not an object")
+            continue
+        for key, types in SIDECAR_REGION_FIELDS:
+            region_val = c.field(region, key, types, where)
+            if key == "id" and region_val is not None and region_val != i:
+                c.fail(f"{where}: id {region_val}, want {i}")
 
 
 def check_file(path):
