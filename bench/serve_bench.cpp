@@ -1,0 +1,288 @@
+//===- serve_bench.cpp - igen-as-a-service amortization benchmark ---------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the persistent daemon buys over one-shot compilation
+/// (DESIGN.md, "igen-as-a-service"). Frame-path rows drive ServerCore
+/// in-process through the same handleFrame path the socket transport
+/// uses, so they capture JSON parse + dispatch + response rendering but
+/// not kernel/socket noise:
+///
+///   serve-compile-cold  full compile transaction (cache evicted
+///                       between requests)
+///   serve-compile-hit   identical request answered from the
+///                       content-hash cache
+///   serve-eval-hot      eval against a resident handle
+///   cli-oneshot         spawning the igen binary for the same source —
+///                       the one-shot CLI round-trip the daemon
+///                       replaces (and that still omits the C-compiler
+///                       round-trip a CLI user needs before evaluating)
+///
+/// The binary enforces the service's reason to exist:
+///   * compile transaction: answering from the cache (content hash +
+///     LRU lookup) must be >= 50x cheaper than running the pipeline,
+///     measured at the transaction layer both request kinds share the
+///     JSON framing above.
+///   * evaluation: a hot serve-mode eval must be >= 10x cheaper than
+///     the one-shot CLI round-trip on repeated small kernels.
+/// It exits 1 when either amortization claim fails, so CI gates on it.
+/// --json writes the rows in the igen_bench schema (iops_per_cycle =
+/// requests per cycle) for tools/bench_trend.py.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "server/FunctionCache.h"
+#include "server/Json.h"
+#include "server/ServerCore.h"
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace igen;
+using namespace igen::bench;
+using namespace igen::server;
+
+namespace {
+
+struct ServeKernel {
+  const char *Name;
+  const char *Source;
+  const char *Function;
+  const char *EvalArgs; // JSON array text
+};
+
+const ServeKernel Kernels[] = {
+    {"horner",
+     "double horner(double x) {\n"
+     "  double c0 = 1.0; double c1 = -0.5; double c2 = 0.25;\n"
+     "  double c3 = -0.125; double c4 = 0.0625;\n"
+     "  return (((c4 * x + c3) * x + c2) * x + c1) * x + c0;\n"
+     "}\n",
+     "horner", "[{\"lo\":0.25,\"hi\":0.75}]"},
+    {"henon",
+     "double henon(double x0, double y0, int n) {\n"
+     "  double x = x0; double y = y0;\n"
+     "  for (int i = 0; i < n; i = i + 1) {\n"
+     "    double xn = 1.0 - 1.4 * x * x + y;\n"
+     "    y = 0.3 * x;\n"
+     "    x = xn;\n"
+     "  }\n"
+     "  return x;\n"
+     "}\n",
+     "henon", "[0.1,0.1,{\"int\":20}]"},
+    // A small BLAS-ish translation unit: services compile modules, not
+    // single functions, so the compile rows measure a multi-function TU
+    // while the eval row exercises one entry point with array inputs.
+    {"dot",
+     "double dot(double a[64], double b[64]) {\n"
+     "  double s = 0.0;\n"
+     "  for (int i = 0; i < 64; i = i + 1) { s = s + a[i] * b[i]; }\n"
+     "  return s;\n"
+     "}\n"
+     "void axpy(double alpha, double x[64], double y[64]) {\n"
+     "  for (int i = 0; i < 64; i = i + 1) { y[i] = alpha * x[i] + y[i]; }\n"
+     "}\n"
+     "double nrm2sq(double x[64]) {\n"
+     "  double s = 0.0;\n"
+     "  for (int i = 0; i < 64; i = i + 1) { s = s + x[i] * x[i]; }\n"
+     "  return s;\n"
+     "}\n"
+     "double gemv_row(double a[64], double x[64], double beta, double y0) "
+     "{\n"
+     "  double s = beta * y0;\n"
+     "  for (int i = 0; i < 64; i = i + 1) { s = s + a[i] * x[i]; }\n"
+     "  return s;\n"
+     "}\n"
+     "double asum(double x[64]) {\n"
+     "  double s = 0.0;\n"
+     "  for (int i = 0; i < 64; i = i + 1) {\n"
+     "    double v = x[i];\n"
+     "    if (v < 0.0) { v = 0.0 - v; }\n"
+     "    s = s + v;\n"
+     "  }\n"
+     "  return s;\n"
+     "}\n",
+     "dot", nullptr /* built below: two 64-element arrays */},
+};
+
+std::string arrayArg64() {
+  std::string S = "{\"array\":[";
+  for (int I = 0; I < 64; ++I) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%s0.%02d", I ? "," : "", I + 1);
+    S += Buf;
+  }
+  S += "]}";
+  return S;
+}
+
+std::string compileFrame(const ServeKernel &K) {
+  return "{\"op\":\"compile\",\"source\":\"" + jsonEscape(K.Source) +
+         "\",\"options\":{\"opt_level\":0,\"target\":\"ss\"}}";
+}
+
+std::string evalFrame(const ServeKernel &K, const std::string &Handle) {
+  std::string Args = K.EvalArgs ? K.EvalArgs
+                                : "[" + arrayArg64() + "," + arrayArg64() +
+                                      "]";
+  return "{\"op\":\"eval\",\"handle\":\"" + Handle + "\",\"function\":\"" +
+         K.Function + "\",\"args\":" + Args + "}";
+}
+
+/// Sends \p Frame and aborts the benchmark on an error response: a row
+/// timed against a failing request would be meaningless.
+std::string mustOk(ServerCore &Core, const std::string &Frame) {
+  std::string Resp = Core.handleFrame(Frame);
+  if (Resp.find("\"ok\":true") == std::string::npos &&
+      Resp.find("\"ok\": true") == std::string::npos) {
+    std::fprintf(stderr, "serve_bench: request failed: %s\n", Resp.c_str());
+    std::exit(2);
+  }
+  return Resp;
+}
+
+std::string handleOf(const std::string &CompileResp) {
+  JsonParseResult R = parseJson(CompileResp);
+  const JsonValue *H = R.Ok ? R.Value.member("handle") : nullptr;
+  if (!H || !H->isString()) {
+    std::fprintf(stderr, "serve_bench: no handle in: %s\n",
+                 CompileResp.c_str());
+    std::exit(2);
+  }
+  return std::string(H->stringValue());
+}
+
+/// Transaction-layer cost of a cold compile: the full pipeline to an
+/// in-memory program. This is exactly the work a cache hit avoids.
+uint64_t coldTransactionCycles(const ServeKernel &K) {
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  Opts.ScalarLibrary = true;
+  return minCycles([&] {
+    DiagnosticsEngine Diags;
+    auto P = compileToProgram(K.Source, Opts, Diags);
+    if (!P)
+      std::exit(2);
+  });
+}
+
+/// Transaction-layer cost of a cache hit: content hash + LRU lookup.
+uint64_t hitTransactionCycles(const ServeKernel &K) {
+  TransformOptions Opts;
+  Opts.OptLevel = 0;
+  Opts.ScalarLibrary = true;
+  DiagnosticsEngine Diags;
+  FunctionCache Cache(4);
+  std::shared_ptr<const InMemoryProgram> P =
+      compileToProgram(K.Source, Opts, Diags);
+  if (!P)
+    std::exit(2);
+  uint64_t H = hashCompileRequest(K.Source, Opts);
+  Cache.insert(H, P);
+  // Hash + lookup runs in hundreds of cycles; batch it so the rdtsc
+  // fencing overhead does not dominate the per-transaction cost.
+  constexpr int Batch = 256;
+  uint64_t Total = minCycles([&] {
+    for (int I = 0; I < Batch; ++I) {
+      uint64_t Key = hashCompileRequest(K.Source, Opts);
+      if (!Cache.lookup(Key))
+        std::exit(2);
+    }
+  });
+  return Total / Batch > 0 ? Total / Batch : 1;
+}
+
+/// One-shot CLI round-trip: exec the igen driver on the same source.
+uint64_t cliOneShotCycles(const ServeKernel &K, const char *Driver) {
+  char SrcPath[] = "/tmp/igen_serve_bench_XXXXXX";
+  int Fd = mkstemp(SrcPath);
+  if (Fd < 0)
+    std::exit(2);
+  FILE *F = fdopen(Fd, "w");
+  std::fputs(K.Source, F);
+  std::fclose(F);
+  std::string Cmd = std::string(Driver) + " " + SrcPath + " -o " + SrcPath +
+                    ".out.cpp --target=ss -O0 > /dev/null 2>&1";
+  uint64_t Best = minCycles(
+      [&] {
+        if (std::system(Cmd.c_str()) != 0)
+          std::exit(2);
+      },
+      /*Reps=*/5);
+  std::remove(SrcPath);
+  std::string Out = std::string(SrcPath) + ".out.cpp";
+  std::remove(Out.c_str());
+  return Best;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = jsonPathArg(Argc, Argv);
+  JsonReport Report;
+  bool AmortizationOk = true;
+
+  for (const ServeKernel &K : Kernels) {
+    ServerCore Core(16);
+    const std::string Compile = compileFrame(K);
+    const std::string Handle = handleOf(mustOk(Core, Compile));
+    const std::string Eval = evalFrame(K, Handle);
+    const std::string EvictAll = "{\"op\":\"evict\",\"all\":true}";
+
+    // Frame-path rows: what a client observes over the wire (minus the
+    // socket). Evictions happen outside the timed region.
+    uint64_t ColdCycles = ~uint64_t{0};
+    for (int R = 0; R < 11; ++R) {
+      mustOk(Core, EvictAll);
+      uint64_t T0 = readCycles();
+      mustOk(Core, Compile);
+      ColdCycles = std::min(ColdCycles, readCycles() - T0);
+    }
+    uint64_t HitCycles = minCycles([&] { mustOk(Core, Compile); });
+    uint64_t EvalCycles = minCycles([&] { mustOk(Core, Eval); });
+    uint64_t CliCycles = cliOneShotCycles(K, IGEN_DRIVER_PATH);
+
+    reportRow(&Report, K.Name, "serve-compile-cold", 1, ColdCycles, 1.0);
+    reportRow(&Report, K.Name, "serve-compile-hit", 1, HitCycles, 1.0);
+    reportRow(&Report, K.Name, "serve-eval-hot", 1, EvalCycles, 1.0);
+    reportRow(&Report, K.Name, "cli-oneshot", 1, CliCycles, 1.0);
+
+    // Amortization claims.
+    uint64_t TxnCold = coldTransactionCycles(K);
+    uint64_t TxnHit = hitTransactionCycles(K);
+    double CompileSpeedup =
+        static_cast<double>(TxnCold) / static_cast<double>(TxnHit);
+    double EvalSpeedup =
+        static_cast<double>(CliCycles) / static_cast<double>(EvalCycles);
+    std::printf("# %s: cache lookup %.0fx cheaper than pipeline, hot eval "
+                "%.0fx cheaper than CLI round-trip\n",
+                K.Name, CompileSpeedup, EvalSpeedup);
+    if (CompileSpeedup < 50.0) {
+      std::fprintf(stderr,
+                   "serve_bench: FAIL %s: cache hit only %.1fx cheaper "
+                   "than cold compile (want >= 50x)\n",
+                   K.Name, CompileSpeedup);
+      AmortizationOk = false;
+    }
+    if (EvalSpeedup < 10.0) {
+      std::fprintf(stderr,
+                   "serve_bench: FAIL %s: hot eval only %.1fx cheaper "
+                   "than one-shot CLI round-trip (want >= 10x)\n",
+                   K.Name, EvalSpeedup);
+      AmortizationOk = false;
+    }
+  }
+
+  if (JsonPath && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "serve_bench: cannot write %s\n", JsonPath);
+    return 2;
+  }
+  return AmortizationOk ? 0 : 1;
+}

@@ -15,10 +15,12 @@
 #include "frontend/ASTDumper.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
+#include "server/SocketServer.h"
 #include "support/StringExtras.h"
 #include "transform/Pipeline.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -76,6 +78,18 @@ void printUsage() {
       "                        IGEN_FENV_POLICY={repair,poison,abort}\n"
       "  --dump-ast            print the type-checked AST instead of\n"
       "                        translating\n"
+      "  --serve=<socket>      run as a persistent compile+evaluate\n"
+      "                        daemon on a Unix socket speaking\n"
+      "                        newline-delimited JSON (ops: compile,\n"
+      "                        eval, stats, evict, shutdown). Compiled\n"
+      "                        programs are cached by content hash of\n"
+      "                        (source, options); capacity via\n"
+      "                        IGEN_SERVE_CACHE, admission queue via\n"
+      "                        IGEN_SERVE_QUEUE, frame cap via\n"
+      "                        IGEN_SERVE_MAX_FRAME. See\n"
+      "                        tools/igen_client.py\n"
+      "  --serve-workers=<n>   worker threads for --serve (default: the\n"
+      "                        runtime thread pool's participant count)\n"
       "\n"
       "exit codes: 0 success, 2 usage error, 3 parse error, 4 type/sema\n"
       "error, 5 transform error, 6 file I/O error\n");
@@ -114,6 +128,8 @@ int main(int Argc, char **Argv) {
   std::string OutputPath;
   TransformOptions Opts;
   bool DumpAst = false;
+  std::string ServeSocket;
+  unsigned ServeWorkers = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -196,6 +212,24 @@ int main(int Argc, char **Argv) {
       Opts.Harden = true;
       continue;
     }
+    if (startsWith(Arg, "--serve=")) {
+      ServeSocket = Arg.substr(8);
+      continue;
+    }
+    if (Arg == "--serve") {
+      if (++I >= Argc) {
+        std::fprintf(stderr,
+                     "igen: error: --serve requires a socket path\n");
+        return ExitUsage;
+      }
+      ServeSocket = Argv[I];
+      continue;
+    }
+    if (startsWith(Arg, "--serve-workers=")) {
+      ServeWorkers =
+          (unsigned)std::strtoul(Arg.c_str() + 16, nullptr, 10);
+      continue;
+    }
     if (Arg == "-O" || Arg == "-O1") {
       Opts.OptLevel = 1;
       continue;
@@ -215,6 +249,18 @@ int main(int Argc, char **Argv) {
       return ExitUsage;
     }
     InputPath = Arg;
+  }
+
+  if (!ServeSocket.empty()) {
+    if (!InputPath.empty() || !OutputPath.empty() || DumpAst) {
+      std::fprintf(stderr, "igen: error: --serve takes no input file; "
+                           "sources arrive over the socket\n");
+      return ExitUsage;
+    }
+    server::ServeConfig Config;
+    Config.SocketPath = ServeSocket;
+    Config.Workers = ServeWorkers;
+    return server::runServer(Config) == 0 ? ExitSuccess : ExitIO;
   }
 
   if (InputPath.empty()) {

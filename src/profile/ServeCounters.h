@@ -1,0 +1,84 @@
+//===- ServeCounters.h - Served-evaluation profile counters -----*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide counters for the serve-mode execution tier, kept in the
+/// profile subsystem next to the precision profiler so one place owns
+/// "what did this process execute". The daemon's stats endpoint reports
+/// them; tests assert on them; they are monotonic and thread-safe.
+///
+/// Header-only (inline atomics), mirroring harden/FenvSentinel.h, so
+/// the server library needs no link-time dependency on igen_profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_PROFILE_SERVECOUNTERS_H
+#define IGEN_PROFILE_SERVECOUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace igen::profile {
+
+namespace detail {
+inline std::atomic<uint64_t> ServeEvals{0};
+inline std::atomic<uint64_t> ServeEvalErrors{0};
+inline std::atomic<uint64_t> ServeEvalsPoisoned{0};
+inline std::atomic<uint64_t> ServeEvalOps{0};
+inline std::atomic<uint64_t> ServeCompiles{0};
+inline std::atomic<uint64_t> ServeCompileErrors{0};
+} // namespace detail
+
+/// One served evaluation finished; \p Ops interval operations executed,
+/// \p Err it failed with a typed error, \p Poisoned its results were
+/// replaced by whole intervals after a fenv violation.
+inline void serveNoteEval(uint64_t Ops, bool Err, bool Poisoned) {
+  detail::ServeEvals.fetch_add(1, std::memory_order_relaxed);
+  detail::ServeEvalOps.fetch_add(Ops, std::memory_order_relaxed);
+  if (Err)
+    detail::ServeEvalErrors.fetch_add(1, std::memory_order_relaxed);
+  if (Poisoned)
+    detail::ServeEvalsPoisoned.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One served compile transaction finished (hit or cold); \p Err it
+/// rolled back with diagnostics.
+inline void serveNoteCompile(bool Err) {
+  detail::ServeCompiles.fetch_add(1, std::memory_order_relaxed);
+  if (Err)
+    detail::ServeCompileErrors.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct ServeCounterSnapshot {
+  uint64_t Evals;
+  uint64_t EvalErrors;
+  uint64_t EvalsPoisoned;
+  uint64_t EvalOps;
+  uint64_t Compiles;
+  uint64_t CompileErrors;
+};
+
+inline ServeCounterSnapshot serveCounters() {
+  return {detail::ServeEvals.load(std::memory_order_relaxed),
+          detail::ServeEvalErrors.load(std::memory_order_relaxed),
+          detail::ServeEvalsPoisoned.load(std::memory_order_relaxed),
+          detail::ServeEvalOps.load(std::memory_order_relaxed),
+          detail::ServeCompiles.load(std::memory_order_relaxed),
+          detail::ServeCompileErrors.load(std::memory_order_relaxed)};
+}
+
+inline void resetServeCounters() {
+  detail::ServeEvals.store(0, std::memory_order_relaxed);
+  detail::ServeEvalErrors.store(0, std::memory_order_relaxed);
+  detail::ServeEvalsPoisoned.store(0, std::memory_order_relaxed);
+  detail::ServeEvalOps.store(0, std::memory_order_relaxed);
+  detail::ServeCompiles.store(0, std::memory_order_relaxed);
+  detail::ServeCompileErrors.store(0, std::memory_order_relaxed);
+}
+
+} // namespace igen::profile
+
+#endif // IGEN_PROFILE_SERVECOUNTERS_H

@@ -1,0 +1,130 @@
+//===- Evaluator.h - AST-walking interval evaluator -------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve-mode execution tier: interprets a type-checked IGen AST
+/// directly against src/interval/, with no C compiler round-trip. The
+/// interpreter mirrors the *naive* translation — what the transform
+/// emits at `-O0 --target=ss` — operation for operation: every float
+/// expression is an igen::Interval, every float comparison a TBool,
+/// constants get the same enclosure rules (Section IV-B), tolerance
+/// parameters the same upward-widened shadow, reductions the same
+/// SumAccumulatorF64 feeds, and the join branch policy the same
+/// save/run/restore/hull sequence. Because both paths compose the same
+/// pure interval operations in the same order under FE_UPWARD, eval
+/// results are bit-identical to AOT-compiled `-O0 --target=ss` output
+/// (ExecServeCompareTest pins this).
+///
+/// The -O1 rewrites (sign-specialized mul/div, FMA fusion, CSE/hoist,
+/// _fast poly kernels) are value-changing-but-still-sound, so the
+/// interpreter deliberately does not replicate them; a request that
+/// asks for opt_level > 0 is still answered with the -O0 semantics and
+/// says so in the response.
+///
+/// Anything outside the interpretable subset (double-double precision,
+/// SIMD vectors, external calls, allocation) produces a *typed* error —
+/// never an abort — so a hostile or unlucky request cannot take the
+/// daemon down. All state is per-call; the evaluator is re-entrant and
+/// safe to run concurrently on many threads against one shared AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SERVER_EVALUATOR_H
+#define IGEN_SERVER_EVALUATOR_H
+
+#include "interval/Interval.h"
+#include "transform/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace igen {
+
+class FunctionDecl;
+
+namespace server {
+
+/// One evaluation argument. Scalars carry an interval (points are
+/// degenerate intervals); integer parameters take \c IntValue; array and
+/// pointer parameters take \c Elements (mutated in place, returned to
+/// the caller as an output).
+struct EvalArg {
+  enum class Kind { Scalar, Int, Array, Tolerance };
+  Kind K = Kind::Scalar;
+  Interval Scalar = Interval::fromPoint(0.0);
+  long long IntValue = 0;
+  /// Tolerance parameters keep their scalar double in the signature;
+  /// the evaluator applies the declared +-tol widening itself.
+  double Point = 0.0;
+  std::vector<Interval> Elements;
+};
+
+/// Typed evaluation failure. Codes are stable protocol vocabulary:
+///   unsupported        construct outside the interpretable subset
+///   unknown-branch     a branch condition evaluated to TBool::Unknown
+///   bad-argument       argument count/shape does not match the signature
+///   no-such-function   the cached program has no such defined function
+///   step-limit         runaway loop tripped the per-request step budget
+///   recursion-limit    call depth exceeded the per-request bound
+///   int-div-zero       integer division or remainder by zero
+struct EvalError {
+  std::string Code;
+  std::string Message;
+};
+
+struct EvalResult {
+  bool Ok = false;
+  EvalError Error; ///< set when !Ok
+
+  bool HasReturn = false;
+  bool ReturnIsInt = false;
+  Interval Return = Interval::fromPoint(0.0);
+  long long ReturnInt = 0;
+  /// Post-call contents of every Array argument, in argument order.
+  std::vector<std::vector<Interval>> ArrayOutputs;
+  /// Interval operations executed (profile counter food).
+  unsigned long long OpsExecuted = 0;
+};
+
+/// Per-request knobs, mirroring the IGEN_* environment the AOT runtime
+/// reads globally — isolated here so concurrent tenants cannot leak
+/// options into each other.
+struct EvalOptions {
+  /// Branch policy for TBool conditions: false = exception semantics
+  /// (Unknown is a typed error), true = join where safe.
+  bool JoinBranches = false;
+  /// Harden prologue: poison (return whole line) instead of evaluating
+  /// when the FP environment was found dirty on entry. The caller does
+  /// the actual sentinel check; this just tells the evaluator the
+  /// verdict.
+  bool PoisonedEntry = false;
+  /// Reduction transformation (loops marked `#pragma igen reduce`).
+  bool EnableReductions = false;
+  /// Abort interpretation after this many executed operations.
+  unsigned long long StepLimit = 50u * 1000u * 1000u;
+  /// Maximum user-function call depth.
+  unsigned MaxCallDepth = 128;
+};
+
+/// Evaluates \p Function from \p Prog on \p Args. The caller must hold a
+/// sound upward-rounding scope (RoundUpwardScope) for the duration of
+/// the call; the serve layer pairs that with its fenv sentinel.
+EvalResult evalFunction(const InMemoryProgram &Prog,
+                        const std::string &Function,
+                        const std::vector<EvalArg> &Args,
+                        const EvalOptions &Opts);
+
+/// Signature probe used for argument marshalling and error messages:
+/// describes parameter kinds of \p Function ("interval", "int", "array",
+/// "tolerance:<spelling>"), or empty + false if not defined.
+bool describeFunction(const InMemoryProgram &Prog, const std::string &Function,
+                      std::vector<std::string> &ParamKinds,
+                      std::string &ReturnKind);
+
+} // namespace server
+} // namespace igen
+
+#endif // IGEN_SERVER_EVALUATOR_H

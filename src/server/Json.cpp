@@ -1,0 +1,381 @@
+//===- Json.cpp - Minimal JSON value parser for serve frames -----------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Json.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+
+using namespace igen;
+using namespace igen::server;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, const JsonLimits &Limits)
+      : Text(Text), Limits(Limits) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    JsonValue V;
+    if (!parseValue(V, 0)) {
+      R.Error = Err;
+      R.ErrorOffset = ErrOff;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = "trailing characters after JSON value";
+      R.ErrorOffset = Pos;
+      return R;
+    }
+    R.Ok = true;
+    R.Value = std::move(V);
+    return R;
+  }
+
+private:
+  std::string_view Text;
+  const JsonLimits &Limits;
+  size_t Pos = 0;
+  size_t Elements = 0;
+  std::string Err;
+  size_t ErrOff = 0;
+
+  bool fail(const char *Msg) {
+    if (Err.empty()) {
+      Err = Msg;
+      ErrOff = Pos;
+    }
+    return false;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+        ++Pos;
+      else
+        break;
+    }
+  }
+
+  bool countElement() {
+    if (++Elements > Limits.MaxElements)
+      return fail("document has too many elements");
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    size_t N = std::strlen(Word);
+    if (Text.size() - Pos < N || Text.compare(Pos, N, Word) != 0)
+      return fail("invalid literal");
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, size_t Depth) {
+    if (Depth > Limits.MaxDepth)
+      return fail("nesting too deep");
+    if (!countElement())
+      return false;
+    if (atEnd())
+      return fail("unexpected end of input");
+    char C = peek();
+    switch (C) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = JsonValue();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = JsonValue(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = JsonValue(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return parseNumber(Out);
+      return fail("unexpected character");
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return fail("invalid number");
+    if (peek() == '0') {
+      ++Pos;
+    } else {
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && peek() == '.') {
+      ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("invalid number");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("invalid number");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    std::string Raw(Text.substr(Start, Pos - Start));
+    errno = 0;
+    char *End = nullptr;
+    double V = std::strtod(Raw.c_str(), &End);
+    if (End != Raw.c_str() + Raw.size())
+      return fail("invalid number");
+    // Overflow to +-inf is accepted; the raw spelling is preserved so
+    // callers that care can reject or re-round it themselves.
+    Out = JsonValue(V, std::move(Raw));
+    return true;
+  }
+
+  static bool hexDigit(char C, unsigned &V) {
+    if (C >= '0' && C <= '9') {
+      V = unsigned(C - '0');
+      return true;
+    }
+    if (C >= 'a' && C <= 'f') {
+      V = unsigned(C - 'a' + 10);
+      return true;
+    }
+    if (C >= 'A' && C <= 'F') {
+      V = unsigned(C - 'A' + 10);
+      return true;
+    }
+    return false;
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Text.size() - Pos < 4)
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      unsigned D;
+      if (!hexDigit(Text[Pos + size_t(I)], D))
+        return fail("invalid \\u escape");
+      Out = (Out << 4) | D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  void appendUtf8(std::string &S, unsigned CP) {
+    if (CP < 0x80) {
+      S.push_back(char(CP));
+    } else if (CP < 0x800) {
+      S.push_back(char(0xC0 | (CP >> 6)));
+      S.push_back(char(0x80 | (CP & 0x3F)));
+    } else if (CP < 0x10000) {
+      S.push_back(char(0xE0 | (CP >> 12)));
+      S.push_back(char(0x80 | ((CP >> 6) & 0x3F)));
+      S.push_back(char(0x80 | (CP & 0x3F)));
+    } else {
+      S.push_back(char(0xF0 | (CP >> 18)));
+      S.push_back(char(0x80 | ((CP >> 12) & 0x3F)));
+      S.push_back(char(0x80 | ((CP >> 6) & 0x3F)));
+      S.push_back(char(0x80 | (CP & 0x3F)));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (true) {
+      if (atEnd())
+        return fail("unterminated string");
+      if (Out.size() > Limits.MaxStringBytes)
+        return fail("string too long");
+      unsigned char C = (unsigned char)Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out.push_back(char(C));
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (atEnd())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out.push_back('"'); break;
+      case '\\': Out.push_back('\\'); break;
+      case '/': Out.push_back('/'); break;
+      case 'b': Out.push_back('\b'); break;
+      case 'f': Out.push_back('\f'); break;
+      case 'n': Out.push_back('\n'); break;
+      case 'r': Out.push_back('\r'); break;
+      case 't': Out.push_back('\t'); break;
+      case 'u': {
+        unsigned CP;
+        if (!parseHex4(CP))
+          return false;
+        if (CP >= 0xD800 && CP <= 0xDBFF) {
+          // Surrogate pair.
+          if (Text.size() - Pos < 2 || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired surrogate");
+          Pos += 2;
+          unsigned Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid low surrogate");
+          CP = 0x10000 + ((CP - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (CP >= 0xDC00 && CP <= 0xDFFF) {
+          return fail("unpaired surrogate");
+        }
+        appendUtf8(Out, CP);
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parseArray(JsonValue &Out, size_t Depth) {
+    ++Pos; // '['
+    JsonArray A;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      Out = JsonValue(std::move(A));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      A.push_back(std::move(V));
+      skipWs();
+      if (atEnd())
+        return fail("unterminated array");
+      char C = Text[Pos];
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == ']') {
+        ++Pos;
+        Out = JsonValue(std::move(A));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(JsonValue &Out, size_t Depth) {
+    ++Pos; // '{'
+    JsonObject O;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      Out = JsonValue(std::move(O));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (atEnd() || peek() != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (atEnd() || peek() != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      O[std::move(Key)] = std::move(V); // last duplicate key wins
+      skipWs();
+      if (atEnd())
+        return fail("unterminated object");
+      char C = Text[Pos];
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == '}') {
+        ++Pos;
+        Out = JsonValue(std::move(O));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+} // namespace
+
+JsonParseResult igen::server::parseJson(std::string_view Text,
+                                        const JsonLimits &Limits) {
+  return Parser(Text, Limits).run();
+}
+
+std::string igen::server::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(char(C));
+      }
+    }
+  }
+  return Out;
+}

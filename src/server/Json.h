@@ -1,0 +1,117 @@
+//===- Json.h - Minimal JSON value parser for serve frames ------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for the serve protocol. The
+/// repo already has a streaming *writer* (support/JsonWriter.h); this is
+/// its input-side counterpart, sized for one request frame at a time.
+/// It is deliberately strict (RFC 8259 grammar, no comments, no
+/// trailing commas) and hardened for untrusted input: nesting depth and
+/// total element counts are capped so a hostile frame cannot stack- or
+/// heap-exhaust the daemon. Errors carry a byte offset for typed error
+/// responses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SERVER_JSON_H
+#define IGEN_SERVER_JSON_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace igen {
+namespace server {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps member iteration deterministic, which the tests rely
+/// on when comparing rendered errors.
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+/// A parsed JSON value. Numbers keep both the double value and the raw
+/// spelling: eval requests may pass interval endpoints as decimal text,
+/// and the raw spelling lets callers re-parse with directed rounding.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  explicit JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  explicit JsonValue(double D, std::string Raw = "")
+      : K(Kind::Number), NumV(D), StrV(std::move(Raw)) {}
+  explicit JsonValue(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+  explicit JsonValue(JsonArray A)
+      : K(Kind::Array), ArrV(std::make_shared<JsonArray>(std::move(A))) {}
+  explicit JsonValue(JsonObject O)
+      : K(Kind::Object), ObjV(std::make_shared<JsonObject>(std::move(O))) {}
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return BoolV; }
+  double numberValue() const { return NumV; }
+  /// Raw spelling for numbers; the decoded text for strings.
+  const std::string &stringValue() const { return StrV; }
+  const JsonArray &arrayValue() const { return *ArrV; }
+  const JsonObject &objectValue() const { return *ObjV; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue *member(std::string_view Name) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = ObjV->find(Name);
+    return It == ObjV->end() ? nullptr : &It->second;
+  }
+
+private:
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0.0;
+  std::string StrV;
+  // shared_ptr keeps JsonValue copyable without deep copies; parsed
+  // frames are read-only after construction.
+  std::shared_ptr<JsonArray> ArrV;
+  std::shared_ptr<JsonObject> ObjV;
+};
+
+/// Parse limits. The defaults comfortably fit every legitimate serve
+/// frame while bounding adversarial ones.
+struct JsonLimits {
+  size_t MaxDepth = 32;
+  size_t MaxElements = 1 << 16; ///< total values across the document
+  size_t MaxStringBytes = 1 << 20;
+};
+
+struct JsonParseResult {
+  bool Ok = false;
+  JsonValue Value;
+  std::string Error;   ///< empty on success
+  size_t ErrorOffset = 0;
+};
+
+/// Parses exactly one JSON document from \p Text (trailing whitespace
+/// allowed, trailing garbage is an error).
+JsonParseResult parseJson(std::string_view Text,
+                          const JsonLimits &Limits = JsonLimits());
+
+/// Escapes \p S as the body of a JSON string literal (no quotes added).
+/// Mirrors support/JsonWriter.h so server code composing error strings
+/// by hand stays consistent with the streaming writer.
+std::string jsonEscape(std::string_view S);
+
+} // namespace server
+} // namespace igen
+
+#endif // IGEN_SERVER_JSON_H

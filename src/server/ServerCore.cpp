@@ -1,0 +1,781 @@
+//===- ServerCore.cpp - Serve-mode request dispatch --------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ServerCore.h"
+
+#include "frontend/AST.h"
+#include "harden/FenvSentinel.h"
+#include "interval/Rounding.h"
+#include "profile/ServeCounters.h"
+#include "server/Evaluator.h"
+#include "server/Json.h"
+#include "support/JsonWriter.h"
+
+#include <cfenv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace igen;
+using namespace igen::server;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+/// JsonWriter pretty-prints; the protocol is one line per frame. Raw
+/// newlines never occur inside JSON string literals (the writer escapes
+/// them), so dropping each '\n' plus its following indent is lossless.
+std::string flattenOneLine(std::string Pretty) {
+  std::string Out;
+  Out.reserve(Pretty.size());
+  size_t I = 0;
+  while (I < Pretty.size()) {
+    char C = Pretty[I];
+    if (C == '\n') {
+      ++I;
+      while (I < Pretty.size() && Pretty[I] == ' ')
+        ++I;
+      continue;
+    }
+    Out.push_back(C);
+    ++I;
+  }
+  return Out;
+}
+
+std::string doubleToHex(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)Bits);
+  return Buf;
+}
+
+bool hexToDouble(std::string_view S, double &Out) {
+  uint64_t Bits;
+  if (!parseHandle(S, Bits)) // same 16-hex-digit grammar
+    return false;
+  std::memcpy(&Out, &Bits, sizeof(Out));
+  return true;
+}
+
+/// Echoable request id: strings and numbers only (objects/arrays as ids
+/// are rejected as bad requests before this runs).
+struct RequestId {
+  bool Present = false;
+  bool IsString = false;
+  std::string Str; ///< string value, or the raw number spelling
+};
+
+void writeId(JsonWriter &W, const RequestId &Id) {
+  if (!Id.Present)
+    return;
+  if (Id.IsString) {
+    W.field("id", std::string_view(Id.Str));
+    return;
+  }
+  // Re-emit the number exactly as sent.
+  W.key("id");
+  char *End = nullptr;
+  long long LL = std::strtoll(Id.Str.c_str(), &End, 10);
+  if (End && *End == '\0')
+    W.value(static_cast<int64_t>(LL));
+  else
+    W.value(std::strtod(Id.Str.c_str(), nullptr));
+}
+
+std::string errorResponse(const RequestId &Id, std::string_view Op,
+                          std::string_view Code, std::string_view Msg) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("ok", false);
+  writeId(W, Id);
+  if (!Op.empty())
+    W.field("op", Op);
+  W.key("error");
+  W.beginObject();
+  W.field("code", Code);
+  W.field("message", Msg);
+  W.endObject();
+  W.endObject();
+  return flattenOneLine(W.take());
+}
+
+/// Thrown by request handlers; rendered as a typed error response.
+struct RequestError {
+  std::string Code;
+  std::string Message;
+};
+
+[[noreturn]] void bad(std::string Code, std::string Msg) {
+  throw RequestError{std::move(Code), std::move(Msg)};
+}
+
+//===----------------------------------------------------------------------===//
+// Option parsing (shared by compile hashing and the compile op)
+//===----------------------------------------------------------------------===//
+
+bool getBool(const JsonValue &O, const char *Name, bool Def) {
+  const JsonValue *V = O.member(Name);
+  if (!V)
+    return Def;
+  if (!V->isBool())
+    bad("bad-option", std::string("option '") + Name + "' must be a bool");
+  return V->boolValue();
+}
+
+TransformOptions parseCompileOptions(const JsonValue *O) {
+  TransformOptions Opts;
+  if (!O)
+    return Opts;
+  if (!O->isObject())
+    bad("bad-option", "'options' must be an object");
+  if (const JsonValue *P = O->member("precision")) {
+    if (!P->isString() ||
+        (P->stringValue() != "f64" && P->stringValue() != "dd"))
+      bad("bad-option", "precision must be \"f64\" or \"dd\"");
+    if (P->stringValue() == "dd")
+      Opts.Prec = TransformOptions::Precision::DoubleDouble;
+  }
+  if (const JsonValue *T = O->member("target")) {
+    if (!T->isString() ||
+        (T->stringValue() != "sv" && T->stringValue() != "ss"))
+      bad("bad-option", "target must be \"sv\" or \"ss\"");
+    Opts.ScalarLibrary = T->stringValue() == "ss";
+  }
+  if (const JsonValue *B = O->member("branch")) {
+    if (!B->isString() || (B->stringValue() != "exception" &&
+                           B->stringValue() != "join"))
+      bad("bad-option", "branch must be \"exception\" or \"join\"");
+    if (B->stringValue() == "join")
+      Opts.Branches = TransformOptions::BranchPolicy::Join;
+  }
+  if (const JsonValue *L = O->member("opt_level")) {
+    if (!L->isNumber() ||
+        L->numberValue() != static_cast<int>(L->numberValue()) ||
+        L->numberValue() < 0 || L->numberValue() > 1)
+      bad("bad-option", "opt_level must be 0 or 1");
+    Opts.OptLevel = static_cast<int>(L->numberValue());
+  }
+  Opts.EnableReductions = getBool(*O, "reductions", false);
+  Opts.EnableBatchLoops = getBool(*O, "batch_loops", false);
+  Opts.Profile = getBool(*O, "profile", false);
+  Opts.Tier = getBool(*O, "tier", false);
+  Opts.Harden = getBool(*O, "harden", false);
+  if (const JsonValue *M = O->member("module")) {
+    if (!M->isString())
+      bad("bad-option", "module must be a string");
+    Opts.ModuleName = M->stringValue();
+  }
+  if (Opts.Tier &&
+      (Opts.Profile ||
+       Opts.Prec == TransformOptions::Precision::DoubleDouble))
+    bad("bad-option",
+        "tier cannot be combined with profile or dd precision");
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Eval argument marshalling
+//===----------------------------------------------------------------------===//
+
+Interval intervalFromJson(const JsonValue &V) {
+  if (V.isNumber())
+    return Interval::fromPoint(V.numberValue());
+  if (V.isObject()) {
+    if (const JsonValue *H = V.member("hex")) {
+      double D;
+      if (!H->isString() || !hexToDouble(H->stringValue(), D))
+        bad("bad-argument", "hex must be 16 hex digits");
+      return Interval::fromPoint(D);
+    }
+    const JsonValue *LoH = V.member("lo_hex"), *HiH = V.member("hi_hex");
+    if (LoH || HiH) {
+      double Lo, Hi;
+      if (!LoH || !HiH || !LoH->isString() || !HiH->isString() ||
+          !hexToDouble(LoH->stringValue(), Lo) ||
+          !hexToDouble(HiH->stringValue(), Hi))
+        bad("bad-argument", "lo_hex/hi_hex must be 16 hex digits each");
+      return Interval::fromEndpoints(Lo, Hi);
+    }
+    const JsonValue *Lo = V.member("lo"), *Hi = V.member("hi");
+    if (Lo && Hi && Lo->isNumber() && Hi->isNumber())
+      return Interval::fromEndpoints(Lo->numberValue(), Hi->numberValue());
+  }
+  bad("bad-argument",
+      "interval argument must be a number, {lo,hi}, {hex} or "
+      "{lo_hex,hi_hex}");
+}
+
+EvalArg parseEvalArg(const JsonValue &V) {
+  EvalArg A;
+  if (V.isObject()) {
+    if (const JsonValue *I = V.member("int")) {
+      if (!I->isNumber() ||
+          I->numberValue() != static_cast<long long>(I->numberValue()))
+        bad("bad-argument", "int argument must be an integer");
+      A.K = EvalArg::Kind::Int;
+      A.IntValue = static_cast<long long>(I->numberValue());
+      return A;
+    }
+    if (const JsonValue *P = V.member("point")) {
+      if (!P->isNumber())
+        bad("bad-argument", "point argument must be a number");
+      A.K = EvalArg::Kind::Tolerance;
+      A.Point = P->numberValue();
+      return A;
+    }
+    if (const JsonValue *Arr = V.member("array")) {
+      if (!Arr->isArray())
+        bad("bad-argument", "array argument must carry a JSON array");
+      A.K = EvalArg::Kind::Array;
+      A.Elements.reserve(Arr->arrayValue().size());
+      for (const JsonValue &E : Arr->arrayValue())
+        A.Elements.push_back(intervalFromJson(E));
+      return A;
+    }
+  }
+  A.K = EvalArg::Kind::Scalar;
+  A.Scalar = intervalFromJson(V);
+  return A;
+}
+
+void writeInterval(JsonWriter &W, const Interval &I) {
+  W.beginObject();
+  W.field("lo", I.lo());
+  W.field("hi", I.hi());
+  W.field("lo_hex", std::string_view(doubleToHex(I.lo())));
+  W.field("hi_hex", std::string_view(doubleToHex(I.hi())));
+  W.endObject();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-request fenv sentinel
+//===----------------------------------------------------------------------===//
+
+/// igen_fenv_check with a *request-local* policy: the process-global
+/// IGEN_FENV_POLICY cache is never consulted or written, so concurrent
+/// tenants with different policies cannot race on it. Returns true when
+/// the caller must poison its results. Always repairs.
+bool requestFenvCheck(bool PoisonPolicy) {
+  if (__builtin_expect(harden::fenvIsSoundUpward(), 1))
+    return false;
+  uint32_t Cur = harden::readMxcsr();
+  harden::detail::ViolationCount.fetch_add(1, std::memory_order_relaxed);
+  harden::detail::LastViolationBits.store(Cur & harden::kMxcsrSoundMask,
+                                          std::memory_order_relaxed);
+  harden::writeMxcsr((Cur & ~harden::kMxcsrSoundMask) |
+                     harden::kMxcsrWantUpward);
+  invalidateRoundingCache();
+  std::fesetround(FE_UPWARD);
+  harden::detail::RepairCount.fetch_add(1, std::memory_order_relaxed);
+  if (PoisonPolicy) {
+    harden::detail::PoisonCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> definedFunctions(const InMemoryProgram &Prog) {
+  std::vector<std::string> Out;
+  if (!Prog.Ast)
+    return Out;
+  for (const TopLevelItem &Item : Prog.Ast->TU.Items)
+    if (Item.Function && Item.Function->Body)
+      Out.push_back(Item.Function->Name);
+  return Out;
+}
+
+int log2Bucket(uint64_t Us) {
+  int B = 0;
+  while (Us > 1 && B < EndpointStats::NumBuckets - 1) {
+    Us >>= 1;
+    ++B;
+  }
+  return B;
+}
+
+} // namespace
+
+size_t igen::server::maxFrameBytes() {
+  static const size_t V = [] {
+    size_t Def = 4u << 20;
+    if (const char *E = std::getenv("IGEN_SERVE_MAX_FRAME")) {
+      char *End = nullptr;
+      long long N = std::strtoll(E, &End, 10);
+      if (End && *End == '\0' && N > 0)
+        return (size_t)N;
+    }
+    return Def;
+  }();
+  return V;
+}
+
+void EndpointStats::record(uint64_t Us, bool Error) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  if (Error)
+    Errors.fetch_add(1, std::memory_order_relaxed);
+  TotalUs.fetch_add(Us, std::memory_order_relaxed);
+  Buckets[log2Bucket(Us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+ServerCore::ServerCore(long CacheCapacity) : Cache(CacheCapacity) {}
+
+std::string ServerCore::handleFrame(std::string_view Frame) {
+  auto Start = std::chrono::steady_clock::now();
+  Endpoint E = EpInvalid;
+  bool IsError = false;
+  std::string Resp;
+  try {
+    Resp = dispatch(Frame, E, IsError);
+  } catch (const std::bad_alloc &) {
+    IsError = true;
+    Resp = errorResponse(RequestId(), "", "internal-error",
+                         "out of memory handling request");
+  } catch (const std::exception &Ex) {
+    IsError = true;
+    Resp = errorResponse(RequestId(), "", "internal-error", Ex.what());
+  } catch (...) {
+    IsError = true;
+    Resp = errorResponse(RequestId(), "", "internal-error",
+                         "unexpected exception handling request");
+  }
+  auto Us = (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  Ep[E].record(Us, IsError);
+  return Resp;
+}
+
+std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
+                                 bool &IsError) {
+  EpOut = EpInvalid;
+  IsError = true; // cleared on each success path
+  RequestId Id;
+
+  if (Frame.size() > maxFrameBytes())
+    return errorResponse(Id, "", "frame-too-large",
+                         "request frame exceeds IGEN_SERVE_MAX_FRAME (" +
+                             std::to_string(maxFrameBytes()) + " bytes)");
+
+  JsonParseResult P = parseJson(Frame);
+  if (!P.Ok)
+    return errorResponse(Id, "", "bad-json",
+                         P.Error + " at byte " +
+                             std::to_string(P.ErrorOffset));
+  const JsonValue &Req = P.Value;
+  if (!Req.isObject())
+    return errorResponse(Id, "", "bad-request",
+                         "request must be a JSON object");
+
+  if (const JsonValue *IdV = Req.member("id")) {
+    if (IdV->isString()) {
+      Id.Present = true;
+      Id.IsString = true;
+      Id.Str = IdV->stringValue();
+    } else if (IdV->isNumber()) {
+      Id.Present = true;
+      Id.Str = IdV->stringValue(); // raw spelling
+    } else {
+      return errorResponse(Id, "", "bad-request",
+                           "id must be a string or a number");
+    }
+  }
+
+  const JsonValue *OpV = Req.member("op");
+  if (!OpV || !OpV->isString())
+    return errorResponse(Id, "", "bad-request",
+                         "missing required string field 'op'");
+  const std::string &Op = OpV->stringValue();
+
+  try {
+    if (Op == "compile") {
+      EpOut = EpCompile;
+      const JsonValue *Src = Req.member("source");
+      if (!Src || !Src->isString())
+        bad("bad-request", "compile requires a string 'source'");
+      TransformOptions Opts = parseCompileOptions(Req.member("options"));
+      Opts.SourceName = "<serve>";
+      uint64_t Hash = hashCompileRequest(Src->stringValue(), Opts);
+
+      bool Cached = true;
+      std::shared_ptr<const InMemoryProgram> Prog = Cache.lookup(Hash);
+      if (!Prog) {
+        Cached = false;
+        DiagnosticsEngine Diags;
+        PipelineStage Failed = PipelineStage::None;
+        auto Fresh =
+            compileToProgram(Src->stringValue(), Opts, Diags, nullptr,
+                             &Failed);
+        if (!Fresh) {
+          // Transaction rollback: the partial AST died with Fresh; the
+          // cache was never touched; the daemon state is exactly as
+          // before this request.
+          profile::serveNoteCompile(/*Err=*/true);
+          const char *Code = Failed == PipelineStage::Parse ? "parse-error"
+                             : Failed == PipelineStage::Sema
+                                 ? "sema-error"
+                                 : "transform-error";
+          const char *Stage = Failed == PipelineStage::Parse ? "parse"
+                              : Failed == PipelineStage::Sema
+                                  ? "sema"
+                                  : "transform";
+          JsonWriter W;
+          W.beginObject();
+          W.field("ok", false);
+          writeId(W, Id);
+          W.field("op", std::string_view("compile"));
+          W.key("error");
+          W.beginObject();
+          W.field("code", std::string_view(Code));
+          W.field("stage", std::string_view(Stage));
+          W.field("message",
+                  std::string_view("compilation failed; see diagnostics"));
+          W.key("diagnostics");
+          W.beginArray();
+          for (const Diagnostic &D : Diags.diagnostics()) {
+            const char *Sev = D.Severity == DiagSeverity::Error ? "error"
+                              : D.Severity == DiagSeverity::Warning
+                                  ? "warning"
+                                  : "note";
+            W.value(std::string_view(std::string(Sev) + ": " + D.Message));
+          }
+          W.endArray();
+          W.endObject();
+          W.endObject();
+          return flattenOneLine(W.take());
+        }
+        Prog = std::shared_ptr<const InMemoryProgram>(std::move(Fresh));
+        Cache.insert(Hash, Prog);
+      }
+      profile::serveNoteCompile(/*Err=*/false);
+
+      JsonWriter W;
+      W.beginObject();
+      W.field("ok", true);
+      writeId(W, Id);
+      W.field("op", std::string_view("compile"));
+      W.field("handle", std::string_view(formatHandle(Hash)));
+      W.field("cached", Cached);
+      W.key("functions");
+      W.beginArray();
+      for (const std::string &F : definedFunctions(*Prog))
+        W.value(std::string_view(F));
+      W.endArray();
+      W.field("emitted_bytes", (uint64_t)Prog->EmittedC.size());
+      W.endObject();
+      IsError = false;
+      return flattenOneLine(W.take());
+    }
+
+    if (Op == "eval") {
+      EpOut = EpEval;
+      const JsonValue *HandleV = Req.member("handle");
+      if (!HandleV || !HandleV->isString())
+        bad("bad-request", "eval requires a string 'handle'");
+      uint64_t Hash;
+      if (!parseHandle(HandleV->stringValue(), Hash))
+        bad("bad-request", "malformed handle (expected 16 hex digits)");
+      std::shared_ptr<const InMemoryProgram> Prog =
+          Cache.lookup(Hash, /*CountMiss=*/false);
+      if (!Prog)
+        bad("no-such-handle",
+            "handle " + HandleV->stringValue() +
+                " is not resident (compile first, or it was evicted)");
+
+      const JsonValue *FnV = Req.member("function");
+      if (!FnV || !FnV->isString())
+        bad("bad-request", "eval requires a string 'function'");
+
+      std::vector<EvalArg> Args;
+      if (const JsonValue *ArgsV = Req.member("args")) {
+        if (!ArgsV->isArray())
+          bad("bad-request", "'args' must be an array");
+        Args.reserve(ArgsV->arrayValue().size());
+        for (const JsonValue &A : ArgsV->arrayValue())
+          Args.push_back(parseEvalArg(A));
+      }
+
+      // Per-request option isolation: defaults come from the program's
+      // own compile options (so eval matches the AOT artifact), and the
+      // request may override each knob without touching any process
+      // global.
+      EvalOptions EO;
+      EO.JoinBranches =
+          Prog->Opts.Branches == TransformOptions::BranchPolicy::Join;
+      EO.EnableReductions = Prog->Opts.EnableReductions;
+      bool PoisonPolicy = false;
+      double TierWidth = 0.0;
+      bool HasTierWidth = false;
+      if (const JsonValue *O = Req.member("options")) {
+        if (!O->isObject())
+          bad("bad-option", "'options' must be an object");
+        if (const JsonValue *B = O->member("branch")) {
+          if (!B->isString() || (B->stringValue() != "exception" &&
+                                 B->stringValue() != "join"))
+            bad("bad-option", "branch must be \"exception\" or \"join\"");
+          EO.JoinBranches = B->stringValue() == "join";
+        }
+        if (O->member("reductions"))
+          EO.EnableReductions = getBool(*O, "reductions", false);
+        if (const JsonValue *FP = O->member("fenv_policy")) {
+          if (!FP->isString())
+            bad("bad-option", "fenv_policy must be a string");
+          if (FP->stringValue() == "poison")
+            PoisonPolicy = true;
+          else if (FP->stringValue() == "repair")
+            PoisonPolicy = false;
+          else if (FP->stringValue() == "abort")
+            bad("bad-option",
+                "fenv_policy \"abort\" is not allowed in serve mode (a "
+                "tenant may not terminate the daemon); use \"poison\"");
+          else
+            bad("bad-option",
+                "fenv_policy must be \"repair\" or \"poison\"");
+        }
+        if (const JsonValue *TW = O->member("tier_width")) {
+          if (!TW->isNumber() || !(TW->numberValue() > 0.0))
+            bad("bad-option", "tier_width must be a positive number");
+          TierWidth = TW->numberValue();
+          HasTierWidth = true;
+        }
+        if (const JsonValue *SL = O->member("step_limit")) {
+          if (!SL->isNumber() || SL->numberValue() < 1)
+            bad("bad-option", "step_limit must be a positive integer");
+          EO.StepLimit = (unsigned long long)SL->numberValue();
+        }
+      }
+
+      // Sound-rounding scope for this request, with the sentinel on
+      // entry (a previous tenant or foreign library may have clobbered
+      // the environment after scope entry hooks ran) and again on exit
+      // (to catch mid-request clobber before results ship).
+      EvalResult R;
+      bool Poisoned = false;
+      {
+        RoundUpwardScope Up;
+        bool EntryPoison = requestFenvCheck(PoisonPolicy);
+        EvalOptions EOReq = EO;
+        EOReq.PoisonedEntry = EntryPoison;
+        Poisoned = EntryPoison;
+        R = evalFunction(*Prog, FnV->stringValue(), Args, EOReq);
+        if (requestFenvCheck(PoisonPolicy) && R.Ok) {
+          // Mid-request violation under the poison policy: degrade the
+          // shipped results to whole intervals (sound, never wrong).
+          Poisoned = true;
+          if (R.HasReturn && !R.ReturnIsInt)
+            R.Return = Interval::entire();
+          for (auto &Arr : R.ArrayOutputs)
+            for (Interval &I : Arr)
+              I = Interval::entire();
+        }
+      }
+
+      EvalsServed.fetch_add(1, std::memory_order_relaxed);
+      EvalOps.fetch_add(R.OpsExecuted, std::memory_order_relaxed);
+      profile::serveNoteEval(R.OpsExecuted, !R.Ok, Poisoned && R.Ok);
+      if (!R.Ok) {
+        EvalErrors.fetch_add(1, std::memory_order_relaxed);
+        bad(R.Error.Code, R.Error.Message);
+      }
+      if (Poisoned)
+        EvalsPoisoned.fetch_add(1, std::memory_order_relaxed);
+
+      bool Wide = false;
+      if (HasTierWidth && R.HasReturn && !R.ReturnIsInt) {
+        double Width = R.Return.hi() - R.Return.lo();
+        Wide = !(Width <= TierWidth); // NaN widths count as wide
+      }
+      bool AotExact = Prog->Opts.OptLevel == 0 &&
+                      Prog->Opts.ScalarLibrary &&
+                      Prog->Opts.Prec == TransformOptions::Precision::Double;
+
+      JsonWriter W;
+      W.beginObject();
+      W.field("ok", true);
+      writeId(W, Id);
+      W.field("op", std::string_view("eval"));
+      W.key("result");
+      if (!R.HasReturn) {
+        W.beginObject();
+        W.field("kind", std::string_view("void"));
+        W.endObject();
+      } else if (R.ReturnIsInt) {
+        W.beginObject();
+        W.field("kind", std::string_view("int"));
+        W.field("value", (int64_t)R.ReturnInt);
+        W.endObject();
+      } else {
+        W.beginObject();
+        W.field("kind", std::string_view("interval"));
+        W.field("lo", R.Return.lo());
+        W.field("hi", R.Return.hi());
+        W.field("lo_hex", std::string_view(doubleToHex(R.Return.lo())));
+        W.field("hi_hex", std::string_view(doubleToHex(R.Return.hi())));
+        W.endObject();
+      }
+      W.key("arrays");
+      W.beginArray();
+      for (const auto &Arr : R.ArrayOutputs) {
+        W.beginArray();
+        for (const Interval &I : Arr)
+          writeInterval(W, I);
+        W.endArray();
+      }
+      W.endArray();
+      W.field("poisoned", Poisoned);
+      W.field("wide", Wide);
+      W.field("aot_exact", AotExact);
+      W.field("ops", (uint64_t)R.OpsExecuted);
+      W.endObject();
+      IsError = false;
+      return flattenOneLine(W.take());
+    }
+
+    if (Op == "stats") {
+      EpOut = EpStats;
+      // Count this request before rendering so the report includes it.
+      JsonWriter W;
+      W.beginObject();
+      W.field("ok", true);
+      writeId(W, Id);
+      W.field("op", std::string_view("stats"));
+      W.key("stats");
+      // statsJson() renders the report object; splice it in via a
+      // nested parse-free path: build it inline instead.
+      {
+        CacheStats CS = Cache.stats();
+        W.beginObject();
+        W.field("schema_version", (int64_t)1);
+        W.field("report", std::string_view("igen_serve_stats"));
+        W.key("cache");
+        W.beginObject();
+        W.field("hits", CS.Hits);
+        W.field("misses", CS.Misses);
+        W.field("evictions", CS.Evictions);
+        W.field("insertions", CS.Insertions);
+        W.field("resident", (uint64_t)CS.Resident);
+        W.field("capacity", (uint64_t)CS.Capacity);
+        W.endObject();
+        W.key("requests");
+        W.beginObject();
+        static const char *Names[EpCount] = {"compile", "eval", "stats",
+                                             "evict", "shutdown",
+                                             "invalid"};
+        for (int I = 0; I < EpCount; ++I) {
+          W.key(Names[I]);
+          W.beginObject();
+          W.field("count", Ep[I].Count.load(std::memory_order_relaxed));
+          W.field("errors", Ep[I].Errors.load(std::memory_order_relaxed));
+          W.endObject();
+        }
+        W.endObject();
+        W.key("latency_us");
+        W.beginObject();
+        for (int I = 0; I < EpCount; ++I) {
+          if (I != EpCompile && I != EpEval)
+            continue; // histograms only where latency matters
+          W.key(Names[I]);
+          W.beginObject();
+          W.field("count", Ep[I].Count.load(std::memory_order_relaxed));
+          W.field("total_us",
+                  Ep[I].TotalUs.load(std::memory_order_relaxed));
+          W.key("log2_buckets");
+          W.beginArray();
+          for (const auto &B : Ep[I].Buckets)
+            W.value(B.load(std::memory_order_relaxed));
+          W.endArray();
+          W.endObject();
+        }
+        W.endObject();
+        W.key("evals");
+        W.beginObject();
+        W.field("served", EvalsServed.load(std::memory_order_relaxed));
+        W.field("errors", EvalErrors.load(std::memory_order_relaxed));
+        W.field("poisoned",
+                EvalsPoisoned.load(std::memory_order_relaxed));
+        W.field("interval_ops", EvalOps.load(std::memory_order_relaxed));
+        W.endObject();
+        W.key("fenv");
+        {
+          harden::FenvStats FS = harden::fenvStats();
+          W.beginObject();
+          W.field("violations", FS.Violations);
+          W.field("repairs", FS.Repairs);
+          W.field("poisoned", FS.Poisoned);
+          W.endObject();
+        }
+        W.endObject();
+      }
+      W.endObject();
+      IsError = false;
+      return flattenOneLine(W.take());
+    }
+
+    if (Op == "evict") {
+      EpOut = EpEvict;
+      JsonWriter W;
+      W.beginObject();
+      W.field("ok", true);
+      writeId(W, Id);
+      W.field("op", std::string_view("evict"));
+      if (const JsonValue *All = Req.member("all")) {
+        if (!All->isBool() || !All->boolValue())
+          bad("bad-request", "'all' must be true when present");
+        W.field("evicted", (uint64_t)Cache.clear());
+      } else {
+        const JsonValue *HandleV = Req.member("handle");
+        uint64_t Hash;
+        if (!HandleV || !HandleV->isString() ||
+            !parseHandle(HandleV->stringValue(), Hash))
+          bad("bad-request",
+              "evict requires 'handle' (16 hex digits) or all:true");
+        W.field("evicted", Cache.evict(Hash) ? (uint64_t)1 : (uint64_t)0);
+      }
+      W.endObject();
+      IsError = false;
+      return flattenOneLine(W.take());
+    }
+
+    if (Op == "shutdown") {
+      EpOut = EpShutdown;
+      Shutdown.store(true, std::memory_order_release);
+      JsonWriter W;
+      W.beginObject();
+      W.field("ok", true);
+      writeId(W, Id);
+      W.field("op", std::string_view("shutdown"));
+      W.endObject();
+      IsError = false;
+      return flattenOneLine(W.take());
+    }
+
+    return errorResponse(Id, Op, "bad-request",
+                         "unknown op '" + Op +
+                             "' (expected compile|eval|stats|evict|"
+                             "shutdown)");
+  } catch (const RequestError &RE) {
+    const char *OpName = EpOut == EpCompile   ? "compile"
+                         : EpOut == EpEval    ? "eval"
+                         : EpOut == EpStats   ? "stats"
+                         : EpOut == EpEvict   ? "evict"
+                         : EpOut == EpShutdown ? "shutdown"
+                                               : "";
+    return errorResponse(Id, OpName, RE.Code, RE.Message);
+  }
+}
+
+std::string ServerCore::statsJson() const {
+  // The stats op body, minus the envelope: reuse dispatch through a
+  // const_cast-free path is not worth a refactor; render directly.
+  ServerCore *Self = const_cast<ServerCore *>(this);
+  std::string Line = Self->handleFrame("{\"op\":\"stats\"}");
+  return Line;
+}

@@ -1,0 +1,123 @@
+//===- ServerCore.h - Serve-mode request dispatch ---------------*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent heart of `igen --serve`: one newline-
+/// delimited JSON frame in, one JSON response line out. The Unix-socket
+/// layer (SocketServer), the tests, the fuzzer, and the bench harness
+/// all drive this same entry point, so every protocol behavior is
+/// exercisable in-process without a socket.
+///
+/// Protocol (one JSON object per line; `id` is echoed when present):
+///
+///   {"op":"compile","source":"...","options":{...}}
+///     -> {"ok":true,"handle":"<16 hex>","cached":bool,
+///         "functions":[...],"emitted_bytes":N}
+///     Options: precision ("f64"|"dd"), target ("sv"|"ss"), reductions,
+///     batch_loops, branch ("exception"|"join"), opt_level, profile,
+///     tier, harden, module. The request is a transaction: failures
+///     report {code:"parse-error"|"sema-error"|"transform-error",
+///     stage, diagnostics:[...]} and leave no daemon state behind.
+///
+///   {"op":"eval","handle":"...","function":"...","args":[...],
+///    "options":{...}}
+///     Args: number | {"lo":..,"hi":..} | {"hex":"<16hex>"} |
+///     {"lo_hex":..,"hi_hex":..} | {"int":N} | {"point":X} |
+///     {"array":[...]}. Options: branch, reductions, fenv_policy
+///     ("repair"|"poison"), tier_width, step_limit.
+///     -> {"ok":true,"result":{...},"arrays":[...],"poisoned":bool,
+///         "wide":bool,"aot_exact":bool,"ops":N}
+///     Endpoints come back both as decimal and as IEEE bit patterns
+///     (lo_hex/hi_hex), so bit-exact transport survives JSON.
+///
+///   {"op":"stats"}   -> the igen_serve_stats v1 schema (cache
+///                       hit/miss/evict, per-endpoint counts, log2
+///                       latency histograms, fenv + eval counters).
+///   {"op":"evict","handle":"..."} or {"op":"evict","all":true}
+///   {"op":"shutdown"}
+///
+/// Isolation: every eval runs under its own RoundUpwardScope with an
+/// igen_fenv_check-style sentinel on entry and exit. The per-request
+/// fenv policy is applied locally (never through the process-global
+/// IGEN_FENV_POLICY cache, which concurrent tenants must not touch);
+/// "abort" is rejected as a typed error because a tenant must not be
+/// able to bring the daemon down. All evaluator options are plain
+/// per-call values, so concurrent requests with different options
+/// cannot observe each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SERVER_SERVERCORE_H
+#define IGEN_SERVER_SERVERCORE_H
+
+#include "server/FunctionCache.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace igen {
+namespace server {
+
+/// Maximum accepted frame size (bytes). Longer frames get a typed
+/// "frame-too-large" error. Overridable via IGEN_SERVE_MAX_FRAME.
+size_t maxFrameBytes();
+
+/// Per-endpoint request accounting plus a log2(microseconds) latency
+/// histogram: bucket k counts requests with latency in [2^k, 2^(k+1))
+/// microseconds.
+struct EndpointStats {
+  static constexpr int NumBuckets = 32;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> TotalUs{0};
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+
+  void record(uint64_t Us, bool Error);
+};
+
+class ServerCore {
+public:
+  explicit ServerCore(long CacheCapacity = 0);
+
+  /// Handles one frame (newline already stripped); returns exactly one
+  /// JSON line without the trailing newline. Never throws; any internal
+  /// failure becomes a typed error response.
+  std::string handleFrame(std::string_view Frame);
+
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  FunctionCache &cache() { return Cache; }
+
+  /// Renders the stats report body (same JSON the stats op returns).
+  std::string statsJson() const;
+
+private:
+  FunctionCache Cache;
+  std::atomic<bool> Shutdown{false};
+
+  enum Endpoint { EpCompile, EpEval, EpStats, EpEvict, EpShutdown,
+                  EpInvalid, EpCount };
+  mutable std::array<EndpointStats, EpCount> Ep;
+
+  // Served-evaluation counters (mirrored into profile/ServeCounters.h).
+  std::atomic<uint64_t> EvalsServed{0};
+  std::atomic<uint64_t> EvalErrors{0};
+  std::atomic<uint64_t> EvalsPoisoned{0};
+  std::atomic<uint64_t> EvalOps{0};
+
+  std::string dispatch(std::string_view Frame, Endpoint &EpOut,
+                       bool &IsError);
+};
+
+} // namespace server
+} // namespace igen
+
+#endif // IGEN_SERVER_SERVERCORE_H

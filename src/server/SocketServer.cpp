@@ -1,0 +1,314 @@
+//===- SocketServer.cpp - Unix-socket transport for igen --serve -------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SocketServer.h"
+
+#include "runtime/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace igen;
+using namespace igen::server;
+
+namespace {
+
+/// One accepted client. Workers may outlive the reactor's interest in
+/// the fd (a frame can still be in flight when the peer disconnects),
+/// so connections are shared_ptr-owned by both sides and the fd is
+/// closed exactly once, when the last owner drops it.
+struct Connection {
+  int Fd = -1;
+  std::mutex WriteMu;
+  std::atomic<bool> Open{true};
+  std::string ReadBuf;
+  /// Oversized-frame recovery: drop bytes until the next newline, then
+  /// resume normal framing on the same connection.
+  bool Discarding = false;
+
+  ~Connection() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  /// Serializes whole lines onto the socket; concurrent workers for the
+  /// same connection cannot interleave partial responses.
+  void writeLine(const std::string &Line) {
+    std::lock_guard<std::mutex> G(WriteMu);
+    if (!Open.load(std::memory_order_relaxed))
+      return;
+    std::string Out = Line;
+    Out.push_back('\n');
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off,
+                         MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Open.store(false, std::memory_order_relaxed);
+        return;
+      }
+      Off += (size_t)N;
+    }
+  }
+};
+
+struct WorkItem {
+  std::shared_ptr<Connection> Conn;
+  std::string Frame;
+};
+
+/// Bounded MPMC admission queue. push() never blocks (the reactor must
+/// stay responsive); a full queue is the caller's signal to shed load.
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(size_t Cap) : Cap(Cap) {}
+
+  bool tryPush(WorkItem Item) {
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      if (Closed || Items.size() >= Cap)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    Ready.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed *and* drained.
+  bool pop(WorkItem &Out) {
+    std::unique_lock<std::mutex> G(Mu);
+    Ready.wait(G, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      Closed = true;
+    }
+    Ready.notify_all();
+  }
+
+private:
+  const size_t Cap;
+  std::mutex Mu;
+  std::condition_variable Ready;
+  std::deque<WorkItem> Items;
+  bool Closed = false;
+};
+
+std::string typedErrorLine(const char *Code, const char *Msg) {
+  std::string Out = "{\"ok\": false, \"error\": {\"code\": \"";
+  Out += Code;
+  Out += "\", \"message\": \"";
+  Out += Msg;
+  Out += "\"}}";
+  return Out;
+}
+
+/// Reactor: accepts clients and slices their byte streams into frames.
+class Reactor {
+public:
+  Reactor(int ListenFd, ServerCore &Core, AdmissionQueue &Queue)
+      : ListenFd(ListenFd), Core(Core), Queue(Queue) {}
+
+  void run() {
+    while (!Core.shutdownRequested()) {
+      std::vector<pollfd> Fds;
+      Fds.push_back({ListenFd, POLLIN, 0});
+      std::vector<std::shared_ptr<Connection>> Order;
+      Order.reserve(Conns.size());
+      for (auto &KV : Conns) {
+        Order.push_back(KV.second);
+        Fds.push_back({KV.first, POLLIN, 0});
+      }
+      // Short timeout: shutdown is signaled by a worker thread, so the
+      // reactor has to wake up on its own to observe it.
+      int N = ::poll(Fds.data(), Fds.size(), 50);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      if (Fds[0].revents & POLLIN)
+        acceptOne();
+      for (size_t I = 1; I < Fds.size(); ++I)
+        if (Fds[I].revents & (POLLIN | POLLHUP | POLLERR))
+          serviceConnection(Order[I - 1]);
+      // Drop connections the peer or a failed write closed.
+      for (auto It = Conns.begin(); It != Conns.end();)
+        if (!It->second->Open.load(std::memory_order_relaxed))
+          It = Conns.erase(It);
+        else
+          ++It;
+    }
+  }
+
+private:
+  void acceptOne() {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return;
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    Conns[Fd] = std::move(Conn);
+  }
+
+  void serviceConnection(const std::shared_ptr<Connection> &Conn) {
+    char Buf[64 * 1024];
+    ssize_t N = ::recv(Conn->Fd, Buf, sizeof(Buf), 0);
+    if (N == 0 || (N < 0 && errno != EINTR && errno != EAGAIN)) {
+      Conn->Open.store(false, std::memory_order_relaxed);
+      return;
+    }
+    if (N < 0)
+      return;
+    size_t Start = 0;
+    for (ssize_t I = 0; I < N; ++I) {
+      if (Buf[I] != '\n')
+        continue;
+      if (Conn->Discarding) {
+        Conn->Discarding = false;
+      } else {
+        Conn->ReadBuf.append(Buf + Start, (size_t)(I - Start));
+        dispatchFrame(Conn, std::move(Conn->ReadBuf));
+        Conn->ReadBuf.clear();
+      }
+      Start = (size_t)I + 1;
+    }
+    if (!Conn->Discarding) {
+      Conn->ReadBuf.append(Buf + Start, (size_t)(N - Start));
+      if (Conn->ReadBuf.size() > maxFrameBytes()) {
+        // The frame can only grow; answer now and resynchronize at the
+        // next newline so the connection keeps serving.
+        Conn->writeLine(typedErrorLine(
+            "frame-too-large",
+            "request frame exceeds IGEN_SERVE_MAX_FRAME"));
+        Conn->ReadBuf.clear();
+        Conn->Discarding = true;
+      }
+    }
+  }
+
+  void dispatchFrame(const std::shared_ptr<Connection> &Conn,
+                     std::string Frame) {
+    // Trim a trailing '\r' so CRLF clients work.
+    if (!Frame.empty() && Frame.back() == '\r')
+      Frame.pop_back();
+    if (Frame.empty())
+      return;
+    if (!Queue.tryPush(WorkItem{Conn, std::move(Frame)}))
+      Conn->writeLine(typedErrorLine(
+          "queue-full",
+          "admission queue is full (IGEN_SERVE_QUEUE); retry later"));
+  }
+
+  int ListenFd;
+  ServerCore &Core;
+  AdmissionQueue &Queue;
+  std::unordered_map<int, std::shared_ptr<Connection>> Conns;
+};
+
+} // namespace
+
+size_t igen::server::serveQueueCapacity() {
+  static const size_t V = [] {
+    size_t Def = 128;
+    if (const char *E = std::getenv("IGEN_SERVE_QUEUE")) {
+      char *End = nullptr;
+      long N = std::strtol(E, &End, 10);
+      if (End && *End == '\0' && N > 0)
+        return (size_t)N;
+    }
+    return Def;
+  }();
+  return V;
+}
+
+int igen::server::runServer(const ServeConfig &Config) {
+  if (Config.SocketPath.empty() ||
+      Config.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "igen: serve: invalid socket path\n");
+    return 1;
+  }
+
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "igen: serve: socket(): %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ::unlink(Config.SocketPath.c_str()); // stale socket from a crash
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    std::fprintf(stderr, "igen: serve: bind/listen %s: %s\n",
+                 Config.SocketPath.c_str(), std::strerror(errno));
+    ::close(ListenFd);
+    return 1;
+  }
+
+  ServerCore Core(Config.CacheCapacity);
+  AdmissionQueue Queue(serveQueueCapacity());
+
+  if (Config.Announce) {
+    std::fprintf(stderr, "igen: serving on %s\n",
+                 Config.SocketPath.c_str());
+    std::fflush(stderr);
+  }
+
+  std::thread Acceptor([&] { Reactor(ListenFd, Core, Queue).run(); });
+
+  // Request handling on the process-wide pool: one parallelFor whose
+  // body is a worker loop, alive for the whole daemon lifetime. The
+  // calling thread participates too, so --serve works even on a
+  // single-core pool.
+  runtime::ThreadPool &Pool = runtime::ThreadPool::instance();
+  unsigned Workers = Config.Workers ? Config.Workers
+                                    : Pool.maxParticipants();
+  if (Workers == 0)
+    Workers = 1;
+  Pool.parallelFor(Workers, Workers, [&](size_t) {
+    WorkItem Item;
+    while (Queue.pop(Item)) {
+      std::string Resp = Core.handleFrame(Item.Frame);
+      Item.Conn->writeLine(Resp);
+      if (Core.shutdownRequested())
+        Queue.close(); // wake idle siblings; drains remaining items
+    }
+  });
+
+  Queue.close();
+  Acceptor.join();
+  ::close(ListenFd);
+  ::unlink(Config.SocketPath.c_str());
+  return 0;
+}

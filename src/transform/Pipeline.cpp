@@ -11,28 +11,43 @@
 
 using namespace igen;
 
+InMemoryProgram::InMemoryProgram() = default;
+InMemoryProgram::~InMemoryProgram() = default;
+
+std::unique_ptr<InMemoryProgram>
+igen::compileToProgram(std::string_view Source, const TransformOptions &Opts,
+                       DiagnosticsEngine &Diags, ProfileSiteTable *SitesOut,
+                       PipelineStage *FailedStage) {
+  auto Fail = [&](PipelineStage S) {
+    if (FailedStage)
+      *FailedStage = S;
+    return nullptr;
+  };
+  if (FailedStage)
+    *FailedStage = PipelineStage::None;
+  auto Prog = std::make_unique<InMemoryProgram>();
+  Prog->Ast = std::make_unique<ASTContext>();
+  Prog->Opts = Opts;
+  Parser P(Source, *Prog->Ast, Diags);
+  if (!P.parseTranslationUnit())
+    return Fail(PipelineStage::Parse);
+  Sema S(*Prog->Ast, Diags);
+  if (!S.run())
+    return Fail(PipelineStage::Sema);
+  Prog->EmittedC = transformToIntervals(*Prog->Ast, Diags, Opts, SitesOut);
+  if (Diags.hasErrors())
+    return Fail(PipelineStage::Transform);
+  return Prog;
+}
+
 std::optional<std::string>
 igen::compileToIntervals(std::string_view Source,
                          const TransformOptions &Opts,
                          DiagnosticsEngine &Diags,
                          ProfileSiteTable *SitesOut,
                          PipelineStage *FailedStage) {
-  auto Fail = [&](PipelineStage S) {
-    if (FailedStage)
-      *FailedStage = S;
+  auto Prog = compileToProgram(Source, Opts, Diags, SitesOut, FailedStage);
+  if (!Prog)
     return std::nullopt;
-  };
-  if (FailedStage)
-    *FailedStage = PipelineStage::None;
-  ASTContext Ctx;
-  Parser P(Source, Ctx, Diags);
-  if (!P.parseTranslationUnit())
-    return Fail(PipelineStage::Parse);
-  Sema S(Ctx, Diags);
-  if (!S.run())
-    return Fail(PipelineStage::Sema);
-  std::string Out = transformToIntervals(Ctx, Diags, Opts, SitesOut);
-  if (Diags.hasErrors())
-    return Fail(PipelineStage::Transform);
-  return Out;
+  return std::move(Prog->EmittedC);
 }

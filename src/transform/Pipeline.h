@@ -18,14 +18,44 @@
 #include "support/Diagnostics.h"
 #include "transform/IntervalTransform.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 
 namespace igen {
 
+class ASTContext;
+
 /// Pipeline stage that produced the first error, for callers (the
 /// driver) that map failures to distinct exit codes.
 enum class PipelineStage { None, Parse, Sema, Transform };
+
+/// A fully compiled program kept in memory: the type-checked AST (owned,
+/// so references into it stay valid for the lifetime of this object)
+/// plus the emitted interval C text. This is the re-entrant pipeline
+/// product the serve mode caches and the AST-walking evaluator executes;
+/// the one-shot CLI only ever needs \c EmittedC.
+struct InMemoryProgram {
+  std::unique_ptr<ASTContext> Ast;
+  std::string EmittedC;
+  TransformOptions Opts;
+
+  InMemoryProgram();
+  ~InMemoryProgram();
+  InMemoryProgram(InMemoryProgram &&) = default;
+  InMemoryProgram &operator=(InMemoryProgram &&) = default;
+};
+
+/// Re-entrant pipeline entry: compiles C source text and returns the
+/// program in memory (AST + emitted interval C) instead of text only.
+/// Returns nullptr (with diagnostics in \p Diags) on any error; the
+/// partially built AST is discarded, so a failed run leaves no state
+/// behind — callers may invoke this concurrently from many threads.
+std::unique_ptr<InMemoryProgram>
+compileToProgram(std::string_view Source, const TransformOptions &Opts,
+                 DiagnosticsEngine &Diags,
+                 ProfileSiteTable *SitesOut = nullptr,
+                 PipelineStage *FailedStage = nullptr);
 
 /// Compiles C source text to interval C. Returns std::nullopt (with
 /// diagnostics in \p Diags) on any error. With Opts.Profile set and

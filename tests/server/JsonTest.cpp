@@ -1,0 +1,117 @@
+//===- JsonTest.cpp - Serve-frame JSON parser tests ---------------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen::server;
+
+namespace {
+
+JsonValue parseOk(std::string_view Text) {
+  JsonParseResult R = parseJson(Text);
+  EXPECT_TRUE(R.Ok) << Text << " -> " << R.Error;
+  return R.Value;
+}
+
+std::string parseErr(std::string_view Text) {
+  JsonParseResult R = parseJson(Text);
+  EXPECT_FALSE(R.Ok) << Text;
+  return R.Error;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").boolValue());
+  EXPECT_FALSE(parseOk("false").boolValue());
+  EXPECT_DOUBLE_EQ(parseOk("3.25").numberValue(), 3.25);
+  EXPECT_DOUBLE_EQ(parseOk("-1e-3").numberValue(), -1e-3);
+  EXPECT_EQ(parseOk("\"hi\\n\"").stringValue(), "hi\n");
+}
+
+TEST(JsonParse, NumbersKeepRawSpelling) {
+  // 0.1 is not representable; callers that want directed rounding need
+  // the original text.
+  EXPECT_EQ(parseOk("0.1000000000000000001").stringValue(),
+            "0.1000000000000000001");
+}
+
+TEST(JsonParse, NestedStructure) {
+  JsonValue V = parseOk(
+      "{\"op\":\"eval\",\"args\":[1,{\"lo\":-2,\"hi\":2}],\"n\":3}");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.member("op")->stringValue(), "eval");
+  const JsonValue *Args = V.member("args");
+  ASSERT_TRUE(Args && Args->isArray());
+  ASSERT_EQ(Args->arrayValue().size(), 2u);
+  EXPECT_DOUBLE_EQ(Args->arrayValue()[1].member("lo")->numberValue(), -2.0);
+  EXPECT_EQ(V.member("missing"), nullptr);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parseOk("\"\\u0041\"").stringValue(), "A");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk("\"\\uD83D\\uDE00\"").stringValue(), "\xF0\x9F\x98\x80");
+  parseErr("\"\\uD83D\""); // unpaired surrogate
+}
+
+TEST(JsonParse, StrictGrammar) {
+  parseErr("");
+  parseErr("{");
+  parseErr("[1,]");
+  parseErr("{\"a\":1,}");
+  parseErr("{'a':1}");
+  parseErr("{\"a\":1} garbage");
+  parseErr("nul");
+  parseErr("01");
+  parseErr("+1");
+  parseErr("1.");
+  parseErr("\"unterminated");
+  parseErr("{\"a\" 1}");
+  parseErr("// comment\n1");
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  JsonParseResult R = parseJson("{\"a\": }");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrorOffset, 6u);
+}
+
+TEST(JsonParse, DepthLimitBoundsHostileFrames) {
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  JsonParseResult R = parseJson(Deep);
+  EXPECT_FALSE(R.Ok);
+
+  JsonLimits Loose;
+  Loose.MaxDepth = 2000;
+  EXPECT_TRUE(parseJson(Deep, Loose).Ok);
+}
+
+TEST(JsonParse, ElementCountLimit) {
+  std::string Wide = "[0";
+  for (int I = 0; I < 200; ++I)
+    Wide += ",0";
+  Wide += "]";
+  JsonLimits Tight;
+  Tight.MaxElements = 100;
+  EXPECT_FALSE(parseJson(Wide, Tight).Ok);
+  EXPECT_TRUE(parseJson(Wide).Ok);
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  JsonValue V = parseOk("{\"a\":1,\"a\":2}");
+  EXPECT_DOUBLE_EQ(V.member("a")->numberValue(), 2.0);
+}
+
+TEST(JsonEscape, RoundTripsThroughParser) {
+  std::string Nasty = "a\"b\\c\nd\te\x01f";
+  std::string Quoted = "\"" + jsonEscape(Nasty) + "\"";
+  EXPECT_EQ(parseOk(Quoted).stringValue(), Nasty);
+}
+
+} // namespace

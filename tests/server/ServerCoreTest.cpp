@@ -1,0 +1,350 @@
+//===- ServerCoreTest.cpp - Serve protocol dispatch tests ---------------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives ServerCore::handleFrame directly (no socket): the full protocol
+// surface plus the malformed-request robustness battery — every hostile
+// frame must come back as exactly one well-formed JSON line with a typed
+// error, and the core must keep serving afterwards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ServerCore.h"
+
+#include "server/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace igen::server;
+
+namespace {
+
+class ServerCoreTest : public ::testing::Test {
+protected:
+  ServerCore Core{8};
+
+  JsonValue rpc(const std::string &Frame) {
+    std::string Line = Core.handleFrame(Frame);
+    EXPECT_EQ(Line.find('\n'), std::string::npos)
+        << "response must be one line: " << Line;
+    JsonParseResult R = parseJson(Line);
+    EXPECT_TRUE(R.Ok) << "response must be valid JSON: " << Line;
+    EXPECT_TRUE(R.Value.isObject());
+    return R.Value;
+  }
+
+  std::string expectError(const std::string &Frame) {
+    JsonValue V = rpc(Frame);
+    EXPECT_FALSE(V.member("ok")->boolValue()) << Frame;
+    const JsonValue *Err = V.member("error");
+    EXPECT_TRUE(Err && Err->isObject()) << Frame;
+    EXPECT_TRUE(Err->member("code") && Err->member("code")->isString());
+    EXPECT_TRUE(Err->member("message"));
+    return Err->member("code")->stringValue();
+  }
+
+  std::string compileHandle(const std::string &Source,
+                            const std::string &ExtraOpts = "") {
+    std::string Opts = "{\"opt_level\":0,\"target\":\"ss\"";
+    if (!ExtraOpts.empty())
+      Opts += "," + ExtraOpts;
+    Opts += "}";
+    JsonValue V = rpc("{\"op\":\"compile\",\"source\":\"" +
+                      jsonEscape(Source) + "\",\"options\":" + Opts + "}");
+    EXPECT_TRUE(V.member("ok")->boolValue());
+    return V.member("handle")->stringValue();
+  }
+};
+
+TEST_F(ServerCoreTest, CompileEvalRoundTrip) {
+  std::string H = compileHandle("double f(double x) { return x + 1.0; }");
+  ASSERT_EQ(H.size(), 16u);
+  JsonValue V = rpc("{\"op\":\"eval\",\"handle\":\"" + H +
+                    "\",\"function\":\"f\",\"args\":[2.0],\"id\":\"r1\"}");
+  ASSERT_TRUE(V.member("ok")->boolValue());
+  EXPECT_EQ(V.member("id")->stringValue(), "r1");
+  const JsonValue *Res = V.member("result");
+  ASSERT_TRUE(Res);
+  EXPECT_EQ(Res->member("kind")->stringValue(), "interval");
+  EXPECT_DOUBLE_EQ(Res->member("lo")->numberValue(), 3.0);
+  EXPECT_DOUBLE_EQ(Res->member("hi")->numberValue(), 3.0);
+  EXPECT_EQ(Res->member("lo_hex")->stringValue(), "4008000000000000");
+  EXPECT_TRUE(V.member("aot_exact")->boolValue());
+  EXPECT_FALSE(V.member("poisoned")->boolValue());
+}
+
+TEST_F(ServerCoreTest, SecondCompileHitsCache) {
+  const char *Src = "double g(double x) { return x * x; }";
+  std::string Frame = std::string("{\"op\":\"compile\",\"source\":\"") +
+                      jsonEscape(Src) +
+                      "\",\"options\":{\"opt_level\":0,\"target\":\"ss\"}}";
+  JsonValue A = rpc(Frame);
+  EXPECT_FALSE(A.member("cached")->boolValue());
+  JsonValue B = rpc(Frame);
+  EXPECT_TRUE(B.member("cached")->boolValue());
+  EXPECT_EQ(A.member("handle")->stringValue(),
+            B.member("handle")->stringValue());
+
+  // Different options -> different handle, no false sharing.
+  JsonValue C = rpc(std::string("{\"op\":\"compile\",\"source\":\"") +
+                    jsonEscape(Src) +
+                    "\",\"options\":{\"opt_level\":1,\"target\":\"ss\"}}");
+  EXPECT_FALSE(C.member("cached")->boolValue());
+  EXPECT_NE(A.member("handle")->stringValue(),
+            C.member("handle")->stringValue());
+}
+
+TEST_F(ServerCoreTest, CompileFailureIsTypedWithDiagnosticsAndRollsBack) {
+  JsonValue V = rpc("{\"op\":\"compile\",\"source\":\"double f(double x) "
+                    "{ return nope; }\"}");
+  EXPECT_FALSE(V.member("ok")->boolValue());
+  const JsonValue *Err = V.member("error");
+  ASSERT_TRUE(Err);
+  EXPECT_EQ(Err->member("code")->stringValue(), "sema-error");
+  EXPECT_EQ(Err->member("stage")->stringValue(), "sema");
+  const JsonValue *Diags = Err->member("diagnostics");
+  ASSERT_TRUE(Diags && Diags->isArray());
+  EXPECT_GE(Diags->arrayValue().size(), 1u);
+
+  // Nothing entered the cache; stats prove the rollback.
+  CacheStats S = Core.cache().stats();
+  EXPECT_EQ(S.Insertions, 0u);
+  EXPECT_EQ(S.Resident, 0u);
+
+  // The daemon still serves.
+  std::string H = compileHandle("double f(double x) { return x; }");
+  EXPECT_EQ(H.size(), 16u);
+}
+
+TEST_F(ServerCoreTest, ParseErrorStage) {
+  JsonValue V = rpc("{\"op\":\"compile\",\"source\":\"double f( {\"}");
+  EXPECT_FALSE(V.member("ok")->boolValue());
+  EXPECT_EQ(V.member("error")->member("code")->stringValue(),
+            "parse-error");
+}
+
+TEST_F(ServerCoreTest, EvalArgumentForms) {
+  std::string H =
+      compileHandle("double f(double x, int n, double *a) {\n"
+                    "  double s = x;\n"
+                    "  for (int i = 0; i < n; ++i) s = s + a[i];\n"
+                    "  return s;\n"
+                    "}");
+  JsonValue V = rpc(
+      "{\"op\":\"eval\",\"handle\":\"" + H +
+      "\",\"function\":\"f\",\"args\":[{\"lo\":1.0,\"hi\":2.0},"
+      "{\"int\":2},{\"array\":[0.5,{\"hex\":\"3ff0000000000000\"}]}]}");
+  ASSERT_TRUE(V.member("ok")->boolValue())
+      << Core.handleFrame("{\"op\":\"stats\"}");
+  EXPECT_DOUBLE_EQ(V.member("result")->member("lo")->numberValue(), 2.5);
+  EXPECT_DOUBLE_EQ(V.member("result")->member("hi")->numberValue(), 3.5);
+  // Array post-state ships back, in argument order.
+  const JsonValue *Arrays = V.member("arrays");
+  ASSERT_TRUE(Arrays && Arrays->isArray());
+  ASSERT_EQ(Arrays->arrayValue().size(), 1u);
+  EXPECT_EQ(Arrays->arrayValue()[0].arrayValue().size(), 2u);
+}
+
+TEST_F(ServerCoreTest, EvalUnknownHandleAndBadHandle) {
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":"
+                        "\"0000000000000000\",\"function\":\"f\"}"),
+            "no-such-handle");
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"xyz\","
+                        "\"function\":\"f\"}"),
+            "bad-request");
+}
+
+TEST_F(ServerCoreTest, EvalErrorsAreTypedAndDoNotPoisonTheCore) {
+  std::string H = compileHandle("double f(double *a, int n) "
+                                "{ return a[n]; }");
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H +
+                        "\",\"function\":\"f\",\"args\":"
+                        "[{\"array\":[1.0]},{\"int\":99}]}"),
+            "out-of-bounds");
+  // Still serving, same handle still resident.
+  JsonValue V = rpc("{\"op\":\"eval\",\"handle\":\"" + H +
+                    "\",\"function\":\"f\",\"args\":"
+                    "[{\"array\":[1.0,2.0]},{\"int\":1}]}");
+  EXPECT_TRUE(V.member("ok")->boolValue());
+}
+
+TEST_F(ServerCoreTest, PerRequestOptionOverrides) {
+  std::string H = compileHandle("double f(double x) {\n"
+                                "  double r = 0.0;\n"
+                                "  if (x > 0.0) r = 1.0; else r = -1.0;\n"
+                                "  return r;\n"
+                                "}");
+  // Default (exception policy): unknown branch is a typed error.
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H +
+                        "\",\"function\":\"f\",\"args\":"
+                        "[{\"lo\":-1.0,\"hi\":1.0}]}"),
+            "unknown-branch");
+  // Per-request join override succeeds -- on the same cached program,
+  // with no global state involved.
+  JsonValue V = rpc("{\"op\":\"eval\",\"handle\":\"" + H +
+                    "\",\"function\":\"f\",\"args\":"
+                    "[{\"lo\":-1.0,\"hi\":1.0}],"
+                    "\"options\":{\"branch\":\"join\"}}");
+  ASSERT_TRUE(V.member("ok")->boolValue());
+  EXPECT_DOUBLE_EQ(V.member("result")->member("lo")->numberValue(), -1.0);
+  EXPECT_DOUBLE_EQ(V.member("result")->member("hi")->numberValue(), 1.0);
+}
+
+TEST_F(ServerCoreTest, AbortFenvPolicyIsRejected) {
+  std::string H = compileHandle("double f(double x) { return x; }");
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H +
+                        "\",\"function\":\"f\",\"args\":[1.0],"
+                        "\"options\":{\"fenv_policy\":\"abort\"}}"),
+            "bad-option");
+}
+
+TEST_F(ServerCoreTest, StepLimitOverride) {
+  std::string H = compileHandle("double f(double x) {\n"
+                                "  while (x < 1.0e300) x = x + 0.0;\n"
+                                "  return x;\n"
+                                "}");
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H +
+                        "\",\"function\":\"f\",\"args\":[0.0],"
+                        "\"options\":{\"step_limit\":5000}}"),
+            "step-limit");
+}
+
+TEST_F(ServerCoreTest, StatsSchema) {
+  compileHandle("double f(double x) { return x; }");
+  JsonValue V = rpc("{\"op\":\"stats\"}");
+  ASSERT_TRUE(V.member("ok")->boolValue());
+  const JsonValue *S = V.member("stats");
+  ASSERT_TRUE(S);
+  EXPECT_DOUBLE_EQ(S->member("schema_version")->numberValue(), 1.0);
+  EXPECT_EQ(S->member("report")->stringValue(), "igen_serve_stats");
+  const JsonValue *Cache = S->member("cache");
+  ASSERT_TRUE(Cache);
+  EXPECT_DOUBLE_EQ(Cache->member("insertions")->numberValue(), 1.0);
+  const JsonValue *Reqs = S->member("requests");
+  ASSERT_TRUE(Reqs);
+  EXPECT_DOUBLE_EQ(Reqs->member("compile")->member("count")->numberValue(),
+                   1.0);
+  const JsonValue *Lat = S->member("latency_us");
+  ASSERT_TRUE(Lat && Lat->member("compile"));
+  const JsonValue *Buckets =
+      Lat->member("compile")->member("log2_buckets");
+  ASSERT_TRUE(Buckets && Buckets->isArray());
+  EXPECT_EQ(Buckets->arrayValue().size(), 32u);
+  double Sum = 0;
+  for (const JsonValue &B : Buckets->arrayValue())
+    Sum += B.numberValue();
+  EXPECT_DOUBLE_EQ(Sum, 1.0); // one compile -> one bucket hit
+  ASSERT_TRUE(S->member("evals"));
+  ASSERT_TRUE(S->member("fenv"));
+}
+
+TEST_F(ServerCoreTest, EvictByHandleAndAll) {
+  std::string H1 = compileHandle("double f(double x) { return x; }");
+  std::string H2 = compileHandle("double g(double x) { return x; }");
+  JsonValue V = rpc("{\"op\":\"evict\",\"handle\":\"" + H1 + "\"}");
+  EXPECT_DOUBLE_EQ(V.member("evicted")->numberValue(), 1.0);
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H1 +
+                        "\",\"function\":\"f\",\"args\":[1.0]}"),
+            "no-such-handle");
+  JsonValue V2 = rpc("{\"op\":\"evict\",\"all\":true}");
+  EXPECT_DOUBLE_EQ(V2.member("evicted")->numberValue(), 1.0);
+  (void)H2;
+}
+
+TEST_F(ServerCoreTest, LruCapAcrossProtocol) {
+  // Capacity 8 (fixture): the 9th distinct program evicts the first.
+  std::string First = compileHandle("double k0(double x) { return x; }");
+  for (int I = 1; I <= 8; ++I)
+    compileHandle("double k" + std::to_string(I) +
+                  "(double x) { return x; }");
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + First +
+                        "\",\"function\":\"k0\",\"args\":[1.0]}"),
+            "no-such-handle");
+  EXPECT_GE(Core.cache().stats().Evictions, 1u);
+}
+
+TEST_F(ServerCoreTest, ShutdownOp) {
+  EXPECT_FALSE(Core.shutdownRequested());
+  JsonValue V = rpc("{\"op\":\"shutdown\",\"id\":7}");
+  EXPECT_TRUE(V.member("ok")->boolValue());
+  EXPECT_DOUBLE_EQ(V.member("id")->numberValue(), 7.0);
+  EXPECT_TRUE(Core.shutdownRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-request robustness (satellite: garbage in, typed error out,
+// keep serving)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerCoreTest, MalformedFramesAllGetTypedErrors) {
+  const char *Hostile[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[]",
+      "42",
+      "\"just a string\"",
+      "null",
+      "{\"op\":\"compile\"}",                  // missing source
+      "{\"op\":\"eval\"}",                     // missing handle
+      "{\"op\":\"frobnicate\"}",               // unknown op
+      "{\"op\":42}",                           // op wrong type
+      "{\"source\":\"double f;\"}",            // missing op
+      "{\"op\":\"compile\",\"source\":17}",    // source wrong type
+      "{\"op\":\"compile\",\"source\":\"\",\"options\":[]}",
+      "{\"op\":\"compile\",\"source\":\"\",\"options\":"
+      "{\"precision\":\"f128\"}}",
+      "{\"op\":\"eval\",\"handle\":\"0123456789abcdef\","
+      "\"function\":\"f\",\"args\":\"not an array\"}",
+      "{\"op\":\"eval\",\"handle\":\"0123456789abcdef\","
+      "\"function\":\"f\",\"id\":{}}",         // id wrong type
+      "{\"op\":\"compile\",\"source\":\"x\"",  // truncated JSON
+      "{\"op\":\"compile\",\"source\":\"x\"}}",// trailing garbage
+      "{\"op\" \"compile\"}",
+      "\x01\x02\xff garbage bytes",
+  };
+  for (const char *Frame : Hostile) {
+    std::string Code = expectError(Frame);
+    EXPECT_FALSE(Code.empty()) << Frame;
+    EXPECT_NE(Code, "internal-error") << Frame;
+  }
+  // After the whole battery the core still compiles and evaluates.
+  std::string H = compileHandle("double f(double x) { return 2.0 * x; }");
+  JsonValue V = rpc("{\"op\":\"eval\",\"handle\":\"" + H +
+                    "\",\"function\":\"f\",\"args\":[4.0]}");
+  ASSERT_TRUE(V.member("ok")->boolValue());
+  EXPECT_DOUBLE_EQ(V.member("result")->member("lo")->numberValue(), 8.0);
+}
+
+TEST_F(ServerCoreTest, OversizedFrameIsTyped) {
+  std::string Big = "{\"op\":\"compile\",\"source\":\"";
+  Big += std::string(maxFrameBytes() + 100, 'x');
+  Big += "\"}";
+  EXPECT_EQ(expectError(Big), "frame-too-large");
+}
+
+TEST_F(ServerCoreTest, DeeplyNestedFrameIsBoundedNotCrashed) {
+  std::string Deep = "{\"op\":\"compile\",\"source\":";
+  for (int I = 0; I < 500; ++I)
+    Deep += "[";
+  for (int I = 0; I < 500; ++I)
+    Deep += "]";
+  Deep += "}";
+  EXPECT_EQ(expectError(Deep), "bad-json");
+}
+
+TEST_F(ServerCoreTest, ErrorsCountInEndpointStats) {
+  expectError("{\"op\":\"nope\"}");
+  expectError("not json at all");
+  JsonValue V = rpc("{\"op\":\"stats\"}");
+  const JsonValue *Inv =
+      V.member("stats")->member("requests")->member("invalid");
+  ASSERT_TRUE(Inv);
+  EXPECT_GE(Inv->member("count")->numberValue(), 2.0);
+  EXPECT_GE(Inv->member("errors")->numberValue(), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate igen serve-mode stats reports (schema_version 1).
+
+Accepts either the bare report object (report == "igen_serve_stats") or a
+full stats *response* frame from the daemon ({"ok":true,...,"stats":{...}}),
+in which case the embedded report is validated. Input may be a file path
+or "-" for stdin, so it composes with the client:
+
+  tools/igen_client.py --socket S --raw stats | tools/check_serve_schema.py -
+
+Exits 0 when every input validates, 1 otherwise, printing one line per
+problem. Stdlib only; used by CI as the serve smoke gate.
+"""
+
+import json
+import sys
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(f"{self.path}: {msg}")
+
+    def field(self, obj, key, types, where):
+        if key not in obj:
+            self.fail(f"{where}: missing key '{key}'")
+            return None
+        val = obj[key]
+        if (isinstance(val, bool) and bool not in types) or not isinstance(
+            val, types
+        ):
+            want = "/".join(t.__name__ for t in types)
+            self.fail(f"{where}: '{key}' is {type(val).__name__}, want {want}")
+            return None
+        return val
+
+    def counter(self, obj, key, where):
+        val = self.field(obj, key, (int,), where)
+        if val is not None and val < 0:
+            self.fail(f"{where}: '{key}' is negative")
+        return val
+
+
+ENDPOINTS = ["compile", "eval", "stats", "evict", "shutdown", "invalid"]
+NUM_LATENCY_BUCKETS = 32
+
+
+def check_report(c, doc):
+    version = c.field(doc, "schema_version", (int,), "top level")
+    if version is not None and version != 1:
+        c.fail(f"unsupported schema_version {version}")
+    kind = c.field(doc, "report", (str,), "top level")
+    if kind is not None and kind != "igen_serve_stats":
+        c.fail(f"unknown report kind '{kind}'")
+
+    cache = c.field(doc, "cache", (dict,), "top level")
+    if cache is not None:
+        for key in ("hits", "misses", "evictions", "insertions",
+                    "resident", "capacity"):
+            c.counter(cache, key, "cache")
+        resident = cache.get("resident")
+        capacity = cache.get("capacity")
+        if isinstance(resident, int) and isinstance(capacity, int):
+            if resident > capacity:
+                c.fail(f"cache: resident {resident} exceeds capacity "
+                       f"{capacity}")
+
+    requests = c.field(doc, "requests", (dict,), "top level")
+    if requests is not None:
+        for name in ENDPOINTS:
+            ep = c.field(requests, name, (dict,), "requests")
+            if ep is None:
+                continue
+            count = c.counter(ep, "count", f"requests.{name}")
+            errors = c.counter(ep, "errors", f"requests.{name}")
+            if (isinstance(count, int) and isinstance(errors, int)
+                    and errors > count):
+                c.fail(f"requests.{name}: errors {errors} exceed count "
+                       f"{count}")
+
+    latency = c.field(doc, "latency_us", (dict,), "top level")
+    if latency is not None:
+        for name in ("compile", "eval"):
+            hist = c.field(latency, name, (dict,), "latency_us")
+            if hist is None:
+                continue
+            where = f"latency_us.{name}"
+            count = c.counter(hist, "count", where)
+            c.counter(hist, "total_us", where)
+            buckets = c.field(hist, "log2_buckets", (list,), where)
+            if buckets is None:
+                continue
+            if len(buckets) != NUM_LATENCY_BUCKETS:
+                c.fail(f"{where}: {len(buckets)} buckets, want "
+                       f"{NUM_LATENCY_BUCKETS}")
+            total = 0
+            for i, b in enumerate(buckets):
+                if isinstance(b, bool) or not isinstance(b, int) or b < 0:
+                    c.fail(f"{where}: log2_buckets[{i}] is not a "
+                           f"non-negative int")
+                else:
+                    total += b
+            if isinstance(count, int) and total != count:
+                c.fail(f"{where}: buckets sum to {total}, count is {count}")
+
+    evals = c.field(doc, "evals", (dict,), "top level")
+    if evals is not None:
+        for key in ("served", "errors", "poisoned", "interval_ops"):
+            c.counter(evals, key, "evals")
+
+    fenv = c.field(doc, "fenv", (dict,), "top level")
+    if fenv is not None:
+        for key in ("violations", "repairs", "poisoned"):
+            c.counter(fenv, key, "fenv")
+
+
+def check_file(path):
+    c = Checker(path)
+    try:
+        if path == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+    except (OSError, ValueError) as err:
+        c.fail(f"cannot parse: {err}")
+        return c.errors
+    if not isinstance(doc, dict):
+        c.fail("top level is not an object")
+        return c.errors
+    # Unwrap a full daemon response frame.
+    if "stats" in doc and doc.get("report") != "igen_serve_stats":
+        if doc.get("ok") is not True:
+            c.fail("response frame has ok != true")
+        doc = doc["stats"]
+        if not isinstance(doc, dict):
+            c.fail("'stats' is not an object")
+            return c.errors
+    check_report(c, doc)
+    return c.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for err in errors:
+                print(err, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

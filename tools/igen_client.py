@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Command-line client for `igen --serve` (newline-delimited JSON over a
+Unix-domain socket).
+
+Usage:
+  igen_client.py --socket PATH [--wait SECS] COMMAND [ARGS]
+
+Commands:
+  compile FILE|-        compile a C source (stdin with "-"); prints the
+                        response, including the content-hash handle.
+                        Options: --opt-level N --target ss|sv
+                        --precision f64|dd --branch exception|join
+                        --reductions --batch-loops --module NAME
+  eval HANDLE FUNC ARG...
+                        evaluate FUNC from a cached program. Each ARG is
+                        a number (point interval), "lo,hi" (interval),
+                        "int:N" (integer scalar), "point:X" (tolerance
+                        input), or "array:a;b;c" (interval array, each
+                        element a number or "lo,hi").
+                        Options: --branch exception|join
+                        --fenv-policy repair|poison --step-limit N
+  stats                 fetch the daemon's counters/histograms report.
+  evict [HANDLE|--all]  drop one cached program, or all of them.
+  shutdown              ask the daemon to exit cleanly.
+
+Every command prints the daemon's one-line JSON response (pretty-printed
+unless --raw) and exits 0 iff ok:true. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import time
+
+
+def connect(path, wait):
+    deadline = time.monotonic() + wait
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as err:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise SystemExit(f"igen_client: cannot connect to {path}: {err}")
+            time.sleep(0.05)
+
+
+def rpc(sock, request):
+    frame = json.dumps(request, separators=(",", ":")) + "\n"
+    sock.sendall(frame.encode("utf-8"))
+    buf = b""
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise SystemExit("igen_client: connection closed before response")
+        buf += chunk
+    line = buf.split(b"\n", 1)[0]
+    try:
+        return json.loads(line)
+    except ValueError as err:
+        raise SystemExit(f"igen_client: bad response frame: {err}: {line!r}")
+
+
+def parse_eval_arg(text):
+    if text.startswith("int:"):
+        return {"int": int(text[4:])}
+    if text.startswith("point:"):
+        return {"point": float(text[6:])}
+    if text.startswith("array:"):
+        return {"array": [parse_eval_arg(e) for e in text[6:].split(";") if e]}
+    if "," in text:
+        lo, hi = text.split(",", 1)
+        return {"lo": float(lo), "hi": float(hi)}
+    return float(text)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="igen_client.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--socket", required=True, help="daemon socket path")
+    ap.add_argument("--wait", type=float, default=0.0,
+                    help="seconds to keep retrying the connect")
+    ap.add_argument("--raw", action="store_true",
+                    help="print the response as one line, not pretty")
+    ap.add_argument("--id", default=None, help="request id to echo")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compile")
+    c.add_argument("file")
+    c.add_argument("--opt-level", type=int, choices=(0, 1), default=None)
+    c.add_argument("--target", choices=("ss", "sv"), default=None)
+    c.add_argument("--precision", choices=("f64", "dd"), default=None)
+    c.add_argument("--branch", choices=("exception", "join"), default=None)
+    c.add_argument("--reductions", action="store_true")
+    c.add_argument("--batch-loops", action="store_true")
+    c.add_argument("--module", default=None)
+
+    e = sub.add_parser("eval")
+    e.add_argument("handle")
+    e.add_argument("function")
+    e.add_argument("args", nargs="*")
+    e.add_argument("--branch", choices=("exception", "join"), default=None)
+    e.add_argument("--fenv-policy", choices=("repair", "poison"), default=None)
+    e.add_argument("--step-limit", type=int, default=None)
+
+    sub.add_parser("stats")
+
+    v = sub.add_parser("evict")
+    v.add_argument("handle", nargs="?")
+    v.add_argument("--all", action="store_true")
+
+    sub.add_parser("shutdown")
+
+    ns = ap.parse_args(argv[1:])
+
+    req = {"op": ns.command}
+    if ns.id is not None:
+        req["id"] = ns.id
+    if ns.command == "compile":
+        if ns.file == "-":
+            req["source"] = sys.stdin.read()
+        else:
+            with open(ns.file, "r", encoding="utf-8") as f:
+                req["source"] = f.read()
+        opts = {}
+        if ns.opt_level is not None:
+            opts["opt_level"] = ns.opt_level
+        if ns.target:
+            opts["target"] = ns.target
+        if ns.precision:
+            opts["precision"] = ns.precision
+        if ns.branch:
+            opts["branch"] = ns.branch
+        if ns.reductions:
+            opts["reductions"] = True
+        if ns.batch_loops:
+            opts["batch_loops"] = True
+        if ns.module:
+            opts["module"] = ns.module
+        if opts:
+            req["options"] = opts
+    elif ns.command == "eval":
+        req["handle"] = ns.handle
+        req["function"] = ns.function
+        req["args"] = [parse_eval_arg(a) for a in ns.args]
+        opts = {}
+        if ns.branch:
+            opts["branch"] = ns.branch
+        if ns.fenv_policy:
+            opts["fenv_policy"] = ns.fenv_policy
+        if ns.step_limit is not None:
+            opts["step_limit"] = ns.step_limit
+        if opts:
+            req["options"] = opts
+    elif ns.command == "evict":
+        if ns.all:
+            req["all"] = True
+        elif ns.handle:
+            req["handle"] = ns.handle
+        else:
+            ap.error("evict needs a HANDLE or --all")
+
+    sock = connect(ns.socket, ns.wait)
+    try:
+        resp = rpc(sock, req)
+    finally:
+        sock.close()
+
+    if ns.raw:
+        print(json.dumps(resp, separators=(",", ":")))
+    else:
+        print(json.dumps(resp, indent=2))
+    return 0 if resp.get("ok") is True else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
