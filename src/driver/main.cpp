@@ -81,13 +81,19 @@ void printUsage() {
       "  --serve=<socket>      run as a persistent compile+evaluate\n"
       "                        daemon on a Unix socket speaking\n"
       "                        newline-delimited JSON (ops: compile,\n"
-      "                        eval, stats, evict, shutdown). Compiled\n"
-      "                        programs are cached by content hash of\n"
-      "                        (source, options); capacity via\n"
+      "                        eval, stats, evict, health, shutdown).\n"
+      "                        Compiled programs are cached by content\n"
+      "                        hash of (source, options); capacity via\n"
       "                        IGEN_SERVE_CACHE, admission queue via\n"
       "                        IGEN_SERVE_QUEUE, frame cap via\n"
-      "                        IGEN_SERVE_MAX_FRAME. See\n"
-      "                        tools/igen_client.py\n"
+      "                        IGEN_SERVE_MAX_FRAME. Requests may carry\n"
+      "                        deadline_ms (default budget via\n"
+      "                        IGEN_SERVE_DEADLINE); IGEN_SERVE_CACHE_DIR\n"
+      "                        journals compiles for warm restarts;\n"
+      "                        IGEN_SERVE_LOG writes one JSON line per\n"
+      "                        request. SIGTERM/SIGINT drain gracefully\n"
+      "                        within IGEN_SERVE_DRAIN_MS (default 5000).\n"
+      "                        See tools/igen_client.py\n"
       "  --serve-workers=<n>   worker threads for --serve (default: the\n"
       "                        runtime thread pool's participant count)\n"
       "\n"
@@ -115,6 +121,8 @@ int exitCodeFor(igen::PipelineStage Stage) {
     return ExitSema;
   case igen::PipelineStage::Transform:
     return ExitTransform;
+  case igen::PipelineStage::Cancelled: // serve-mode only; not reachable
+    return ExitTransform;              // from the one-shot CLI
   case igen::PipelineStage::None:
     break;
   }

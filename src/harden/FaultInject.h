@@ -17,6 +17,8 @@
 ///   IGEN_FAULT = fault ("," fault)*
 ///   fault      = kind [ "@" N ]          (N defaults to 0)
 ///   kind       = "ftz" | "daz" | "rnd" | "nan" | "inf" | "alloc"
+///              | "accept" | "read" | "write" | "conreset" | "partial"
+///              | "stall"
 ///
 /// Each fault fires exactly once, at the Nth (0-based) occurrence of its
 /// trigger point, then disarms itself:
@@ -34,6 +36,19 @@
 ///   alloc             at the Nth scratch allocation in the array runtime
 ///                     (runtime/BatchReduce.cpp): make it behave as if
 ///                     std::bad_alloc had been thrown.
+///
+/// Transport faults (the --serve daemon's socket shim,
+/// server/TransportOps.h, routes every socket syscall through these):
+///
+///   accept            the Nth accept() fails with EMFILE (fd
+///                     exhaustion under a connection flood)
+///   read / conreset   the Nth recv() fails with EIO / ECONNRESET
+///                     (hard read error / peer reset mid-frame)
+///   stall             the Nth recv() fails with EAGAIN (spurious
+///                     poll readiness; a stalled slow client)
+///   write / partial   the Nth send() fails with EPIPE (peer gone) /
+///                     returns a short count (partial write, the
+///                     caller's write loop must resume cleanly)
 ///
 /// When nothing is armed (the production case) the only cost is one
 /// relaxed atomic load and branch per trigger point; the rounding-scope
@@ -59,8 +74,22 @@
 
 namespace igen::harden {
 
-enum class FaultKind : int { Ftz = 0, Daz, Rnd, Nan, Inf, Alloc };
-inline constexpr int kNumFaultKinds = 6;
+enum class FaultKind : int {
+  Ftz = 0,
+  Daz,
+  Rnd,
+  Nan,
+  Inf,
+  Alloc,
+  // Transport faults (server/TransportOps.h trigger points).
+  AcceptFail,   ///< "accept": accept() -> EMFILE
+  ReadFail,     ///< "read": recv() -> EIO
+  WriteFail,    ///< "write": send() -> EPIPE
+  ConnReset,    ///< "conreset": recv() -> ECONNRESET
+  PartialWrite, ///< "partial": send() returns a short count
+  ReadStall,    ///< "stall": recv() -> EAGAIN despite poll readiness
+};
+inline constexpr int kNumFaultKinds = 12;
 
 namespace detail {
 
@@ -77,8 +106,9 @@ inline std::atomic<bool> AnyFaultArmed{false};
 inline std::atomic<bool> WarnedBadFault{false};
 
 inline const char *faultKindName(int K) {
-  static const char *Names[kNumFaultKinds] = {"ftz", "daz",  "rnd",
-                                              "nan", "inf", "alloc"};
+  static const char *Names[kNumFaultKinds] = {
+      "ftz",    "daz",   "rnd",      "nan",     "inf",     "alloc",
+      "accept", "read",  "write",    "conreset", "partial", "stall"};
   return Names[K];
 }
 
@@ -191,7 +221,8 @@ inline void armFaults(const char *Spec) {
       std::fprintf(stderr,
                    "igen: warning: malformed IGEN_FAULT item '%.*s' "
                    "(grammar: kind[@N], kind in "
-                   "ftz|daz|rnd|nan|inf|alloc); item ignored\n",
+                   "ftz|daz|rnd|nan|inf|alloc|accept|read|write|"
+                   "conreset|partial|stall); item ignored\n",
                    static_cast<int>(End - P), P);
     }
     P = *End ? End + 1 : End;

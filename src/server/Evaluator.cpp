@@ -118,7 +118,10 @@ struct Frame {
 class Interp {
 public:
   Interp(const InMemoryProgram &Prog, const EvalOptions &Opts)
-      : Prog(Prog), Opts(Opts) {}
+      : Prog(Prog), Opts(Opts) {
+    if (Opts.HasDeadline)
+      NextDeadlineCheck = DeadlineCheckEvery;
+  }
 
   EvalResult run(const std::string &Function,
                  const std::vector<EvalArg> &Args);
@@ -139,10 +142,33 @@ private:
   };
   std::map<const ExprStmt *, std::vector<AccEntry>> UpdateToAcc;
 
+  /// Amortization interval for wall-clock deadline polls: frequent
+  /// enough that a hung loop is cancelled within microseconds of the
+  /// deadline, rare enough that the clock read vanishes in the noise.
+  static constexpr unsigned long long DeadlineCheckEvery = 512;
+  /// Next Steps value at which to poll the clock; ~0 when no deadline
+  /// is set, so disabled requests pay one always-false compare per op.
+  unsigned long long NextDeadlineCheck = ~0ull;
+  /// Call-entry polls are strided too: deep recursion that makes
+  /// little Steps progress still reaches a cancellation point every
+  /// DeadlineCheckCalls frames, while a short request's single
+  /// top-level call never pays a clock read at all.
+  static constexpr unsigned DeadlineCheckCalls = 64;
+  unsigned CallsSincePoll = 0;
+
+  void checkDeadlineNow() {
+    NextDeadlineCheck = Steps + DeadlineCheckEvery;
+    if (std::chrono::steady_clock::now() >= Opts.Deadline)
+      fail("deadline-exceeded",
+           "evaluation exceeded the request's wall-clock deadline");
+  }
+
   void step(unsigned long long N = 1) {
     Steps += N;
     if (Steps > Opts.StepLimit)
       fail("step-limit", "evaluation exceeded the per-request step budget");
+    if (Steps >= NextDeadlineCheck)
+      checkDeadlineNow();
   }
 
   const FunctionDecl *findDefined(const std::string &Name) const {
@@ -1042,6 +1068,13 @@ Value Interp::callFunction(const FunctionDecl *Fn, std::vector<Value> Args) {
   if (++Depth > Opts.MaxCallDepth) {
     --Depth;
     fail("recursion-limit", "user-function call depth exceeded");
+  }
+  // Strided deadline poll at call entry: recursion that makes little
+  // per-frame progress still hits a cancellation point every few
+  // frames without taxing call-light requests with a clock read.
+  if (Opts.HasDeadline && ++CallsSincePoll >= DeadlineCheckCalls) {
+    CallsSincePoll = 0;
+    checkDeadlineNow();
   }
   const FunctionDecl *PrevFn = CurFn;
   CurFn = Fn;

@@ -38,6 +38,7 @@
 #include "interval/Interval.h"
 #include "transform/Pipeline.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,9 @@ struct EvalArg {
 ///   step-limit         runaway loop tripped the per-request step budget
 ///   recursion-limit    call depth exceeded the per-request bound
 ///   int-div-zero       integer division or remainder by zero
+///   deadline-exceeded  the request's wall-clock deadline passed; checked
+///                      cooperatively at loop back-edges and call entries,
+///                      so the worker survives and keeps serving
 struct EvalError {
   std::string Code;
   std::string Message;
@@ -107,6 +111,13 @@ struct EvalOptions {
   unsigned long long StepLimit = 50u * 1000u * 1000u;
   /// Maximum user-function call depth.
   unsigned MaxCallDepth = 128;
+  /// Wall-clock deadline (monotonic). When HasDeadline, the interpreter
+  /// polls the clock at call entries and (amortized, every few hundred
+  /// ops) at loop back-edges, yielding a typed "deadline-exceeded"
+  /// error. Disabled requests pay one integer compare per op, nothing
+  /// more — measured in bench/serve_bench's deadline rows.
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
 };
 
 /// Evaluates \p Function from \p Prog on \p Args. The caller must hold a

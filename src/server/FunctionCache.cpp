@@ -129,9 +129,12 @@ void FunctionCache::insert(uint64_t Hash,
 
 void FunctionCache::evictOverflowLocked() {
   while (Lru.size() > Cap) {
-    Index.erase(Lru.back().Hash);
+    uint64_t Victim = Lru.back().Hash;
+    Index.erase(Victim);
     Lru.pop_back();
     ++S.Evictions;
+    if (OnEvict)
+      OnEvict(Victim);
   }
 }
 
@@ -144,6 +147,8 @@ bool FunctionCache::evict(uint64_t Hash) {
   Index.erase(It);
   ++S.Evictions;
   S.Resident = Lru.size();
+  if (OnEvict)
+    OnEvict(Hash);
   return true;
 }
 
@@ -151,6 +156,9 @@ size_t FunctionCache::clear() {
   std::lock_guard<std::mutex> G(M);
   size_t N = Lru.size();
   S.Evictions += N;
+  if (OnEvict)
+    for (const Entry &E : Lru)
+      OnEvict(E.Hash);
   Lru.clear();
   Index.clear();
   S.Resident = 0;

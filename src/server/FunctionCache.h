@@ -26,6 +26,7 @@
 #include "transform/Pipeline.h"
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -59,9 +60,20 @@ struct CacheStats {
 
 class FunctionCache {
 public:
+  /// Observes every entry leaving residency — LRU overflow, explicit
+  /// evict, and clear all fire it. The persistent cache layer uses this
+  /// to keep on-disk entries in lockstep with the in-memory LRU. Called
+  /// with the cache mutex held: the listener must not call back into
+  /// the cache.
+  using EvictionListener = std::function<void(uint64_t Hash)>;
+
   /// \p Capacity <= 0 selects the IGEN_SERVE_CACHE environment value,
   /// defaulting to 64.
   explicit FunctionCache(long Capacity = 0);
+
+  /// Installs \p L (replacing any previous listener). Not thread-safe
+  /// against concurrent cache traffic; set it during server setup.
+  void setEvictionListener(EvictionListener L) { OnEvict = std::move(L); }
 
   /// Returns the program for \p Hash and refreshes its LRU position, or
   /// nullptr (counted as a miss only when \p CountMiss).
@@ -91,6 +103,7 @@ private:
   std::list<Entry> Lru;
   std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
   CacheStats S;
+  EvictionListener OnEvict;
 
   void evictOverflowLocked();
 };

@@ -1,0 +1,93 @@
+//===- PersistCache.h - Crash-recoverable compile-cache journal -*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable backing for the in-memory FunctionCache, enabled by
+/// IGEN_SERVE_CACHE_DIR=<dir>. The daemon never serializes compiled
+/// programs — it journals the *inputs*: each successful compile writes
+/// one `<handle>.igenc` file holding the source text and the semantic
+/// compile options, where <handle> is the same 16-hex content hash the
+/// protocol hands to clients. On startup the directory is replayed
+/// through the ordinary compileToProgram() pipeline, so a warm restart
+/// reconstructs bit-identical programs from first principles rather
+/// than trusting serialized state.
+///
+/// Durability discipline:
+///  - writes go to a temp file in the same directory, fsync'd, then
+///    rename(2)'d into place — a kill -9 at any instant leaves either
+///    the old state or the new state, never a torn entry;
+///  - replay treats the directory as untrusted: unparseable JSON,
+///    missing fields, and stale entries (the stored source + options no
+///    longer hash to the filename, e.g. after a hash-function change)
+///    are skipped with a warn-once diagnostic and never abort startup;
+///  - eviction from the in-memory LRU unlinks the journal entry, so
+///    disk residency tracks memory residency and replay respects the
+///    same capacity bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SERVER_PERSISTCACHE_H
+#define IGEN_SERVER_PERSISTCACHE_H
+
+#include "transform/Pipeline.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace igen {
+namespace server {
+
+class FunctionCache;
+
+/// Validates an IGEN_SERVE_CACHE_DIR spelling. Null/empty specs
+/// disable persistence silently (returns ""). A non-empty spec names a
+/// directory that is created if missing (one level, like mkdir); when
+/// the directory cannot be created or is not writable, *Warning gets a
+/// one-line explanation and "" is returned — a bad cache dir degrades
+/// to a memory-only daemon, it never prevents startup.
+std::string cacheDirFromSpec(const char *Spec, std::string *Warning);
+
+class PersistentCacheDir {
+public:
+  /// \p Dir is a validated directory path from cacheDirFromSpec(), or
+  /// "" for a disabled (no-op) journal.
+  explicit PersistentCacheDir(std::string Dir) : Dir(std::move(Dir)) {}
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &dir() const { return Dir; }
+
+  /// Journals one successful compile. Failures warn once and are
+  /// otherwise ignored — persistence is best-effort, serving is not.
+  void persist(uint64_t Hash, std::string_view Source,
+               const TransformOptions &Opts);
+
+  /// Unlinks the journal entry for \p Hash (eviction mirror).
+  void remove(uint64_t Hash);
+
+  struct ReplayStats {
+    size_t Replayed = 0; ///< entries recompiled and inserted
+    size_t Skipped = 0;  ///< corrupt, stale, or uncompilable entries
+  };
+
+  /// Replays the directory into \p Cache via compileToProgram(),
+  /// newest entries last (so they end up most-recent in the LRU).
+  /// At most \p MaxEntries newest files are considered; surplus older
+  /// files are left on disk untouched. Never throws, never exits.
+  ReplayStats replay(FunctionCache &Cache, size_t MaxEntries);
+
+private:
+  std::string Dir;
+  bool WarnedPersist = false;
+  bool WarnedReplay = false;
+
+  std::string pathFor(uint64_t Hash) const;
+};
+
+} // namespace server
+} // namespace igen
+
+#endif // IGEN_SERVER_PERSISTCACHE_H

@@ -14,6 +14,7 @@
 #include "server/Json.h"
 #include "support/JsonWriter.h"
 
+#include <cerrno>
 #include <cfenv>
 #include <chrono>
 #include <cstdio>
@@ -302,6 +303,30 @@ int log2Bucket(uint64_t Us) {
   return B;
 }
 
+/// Recovers the typed error code from a rendered error response. Every
+/// error line is produced by this file, so the spelling below is
+/// canonical; string values in responses have their quotes escaped, so
+/// the needle can only match the real error object.
+std::string outcomeOf(const std::string &Resp, bool IsError) {
+  if (!IsError)
+    return "ok";
+  static constexpr std::string_view Needle = "\"error\": {\"code\": \"";
+  size_t P = Resp.find(Needle);
+  if (P == std::string::npos)
+    return "error";
+  P += Needle.size();
+  size_t E = Resp.find('"', P);
+  if (E == std::string::npos)
+    return "error";
+  return Resp.substr(P, E - P);
+}
+
+uint64_t monotonicUsOf(std::chrono::steady_clock::time_point T) {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+             T.time_since_epoch())
+      .count();
+}
+
 } // namespace
 
 size_t igen::server::maxFrameBytes() {
@@ -326,15 +351,109 @@ void EndpointStats::record(uint64_t Us, bool Error) {
   Buckets[log2Bucket(Us)].fetch_add(1, std::memory_order_relaxed);
 }
 
-ServerCore::ServerCore(long CacheCapacity) : Cache(CacheCapacity) {}
+long long igen::server::deadlineMsFromSpec(const char *Spec,
+                                           std::string *Warning) {
+  if (!Spec || !*Spec)
+    return 0;
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(Spec, &End, 10);
+  if (errno != 0 || !End || *End != '\0' || V <= 0) {
+    if (Warning)
+      *Warning = std::string("ignoring IGEN_SERVE_DEADLINE '") + Spec +
+                 "' (expected a positive integer millisecond count); "
+                 "requests get no default deadline";
+    return 0;
+  }
+  return V;
+}
 
-std::string ServerCore::handleFrame(std::string_view Frame) {
+ServerCoreConfig ServerCoreConfig::fromEnv(long CacheCapacity) {
+  ServerCoreConfig C;
+  C.CacheCapacity = CacheCapacity;
+  std::string Warn;
+  C.DefaultDeadlineMs =
+      deadlineMsFromSpec(std::getenv("IGEN_SERVE_DEADLINE"), &Warn);
+  if (!Warn.empty())
+    std::fprintf(stderr, "igen: serve: warning: %s\n", Warn.c_str());
+  Warn.clear();
+  C.CacheDir = cacheDirFromSpec(std::getenv("IGEN_SERVE_CACHE_DIR"), &Warn);
+  if (!Warn.empty())
+    std::fprintf(stderr, "igen: serve: warning: %s\n", Warn.c_str());
+  if (const char *L = std::getenv("IGEN_SERVE_LOG"))
+    C.LogPath = L;
+  return C;
+}
+
+ServerCore::ServerCore(long CacheCapacity)
+    : ServerCore(ServerCoreConfig::fromEnv(CacheCapacity)) {}
+
+ServerCore::ServerCore(const ServerCoreConfig &Config)
+    : Cache(Config.CacheCapacity), Persist(Config.CacheDir),
+      Log(Config.LogPath), DefaultDeadlineMs(Config.DefaultDeadlineMs),
+      StartTime(std::chrono::steady_clock::now()) {
+  if (Persist.enabled()) {
+    // Disk residency mirrors LRU residency from here on: anything the
+    // in-memory cache drops is unlinked from the journal too.
+    Cache.setEvictionListener(
+        [this](uint64_t Hash) { Persist.remove(Hash); });
+    PersistentCacheDir::ReplayStats RS =
+        Persist.replay(Cache, Cache.stats().Capacity);
+    CacheReplayed.store(RS.Replayed, std::memory_order_relaxed);
+    if (RS.Replayed || RS.Skipped)
+      Log.event("cache_replay", "replayed=" + std::to_string(RS.Replayed) +
+                                    " skipped=" + std::to_string(RS.Skipped));
+  }
+}
+
+void ServerCore::beginDrain() {
+  bool Expected = false;
+  if (Draining.compare_exchange_strong(Expected, true,
+                                       std::memory_order_acq_rel))
+    Log.event("drain_begin", "mutating ops now answer shutting-down");
+}
+
+ServerCore::InFlightSnapshot ServerCore::inFlight() const {
+  InFlightSnapshot S;
+  uint64_t Now = monotonicUsOf(std::chrono::steady_clock::now());
+  for (const auto &Slot : Heartbeat) {
+    uint64_t Start = Slot.load(std::memory_order_acquire);
+    if (!Start)
+      continue;
+    ++S.Count;
+    uint64_t Age = Now > Start ? Now - Start : 0;
+    if (Age > S.SlowestUs)
+      S.SlowestUs = Age;
+  }
+  return S;
+}
+
+std::string
+ServerCore::handleFrame(std::string_view Frame,
+                        std::chrono::steady_clock::time_point Arrival) {
   auto Start = std::chrono::steady_clock::now();
+
+  // Heartbeat slot for the health probe's in-flight report. A full
+  // table only costs visibility, never admission.
+  uint64_t ArrivalUs = monotonicUsOf(Arrival);
+  if (ArrivalUs == 0)
+    ArrivalUs = 1;
+  int Slot = -1;
+  for (int I = 0; I < kHeartbeatSlots; ++I) {
+    uint64_t Expected = 0;
+    if (Heartbeat[I].compare_exchange_strong(Expected, ArrivalUs,
+                                             std::memory_order_acq_rel)) {
+      Slot = I;
+      break;
+    }
+  }
+
   Endpoint E = EpInvalid;
   bool IsError = false;
+  FrameInfo Info;
   std::string Resp;
   try {
-    Resp = dispatch(Frame, E, IsError);
+    Resp = dispatch(Frame, Arrival, Start, E, IsError, Info);
   } catch (const std::bad_alloc &) {
     IsError = true;
     Resp = errorResponse(RequestId(), "", "internal-error",
@@ -351,11 +470,27 @@ std::string ServerCore::handleFrame(std::string_view Frame) {
                 std::chrono::steady_clock::now() - Start)
                 .count();
   Ep[E].record(Us, IsError);
+
+  Info.Outcome = outcomeOf(Resp, IsError);
+  if (Info.Outcome == "deadline-exceeded")
+    DeadlineExceeded.fetch_add(1, std::memory_order_relaxed);
+  else if (Info.Outcome == "shutting-down")
+    Drained.fetch_add(1, std::memory_order_relaxed);
+  if (Log.enabled())
+    Log.request(Info.Verb.empty() ? std::string_view("invalid")
+                                  : std::string_view(Info.Verb),
+                Info.Hash, Us, Info.Outcome);
+
+  if (Slot >= 0)
+    Heartbeat[Slot].store(0, std::memory_order_release);
   return Resp;
 }
 
-std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
-                                 bool &IsError) {
+std::string ServerCore::dispatch(std::string_view Frame,
+                                 std::chrono::steady_clock::time_point Arrival,
+                                 std::chrono::steady_clock::time_point Start,
+                                 Endpoint &EpOut, bool &IsError,
+                                 FrameInfo &Info) {
   EpOut = EpInvalid;
   IsError = true; // cleared on each success path
   RequestId Id;
@@ -394,8 +529,41 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
     return errorResponse(Id, "", "bad-request",
                          "missing required string field 'op'");
   const std::string &Op = OpV->stringValue();
+  Info.Verb = Op;
+
+  // Clients tag re-sent frames with "retry":N so operators can see how
+  // much traffic is second attempts (stats.resilience.retried). It is
+  // observability only — the request is handled identically.
+  if (const JsonValue *R = Req.member("retry"))
+    if (R->isNumber() && R->numberValue() >= 1)
+      Retried.fetch_add(1, std::memory_order_relaxed);
+
+  // Drain gate: once draining, only observation (stats/health) and the
+  // final shutdown get through; everything else is told to go away in
+  // a way a retrying client understands.
+  if (draining() && Op != "stats" && Op != "health" && Op != "shutdown") {
+    EpOut = Op == "compile" ? EpCompile
+            : Op == "eval"  ? EpEval
+            : Op == "evict" ? EpEvict
+                            : EpInvalid;
+    return errorResponse(Id, Op, "shutting-down",
+                         "daemon is draining and no longer accepts this "
+                         "op; retry against a fresh instance");
+  }
 
   try {
+    // Wall-clock budget, measured from frame arrival so queue time
+    // counts: request's own deadline_ms wins, IGEN_SERVE_DEADLINE fills
+    // in for requests that don't send one.
+    long long DeadlineMs = DefaultDeadlineMs;
+    if (const JsonValue *D = Req.member("deadline_ms")) {
+      if (!D->isNumber() || !(D->numberValue() > 0))
+        bad("bad-request", "deadline_ms must be a positive number");
+      DeadlineMs = (long long)D->numberValue();
+    }
+    const bool HasDeadline = DeadlineMs > 0;
+    const std::chrono::steady_clock::time_point Deadline =
+        Arrival + std::chrono::milliseconds(HasDeadline ? DeadlineMs : 0);
     if (Op == "compile") {
       EpOut = EpCompile;
       const JsonValue *Src = Req.member("source");
@@ -404,16 +572,28 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
       TransformOptions Opts = parseCompileOptions(Req.member("options"));
       Opts.SourceName = "<serve>";
       uint64_t Hash = hashCompileRequest(Src->stringValue(), Opts);
+      Info.Hash = formatHandle(Hash);
 
       bool Cached = true;
       std::shared_ptr<const InMemoryProgram> Prog = Cache.lookup(Hash);
       if (!Prog) {
         Cached = false;
+        if (HasDeadline && std::chrono::steady_clock::now() >= Deadline)
+          bad("deadline-exceeded",
+              "request deadline expired before compilation began");
         DiagnosticsEngine Diags;
         PipelineStage Failed = PipelineStage::None;
+        PipelineCancelFn Cancel;
+        if (HasDeadline)
+          Cancel = [Deadline] {
+            return std::chrono::steady_clock::now() >= Deadline;
+          };
         auto Fresh =
             compileToProgram(Src->stringValue(), Opts, Diags, nullptr,
-                             &Failed);
+                             &Failed, Cancel);
+        if (!Fresh && Failed == PipelineStage::Cancelled)
+          bad("deadline-exceeded",
+              "compilation exceeded the request's wall-clock deadline");
         if (!Fresh) {
           // Transaction rollback: the partial AST died with Fresh; the
           // cache was never touched; the daemon state is exactly as
@@ -454,6 +634,9 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
         }
         Prog = std::shared_ptr<const InMemoryProgram>(std::move(Fresh));
         Cache.insert(Hash, Prog);
+        // Journal the inputs (not the program) so a restarted daemon
+        // can rebuild this entry bit-identically via the same pipeline.
+        Persist.persist(Hash, Src->stringValue(), Opts);
       }
       profile::serveNoteCompile(/*Err=*/false);
 
@@ -483,6 +666,7 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
       uint64_t Hash;
       if (!parseHandle(HandleV->stringValue(), Hash))
         bad("bad-request", "malformed handle (expected 16 hex digits)");
+      Info.Hash = HandleV->stringValue();
       std::shared_ptr<const InMemoryProgram> Prog =
           Cache.lookup(Hash, /*CountMiss=*/false);
       if (!Prog)
@@ -511,6 +695,8 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
       EO.JoinBranches =
           Prog->Opts.Branches == TransformOptions::BranchPolicy::Join;
       EO.EnableReductions = Prog->Opts.EnableReductions;
+      EO.HasDeadline = HasDeadline;
+      EO.Deadline = Deadline;
       bool PoisonPolicy = false;
       double TierWidth = 0.0;
       bool HasTierWidth = false;
@@ -557,6 +743,13 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
       // entry (a previous tenant or foreign library may have clobbered
       // the environment after scope entry hooks ran) and again on exit
       // (to catch mid-request clobber before results ship).
+      // Pre-expiry against the dispatch-entry timestamp: no extra
+      // clock read on the hot path, and queue time still counts.
+      if (HasDeadline && Start >= Deadline)
+        bad("deadline-exceeded",
+            "request deadline expired before evaluation began (queued "
+            "too long)");
+
       EvalResult R;
       bool Poisoned = false;
       {
@@ -653,7 +846,7 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
       {
         CacheStats CS = Cache.stats();
         W.beginObject();
-        W.field("schema_version", (int64_t)1);
+        W.field("schema_version", (int64_t)2);
         W.field("report", std::string_view("igen_serve_stats"));
         W.key("cache");
         W.beginObject();
@@ -668,7 +861,7 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
         W.beginObject();
         static const char *Names[EpCount] = {"compile", "eval", "stats",
                                              "evict", "shutdown",
-                                             "invalid"};
+                                             "health", "invalid"};
         for (int I = 0; I < EpCount; ++I) {
           W.key(Names[I]);
           W.beginObject();
@@ -712,6 +905,22 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
           W.field("poisoned", FS.Poisoned);
           W.endObject();
         }
+        W.key("resilience");
+        {
+          InFlightSnapshot IF = inFlight();
+          W.beginObject();
+          W.field("state", std::string_view(draining() ? "draining"
+                                                       : "serving"));
+          W.field("in_flight", IF.Count);
+          W.field("slowest_in_flight_us", IF.SlowestUs);
+          W.field("deadline_exceeded",
+                  DeadlineExceeded.load(std::memory_order_relaxed));
+          W.field("retried", Retried.load(std::memory_order_relaxed));
+          W.field("drained", Drained.load(std::memory_order_relaxed));
+          W.field("cache_replayed",
+                  CacheReplayed.load(std::memory_order_relaxed));
+          W.endObject();
+        }
         W.endObject();
       }
       W.endObject();
@@ -744,9 +953,32 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
       return flattenOneLine(W.take());
     }
 
+    if (Op == "health") {
+      EpOut = EpHealth;
+      InFlightSnapshot IF = inFlight();
+      uint64_t UptimeUs =
+          (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - StartTime)
+              .count();
+      JsonWriter W;
+      W.beginObject();
+      W.field("ok", true);
+      writeId(W, Id);
+      W.field("op", std::string_view("health"));
+      W.field("state",
+              std::string_view(draining() ? "draining" : "serving"));
+      W.field("in_flight", IF.Count);
+      W.field("slowest_in_flight_us", IF.SlowestUs);
+      W.field("uptime_us", UptimeUs);
+      W.endObject();
+      IsError = false;
+      return flattenOneLine(W.take());
+    }
+
     if (Op == "shutdown") {
       EpOut = EpShutdown;
       Shutdown.store(true, std::memory_order_release);
+      Log.event("shutdown", "shutdown op received");
       JsonWriter W;
       W.beginObject();
       W.field("ok", true);
@@ -760,13 +992,14 @@ std::string ServerCore::dispatch(std::string_view Frame, Endpoint &EpOut,
     return errorResponse(Id, Op, "bad-request",
                          "unknown op '" + Op +
                              "' (expected compile|eval|stats|evict|"
-                             "shutdown)");
+                             "health|shutdown)");
   } catch (const RequestError &RE) {
     const char *OpName = EpOut == EpCompile   ? "compile"
                          : EpOut == EpEval    ? "eval"
                          : EpOut == EpStats   ? "stats"
                          : EpOut == EpEvict   ? "evict"
                          : EpOut == EpShutdown ? "shutdown"
+                         : EpOut == EpHealth   ? "health"
                                                : "";
     return errorResponse(Id, OpName, RE.Code, RE.Message);
   }

@@ -7,9 +7,13 @@
 #include "server/SocketServer.h"
 
 #include "runtime/ThreadPool.h"
+#include "server/Json.h"
+#include "server/TransportOps.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +34,13 @@ using namespace igen;
 using namespace igen::server;
 
 namespace {
+
+/// SIGTERM/SIGINT land here; the reactor polls this flag every 50 ms
+/// and turns it into a graceful drain. sig_atomic_t is the only thing
+/// a handler may touch.
+volatile std::sig_atomic_t DrainRequested = 0;
+
+extern "C" void onDrainSignal(int) { DrainRequested = 1; }
 
 /// One accepted client. Workers may outlive the reactor's interest in
 /// the fd (a frame can still be in flight when the peer disconnects),
@@ -59,8 +70,11 @@ struct Connection {
     Out.push_back('\n');
     size_t Off = 0;
     while (Off < Out.size()) {
-      ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off,
-                         MSG_NOSIGNAL);
+      // MSG_NOSIGNAL + the process-wide SIGPIPE ignore: a peer that
+      // closes mid-frame costs this connection, never the daemon. Short
+      // counts (including injected "partial" faults) just resume here.
+      ssize_t N = transportOps().Send(Fd, Out.data() + Off,
+                                      Out.size() - Off, MSG_NOSIGNAL);
       if (N < 0) {
         if (errno == EINTR)
           continue;
@@ -75,6 +89,9 @@ struct Connection {
 struct WorkItem {
   std::shared_ptr<Connection> Conn;
   std::string Frame;
+  /// When the frame came off the wire; deadlines count from here, so
+  /// time queued behind other requests is not free.
+  std::chrono::steady_clock::time_point Arrival;
 };
 
 /// Bounded MPMC admission queue. push() never blocks (the reactor must
@@ -95,6 +112,8 @@ public:
   }
 
   /// Blocks until an item arrives or the queue is closed *and* drained.
+  /// A successful pop counts as in-process until the worker calls
+  /// done(), so idle() can tell "queue empty" from "work finished".
   bool pop(WorkItem &Out) {
     std::unique_lock<std::mutex> G(Mu);
     Ready.wait(G, [&] { return Closed || !Items.empty(); });
@@ -102,7 +121,21 @@ public:
       return false;
     Out = std::move(Items.front());
     Items.pop_front();
+    ++InProcess;
     return true;
+  }
+
+  /// The worker finished (response written) for one popped item.
+  void done() {
+    std::lock_guard<std::mutex> G(Mu);
+    if (InProcess)
+      --InProcess;
+  }
+
+  /// Nothing queued and nothing executing: safe to complete a drain.
+  bool idle() {
+    std::lock_guard<std::mutex> G(Mu);
+    return Items.empty() && InProcess == 0;
   }
 
   void close() {
@@ -118,6 +151,7 @@ private:
   std::mutex Mu;
   std::condition_variable Ready;
   std::deque<WorkItem> Items;
+  size_t InProcess = 0;
   bool Closed = false;
 };
 
@@ -133,11 +167,13 @@ std::string typedErrorLine(const char *Code, const char *Msg) {
 /// Reactor: accepts clients and slices their byte streams into frames.
 class Reactor {
 public:
-  Reactor(int ListenFd, ServerCore &Core, AdmissionQueue &Queue)
-      : ListenFd(ListenFd), Core(Core), Queue(Queue) {}
+  Reactor(int ListenFd, ServerCore &Core, AdmissionQueue &Queue,
+          long long DrainMs)
+      : ListenFd(ListenFd), Core(Core), Queue(Queue), DrainMs(DrainMs) {}
 
   void run() {
     while (!Core.shutdownRequested()) {
+      pollDrain();
       std::vector<pollfd> Fds;
       Fds.push_back({ListenFd, POLLIN, 0});
       std::vector<std::shared_ptr<Connection>> Order;
@@ -146,8 +182,9 @@ public:
         Order.push_back(KV.second);
         Fds.push_back({KV.first, POLLIN, 0});
       }
-      // Short timeout: shutdown is signaled by a worker thread, so the
-      // reactor has to wake up on its own to observe it.
+      // Short timeout: shutdown is signaled by a worker thread (or a
+      // drain deadline), so the reactor has to wake up on its own to
+      // observe it.
       int N = ::poll(Fds.data(), Fds.size(), 50);
       if (N < 0) {
         if (errno == EINTR)
@@ -169,8 +206,33 @@ public:
   }
 
 private:
+  /// Drain state machine, one step per reactor iteration. SIGTERM/
+  /// SIGINT flips ServerCore to draining (queued and new frames get
+  /// typed "shutting-down" answers from the workers); the drain
+  /// completes — and becomes a shutdown — when all in-flight work
+  /// finishes or IGEN_SERVE_DRAIN_MS runs out, whichever is first.
+  void pollDrain() {
+    if (DrainRequested && !Core.draining()) {
+      Core.beginDrain();
+      DrainDeadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(DrainMs);
+    }
+    if (!Core.draining())
+      return;
+    bool Idle = Queue.idle();
+    bool TimedOut = std::chrono::steady_clock::now() >= DrainDeadline;
+    if (!Idle && !TimedOut)
+      return;
+    Core.log().event(Idle ? "drain_complete" : "drain_timeout",
+                     Idle ? "all in-flight requests finished"
+                          : "drain deadline expired with work in flight");
+    Core.requestShutdown();
+    Queue.close();
+  }
+
   void acceptOne() {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = transportOps().Accept(ListenFd);
     if (Fd < 0)
       return;
     auto Conn = std::make_shared<Connection>();
@@ -180,7 +242,7 @@ private:
 
   void serviceConnection(const std::shared_ptr<Connection> &Conn) {
     char Buf[64 * 1024];
-    ssize_t N = ::recv(Conn->Fd, Buf, sizeof(Buf), 0);
+    ssize_t N = transportOps().Recv(Conn->Fd, Buf, sizeof(Buf), 0);
     if (N == 0 || (N < 0 && errno != EINTR && errno != EAGAIN)) {
       Conn->Open.store(false, std::memory_order_relaxed);
       return;
@@ -214,6 +276,28 @@ private:
     }
   }
 
+  /// Health probes must not depend on worker availability — a daemon
+  /// with every worker wedged in a long evaluation still has to answer
+  /// "I'm alive, and here is how long the slowest request has been
+  /// running". Small frames that could plausibly be health ops are
+  /// parsed on the reactor thread; only a confirmed {"op":"health"} is
+  /// handled inline (cheap: a counter scan), everything else takes the
+  /// normal queue path.
+  bool tryInlineHealth(const std::shared_ptr<Connection> &Conn,
+                       const std::string &Frame,
+                       std::chrono::steady_clock::time_point Arrival) {
+    if (Frame.size() > 2048 || Frame.find("\"health\"") == std::string::npos)
+      return false;
+    JsonParseResult P = parseJson(Frame);
+    if (!P.Ok || !P.Value.isObject())
+      return false;
+    const JsonValue *Op = P.Value.member("op");
+    if (!Op || !Op->isString() || Op->stringValue() != "health")
+      return false;
+    Conn->writeLine(Core.handleFrame(Frame, Arrival));
+    return true;
+  }
+
   void dispatchFrame(const std::shared_ptr<Connection> &Conn,
                      std::string Frame) {
     // Trim a trailing '\r' so CRLF clients work.
@@ -221,19 +305,46 @@ private:
       Frame.pop_back();
     if (Frame.empty())
       return;
-    if (!Queue.tryPush(WorkItem{Conn, std::move(Frame)}))
+    auto Arrival = std::chrono::steady_clock::now();
+    if (tryInlineHealth(Conn, Frame, Arrival))
+      return;
+    if (!Queue.tryPush(WorkItem{Conn, std::move(Frame), Arrival}))
       Conn->writeLine(typedErrorLine(
-          "queue-full",
-          "admission queue is full (IGEN_SERVE_QUEUE); retry later"));
+          Core.draining() ? "shutting-down" : "queue-full",
+          Core.draining()
+              ? "daemon is draining; retry against a fresh instance"
+              : "admission queue is full (IGEN_SERVE_QUEUE); retry "
+                "later"));
   }
 
   int ListenFd;
   ServerCore &Core;
   AdmissionQueue &Queue;
+  long long DrainMs;
+  std::chrono::steady_clock::time_point DrainDeadline{};
   std::unordered_map<int, std::shared_ptr<Connection>> Conns;
 };
 
 } // namespace
+
+long long igen::server::drainMsFromSpec(const char *Spec,
+                                        std::string *Warning) {
+  constexpr long long Def = 5000;
+  if (!Spec || !*Spec)
+    return Def;
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(Spec, &End, 10);
+  if (errno != 0 || !End || *End != '\0' || V <= 0) {
+    if (Warning)
+      *Warning = std::string("ignoring IGEN_SERVE_DRAIN_MS '") + Spec +
+                 "' (expected a positive integer millisecond count); "
+                 "using the default " +
+                 std::to_string(Def);
+    return Def;
+  }
+  return V;
+}
 
 size_t igen::server::serveQueueCapacity() {
   static const size_t V = [] {
@@ -279,13 +390,33 @@ int igen::server::runServer(const ServeConfig &Config) {
   ServerCore Core(Config.CacheCapacity);
   AdmissionQueue Queue(serveQueueCapacity());
 
+  std::string DrainWarn;
+  long long DrainMs =
+      drainMsFromSpec(std::getenv("IGEN_SERVE_DRAIN_MS"), &DrainWarn);
+  if (!DrainWarn.empty())
+    std::fprintf(stderr, "igen: serve: warning: %s\n", DrainWarn.c_str());
+
+  // A client that disappears mid-response raises SIGPIPE on the next
+  // send; MSG_NOSIGNAL covers our writes, this covers everything else
+  // (and future code paths). SIGTERM/SIGINT start a graceful drain
+  // instead of killing the process with responses half-written.
+  ::signal(SIGPIPE, SIG_IGN);
+  DrainRequested = 0;
+  struct sigaction Sa{};
+  Sa.sa_handler = onDrainSignal;
+  ::sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+
   if (Config.Announce) {
     std::fprintf(stderr, "igen: serving on %s\n",
                  Config.SocketPath.c_str());
     std::fflush(stderr);
   }
 
-  std::thread Acceptor([&] { Reactor(ListenFd, Core, Queue).run(); });
+  std::thread Acceptor(
+      [&] { Reactor(ListenFd, Core, Queue, DrainMs).run(); });
 
   // Request handling on the process-wide pool: one parallelFor whose
   // body is a worker loop, alive for the whole daemon lifetime. The
@@ -299,8 +430,10 @@ int igen::server::runServer(const ServeConfig &Config) {
   Pool.parallelFor(Workers, Workers, [&](size_t) {
     WorkItem Item;
     while (Queue.pop(Item)) {
-      std::string Resp = Core.handleFrame(Item.Frame);
+      std::string Resp = Core.handleFrame(Item.Frame, Item.Arrival);
       Item.Conn->writeLine(Resp);
+      Item.Conn.reset(); // response is on the wire; release the fd ref
+      Queue.done();      // only now may a drain observe "idle"
       if (Core.shutdownRequested())
         Queue.close(); // wake idle siblings; drains remaining items
     }

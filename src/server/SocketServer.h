@@ -19,6 +19,20 @@
 /// with a typed "queue-full" error instead of blocking the reactor;
 /// back-pressure is thus visible to clients rather than silent.
 ///
+/// Resilience wiring added around that skeleton:
+///  - every socket syscall goes through the injectable TransportOps
+///    table, so IGEN_FAULT=accept|read|write|conreset|partial|stall can
+///    simulate transport failures deterministically;
+///  - SIGTERM/SIGINT trigger a graceful drain: ServerCore flips to
+///    draining (mutating ops answer "shutting-down"), in-flight work
+///    finishes within IGEN_SERVE_DRAIN_MS (default 5000), then the
+///    socket is unlinked and runServer returns 0. SIGPIPE is ignored
+///    (writes already use MSG_NOSIGNAL; a racing client close must
+///    never kill the process);
+///  - {"op":"health"} frames are answered on the reactor thread itself,
+///    so liveness probes work even when every worker is wedged in a
+///    long evaluation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IGEN_SERVER_SOCKETSERVER_H
@@ -34,6 +48,12 @@ namespace server {
 /// Admission-queue capacity (IGEN_SERVE_QUEUE override, default 128).
 size_t serveQueueCapacity();
 
+/// Parses an IGEN_SERVE_DRAIN_MS spelling: how long a SIGTERM/SIGINT
+/// drain waits for in-flight requests before forcing shutdown.
+/// Null/empty selects the 5000 ms default; unparsable or non-positive
+/// values set *Warning and return the default.
+long long drainMsFromSpec(const char *Spec, std::string *Warning);
+
 struct ServeConfig {
   std::string SocketPath;
   long CacheCapacity = 0; ///< 0 = IGEN_SERVE_CACHE / default
@@ -45,11 +65,12 @@ struct ServeConfig {
   bool Announce = true;
 };
 
-/// Binds \p Config.SocketPath, serves until a shutdown request (or
-/// serve-loop failure), then unlinks the socket. Returns 0 on a clean
-/// shutdown-initiated exit, 1 on a transport-level failure (bind,
-/// listen, ...) with a message on stderr. Blocks the calling thread;
-/// the caller owns process signal handling.
+/// Binds \p Config.SocketPath, serves until a shutdown request, a
+/// completed SIGTERM/SIGINT drain, or a serve-loop failure, then
+/// unlinks the socket. Returns 0 on a clean shutdown- or
+/// drain-initiated exit, 1 on a transport-level failure (bind, listen,
+/// ...) with a message on stderr. Blocks the calling thread; installs
+/// SIGTERM/SIGINT drain handlers and ignores SIGPIPE for the process.
 int runServer(const ServeConfig &Config);
 
 } // namespace server

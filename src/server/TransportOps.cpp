@@ -1,0 +1,66 @@
+//===- TransportOps.cpp - Injectable socket syscalls for --serve -------------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/TransportOps.h"
+
+#include "harden/FaultInject.h"
+
+#include <cerrno>
+
+using namespace igen;
+using namespace igen::server;
+
+namespace {
+
+ssize_t defaultRecv(int Fd, void *Buf, size_t Len, int Flags) {
+  if (harden::faultsArmedFromEnv()) {
+    if (harden::faultFires(harden::FaultKind::ReadFail)) {
+      errno = EIO;
+      return -1;
+    }
+    if (harden::faultFires(harden::FaultKind::ConnReset)) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (harden::faultFires(harden::FaultKind::ReadStall)) {
+      errno = EAGAIN;
+      return -1;
+    }
+  }
+  return ::recv(Fd, Buf, Len, Flags);
+}
+
+ssize_t defaultSend(int Fd, const void *Buf, size_t Len, int Flags) {
+  if (harden::faultsArmedFromEnv()) {
+    if (harden::faultFires(harden::FaultKind::WriteFail)) {
+      errno = EPIPE;
+      return -1;
+    }
+    if (harden::faultFires(harden::FaultKind::PartialWrite) && Len > 1)
+      Len /= 2; // a real short write: transfer some bytes, report fewer
+  }
+  return ::send(Fd, Buf, Len, Flags);
+}
+
+int defaultAccept(int ListenFd) {
+  if (harden::faultsArmedFromEnv() &&
+      harden::faultFires(harden::FaultKind::AcceptFail)) {
+    errno = EMFILE;
+    return -1;
+  }
+  return ::accept(ListenFd, nullptr, nullptr);
+}
+
+} // namespace
+
+TransportOps &igen::server::transportOps() {
+  static TransportOps Ops{defaultRecv, defaultSend, defaultAccept};
+  return Ops;
+}
+
+void igen::server::resetTransportOps() {
+  transportOps() = TransportOps{defaultRecv, defaultSend, defaultAccept};
+}

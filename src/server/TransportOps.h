@@ -1,0 +1,57 @@
+//===- TransportOps.h - Injectable socket syscalls for --serve --*- C++ -*-===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every socket syscall the --serve transport makes (recv, send,
+/// accept) is routed through this table, so tests can make the kernel
+/// lie on command. The default entries forward to the real syscalls
+/// after consulting harden/FaultInject.h, which extends the IGEN_FAULT
+/// grammar with the transport fault classes:
+///
+///   accept@N     the Nth accept() fails with EMFILE
+///   read@N       the Nth recv() fails with EIO
+///   conreset@N   the Nth recv() fails with ECONNRESET
+///   stall@N      the Nth recv() fails with EAGAIN (spurious readiness)
+///   write@N      the Nth send() fails with EPIPE
+///   partial@N    the Nth send() transfers only half the buffer
+///
+/// The contract under test (ServeResilienceTest's fault matrix): every
+/// one of these leaves the daemon serving other clients with
+/// uncorrupted frames and a stable fd count. Disarmed cost is one
+/// relaxed atomic load per syscall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGEN_SERVER_TRANSPORTOPS_H
+#define IGEN_SERVER_TRANSPORTOPS_H
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace igen {
+namespace server {
+
+/// The injectable syscall table. Signatures mirror the libc calls the
+/// transport uses; Accept takes only the listening fd (the daemon never
+/// wants the peer address).
+struct TransportOps {
+  ssize_t (*Recv)(int Fd, void *Buf, size_t Len, int Flags);
+  ssize_t (*Send)(int Fd, const void *Buf, size_t Len, int Flags);
+  int (*Accept)(int ListenFd);
+};
+
+/// Process-wide ops table, initialized to the fault-aware defaults.
+/// Tests may overwrite individual entries; not synchronized, so swap
+/// them only while no server is running.
+TransportOps &transportOps();
+
+/// Restores the fault-aware default entries.
+void resetTransportOps();
+
+} // namespace server
+} // namespace igen
+
+#endif // IGEN_SERVER_TRANSPORTOPS_H

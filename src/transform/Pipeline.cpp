@@ -17,26 +17,38 @@ InMemoryProgram::~InMemoryProgram() = default;
 std::unique_ptr<InMemoryProgram>
 igen::compileToProgram(std::string_view Source, const TransformOptions &Opts,
                        DiagnosticsEngine &Diags, ProfileSiteTable *SitesOut,
-                       PipelineStage *FailedStage) {
+                       PipelineStage *FailedStage,
+                       const PipelineCancelFn &Cancel) {
   auto Fail = [&](PipelineStage S) {
     if (FailedStage)
       *FailedStage = S;
     return nullptr;
   };
+  // Stage-boundary cancellation: abandoning the pipeline here is the
+  // same rollback as a stage error — the partial AST dies with Prog.
+  auto Cancelled = [&] { return Cancel && Cancel(); };
   if (FailedStage)
     *FailedStage = PipelineStage::None;
+  if (Cancelled())
+    return Fail(PipelineStage::Cancelled);
   auto Prog = std::make_unique<InMemoryProgram>();
   Prog->Ast = std::make_unique<ASTContext>();
   Prog->Opts = Opts;
   Parser P(Source, *Prog->Ast, Diags);
   if (!P.parseTranslationUnit())
     return Fail(PipelineStage::Parse);
+  if (Cancelled())
+    return Fail(PipelineStage::Cancelled);
   Sema S(*Prog->Ast, Diags);
   if (!S.run())
     return Fail(PipelineStage::Sema);
+  if (Cancelled())
+    return Fail(PipelineStage::Cancelled);
   Prog->EmittedC = transformToIntervals(*Prog->Ast, Diags, Opts, SitesOut);
   if (Diags.hasErrors())
     return Fail(PipelineStage::Transform);
+  if (Cancelled())
+    return Fail(PipelineStage::Cancelled);
   return Prog;
 }
 

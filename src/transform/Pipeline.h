@@ -18,6 +18,7 @@
 #include "support/Diagnostics.h"
 #include "transform/IntervalTransform.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,8 +28,16 @@ namespace igen {
 class ASTContext;
 
 /// Pipeline stage that produced the first error, for callers (the
-/// driver) that map failures to distinct exit codes.
-enum class PipelineStage { None, Parse, Sema, Transform };
+/// driver) that map failures to distinct exit codes. Cancelled means a
+/// caller-provided cancellation check fired at a stage boundary (the
+/// serve daemon uses this for wall-clock compile deadlines).
+enum class PipelineStage { None, Parse, Sema, Transform, Cancelled };
+
+/// Cooperative cancellation for compileToProgram: polled at every stage
+/// boundary (before parse, sema, transform, and emission). Returning
+/// true abandons the pipeline; the partial AST is discarded exactly as
+/// on a compile error, so cancellation leaves no state behind.
+using PipelineCancelFn = std::function<bool()>;
 
 /// A fully compiled program kept in memory: the type-checked AST (owned,
 /// so references into it stay valid for the lifetime of this object)
@@ -55,7 +64,8 @@ std::unique_ptr<InMemoryProgram>
 compileToProgram(std::string_view Source, const TransformOptions &Opts,
                  DiagnosticsEngine &Diags,
                  ProfileSiteTable *SitesOut = nullptr,
-                 PipelineStage *FailedStage = nullptr);
+                 PipelineStage *FailedStage = nullptr,
+                 const PipelineCancelFn &Cancel = {});
 
 /// Compiles C source text to interval C. Returns std::nullopt (with
 /// diagnostics in \p Diags) on any error. With Opts.Profile set and

@@ -1,0 +1,112 @@
+//===- ServeEnvParseTest.cpp - Serve resilience env-knob parsing ----------===//
+//
+// Part of the IGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The resilience knobs — IGEN_SERVE_DEADLINE, IGEN_SERVE_DRAIN_MS, and
+// IGEN_SERVE_CACHE_DIR — follow the same contract as the runtime env
+// knobs (tests/runtime/EnvParseTest.cpp): bad input falls back to a
+// safe default *and says so*, because a typo'd override silently
+// ignored is an operator running a different configuration than they
+// think.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/PersistCache.h"
+#include "server/ServerCore.h"
+#include "server/SocketServer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace igen::server;
+
+TEST(ServeEnvParse, DeadlineAcceptsPositiveMilliseconds) {
+  std::string W;
+  EXPECT_EQ(deadlineMsFromSpec("1", &W), 1);
+  EXPECT_EQ(deadlineMsFromSpec("2500", &W), 2500);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(ServeEnvParse, DeadlineUnsetOrEmptyDisablesSilently) {
+  std::string W;
+  EXPECT_EQ(deadlineMsFromSpec(nullptr, &W), 0);
+  EXPECT_EQ(deadlineMsFromSpec("", &W), 0);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(ServeEnvParse, DeadlineWarnsOnMalformedValues) {
+  for (const char *Bad : {"abc", "5s", "-100", "0", " 250 ", "1e3"}) {
+    std::string W;
+    EXPECT_EQ(deadlineMsFromSpec(Bad, &W), 0) << "spec: " << Bad;
+    EXPECT_NE(W.find("IGEN_SERVE_DEADLINE"), std::string::npos)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
+  }
+}
+
+TEST(ServeEnvParse, DrainAcceptsPositiveMilliseconds) {
+  std::string W;
+  EXPECT_EQ(drainMsFromSpec("250", &W), 250);
+  EXPECT_EQ(drainMsFromSpec("60000", &W), 60000);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(ServeEnvParse, DrainUnsetOrEmptyUsesDefaultSilently) {
+  std::string W;
+  EXPECT_EQ(drainMsFromSpec(nullptr, &W), 5000);
+  EXPECT_EQ(drainMsFromSpec("", &W), 5000);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(ServeEnvParse, DrainWarnsAndFallsBackOnMalformedValues) {
+  for (const char *Bad : {"fast", "-1", "0", "3 0", "2.5"}) {
+    std::string W;
+    EXPECT_EQ(drainMsFromSpec(Bad, &W), 5000) << "spec: " << Bad;
+    EXPECT_NE(W.find("IGEN_SERVE_DRAIN_MS"), std::string::npos)
+        << "spec: " << Bad;
+    EXPECT_NE(W.find(Bad), std::string::npos) << "spec: " << Bad;
+  }
+}
+
+TEST(ServeEnvParse, CacheDirUnsetOrEmptyDisablesSilently) {
+  std::string W;
+  EXPECT_EQ(cacheDirFromSpec(nullptr, &W), "");
+  EXPECT_EQ(cacheDirFromSpec("", &W), "");
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(ServeEnvParse, CacheDirWarnsWhenUnusable) {
+  // Parent directory missing: cannot mkdir one level.
+  {
+    std::string W;
+    EXPECT_EQ(cacheDirFromSpec("/tmp/igen_no_such_parent_x/y/z", &W), "");
+    EXPECT_NE(W.find("IGEN_SERVE_CACHE_DIR"), std::string::npos);
+  }
+  // Existing non-directory.
+  {
+    std::string W;
+    EXPECT_EQ(cacheDirFromSpec("/dev/null", &W), "");
+    EXPECT_FALSE(W.empty());
+  }
+}
+
+TEST(ServeEnvParse, CacheDirCreatesOneLevelAndAcceptsExisting) {
+  std::string W;
+  std::string Dir =
+      "/tmp/igen_env_cache_test_" + std::to_string(::getpid());
+  EXPECT_EQ(cacheDirFromSpec(Dir.c_str(), &W), Dir);
+  EXPECT_TRUE(W.empty());
+  struct stat St;
+  ASSERT_EQ(stat(Dir.c_str(), &St), 0);
+  EXPECT_TRUE(S_ISDIR(St.st_mode));
+  // Second resolution of the now-existing directory also succeeds.
+  EXPECT_EQ(cacheDirFromSpec(Dir.c_str(), &W), Dir);
+  EXPECT_TRUE(W.empty());
+  ::rmdir(Dir.c_str());
+}

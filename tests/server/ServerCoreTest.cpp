@@ -17,6 +17,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
 using namespace igen::server;
 
 namespace {
@@ -217,7 +226,7 @@ TEST_F(ServerCoreTest, StatsSchema) {
   ASSERT_TRUE(V.member("ok")->boolValue());
   const JsonValue *S = V.member("stats");
   ASSERT_TRUE(S);
-  EXPECT_DOUBLE_EQ(S->member("schema_version")->numberValue(), 1.0);
+  EXPECT_DOUBLE_EQ(S->member("schema_version")->numberValue(), 2.0);
   EXPECT_EQ(S->member("report")->stringValue(), "igen_serve_stats");
   const JsonValue *Cache = S->member("cache");
   ASSERT_TRUE(Cache);
@@ -226,6 +235,7 @@ TEST_F(ServerCoreTest, StatsSchema) {
   ASSERT_TRUE(Reqs);
   EXPECT_DOUBLE_EQ(Reqs->member("compile")->member("count")->numberValue(),
                    1.0);
+  ASSERT_TRUE(Reqs->member("health")); // v2 endpoint present from birth
   const JsonValue *Lat = S->member("latency_us");
   ASSERT_TRUE(Lat && Lat->member("compile"));
   const JsonValue *Buckets =
@@ -238,6 +248,17 @@ TEST_F(ServerCoreTest, StatsSchema) {
   EXPECT_DOUBLE_EQ(Sum, 1.0); // one compile -> one bucket hit
   ASSERT_TRUE(S->member("evals"));
   ASSERT_TRUE(S->member("fenv"));
+  // v2: resilience block, fresh core -> serving with zeroed counters.
+  const JsonValue *Res = S->member("resilience");
+  ASSERT_TRUE(Res && Res->isObject());
+  EXPECT_EQ(Res->member("state")->stringValue(), "serving");
+  // The stats request itself holds a heartbeat slot while rendering.
+  EXPECT_GE(Res->member("in_flight")->numberValue(), 1.0);
+  ASSERT_TRUE(Res->member("slowest_in_flight_us"));
+  EXPECT_DOUBLE_EQ(Res->member("deadline_exceeded")->numberValue(), 0.0);
+  EXPECT_DOUBLE_EQ(Res->member("retried")->numberValue(), 0.0);
+  EXPECT_DOUBLE_EQ(Res->member("drained")->numberValue(), 0.0);
+  EXPECT_DOUBLE_EQ(Res->member("cache_replayed")->numberValue(), 0.0);
 }
 
 TEST_F(ServerCoreTest, EvictByHandleAndAll) {
@@ -271,6 +292,196 @@ TEST_F(ServerCoreTest, ShutdownOp) {
   EXPECT_TRUE(V.member("ok")->boolValue());
   EXPECT_DOUBLE_EQ(V.member("id")->numberValue(), 7.0);
   EXPECT_TRUE(Core.shutdownRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// Resilience: deadlines, drain, health, retry accounting, request log
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerCoreTest, DeadlineExceededOnRunawayEval) {
+  std::string H = compileHandle("double f(double x) {\n"
+                                "  while (x < 1.0e300) x = x + 1.0e-6;\n"
+                                "  return x;\n"
+                                "}");
+  // A step limit far beyond what 50ms of interpretation can execute:
+  // only the wall-clock deadline can stop this request.
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H +
+                        "\",\"function\":\"f\",\"args\":[0.0],"
+                        "\"deadline_ms\":50,"
+                        "\"options\":{\"step_limit\":4000000000}}"),
+            "deadline-exceeded");
+  JsonValue St = rpc("{\"op\":\"stats\"}");
+  EXPECT_GE(St.member("stats")
+                ->member("resilience")
+                ->member("deadline_exceeded")
+                ->numberValue(),
+            1.0);
+  // The worker survived: the same handle still evaluates. 2.0e300 sits
+  // strictly above the outward-rounded interval of the 1.0e300 source
+  // literal, so the loop condition is decidably false on entry.
+  JsonValue V = rpc("{\"op\":\"eval\",\"handle\":\"" + H +
+                    "\",\"function\":\"f\",\"args\":[2.0e300]}");
+  EXPECT_TRUE(V.member("ok")->boolValue()) << Core.handleFrame(
+      "{\"op\":\"eval\",\"handle\":\"" + H +
+      "\",\"function\":\"f\",\"args\":[2.0e300]}");
+}
+
+TEST_F(ServerCoreTest, DeadlineCountsQueueTime) {
+  // Deadlines are measured from frame *arrival*; a request that sat in
+  // the admission queue past its budget is rejected before any work.
+  std::string H = compileHandle("double f(double x) { return x; }");
+  auto Stale =
+      std::chrono::steady_clock::now() - std::chrono::seconds(10);
+  std::string EvalLine =
+      Core.handleFrame("{\"op\":\"eval\",\"handle\":\"" + H +
+                           "\",\"function\":\"f\",\"args\":[1.0],"
+                           "\"deadline_ms\":100}",
+                       Stale);
+  EXPECT_NE(EvalLine.find("deadline-exceeded"), std::string::npos)
+      << EvalLine;
+  std::string CompileLine = Core.handleFrame(
+      "{\"op\":\"compile\",\"deadline_ms\":100,\"source\":\"double "
+      "q(double x) { return x; }\"}",
+      Stale);
+  EXPECT_NE(CompileLine.find("deadline-exceeded"), std::string::npos)
+      << CompileLine;
+  // A cache hit is still served even past the deadline: answering from
+  // the LRU is cheaper than rendering the error. Options must match the
+  // original compile exactly — they are part of the cache hash.
+  std::string HitLine = Core.handleFrame(
+      "{\"op\":\"compile\",\"deadline_ms\":100,\"source\":\"double "
+      "f(double x) { return x; }\","
+      "\"options\":{\"opt_level\":0,\"target\":\"ss\"}}",
+      Stale);
+  JsonParseResult Hit = parseJson(HitLine);
+  ASSERT_TRUE(Hit.Ok) << HitLine;
+  EXPECT_TRUE(Hit.Value.member("ok")->boolValue()) << HitLine;
+  ASSERT_TRUE(Hit.Value.member("cached")) << HitLine;
+  EXPECT_TRUE(Hit.Value.member("cached")->boolValue()) << HitLine;
+}
+
+TEST_F(ServerCoreTest, BadDeadlineFieldIsTyped) {
+  EXPECT_EQ(expectError("{\"op\":\"stats\",\"deadline_ms\":-5}"),
+            "bad-request");
+  EXPECT_EQ(expectError("{\"op\":\"stats\",\"deadline_ms\":\"soon\"}"),
+            "bad-request");
+}
+
+TEST_F(ServerCoreTest, DrainGatesMutatingOpsButNotObservation) {
+  std::string H = compileHandle("double f(double x) { return x; }");
+  EXPECT_FALSE(Core.draining());
+  Core.beginDrain();
+  Core.beginDrain(); // idempotent
+  EXPECT_TRUE(Core.draining());
+  EXPECT_EQ(expectError("{\"op\":\"compile\",\"source\":\"double "
+                        "g(double x) { return x; }\"}"),
+            "shutting-down");
+  EXPECT_EQ(expectError("{\"op\":\"eval\",\"handle\":\"" + H +
+                        "\",\"function\":\"f\",\"args\":[1.0]}"),
+            "shutting-down");
+  EXPECT_EQ(expectError("{\"op\":\"evict\",\"all\":true}"),
+            "shutting-down");
+  // Observation and the final shutdown still work.
+  JsonValue St = rpc("{\"op\":\"stats\"}");
+  ASSERT_TRUE(St.member("ok")->boolValue());
+  const JsonValue *Res = St.member("stats")->member("resilience");
+  EXPECT_EQ(Res->member("state")->stringValue(), "draining");
+  EXPECT_GE(Res->member("drained")->numberValue(), 3.0);
+  JsonValue He = rpc("{\"op\":\"health\"}");
+  ASSERT_TRUE(He.member("ok")->boolValue());
+  EXPECT_EQ(He.member("state")->stringValue(), "draining");
+  JsonValue Sh = rpc("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(Sh.member("ok")->boolValue());
+  EXPECT_TRUE(Core.shutdownRequested());
+}
+
+TEST_F(ServerCoreTest, HealthReportsStateAndInFlight) {
+  JsonValue V = rpc("{\"op\":\"health\",\"id\":\"h1\"}");
+  ASSERT_TRUE(V.member("ok")->boolValue());
+  EXPECT_EQ(V.member("id")->stringValue(), "h1");
+  EXPECT_EQ(V.member("state")->stringValue(), "serving");
+  // The probe itself holds a heartbeat slot while it renders.
+  EXPECT_GE(V.member("in_flight")->numberValue(), 1.0);
+  ASSERT_TRUE(V.member("slowest_in_flight_us"));
+  ASSERT_TRUE(V.member("uptime_us"));
+  // Idle again once the probe returned.
+  ServerCore::InFlightSnapshot S = Core.inFlight();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.SlowestUs, 0u);
+}
+
+TEST_F(ServerCoreTest, RetryTagIsCountedNotSemantic) {
+  const char *Src = "double f(double x) { return x; }";
+  std::string Frame = std::string("{\"op\":\"compile\",\"retry\":1,"
+                                  "\"source\":\"") +
+                      jsonEscape(Src) + "\"}";
+  JsonValue A = rpc(Frame);
+  EXPECT_TRUE(A.member("ok")->boolValue());
+  JsonValue B = rpc(Frame);
+  EXPECT_TRUE(B.member("ok")->boolValue());
+  EXPECT_TRUE(B.member("cached")->boolValue()); // handled identically
+  JsonValue St = rpc("{\"op\":\"stats\"}");
+  EXPECT_DOUBLE_EQ(St.member("stats")
+                       ->member("resilience")
+                       ->member("retried")
+                       ->numberValue(),
+                   2.0);
+}
+
+TEST(ServerCoreLogTest, RequestLogLinesAreSchemaValidJson) {
+  char Tmpl[] = "/tmp/igen_serve_log_XXXXXX";
+  int Fd = mkstemp(Tmpl);
+  ASSERT_GE(Fd, 0);
+  ::close(Fd);
+  ServerCoreConfig Cfg;
+  Cfg.CacheCapacity = 4;
+  Cfg.LogPath = Tmpl;
+  {
+    ServerCore Core(Cfg);
+    Core.handleFrame("{\"op\":\"compile\",\"source\":\"double f(double "
+                     "x) { return x; }\"}");
+    Core.handleFrame("{\"op\":\"stats\"}");
+    Core.handleFrame("not json");
+    Core.beginDrain();
+    Core.handleFrame("{\"op\":\"compile\",\"source\":\"double g(double "
+                     "x) { return x; }\"}");
+  }
+  std::ifstream In(Tmpl);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  std::vector<std::string> Outcomes;
+  size_t Events = 0;
+  bool SawCompileHash = false;
+  while (std::getline(In, Line)) {
+    JsonParseResult R = parseJson(Line);
+    ASSERT_TRUE(R.Ok) << "log line must be valid JSON: " << Line;
+    ASSERT_TRUE(R.Value.isObject());
+    ASSERT_TRUE(R.Value.member("ts_us")) << Line;
+    const JsonValue *Kind = R.Value.member("kind");
+    ASSERT_TRUE(Kind && Kind->isString()) << Line;
+    if (Kind->stringValue() == "request") {
+      ASSERT_TRUE(R.Value.member("verb")) << Line;
+      ASSERT_TRUE(R.Value.member("latency_us")) << Line;
+      ASSERT_TRUE(R.Value.member("outcome")) << Line;
+      Outcomes.push_back(R.Value.member("outcome")->stringValue());
+      const JsonValue *Hash = R.Value.member("hash");
+      if (R.Value.member("verb")->stringValue() == "compile" && Hash &&
+          Hash->stringValue().size() == 16)
+        SawCompileHash = true;
+    } else {
+      EXPECT_EQ(Kind->stringValue(), "event") << Line;
+      ASSERT_TRUE(R.Value.member("event")) << Line;
+      ++Events;
+    }
+  }
+  ASSERT_EQ(Outcomes.size(), 4u);
+  EXPECT_EQ(Outcomes[0], "ok");
+  EXPECT_EQ(Outcomes[1], "ok");
+  EXPECT_EQ(Outcomes[2], "bad-json");
+  EXPECT_EQ(Outcomes[3], "shutting-down");
+  EXPECT_GE(Events, 1u); // at least drain_begin
+  EXPECT_TRUE(SawCompileHash);
+  std::remove(Tmpl);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate igen serve-mode stats reports (schema_version 1).
+"""Validate igen serve-mode stats reports (schema_version 2).
 
 Accepts either the bare report object (report == "igen_serve_stats") or a
 full stats *response* frame from the daemon ({"ok":true,...,"stats":{...}}),
@@ -44,13 +44,17 @@ class Checker:
         return val
 
 
-ENDPOINTS = ["compile", "eval", "stats", "evict", "shutdown", "invalid"]
+ENDPOINTS = ["compile", "eval", "stats", "evict", "shutdown", "health",
+             "invalid"]
 NUM_LATENCY_BUCKETS = 32
+RESILIENCE_COUNTERS = ["in_flight", "slowest_in_flight_us",
+                       "deadline_exceeded", "retried", "drained",
+                       "cache_replayed"]
 
 
 def check_report(c, doc):
     version = c.field(doc, "schema_version", (int,), "top level")
-    if version is not None and version != 1:
+    if version is not None and version != 2:
         c.fail(f"unsupported schema_version {version}")
     kind = c.field(doc, "report", (str,), "top level")
     if kind is not None and kind != "igen_serve_stats":
@@ -115,6 +119,14 @@ def check_report(c, doc):
     if fenv is not None:
         for key in ("violations", "repairs", "poisoned"):
             c.counter(fenv, key, "fenv")
+
+    resilience = c.field(doc, "resilience", (dict,), "top level")
+    if resilience is not None:
+        state = c.field(resilience, "state", (str,), "resilience")
+        if state is not None and state not in ("serving", "draining"):
+            c.fail(f"resilience: unknown state '{state}'")
+        for key in RESILIENCE_COUNTERS:
+            c.counter(resilience, key, "resilience")
 
 
 def check_file(path):

@@ -20,8 +20,20 @@ Commands:
                         Options: --branch exception|join
                         --fenv-policy repair|poison --step-limit N
   stats                 fetch the daemon's counters/histograms report.
+  health                fetch serving/draining state and in-flight ages.
   evict [HANDLE|--all]  drop one cached program, or all of them.
   shutdown              ask the daemon to exit cleanly.
+
+Reliability knobs:
+  --deadline-ms N       attach a wall-clock budget to the request; the
+                        daemon answers a typed "deadline-exceeded"
+                        error instead of running past it.
+  --retries N           re-attempt (default 3) on connect failure and on
+                        the retryable typed errors "queue-full" and
+                        "shutting-down", with capped exponential backoff
+                        plus jitter (base --retry-base-ms, cap 2s).
+                        Re-sent frames carry "retry":attempt so the
+                        daemon can count second-hand traffic.
 
 Every command prints the daemon's one-line JSON response (pretty-printed
 unless --raw) and exits 0 iff ok:true. Stdlib only.
@@ -29,10 +41,13 @@ unless --raw) and exits 0 iff ok:true. Stdlib only.
 
 import argparse
 import json
-import os
+import random
 import socket
 import sys
 import time
+
+RETRYABLE_CODES = {"queue-full", "shutting-down"}
+BACKOFF_CAP_S = 2.0
 
 
 def connect(path, wait):
@@ -45,7 +60,7 @@ def connect(path, wait):
         except OSError as err:
             sock.close()
             if time.monotonic() >= deadline:
-                raise SystemExit(f"igen_client: cannot connect to {path}: {err}")
+                raise OSError(f"cannot connect to {path}: {err}")
             time.sleep(0.05)
 
 
@@ -56,13 +71,52 @@ def rpc(sock, request):
     while b"\n" not in buf:
         chunk = sock.recv(65536)
         if not chunk:
-            raise SystemExit("igen_client: connection closed before response")
+            raise OSError("connection closed before response")
         buf += chunk
     line = buf.split(b"\n", 1)[0]
     try:
         return json.loads(line)
     except ValueError as err:
         raise SystemExit(f"igen_client: bad response frame: {err}: {line!r}")
+
+
+def backoff_sleep(attempt, base_ms):
+    """Capped exponential backoff with full jitter: sleep a uniform
+    amount of [0, min(cap, base * 2^attempt)]. Full jitter keeps a
+    thundering herd of retrying clients from re-synchronizing."""
+    span = min(BACKOFF_CAP_S, (base_ms / 1000.0) * (2 ** attempt))
+    time.sleep(random.uniform(0.0, span))
+
+
+def rpc_with_retry(path, wait, req, retries, retry_base_ms):
+    """One request, retried on connect failure and on retryable typed
+    errors. Re-sent frames are tagged with "retry":attempt (attempt >=
+    1), which the daemon surfaces in stats.resilience.retried."""
+    last_err = None
+    for attempt in range(retries + 1):
+        if attempt > 0:
+            req = dict(req)
+            req["retry"] = attempt
+            backoff_sleep(attempt - 1, retry_base_ms)
+        try:
+            sock = connect(path, wait)
+        except OSError as err:
+            last_err = str(err)
+            continue
+        try:
+            resp = rpc(sock, req)
+        except OSError as err:
+            last_err = str(err)
+            continue
+        finally:
+            sock.close()
+        code = (resp.get("error") or {}).get("code")
+        if resp.get("ok") is False and code in RETRYABLE_CODES:
+            last_err = f"daemon answered {code}"
+            continue
+        return resp
+    raise SystemExit(f"igen_client: giving up after {retries + 1} attempts: "
+                     f"{last_err}")
 
 
 def parse_eval_arg(text):
@@ -90,6 +144,14 @@ def main(argv):
     ap.add_argument("--raw", action="store_true",
                     help="print the response as one line, not pretty")
     ap.add_argument("--id", default=None, help="request id to echo")
+    ap.add_argument("--deadline-ms", type=int, default=None,
+                    help="wall-clock budget for the request (daemon-side)")
+    ap.add_argument("--retries", type=int, default=3,
+                    help="retry attempts on connect failure / queue-full / "
+                         "shutting-down (0 disables)")
+    ap.add_argument("--retry-base-ms", type=float, default=50.0,
+                    help="backoff base; attempt k waits up to "
+                         "base * 2^k ms (capped at 2s, with jitter)")
     sub = ap.add_subparsers(dest="command", required=True)
 
     c = sub.add_parser("compile")
@@ -112,6 +174,8 @@ def main(argv):
 
     sub.add_parser("stats")
 
+    sub.add_parser("health")
+
     v = sub.add_parser("evict")
     v.add_argument("handle", nargs="?")
     v.add_argument("--all", action="store_true")
@@ -123,6 +187,8 @@ def main(argv):
     req = {"op": ns.command}
     if ns.id is not None:
         req["id"] = ns.id
+    if ns.deadline_ms is not None:
+        req["deadline_ms"] = ns.deadline_ms
     if ns.command == "compile":
         if ns.file == "-":
             req["source"] = sys.stdin.read()
@@ -167,11 +233,25 @@ def main(argv):
         else:
             ap.error("evict needs a HANDLE or --all")
 
-    sock = connect(ns.socket, ns.wait)
-    try:
-        resp = rpc(sock, req)
-    finally:
-        sock.close()
+    retries = max(0, ns.retries)
+    # shutdown is not idempotent from the operator's point of view
+    # (retrying one against a fresh instance would kill it too), so it
+    # never retries on typed errors; connect retries are still fine.
+    if ns.command == "shutdown":
+        resp = None
+        try:
+            sock = connect(ns.socket, ns.wait)
+        except OSError as err:
+            raise SystemExit(f"igen_client: {err}")
+        try:
+            resp = rpc(sock, req)
+        except OSError as err:
+            raise SystemExit(f"igen_client: {err}")
+        finally:
+            sock.close()
+    else:
+        resp = rpc_with_retry(ns.socket, ns.wait, req, retries,
+                              ns.retry_base_ms)
 
     if ns.raw:
         print(json.dumps(resp, separators=(",", ":")))
